@@ -1,0 +1,223 @@
+//! Gaussian kernel density estimation (Rosenblatt 1956).
+//!
+//! Bandwidth follows Silverman's rule of thumb. To keep likelihood
+//! evaluation affordable inside the naive-Bayes product (which evaluates
+//! thousands of densities per sample), fitted KDEs subsample their support
+//! to a bounded number of points with a deterministic stride.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of support points a KDE keeps (deterministic stride
+/// subsampling beyond this).
+pub const MAX_KDE_POINTS: usize = 128;
+
+/// A one-dimensional Gaussian-kernel density estimate.
+///
+/// ```
+/// use diagnet_bayes::Kde;
+/// let kde = Kde::fit(&[10.0, 11.0, 9.5, 10.2, 10.8]);
+/// assert!(kde.density(10.0) > kde.density(30.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    points: Vec<f32>,
+    bandwidth: f32,
+}
+
+impl Kde {
+    /// Fit a KDE on `values` with Silverman's bandwidth, keeping at most
+    /// [`MAX_KDE_POINTS`] support points.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn fit(values: &[f32]) -> Kde {
+        Kde::fit_with_cap(values, MAX_KDE_POINTS)
+    }
+
+    /// Fit with an explicit support-point cap.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `cap == 0`.
+    pub fn fit_with_cap(values: &[f32], cap: usize) -> Kde {
+        assert!(!values.is_empty(), "Kde::fit: empty sample");
+        assert!(cap > 0, "Kde::fit: cap must be positive");
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = values
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt() as f32;
+        // Silverman: h = 1.06 σ n^{-1/5}; floor keeps degenerate samples
+        // (all-equal values) well-defined.
+        let bandwidth = (1.06 * std * (n as f32).powf(-0.2)).max(1e-3 * (std + 1.0));
+        let points = if values.len() <= cap {
+            values.to_vec()
+        } else {
+            // Deterministic stride subsample preserving the spread.
+            let stride = values.len() as f64 / cap as f64;
+            (0..cap)
+                .map(|i| values[(i as f64 * stride) as usize])
+                .collect()
+        };
+        Kde { points, bandwidth }
+    }
+
+    /// Merge several KDEs into a *union* KDE (the paper's generic
+    /// aggregate likelihood): pools support points, re-fits the bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `kdes` is empty.
+    pub fn merge(kdes: &[&Kde]) -> Kde {
+        assert!(!kdes.is_empty(), "Kde::merge: nothing to merge");
+        let all: Vec<f32> = kdes.iter().flat_map(|k| k.points.iter().copied()).collect();
+        Kde::fit(&all)
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f32) -> f32 {
+        let inv_h = 1.0 / self.bandwidth;
+        let norm = inv_h / (self.points.len() as f32 * (2.0 * std::f32::consts::PI).sqrt());
+        let mut acc = 0.0f32;
+        for &p in &self.points {
+            let z = (x - p) * inv_h;
+            // Beyond 6σ the kernel contributes < 1e-8 of its peak.
+            if z.abs() < 6.0 {
+                acc += (-0.5 * z * z).exp();
+            }
+        }
+        acc * norm
+    }
+
+    /// Natural log of the density, floored to stay finite in products.
+    pub fn log_density(&self, x: f32) -> f32 {
+        self.density(x).max(1e-30).ln()
+    }
+
+    /// Bandwidth in use.
+    pub fn bandwidth(&self) -> f32 {
+        self.bandwidth
+    }
+
+    /// A copy with the bandwidth multiplied by `factor` — used to emulate
+    /// the paper's *flattened* merged likelihoods: pooling many diverse
+    /// landmarks' distributions smears the density toward uniform.
+    ///
+    /// # Panics
+    /// Panics if `factor <= 0`.
+    pub fn with_bandwidth_scale(&self, factor: f32) -> Kde {
+        assert!(factor > 0.0, "bandwidth scale must be positive");
+        Kde {
+            points: self.points.clone(),
+            bandwidth: self.bandwidth * factor,
+        }
+    }
+
+    /// Number of support points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_rng::SplitMix64;
+
+    #[test]
+    fn density_peaks_near_data() {
+        let kde = Kde::fit(&[10.0, 10.5, 9.5, 10.2]);
+        assert!(kde.density(10.0) > kde.density(20.0) * 100.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut rng = SplitMix64::new(1);
+        let values: Vec<f32> = (0..200).map(|_| rng.normal_with(5.0, 2.0)).collect();
+        let kde = Kde::fit(&values);
+        // Trapezoidal integral over a wide window.
+        let (lo, hi, steps) = (-10.0f32, 20.0f32, 3000);
+        let dx = (hi - lo) / steps as f32;
+        let integral: f32 = (0..steps)
+            .map(|i| kde.density(lo + (i as f32 + 0.5) * dx) * dx)
+            .sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral = {integral}");
+    }
+
+    #[test]
+    fn recovers_gaussian_shape() {
+        let mut rng = SplitMix64::new(2);
+        let values: Vec<f32> = (0..2000).map(|_| rng.normal_with(0.0, 1.0)).collect();
+        let kde = Kde::fit_with_cap(&values, 512);
+        let at0 = kde.density(0.0);
+        let at2 = kde.density(2.0);
+        // N(0,1): φ(0)/φ(2) ≈ 7.39.
+        let ratio = at0 / at2;
+        assert!((4.0..12.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn degenerate_sample_is_finite() {
+        let kde = Kde::fit(&[3.0, 3.0, 3.0]);
+        assert!(kde.density(3.0).is_finite());
+        assert!(kde.density(3.0) > kde.density(4.0));
+        assert!(kde.log_density(1e6).is_finite());
+    }
+
+    #[test]
+    fn subsampling_caps_points() {
+        let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let kde = Kde::fit(&values);
+        assert_eq!(kde.n_points(), MAX_KDE_POINTS);
+        // Subsample still spans the range.
+        assert!(kde.density(9000.0) > 0.0);
+        assert!(kde.density(500.0) > 0.0);
+    }
+
+    #[test]
+    fn merge_pools_support() {
+        let mut rng = SplitMix64::new(7);
+        let av: Vec<f32> = (0..100).map(|_| rng.normal_with(0.0, 0.5)).collect();
+        let bv: Vec<f32> = (0..100).map(|_| rng.normal_with(10.0, 0.5)).collect();
+        let a = Kde::fit(&av);
+        let b = Kde::fit(&bv);
+        let merged = Kde::merge(&[&a, &b]);
+        // Bimodal: density at both modes well above the valley.
+        assert!(merged.density(0.0) > merged.density(5.0) * 3.0);
+        assert!(merged.density(10.0) > merged.density(5.0) * 3.0);
+    }
+
+    #[test]
+    fn merged_kde_flattens() {
+        // The paper's observation: merging many landmarks' distributions
+        // flattens the density toward uniform — peak density drops.
+        let mut rng = SplitMix64::new(3);
+        let single: Vec<f32> = (0..300).map(|_| rng.normal_with(50.0, 3.0)).collect();
+        let kde_single = Kde::fit(&single);
+        let kdes: Vec<Kde> = (0..8)
+            .map(|i| {
+                let center = 30.0 + 20.0 * i as f32;
+                let vals: Vec<f32> = (0..300).map(|_| rng.normal_with(center, 3.0)).collect();
+                Kde::fit(&vals)
+            })
+            .collect();
+        let refs: Vec<&Kde> = kdes.iter().collect();
+        let merged = Kde::merge(&refs);
+        assert!(merged.density(50.0) < kde_single.density(50.0) / 3.0);
+    }
+
+    #[test]
+    fn log_density_floor() {
+        let kde = Kde::fit(&[0.0]);
+        let ld = kde.log_density(1e9);
+        assert!(ld.is_finite());
+        assert!(ld <= (1e-30f32).ln() + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_fit_panics() {
+        Kde::fit(&[]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # diagnet-bayes — the Extensible Naive Bayes baseline
+//!
+//! Implements the second comparison baseline of the DiagNet paper
+//! (§IV-B(b)): a naive Bayes classifier over root causes whose likelihoods
+//! are kernel density estimates (KDE), adapted for extensibility:
+//!
+//! * **uniform priors** — `P(C_k) = 1` for every cause, since priors of
+//!   never-seen causes are unknowable (this also cancels dataset
+//!   imbalance);
+//! * **KDE likelihoods** — per (cause, feature) Gaussian-kernel densities
+//!   instead of parametric Gaussians, for expressivity;
+//! * **generic merged likelihoods** — for each *measure family* (RTT,
+//!   download bandwidth, …) a fallback KDE built from the union of every
+//!   training landmark's measurements, used whenever no specific
+//!   likelihood exists for a feature or class (i.e. for landmarks or
+//!   causes unseen during training).
+//!
+//! The paper observes (and our reproduction of Fig. 5/6 confirms) that the
+//! merged KDEs flatten as client diversity grows, biasing the model toward
+//! unknown features — exactly the failure mode this baseline documents.
+
+pub mod kde;
+pub mod naive_bayes;
+
+pub use kde::Kde;
+pub use naive_bayes::{ExtensibleNaiveBayes, NaiveBayesConfig};

@@ -1,0 +1,96 @@
+//! Property-based tests of KDE and the extensible naive Bayes.
+
+use diagnet_bayes::{ExtensibleNaiveBayes, Kde, NaiveBayesConfig};
+use diagnet_rng::SplitMix64;
+use proptest::prelude::*;
+
+fn sample_values() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Densities are non-negative and finite everywhere.
+    #[test]
+    fn kde_density_sane(values in sample_values(), x in -200.0f32..200.0) {
+        let kde = Kde::fit(&values);
+        let d = kde.density(x);
+        prop_assert!(d.is_finite() && d >= 0.0);
+        prop_assert!(kde.log_density(x).is_finite());
+    }
+
+    /// The density is highest near the data: max over support points
+    /// beats a faraway probe.
+    #[test]
+    fn kde_mass_near_data(values in sample_values()) {
+        let kde = Kde::fit(&values);
+        let near = values.iter().map(|&v| kde.density(v)).fold(0.0f32, f32::max);
+        let span = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let far = kde.density(span * 10.0 + 1e4);
+        prop_assert!(near >= far);
+    }
+
+    /// Widening the bandwidth never sharpens the peak.
+    #[test]
+    fn bandwidth_scaling_flattens(values in sample_values(), factor in 1.5f32..10.0) {
+        let kde = Kde::fit(&values);
+        let flat = kde.with_bandwidth_scale(factor);
+        let peak = values.iter().map(|&v| kde.density(v)).fold(0.0f32, f32::max);
+        let flat_peak = values.iter().map(|&v| flat.density(v)).fold(0.0f32, f32::max);
+        prop_assert!(flat_peak <= peak + 1e-6);
+    }
+
+    /// Subsampling respects the cap but keeps at least one point.
+    #[test]
+    fn kde_cap_respected(values in sample_values(), cap in 1usize..64) {
+        let kde = Kde::fit_with_cap(&values, cap);
+        prop_assert!(kde.n_points() <= cap.max(1));
+        prop_assert!(kde.n_points() >= 1);
+    }
+
+    /// NB scores are probability distributions over causes for arbitrary
+    /// test rows, including ones far outside the training range.
+    #[test]
+    fn nb_scores_are_distributions(seed in 0u64..1000, probe_scale in 0.1f32..50.0) {
+        let n_features = 6;
+        let kinds: Vec<usize> = (0..n_features).map(|j| j % 2).collect();
+        let visible: Vec<usize> = (0..4).collect();
+        let mut rng = SplitMix64::new(seed);
+        let rows: Vec<Vec<f32>> = (0..80)
+            .map(|i| {
+                let mut row: Vec<f32> =
+                    (0..n_features).map(|_| rng.normal_with(10.0, 2.0)).collect();
+                if i % 2 == 0 {
+                    row[i % 4] += 20.0;
+                }
+                row
+            })
+            .collect();
+        let labels: Vec<usize> =
+            (0..80).map(|i| if i % 2 == 0 { i % 4 } else { n_features }).collect();
+        let model = ExtensibleNaiveBayes::fit(
+            &NaiveBayesConfig::default(), &rows, &labels, n_features, &kinds, &visible,
+        );
+        let probe: Vec<f32> = (0..n_features).map(|j| j as f32 * probe_scale).collect();
+        let scores = model.scores(&probe);
+        prop_assert_eq!(scores.len(), n_features);
+        prop_assert!((scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        prop_assert!(scores.iter().all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    /// Scoring is deterministic.
+    #[test]
+    fn nb_deterministic(seed in 0u64..500) {
+        let kinds = vec![0usize, 1, 0, 1];
+        let visible = vec![0usize, 1, 2, 3];
+        let mut rng = SplitMix64::new(seed);
+        let rows: Vec<Vec<f32>> =
+            (0..40).map(|_| (0..4).map(|_| rng.normal()).collect()).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 5).collect(); // causes 0-3 + nominal 4
+        let model = ExtensibleNaiveBayes::fit(
+            &NaiveBayesConfig::default(), &rows, &labels, 4, &kinds, &visible,
+        );
+        prop_assert_eq!(model.scores(&rows[0]), model.scores(&rows[0]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Timing ablations over DiagNet's design choices (DESIGN.md §5): the
+//! pipeline stages and the attention path, measured on a trained model.
+//! (Quality ablations — how each stage changes Recall@k — are produced by
+//! the `ablation` experiment binary.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::{DiagNet, PipelineMode};
+use diagnet_nn::pool::PoolOp;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let world = World::new();
+    let mut ds_cfg = DatasetConfig::small(&world, 11);
+    ds_cfg.n_scenarios = 15;
+    let ds = Dataset::generate(&world, &ds_cfg);
+    let split = ds.split(0.8, 11);
+    let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 11).unwrap();
+    let schema = FeatureSchema::full();
+    let row = split.test.samples[0].features.clone();
+    let mut group = c.benchmark_group("pipeline_stage_cost");
+    for (name, mode) in [
+        ("attention_only", PipelineMode::AttentionOnly),
+        ("attention_weighted", PipelineMode::AttentionWeighted),
+        ("full_with_ensemble", PipelineMode::Full),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.rank_causes_with(&row, &schema, mode)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_counts(c: &mut Criterion) {
+    // Cost of the coarse forward pass as the filter count grows.
+    let mut group = c.benchmark_group("filters_forward_cost");
+    let x = diagnet_nn::tensor::Matrix::full(128, 55, 0.5);
+    for filters in [8usize, 24, 64] {
+        let cfg = DiagNetConfig {
+            filters,
+            pool_ops: PoolOp::standard_bank(),
+            ..DiagNetConfig::paper()
+        };
+        let net = DiagNet::build_network(&cfg, 1);
+        group.bench_function(format!("{filters}_filters"), |b| {
+            b.iter(|| black_box(net.forward(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages, bench_filter_counts);
+criterion_main!(benches);

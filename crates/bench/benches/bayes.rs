@@ -1,0 +1,66 @@
+//! KDE naive-Bayes benchmarks: density evaluation, model fitting and
+//! the full 55-cause scoring pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet_bayes::{ExtensibleNaiveBayes, Kde, NaiveBayesConfig};
+use diagnet_rng::SplitMix64;
+use std::hint::black_box;
+
+fn bench_kde(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(1);
+    let values: Vec<f32> = (0..5000).map(|_| rng.normal_with(50.0, 12.0)).collect();
+    let kde = Kde::fit(&values);
+    let mut group = c.benchmark_group("kde");
+    group.bench_function("fit_5000_values", |b| {
+        b.iter(|| black_box(Kde::fit(&values)))
+    });
+    group.bench_function("density_eval", |b| b.iter(|| black_box(kde.density(47.3))));
+    group.finish();
+}
+
+fn nb_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    let kinds: Vec<usize> = (0..55).map(|j| j % 10).collect();
+    let visible: Vec<usize> = (0..40).collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vec<f32> = (0..55).map(|_| rng.normal_with(20.0, 5.0)).collect();
+        let label = if i % 5 == 0 {
+            55
+        } else {
+            let cause = i % 40;
+            row[cause] += 30.0;
+            cause
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    (rows, labels, kinds, visible)
+}
+
+fn bench_fit_and_score(c: &mut Criterion) {
+    let (rows, labels, kinds, visible) = nb_data(4000, 3);
+    let cfg = NaiveBayesConfig::default();
+    let mut group = c.benchmark_group("naive_bayes");
+    group.sample_size(10);
+    group.bench_function("fit_4k_samples", |b| {
+        b.iter(|| {
+            black_box(ExtensibleNaiveBayes::fit(
+                &cfg, &rows, &labels, 55, &kinds, &visible,
+            ))
+        })
+    });
+    let model = ExtensibleNaiveBayes::fit(&cfg, &rows, &labels, 55, &kinds, &visible);
+    group.bench_function("score_single_55_causes", |b| {
+        b.iter(|| black_box(model.scores(&rows[0])))
+    });
+    let test: Vec<Vec<f32>> = rows[..128].to_vec();
+    group.bench_function("score_batch_128", |b| {
+        b.iter(|| black_box(model.scores_batch(&test)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kde, bench_fit_and_score);
+criterion_main!(benches);

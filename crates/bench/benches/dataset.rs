@@ -1,0 +1,54 @@
+//! Simulator throughput: observation generation and full-dataset builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::fault::{Fault, FaultFamily};
+use diagnet_sim::region::Region;
+use diagnet_sim::scenario::Scenario;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+
+fn bench_observe(c: &mut Criterion) {
+    let world = World::new();
+    let sid = world.catalog.all_ids()[5];
+    let nominal = Scenario::nominal(12.0);
+    let faulty = Scenario::with_faults(
+        vec![
+            Fault::new(FaultFamily::PacketLoss, Region::Grav),
+            Fault::new(FaultFamily::Jitter, Region::Sing),
+        ],
+        20.0,
+    );
+    let mut group = c.benchmark_group("observe");
+    group.bench_function("nominal_scenario", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(world.observe(Region::Amst, sid, &nominal, seed))
+        })
+    });
+    group.bench_function("two_fault_scenario", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(world.observe(Region::Amst, sid, &faulty, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let world = World::new();
+    let mut group = c.benchmark_group("dataset_generate");
+    group.sample_size(10);
+    for scenarios in [10usize, 40] {
+        let cfg = DatasetConfig::standard(&world, scenarios, 9);
+        group.bench_function(format!("{}_samples", cfg.n_samples()), |b| {
+            b.iter(|| black_box(Dataset::generate(&world, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_dataset_generation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Dense-layer and matmul kernel benchmarks at DiagNet's layer sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet_nn::layer::Layer;
+use diagnet_nn::linalg::{matmul, matmul_at, matmul_bt};
+use diagnet_nn::tensor::Matrix;
+use diagnet_rng::SplitMix64;
+use std::hint::black_box;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn bench_dense_layers(c: &mut Criterion) {
+    // The paper's MLP: 317 → 512 → 128 → 7 at batch 128.
+    let mut group = c.benchmark_group("dense_forward");
+    for (name, i, o) in [
+        ("fc1_317x512", 317, 512),
+        ("fc2_512x128", 512, 128),
+        ("out_128x7", 128, 7),
+    ] {
+        let layer = Layer::dense(i, o, 1);
+        let x = random(128, i, 2);
+        group.bench_function(name, |b| b.iter(|| black_box(layer.forward(&x))));
+    }
+    group.finish();
+}
+
+fn bench_dense_backward(c: &mut Criterion) {
+    let layer = Layer::dense(317, 512, 1);
+    let x = random(128, 317, 2);
+    let (y, cache) = layer.forward_cached(&x);
+    let gout = Matrix::full(y.rows(), y.cols(), 0.1);
+    c.bench_function("dense_backward_fc1", |b| {
+        b.iter(|| {
+            let mut grads = layer.zero_grads();
+            black_box(layer.backward(&x, &cache, &gout, Some(&mut grads)))
+        })
+    });
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let a = random(128, 317, 3);
+    let w = random(317, 512, 4);
+    let gy = random(128, 512, 5);
+    let mut group = c.benchmark_group("matmul_kernels");
+    group.bench_function("matmul_128x317x512", |b| {
+        b.iter(|| black_box(matmul(&a, &w)))
+    });
+    group.bench_function("matmul_bt_128x512x317", |b| {
+        b.iter(|| black_box(matmul_bt(&gy, &w)))
+    });
+    group.bench_function("matmul_at_317x128x512", |b| {
+        b.iter(|| black_box(matmul_at(&a, &gy)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_layers,
+    bench_dense_backward,
+    bench_matmul_kernels
+);
+criterion_main!(benches);

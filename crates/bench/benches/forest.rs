@@ -1,0 +1,59 @@
+//! Random-forest benchmarks: training at the paper's configuration
+//! (Gini, 50 estimators, depth 10) and batch scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet_forest::{ExtensibleForest, ForestConfig};
+use diagnet_rng::SplitMix64;
+use std::hint::black_box;
+
+/// Synthetic 55-feature root-cause data (the full cause space size).
+fn cause_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vec<f32> = (0..55).map(|_| rng.normal()).collect();
+        let label = if i % 5 == 0 {
+            55
+        } else {
+            let cause = i % 40;
+            row[cause] += 4.0;
+            cause
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    (rows, labels)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (rows, labels) = cause_data(4000, 1);
+    let mut group = c.benchmark_group("forest_train");
+    group.sample_size(10);
+    for n_trees in [10usize, 50] {
+        let cfg = ForestConfig {
+            n_trees,
+            seed: 3,
+            ..ForestConfig::default()
+        };
+        group.bench_function(format!("{n_trees}_trees_4k_samples"), |b| {
+            b.iter(|| black_box(ExtensibleForest::fit(&cfg, &rows, &labels, 55)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let (rows, labels) = cause_data(4000, 2);
+    let model = ExtensibleForest::fit(&ForestConfig::paper_default(5), &rows, &labels, 55);
+    let test: Vec<Vec<f32>> = rows[..256].to_vec();
+    let mut group = c.benchmark_group("forest_score");
+    group.bench_function("single", |b| b.iter(|| black_box(model.scores(&rows[0]))));
+    group.bench_function("batch_256", |b| {
+        b.iter(|| black_box(model.scores_batch(&test)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Inference-latency benchmarks (paper: 45 ms per root-cause inference).
+//! Covers the coarse forward pass, the attention backward pass, and the
+//! complete rank-causes pipeline with ensemble averaging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::{DiagNet, PipelineMode};
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn trained() -> &'static (DiagNet, Vec<Vec<f32>>, FeatureSchema) {
+    static CELL: OnceLock<(DiagNet, Vec<Vec<f32>>, FeatureSchema)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 7);
+        cfg.n_scenarios = 20;
+        let ds = Dataset::generate(&world, &cfg);
+        let split = ds.split(0.8, 7);
+        let model = DiagNet::train(&DiagNetConfig::paper(), &split.train, 7).unwrap();
+        let rows: Vec<Vec<f32>> = split
+            .test
+            .samples
+            .iter()
+            .take(64)
+            .map(|s| s.features.clone())
+            .collect();
+        (model, rows, FeatureSchema::full())
+    })
+}
+
+fn bench_single_sample(c: &mut Criterion) {
+    let (model, rows, schema) = trained();
+    let mut group = c.benchmark_group("inference_single");
+    group.bench_function("coarse_predict", |b| {
+        b.iter(|| black_box(model.coarse_predict(&rows[0], schema)))
+    });
+    group.bench_function("attention_only", |b| {
+        b.iter(|| black_box(model.rank_causes_with(&rows[0], schema, PipelineMode::AttentionOnly)))
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| black_box(model.rank_causes(&rows[0], schema)))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (model, rows, schema) = trained();
+    let mut group = c.benchmark_group("inference_batch64");
+    group.sample_size(20);
+    group.bench_function("rank_causes_batch", |b| {
+        b.iter(|| black_box(model.rank_causes_batch(rows, schema)))
+    });
+    group.bench_function("coarse_predict_batch", |b| {
+        b.iter(|| black_box(model.coarse_predict_batch(rows, schema)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_sample, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! LandPooling layer micro-benchmarks: forward and backward cost at the
+//! paper's dimensions (f = 24, k = 5, |Ω| = 13) as the landmark count
+//! scales — the layer is the one component whose cost grows with fleet
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diagnet_nn::layer::Layer;
+use diagnet_nn::pool::PoolOp;
+use diagnet_nn::tensor::Matrix;
+use diagnet_rng::SplitMix64;
+use std::hint::black_box;
+
+fn random_batch(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let layer = Layer::land_pool(24, 5, 5, PoolOp::standard_bank(), 1);
+    let mut group = c.benchmark_group("landpool_forward");
+    for ell in [7usize, 10, 50, 200] {
+        let x = random_batch(128, ell * 5 + 5, ell as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &x, |b, x| {
+            b.iter(|| black_box(layer.forward(x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let layer = Layer::land_pool(24, 5, 5, PoolOp::standard_bank(), 1);
+    let mut group = c.benchmark_group("landpool_backward");
+    for ell in [7usize, 10, 50] {
+        let x = random_batch(128, ell * 5 + 5, ell as u64);
+        let (y, cache) = layer.forward_cached(&x);
+        let gout = Matrix::full(y.rows(), y.cols(), 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &x, |b, x| {
+            b.iter(|| {
+                let mut grads = layer.zero_grads();
+                black_box(layer.backward(x, &cache, &gout, Some(&mut grads)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_banks(c: &mut Criterion) {
+    // Ablation: cost of the Ω bank variants.
+    let mut group = c.benchmark_group("landpool_pool_banks");
+    let x = random_batch(128, 10 * 5 + 5, 3);
+    for (name, ops) in [
+        ("avg_only", PoolOp::minimal_bank()),
+        ("min_max_avg", PoolOp::small_bank()),
+        ("full_13_ops", PoolOp::standard_bank()),
+    ] {
+        let layer = Layer::land_pool(24, 5, 5, ops, 1);
+        group.bench_function(name, |b| b.iter(|| black_box(layer.forward(&x))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_pool_banks);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Analysis-service benchmarks: probe-ingestion throughput and registry
+//! read cost under snapshotting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet_platform::{ModelRegistry, ProbeCollector};
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+
+fn bench_collector(c: &mut Criterion) {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, 9);
+    cfg.n_scenarios = 5;
+    let samples = Dataset::generate(&world, &cfg).samples;
+    let mut group = c.benchmark_group("collector");
+    group.bench_function("submit_500", |b| {
+        b.iter(|| {
+            let collector = ProbeCollector::new(100_000, FeatureSchema::full());
+            for s in &samples {
+                collector.submit(s.clone());
+            }
+            black_box(collector.len())
+        })
+    });
+    let collector = ProbeCollector::new(100_000, FeatureSchema::full());
+    for s in &samples {
+        collector.submit(s.clone());
+    }
+    group.bench_function("snapshot_500", |b| {
+        b.iter(|| black_box(collector.snapshot()))
+    });
+    group.finish();
+}
+
+fn bench_registry_reads(c: &mut Criterion) {
+    let registry = ModelRegistry::new();
+    // Reads on an empty registry measure the lock + clone path floor.
+    c.bench_function("registry_model_lookup", |b| {
+        b.iter(|| black_box(registry.model_for(diagnet_sim::service::ServiceId(3))))
+    });
+}
+
+criterion_group!(benches, bench_collector, bench_registry_reads);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Training-cost benchmarks (paper Fig. 9: 32 s general / 4 s per
+//! specialised model on a laptop CPU): one epoch of the coarse classifier
+//! and one full specialisation run on a small dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_nn::network::Gradients;
+use diagnet_nn::optim::{Optimizer, SgdNesterov};
+use diagnet_nn::tensor::Matrix;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+
+fn training_data() -> (Matrix, Vec<usize>) {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, 3);
+    cfg.n_scenarios = 20;
+    let ds = Dataset::generate(&world, &cfg);
+    let schema = FeatureSchema::known();
+    let (rows, labels) = ds.to_rows(&schema, 0.0);
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let (x, y) = training_data();
+    let mut group = c.benchmark_group("training_epoch");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("paper_arch", DiagNetConfig::paper()),
+        ("fast_arch", DiagNetConfig::fast()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = DiagNet::build_network(&cfg, 1);
+                let mut opt = SgdNesterov::paper_default();
+                let mut grads = Gradients::zeros_like(&net);
+                // One epoch over the data in batches of 128.
+                let order: Vec<usize> = (0..x.rows()).collect();
+                for chunk in order.chunks(128) {
+                    let bx = x.select_rows(chunk);
+                    let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                    grads.zero();
+                    net.loss_gradients(&bx, &by, &mut grads);
+                    opt.step(&mut net, &grads);
+                }
+                black_box(net)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_specialisation(c: &mut Criterion) {
+    let world = World::new();
+    let mut ds_cfg = DatasetConfig::small(&world, 5);
+    ds_cfg.n_scenarios = 20;
+    let ds = Dataset::generate(&world, &ds_cfg);
+    let split = ds.split(0.8, 5);
+    let general = DiagNet::train(&DiagNetConfig::fast(), &split.train, 5).unwrap();
+    let sid = world.catalog.held_out_ids()[0];
+    let service_data = split.train.filter_service(sid);
+    let mut group = c.benchmark_group("specialisation");
+    group.sample_size(10);
+    group.bench_function("specialise_one_service", |b| {
+        b.iter(|| black_box(general.specialize(&service_data, 9).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch, bench_specialisation);
+criterion_main!(benches);

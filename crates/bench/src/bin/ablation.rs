@@ -1,0 +1,172 @@
+//! Quality ablations over DiagNet's design choices (DESIGN.md §5):
+//!
+//! 1. pooling bank Ω: {avg} vs {min,max,avg} vs the full 13-op bank;
+//! 2. pipeline stages: raw attention vs + Algorithm 1 weighting vs
+//!    + ensemble averaging (the paper notes raw attention alone is weak);
+//! 3. filter count f ∈ {8, 24, 64};
+//! 4. ensemble weighting: the paper's w_U formula vs fixed 50/50 mixing.
+//!
+//! Each variant reports Recall@1/@5 separately for faults near new and
+//! known landmarks.
+
+use diagnet::config::{DiagNetConfig, OptimizerKind};
+use diagnet::ensemble::ensemble_average;
+use diagnet::model::{DiagNet, PipelineMode};
+use diagnet::perturbation::rank_causes_occlusion;
+use diagnet_bench::harness::{eval_samples, EvalSample, ExperimentContext, HarnessConfig};
+use diagnet_bench::report::{json_out, pct, Table};
+use diagnet_nn::pool::PoolOp;
+use diagnet_sim::metrics::FeatureSchema;
+use rayon::prelude::*;
+use serde_json::json;
+
+/// Recall@k on a slice of eval samples under a scoring closure.
+fn recall<F>(samples: &[&EvalSample], k: usize, score: F) -> f32
+where
+    F: Fn(&EvalSample) -> Vec<f32> + Sync,
+{
+    let scored: Vec<(Vec<f32>, usize)> = samples.par_iter().map(|s| (score(s), s.truth)).collect();
+    diagnet_eval::recall_at_k(&scored, k)
+}
+
+fn report_variant<F>(table: &mut Table, name: &str, samples: &[EvalSample], score: F)
+where
+    F: Fn(&EvalSample) -> Vec<f32> + Sync,
+{
+    let new: Vec<&EvalSample> = samples.iter().filter(|s| s.near_hidden).collect();
+    let known: Vec<&EvalSample> = samples.iter().filter(|s| !s.near_hidden).collect();
+    let row = vec![
+        name.to_string(),
+        pct(recall(&new, 1, &score)),
+        pct(recall(&new, 5, &score)),
+        pct(recall(&known, 1, &score)),
+        pct(recall(&known, 5, &score)),
+    ];
+    json_out(
+        "ablation",
+        &json!({
+            "variant": name,
+            "new_r1": recall(&new, 1, &score), "new_r5": recall(&new, 5, &score),
+            "known_r1": recall(&known, 1, &score), "known_r5": recall(&known, 5, &score),
+        }),
+    );
+    table.row(row);
+}
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let ctx = ExperimentContext::create(config.clone());
+    let samples = eval_samples(&ctx);
+    let full = FeatureSchema::full();
+    let headers = ["variant", "new R@1", "new R@5", "known R@1", "known R@5"];
+
+    // --- 1 & 3: architecture variants (retrain per variant). -------------
+    let mut table = Table::new(
+        "Ablation — architecture (pooling bank Ω, filters f)",
+        &headers,
+    );
+    let variants: Vec<(String, DiagNetConfig)> = vec![
+        (
+            "Ω = {avg}".into(),
+            DiagNetConfig {
+                pool_ops: PoolOp::minimal_bank(),
+                ..config.model_config.clone()
+            },
+        ),
+        (
+            "Ω = {min,max,avg}".into(),
+            DiagNetConfig {
+                pool_ops: PoolOp::small_bank(),
+                ..config.model_config.clone()
+            },
+        ),
+        ("Ω = full 13 ops".into(), config.model_config.clone()),
+        (
+            "f = 8".into(),
+            DiagNetConfig {
+                filters: 8,
+                ..config.model_config.clone()
+            },
+        ),
+        (
+            "f = 64".into(),
+            DiagNetConfig {
+                filters: 64,
+                ..config.model_config.clone()
+            },
+        ),
+        (
+            "raw z-score (no log stabilisation)".into(),
+            DiagNetConfig {
+                stabilize_features: false,
+                ..config.model_config.clone()
+            },
+        ),
+        (
+            "optimizer = Adam".into(),
+            DiagNetConfig {
+                optimizer: OptimizerKind::Adam,
+                learning_rate: 0.002,
+                ..config.model_config.clone()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        eprintln!("[ablation] training variant {name}…");
+        let model = DiagNet::train(&cfg, &ctx.split.train, config.seed).expect("training");
+        report_variant(&mut table, &name, &samples, |s| {
+            model.rank_causes(&s.features, &full).scores
+        });
+    }
+    table.print();
+
+    // --- 2 & 4: pipeline variants (one model, different inference). ------
+    eprintln!("[ablation] training reference model for pipeline variants…");
+    let model =
+        DiagNet::train(&config.model_config, &ctx.split.train, config.seed).expect("training");
+    let mut table = Table::new("Ablation — inference pipeline", &headers);
+    report_variant(&mut table, "attention only (Eq. 1)", &samples, |s| {
+        model
+            .rank_causes_with(&s.features, &full, PipelineMode::AttentionOnly)
+            .scores
+    });
+    report_variant(
+        &mut table,
+        "occlusion attention (black-box LIME-style)",
+        &samples,
+        |s| rank_causes_occlusion(&model, &s.features, &full).scores,
+    );
+    report_variant(&mut table, "+ Algorithm 1 weighting", &samples, |s| {
+        model
+            .rank_causes_with(&s.features, &full, PipelineMode::AttentionWeighted)
+            .scores
+    });
+    report_variant(&mut table, "+ ensemble averaging (full)", &samples, |s| {
+        model.rank_causes(&s.features, &full).scores
+    });
+    // Fixed 50/50 mixing instead of the w_U formula.
+    let unknown = full.unknown_relative_to(&model.train_schema);
+    report_variant(&mut table, "ensemble with fixed w = 0.5", &samples, |s| {
+        let gamma = model
+            .rank_causes_with(&s.features, &full, PipelineMode::AttentionWeighted)
+            .scores;
+        let aux = {
+            // Recompute the auxiliary scores exactly as the full pipeline does.
+            let aux_full = model.auxiliary.scores(&s.features);
+            let sum: f32 = aux_full.iter().sum();
+            aux_full
+                .iter()
+                .map(|a| if sum > 0.0 { a / sum } else { *a })
+                .collect::<Vec<_>>()
+        };
+        // Fixed-weight variant: blend at 0.5 regardless of γ̂′ mass on U.
+        let half: Vec<f32> = gamma
+            .iter()
+            .zip(&aux)
+            .map(|(&g, &a)| 0.5 * g + 0.5 * a)
+            .collect();
+        let _ = ensemble_average(&gamma, &aux, &unknown); // reference formula, for contrast
+        half
+    });
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! Run every experiment, sharing one dataset and one training run for the
+//! figures that allow it (Figs. 5, 6, 7, 9, 10, headline, params); Fig. 8
+//! retrains per client-diversity subset by design.
+use diagnet_bench::experiments;
+use diagnet_bench::harness::{ExperimentContext, HarnessConfig, TrainedModels};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let ctx = ExperimentContext::create(config.clone());
+    experiments::dataset_stats(&ctx);
+    let models = TrainedModels::train(&ctx);
+    experiments::fig5(&ctx, &models);
+    experiments::fig6(&ctx, &models);
+    experiments::fig7(&ctx, &models);
+    experiments::fig9(&ctx, &models);
+    experiments::fig10(&ctx, &models);
+    experiments::headline(&ctx, &models);
+    experiments::params(&ctx, &models);
+    experiments::availability(&ctx, &models);
+    let combos = std::env::var("DIAGNET_COMBOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    experiments::fig8(&config, combos);
+}

@@ -1,0 +1,9 @@
+//! Standalone runner for the Fig. 10 experiment (simultaneous faults).
+use diagnet_bench::experiments;
+use diagnet_bench::harness::{ExperimentContext, HarnessConfig, TrainedModels};
+
+fn main() {
+    let ctx = ExperimentContext::create(HarnessConfig::from_env());
+    let models = TrainedModels::train(&ctx);
+    experiments::fig10(&ctx, &models);
+}

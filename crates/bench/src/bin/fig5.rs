@@ -1,0 +1,9 @@
+//! Standalone runner for the `fig5` experiment (see diagnet-bench docs).
+use diagnet_bench::experiments;
+use diagnet_bench::harness::{ExperimentContext, HarnessConfig, TrainedModels};
+
+fn main() {
+    let ctx = ExperimentContext::create(HarnessConfig::from_env());
+    let models = TrainedModels::train(&ctx);
+    experiments::fig5(&ctx, &models);
+}

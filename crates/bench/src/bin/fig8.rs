@@ -1,0 +1,15 @@
+//! Standalone runner for the Fig. 8 experiment (client diversity).
+//!
+//! `DIAGNET_COMBOS` sets how many region subsets are averaged per size
+//! (default 3). Each subset retrains all three models, so this is the
+//! most expensive experiment.
+use diagnet_bench::experiments;
+use diagnet_bench::harness::HarnessConfig;
+
+fn main() {
+    let combos = std::env::var("DIAGNET_COMBOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    experiments::fig8(&HarnessConfig::from_env(), combos);
+}

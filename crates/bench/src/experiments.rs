@@ -1,0 +1,763 @@
+//! The experiment implementations, one function per paper artefact.
+//!
+//! Functions take a pre-built [`ExperimentContext`] and (where applicable)
+//! pre-trained [`TrainedModels`], so the `all` binary can share one
+//! training run across every figure.
+
+use crate::harness::{
+    eval_samples, EvalSample, ExperimentContext, HarnessConfig, ModelKind, TrainedModels,
+};
+use crate::report::{json_out, pct, Table};
+use diagnet::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
+use diagnet::model::DiagNet;
+use diagnet_bayes::NaiveBayesConfig;
+use diagnet_eval::{
+    accuracy_with_ci, brier_score, expected_calibration_error, grouped_recall_at_k, recall_curve,
+    ConfusionMatrix,
+};
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::DatasetConfig;
+use diagnet_sim::fault::{Fault, FaultFamily};
+use diagnet_sim::metrics::{CoarseFamily, FeatureId, LandmarkMetric, ALL_FAMILIES};
+use diagnet_sim::region::{Region, ALL_REGIONS};
+use diagnet_sim::scenario::Scenario;
+use diagnet_sim::world::Label;
+use rayon::prelude::*;
+use serde_json::json;
+use std::time::Instant;
+
+/// The three models compared throughout the evaluation.
+pub const COMPARED: [ModelKind; 3] = [ModelKind::DiagNet, ModelKind::Forest, ModelKind::NaiveBayes];
+
+/// The paper's three models plus the general DiagNet (the paper reports
+/// specialised scores only; the general row diagnoses the specialisation
+/// delta).
+pub const COMPARED_WITH_GENERAL: [ModelKind; 4] = [
+    ModelKind::DiagNet,
+    ModelKind::DiagNetGeneral,
+    ModelKind::Forest,
+    ModelKind::NaiveBayes,
+];
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — Recall@k near new vs known landmarks.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 5: Recall@k (k = 1…5) for faults near new landmarks (a)
+/// and known landmarks (b), for DiagNet and both baselines.
+pub fn fig5(ctx: &ExperimentContext, models: &TrainedModels) {
+    let samples = eval_samples(ctx);
+    for (hidden, title) in [
+        (true, "(a) faults near NEW landmarks"),
+        (false, "(b) faults near KNOWN landmarks"),
+    ] {
+        let subset: Vec<EvalSample> = samples
+            .iter()
+            .filter(|s| s.near_hidden == hidden)
+            .cloned()
+            .collect();
+        let mut table = Table::new(
+            &format!("Fig. 5 {title} — Recall@k ({} samples)", subset.len()),
+            &["model", "R@1", "R@2", "R@3", "R@4", "R@5"],
+        );
+        for kind in COMPARED_WITH_GENERAL {
+            let scored = models.score_all(kind, &subset, &ctx.full_schema);
+            let curve = recall_curve(&scored, 5);
+            json_out(
+                "fig5",
+                &json!({
+                    "model": kind.label(),
+                    "near_hidden": hidden,
+                    "n": subset.len(),
+                    "recall": curve,
+                }),
+            );
+            let mut row = vec![kind.label().to_string()];
+            row.extend(curve.iter().map(|&r| pct(r)));
+            table.row(row);
+        }
+        table.print();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — Recall per fault family and per region.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 6: Recall@5 per fault family (top) and per fault region
+/// (bottom); hidden regions marked with `*`.
+pub fn fig6(ctx: &ExperimentContext, models: &TrainedModels) {
+    let samples = eval_samples(ctx);
+    // Per family.
+    let mut table = Table::new(
+        "Fig. 6 (top) — Recall@5 per fault family",
+        &[
+            "model",
+            "Uplink",
+            "Latency",
+            "Jitter",
+            "Loss",
+            "Bandwidth",
+            "Load",
+        ],
+    );
+    let families = [
+        CoarseFamily::UplinkLatency,
+        CoarseFamily::LinkLatency,
+        CoarseFamily::LinkJitter,
+        CoarseFamily::LinkLoss,
+        CoarseFamily::LinkBandwidth,
+        CoarseFamily::LocalLoad,
+    ];
+    for kind in COMPARED {
+        let grouped: Vec<(CoarseFamily, Vec<f32>, usize)> = samples
+            .par_iter()
+            .map(|s| (s.family, models.scores(kind, s, &ctx.full_schema), s.truth))
+            .collect();
+        let recalls = grouped_recall_at_k(&grouped, 5);
+        let mut row = vec![kind.label().to_string()];
+        for fam in families {
+            let (r, n) = recalls.get(&fam).copied().unwrap_or((0.0, 0));
+            row.push(if n == 0 { "—".into() } else { pct(r) });
+            json_out(
+                "fig6",
+                &json!({"model": kind.label(), "group": "family", "key": fam.name(), "recall5": r, "n": n}),
+            );
+        }
+        table.row(row);
+    }
+    table.print();
+
+    // Per region.
+    let fault_regions: Vec<Region> = diagnet_sim::region::FAULT_REGIONS.to_vec();
+    let headers: Vec<String> = std::iter::once("model".to_string())
+        .chain(fault_regions.iter().map(|r| {
+            if r.is_hidden_landmark() {
+                format!("{}*", r.code())
+            } else {
+                r.code().to_string()
+            }
+        }))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 6 (bottom) — Recall@5 per fault region (* = hidden)",
+        &headers_ref,
+    );
+    for kind in COMPARED {
+        let grouped: Vec<(Region, Vec<f32>, usize)> = samples
+            .par_iter()
+            .map(|s| (s.region, models.scores(kind, s, &ctx.full_schema), s.truth))
+            .collect();
+        let recalls = grouped_recall_at_k(&grouped, 5);
+        let mut row = vec![kind.label().to_string()];
+        for region in &fault_regions {
+            let (r, n) = recalls.get(region).copied().unwrap_or((0.0, 0));
+            row.push(if n == 0 { "—".into() } else { pct(r) });
+            json_out(
+                "fig6",
+                &json!({"model": kind.label(), "group": "region", "key": region.code(), "recall5": r, "n": n}),
+            );
+        }
+        table.row(row);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — coarse classifier F1 and accuracy.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 7: per-family F1 of DiagNet's coarse classifier on
+/// faulty test samples, split by known/new landmark proximity, plus
+/// accuracy ± CI.
+pub fn fig7(ctx: &ExperimentContext, models: &TrainedModels) {
+    let samples = eval_samples(ctx);
+    let mut table = Table::new(
+        "Fig. 7 — coarse classifier F1 per fault family",
+        &[
+            "subset",
+            "Uplink",
+            "Latency",
+            "Jitter",
+            "Loss",
+            "Bandwidth",
+            "Load",
+            "accuracy",
+        ],
+    );
+    let mut calibration_rows = Vec::new();
+    for (hidden, label) in [(false, "known landmarks"), (true, "new landmarks")] {
+        let subset: Vec<&EvalSample> = samples.iter().filter(|s| s.near_hidden == hidden).collect();
+        // Coarse predictions with the per-service specialised models.
+        let probs: Vec<Vec<f32>> = subset
+            .par_iter()
+            .map(|s| {
+                let model = models.specialized.for_service(s.service);
+                model.coarse_predict(&s.features, &ctx.full_schema)
+            })
+            .collect();
+        let preds: Vec<usize> = probs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let truths: Vec<usize> = subset.iter().map(|s| s.family.index()).collect();
+        let cm = ConfusionMatrix::from_predictions(&preds, &truths, ALL_FAMILIES.len());
+        let (acc, ci) = accuracy_with_ci(&preds, &truths);
+        calibration_rows.push((
+            label,
+            brier_score(&probs, &truths),
+            expected_calibration_error(&probs, &truths, 10),
+        ));
+        let mut row = vec![label.to_string()];
+        for fam in [
+            CoarseFamily::UplinkLatency,
+            CoarseFamily::LinkLatency,
+            CoarseFamily::LinkJitter,
+            CoarseFamily::LinkLoss,
+            CoarseFamily::LinkBandwidth,
+            CoarseFamily::LocalLoad,
+        ] {
+            row.push(format!("{:.2}", cm.f1(fam.index())));
+            json_out(
+                "fig7",
+                &json!({"subset": label, "family": fam.name(), "f1": cm.f1(fam.index())}),
+            );
+        }
+        row.push(format!("{:.2}±{:.3}", acc, ci));
+        json_out(
+            "fig7",
+            &json!({"subset": label, "accuracy": acc, "ci": ci, "n": subset.len()}),
+        );
+        table.row(row);
+    }
+    table.print();
+    // Calibration of the confidences Algorithm 1 and w_U consume.
+    let mut cal = Table::new(
+        "Fig. 7 (extra) — coarse-classifier calibration on faulty samples",
+        &["subset", "Brier", "ECE"],
+    );
+    for (label, brier, ece) in calibration_rows {
+        json_out(
+            "fig7",
+            &json!({"subset": label, "brier": brier, "ece": ece}),
+        );
+        cal.row(vec![
+            label.to_string(),
+            format!("{brier:.3}"),
+            format!("{ece:.3}"),
+        ]);
+    }
+    cal.print();
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — client diversity.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 8: Recall@5 for faults near new landmarks as the number
+/// of regions with active clients grows from 1 to 10. For each size we
+/// average over `combos` sampled region subsets; models are retrained per
+/// subset. Reported with the general DiagNet model (specialising per
+/// service for every subset would multiply the training cost ×10 without
+/// changing the trend).
+pub fn fig8(base: &HarnessConfig, combos: usize) {
+    let world = diagnet_sim::world::World::new();
+    let mut table = Table::new(
+        "Fig. 8 — Recall@5 (new landmarks) vs client diversity",
+        &[
+            "#regions",
+            "DiagNet",
+            "Random Forest",
+            "Naive Bayes",
+            "samples",
+        ],
+    );
+    for n_regions in 1..=ALL_REGIONS.len() {
+        let mut sums = [0.0f64; 3];
+        let mut total_n = 0usize;
+        for combo in 0..combos {
+            let mut rng = SplitMix64::new(SplitMix64::derive(
+                base.seed ^ 0xF1_68,
+                (n_regions * 100 + combo) as u64,
+            ));
+            let regions: Vec<Region> = rng
+                .sample_indices(ALL_REGIONS.len(), n_regions)
+                .into_iter()
+                .map(Region::from_index)
+                .collect();
+            let mut ds_cfg = DatasetConfig::standard(&world, base.n_scenarios, base.seed);
+            ds_cfg.client_regions = regions;
+            let ctx = ExperimentContext::create_with_dataset(base.clone(), &ds_cfg);
+            // Train the three models on this subset.
+            let general = DiagNet::train(&base.model_config, &ctx.split.train, base.seed)
+                .expect("fig8 training");
+            let forest = ForestRanker::train(
+                &base.model_config.forest,
+                &ctx.split.train,
+                &ctx.train_schema,
+                base.seed,
+            );
+            let bayes = NaiveBayesRanker::train(
+                &NaiveBayesConfig::default(),
+                &ctx.split.train,
+                &ctx.train_schema,
+            );
+            let samples: Vec<EvalSample> = eval_samples(&ctx)
+                .into_iter()
+                .filter(|s| s.near_hidden)
+                .collect();
+            if samples.is_empty() {
+                continue;
+            }
+            total_n += samples.len();
+            let rankers: [&dyn CauseRanker; 3] = [&general, &forest, &bayes];
+            for (mi, ranker) in rankers.iter().enumerate() {
+                let scored: Vec<(Vec<f32>, usize)> = samples
+                    .par_iter()
+                    .map(|s| (ranker.rank(&s.features, &ctx.full_schema).scores, s.truth))
+                    .collect();
+                sums[mi] += diagnet_eval::recall_at_k(&scored, 5) as f64 * samples.len() as f64;
+            }
+        }
+        let denom = total_n.max(1) as f64;
+        let recalls: Vec<f64> = sums.iter().map(|s| s / denom).collect();
+        json_out(
+            "fig8",
+            &json!({"n_regions": n_regions, "diagnet": recalls[0], "forest": recalls[1], "bayes": recalls[2], "n": total_n}),
+        );
+        table.row(vec![
+            n_regions.to_string(),
+            pct(recalls[0] as f32),
+            pct(recalls[1] as f32),
+            pct(recalls[2] as f32),
+            total_n.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — training curves and cost.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 9: loss curves of the general model vs specialised
+/// models, epochs to convergence, wall-clock training time and mean
+/// inference latency (paper: 32 s / 4 s / 45 ms on a laptop CPU).
+pub fn fig9(ctx: &ExperimentContext, models: &TrainedModels) {
+    let mut table = Table::new(
+        "Fig. 9 — training cost (general vs specialised)",
+        &[
+            "model",
+            "epochs",
+            "final train loss",
+            "final val loss",
+            "train secs",
+        ],
+    );
+    let h = &models.general.history;
+    table.row(vec![
+        "general (8 services)".into(),
+        h.epochs_run.to_string(),
+        format!("{:.4}", h.train_loss.last().copied().unwrap_or(f32::NAN)),
+        format!("{:.4}", h.val_loss.last().copied().unwrap_or(f32::NAN)),
+        format!("{:.1}", models.general_train_secs),
+    ]);
+    json_out(
+        "fig9",
+        &json!({
+            "model": "general",
+            "train_loss": h.train_loss,
+            "val_loss": h.val_loss,
+            "secs": models.general_train_secs,
+        }),
+    );
+    let mut spec_epochs = Vec::new();
+    for (sid, hist) in models.specialized.histories() {
+        let name = ctx.world.catalog.get(sid).name;
+        spec_epochs.push(hist.epochs_run);
+        table.row(vec![
+            format!("specialised {name}"),
+            hist.epochs_run.to_string(),
+            format!("{:.4}", hist.train_loss.last().copied().unwrap_or(f32::NAN)),
+            format!("{:.4}", hist.val_loss.last().copied().unwrap_or(f32::NAN)),
+            format!("{:.1}", models.specialized_train_secs),
+        ]);
+        json_out(
+            "fig9",
+            &json!({
+                "model": name,
+                "train_loss": hist.train_loss,
+                "val_loss": hist.val_loss,
+                "secs": models.specialized_train_secs,
+            }),
+        );
+    }
+    table.print();
+
+    // Inference latency (paper: 45 ms per root-cause inference).
+    let samples = eval_samples(ctx);
+    let n = samples.len().min(200);
+    if n > 0 {
+        let t0 = Instant::now();
+        for s in &samples[..n] {
+            let model = models.specialized.for_service(s.service);
+            std::hint::black_box(model.rank_causes(&s.features, &ctx.full_schema));
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1000.0 / n as f64;
+        println!("\nInference: {ms:.2} ms per sample (paper: 45 ms)");
+        let mean_spec_epochs =
+            spec_epochs.iter().sum::<usize>() as f64 / spec_epochs.len().max(1) as f64;
+        println!(
+            "Convergence: general {} epochs, specialised {:.1} epochs on average (paper: ~20 vs <5)",
+            models.general.history.epochs_run, mean_spec_epochs
+        );
+        json_out(
+            "fig9",
+            &json!({"inference_ms": ms, "general_epochs": models.general.history.epochs_run, "spec_epochs_mean": mean_spec_epochs}),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — simultaneous faults.
+// ---------------------------------------------------------------------------
+
+/// Reproduce Fig. 10: two simultaneous latency faults (BEAU and GRAV);
+/// per relevant-fault bucket, how often each model family predicts the
+/// actually relevant cause(s) at rank 1.
+pub fn fig10(ctx: &ExperimentContext, models: &TrainedModels) {
+    let world = &ctx.world;
+    let beau = Fault::new(FaultFamily::ServiceLatency, Region::Beau);
+    let grav = Fault::new(FaultFamily::ServiceLatency, Region::Grav);
+    let scenario = Scenario::with_faults(vec![beau, grav], 12.0);
+    let full = &ctx.full_schema;
+    let beau_cause = full
+        .index_of(FeatureId::Landmark(Region::Beau, LandmarkMetric::Rtt))
+        .unwrap();
+    let grav_cause = full
+        .index_of(FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt))
+        .unwrap();
+
+    // Generate observations: all clients × all services × several seeds.
+    struct Fig10Sample {
+        features: Vec<f32>,
+        service: diagnet_sim::service::ServiceId,
+        relevant: (bool, bool), // (BEAU relevant, GRAV relevant)
+    }
+    let mut samples = Vec::new();
+    for &client in &ALL_REGIONS {
+        for sid in world.catalog.all_ids() {
+            // Relevant set from the deterministic QoE analysis.
+            let nominal = world.nominal_plt(client, sid);
+            let both = world.expected_plt(client, sid, &[&beau, &grav]);
+            let degraded = both
+                > nominal * diagnet_sim::service::QOE_DEGRADATION_FACTOR
+                    + diagnet_sim::service::QOE_SLACK_S;
+            if !degraded {
+                continue;
+            }
+            let thresh = 0.05 * nominal;
+            let beau_rel = both - world.expected_plt(client, sid, &[&grav]) > thresh;
+            let grav_rel = both - world.expected_plt(client, sid, &[&beau]) > thresh;
+            if !beau_rel && !grav_rel {
+                continue;
+            }
+            for seed in 0..10u64 {
+                let obs = world.observe(
+                    client,
+                    sid,
+                    &scenario,
+                    SplitMix64::derive(
+                        0xF1_0A,
+                        seed * 1000 + client.index() as u64 * 16 + sid.0 as u64,
+                    ),
+                );
+                if !obs.label.is_faulty() {
+                    continue;
+                }
+                samples.push(Fig10Sample {
+                    features: obs.features,
+                    service: sid,
+                    relevant: (beau_rel, grav_rel),
+                });
+            }
+        }
+    }
+
+    let bucket_name = |rel: (bool, bool)| match rel {
+        (true, false) => "BEAU only",
+        (false, true) => "GRAV* only",
+        (true, true) => "both",
+        (false, false) => unreachable!(),
+    };
+    for (label, use_general) in [("general model", true), ("specialised models", false)] {
+        let mut table = Table::new(
+            &format!("Fig. 10 — simultaneous latency faults, {label}"),
+            &["relevant fault(s)", "top-1 hits relevant cause", "samples"],
+        );
+        for bucket in [(true, false), (false, true), (true, true)] {
+            let subset: Vec<&Fig10Sample> =
+                samples.iter().filter(|s| s.relevant == bucket).collect();
+            if subset.is_empty() {
+                table.row(vec![bucket_name(bucket).into(), "—".into(), "0".into()]);
+                continue;
+            }
+            let hits = subset
+                .par_iter()
+                .filter(|s| {
+                    let model = if use_general {
+                        &models.general
+                    } else {
+                        models.specialized.for_service(s.service)
+                    };
+                    let best = model.rank_causes(&s.features, full).best();
+                    (bucket.0 && best == beau_cause) || (bucket.1 && best == grav_cause)
+                })
+                .count();
+            let recall = hits as f32 / subset.len() as f32;
+            json_out(
+                "fig10",
+                &json!({"model": label, "bucket": bucket_name(bucket), "recall1": recall, "n": subset.len()}),
+            );
+            table.row(vec![
+                bucket_name(bucket).into(),
+                pct(recall),
+                subset.len().to_string(),
+            ]);
+        }
+        table.print();
+    }
+    println!("(paper, specialised: BEAU 76%, GRAV* 28%, both 71%; general markedly worse)");
+}
+
+// ---------------------------------------------------------------------------
+// Headline — combined Recall@1.
+// ---------------------------------------------------------------------------
+
+/// The headline number: combined Recall@1 over all faulty test samples
+/// (paper: 73.9 % for DiagNet).
+pub fn headline(ctx: &ExperimentContext, models: &TrainedModels) {
+    let samples = eval_samples(ctx);
+    // Our hidden-landmark protocol sends *every* hidden-region fault to the
+    // test set, so hidden faults dominate the raw combined average (≈ 80 %
+    // of faulty test samples vs the paper's 23 %). Report both the raw
+    // combined recall and one reweighted to the paper's 23/77 composition
+    // for a like-for-like headline.
+    const PAPER_HIDDEN_SHARE: f32 = 0.23;
+    let mut table = Table::new(
+        &format!(
+            "Headline — combined Recall@1 ({} faulty test samples)",
+            samples.len()
+        ),
+        &[
+            "model",
+            "R@1 raw",
+            "R@1 paper-mix",
+            "R@5 raw",
+            "R@5 paper-mix",
+        ],
+    );
+    let new: Vec<EvalSample> = samples.iter().filter(|s| s.near_hidden).cloned().collect();
+    let known: Vec<EvalSample> = samples.iter().filter(|s| !s.near_hidden).cloned().collect();
+    for kind in COMPARED_WITH_GENERAL {
+        let raw = recall_curve(&models.score_all(kind, &samples, &ctx.full_schema), 5);
+        let new_curve = recall_curve(&models.score_all(kind, &new, &ctx.full_schema), 5);
+        let known_curve = recall_curve(&models.score_all(kind, &known, &ctx.full_schema), 5);
+        let mix = |k: usize| {
+            PAPER_HIDDEN_SHARE * new_curve[k] + (1.0 - PAPER_HIDDEN_SHARE) * known_curve[k]
+        };
+        json_out(
+            "headline",
+            &json!({
+                "model": kind.label(),
+                "recall1_raw": raw[0], "recall5_raw": raw[4],
+                "recall1_paper_mix": mix(0), "recall5_paper_mix": mix(4),
+                "n": samples.len(),
+            }),
+        );
+        table.row(vec![
+            kind.label().to_string(),
+            pct(raw[0]),
+            pct(mix(0)),
+            pct(raw[4]),
+            pct(mix(4)),
+        ]);
+    }
+    table.print();
+    println!("(paper: DiagNet combined Recall@1 = 73.9%, with 23% of degraded test samples near hidden regions)");
+}
+
+// ---------------------------------------------------------------------------
+// Params — model sizes (§IV-F).
+// ---------------------------------------------------------------------------
+
+/// Parameter-count accounting: the paper reports 215,312 total parameters
+/// for the general model, of which 149,648 are frozen during
+/// specialisation and 65,664 retrained.
+pub fn params(ctx: &ExperimentContext, models: &TrainedModels) {
+    let mut table = Table::new(
+        "Model parameters (paper: 215,312 general / 65,664 specialised trainable)",
+        &["model", "total", "trainable", "frozen"],
+    );
+    let g = &models.general;
+    table.row(vec![
+        "general".into(),
+        g.num_params().to_string(),
+        g.num_trainable_params().to_string(),
+        (g.num_params() - g.num_trainable_params()).to_string(),
+    ]);
+    if let Some((_, spec)) = models.specialized.models.iter().next() {
+        table.row(vec![
+            "specialised".into(),
+            spec.num_params().to_string(),
+            spec.num_trainable_params().to_string(),
+            (spec.num_params() - spec.num_trainable_params()).to_string(),
+        ]);
+        json_out(
+            "params",
+            &json!({
+                "general_total": g.num_params(),
+                "spec_trainable": spec.num_trainable_params(),
+                "spec_frozen": spec.num_params() - spec.num_trainable_params(),
+            }),
+        );
+    }
+    table.print();
+    let _ = ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Availability — landmark-fleet degradation (paper §II-D).
+// ---------------------------------------------------------------------------
+
+/// Salt separating the availability subsets from other experiments' RNG
+/// streams.
+const AVAIL_SEED_SALT: u64 = 0xA7A1_1AB1;
+
+/// Landmark-availability experiment: the general model (trained on 7
+/// landmarks) diagnoses test samples as the reachable fleet shrinks from
+/// all ten landmarks down to two — without retraining (§II-D: the model
+/// "should still provide accurate results even when only a subset of
+/// landmarks is available"). Causes at unreachable landmarks cannot be
+/// named, so recall is computed over still-observable causes.
+pub fn availability(ctx: &ExperimentContext, models: &TrainedModels) {
+    let samples = eval_samples(ctx);
+    let full = &ctx.full_schema;
+    let model = &models.general;
+    let mut table = Table::new(
+        "Availability — Recall vs reachable landmarks (no retraining)",
+        &["landmarks", "diagnosable", "R@1", "R@5", "subsets"],
+    );
+    for n_landmarks in (2..=ALL_REGIONS.len()).rev() {
+        let n_subsets = if n_landmarks == ALL_REGIONS.len() {
+            1
+        } else {
+            3
+        };
+        let (mut hits1, mut hits5, mut total) = (0usize, 0usize, 0usize);
+        for subset_idx in 0..n_subsets {
+            let mut rng = SplitMix64::new(SplitMix64::derive(
+                ctx.config.seed ^ AVAIL_SEED_SALT,
+                (n_landmarks * 10 + subset_idx) as u64,
+            ));
+            let landmarks: Vec<Region> = rng
+                .sample_indices(ALL_REGIONS.len(), n_landmarks)
+                .into_iter()
+                .map(Region::from_index)
+                .collect();
+            let schema = diagnet_sim::metrics::FeatureSchema::new(landmarks);
+            let ranks: Vec<usize> = samples
+                .par_iter()
+                .filter_map(|s| {
+                    let truth = schema.index_of(full.feature(s.truth))?;
+                    let features = schema.project_from(full, &s.features, 0.0);
+                    let ranking = model.rank_causes(&features, &schema);
+                    Some(diagnet_eval::ranking::rank_of_truth(&ranking.scores, truth))
+                })
+                .collect();
+            total += ranks.len();
+            hits1 += ranks.iter().filter(|&&r| r < 1).count();
+            hits5 += ranks.iter().filter(|&&r| r < 5).count();
+        }
+        let r1 = hits1 as f32 / total.max(1) as f32;
+        let r5 = hits5 as f32 / total.max(1) as f32;
+        json_out(
+            "availability",
+            &json!({"n_landmarks": n_landmarks, "recall1": r1, "recall5": r5, "n": total}),
+        );
+        table.row(vec![
+            n_landmarks.to_string(),
+            total.to_string(),
+            pct(r1),
+            pct(r5),
+            n_subsets.to_string(),
+        ]);
+    }
+    table.print();
+    println!("(the model was never retrained between fleet sizes — §II-D extensibility)");
+}
+
+// ---------------------------------------------------------------------------
+// Dataset statistics (paper §IV-A(e)).
+// ---------------------------------------------------------------------------
+
+/// Dataset composition table, mirroring the paper's §IV-A(e) statistics
+/// (213k nominal / 30k faulty; 23 % of degraded test samples near hidden
+/// regions).
+pub fn dataset_stats(ctx: &ExperimentContext) {
+    let train = &ctx.split.train;
+    let test = &ctx.split.test;
+    let faulty_test: Vec<_> = test
+        .samples
+        .iter()
+        .filter(|s| s.label.is_faulty())
+        .collect();
+    let hidden = faulty_test
+        .iter()
+        .filter(|s| s.label.is_near_hidden_landmark() == Some(true))
+        .count();
+    let hidden_frac = hidden as f32 / faulty_test.len().max(1) as f32;
+    let mut table = Table::new(
+        "Dataset composition",
+        &["split", "total", "nominal", "faulty"],
+    );
+    table.row(vec![
+        "train".into(),
+        train.len().to_string(),
+        train.n_nominal().to_string(),
+        train.n_faulty().to_string(),
+    ]);
+    table.row(vec![
+        "test".into(),
+        test.len().to_string(),
+        test.n_nominal().to_string(),
+        test.n_faulty().to_string(),
+    ]);
+    table.print();
+    println!(
+        "Degraded test samples near hidden regions: {hidden}/{} = {} (paper: 23%)",
+        faulty_test.len(),
+        pct(hidden_frac)
+    );
+    json_out(
+        "dataset",
+        &json!({
+            "train": train.len(), "train_faulty": train.n_faulty(),
+            "test": test.len(), "test_faulty": test.n_faulty(),
+            "hidden_fraction": hidden_frac,
+        }),
+    );
+    // Sanity: no hidden-landmark faults in training (protocol check).
+    debug_assert!(train
+        .samples
+        .iter()
+        .all(|s| s.label.is_near_hidden_landmark() != Some(true)));
+    let _ = Label::Nominal;
+}

@@ -1,0 +1,329 @@
+//! Shared experiment plumbing: dataset creation, model training, and
+//! evaluation-sample assembly following the paper's protocol (§IV-A):
+//! general model on eight services, specialised models per service (all
+//! reported scores use the specialised models), baselines trained on the
+//! identical training set, EAST/GRAV/SEAT landmarks hidden from training.
+
+use diagnet::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet::transfer::SpecializedModels;
+use diagnet_bayes::NaiveBayesConfig;
+use diagnet_sim::dataset::{Dataset, DatasetConfig, SplitDataset};
+use diagnet_sim::metrics::{CoarseFamily, FeatureSchema};
+use diagnet_sim::region::Region;
+use diagnet_sim::service::ServiceId;
+use diagnet_sim::world::World;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Harness-level configuration, read from the environment.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Number of fault scenarios (samples = scenarios × 10 regions × 10
+    /// services).
+    pub n_scenarios: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// DiagNet hyper-parameters.
+    pub model_config: DiagNetConfig,
+}
+
+impl HarnessConfig {
+    /// Read `DIAGNET_SCENARIOS`, `DIAGNET_SEED` and `DIAGNET_CONFIG`.
+    pub fn from_env() -> Self {
+        let n_scenarios = std::env::var("DIAGNET_SCENARIOS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400);
+        let seed = std::env::var("DIAGNET_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        let model_config = match std::env::var("DIAGNET_CONFIG").as_deref() {
+            Ok("fast") => DiagNetConfig::fast(),
+            _ => DiagNetConfig::paper(),
+        };
+        HarnessConfig {
+            n_scenarios,
+            seed,
+            model_config,
+        }
+    }
+}
+
+/// World + dataset + split shared by the experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The simulated deployment.
+    pub world: World,
+    /// Train/test split (hidden-landmark protocol).
+    pub split: SplitDataset,
+    /// All ten landmarks (test-time view).
+    pub full_schema: FeatureSchema,
+    /// Seven known landmarks (training view).
+    pub train_schema: FeatureSchema,
+    /// Active configuration.
+    pub config: HarnessConfig,
+}
+
+impl ExperimentContext {
+    /// Generate the dataset and split it 80/20.
+    pub fn create(config: HarnessConfig) -> Self {
+        let world = World::new();
+        let ds_cfg = DatasetConfig::standard(&world, config.n_scenarios, config.seed);
+        eprintln!(
+            "[harness] generating {} samples ({} scenarios)…",
+            ds_cfg.n_samples(),
+            config.n_scenarios
+        );
+        let dataset = Dataset::generate(&world, &ds_cfg);
+        eprintln!(
+            "[harness] dataset: {} samples ({} nominal / {} faulty)",
+            dataset.len(),
+            dataset.n_nominal(),
+            dataset.n_faulty()
+        );
+        let split = dataset.split(0.8, config.seed ^ 0xBEEF);
+        ExperimentContext {
+            world,
+            split,
+            full_schema: FeatureSchema::full(),
+            train_schema: FeatureSchema::known(),
+            config,
+        }
+    }
+
+    /// Create with a custom dataset configuration (Fig. 8 varies client
+    /// regions).
+    pub fn create_with_dataset(config: HarnessConfig, ds_cfg: &DatasetConfig) -> Self {
+        let world = World::new();
+        let dataset = Dataset::generate(&world, ds_cfg);
+        let split = dataset.split(0.8, config.seed ^ 0xBEEF);
+        ExperimentContext {
+            world,
+            split,
+            full_schema: FeatureSchema::full(),
+            train_schema: FeatureSchema::known(),
+            config,
+        }
+    }
+}
+
+/// One evaluation sample: a faulty test observation with its ground truth
+/// resolved into the full schema.
+#[derive(Debug, Clone)]
+pub struct EvalSample {
+    /// Raw features (full schema).
+    pub features: Vec<f32>,
+    /// True cause index in the full schema.
+    pub truth: usize,
+    /// Coarse family of the fault.
+    pub family: CoarseFamily,
+    /// Region the fault was injected in.
+    pub region: Region,
+    /// Whether the fault is near a hidden ("new") landmark.
+    pub near_hidden: bool,
+    /// Service the client was using.
+    pub service: ServiceId,
+}
+
+/// Which model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Specialised DiagNet models (the paper's reported configuration).
+    DiagNet,
+    /// The general DiagNet model only (Fig. 10 comparison).
+    DiagNetGeneral,
+    /// Extensible random forest baseline.
+    Forest,
+    /// Extensible KDE naive Bayes baseline.
+    NaiveBayes,
+}
+
+impl ModelKind {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::DiagNet => "DiagNet",
+            ModelKind::DiagNetGeneral => "DiagNet (general)",
+            ModelKind::Forest => "Random Forest",
+            ModelKind::NaiveBayes => "Naive Bayes",
+        }
+    }
+}
+
+/// All trained models plus their training costs.
+pub struct TrainedModels {
+    /// General DiagNet (trained on the first eight services).
+    pub general: DiagNet,
+    /// Specialised models for every service.
+    pub specialized: SpecializedModels,
+    /// Random-forest baseline (trained on the full training set).
+    pub forest: ForestRanker,
+    /// Naive-Bayes baseline.
+    pub bayes: NaiveBayesRanker,
+    /// Wall-clock seconds to train the general model.
+    pub general_train_secs: f64,
+    /// Mean wall-clock seconds per specialised model.
+    pub specialized_train_secs: f64,
+}
+
+impl TrainedModels {
+    /// Train everything on `ctx.split.train` following §IV-A(c).
+    pub fn train(ctx: &ExperimentContext) -> Self {
+        let cfg = &ctx.config.model_config;
+        let seed = ctx.config.seed;
+
+        let general_ids = ctx.world.catalog.general_ids();
+        let general_data = ctx.split.train.filter_services(&general_ids);
+        eprintln!(
+            "[harness] training general DiagNet on {} samples…",
+            general_data.len()
+        );
+        let t0 = Instant::now();
+        let general = DiagNet::train(cfg, &general_data, seed).expect("general training");
+        let general_train_secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "[harness] general model: {} epochs in {:.1}s",
+            general.history.epochs_run, general_train_secs
+        );
+
+        let all_ids = ctx.world.catalog.all_ids();
+        let t1 = Instant::now();
+        let specialized =
+            SpecializedModels::train(general.clone(), &ctx.split.train, &all_ids, seed ^ 0x51)
+                .expect("specialisation");
+        let specialized_train_secs = t1.elapsed().as_secs_f64() / all_ids.len() as f64;
+        eprintln!(
+            "[harness] {} specialised models, {:.1}s each on average",
+            all_ids.len(),
+            specialized_train_secs
+        );
+
+        eprintln!("[harness] training baselines…");
+        let forest = ForestRanker::train(&cfg.forest, &ctx.split.train, &ctx.train_schema, seed);
+        let bayes = NaiveBayesRanker::train(
+            &NaiveBayesConfig::default(),
+            &ctx.split.train,
+            &ctx.train_schema,
+        );
+
+        TrainedModels {
+            general,
+            specialized,
+            forest,
+            bayes,
+            general_train_secs,
+            specialized_train_secs,
+        }
+    }
+
+    /// Score one evaluation sample with the chosen model.
+    pub fn scores(&self, kind: ModelKind, sample: &EvalSample, schema: &FeatureSchema) -> Vec<f32> {
+        match kind {
+            ModelKind::DiagNet => {
+                self.specialized
+                    .for_service(sample.service)
+                    .rank_causes(&sample.features, schema)
+                    .scores
+            }
+            ModelKind::DiagNetGeneral => self.general.rank_causes(&sample.features, schema).scores,
+            ModelKind::Forest => self.forest.rank(&sample.features, schema).scores,
+            ModelKind::NaiveBayes => self.bayes.rank(&sample.features, schema).scores,
+        }
+    }
+
+    /// Batch-score eval samples (parallel); returns `(scores, truth)`
+    /// pairs ready for `diagnet_eval`.
+    pub fn score_all(
+        &self,
+        kind: ModelKind,
+        samples: &[EvalSample],
+        schema: &FeatureSchema,
+    ) -> Vec<(Vec<f32>, usize)> {
+        samples
+            .par_iter()
+            .map(|s| (self.scores(kind, s, schema), s.truth))
+            .collect()
+    }
+}
+
+/// Extract the faulty test samples as [`EvalSample`]s.
+pub fn eval_samples(ctx: &ExperimentContext) -> Vec<EvalSample> {
+    let full = &ctx.full_schema;
+    ctx.split
+        .test
+        .samples
+        .iter()
+        .filter_map(|s| {
+            let cause = s.label.cause()?;
+            Some(EvalSample {
+                features: s.features.clone(),
+                truth: full.index_of(cause).expect("cause in full schema"),
+                family: match s.label {
+                    diagnet_sim::world::Label::Faulty { family, .. } => family,
+                    diagnet_sim::world::Label::Nominal => unreachable!(),
+                },
+                region: s.label.cause_region().expect("faulty sample has a region"),
+                near_hidden: s.label.is_near_hidden_landmark().unwrap_or(false),
+                service: s.service,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HarnessConfig {
+        HarnessConfig {
+            n_scenarios: 30,
+            seed: 7,
+            model_config: DiagNetConfig::fast(),
+        }
+    }
+
+    #[test]
+    fn context_and_eval_samples() {
+        let ctx = ExperimentContext::create(tiny_config());
+        assert_eq!(ctx.split.train.len() + ctx.split.test.len(), 30 * 100);
+        let samples = eval_samples(&ctx);
+        assert!(!samples.is_empty());
+        assert!(
+            samples.iter().any(|s| s.near_hidden),
+            "some faults near hidden landmarks"
+        );
+        assert!(
+            samples.iter().any(|s| !s.near_hidden),
+            "some faults near known landmarks"
+        );
+        for s in &samples {
+            assert!(s.truth < 55);
+            assert_eq!(s.features.len(), 55);
+        }
+    }
+
+    #[test]
+    fn models_train_and_score() {
+        let ctx = ExperimentContext::create(tiny_config());
+        let models = TrainedModels::train(&ctx);
+        let samples = eval_samples(&ctx);
+        let subset = &samples[..samples.len().min(5)];
+        for kind in [
+            ModelKind::DiagNet,
+            ModelKind::DiagNetGeneral,
+            ModelKind::Forest,
+            ModelKind::NaiveBayes,
+        ] {
+            let scored = models.score_all(kind, subset, &ctx.full_schema);
+            assert_eq!(scored.len(), subset.len());
+            for (scores, truth) in &scored {
+                assert_eq!(scores.len(), 55);
+                assert!(*truth < 55);
+            }
+        }
+        assert!(models.general_train_secs > 0.0);
+    }
+}

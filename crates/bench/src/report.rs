@@ -1,0 +1,135 @@
+//! Experiment output: aligned text tables on stdout, JSON lines on disk.
+
+use serde_json::Value;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "Table::row: cell count mismatch"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{:>width$}  ", c, width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory where experiment JSON lines are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = std::env::var("DIAGNET_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Append one JSON record to `target/experiments/<name>.jsonl`.
+pub fn json_out(name: &str, value: &Value) {
+    let path = experiments_dir().join(format!("{name}.jsonl"));
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{value}");
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(v: f32) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["model", "recall@1"]);
+        t.row(vec!["DiagNet".into(), "73.9%".into()]);
+        t.row(vec!["RF".into(), "55.0%".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("DiagNet"));
+        assert!(s.contains("73.9%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.739), "73.9%");
+    }
+
+    #[test]
+    fn json_out_appends() {
+        std::env::set_var(
+            "DIAGNET_OUT_DIR",
+            std::env::temp_dir().join("diagnet_report_test"),
+        );
+        json_out("unit", &serde_json::json!({"k": 1}));
+        let path = experiments_dir().join("unit.jsonl");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"k\":1"));
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("DIAGNET_OUT_DIR");
+    }
+}

@@ -1,0 +1,200 @@
+//! Hand-rolled argument parsing (keeping the dependency set minimal).
+
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Supported subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Generate a labelled dataset from the simulator.
+    Simulate,
+    /// Generate a time-ordered two-week measurement campaign.
+    Campaign,
+    /// Train a general DiagNet model.
+    Train,
+    /// Specialise an existing model for one service.
+    Specialize,
+    /// Diagnose one sample with a trained model.
+    Diagnose,
+    /// Evaluate Recall@k of a model on a dataset.
+    Evaluate,
+    /// Export a dataset to CSV.
+    Export,
+    /// Print a model summary.
+    Info,
+    /// Print usage.
+    Help,
+}
+
+impl Command {
+    fn from_name(name: &str) -> Option<Command> {
+        Some(match name {
+            "simulate" => Command::Simulate,
+            "campaign" => Command::Campaign,
+            "train" => Command::Train,
+            "specialize" | "specialise" => Command::Specialize,
+            "diagnose" => Command::Diagnose,
+            "evaluate" => Command::Evaluate,
+            "export" => Command::Export,
+            "info" => Command::Info,
+            "help" | "--help" | "-h" => Command::Help,
+            _ => return None,
+        })
+    }
+}
+
+/// Parse a raw argument vector (without the program name).
+///
+/// Grammar: `<command> (--key value)*`.
+pub fn parse(args: &[String]) -> Result<Args, String> {
+    let Some(first) = args.first() else {
+        return Ok(Args {
+            command: Command::Help,
+            options: HashMap::new(),
+        });
+    };
+    let command = Command::from_name(first)
+        .ok_or_else(|| format!("unknown command `{first}` (try `diagnet help`)"))?;
+    let mut options = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = &args[i];
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected `--option`, got `{key}`"));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("option `--{name}` is missing a value"));
+        };
+        if options.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("option `--{name}` given twice"));
+        }
+        i += 2;
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option `--{name}`"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option `--{name}`: cannot parse `{raw}`")),
+        }
+    }
+}
+
+/// The usage text printed by `diagnet help`.
+pub const USAGE: &str = "\
+diagnet — convolutional Internet-scale root-cause analysis (IPDPS 2021 reproduction)
+
+USAGE:
+    diagnet <command> [--option value]...
+
+COMMANDS:
+    simulate    --out FILE [--scenarios N=100] [--seed S=42]
+                generate a labelled dataset from the simulated testbed
+    campaign    --out FILE [--days N=14] [--interval-h H=1.0] [--seed S=42]
+                generate a time-ordered measurement campaign (dataset JSON)
+    train       --data FILE --out FILE [--config paper|fast=paper] [--seed S=42]
+                train a general model (hidden-landmark protocol)
+    specialize  --model FILE --data FILE --service NAME --out FILE [--seed S=42]
+                retrain the final layers for one service
+    diagnose    --model FILE --data FILE --sample IDX [--top K=5]
+                rank the root causes of one sample
+    evaluate    --model FILE --data FILE [--k 5]
+                Recall@1..k on the dataset's faulty samples
+    export      --data FILE --out FILE
+                convert a dataset JSON to CSV (pandas/R-friendly)
+    info        --model FILE
+                print a model summary
+    help        this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = parse(&s(&["train", "--data", "d.json", "--out", "m.json"])).unwrap();
+        assert_eq!(args.command, Command::Train);
+        assert_eq!(args.require("data").unwrap(), "d.json");
+        assert_eq!(args.require("out").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&s(&["train", "--data"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&s(&["train", "--data", "a", "--data", "b"])).is_err());
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(parse(&s(&["train", "stray"])).is_err());
+    }
+
+    #[test]
+    fn get_or_parses_with_default() {
+        let args = parse(&s(&["simulate", "--scenarios", "25"])).unwrap();
+        assert_eq!(args.get_or("scenarios", 100usize).unwrap(), 25);
+        assert_eq!(args.get_or("seed", 42u64).unwrap(), 42);
+        assert!(args.get_or::<usize>("scenarios", 0).is_ok());
+        let bad = parse(&s(&["simulate", "--scenarios", "many"])).unwrap();
+        assert!(bad.get_or::<usize>("scenarios", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let args = parse(&s(&["info"])).unwrap();
+        assert!(args.require("model").is_err());
+    }
+
+    #[test]
+    fn british_spelling_accepted() {
+        assert_eq!(
+            parse(&s(&["specialise"])).unwrap().command,
+            Command::Specialize
+        );
+    }
+}

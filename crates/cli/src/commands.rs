@@ -1,0 +1,436 @@
+//! Command implementations. Each returns its output as a `String` so the
+//! logic is unit-testable without capturing stdout.
+
+use crate::args::{Args, Command, USAGE};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::service::ServiceCatalog;
+use diagnet_sim::world::World;
+use std::fmt::Write as _;
+
+/// Execute a parsed command line.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Simulate => simulate(args),
+        Command::Campaign => campaign(args),
+        Command::Train => train(args),
+        Command::Specialize => specialize(args),
+        Command::Diagnose => diagnose(args),
+        Command::Evaluate => evaluate(args),
+        Command::Export => export(args),
+        Command::Info => info(args),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    serde_json::from_reader(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot parse dataset `{path}`: {e}"))
+}
+
+fn save_json<T: serde::Serialize>(value: &T, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    serde_json::to_writer(std::io::BufWriter::new(file), value)
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn load_model(path: &str) -> Result<DiagNet, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    DiagNet::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn model_config(args: &Args) -> Result<DiagNetConfig, String> {
+    match args.get("config").unwrap_or("paper") {
+        "paper" => Ok(DiagNetConfig::paper()),
+        "fast" => Ok(DiagNetConfig::fast()),
+        other => Err(format!(
+            "unknown config `{other}` (expected `paper` or `fast`)"
+        )),
+    }
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    let out = args.require("out")?;
+    let scenarios: usize = args.get_or("scenarios", 100)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let world = World::new();
+    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed));
+    save_json(&dataset, out)?;
+    Ok(format!(
+        "wrote {} samples ({} nominal, {} faulty) to {out}\n",
+        dataset.len(),
+        dataset.n_nominal(),
+        dataset.n_faulty()
+    ))
+}
+
+fn campaign(args: &Args) -> Result<String, String> {
+    let out = args.require("out")?;
+    let days: usize = args.get_or("days", 14)?;
+    let interval_h: f64 = args.get_or("interval-h", 1.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    if days == 0 {
+        return Err("`--days` must be at least 1".into());
+    }
+    if interval_h <= 0.0 {
+        return Err("`--interval-h` must be positive".into());
+    }
+    let world = World::new();
+    let campaign =
+        diagnet_sim::timeline::Campaign::generate(&diagnet_sim::timeline::CampaignConfig {
+            days,
+            seed,
+            ..Default::default()
+        });
+    let stream = campaign.run(
+        &world,
+        &diagnet_sim::region::ALL_REGIONS,
+        &world.catalog.all_ids(),
+        interval_h,
+        seed,
+    );
+    let samples: Vec<_> = stream.into_iter().map(|(_, s)| s).collect();
+    let dataset = Dataset {
+        schema: world.schema.clone(),
+        samples,
+    };
+    save_json(&dataset, out)?;
+    Ok(format!(
+        "wrote a {days}-day campaign: {} samples ({} faulty) to {out}
+",
+        dataset.len(),
+        dataset.n_faulty()
+    ))
+}
+
+fn train(args: &Args) -> Result<String, String> {
+    let data_path = args.require("data")?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let config = model_config(args)?;
+    let dataset = load_dataset(data_path)?;
+    let split = dataset.split(0.8, seed);
+    let model = DiagNet::train(&config, &split.train, seed).map_err(|e| e.to_string())?;
+    model.save_to_path(out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "trained on {} samples: {} parameters, {} epochs (final val loss {:.4})\nmodel written to {out}\n",
+        split.train.len(),
+        model.num_params(),
+        model.history.epochs_run,
+        model.history.val_loss.last().copied().unwrap_or(f32::NAN)
+    ))
+}
+
+fn specialize(args: &Args) -> Result<String, String> {
+    let model_path = args.require("model")?;
+    let data_path = args.require("data")?;
+    let service_name = args.require("service")?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let model = load_model(model_path)?;
+    let dataset = load_dataset(data_path)?;
+    let catalog = ServiceCatalog::standard();
+    let service = catalog
+        .by_name(service_name)
+        .ok_or_else(|| format!("unknown service `{service_name}`"))?;
+    let service_data = dataset.filter_service(service.id);
+    if service_data.is_empty() {
+        return Err(format!("dataset has no samples for `{service_name}`"));
+    }
+    let special = model
+        .specialize(&service_data, seed)
+        .map_err(|e| e.to_string())?;
+    special.save_to_path(out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "specialised for `{service_name}` on {} samples: {} of {} parameters retrained in {} epochs\nmodel written to {out}\n",
+        service_data.len(),
+        special.num_trainable_params(),
+        special.num_params(),
+        special.history.epochs_run
+    ))
+}
+
+fn diagnose(args: &Args) -> Result<String, String> {
+    let model = load_model(args.require("model")?)?;
+    let dataset = load_dataset(args.require("data")?)?;
+    let sample_idx: usize = args.get_or("sample", 0)?;
+    let top: usize = args.get_or("top", 5)?;
+    let sample = dataset.samples.get(sample_idx).ok_or_else(|| {
+        format!(
+            "sample {sample_idx} out of range (dataset has {})",
+            dataset.len()
+        )
+    })?;
+    let schema = dataset.schema.clone();
+    let ranking = model.rank_causes(&sample.features, &schema);
+    let catalog = ServiceCatalog::standard();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sample {sample_idx}: client {} on `{}` (PLT {:.2}s)",
+        sample.client_region,
+        catalog.get(sample.service).name,
+        sample.plt_s
+    );
+    let _ = writeln!(
+        out,
+        "P(cause at unknown landmark) = {:.2}",
+        ranking.w_unknown
+    );
+    for (rank, idx) in ranking.top(top).into_iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {}. {:<18} {:.3}",
+            rank + 1,
+            schema.feature(idx).name(),
+            ranking.scores[idx]
+        );
+    }
+    if let Some(cause) = sample.label.cause() {
+        let _ = writeln!(out, "ground truth: {}", cause.name());
+    } else {
+        let _ = writeln!(out, "ground truth: nominal (no injected cause)");
+    }
+    let explanation = diagnet::explain::Explanation::from_ranking(&ranking, &schema, 2);
+    let _ = writeln!(
+        out,
+        "
+{}",
+        explanation.render().trim_end()
+    );
+    Ok(out)
+}
+
+fn evaluate(args: &Args) -> Result<String, String> {
+    let model = load_model(args.require("model")?)?;
+    let dataset = load_dataset(args.require("data")?)?;
+    let max_k: usize = args.get_or("k", 5)?;
+    if max_k == 0 {
+        return Err("`--k` must be at least 1".into());
+    }
+    let schema = dataset.schema.clone();
+    let scored: Vec<(Vec<f32>, usize)> = dataset
+        .samples
+        .iter()
+        .filter_map(|s| {
+            let cause = s.label.cause()?;
+            Some((
+                model.rank_causes(&s.features, &schema).scores,
+                schema.index_of(cause).expect("cause in schema"),
+            ))
+        })
+        .collect();
+    if scored.is_empty() {
+        return Err("dataset has no faulty samples to evaluate".into());
+    }
+    let curve = diagnet_eval::recall_curve(&scored, max_k);
+    let mut out = format!(
+        "{} faulty samples, {} candidate causes\n",
+        scored.len(),
+        schema.n_features()
+    );
+    for (k, r) in curve.iter().enumerate() {
+        let _ = writeln!(out, "Recall@{} = {:.1}%", k + 1, r * 100.0);
+    }
+    Ok(out)
+}
+
+fn export(args: &Args) -> Result<String, String> {
+    let dataset = load_dataset(args.require("data")?)?;
+    let out = args.require("out")?;
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+    diagnet_sim::export::write_csv(&dataset, std::io::BufWriter::new(file))
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    Ok(format!("wrote {} rows to {out}\n", dataset.len()))
+}
+
+fn info(args: &Args) -> Result<String, String> {
+    let model = load_model(args.require("model")?)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "DiagNet model");
+    let _ = writeln!(
+        out,
+        "  architecture: {} filters × {} pooling ops, hidden {:?}",
+        model.config.filters,
+        model.config.pool_ops.len(),
+        model.config.hidden
+    );
+    let _ = writeln!(
+        out,
+        "  parameters: {} total, {} trainable",
+        model.num_params(),
+        model.num_trainable_params()
+    );
+    let _ = writeln!(
+        out,
+        "  trained against {} landmarks: {:?}",
+        model.train_schema.n_landmarks(),
+        model
+            .train_schema
+            .landmarks()
+            .iter()
+            .map(|r| r.code())
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "  training: {} epochs, final val loss {:.4}",
+        model.history.epochs_run,
+        model.history.val_loss.last().copied().unwrap_or(f32::NAN)
+    );
+    let _ = writeln!(
+        out,
+        "  auxiliary forest: {} trees",
+        model.auxiliary.forest().n_trees()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("diagnet_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_line(parts: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        run(&parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line(&["help"]).unwrap();
+        assert!(out.contains("simulate"));
+        assert!(out.contains("diagnose"));
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let data = tmp("cli_data.json");
+        let model = tmp("cli_model.json");
+        let special = tmp("cli_special.json");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        let special_s = special.to_str().unwrap();
+
+        // simulate → train → info → evaluate → diagnose → specialize
+        let out = run_line(&[
+            "simulate",
+            "--out",
+            data_s,
+            "--scenarios",
+            "12",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote 1200 samples"), "{out}");
+
+        let out = run_line(&[
+            "train", "--data", data_s, "--out", model_s, "--config", "fast", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("trained on"), "{out}");
+
+        let out = run_line(&["info", "--model", model_s]).unwrap();
+        assert!(out.contains("trained against 7 landmarks"), "{out}");
+
+        let out =
+            run_line(&["evaluate", "--model", model_s, "--data", data_s, "--k", "3"]).unwrap();
+        assert!(out.contains("Recall@3"), "{out}");
+
+        let out = run_line(&[
+            "diagnose", "--model", model_s, "--data", data_s, "--sample", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("ground truth"), "{out}");
+
+        let out = run_line(&[
+            "specialize",
+            "--model",
+            model_s,
+            "--data",
+            data_s,
+            "--service",
+            "single",
+            "--out",
+            special_s,
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("specialised for `single`"), "{out}");
+
+        for p in [data, model, special] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn export_subcommand_round_trip() {
+        let data = tmp("cli_export_data.json");
+        let csv = tmp("cli_export.csv");
+        let (data_s, csv_s) = (data.to_str().unwrap(), csv.to_str().unwrap());
+        run_line(&["simulate", "--out", data_s, "--scenarios", "2", "--seed", "9"]).unwrap();
+        let msg = run_line(&["export", "--data", data_s, "--out", csv_s]).unwrap();
+        assert!(msg.contains("wrote 200 rows"), "{msg}");
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert!(content.starts_with("SEAT_rtt,"));
+        assert_eq!(content.lines().count(), 201);
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(csv).ok();
+    }
+
+    #[test]
+    fn campaign_subcommand_writes_time_ordered_dataset() {
+        let out = tmp("cli_campaign.json");
+        let out_s = out.to_str().unwrap();
+        let msg = run_line(&[
+            "campaign",
+            "--out",
+            out_s,
+            "--days",
+            "1",
+            "--interval-h",
+            "6",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(msg.contains("1-day campaign"), "{msg}");
+        // The artefact is a loadable dataset.
+        let ds = load_dataset(out_s).unwrap();
+        assert_eq!(ds.len(), (24 / 6) * 10 * 10);
+        assert!(run_line(&["campaign", "--out", out_s, "--days", "0"]).is_err());
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_line(&[
+            "train",
+            "--data",
+            "/nonexistent.json",
+            "--out",
+            "/tmp/x.json"
+        ])
+        .unwrap_err()
+        .contains("cannot open"));
+        assert!(run_line(&["info"]).unwrap_err().contains("--model"));
+        let data = tmp("cli_err_data.json");
+        let data_s = data.to_str().unwrap();
+        run_line(&["simulate", "--out", data_s, "--scenarios", "2"]).unwrap();
+        assert!(run_line(&["diagnose", "--model", data_s, "--data", data_s])
+            .unwrap_err()
+            .contains("serialization error"));
+        std::fs::remove_file(data).ok();
+    }
+}

@@ -1,0 +1,22 @@
+//! # diagnet-cli — command-line interface
+//!
+//! A small, dependency-free CLI over the DiagNet reproduction:
+//!
+//! ```text
+//! diagnet simulate  --scenarios 100 --seed 42 --out dataset.json
+//! diagnet train     --data dataset.json --out model.json [--config fast]
+//! diagnet specialize --model model.json --data dataset.json \
+//!                    --service video.stream --out special.json
+//! diagnet diagnose  --model model.json --data dataset.json --sample 3
+//! diagnet evaluate  --model model.json --data dataset.json [--k 5]
+//! diagnet info      --model model.json
+//! ```
+//!
+//! Datasets and models are interchanged as JSON, so pipelines can be
+//! scripted and artefacts inspected.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, Command};
+pub use commands::run;

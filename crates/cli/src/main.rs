@@ -1,0 +1,23 @@
+//! The `diagnet` binary: thin wrapper over [`diagnet_cli`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let exit = match diagnet_cli::args::parse(&raw) {
+        Ok(args) => match diagnet_cli::commands::run(&args) {
+            Ok(output) => {
+                print!("{output}");
+                0
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                1
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", diagnet_cli::args::USAGE);
+            2
+        }
+    };
+    std::process::exit(exit);
+}

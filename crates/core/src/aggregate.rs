@@ -1,0 +1,187 @@
+//! Cross-client incident aggregation.
+//!
+//! A single client's diagnosis is noisy; the paper's platform collects
+//! probes "from multiple vantage points" (§V's crowd-sourcing discussion)
+//! precisely because agreement across clients is what separates a real
+//! regional incident from one user's bad Wi-Fi. This module fuses many
+//! per-client cause rankings into one *incident map*: total evidence per
+//! remote region and per local/uplink bucket.
+
+use crate::ranking::CauseRanking;
+use diagnet_sim::metrics::{CoarseFamily, FeatureId, FeatureSchema};
+use diagnet_sim::region::Region;
+use std::collections::HashMap;
+
+/// Aggregated evidence for one candidate incident location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentEvidence {
+    /// Total score mass clients assigned to this location.
+    pub mass: f32,
+    /// Number of clients whose *top* cause points here.
+    pub top_votes: usize,
+    /// The dominant fault family among contributions.
+    pub family: CoarseFamily,
+}
+
+/// A fused view over many clients' rankings.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentMap {
+    /// Evidence per remote region.
+    pub remote: HashMap<Region, IncidentEvidence>,
+    /// Evidence that causes are client-local (device or uplink).
+    pub local_mass: f32,
+    /// Number of rankings aggregated.
+    pub n_clients: usize,
+}
+
+impl IncidentMap {
+    /// Fuse rankings from many clients (all expressed in `schema`).
+    ///
+    /// # Panics
+    /// Panics if a ranking's width mismatches the schema.
+    pub fn build(rankings: &[CauseRanking], schema: &FeatureSchema) -> IncidentMap {
+        let mut remote: HashMap<Region, (f32, usize, HashMap<CoarseFamily, f32>)> = HashMap::new();
+        let mut local_mass = 0.0f32;
+        for ranking in rankings {
+            assert_eq!(
+                ranking.scores.len(),
+                schema.n_features(),
+                "IncidentMap: ranking width mismatch"
+            );
+            let top = ranking.best();
+            for (j, &score) in ranking.scores.iter().enumerate() {
+                match schema.feature(j) {
+                    FeatureId::Landmark(region, metric) => {
+                        let entry = remote.entry(region).or_insert((0.0, 0, HashMap::new()));
+                        entry.0 += score;
+                        if j == top {
+                            entry.1 += 1;
+                        }
+                        *entry.2.entry(metric.family()).or_insert(0.0) += score;
+                    }
+                    FeatureId::Local(_) => local_mass += score,
+                }
+            }
+        }
+        let remote = remote
+            .into_iter()
+            .map(|(region, (mass, top_votes, families))| {
+                let family = families
+                    .into_iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(f, _)| f)
+                    .unwrap_or(CoarseFamily::Nominal);
+                (
+                    region,
+                    IncidentEvidence {
+                        mass,
+                        top_votes,
+                        family,
+                    },
+                )
+            })
+            .collect();
+        IncidentMap {
+            remote,
+            local_mass,
+            n_clients: rankings.len(),
+        }
+    }
+
+    /// Regions ranked by evidence mass, strongest first.
+    pub fn hotspots(&self) -> Vec<(Region, &IncidentEvidence)> {
+        let mut entries: Vec<(Region, &IncidentEvidence)> =
+            self.remote.iter().map(|(&r, e)| (r, e)).collect();
+        entries.sort_by(|a, b| {
+            b.1.mass
+                .partial_cmp(&a.1.mass)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        entries
+    }
+
+    /// The single most implicated region, if any evidence exists.
+    pub fn primary_suspect(&self) -> Option<(Region, &IncidentEvidence)> {
+        self.hotspots().into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::metrics::LandmarkMetric;
+
+    /// A ranking concentrating `weight` on one remote feature, the rest
+    /// uniform.
+    fn ranking_towards(
+        schema: &FeatureSchema,
+        region: Region,
+        metric: LandmarkMetric,
+        weight: f32,
+    ) -> CauseRanking {
+        let m = schema.n_features();
+        let mut scores = vec![(1.0 - weight) / (m - 1) as f32; m];
+        scores[schema
+            .index_of(FeatureId::Landmark(region, metric))
+            .unwrap()] = weight;
+        CauseRanking {
+            scores,
+            coarse: vec![0.0; 7],
+            w_unknown: 0.0,
+        }
+    }
+
+    #[test]
+    fn agreement_across_clients_concentrates_evidence() {
+        let schema = FeatureSchema::full();
+        let rankings: Vec<CauseRanking> = (0..10)
+            .map(|_| ranking_towards(&schema, Region::Grav, LandmarkMetric::LossRetrans, 0.5))
+            .collect();
+        let map = IncidentMap::build(&rankings, &schema);
+        assert_eq!(map.n_clients, 10);
+        let (region, evidence) = map.primary_suspect().unwrap();
+        assert_eq!(region, Region::Grav);
+        assert_eq!(evidence.top_votes, 10);
+        assert_eq!(evidence.family, CoarseFamily::LinkLoss);
+        // GRAV's mass dwarfs every other region's.
+        for (r, e) in map.hotspots().into_iter().skip(1) {
+            assert!(evidence.mass > e.mass * 3.0, "region {r} too strong");
+        }
+    }
+
+    #[test]
+    fn disagreement_spreads_evidence() {
+        let schema = FeatureSchema::full();
+        let rankings = vec![
+            ranking_towards(&schema, Region::Grav, LandmarkMetric::Rtt, 0.5),
+            ranking_towards(&schema, Region::Sing, LandmarkMetric::Rtt, 0.5),
+        ];
+        let map = IncidentMap::build(&rankings, &schema);
+        let hotspots = map.hotspots();
+        assert_eq!(hotspots[0].1.top_votes, 1);
+        assert_eq!(hotspots[1].1.top_votes, 1);
+        assert!((hotspots[0].1.mass - hotspots[1].1.mass).abs() < 1e-4);
+    }
+
+    #[test]
+    fn local_mass_accumulates() {
+        let schema = FeatureSchema::full();
+        // A uniform ranking has 5/55 of its mass on local features.
+        let m = schema.n_features();
+        let uniform = CauseRanking {
+            scores: vec![1.0 / m as f32; m],
+            coarse: vec![0.0; 7],
+            w_unknown: 0.0,
+        };
+        let map = IncidentMap::build(&[uniform], &schema);
+        assert!((map.local_mass - 5.0 / 55.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_input_is_empty_map() {
+        let schema = FeatureSchema::full();
+        let map = IncidentMap::build(&[], &schema);
+        assert!(map.primary_suspect().is_none());
+        assert_eq!(map.n_clients, 0);
+    }
+}

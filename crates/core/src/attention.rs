@@ -1,0 +1,134 @@
+//! Gradient-based attention (paper §III-E).
+//!
+//! DiagNet returns from the coarse fault-family prediction to the input
+//! feature space by backpropagating the *ideal-label* cross-entropy loss
+//! `L* = −log y_argmax(y)` down to the input features and normalising the
+//! absolute partial derivatives (Eq. 1):
+//!
+//! ```text
+//! γ̂_j = |∇_j| / Σ_k |∇_k|,     ∇_j = ∂L*/∂x_j
+//! ```
+//!
+//! A large `γ̂_j` means feature `j` strongly influences the model's most
+//! confident coarse prediction — the white-box analogue of Grad-CAM-style
+//! saliency, exploiting full knowledge of the network's weights.
+
+use diagnet_nn::loss::ideal_label_grad;
+use diagnet_nn::network::Network;
+use diagnet_nn::tensor::Matrix;
+
+/// Eq. 1: normalised absolute gradients. Falls back to uniform when all
+/// gradients vanish (a perfectly confident prediction).
+pub fn normalize_gradients(grads: &[f32]) -> Vec<f32> {
+    let total: f32 = grads.iter().map(|g| g.abs()).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return vec![1.0 / grads.len() as f32; grads.len()];
+    }
+    grads.iter().map(|g| g.abs() / total).collect()
+}
+
+/// Attention scores `γ̂` for one (already normalised) input row.
+pub fn attention_scores(network: &Network, normalized_row: &[f32]) -> Vec<f32> {
+    let x = Matrix::from_row(normalized_row.to_vec());
+    let grad = network.input_gradient(&x, ideal_label_grad);
+    normalize_gradients(grad.row(0))
+}
+
+/// Attention scores for a batch of rows (one γ̂ vector per row). The
+/// backward pass runs over the whole batch at once; per-row gradients are
+/// then normalised independently.
+pub fn attention_scores_batch(network: &Network, rows: &Matrix) -> Vec<Vec<f32>> {
+    let grad = network.input_gradient(rows, ideal_label_grad);
+    (0..grad.rows())
+        .map(|i| normalize_gradients(grad.row(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_nn::layer::Layer;
+    use diagnet_nn::optim::SgdNesterov;
+    use diagnet_nn::train::{TrainConfig, Trainer};
+    use diagnet_rng::SplitMix64;
+
+    #[test]
+    fn normalisation_sums_to_one_and_uses_abs() {
+        let g = normalize_gradients(&[-2.0, 1.0, 1.0]);
+        assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((g[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_gradients_fall_back_to_uniform() {
+        let g = normalize_gradients(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(g, vec![0.25; 4]);
+    }
+
+    /// Train a classifier where only feature 0 carries signal; attention
+    /// must concentrate on it.
+    #[test]
+    fn attention_finds_the_informative_feature() {
+        let mut rng = SplitMix64::new(1);
+        let n = 300;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = i % 2;
+            let signal = if cls == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                rng.normal_with(signal, 0.3),
+                rng.normal_with(0.0, 1.0),
+                rng.normal_with(0.0, 1.0),
+            ]);
+            y.push(cls);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut net = Network::new(vec![
+            Layer::dense(3, 16, 1),
+            Layer::relu(),
+            Layer::dense(16, 2, 2),
+        ]);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            patience: None,
+            ..Default::default()
+        };
+        Trainer::new(cfg, SgdNesterov::new(0.1, 0.9, 0.0))
+            .fit(&mut net, &x, &y, None, 5)
+            .unwrap();
+        // Average attention over many samples.
+        let mut mean = vec![0.0f32; 3];
+        for row in rows.iter().take(100) {
+            let a = attention_scores(&net, row);
+            for (m, v) in mean.iter_mut().zip(&a) {
+                *m += v;
+            }
+        }
+        assert!(
+            mean[0] > mean[1] * 2.0 && mean[0] > mean[2] * 2.0,
+            "attention should focus on feature 0: {mean:?}"
+        );
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let net = Network::new(vec![
+            Layer::dense(4, 8, 3),
+            Layer::relu(),
+            Layer::dense(8, 3, 4),
+        ]);
+        let mut rng = SplitMix64::new(9);
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..4).map(|_| rng.normal()).collect())
+            .collect();
+        let batch = attention_scores_batch(&net, &Matrix::from_rows(&rows));
+        for (row, b) in rows.iter().zip(&batch) {
+            let single = attention_scores(&net, row);
+            for (s, bb) in single.iter().zip(b) {
+                assert!((s - bb).abs() < 1e-5);
+            }
+        }
+    }
+}

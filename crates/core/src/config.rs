@@ -1,0 +1,143 @@
+//! DiagNet hyper-parameters (paper Table I).
+
+use diagnet_forest::ForestConfig;
+use diagnet_nn::pool::PoolOp;
+use serde::{Deserialize, Serialize};
+
+/// Which optimiser trains the coarse classifier. The paper uses SGD with
+/// Nesterov momentum (Table I); Adam is provided for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// SGD + Nesterov momentum + time-based decay (the paper's choice).
+    SgdNesterov,
+    /// Adam with default betas, using `learning_rate` as α.
+    Adam,
+}
+
+/// Hyper-parameters of the full DiagNet pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagNetConfig {
+    /// Number of convolution filters `f` (paper: 24).
+    pub filters: usize,
+    /// The Ω global-pooling bank (paper: min, max, avg, var, p10…p90).
+    pub pool_ops: Vec<PoolOp>,
+    /// Hidden fully-connected layer widths (paper: 512, 128).
+    pub hidden: Vec<usize>,
+    /// SGD learning rate (paper: 0.05).
+    pub learning_rate: f32,
+    /// Nesterov momentum.
+    pub momentum: f32,
+    /// Time-based learning-rate decay (paper: 0.001).
+    pub decay: f32,
+    /// Maximum training epochs for the general model.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: Option<usize>,
+    /// Fraction of the training set held out for validation.
+    pub validation_fraction: f32,
+    /// Auxiliary random-forest configuration (paper: Gini, 50 trees,
+    /// depth 10).
+    pub forest: ForestConfig,
+    /// Weight the coarse loss by inverse class frequency (counters the
+    /// nominal-heavy label distribution; see `balanced_class_weights`).
+    pub balance_classes: bool,
+    /// Optimiser choice (paper: SGD + Nesterov).
+    pub optimizer: OptimizerKind,
+    /// Variance-stabilise (log-transform) path metrics before z-scoring.
+    /// Our reproduction's default; the `false` ablation z-scores raw
+    /// values.
+    pub stabilize_features: bool,
+    /// Learning-rate multiplier applied when specialising (fine-tuning the
+    /// final layers on a small per-service dataset is gentler than
+    /// training from scratch; the paper does not specify its value).
+    pub specialize_lr_factor: f32,
+}
+
+impl DiagNetConfig {
+    /// The paper's Table I configuration.
+    pub fn paper() -> Self {
+        DiagNetConfig {
+            filters: 24,
+            pool_ops: PoolOp::standard_bank(),
+            hidden: vec![512, 128],
+            learning_rate: 0.05,
+            momentum: 0.9,
+            decay: 0.001,
+            epochs: 40,
+            batch_size: 128,
+            patience: Some(5),
+            validation_fraction: 0.15,
+            forest: ForestConfig::default(),
+            balance_classes: true,
+            optimizer: OptimizerKind::SgdNesterov,
+            stabilize_features: true,
+            specialize_lr_factor: 0.25,
+        }
+    }
+
+    /// A reduced configuration for unit tests and examples: same
+    /// architecture shape, far fewer parameters and epochs.
+    pub fn fast() -> Self {
+        DiagNetConfig {
+            filters: 8,
+            pool_ops: PoolOp::small_bank(),
+            hidden: vec![48, 24],
+            learning_rate: 0.05,
+            momentum: 0.9,
+            decay: 0.001,
+            epochs: 12,
+            batch_size: 64,
+            patience: Some(3),
+            validation_fraction: 0.15,
+            forest: ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
+            balance_classes: true,
+            optimizer: OptimizerKind::SgdNesterov,
+            stabilize_features: true,
+            specialize_lr_factor: 0.25,
+        }
+    }
+
+    /// Width of the vector entering the first fully-connected layer:
+    /// `|Ω|·f` pooled features plus the local features.
+    pub fn fc_input_width(&self, n_local: usize) -> usize {
+        self.pool_ops.len() * self.filters + n_local
+    }
+}
+
+impl Default for DiagNetConfig {
+    fn default() -> Self {
+        DiagNetConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_i() {
+        let c = DiagNetConfig::paper();
+        assert_eq!(c.filters, 24);
+        assert_eq!(c.pool_ops.len(), 13);
+        assert_eq!(c.hidden, vec![512, 128]);
+        assert_eq!(c.learning_rate, 0.05);
+        assert_eq!(c.decay, 0.001);
+        assert_eq!(c.forest.n_trees, 50);
+        assert_eq!(c.forest.max_depth, 10);
+        // FC input: 24 filters × 13 ops + 5 local = 317.
+        assert_eq!(c.fc_input_width(5), 317);
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        let f = DiagNetConfig::fast();
+        let p = DiagNetConfig::paper();
+        assert!(f.filters < p.filters);
+        assert!(f.fc_input_width(5) < p.fc_input_width(5));
+    }
+}

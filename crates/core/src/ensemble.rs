@@ -1,0 +1,106 @@
+//! Ensemble model averaging (paper §III-F).
+//!
+//! The extensible attention pipeline trades accuracy on *known* causes for
+//! the ability to score *unknown* ones. To get both, DiagNet averages the
+//! tuned attention γ̂′ with an auxiliary model α̂ (a random forest
+//! specialised in known causes), weighted by the probability that the root
+//! cause lies at an unknown landmark:
+//!
+//! ```text
+//! final = w_U · γ̂′ + (1 − w_U) · α̂,        w_U = Σ_{j ∈ U} γ̂′_j
+//! ```
+//!
+//! where `U` is the set of features whose landmark was not seen during
+//! training. When everything is known (`U = ∅`), the forest dominates;
+//! when the attention pushes mass onto unknown landmarks, it takes over.
+
+/// Blend tuned attention scores with auxiliary-model scores.
+///
+/// Returns `(final_scores, w_unknown)`.
+///
+/// # Panics
+/// Panics if lengths differ or an unknown index is out of range.
+pub fn ensemble_average(
+    gamma_tuned: &[f32],
+    auxiliary: &[f32],
+    unknown: &[usize],
+) -> (Vec<f32>, f32) {
+    assert_eq!(
+        gamma_tuned.len(),
+        auxiliary.len(),
+        "ensemble_average: length mismatch"
+    );
+    assert!(
+        unknown.iter().all(|&j| j < gamma_tuned.len()),
+        "ensemble_average: unknown index out of range"
+    );
+    let w_u: f32 = unknown
+        .iter()
+        .map(|&j| gamma_tuned[j])
+        .sum::<f32>()
+        .clamp(0.0, 1.0);
+    let scores = gamma_tuned
+        .iter()
+        .zip(auxiliary)
+        .map(|(&g, &a)| w_u * g + (1.0 - w_u) * a)
+        .collect();
+    (scores, w_u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_unknown_features_means_pure_auxiliary() {
+        let gamma = vec![0.5, 0.3, 0.2];
+        let aux = vec![0.1, 0.8, 0.1];
+        let (out, w) = ensemble_average(&gamma, &aux, &[]);
+        assert_eq!(w, 0.0);
+        assert_eq!(out, aux);
+    }
+
+    #[test]
+    fn all_mass_on_unknown_means_pure_attention() {
+        let gamma = vec![0.0, 0.0, 1.0];
+        let aux = vec![0.5, 0.5, 0.0];
+        let (out, w) = ensemble_average(&gamma, &aux, &[2]);
+        assert_eq!(w, 1.0);
+        assert_eq!(out, gamma);
+    }
+
+    #[test]
+    fn blend_is_convex_and_normalised() {
+        let gamma = vec![0.25, 0.25, 0.25, 0.25];
+        let aux = vec![0.7, 0.1, 0.1, 0.1];
+        let (out, w) = ensemble_average(&gamma, &aux, &[2, 3]);
+        assert!((w - 0.5).abs() < 1e-6);
+        assert!((out.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        for (i, &o) in out.iter().enumerate() {
+            assert!((o - (0.5 * gamma[i] + 0.5 * aux[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unknown_cause_still_ranked_first_when_attention_says_so() {
+        // The scenario the mechanism exists for: the forest knows nothing
+        // about cause 3 (uniform-ish), attention is confident.
+        let gamma = vec![0.05, 0.05, 0.1, 0.8];
+        let aux = vec![0.3, 0.3, 0.3, 0.1];
+        let (out, w) = ensemble_average(&gamma, &aux, &[3]);
+        assert!(w > 0.7);
+        let best = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        ensemble_average(&[0.5], &[0.5, 0.5], &[]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Human-readable diagnosis reports.
+//!
+//! The paper motivates DiagNet with support teams "struggling to diagnose
+//! the root cause of many incidents" (§I) — the raw 55-dimensional score
+//! vector is for machines; this module renders it the way a NOC ticket
+//! would read: a verdict (local / remote / uplink), the implicated
+//! location and metric, model confidence and the runner-up hypotheses.
+
+use crate::ranking::CauseRanking;
+use diagnet_sim::metrics::{CoarseFamily, FeatureId, FeatureSchema};
+
+/// Where the diagnosed cause sits relative to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CauseScope {
+    /// The client's own device (CPU/memory/connection pressure).
+    LocalDevice,
+    /// The client's access link / gateway.
+    Uplink,
+    /// A remote location, identified by a landmark region.
+    Remote,
+}
+
+/// A structured, displayable diagnosis.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Scope of the most probable cause.
+    pub scope: CauseScope,
+    /// The most probable cause feature.
+    pub cause: FeatureId,
+    /// Its coarse fault family.
+    pub family: CoarseFamily,
+    /// Score of the top cause (share of the total ranking mass).
+    pub confidence: f32,
+    /// Probability mass the model assigns to unknown-landmark causes.
+    pub w_unknown: f32,
+    /// The next most probable causes (feature, score), best first.
+    pub alternatives: Vec<(FeatureId, f32)>,
+}
+
+impl Explanation {
+    /// Build an explanation from a ranking (top cause + `n_alternatives`
+    /// runners-up).
+    ///
+    /// # Panics
+    /// Panics if the ranking width does not match the schema.
+    pub fn from_ranking(
+        ranking: &CauseRanking,
+        schema: &FeatureSchema,
+        n_alternatives: usize,
+    ) -> Explanation {
+        assert_eq!(
+            ranking.scores.len(),
+            schema.n_features(),
+            "explanation: width mismatch"
+        );
+        let order = ranking.top(n_alternatives + 1);
+        let cause = schema.feature(order[0]);
+        let scope = match cause {
+            FeatureId::Local(m) => match m.family() {
+                CoarseFamily::UplinkLatency => CauseScope::Uplink,
+                _ => CauseScope::LocalDevice,
+            },
+            FeatureId::Landmark(_, _) => CauseScope::Remote,
+        };
+        Explanation {
+            scope,
+            cause,
+            family: cause.family(),
+            confidence: ranking.scores[order[0]],
+            w_unknown: ranking.w_unknown,
+            alternatives: order[1..]
+                .iter()
+                .map(|&i| (schema.feature(i), ranking.scores[i]))
+                .collect(),
+        }
+    }
+
+    /// One-paragraph rendering, ticket-style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let where_ = match self.scope {
+            CauseScope::LocalDevice => "on the client device".to_string(),
+            CauseScope::Uplink => "on the client's access link".to_string(),
+            CauseScope::Remote => match self.cause.region() {
+                Some(r) => format!("in or near the {} region", r.code()),
+                None => "at a remote location".to_string(),
+            },
+        };
+        out.push_str(&format!(
+            "Most probable root cause: {} ({}) {} — score {:.2}.\n",
+            self.cause.name(),
+            self.family.name(),
+            where_,
+            self.confidence
+        ));
+        if self.w_unknown > 0.5 {
+            out.push_str(&format!(
+                "Note: the model attributes {:.0}% of the probability mass to landmarks \
+                 it was not trained on — treat the location as approximate.\n",
+                self.w_unknown * 100.0
+            ));
+        }
+        if !self.alternatives.is_empty() {
+            out.push_str("Also consider: ");
+            let alts: Vec<String> = self
+                .alternatives
+                .iter()
+                .map(|(f, s)| format!("{} ({:.2})", f.name(), s))
+                .collect();
+            out.push_str(&alts.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::metrics::{LandmarkMetric, LocalMetric};
+    use diagnet_sim::region::Region;
+
+    fn ranking_with_top(schema: &FeatureSchema, top: FeatureId, w_unknown: f32) -> CauseRanking {
+        let mut scores = vec![0.01f32; schema.n_features()];
+        scores[schema.index_of(top).unwrap()] = 0.6;
+        CauseRanking {
+            scores,
+            coarse: vec![0.0; 7],
+            w_unknown,
+        }
+    }
+
+    #[test]
+    fn remote_cause_names_the_region() {
+        let schema = FeatureSchema::full();
+        let top = FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt);
+        let e = Explanation::from_ranking(&ranking_with_top(&schema, top, 0.1), &schema, 3);
+        assert_eq!(e.scope, CauseScope::Remote);
+        assert_eq!(e.family, CoarseFamily::LinkLatency);
+        assert_eq!(e.alternatives.len(), 3);
+        let text = e.render();
+        assert!(text.contains("GRAV"), "{text}");
+        assert!(text.contains("Latency"), "{text}");
+        assert!(!text.contains("approximate"), "low w_U must not warn");
+    }
+
+    #[test]
+    fn local_and_uplink_scopes() {
+        let schema = FeatureSchema::full();
+        let cpu = Explanation::from_ranking(
+            &ranking_with_top(&schema, FeatureId::Local(LocalMetric::CpuLoad), 0.0),
+            &schema,
+            2,
+        );
+        assert_eq!(cpu.scope, CauseScope::LocalDevice);
+        assert!(cpu.render().contains("client device"));
+        let gw = Explanation::from_ranking(
+            &ranking_with_top(&schema, FeatureId::Local(LocalMetric::GatewayRtt), 0.0),
+            &schema,
+            2,
+        );
+        assert_eq!(gw.scope, CauseScope::Uplink);
+        assert!(gw.render().contains("access link"));
+    }
+
+    #[test]
+    fn unknown_landmark_warning() {
+        let schema = FeatureSchema::full();
+        let top = FeatureId::Landmark(Region::East, LandmarkMetric::Jitter);
+        let e = Explanation::from_ranking(&ranking_with_top(&schema, top, 0.8), &schema, 1);
+        assert!(e.render().contains("approximate"));
+    }
+
+    #[test]
+    fn confidence_and_order() {
+        let schema = FeatureSchema::full();
+        let top = FeatureId::Landmark(Region::Sing, LandmarkMetric::DownBw);
+        let e = Explanation::from_ranking(&ranking_with_top(&schema, top, 0.0), &schema, 5);
+        assert!((e.confidence - 0.6).abs() < 1e-6);
+        for pair in e.alternatives.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+}

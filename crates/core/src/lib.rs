@@ -1,0 +1,82 @@
+//! # diagnet — convolutional Internet-scale root-cause analysis
+//!
+//! A from-scratch Rust reproduction of **DiagNet** (Bonniot, Neumann,
+//! Taïani — *Towards Internet-Scale Convolutional Root-Cause Analysis with
+//! DiagNet*, IPDPS 2021). DiagNet diagnoses end-user QoE problems of
+//! Internet services from measurements a browser can take against
+//! opportunistically deployed *landmark* servers, with three properties
+//! classical approaches lack:
+//!
+//! 1. **Network & service agnosticism** — no topology knowledge is
+//!    required; the model learns hidden dependencies from data.
+//! 2. **Location agnosticism** — one model serves every client.
+//! 3. **Root-cause extensibility** — landmarks may come and go; the model
+//!    consumes a *variable* number of landmarks without retraining and can
+//!    rank root causes at landmarks it never saw during training.
+//!
+//! ## Architecture (paper Fig. 2)
+//!
+//! * a [`LandPooling`](diagnet_nn::layer::LandPool) layer applies a shared
+//!   non-overlapping convolution to each landmark's metric block and
+//!   flattens the landmark dimension with a bank of global pooling
+//!   operations (§III-C);
+//! * fully-connected layers produce a **coarse prediction** over the seven
+//!   fault families (§III-D);
+//! * a gradient-based **attention mechanism** maps the coarse prediction
+//!   back to individual input features — the candidate root causes
+//!   (§III-E, [`attention`]);
+//! * **multi-label score weighting** (Algorithm 1) boosts causes of the
+//!   predicted family ([`weighting`]);
+//! * **ensemble model averaging** (§III-F) blends the attention scores
+//!   with an auxiliary random forest specialised in known causes,
+//!   weighted by the predicted probability `w_U` that the cause lies at an
+//!   unknown landmark ([`ensemble`]).
+//!
+//! Beyond the paper's pipeline: [`persist`] serialises whole pipelines,
+//! [`perturbation`] provides the black-box occlusion-attention alternative
+//! §III-E alludes to, [`explain`] renders ticket-style diagnoses, and
+//! [`aggregate`] fuses many clients' rankings into an incident map.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use diagnet::prelude::*;
+//! use diagnet_sim::{Dataset, DatasetConfig, FeatureSchema, World};
+//!
+//! let world = World::new();
+//! let data = Dataset::generate(&world, &DatasetConfig::small(&world, 7));
+//! let split = data.split(0.8, 7);
+//! let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 7).unwrap();
+//! let test_schema = FeatureSchema::full();
+//! let sample = &split.test.samples[0];
+//! let ranking = model.rank_causes(&sample.features, &test_schema);
+//! println!("most probable cause: {}", test_schema.feature(ranking.top(1)[0]).name());
+//! ```
+
+pub mod aggregate;
+pub mod attention;
+pub mod baselines;
+pub mod config;
+pub mod ensemble;
+pub mod explain;
+pub mod model;
+pub mod normalize;
+pub mod persist;
+pub mod perturbation;
+pub mod ranking;
+pub mod transfer;
+pub mod weighting;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
+    pub use crate::config::DiagNetConfig;
+    pub use crate::aggregate::IncidentMap;
+    pub use crate::explain::Explanation;
+    pub use crate::model::DiagNet;
+    pub use crate::normalize::Normalizer;
+    pub use crate::ranking::CauseRanking;
+    pub use crate::transfer::SpecializedModels;
+}
+
+pub use prelude::*;

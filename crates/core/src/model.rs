@@ -1,0 +1,563 @@
+//! The DiagNet pipeline: coarse convolutional classifier + attention +
+//! score weighting + ensemble averaging.
+
+use crate::attention::attention_scores;
+use crate::config::{DiagNetConfig, OptimizerKind};
+use crate::ensemble::ensemble_average;
+use crate::normalize::Normalizer;
+use crate::ranking::CauseRanking;
+use crate::weighting::weight_scores;
+use diagnet_forest::ExtensibleForest;
+use diagnet_nn::error::NnError;
+use diagnet_nn::layer::Layer;
+use diagnet_nn::loss::softmax;
+use diagnet_nn::network::Network;
+use diagnet_nn::optim::{Adam, SgdNesterov};
+use diagnet_nn::tensor::Matrix;
+use diagnet_nn::train::{train_val_split, TrainConfig, TrainHistory, Trainer};
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::Dataset;
+use diagnet_sim::metrics::{FeatureSchema, K_LANDMARK_METRICS, N_LOCAL_METRICS};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which stages of the fine-grained pipeline to run — used by the
+/// ablation benchmarks (the paper notes raw attention alone is weak,
+/// §III-E, and ensemble averaging is the final boost, §III-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Raw Eq. 1 attention only.
+    AttentionOnly,
+    /// Attention + Algorithm 1 multi-label score weighting.
+    AttentionWeighted,
+    /// Attention + weighting + ensemble averaging (the full DiagNet).
+    Full,
+}
+
+/// A trained DiagNet model (general or specialised).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagNet {
+    /// Hyper-parameters used at training time.
+    pub config: DiagNetConfig,
+    /// The coarse classifier (LandPooling + MLP).
+    pub network: Network,
+    /// Per-metric-kind standardiser fitted on the training set.
+    pub normalizer: Normalizer,
+    /// The schema the model was trained on (known landmarks only).
+    pub train_schema: FeatureSchema,
+    /// Auxiliary extensible random forest over the **full** cause space.
+    pub auxiliary: ExtensibleForest,
+    /// Training curves (paper Fig. 9).
+    pub history: TrainHistory,
+}
+
+/// Indices of the layers shared between services: the non-overlapping
+/// convolution (LandPooling) and the first fully-connected layer, frozen
+/// during specialisation (§IV-F).
+pub const SHARED_LAYERS: [usize; 2] = [0, 1];
+
+/// Inverse-frequency class weights, normalised so the dataset-mean weight
+/// is 1 and capped to avoid exploding gradients on near-empty classes.
+/// Counters the paper's heavy nominal/faulty imbalance (≈ 7 : 1 even
+/// before splitting the faulty share over six families).
+pub fn balanced_class_weights(labels: &[usize], n_classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let n = labels.len().max(1) as f32;
+    // √(inverse frequency), capped: full inverse-frequency weights put
+    // ≈ 25× gradients on sub-percent classes and destabilise SGD at the
+    // paper's learning rate; the square root is the usual compromise.
+    let mut weights: Vec<f32> = counts
+        .iter()
+        .map(|&c| (n / (n_classes as f32 * c.max(1) as f32)).sqrt().min(8.0))
+        .collect();
+    // Normalise the sample-mean weight to 1 to keep the learning rate's
+    // meaning unchanged.
+    let mean: f32 = labels.iter().map(|&l| weights[l]).sum::<f32>() / n;
+    if mean > 0.0 {
+        for w in &mut weights {
+            *w /= mean;
+        }
+    }
+    weights
+}
+
+/// Fit `network` under `config`'s training hyper-parameters (optimiser
+/// choice, batching, early stopping, optional class weights).
+fn fit_network(
+    config: &DiagNetConfig,
+    network: &mut Network,
+    tx: &Matrix,
+    ty: &[usize],
+    validation: (&Matrix, &[usize]),
+    class_weights: Option<Vec<f32>>,
+    seed: u64,
+) -> Result<TrainHistory, NnError> {
+    let train_config = TrainConfig {
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        patience: config.patience,
+        shuffle: true,
+        restore_best: true,
+        class_weights,
+    };
+    match config.optimizer {
+        OptimizerKind::SgdNesterov => Trainer::new(
+            train_config,
+            SgdNesterov::new(config.learning_rate, config.momentum, config.decay),
+        )
+        .fit(network, tx, ty, Some(validation), seed),
+        OptimizerKind::Adam => Trainer::new(train_config, Adam::new(config.learning_rate)).fit(
+            network,
+            tx,
+            ty,
+            Some(validation),
+            seed,
+        ),
+    }
+}
+
+impl DiagNet {
+    /// Build the (untrained) coarse network of Fig. 2 for a given config.
+    pub fn build_network(config: &DiagNetConfig, seed: u64) -> Network {
+        let mut layers = Vec::new();
+        layers.push(Layer::land_pool(
+            config.filters,
+            K_LANDMARK_METRICS,
+            N_LOCAL_METRICS,
+            config.pool_ops.clone(),
+            SplitMix64::derive(seed, 100),
+        ));
+        let mut in_dim = config.fc_input_width(N_LOCAL_METRICS);
+        for (i, &h) in config.hidden.iter().enumerate() {
+            layers.push(Layer::dense(
+                in_dim,
+                h,
+                SplitMix64::derive(seed, 101 + i as u64),
+            ));
+            layers.push(Layer::relu());
+            in_dim = h;
+        }
+        layers.push(Layer::dense(
+            in_dim,
+            diagnet_sim::metrics::ALL_FAMILIES.len(),
+            SplitMix64::derive(seed, 199),
+        ));
+        Network::new(layers)
+    }
+
+    /// Train a **general** DiagNet on `train_data`, hiding the landmarks
+    /// absent from [`FeatureSchema::known`] (the paper's protocol).
+    pub fn train(config: &DiagNetConfig, train_data: &Dataset, seed: u64) -> Result<Self, NnError> {
+        Self::train_with_schema(config, train_data, FeatureSchema::known(), seed)
+    }
+
+    /// Train with an explicit training schema.
+    pub fn train_with_schema(
+        config: &DiagNetConfig,
+        train_data: &Dataset,
+        train_schema: FeatureSchema,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if train_data.is_empty() {
+            return Err(NnError::InvalidTrainingData("empty dataset".into()));
+        }
+        // 1. Coarse classifier on normalised, known-landmark features.
+        let (raw_rows, labels) = train_data.to_rows(&train_schema, 0.0);
+        let normalizer = Normalizer::fit_with(&train_schema, &raw_rows, config.stabilize_features);
+        let rows = normalizer.apply_batch(&train_schema, &raw_rows);
+        let x = Matrix::from_rows(&rows);
+        let (tx, ty, vx, vy) = train_val_split(
+            &x,
+            &labels,
+            config.validation_fraction,
+            SplitMix64::derive(seed, 1),
+        );
+        let mut network = Self::build_network(config, seed);
+        let class_weights = config
+            .balance_classes
+            .then(|| balanced_class_weights(&ty, diagnet_sim::metrics::ALL_FAMILIES.len()));
+        let history = fit_network(
+            config,
+            &mut network,
+            &tx,
+            &ty,
+            (&vx, &vy),
+            class_weights,
+            SplitMix64::derive(seed, 2),
+        )?;
+
+        // 2. Auxiliary forest over the full cause space, with hidden
+        //    landmark features zeroed exactly as §IV-B(a) prescribes.
+        let auxiliary = Self::train_auxiliary(config, train_data, &train_schema, seed)?;
+
+        Ok(DiagNet {
+            config: config.clone(),
+            network,
+            normalizer,
+            train_schema,
+            auxiliary,
+            history,
+        })
+    }
+
+    /// Train the auxiliary extensible forest (also the paper's RANDOM
+    /// FOREST baseline).
+    pub fn train_auxiliary(
+        config: &DiagNetConfig,
+        train_data: &Dataset,
+        train_schema: &FeatureSchema,
+        seed: u64,
+    ) -> Result<ExtensibleForest, NnError> {
+        let full = FeatureSchema::full();
+        let n_causes = full.n_features();
+        // Project: dataset → train schema (drops hidden measurements) →
+        // full schema with zeros in the hidden slots.
+        let (train_rows, _) = train_data.to_rows(train_schema, 0.0);
+        let rows: Vec<Vec<f32>> = train_rows
+            .iter()
+            .map(|r| full.project_from(train_schema, r, 0.0))
+            .collect();
+        let labels: Vec<usize> = train_data
+            .samples
+            .iter()
+            .map(|s| match s.label.cause() {
+                Some(cause) => full
+                    .index_of(cause)
+                    .expect("cause feature always exists in the full schema"),
+                None => n_causes,
+            })
+            .collect();
+        let mut forest_cfg = config.forest.clone();
+        forest_cfg.seed = SplitMix64::derive(seed, 3);
+        Ok(ExtensibleForest::fit(&forest_cfg, &rows, &labels, n_causes))
+    }
+
+    /// Coarse fault-family probabilities for raw feature rows laid out in
+    /// `schema` (any landmark subset — this is the extensible path).
+    pub fn coarse_predict(&self, features: &[f32], schema: &FeatureSchema) -> Vec<f32> {
+        let row = self.normalizer.apply(schema, features);
+        let logits = self.network.forward(&Matrix::from_row(row));
+        softmax(&logits).row(0).to_vec()
+    }
+
+    /// Batched coarse prediction (used for Fig. 7's F1 evaluation).
+    pub fn coarse_predict_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<Vec<f32>> {
+        let normalized = self.normalizer.apply_batch(schema, rows);
+        let probs = softmax(&self.network.forward(&Matrix::from_rows(&normalized)));
+        (0..probs.rows()).map(|i| probs.row(i).to_vec()).collect()
+    }
+
+    /// Most probable coarse family index per row (argmax of
+    /// [`DiagNet::coarse_predict_batch`]).
+    pub fn coarse_classify_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<usize> {
+        self.coarse_predict_batch(rows, schema)
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Rank every candidate root cause of `schema` for one raw feature
+    /// vector (the full DiagNet pipeline).
+    pub fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        self.rank_causes_with(features, schema, PipelineMode::Full)
+    }
+
+    /// Rank with an explicit pipeline mode (ablations).
+    pub fn rank_causes_with(
+        &self,
+        features: &[f32],
+        schema: &FeatureSchema,
+        mode: PipelineMode,
+    ) -> CauseRanking {
+        assert_eq!(
+            features.len(),
+            schema.n_features(),
+            "rank_causes: feature width mismatch"
+        );
+        // Coarse prediction + attention on normalised features.
+        let normalized = self.normalizer.apply(schema, features);
+        let logits = self.network.forward(&Matrix::from_row(normalized.clone()));
+        let coarse = softmax(&logits).row(0).to_vec();
+        let gamma = attention_scores(&self.network, &normalized);
+        if mode == PipelineMode::AttentionOnly {
+            return CauseRanking {
+                scores: gamma,
+                coarse,
+                w_unknown: 0.0,
+            };
+        }
+        // Algorithm 1 weighting.
+        let gamma_tuned = weight_scores(&gamma, &coarse, schema);
+        if mode == PipelineMode::AttentionWeighted {
+            return CauseRanking {
+                scores: gamma_tuned,
+                coarse,
+                w_unknown: 0.0,
+            };
+        }
+        // Ensemble averaging with the auxiliary forest (§III-F).
+        let full = FeatureSchema::full();
+        let aux_input = full.project_from(schema, features, 0.0);
+        let aux_full = self.auxiliary.scores(&aux_input);
+        let mut aux: Vec<f32> = (0..schema.n_features())
+            .map(|j| aux_full[full.index_of(schema.feature(j)).expect("schema ⊆ full")])
+            .collect();
+        let aux_sum: f32 = aux.iter().sum();
+        if aux_sum > 0.0 {
+            for a in &mut aux {
+                *a /= aux_sum;
+            }
+        }
+        let unknown = schema.unknown_relative_to(&self.train_schema);
+        let (scores, w_unknown) = ensemble_average(&gamma_tuned, &aux, &unknown);
+        CauseRanking {
+            scores,
+            coarse,
+            w_unknown,
+        }
+    }
+
+    /// Batched ranking, parallelised over samples.
+    pub fn rank_causes_batch(
+        &self,
+        rows: &[Vec<f32>],
+        schema: &FeatureSchema,
+    ) -> Vec<CauseRanking> {
+        rows.par_iter()
+            .map(|r| self.rank_causes(r, schema))
+            .collect()
+    }
+
+    /// Create a **specialised** model for one service (§IV-F): the shared
+    /// layers (LandPooling + first FC) are frozen at their general-model
+    /// values and only the final layers are retrained on the service's
+    /// samples. The auxiliary forest and normaliser are shared.
+    pub fn specialize(&self, service_data: &Dataset, seed: u64) -> Result<DiagNet, NnError> {
+        if service_data.is_empty() {
+            return Err(NnError::InvalidTrainingData("empty service dataset".into()));
+        }
+        let (raw_rows, labels) = service_data.to_rows(&self.train_schema, 0.0);
+        let rows = self.normalizer.apply_batch(&self.train_schema, &raw_rows);
+        let x = Matrix::from_rows(&rows);
+        let (tx, ty, vx, vy) = train_val_split(
+            &x,
+            &labels,
+            self.config.validation_fraction,
+            SplitMix64::derive(seed, 4),
+        );
+        let mut network = self.network.clone();
+        network.freeze_only(&SHARED_LAYERS);
+        let class_weights = self
+            .config
+            .balance_classes
+            .then(|| balanced_class_weights(&ty, diagnet_sim::metrics::ALL_FAMILIES.len()));
+        let mut spec_config = self.config.clone();
+        spec_config.learning_rate *= self.config.specialize_lr_factor;
+        let history = fit_network(
+            &spec_config,
+            &mut network,
+            &tx,
+            &ty,
+            (&vx, &vy),
+            class_weights,
+            SplitMix64::derive(seed, 5),
+        )?;
+        Ok(DiagNet {
+            config: self.config.clone(),
+            network,
+            normalizer: self.normalizer.clone(),
+            train_schema: self.train_schema.clone(),
+            auxiliary: self.auxiliary.clone(),
+            history,
+        })
+    }
+
+    /// Total network parameter count (the paper reports 215,312 for the
+    /// general model at Table I's hyper-parameters).
+    pub fn num_params(&self) -> usize {
+        self.network.num_params()
+    }
+
+    /// Trainable parameters (65,664 + output layer for specialised models).
+    pub fn num_trainable_params(&self) -> usize {
+        self.network.num_trainable_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_sim::world::World;
+
+    /// One shared trained model for the whole test module (training the
+    /// fast config still costs seconds; no test mutates it).
+    fn trained_fast() -> &'static (World, Dataset, Dataset, DiagNet) {
+        static CELL: std::sync::OnceLock<(World, Dataset, Dataset, DiagNet)> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let world = World::new();
+            let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 21));
+            let split = ds.split(0.8, 21);
+            let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 21).unwrap();
+            (world, split.train, split.test, model)
+        })
+    }
+
+    #[test]
+    fn paper_network_shape_and_params() {
+        let net = DiagNet::build_network(&DiagNetConfig::paper(), 1);
+        // LandPool(24×5+24) + FC(317→512) + FC(512→128) + FC(128→7).
+        assert_eq!(
+            net.num_params(),
+            144 + (317 * 512 + 512) + (512 * 128 + 128) + (128 * 7 + 7)
+        );
+        // Accepts both the 7-landmark training width and the 10-landmark
+        // test width.
+        assert_eq!(net.out_dim(40).unwrap(), 7);
+        assert_eq!(net.out_dim(55).unwrap(), 7);
+    }
+
+    #[test]
+    fn training_produces_history_and_finite_predictions() {
+        let (_, train, test, model) = trained_fast();
+        assert!(model.history.epochs_run >= 1);
+        assert!(!model.history.val_loss.is_empty());
+        let schema = FeatureSchema::full();
+        let ranking = model.rank_causes(&test.samples[0].features, &schema);
+        assert_eq!(ranking.scores.len(), 55);
+        assert!(ranking.scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!((ranking.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        assert_eq!(ranking.coarse.len(), 7);
+        let _ = train;
+    }
+
+    #[test]
+    fn coarse_classifier_learns_something() {
+        let (_, train, _, model) = trained_fast();
+        let schema = model.train_schema.clone();
+        let (rows, labels) = train.to_rows(&schema, 0.0);
+        let preds = model.coarse_classify_batch(&rows, &schema);
+        // The helper must agree with manual argmax of the probabilities.
+        let probs = model.coarse_predict_batch(&rows, &schema);
+        for (p, &cls) in probs.iter().zip(&preds).take(20) {
+            let manual = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(cls, manual);
+        }
+        let acc = diagnet_eval::accuracy(&preds, &labels);
+        // Most samples are nominal, so even the majority class gives ~0.85;
+        // require clearly better than uniform-random.
+        assert!(acc > 0.5, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn extensible_inference_on_more_landmarks_than_trained() {
+        let (_, _, test, model) = trained_fast();
+        // Train schema has 7 landmarks; inference on the full 10 works
+        // without retraining (the paper's root-cause extensibility).
+        assert_eq!(model.train_schema.n_landmarks(), 7);
+        let full = FeatureSchema::full();
+        for s in test.samples.iter().take(5) {
+            let r = model.rank_causes(&s.features, &full);
+            assert_eq!(r.scores.len(), full.n_features());
+        }
+    }
+
+    #[test]
+    fn w_unknown_zero_on_train_schema() {
+        let (_, _, test, model) = trained_fast();
+        let schema = model.train_schema.clone();
+        let projected = schema.project_from(&FeatureSchema::full(), &test.samples[0].features, 0.0);
+        let r = model.rank_causes(&projected, &schema);
+        assert_eq!(r.w_unknown, 0.0, "no unknown landmarks → pure auxiliary");
+    }
+
+    #[test]
+    fn pipeline_modes_differ() {
+        let (_, _, test, model) = trained_fast();
+        let full = FeatureSchema::full();
+        let f = &test.samples[0].features;
+        let raw = model.rank_causes_with(f, &full, PipelineMode::AttentionOnly);
+        let weighted = model.rank_causes_with(f, &full, PipelineMode::AttentionWeighted);
+        let fullp = model.rank_causes_with(f, &full, PipelineMode::Full);
+        assert_eq!(raw.w_unknown, 0.0);
+        assert!(fullp.w_unknown >= 0.0);
+        // The stages genuinely transform the scores.
+        assert_ne!(raw.scores, fullp.scores);
+        let _ = weighted;
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (_, _, test, model) = trained_fast();
+        let full = FeatureSchema::full();
+        let rows: Vec<Vec<f32>> = test
+            .samples
+            .iter()
+            .take(4)
+            .map(|s| s.features.clone())
+            .collect();
+        let batch = model.rank_causes_batch(&rows, &full);
+        for (row, b) in rows.iter().zip(&batch) {
+            assert_eq!(&model.rank_causes(row, &full), b);
+        }
+    }
+
+    #[test]
+    fn specialization_freezes_shared_layers() {
+        let (world, train, _, model) = trained_fast();
+        let sid = world.catalog.by_name("video.stream").unwrap().id;
+        let service_data = train.filter_service(sid);
+        let special = model.specialize(&service_data, 33).unwrap();
+        // Shared layers keep their weights (only the frozen flag differs).
+        let (Layer::LandPool(a), Layer::LandPool(b)) =
+            (&special.network.layers[0], &model.network.layers[0])
+        else {
+            panic!("layer 0 must be LandPool")
+        };
+        assert_eq!(a.kernel, b.kernel, "LandPooling kernel must stay frozen");
+        assert_eq!(a.bias, b.bias, "LandPooling bias must stay frozen");
+        let (Layer::Dense(a), Layer::Dense(b)) =
+            (&special.network.layers[1], &model.network.layers[1])
+        else {
+            panic!("layer 1 must be Dense")
+        };
+        assert_eq!(a.w, b.w, "first FC weights must stay frozen");
+        assert_eq!(a.b, b.b, "first FC bias must stay frozen");
+        assert!(special.num_trainable_params() < model.num_params());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let world = World::new();
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 5));
+        let split = ds.split(0.8, 5);
+        let a = DiagNet::train(&DiagNetConfig::fast(), &split.train, 9).unwrap();
+        let b = DiagNet::train(&DiagNetConfig::fast(), &split.train, 9).unwrap();
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let world = World::new();
+        let empty = Dataset {
+            schema: world.schema.clone(),
+            samples: Vec::new(),
+        };
+        assert!(DiagNet::train(&DiagNetConfig::fast(), &empty, 1).is_err());
+    }
+}

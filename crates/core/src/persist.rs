@@ -1,0 +1,101 @@
+//! Persistence of trained DiagNet pipelines.
+//!
+//! In the paper's deployment the analysis service trains models centrally
+//! and *shares* them with clients (Fig. 1). That requires serialising the
+//! entire pipeline — coarse network, normaliser, training schema,
+//! auxiliary forest and training history — not just the neural weights.
+//! JSON keeps snapshots inspectable; a full paper-sized pipeline is a few
+//! megabytes.
+
+use crate::model::DiagNet;
+use diagnet_nn::error::NnError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+impl DiagNet {
+    /// Serialise the whole pipeline to a writer as JSON.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), NnError> {
+        serde_json::to_writer(writer, self).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Deserialise a pipeline from a reader.
+    pub fn load<R: Read>(reader: R) -> Result<DiagNet, NnError> {
+        serde_json::from_reader(reader).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Serialise to a file path.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), NnError> {
+        let file =
+            std::fs::File::create(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+        self.save(std::io::BufWriter::new(file))
+    }
+
+    /// Deserialise from a file path.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<DiagNet, NnError> {
+        let file = std::fs::File::open(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+        DiagNet::load(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiagNetConfig;
+    use diagnet_sim::dataset::{Dataset, DatasetConfig};
+    use diagnet_sim::metrics::FeatureSchema;
+    use diagnet_sim::world::World;
+
+    fn small_model() -> (DiagNet, Dataset) {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 61);
+        cfg.n_scenarios = 15;
+        let ds = Dataset::generate(&world, &cfg);
+        let split = ds.split(0.8, 61);
+        let mut model_cfg = DiagNetConfig::fast();
+        model_cfg.epochs = 3;
+        (
+            DiagNet::train(&model_cfg, &split.train, 61).unwrap(),
+            split.test,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (model, test) = small_model();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = DiagNet::load(buf.as_slice()).unwrap();
+        // Network weights identical.
+        assert_eq!(model.network, loaded.network);
+        assert_eq!(model.normalizer, loaded.normalizer);
+        assert_eq!(model.train_schema, loaded.train_schema);
+        // End-to-end predictions identical — including the forest and
+        // attention paths.
+        let schema = FeatureSchema::full();
+        for s in test.samples.iter().take(10) {
+            assert_eq!(
+                model.rank_causes(&s.features, &schema),
+                loaded.rank_causes(&s.features, &schema)
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, _) = small_model();
+        let dir = std::env::temp_dir().join("diagnet_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.json");
+        model.save_to_path(&path).unwrap();
+        let loaded = DiagNet::load_from_path(&path).unwrap();
+        assert_eq!(model.network, loaded.network);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error() {
+        assert!(DiagNet::load(&b"{}"[..]).is_err());
+        assert!(DiagNet::load(&b"garbage"[..]).is_err());
+        assert!(DiagNet::load_from_path("/nonexistent/model.json").is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Ranked root-cause predictions.
+
+use serde::{Deserialize, Serialize};
+
+/// The output of a root-cause analysis: a score per candidate cause
+/// (aligned with the evaluation schema's feature order), plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CauseRanking {
+    /// Normalised score per candidate cause.
+    pub scores: Vec<f32>,
+    /// Coarse fault-family probabilities (7 classes, `Nominal` first).
+    /// Empty for baseline models without a coarse stage.
+    pub coarse: Vec<f32>,
+    /// DiagNet's predicted probability that the cause is at an unknown
+    /// landmark (`w_U` of §III-F); 0 for baselines.
+    pub w_unknown: f32,
+}
+
+impl CauseRanking {
+    /// A ranking from bare scores (baselines).
+    pub fn from_scores(scores: Vec<f32>) -> Self {
+        CauseRanking {
+            scores,
+            coarse: Vec::new(),
+            w_unknown: 0.0,
+        }
+    }
+
+    /// Indices of the top-k causes, best first.
+    pub fn top(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Rank (0-based) of a cause index: the number of strictly better
+    /// candidates.
+    pub fn rank_of(&self, cause: usize) -> usize {
+        diagnet_eval::ranking::rank_of_truth(&self.scores, cause)
+    }
+
+    /// The single most probable cause.
+    pub fn best(&self) -> usize {
+        self.top(1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_orders_by_score() {
+        let r = CauseRanking::from_scores(vec![0.1, 0.5, 0.4]);
+        assert_eq!(r.top(3), vec![1, 2, 0]);
+        assert_eq!(r.top(1), vec![1]);
+        assert_eq!(r.best(), 1);
+    }
+
+    #[test]
+    fn rank_of_matches_eval() {
+        let r = CauseRanking::from_scores(vec![0.1, 0.5, 0.4]);
+        assert_eq!(r.rank_of(1), 0);
+        assert_eq!(r.rank_of(2), 1);
+        assert_eq!(r.rank_of(0), 2);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = CauseRanking::from_scores(vec![0.6, 0.4]);
+        assert_eq!(r.top(10).len(), 2);
+    }
+}

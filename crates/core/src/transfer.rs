@@ -1,0 +1,109 @@
+//! General → specialised transfer (paper §IV-F).
+//!
+//! DiagNet assumes the LandPooling weights "are shared between services,
+//! as they extract global network features", while "the final layers
+//! capture the behavior of each service". A general model is trained once
+//! on eight services; each additional (or existing) service then gets its
+//! own specialised model by retraining only the final layers — converging
+//! in a handful of epochs instead of ~20 (Fig. 9).
+
+use crate::model::DiagNet;
+use diagnet_nn::error::NnError;
+use diagnet_nn::train::TrainHistory;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::Dataset;
+use diagnet_sim::service::ServiceId;
+use std::collections::HashMap;
+
+/// A general model plus one specialised model per service.
+#[derive(Debug, Clone)]
+pub struct SpecializedModels {
+    /// The shared general model.
+    pub general: DiagNet,
+    /// Specialised models, keyed by service.
+    pub models: HashMap<ServiceId, DiagNet>,
+}
+
+impl SpecializedModels {
+    /// Specialise `general` for each service in `services`, training each
+    /// on its own samples from `train_data`.
+    pub fn train(
+        general: DiagNet,
+        train_data: &Dataset,
+        services: &[ServiceId],
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        let mut models = HashMap::new();
+        for (i, &sid) in services.iter().enumerate() {
+            let service_data = train_data.filter_service(sid);
+            if service_data.is_empty() {
+                return Err(NnError::InvalidTrainingData(format!(
+                    "no training samples for service {}",
+                    sid.0
+                )));
+            }
+            let model = general.specialize(&service_data, SplitMix64::derive(seed, i as u64))?;
+            models.insert(sid, model);
+        }
+        Ok(SpecializedModels { general, models })
+    }
+
+    /// The model to use for a given service: its specialised model when
+    /// available, the general model otherwise.
+    pub fn for_service(&self, sid: ServiceId) -> &DiagNet {
+        self.models.get(&sid).unwrap_or(&self.general)
+    }
+
+    /// Training histories of all specialised models (for Fig. 9(b)).
+    pub fn histories(&self) -> HashMap<ServiceId, &TrainHistory> {
+        self.models
+            .iter()
+            .map(|(&sid, m)| (sid, &m.history))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiagNetConfig;
+    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_sim::world::World;
+
+    #[test]
+    fn specialised_suite_trains_and_dispatches() {
+        let world = World::new();
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 31));
+        let split = ds.split(0.8, 31);
+        // General model on the first eight services only.
+        let general_ids = world.catalog.general_ids();
+        let general_data = split.train.filter_services(&general_ids);
+        let general = DiagNet::train(&DiagNetConfig::fast(), &general_data, 31).unwrap();
+        // Specialise for two held-out services.
+        let held_out = world.catalog.held_out_ids();
+        let suite = SpecializedModels::train(general, &split.train, &held_out, 31).unwrap();
+        assert_eq!(suite.models.len(), 2);
+        for &sid in &held_out {
+            let m = suite.for_service(sid);
+            assert!(
+                m.num_trainable_params() < m.num_params(),
+                "specialised model is frozen"
+            );
+        }
+        // A service with no specialised model falls back to the general.
+        let other = general_ids[0];
+        assert!(std::ptr::eq(suite.for_service(other), &suite.general));
+        // Histories exposed for Fig. 9.
+        assert_eq!(suite.histories().len(), 2);
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let world = World::new();
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 32));
+        let split = ds.split(0.8, 32);
+        let general = DiagNet::train(&DiagNetConfig::fast(), &split.train, 32).unwrap();
+        let bogus = ServiceId(999);
+        assert!(SpecializedModels::train(general, &split.train, &[bogus], 1).is_err());
+    }
+}

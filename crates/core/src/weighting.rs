@@ -1,0 +1,195 @@
+//! Multi-label score weighting (paper Algorithm 1).
+//!
+//! Raw gradient attention alone "gave inaccurate results" (§III-E) because
+//! it does not fully exploit the coarse classifier's verdict. Algorithm 1
+//! fixes this: features belonging to the same fault family as the most
+//! probable coarse class receive a *bonus* (their collective mass is
+//! raised to the model's confidence `w`), everything else a *penalty*
+//! (scaled to `1 − w`). By construction the result stays normalised.
+
+use diagnet_sim::metrics::{CoarseFamily, FeatureSchema};
+
+/// Tolerance for the "extreme case" guard of Algorithm 1 line 4.
+const EXTREME_EPS: f32 = 1e-6;
+
+/// Apply Algorithm 1.
+///
+/// * `gamma` — normalised attention scores γ̂ (one per feature of
+///   `schema`);
+/// * `coarse` — the coarse prediction y (probabilities over the 7 coarse
+///   families, `Nominal` first).
+///
+/// Returns the tuned scores γ̂′.
+///
+/// # Panics
+/// Panics if `gamma.len() != schema.n_features()` or `coarse` is empty.
+pub fn weight_scores(gamma: &[f32], coarse: &[f32], schema: &FeatureSchema) -> Vec<f32> {
+    assert_eq!(
+        gamma.len(),
+        schema.n_features(),
+        "weight_scores: gamma width mismatch"
+    );
+    assert!(!coarse.is_empty(), "weight_scores: empty coarse prediction");
+
+    // Line 1: isolate the best coarse prediction.
+    let phi = coarse
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty coarse");
+    // Line 2: features of the same family as φ.
+    let family = CoarseFamily::from_index(phi);
+    let p = schema.indices_of_family(family);
+    if p.is_empty() {
+        // φ = Nominal (no feature maps to it): nothing to boost.
+        return gamma.to_vec();
+    }
+    // Line 3: relative weight w and related-features mass s.
+    let coarse_sum: f32 = coarse.iter().sum();
+    if coarse_sum <= 0.0 {
+        return gamma.to_vec();
+    }
+    let w = coarse[phi] / coarse_sum;
+    let s: f32 = p.iter().map(|&j| gamma[j]).sum();
+    // Line 4: extreme cases — nothing to redistribute.
+    if s <= EXTREME_EPS || s >= 1.0 - EXTREME_EPS {
+        return gamma.to_vec();
+    }
+    // Lines 6–7: bonus for family members, penalty for the rest.
+    let bonus = w / s;
+    let penalty = (1.0 - w) / (1.0 - s);
+    let mut in_family = vec![false; gamma.len()];
+    for &j in &p {
+        in_family[j] = true;
+    }
+    gamma
+        .iter()
+        .zip(&in_family)
+        .map(|(&g, &fam)| if fam { g * bonus } else { g * penalty })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::metrics::{FeatureId, LandmarkMetric};
+    use diagnet_sim::region::Region;
+
+    fn uniform_gamma(schema: &FeatureSchema) -> Vec<f32> {
+        vec![1.0 / schema.n_features() as f32; schema.n_features()]
+    }
+
+    /// Coarse vector with probability `p` on `family` and the rest spread.
+    fn coarse_for(family: CoarseFamily, p: f32) -> Vec<f32> {
+        let mut y = vec![(1.0 - p) / 6.0; 7];
+        y[family.index()] = p;
+        y
+    }
+
+    #[test]
+    fn output_stays_normalised() {
+        let schema = FeatureSchema::full();
+        let gamma = uniform_gamma(&schema);
+        let y = coarse_for(CoarseFamily::LinkLatency, 0.8);
+        let tuned = weight_scores(&gamma, &y, &schema);
+        assert!((tuned.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn family_features_boosted_others_penalised() {
+        let schema = FeatureSchema::full();
+        let gamma = uniform_gamma(&schema);
+        let y = coarse_for(CoarseFamily::LinkLatency, 0.9);
+        let tuned = weight_scores(&gamma, &y, &schema);
+        let rtt = schema
+            .index_of(FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt))
+            .unwrap();
+        let bw = schema
+            .index_of(FeatureId::Landmark(Region::Grav, LandmarkMetric::DownBw))
+            .unwrap();
+        assert!(tuned[rtt] > gamma[rtt], "latency feature must gain");
+        assert!(tuned[bw] < gamma[bw], "bandwidth feature must lose");
+    }
+
+    #[test]
+    fn family_mass_equals_model_confidence() {
+        // After weighting, the family's collective mass is exactly w.
+        let schema = FeatureSchema::full();
+        let gamma = uniform_gamma(&schema);
+        let y = coarse_for(CoarseFamily::LinkLoss, 0.7);
+        let tuned = weight_scores(&gamma, &y, &schema);
+        let mass: f32 = schema
+            .indices_of_family(CoarseFamily::LinkLoss)
+            .iter()
+            .map(|&j| tuned[j])
+            .sum();
+        assert!((mass - 0.7).abs() < 1e-4, "family mass = {mass}");
+    }
+
+    #[test]
+    fn nominal_prediction_leaves_gamma_unchanged() {
+        let schema = FeatureSchema::full();
+        let gamma = uniform_gamma(&schema);
+        let y = coarse_for(CoarseFamily::Nominal, 0.95);
+        assert_eq!(weight_scores(&gamma, &y, &schema), gamma);
+    }
+
+    #[test]
+    fn extreme_s_zero_short_circuits() {
+        let schema = FeatureSchema::full();
+        // All attention on local features; predicted family = LinkJitter
+        // whose features carry zero mass.
+        let mut gamma = vec![0.0f32; schema.n_features()];
+        let local = schema
+            .index_of(FeatureId::Local(diagnet_sim::LocalMetric::CpuLoad))
+            .unwrap();
+        gamma[local] = 1.0;
+        let y = coarse_for(CoarseFamily::LinkJitter, 0.8);
+        assert_eq!(weight_scores(&gamma, &y, &schema), gamma);
+    }
+
+    #[test]
+    fn extreme_s_one_short_circuits() {
+        let schema = FeatureSchema::full();
+        // All attention inside the predicted family.
+        let mut gamma = vec![0.0f32; schema.n_features()];
+        let fam = schema.indices_of_family(CoarseFamily::LinkLatency);
+        for &j in &fam {
+            gamma[j] = 1.0 / fam.len() as f32;
+        }
+        let y = coarse_for(CoarseFamily::LinkLatency, 0.6);
+        assert_eq!(weight_scores(&gamma, &y, &schema), gamma);
+    }
+
+    #[test]
+    fn low_confidence_softens_the_boost() {
+        let schema = FeatureSchema::full();
+        let gamma = uniform_gamma(&schema);
+        let confident = weight_scores(&gamma, &coarse_for(CoarseFamily::LinkJitter, 0.9), &schema);
+        let hesitant = weight_scores(&gamma, &coarse_for(CoarseFamily::LinkJitter, 0.4), &schema);
+        let j = schema.indices_of_family(CoarseFamily::LinkJitter)[0];
+        assert!(confident[j] > hesitant[j]);
+    }
+
+    #[test]
+    fn works_on_reduced_schema() {
+        let schema = FeatureSchema::known();
+        let gamma = uniform_gamma(&schema);
+        let y = coarse_for(CoarseFamily::LinkBandwidth, 0.75);
+        let tuned = weight_scores(&gamma, &y, &schema);
+        assert_eq!(tuned.len(), 40);
+        assert!((tuned.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma width mismatch")]
+    fn rejects_bad_width() {
+        let schema = FeatureSchema::full();
+        weight_scores(
+            &[0.1, 0.9],
+            &coarse_for(CoarseFamily::LinkLoss, 0.5),
+            &schema,
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of DiagNet's pipeline stages: Algorithm 1's
+//! normalisation guarantee, ensemble convexity and attention
+//! normalisation, over arbitrary inputs.
+
+use diagnet::attention::normalize_gradients;
+use diagnet::ensemble::ensemble_average;
+use diagnet::model::balanced_class_weights;
+use diagnet::normalize::stabilize;
+use diagnet::weighting::weight_scores;
+use diagnet_sim::metrics::FeatureSchema;
+use proptest::prelude::*;
+
+/// A normalised attention vector over the full 55-feature schema.
+fn gamma() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..1.0, 55).prop_map(|mut v| {
+        let sum: f32 = v.iter().sum();
+        if sum > 0.0 {
+            for x in &mut v {
+                *x /= sum;
+            }
+        } else {
+            v = vec![1.0 / 55.0; 55];
+        }
+        v
+    })
+}
+
+/// A coarse probability vector over the 7 families.
+fn coarse() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.01f32..1.0, 7).prop_map(|mut v| {
+        let sum: f32 = v.iter().sum();
+        for x in &mut v {
+            *x /= sum;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 always returns a normalised vector ("By construction,
+    /// Algorithm 1 always returns a normalized vector").
+    #[test]
+    fn weighting_preserves_normalisation(g in gamma(), y in coarse()) {
+        let schema = FeatureSchema::full();
+        let tuned = weight_scores(&g, &y, &schema);
+        prop_assert_eq!(tuned.len(), 55);
+        prop_assert!(tuned.iter().all(|&v| v >= 0.0));
+        let sum: f32 = tuned.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+    }
+
+    /// Algorithm 1 never moves mass *into* a family beyond the model's
+    /// confidence, and the relative order within the boosted family is
+    /// preserved.
+    #[test]
+    fn weighting_order_preserved_within_family(g in gamma(), y in coarse()) {
+        let schema = FeatureSchema::full();
+        let tuned = weight_scores(&g, &y, &schema);
+        let phi = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let family = diagnet_sim::metrics::CoarseFamily::from_index(phi);
+        let members = schema.indices_of_family(family);
+        for pair in members.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            // Same multiplicative factor → order among members preserved.
+            prop_assert_eq!(g[a] > g[b], tuned[a] > tuned[b]);
+        }
+    }
+
+    /// The ensemble is a convex combination: bounded by min/max of its
+    /// inputs per coordinate.
+    #[test]
+    fn ensemble_convexity(g in gamma(), a in gamma(), unknown_mask in 0u64..(1 << 16)) {
+        let unknown: Vec<usize> =
+            (0..16).filter(|i| unknown_mask & (1 << i) != 0).map(|i| i * 3).collect();
+        let (out, w) = ensemble_average(&g, &a, &unknown);
+        prop_assert!((0.0..=1.0).contains(&w));
+        for i in 0..55 {
+            let lo = g[i].min(a[i]) - 1e-6;
+            let hi = g[i].max(a[i]) + 1e-6;
+            prop_assert!(out[i] >= lo && out[i] <= hi);
+        }
+        // Blended distributions stay normalised.
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    /// Attention normalisation: output sums to 1 and is scale-invariant in
+    /// the gradients.
+    #[test]
+    fn attention_normalisation(grads in prop::collection::vec(-5.0f32..5.0, 1..60), scale in 0.1f32..100.0) {
+        let n1 = normalize_gradients(&grads);
+        prop_assert!((n1.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        let scaled: Vec<f32> = grads.iter().map(|g| g * scale).collect();
+        let n2 = normalize_gradients(&scaled);
+        for (a, b) in n1.iter().zip(&n2) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Class weights: positive, sample-mean ≈ 1, rarer classes weigh more.
+    #[test]
+    fn class_weights_sane(labels in prop::collection::vec(0usize..7, 10..300)) {
+        let w = balanced_class_weights(&labels, 7);
+        prop_assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+        let mean: f32 =
+            labels.iter().map(|&l| w[l]).sum::<f32>() / labels.len() as f32;
+        prop_assert!((mean - 1.0).abs() < 1e-3, "mean {mean}");
+        // Monotone: if class a occurs more often than class b (both
+        // present), then weight(a) <= weight(b).
+        let mut counts = [0usize; 7];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for a in 0..7 {
+            for b in 0..7 {
+                if counts[a] > counts[b] && counts[b] > 0 {
+                    prop_assert!(w[a] <= w[b] + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// The stabilising transform is monotone per kind (order-preserving,
+    /// so rankings of raw values survive normalisation).
+    #[test]
+    fn stabilize_monotone(kind in 0usize..10, a in 0.0f32..1000.0, b in 0.0f32..1000.0) {
+        let (fa, fb) = (stabilize(kind, a), stabilize(kind, b));
+        if a < b {
+            prop_assert!(fa <= fb);
+        }
+        prop_assert!(fa.is_finite());
+    }
+}

@@ -1,0 +1,56 @@
+//! Grouped recall — the per-family / per-region / per-service slices of the
+//! paper's Figs. 6 and 10.
+
+use crate::ranking::rank_of_truth;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Recall@k per group. Input samples are `(group, scores, true_cause)`
+/// triples; output maps each group to its Recall@k (and sample count).
+pub fn grouped_recall_at_k<K: Eq + Hash + Clone>(
+    samples: &[(K, Vec<f32>, usize)],
+    k: usize,
+) -> HashMap<K, (f32, usize)> {
+    assert!(k >= 1, "grouped_recall_at_k: k must be >= 1");
+    let mut hits: HashMap<K, (usize, usize)> = HashMap::new();
+    for (group, scores, truth) in samples {
+        let entry = hits.entry(group.clone()).or_insert((0, 0));
+        entry.1 += 1;
+        if rank_of_truth(scores, *truth) < k {
+            entry.0 += 1;
+        }
+    }
+    hits.into_iter()
+        .map(|(g, (h, n))| (g, (h as f32 / n as f32, n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_computed_independently() {
+        let samples = vec![
+            ("a", vec![0.9, 0.1], 0),
+            ("a", vec![0.9, 0.1], 1),
+            ("b", vec![0.2, 0.8], 1),
+        ];
+        let r = grouped_recall_at_k(&samples, 1);
+        assert_eq!(r["a"], (0.5, 2));
+        assert_eq!(r["b"], (1.0, 1));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let r = grouped_recall_at_k::<&str>(&[], 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn k_widens_recall() {
+        let samples = vec![("g", vec![0.5, 0.3, 0.2], 2)];
+        assert_eq!(grouped_recall_at_k(&samples, 1)["g"].0, 0.0);
+        assert_eq!(grouped_recall_at_k(&samples, 3)["g"].0, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Probability-calibration metrics for the coarse classifier.
+//!
+//! The attention mechanism consumes the coarse classifier's *confidence*
+//! (Algorithm 1's `w`), and ensemble averaging consumes `w_U` — both are
+//! only meaningful if predicted probabilities track empirical accuracy.
+//! These metrics quantify that:
+//!
+//! * **Brier score** — mean squared error between the predicted
+//!   distribution and the one-hot truth (lower is better; 0 is perfect);
+//! * **Expected calibration error (ECE)** — the confidence-weighted gap
+//!   between predicted confidence and empirical accuracy over equal-width
+//!   confidence bins.
+
+/// Mean multi-class Brier score.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or a truth index is out of range.
+pub fn brier_score(probs: &[Vec<f32>], truths: &[usize]) -> f32 {
+    assert_eq!(probs.len(), truths.len(), "brier_score: length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (p, &t) in probs.iter().zip(truths) {
+        assert!(t < p.len(), "brier_score: truth {t} out of range");
+        for (j, &pj) in p.iter().enumerate() {
+            let target = if j == t { 1.0 } else { 0.0 };
+            total += (pj - target) * (pj - target);
+        }
+    }
+    total / probs.len() as f32
+}
+
+/// Expected calibration error with `n_bins` equal-width confidence bins.
+///
+/// # Panics
+/// Panics on inconsistent shapes or `n_bins == 0`.
+pub fn expected_calibration_error(probs: &[Vec<f32>], truths: &[usize], n_bins: usize) -> f32 {
+    assert_eq!(probs.len(), truths.len(), "ece: length mismatch");
+    assert!(n_bins > 0, "ece: need at least one bin");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    // Per bin: (count, confidence sum, correct count).
+    let mut bins = vec![(0usize, 0.0f32, 0usize); n_bins];
+    for (p, &t) in probs.iter().zip(truths) {
+        assert!(t < p.len(), "ece: truth {t} out of range");
+        let (pred, conf) = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, &v)| (i, v))
+            .expect("non-empty row");
+        let bin = ((conf * n_bins as f32) as usize).min(n_bins - 1);
+        bins[bin].0 += 1;
+        bins[bin].1 += conf;
+        bins[bin].2 += usize::from(pred == t);
+    }
+    let n = probs.len() as f32;
+    bins.iter()
+        .filter(|(count, _, _)| *count > 0)
+        .map(|&(count, conf_sum, correct)| {
+            let avg_conf = conf_sum / count as f32;
+            let accuracy = correct as f32 / count as f32;
+            (count as f32 / n) * (avg_conf - accuracy).abs()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_is_zero() {
+        let probs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(brier_score(&probs, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn brier_worst_case() {
+        // Fully confident and always wrong: (1-0)² + (0-1)² = 2.
+        let probs = vec![vec![1.0, 0.0]];
+        assert_eq!(brier_score(&probs, &[1]), 2.0);
+    }
+
+    #[test]
+    fn brier_uniform_two_classes() {
+        let probs = vec![vec![0.5, 0.5]];
+        assert!((brier_score(&probs, &[0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ece_perfectly_calibrated() {
+        // 70 %-confident predictions correct exactly 70 % of the time.
+        let mut probs = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..100 {
+            probs.push(vec![0.7, 0.3]);
+            truths.push(if i < 70 { 0 } else { 1 });
+        }
+        assert!(expected_calibration_error(&probs, &truths, 10) < 1e-3);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Always 99 % confident, only 50 % correct → ECE ≈ 0.49.
+        let probs = vec![vec![0.99, 0.01]; 100];
+        let truths: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let ece = expected_calibration_error(&probs, &truths, 10);
+        assert!((ece - 0.49).abs() < 0.02, "ece = {ece}");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(brier_score(&[], &[]), 0.0);
+        assert_eq!(expected_calibration_error(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn brier_rejects_bad_truth() {
+        brier_score(&[vec![0.5, 0.5]], &[7]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Classification metrics: accuracy (± CI), confusion matrices, F1.
+
+/// Fraction of samples where `pred == truth`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn accuracy(preds: &[usize], truths: &[usize]) -> f32 {
+    assert_eq!(preds.len(), truths.len(), "accuracy: length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let hits = preds.iter().zip(truths).filter(|(p, t)| p == t).count();
+    hits as f32 / preds.len() as f32
+}
+
+/// Accuracy plus a 95 % normal-approximation confidence half-width
+/// (`1.96·√(p(1−p)/n)`), matching the paper's "0.70 ± 0.013" notation.
+pub fn accuracy_with_ci(preds: &[usize], truths: &[usize]) -> (f32, f32) {
+    let p = accuracy(preds, truths);
+    let n = preds.len().max(1) as f32;
+    (p, 1.96 * (p * (1.0 - p) / n).sqrt())
+}
+
+/// A confusion matrix over `n_classes` classes.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// Row-major counts: `counts[truth * n_classes + pred]`.
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "ConfusionMatrix: need at least one class");
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Build from prediction/truth pairs.
+    pub fn from_predictions(preds: &[usize], truths: &[usize], n_classes: usize) -> Self {
+        assert_eq!(
+            preds.len(),
+            truths.len(),
+            "ConfusionMatrix: length mismatch"
+        );
+        let mut m = ConfusionMatrix::new(n_classes);
+        for (&p, &t) in preds.iter().zip(truths) {
+            m.add(t, p);
+        }
+        m
+    }
+
+    /// Record one (truth, prediction) pair.
+    pub fn add(&mut self, truth: usize, pred: usize) {
+        assert!(
+            truth < self.n_classes && pred < self.n_classes,
+            "class out of range"
+        );
+        self.counts[truth * self.n_classes + pred] += 1;
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Per-class precision: TP / (TP + FP). 0 when the class was never
+    /// predicted.
+    pub fn precision(&self, class: usize) -> f32 {
+        let tp = self.get(class, class);
+        let predicted: usize = (0..self.n_classes).map(|t| self.get(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f32 / predicted as f32
+        }
+    }
+
+    /// Per-class recall: TP / (TP + FN). 0 when the class never occurred.
+    pub fn recall(&self, class: usize) -> f32 {
+        let tp = self.get(class, class);
+        let actual: usize = (0..self.n_classes).map(|p| self.get(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f32 / actual as f32
+        }
+    }
+
+    /// Per-class F1: harmonic mean of precision and recall.
+    pub fn f1(&self, class: usize) -> f32 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over classes that actually occur.
+    pub fn macro_f1(&self) -> f32 {
+        let classes: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| (0..self.n_classes).any(|p| self.get(c, p) > 0))
+            .collect();
+        if classes.is_empty() {
+            return 0.0;
+        }
+        classes.iter().map(|&c| self.f1(c)).sum::<f32>() / classes.len() as f32
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: usize = (0..self.n_classes).map(|c| self.get(c, c)).sum();
+        trace as f32 / total as f32
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let large: Vec<usize> = (0..2000).map(|i| i % 2).collect();
+        let (_, ci_small) = accuracy_with_ci(&small, &[0; 20]);
+        let (_, ci_large) = accuracy_with_ci(&large, &[0; 2000]);
+        assert!(ci_large < ci_small);
+    }
+
+    #[test]
+    fn ci_zero_for_perfect() {
+        let (p, ci) = accuracy_with_ci(&[1, 1, 1], &[1, 1, 1]);
+        assert_eq!(p, 1.0);
+        assert_eq!(ci, 0.0);
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m.get(0, 0), 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 1), 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // truth: [0,0,0,1,1]; pred: [0,0,1,1,0]
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 0], &[0, 0, 0, 1, 1], 2);
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.f1(0) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.precision(1) - 0.5).abs() < 1e-6);
+        assert!((m.recall(1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f1_zero_when_never_predicted_or_present() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.f1(2), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1], &[0, 1], 5);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn perfect_classifier_macro_f1_one() {
+        let truths: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let m = ConfusionMatrix::from_predictions(&truths, &truths, 3);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn add_rejects_out_of_range() {
+        ConfusionMatrix::new(2).add(0, 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # diagnet-eval — evaluation metrics for root-cause analysis
+//!
+//! Implements every metric the paper reports:
+//!
+//! * [`ranking`] — **Recall@k** (§IV-C): given a ranked list of candidate
+//!   causes and the true cause, the fraction of samples whose true cause
+//!   appears within the first k predictions. Used for Figs. 5, 6, 8, 10
+//!   and the headline 73.9 % Recall@1.
+//! * [`classify`] — accuracy with a normal-approximation confidence
+//!   interval (Fig. 7 reports 0.85 ± 0.005 / 0.70 ± 0.013), confusion
+//!   matrices, and per-class precision / recall / **F1** (Fig. 7).
+//! * [`breakdown`] — grouped recall (per fault family, per region, per
+//!   service — the slices of Figs. 6 and 10).
+//! * [`calibration`] — Brier score and expected calibration error for the
+//!   coarse classifier, whose confidences drive Algorithm 1 and `w_U`.
+
+pub mod breakdown;
+pub mod calibration;
+pub mod classify;
+pub mod ranking;
+
+pub use breakdown::grouped_recall_at_k;
+pub use calibration::{brier_score, expected_calibration_error};
+pub use classify::{accuracy, accuracy_with_ci, ConfusionMatrix};
+pub use ranking::{mean_reciprocal_rank, rank_of_truth, recall_at_k, recall_curve, spearman_rho};

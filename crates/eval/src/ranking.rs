@@ -1,0 +1,230 @@
+//! Recall@k over ranked root-cause predictions.
+//!
+//! Paper §IV-C: *"for a set of known real causes and a ranking method, the
+//! Recall@k is the number of correctly predicted causes within the first
+//! k ≥ 1 causes divided by the total number of causes."*
+
+/// Rank (0-based) of the true cause in a score vector: the number of
+/// candidates with strictly higher scores, plus half the candidates tied
+/// with it (the expected rank under random tie-breaking — ties neither
+/// favour nor punish the truth).
+pub fn rank_of_truth(scores: &[f32], truth: usize) -> usize {
+    assert!(
+        truth < scores.len(),
+        "rank_of_truth: truth index out of range"
+    );
+    let t = scores[truth];
+    let greater = scores.iter().filter(|&&s| s > t).count();
+    let tied_others = scores.iter().filter(|&&s| s == t).count() - 1;
+    greater + tied_others / 2
+}
+
+/// Recall@k for a set of samples, each a `(scores, true_cause)` pair.
+///
+/// Returns 0.0 for an empty set (no causes to recall).
+///
+/// ```
+/// use diagnet_eval::recall_at_k;
+/// let samples = vec![
+///     (vec![0.7, 0.2, 0.1], 0), // truth ranked first
+///     (vec![0.2, 0.3, 0.5], 1), // truth ranked second
+/// ];
+/// assert_eq!(recall_at_k(&samples, 1), 0.5);
+/// assert_eq!(recall_at_k(&samples, 2), 1.0);
+/// ```
+pub fn recall_at_k(samples: &[(Vec<f32>, usize)], k: usize) -> f32 {
+    assert!(k >= 1, "recall_at_k: k must be >= 1");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let hits = samples
+        .iter()
+        .filter(|(scores, truth)| rank_of_truth(scores, *truth) < k)
+        .count();
+    hits as f32 / samples.len() as f32
+}
+
+/// Recall@k for every k in `1..=max_k` — one pass per sample.
+pub fn recall_curve(samples: &[(Vec<f32>, usize)], max_k: usize) -> Vec<f32> {
+    assert!(max_k >= 1, "recall_curve: max_k must be >= 1");
+    let mut hits = vec![0usize; max_k];
+    for (scores, truth) in samples {
+        let rank = rank_of_truth(scores, *truth);
+        if rank < max_k {
+            hits[rank] += 1;
+        }
+    }
+    // Cumulative: recall@k = Σ_{r < k} hits[r] / n.
+    let n = samples.len().max(1) as f32;
+    let mut curve = Vec::with_capacity(max_k);
+    let mut acc = 0usize;
+    for h in hits {
+        acc += h;
+        curve.push(acc as f32 / n);
+    }
+    curve
+}
+
+/// Mean reciprocal rank: the average of `1 / (rank + 1)` over samples —
+/// a scalar summary of the whole ranking quality (1.0 = always first).
+pub fn mean_reciprocal_rank(samples: &[(Vec<f32>, usize)]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let total: f32 = samples
+        .iter()
+        .map(|(scores, truth)| 1.0 / (rank_of_truth(scores, *truth) + 1) as f32)
+        .sum();
+    total / samples.len() as f32
+}
+
+/// Spearman rank correlation between two equally long score vectors
+/// (ties get their average rank). Returns 0 for degenerate inputs
+/// (length < 2 or zero variance).
+pub fn spearman_rho(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "spearman_rho: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ranks = |xs: &[f32]| -> Vec<f32> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out = vec![0.0f32; xs.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Group ties and assign the average rank.
+            let mut j = i;
+            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f32 / 2.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    };
+    let (ra, rb) = (ranks(a), ranks(b));
+    let mean = (n as f32 - 1.0) / 2.0;
+    let mut cov = 0.0f32;
+    let mut var_a = 0.0f32;
+    let mut var_b = 0.0f32;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        var_a += (x - mean) * (x - mean);
+        var_b += (y - mean) * (y - mean);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_is_count_of_strictly_better() {
+        assert_eq!(rank_of_truth(&[0.5, 0.3, 0.2], 0), 0);
+        assert_eq!(rank_of_truth(&[0.5, 0.3, 0.2], 1), 1);
+        assert_eq!(rank_of_truth(&[0.5, 0.3, 0.2], 2), 2);
+    }
+
+    #[test]
+    fn ties_take_expected_rank() {
+        // One other candidate tied: expected rank 0.5 → floor 0.
+        assert_eq!(rank_of_truth(&[0.4, 0.4, 0.2], 1), 0);
+        // Three others tied: expected rank 1.5 → floor 1.
+        assert_eq!(rank_of_truth(&[0.4, 0.4, 0.4, 0.4], 2), 1);
+    }
+
+    #[test]
+    fn recall_at_1_exact_top() {
+        let samples = vec![
+            (vec![0.9, 0.1], 0), // hit
+            (vec![0.2, 0.8], 0), // miss
+        ];
+        assert_eq!(recall_at_k(&samples, 1), 0.5);
+        assert_eq!(recall_at_k(&samples, 2), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_matches_pointwise() {
+        let samples = vec![
+            (vec![0.1, 0.2, 0.7], 2),
+            (vec![0.5, 0.3, 0.2], 2),
+            (vec![0.3, 0.4, 0.3], 1),
+            (vec![0.6, 0.3, 0.1], 1),
+        ];
+        let curve = recall_curve(&samples, 3);
+        for k in 1..=3 {
+            assert_eq!(curve[k - 1], recall_at_k(&samples, k), "k = {k}");
+        }
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1], "recall must be non-decreasing in k");
+        }
+        assert_eq!(curve[2], 1.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(recall_at_k(&[], 1), 0.0);
+        assert_eq!(recall_curve(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        recall_at_k(&[(vec![1.0], 0)], 0);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [10.0f32, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-5);
+        let c = [4.0f32, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &c) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerates() {
+        let a = [1.0f32, 1.0, 2.0, 2.0];
+        let b = [1.0f32, 1.0, 2.0, 2.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-5);
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_rho(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "zero variance side");
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // A monotone nonlinear transform must not change ρ.
+        let a = [0.1f32, 0.5, 0.9, 2.0, 7.0];
+        let b: Vec<f32> = a.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mrr_perfect_and_mixed() {
+        let perfect = vec![(vec![0.9, 0.1], 0), (vec![0.1, 0.9], 1)];
+        assert_eq!(mean_reciprocal_rank(&perfect), 1.0);
+        // Ranks 0 and 1 → (1 + 0.5) / 2.
+        let mixed = vec![(vec![0.9, 0.1], 0), (vec![0.9, 0.1], 1)];
+        assert!((mean_reciprocal_rank(&mixed) - 0.75).abs() < 1e-6);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn mrr_bounded_by_recall_at_1() {
+        // MRR ≥ Recall@1 always (reciprocal rank is 1 exactly on R@1 hits).
+        let samples = vec![
+            (vec![0.5, 0.3, 0.2], 1),
+            (vec![0.1, 0.2, 0.7], 2),
+            (vec![0.4, 0.4, 0.2], 0),
+        ];
+        assert!(mean_reciprocal_rank(&samples) >= recall_at_k(&samples, 1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the evaluation metrics.
+
+use diagnet_eval::ranking::rank_of_truth;
+use diagnet_eval::{
+    accuracy, accuracy_with_ci, grouped_recall_at_k, recall_at_k, recall_curve, ConfusionMatrix,
+};
+use proptest::prelude::*;
+
+/// Samples: score vectors with a designated truth index.
+fn ranked_samples() -> impl Strategy<Value = Vec<(Vec<f32>, usize)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0.0f32..1.0, 2..12), 0usize..100).prop_map(|(scores, t)| {
+            let truth = t % scores.len();
+            (scores, truth)
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recall is within [0, 1], non-decreasing in k, and reaches 1 at
+    /// k = n_causes.
+    #[test]
+    fn recall_bounds_and_monotonicity(samples in ranked_samples()) {
+        let max_causes = samples.iter().map(|(s, _)| s.len()).max().unwrap();
+        let curve = recall_curve(&samples, max_causes);
+        prop_assert!(curve.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        for w in curve.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // At k = width every truth is found (for uniform-width samples).
+        if samples.iter().all(|(s, _)| s.len() == max_causes) {
+            prop_assert_eq!(*curve.last().unwrap(), 1.0);
+        }
+        // Point queries agree with the curve.
+        for k in 1..=max_causes {
+            prop_assert_eq!(curve[k - 1], recall_at_k(&samples, k));
+        }
+    }
+
+    /// The rank of the truth is a valid index and improves when its score
+    /// is raised above everything.
+    #[test]
+    fn rank_bounds_and_improvement(mut scores in prop::collection::vec(0.0f32..1.0, 2..12), pick in 0usize..12) {
+        let truth = pick % scores.len();
+        let rank = rank_of_truth(&scores, truth);
+        prop_assert!(rank < scores.len());
+        scores[truth] = 2.0; // strictly above everything
+        prop_assert_eq!(rank_of_truth(&scores, truth), 0);
+    }
+
+    /// Accuracy is symmetric in permutation of the sample order.
+    #[test]
+    fn accuracy_order_invariant(pairs in prop::collection::vec((0usize..4, 0usize..4), 1..50)) {
+        let preds: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let truths: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let a1 = accuracy(&preds, &truths);
+        let mut rev_p = preds.clone();
+        rev_p.reverse();
+        let mut rev_t = truths.clone();
+        rev_t.reverse();
+        prop_assert_eq!(a1, accuracy(&rev_p, &rev_t));
+        let (acc, ci) = accuracy_with_ci(&preds, &truths);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&ci));
+    }
+
+    /// Confusion-matrix marginals: per-class precision/recall/F1 in
+    /// [0, 1], trace/total = accuracy.
+    #[test]
+    fn confusion_matrix_consistent(pairs in prop::collection::vec((0usize..4, 0usize..4), 1..60)) {
+        let preds: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let truths: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let cm = ConfusionMatrix::from_predictions(&preds, &truths, 4);
+        prop_assert_eq!(cm.total(), pairs.len());
+        prop_assert!((cm.accuracy() - accuracy(&preds, &truths)).abs() < 1e-6);
+        for c in 0..4 {
+            for v in [cm.precision(c), cm.recall(c), cm.f1(c)] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+    }
+
+    /// Grouped recall aggregates exactly like per-group filtering.
+    #[test]
+    fn grouped_recall_matches_manual_grouping(samples in ranked_samples(), k in 1usize..5) {
+        let grouped: Vec<(u8, Vec<f32>, usize)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, (s, t))| ((i % 3) as u8, s.clone(), *t))
+            .collect();
+        let result = grouped_recall_at_k(&grouped, k);
+        for g in 0u8..3 {
+            let manual: Vec<(Vec<f32>, usize)> = grouped
+                .iter()
+                .filter(|(gg, _, _)| *gg == g)
+                .map(|(_, s, t)| (s.clone(), *t))
+                .collect();
+            if manual.is_empty() {
+                prop_assert!(!result.contains_key(&g));
+            } else {
+                let (r, n) = result[&g];
+                prop_assert_eq!(n, manual.len());
+                prop_assert!((r - recall_at_k(&manual, k)).abs() < 1e-6);
+            }
+        }
+    }
+}

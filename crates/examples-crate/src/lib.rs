@@ -1,0 +1,14 @@
+//! Host crate for the repository-level `examples/` directory.
+//!
+//! Cargo requires examples to belong to a package; this crate exists only
+//! to anchor the runnable binaries in `/examples` (see each file's header
+//! for what it demonstrates):
+//!
+//! * `quickstart` — train and diagnose in ~40 lines;
+//! * `multi_cloud_outage` — two simultaneous incidents disentangled per
+//!   client;
+//! * `fleet_rotation` — one model serving shrinking and growing landmark
+//!   fleets without retraining;
+//! * `service_onboarding` — specialising the general model to new
+//!   services in a few epochs;
+//! * `baseline_shootout` — DiagNet vs Random Forest vs Naive Bayes.

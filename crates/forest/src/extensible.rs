@@ -1,0 +1,221 @@
+//! The *Extensible Random Forest Classifier* of paper §IV-B(a).
+//!
+//! The classifier predicts root causes directly: its classes are the
+//! candidate causes (one per feature of the **maximum** feature space)
+//! plus one special *unknown/nominal* class. To obtain extensibility:
+//!
+//! * inputs are always expressed in the maximum feature dimension, with
+//!   missing (untrained-landmark) values set to zero;
+//! * the score the forest assigns to the special class is **evenly
+//!   redistributed** over every cause, so causes absent from training keep
+//!   a non-null score — the paper notes this still leaves the model
+//!   essentially random on new landmarks, which Fig. 5 confirms.
+
+use crate::forest::{ForestConfig, RandomForest};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Extensible root-cause classifier backed by a random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtensibleForest {
+    forest: RandomForest,
+    /// Number of candidate causes (= maximum feature dimension).
+    n_causes: usize,
+}
+
+impl ExtensibleForest {
+    /// Class index used for nominal/unknown samples.
+    pub fn nominal_class(&self) -> usize {
+        self.n_causes
+    }
+
+    /// Train on rows of the maximum feature dimension (`n_causes` wide,
+    /// with zeros for missing landmarks). `labels[i]` is the cause feature
+    /// index, or `n_causes` for nominal samples.
+    ///
+    /// # Panics
+    /// Panics on inconsistent input or labels outside `0..=n_causes`.
+    pub fn fit(
+        config: &ForestConfig,
+        rows: &[Vec<f32>],
+        labels: &[usize],
+        n_causes: usize,
+    ) -> Self {
+        assert!(
+            !rows.is_empty(),
+            "ExtensibleForest::fit: empty training set"
+        );
+        assert!(
+            rows.iter().all(|r| r.len() == n_causes),
+            "rows must have n_causes features"
+        );
+        assert!(labels.iter().all(|&l| l <= n_causes), "label out of range");
+        let forest = RandomForest::fit(config, rows, labels, n_causes + 1);
+        ExtensibleForest { forest, n_causes }
+    }
+
+    /// Score vector over the `n_causes` causes for one sample: the forest's
+    /// probability estimate with the nominal class's mass spread evenly.
+    pub fn scores(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.n_causes, "row must have n_causes features");
+        let probs = self.forest.predict_proba(row);
+        let nominal_mass = probs[self.n_causes];
+        let share = nominal_mass / self.n_causes as f32;
+        probs[..self.n_causes].iter().map(|&p| p + share).collect()
+    }
+
+    /// Batch scores, parallelised over samples.
+    pub fn scores_batch(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.par_iter().map(|r| self.scores(r)).collect()
+    }
+
+    /// Probability that the sample is nominal (the raw special-class mass,
+    /// before redistribution).
+    pub fn nominal_probability(&self, row: &[f32]) -> f32 {
+        self.forest.predict_proba(row)[self.n_causes]
+    }
+
+    /// Underlying forest (for inspection / benchmarks).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Number of causes.
+    pub fn n_causes(&self) -> usize {
+        self.n_causes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_rng::SplitMix64;
+
+    /// Synthetic root-cause data: cause j lifts feature j well above the
+    /// noise floor; nominal samples stay at the floor. Hidden features
+    /// (indices >= `visible`) are zeroed in training rows, mimicking the
+    /// zero-padding protocol.
+    fn cause_data(
+        n: usize,
+        n_causes: usize,
+        visible: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row: Vec<f32> = (0..n_causes).map(|_| rng.uniform(0.0, 1.0)).collect();
+            let label = if i % 4 == 0 {
+                n_causes // nominal
+            } else {
+                let cause = i % visible;
+                row[cause] += 5.0;
+                cause
+            };
+            for v in row.iter_mut().skip(visible) {
+                *v = 0.0;
+            }
+            rows.push(row);
+            labels.push(label);
+        }
+        (rows, labels)
+    }
+
+    fn fit_small(visible: usize, seed: u64) -> (ExtensibleForest, Vec<Vec<f32>>, Vec<usize>) {
+        let (rows, labels) = cause_data(400, 8, visible, seed);
+        let cfg = ForestConfig::paper_default(seed);
+        let model = ExtensibleForest::fit(&cfg, &rows, &labels, 8);
+        (model, rows, labels)
+    }
+
+    #[test]
+    fn ranks_known_causes_first() {
+        let (model, rows, labels) = fit_small(8, 1);
+        let mut top1 = 0;
+        let mut evaluated = 0;
+        for (row, &label) in rows.iter().zip(&labels) {
+            if label == 8 {
+                continue;
+            }
+            evaluated += 1;
+            let scores = model.scores(row);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if best == label {
+                top1 += 1;
+            }
+        }
+        assert!(
+            top1 as f32 / evaluated as f32 > 0.9,
+            "top-1 {top1}/{evaluated}"
+        );
+    }
+
+    #[test]
+    fn scores_are_normalised() {
+        let (model, rows, _) = fit_small(8, 2);
+        for row in rows.iter().take(20) {
+            let s = model.scores(row);
+            assert_eq!(s.len(), 8);
+            assert!(
+                (s.iter().sum::<f32>() + model.nominal_probability(row)
+                    - model.nominal_probability(row)
+                    - 1.0)
+                    .abs()
+                    < 1e-4
+                    || (s.iter().sum::<f32>() - 1.0).abs() < 1e-4
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_causes_get_nonzero_score() {
+        // Train with features 6,7 hidden (zeroed, never labelled).
+        let (model, _, _) = fit_small(6, 3);
+        // A test sample whose true cause is the unseen feature 7.
+        let mut row = vec![0.3f32; 8];
+        row[7] += 5.0;
+        let scores = model.scores(&row);
+        assert!(scores[7] > 0.0, "unseen cause must keep a non-null score");
+    }
+
+    #[test]
+    fn nominal_probability_high_for_nominal_samples() {
+        let (model, rows, labels) = fit_small(8, 4);
+        let mut nom_mean = 0.0f32;
+        let mut fault_mean = 0.0f32;
+        let (mut n_nom, mut n_fault) = (0, 0);
+        for (row, &label) in rows.iter().zip(&labels) {
+            let p = model.nominal_probability(row);
+            if label == 8 {
+                nom_mean += p;
+                n_nom += 1;
+            } else {
+                fault_mean += p;
+                n_fault += 1;
+            }
+        }
+        assert!(nom_mean / n_nom as f32 > fault_mean / n_fault as f32 * 2.0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (model, rows, _) = fit_small(8, 5);
+        let batch = model.scores_batch(&rows[..10]);
+        for (r, b) in rows[..10].iter().zip(&batch) {
+            assert_eq!(&model.scores(r), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_causes features")]
+    fn rejects_wrong_width() {
+        let (model, _, _) = fit_small(8, 6);
+        model.scores(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Bagged random forests (Breiman 2001) with the paper's configuration.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use diagnet_rng::SplitMix64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How many features each split examines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSubsample {
+    /// All features (turns bagging into pure bootstrap aggregation).
+    All,
+    /// `⌈√m⌉` features per split (the usual random-forest default).
+    Sqrt,
+    /// A fixed number of features per split.
+    Fixed(usize),
+}
+
+impl FeatureSubsample {
+    fn resolve(self, n_features: usize) -> Option<usize> {
+        match self {
+            FeatureSubsample::All => None,
+            FeatureSubsample::Sqrt => Some((n_features as f64).sqrt().ceil() as usize),
+            FeatureSubsample::Fixed(k) => Some(k.min(n_features)),
+        }
+    }
+}
+
+/// Forest configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (paper: 50).
+    pub n_trees: usize,
+    /// Maximum depth per tree (paper: 10).
+    pub max_depth: usize,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Per-split feature subsampling.
+    pub feature_subsample: FeatureSubsample,
+    /// Master seed; each tree derives its own bootstrap + split seeds.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 50,
+            max_depth: 10,
+            min_samples_split: 2,
+            feature_subsample: FeatureSubsample::Sqrt,
+            seed: 0,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// The paper's Table I configuration with an explicit seed.
+    pub fn paper_default(seed: u64) -> Self {
+        ForestConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fitted random forest.
+///
+/// ```
+/// use diagnet_forest::{ForestConfig, RandomForest};
+/// // A one-dimensional two-class problem.
+/// let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32]).collect();
+/// let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+/// let forest = RandomForest::fit(&ForestConfig::paper_default(1), &rows, &labels, 2);
+/// assert_eq!(forest.predict(&[5.0]), 0);
+/// assert_eq!(forest.predict(&[35.0]), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Train a forest. Trees are grown in parallel; each tree's bootstrap
+    /// sample and split randomness derive from `config.seed` and the tree
+    /// index, so results do not depend on the thread count.
+    ///
+    /// # Panics
+    /// Panics on empty/inconsistent inputs.
+    pub fn fit(config: &ForestConfig, rows: &[Vec<f32>], y: &[usize], n_classes: usize) -> Self {
+        assert!(!rows.is_empty(), "RandomForest::fit: empty training set");
+        assert_eq!(rows.len(), y.len(), "RandomForest::fit: row/label mismatch");
+        assert!(
+            config.n_trees > 0,
+            "RandomForest::fit: need at least one tree"
+        );
+        let n = rows.len();
+        let tree_cfg = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            n_feature_candidates: config.feature_subsample.resolve(rows[0].len()),
+        };
+        let trees: Vec<DecisionTree> = (0..config.n_trees as u64)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = SplitMix64::new(SplitMix64::derive(config.seed, t));
+                // Bootstrap: n draws with replacement.
+                let indices: Vec<usize> = (0..n).map(|_| rng.next_below(n)).collect();
+                DecisionTree::fit(&tree_cfg, rows, y, n_classes, &indices, &mut rng)
+            })
+            .collect();
+        RandomForest { trees, n_classes }
+    }
+
+    /// Mean class-probability estimate over all trees.
+    pub fn predict_proba(&self, row: &[f32]) -> Vec<f32> {
+        let mut probs = vec![0.0f32; self.n_classes];
+        for tree in &self.trees {
+            tree.accumulate_proba(row, &mut probs);
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        for p in &mut probs {
+            *p *= inv;
+        }
+        probs
+    }
+
+    /// Most likely class per sample.
+    pub fn predict(&self, row: &[f32]) -> usize {
+        let probs = self.predict_proba(row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Batch probability predictions, parallelised over samples.
+    pub fn predict_proba_batch(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.par_iter().map(|r| self.predict_proba(r)).collect()
+    }
+
+    /// Batch class predictions.
+    pub fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<usize> {
+        rows.par_iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Normalised per-feature importance: the fraction of all splits in
+    /// the ensemble that test each feature. Zero vector if the forest
+    /// never split (degenerate data).
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f32> {
+        let mut counts = vec![0usize; n_features];
+        for tree in &self.trees {
+            tree.accumulate_feature_usage(&mut counts);
+        }
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n_features];
+        }
+        counts.iter().map(|&c| c as f32 / total as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two noisy 2-D blobs.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = i % 2;
+            let c = if cls == 0 { -1.5 } else { 1.5 };
+            rows.push(vec![rng.normal_with(c, 1.0), rng.normal_with(c, 1.0)]);
+            y.push(cls);
+        }
+        (rows, y)
+    }
+
+    #[test]
+    fn fits_blobs_better_than_chance() {
+        let (rows, y) = blobs(300, 1);
+        let forest = RandomForest::fit(&ForestConfig::paper_default(3), &rows, &y, 2);
+        let correct = rows
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| forest.predict(r) == l)
+            .count();
+        assert!(
+            correct as f32 / y.len() as f32 > 0.9,
+            "accuracy {}",
+            correct as f32 / 300.0
+        );
+    }
+
+    #[test]
+    fn paper_configuration() {
+        let cfg = ForestConfig::paper_default(0);
+        assert_eq!(cfg.n_trees, 50);
+        assert_eq!(cfg.max_depth, 10);
+    }
+
+    #[test]
+    fn probabilities_normalised() {
+        let (rows, y) = blobs(100, 2);
+        let forest = RandomForest::fit(&ForestConfig::paper_default(5), &rows, &y, 2);
+        for r in rows.iter().take(20) {
+            let p = forest.predict_proba(r);
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_despite_parallelism() {
+        let (rows, y) = blobs(150, 3);
+        let a = RandomForest::fit(&ForestConfig::paper_default(7), &rows, &y, 2);
+        let b = RandomForest::fit(&ForestConfig::paper_default(7), &rows, &y, 2);
+        for r in rows.iter().take(30) {
+            assert_eq!(a.predict_proba(r), b.predict_proba(r));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (rows, y) = blobs(150, 4);
+        let a = RandomForest::fit(&ForestConfig::paper_default(1), &rows, &y, 2);
+        let b = RandomForest::fit(&ForestConfig::paper_default(2), &rows, &y, 2);
+        let diff = rows
+            .iter()
+            .any(|r| a.predict_proba(r) != b.predict_proba(r));
+        assert!(diff, "seeds should change the ensemble");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (rows, y) = blobs(80, 5);
+        let forest = RandomForest::fit(&ForestConfig::paper_default(9), &rows, &y, 2);
+        let batch = forest.predict_proba_batch(&rows);
+        for (r, b) in rows.iter().zip(&batch) {
+            assert_eq!(&forest.predict_proba(r), b);
+        }
+        assert_eq!(
+            forest.predict_batch(&rows),
+            rows.iter().map(|r| forest.predict(r)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forest_beats_single_shallow_tree_on_noisy_data() {
+        let (rows, y) = blobs(400, 6);
+        let (train_r, test_r) = rows.split_at(300);
+        let (train_y, test_y) = y.split_at(300);
+        let single_cfg = ForestConfig {
+            n_trees: 1,
+            max_depth: 3,
+            feature_subsample: FeatureSubsample::Fixed(1),
+            seed: 1,
+            ..Default::default()
+        };
+        let forest_cfg = ForestConfig {
+            n_trees: 50,
+            max_depth: 3,
+            feature_subsample: FeatureSubsample::Fixed(1),
+            seed: 1,
+            ..Default::default()
+        };
+        let acc = |f: &RandomForest| {
+            test_r
+                .iter()
+                .zip(test_y)
+                .filter(|(r, &l)| f.predict(r) == l)
+                .count() as f32
+                / test_y.len() as f32
+        };
+        let single = RandomForest::fit(&single_cfg, train_r, train_y, 2);
+        let forest = RandomForest::fit(&forest_cfg, train_r, train_y, 2);
+        assert!(acc(&forest) >= acc(&single), "ensemble should not hurt");
+    }
+
+    #[test]
+    fn multiclass_support() {
+        let mut rng = SplitMix64::new(11);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..300 {
+            let cls = i % 3;
+            let c = cls as f32 * 3.0;
+            rows.push(vec![rng.normal_with(c, 0.5)]);
+            y.push(cls);
+        }
+        let forest = RandomForest::fit(&ForestConfig::paper_default(13), &rows, &y, 3);
+        let correct = rows
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| forest.predict(r) == l)
+            .count();
+        assert!(correct as f32 / 300.0 > 0.95);
+    }
+
+    #[test]
+    fn importance_identifies_the_informative_feature() {
+        // Feature 0 carries all the signal; feature 1 is noise.
+        let mut rng = SplitMix64::new(41);
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![if i % 2 == 0 { -2.0 } else { 2.0 }, rng.normal()])
+            .collect();
+        let y: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let forest = RandomForest::fit(&ForestConfig::paper_default(3), &rows, &y, 2);
+        let imp = forest.feature_importance(2);
+        assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(imp[0] > imp[1] * 2.0, "importance {imp:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_input() {
+        RandomForest::fit(&ForestConfig::default(), &[], &[], 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # diagnet-forest — decision trees and random forests
+//!
+//! Implements the paper's random-forest components from scratch:
+//!
+//! * [`tree`] — CART decision trees with Gini impurity;
+//! * [`forest`] — bagged random forests (the paper's hyper-parameters:
+//!   Gini criterion, 50 estimators, maximum depth 10 — Table I), trained in
+//!   parallel with rayon but bit-deterministic in the seed;
+//! * [`extensible`] — the *Extensible Random Forest Classifier* baseline of
+//!   §IV-B(a): feature dimension padded to the maximum size with zeros for
+//!   missing landmarks, plus a special "unknown" class whose score is
+//!   evenly redistributed over every cause so that root causes never seen
+//!   during training keep a non-null score.
+//!
+//! The same [`extensible::ExtensibleForest`] doubles as DiagNet's
+//! *auxiliary model* in ensemble averaging (§III-F), "designed to be
+//! simpler and specialized in known root causes".
+
+pub mod extensible;
+pub mod forest;
+pub mod tree;
+
+pub use extensible::ExtensibleForest;
+pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
+pub use tree::{DecisionTree, TreeConfig};

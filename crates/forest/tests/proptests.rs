@@ -1,0 +1,122 @@
+//! Property-based tests of trees and forests: probabilistic outputs,
+//! determinism and structural bounds for arbitrary datasets.
+
+use diagnet_forest::{DecisionTree, ExtensibleForest, ForestConfig, RandomForest, TreeConfig};
+use diagnet_rng::SplitMix64;
+use proptest::prelude::*;
+
+/// A labelled dataset: n samples × d features, c classes, generated from a
+/// seed (arbitrary but reproducible structure).
+#[derive(Debug, Clone)]
+struct Data {
+    rows: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+fn dataset() -> impl Strategy<Value = Data> {
+    (5usize..60, 1usize..6, 2usize..5, 0u64..10_000).prop_map(|(n, d, c, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.uniform(-10.0, 10.0)).collect())
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.next_below(c)).collect();
+        Data {
+            rows,
+            labels,
+            n_classes: c,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tree leaves always emit proper distributions and respect max depth.
+    #[test]
+    fn tree_probabilities_and_depth(data in dataset(), depth in 1usize..6) {
+        let cfg = TreeConfig { max_depth: depth, ..Default::default() };
+        let idx: Vec<usize> = (0..data.rows.len()).collect();
+        let tree = DecisionTree::fit(
+            &cfg, &data.rows, &data.labels, data.n_classes, &idx, &mut SplitMix64::new(1),
+        );
+        prop_assert!(tree.depth() <= depth);
+        for row in data.rows.iter().take(10) {
+            let p = tree.predict_proba(row);
+            prop_assert_eq!(p.len(), data.n_classes);
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Training twice with the same seed gives identical predictions; the
+    /// prediction is always a legal class.
+    #[test]
+    fn forest_deterministic_and_legal(data in dataset(), seed in 0u64..1000) {
+        let cfg = ForestConfig { n_trees: 7, max_depth: 4, seed, ..Default::default() };
+        let f1 = RandomForest::fit(&cfg, &data.rows, &data.labels, data.n_classes);
+        let f2 = RandomForest::fit(&cfg, &data.rows, &data.labels, data.n_classes);
+        for row in data.rows.iter().take(10) {
+            prop_assert_eq!(f1.predict_proba(row), f2.predict_proba(row));
+            prop_assert!(f1.predict(row) < data.n_classes);
+        }
+    }
+
+    /// A forest trained on perfectly separable data classifies its own
+    /// training set (almost) perfectly.
+    #[test]
+    fn forest_fits_separable_data(n in 20usize..80, seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let cls = i % 2;
+                vec![cls as f32 * 10.0 + rng.uniform(-1.0, 1.0)]
+            })
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let forest = RandomForest::fit(&ForestConfig::paper_default(seed), &rows, &labels, 2);
+        let correct = rows.iter().zip(&labels).filter(|(r, &l)| forest.predict(r) == l).count();
+        prop_assert!(correct as f32 / n as f32 > 0.9);
+    }
+
+    /// Extensible forest scores: correct length, non-negative, normalised
+    /// together with the nominal mass, and every cause keeps support > 0
+    /// whenever the forest is not fully certain.
+    #[test]
+    fn extensible_scores_well_formed(seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let n_causes = 6;
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|i| {
+                let mut row: Vec<f32> = (0..n_causes).map(|_| rng.uniform(0.0, 1.0)).collect();
+                if i % 3 != 0 {
+                    row[i % n_causes] += 5.0;
+                }
+                row
+            })
+            .collect();
+        let labels: Vec<usize> =
+            (0..60).map(|i| if i % 3 == 0 { n_causes } else { i % n_causes }).collect();
+        let cfg = ForestConfig { n_trees: 9, seed, ..Default::default() };
+        let model = ExtensibleForest::fit(&cfg, &rows, &labels, n_causes);
+        for row in rows.iter().take(10) {
+            let s = model.scores(row);
+            prop_assert_eq!(s.len(), n_causes);
+            prop_assert!(s.iter().all(|&v| v >= 0.0));
+            let total: f32 = s.iter().sum();
+            // Scores + untouched nominal share = 1 after redistribution.
+            prop_assert!((total - 1.0).abs() < 1e-3, "total {total}");
+        }
+    }
+
+    /// Bootstrap subsets never panic even when tiny.
+    #[test]
+    fn tiny_index_sets_are_fine(data in dataset(), pick in 0usize..5) {
+        let idx = vec![pick % data.rows.len()];
+        let tree = DecisionTree::fit(
+            &TreeConfig::default(), &data.rows, &data.labels, data.n_classes, &idx,
+            &mut SplitMix64::new(3),
+        );
+        prop_assert_eq!(tree.n_nodes(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors raised by network construction, training or (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Two tensors (or a tensor and a layer) disagree on a dimension.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// Dimension that was expected.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// The training set is empty or labels are inconsistent with it.
+    InvalidTrainingData(String),
+    /// A model file could not be parsed.
+    Serialization(String),
+    /// A configuration value is out of its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, got {actual}"
+                )
+            }
+            NnError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

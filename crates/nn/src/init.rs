@@ -1,0 +1,59 @@
+//! Weight initialisation schemes.
+
+use crate::rng::SplitMix64;
+use crate::tensor::Matrix;
+
+/// He (Kaiming) initialisation: `N(0, sqrt(2 / fan_in))`. Appropriate for
+/// layers followed by ReLU — the configuration used by DiagNet's MLP.
+pub fn he(rows: usize, cols: usize, fan_in: usize, seed: u64) -> Matrix {
+    assert!(fan_in > 0, "he init: fan_in must be positive");
+    let std_dev = (2.0 / fan_in as f32).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.normal_with(0.0, std_dev))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Used for the LandPooling kernel,
+/// which feeds linear pooling statistics rather than a ReLU.
+pub fn xavier(rows: usize, cols: usize, fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    assert!(fan_in + fan_out > 0, "xavier init: fans must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..rows * cols).map(|_| rng.uniform(-a, a)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_statistics() {
+        let m = he(100, 100, 100, 3);
+        let mean = m.data().iter().sum::<f32>() / 10_000.0;
+        let var = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 0.02).abs() < 0.005, "var = {var}"); // 2/100
+    }
+
+    #[test]
+    fn xavier_bounded() {
+        let a = (6.0f32 / 20.0).sqrt();
+        let m = xavier(10, 10, 10, 10, 5);
+        assert!(m.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(he(4, 4, 4, 9), he(4, 4, 4, 9));
+        assert_ne!(he(4, 4, 4, 9), he(4, 4, 4, 10));
+    }
+}

@@ -1,0 +1,719 @@
+//! Network layers: dense, ReLU and the paper's LandPooling layer.
+//!
+//! Layers are a closed enum rather than trait objects: the DiagNet
+//! architecture is fixed and small, the enum serialises cleanly with serde,
+//! and match-based dispatch lets the compiler inline the hot paths.
+
+use crate::init;
+use crate::linalg::{add_bias, column_sums, matmul, matmul_at, matmul_bt};
+use crate::pool::{pool_backward, pool_forward, PoolOp, PoolScratch};
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer: `y = x · W + b` with `W ∈ R^{in × out}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, stored `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+    /// Frozen layers are skipped by the optimiser (used by the paper's
+    /// general → specialised transfer, §IV-F).
+    pub frozen: bool,
+}
+
+/// The LandPooling layer (paper §III-C, Fig. 3).
+///
+/// The input row is `[x[1] … x[ℓ] | local]` where each `x[λ] ∈ R^k` holds
+/// the `k` metrics measured against landmark `λ` and `local` holds the
+/// client-side features. The layer applies a **shared** kernel
+/// `K ∈ R^{f×k}` and bias `b ∈ R^f` to every landmark block
+/// (`F[λ] = K·x[λ] + b` — a non-overlapping convolution), then flattens the
+/// variable number of landmarks with a bank of global pooling operations Ω
+/// applied per filter. Local features pass through unchanged.
+///
+/// Output layout: `[op₀(f₀) … op₀(f_{f-1}) | op₁(…) … | local]`, i.e.
+/// `ops.len() × f + n_local` values — **independent of ℓ**, which is what
+/// makes the model root-cause extensible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandPool {
+    /// Shared convolution kernel, `f × k`.
+    pub kernel: Matrix,
+    /// Shared bias, length `f`.
+    pub bias: Vec<f32>,
+    /// The Ω pooling bank.
+    pub ops: Vec<PoolOp>,
+    /// Number of metrics per landmark (k).
+    pub k: usize,
+    /// Number of trailing local features passed through unchanged.
+    pub n_local: usize,
+    /// Frozen layers are skipped by the optimiser.
+    pub frozen: bool,
+}
+
+impl LandPool {
+    /// Number of convolution filters (f).
+    pub fn filters(&self) -> usize {
+        self.kernel.rows()
+    }
+
+    /// Output width (independent of the number of landmarks).
+    pub fn out_dim(&self) -> usize {
+        self.ops.len() * self.filters() + self.n_local
+    }
+
+    /// Number of landmarks implied by an input of `width` features.
+    ///
+    /// # Panics
+    /// Panics if `width` is not `ℓ·k + n_local` for a positive integer ℓ.
+    pub fn landmarks_for_width(&self, width: usize) -> usize {
+        assert!(
+            width > self.n_local && (width - self.n_local).is_multiple_of(self.k),
+            "LandPool: input width {} incompatible with k={} and {} local features",
+            width,
+            self.k,
+            self.n_local
+        );
+        (width - self.n_local) / self.k
+    }
+
+    /// Per-landmark convolution: returns `F` as an `ℓ × f` matrix for one
+    /// input row.
+    // Index loops mirror the K·x[λ]+b math; iterator chains obscure it.
+    #[allow(clippy::needless_range_loop)]
+    fn convolve_row(&self, row: &[f32], ell: usize) -> Matrix {
+        let f = self.filters();
+        let mut fv = Matrix::zeros(ell, f);
+        for lam in 0..ell {
+            let x = &row[lam * self.k..(lam + 1) * self.k];
+            let out = fv.row_mut(lam);
+            for j in 0..f {
+                let krow = self.kernel.row(j);
+                let mut acc = self.bias[j];
+                for (kv, xv) in krow.iter().zip(x) {
+                    acc += kv * xv;
+                }
+                out[j] = acc;
+            }
+        }
+        fv
+    }
+
+    /// Pool `F` (`ℓ × f`) into the output row (landmark part only).
+    fn pool_row(
+        &self,
+        fv: &Matrix,
+        out: &mut [f32],
+        scratch: &mut PoolScratch,
+        col: &mut Vec<f32>,
+    ) {
+        let f = self.filters();
+        let ell = fv.rows();
+        let n_ops = self.ops.len();
+        let mut op_out = vec![0.0f32; n_ops];
+        for j in 0..f {
+            col.clear();
+            col.extend((0..ell).map(|lam| fv.get(lam, j)));
+            pool_forward(col, &self.ops, &mut op_out, scratch);
+            for (oi, &v) in op_out.iter().enumerate() {
+                out[oi * f + j] = v;
+            }
+        }
+    }
+}
+
+/// Cached intermediate state produced by `forward_cached`, consumed by
+/// `backward`.
+#[derive(Debug, Clone)]
+pub enum LayerCache {
+    /// Layers whose backward pass only needs the input (Dense, ReLU).
+    None,
+    /// LandPooling caches the per-landmark convolution outputs: one `ℓ×f`
+    /// matrix per batch row, flattened to `batch × (ℓ·f)`.
+    LandPool {
+        /// Per-row convolution outputs, `batch × (ℓ·f)` (row-major λ-then-f).
+        f_values: Matrix,
+        /// Number of landmarks in this batch's input.
+        ell: usize,
+    },
+}
+
+/// Parameter gradients for one layer.
+#[derive(Debug, Clone)]
+pub enum LayerGrads {
+    /// Parameter-free layer.
+    None,
+    /// Dense gradients.
+    Dense {
+        /// `∂L/∂W`, same shape as `Dense::w`.
+        dw: Matrix,
+        /// `∂L/∂b`.
+        db: Vec<f32>,
+    },
+    /// LandPool gradients.
+    LandPool {
+        /// `∂L/∂K`, same shape as `LandPool::kernel`.
+        dk: Matrix,
+        /// `∂L/∂b`.
+        db: Vec<f32>,
+    },
+}
+
+impl LayerGrads {
+    /// In-place accumulation (used when summing gradients across batches).
+    pub fn add_assign(&mut self, other: &LayerGrads) {
+        match (self, other) {
+            (LayerGrads::None, LayerGrads::None) => {}
+            (LayerGrads::Dense { dw, db }, LayerGrads::Dense { dw: ow, db: ob }) => {
+                dw.add_assign(ow);
+                for (a, b) in db.iter_mut().zip(ob) {
+                    *a += b;
+                }
+            }
+            (LayerGrads::LandPool { dk, db }, LayerGrads::LandPool { dk: ok, db: ob }) => {
+                dk.add_assign(ok);
+                for (a, b) in db.iter_mut().zip(ob) {
+                    *a += b;
+                }
+            }
+            _ => panic!("LayerGrads::add_assign: mismatched variants"),
+        }
+    }
+
+    /// Scale all gradients (e.g. to average over a batch).
+    pub fn scale(&mut self, factor: f32) {
+        match self {
+            LayerGrads::None => {}
+            LayerGrads::Dense { dw, db } | LayerGrads::LandPool { dk: dw, db } => {
+                dw.scale(factor);
+                for b in db.iter_mut() {
+                    *b *= factor;
+                }
+            }
+        }
+    }
+}
+
+/// A single network layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected layer.
+    Dense(Dense),
+    /// Element-wise rectified linear unit.
+    ReLU,
+    /// The DiagNet LandPooling layer.
+    LandPool(LandPool),
+}
+
+impl Layer {
+    /// A dense layer with He-initialised weights (suitable before ReLU).
+    pub fn dense(in_dim: usize, out_dim: usize, seed: u64) -> Layer {
+        Layer::Dense(Dense {
+            w: init::he(in_dim, out_dim, in_dim, seed),
+            b: vec![0.0; out_dim],
+            frozen: false,
+        })
+    }
+
+    /// A ReLU activation layer.
+    pub fn relu() -> Layer {
+        Layer::ReLU
+    }
+
+    /// A LandPooling layer with a Xavier-initialised shared kernel.
+    pub fn land_pool(
+        filters: usize,
+        k: usize,
+        n_local: usize,
+        ops: Vec<PoolOp>,
+        seed: u64,
+    ) -> Layer {
+        assert!(!ops.is_empty(), "land_pool: Ω bank must not be empty");
+        assert!(k > 0, "land_pool: k must be positive");
+        Layer::LandPool(LandPool {
+            kernel: init::xavier(filters, k, k, filters, seed),
+            bias: vec![0.0; filters],
+            ops,
+            k,
+            n_local,
+            frozen: false,
+        })
+    }
+
+    /// Output width for an input of `in_dim` features.
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        match self {
+            Layer::Dense(d) => {
+                assert_eq!(
+                    in_dim,
+                    d.w.rows(),
+                    "Dense layer expects {} inputs, got {in_dim}",
+                    d.w.rows()
+                );
+                d.w.cols()
+            }
+            Layer::ReLU => in_dim,
+            Layer::LandPool(lp) => {
+                // Validates the width as a side effect.
+                lp.landmarks_for_width(in_dim);
+                lp.out_dim()
+            }
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.w.rows() * d.w.cols() + d.b.len(),
+            Layer::ReLU => 0,
+            Layer::LandPool(lp) => lp.kernel.rows() * lp.kernel.cols() + lp.bias.len(),
+        }
+    }
+
+    /// Whether the optimiser should skip this layer.
+    pub fn is_frozen(&self) -> bool {
+        match self {
+            Layer::Dense(d) => d.frozen,
+            Layer::ReLU => true,
+            Layer::LandPool(lp) => lp.frozen,
+        }
+    }
+
+    /// Freeze or thaw this layer (no-op for parameter-free layers).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        match self {
+            Layer::Dense(d) => d.frozen = frozen,
+            Layer::ReLU => {}
+            Layer::LandPool(lp) => lp.frozen = frozen,
+        }
+    }
+
+    /// An all-zero gradient holder matching this layer's parameters.
+    pub fn zero_grads(&self) -> LayerGrads {
+        match self {
+            Layer::Dense(d) => LayerGrads::Dense {
+                dw: Matrix::zeros(d.w.rows(), d.w.cols()),
+                db: vec![0.0; d.b.len()],
+            },
+            Layer::ReLU => LayerGrads::None,
+            Layer::LandPool(lp) => LayerGrads::LandPool {
+                dk: Matrix::zeros(lp.kernel.rows(), lp.kernel.cols()),
+                db: vec![0.0; lp.bias.len()],
+            },
+        }
+    }
+
+    /// Inference forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_cached(x).0
+    }
+
+    /// Training forward pass: also returns the cache `backward` needs.
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, LayerCache) {
+        match self {
+            Layer::Dense(d) => {
+                assert_eq!(x.cols(), d.w.rows(), "Dense forward: width mismatch");
+                let mut y = matmul(x, &d.w);
+                add_bias(&mut y, &d.b);
+                (y, LayerCache::None)
+            }
+            Layer::ReLU => {
+                let mut y = x.clone();
+                for v in y.data_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                (y, LayerCache::None)
+            }
+            Layer::LandPool(lp) => {
+                let ell = lp.landmarks_for_width(x.cols());
+                let f = lp.filters();
+                let land_width = lp.ops.len() * f;
+                let out_width = land_width + lp.n_local;
+                let mut y = Matrix::zeros(x.rows(), out_width);
+                let mut fcache = Matrix::zeros(x.rows(), ell * f);
+                let k = lp.k;
+                y.data_mut()
+                    .par_chunks_mut(out_width)
+                    .zip(fcache.data_mut().par_chunks_mut(ell * f))
+                    .zip(x.data().par_chunks(x.cols()))
+                    .for_each(|((out_row, frow), in_row)| {
+                        let fv = lp.convolve_row(in_row, ell);
+                        frow.copy_from_slice(fv.data());
+                        let mut scratch = PoolScratch::default();
+                        let mut col = Vec::with_capacity(ell);
+                        lp.pool_row(&fv, &mut out_row[..land_width], &mut scratch, &mut col);
+                        out_row[land_width..].copy_from_slice(&in_row[ell * k..]);
+                    });
+                (
+                    y,
+                    LayerCache::LandPool {
+                        f_values: fcache,
+                        ell,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// `input` is the activation that was fed to `forward_cached`, `cache`
+    /// its cache, `grad_out` the loss gradient w.r.t. this layer's output.
+    /// Returns the gradient w.r.t. the input; if `grads` is `Some`,
+    /// parameter gradients are **accumulated** into it.
+    pub fn backward(
+        &self,
+        input: &Matrix,
+        cache: &LayerCache,
+        grad_out: &Matrix,
+        grads: Option<&mut LayerGrads>,
+    ) -> Matrix {
+        match self {
+            Layer::Dense(d) => {
+                let grad_in = matmul_bt(grad_out, &d.w);
+                if let Some(LayerGrads::Dense { dw, db }) = grads {
+                    dw.add_assign(&matmul_at(input, grad_out));
+                    for (a, b) in db.iter_mut().zip(column_sums(grad_out)) {
+                        *a += b;
+                    }
+                } else if grads.is_some() {
+                    panic!("Dense backward: gradient holder has wrong variant");
+                }
+                grad_in
+            }
+            Layer::ReLU => {
+                let mut grad_in = grad_out.clone();
+                for (g, &x) in grad_in.data_mut().iter_mut().zip(input.data()) {
+                    if x <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                grad_in
+            }
+            Layer::LandPool(lp) => {
+                let LayerCache::LandPool { f_values, ell } = cache else {
+                    panic!("LandPool backward: missing cache");
+                };
+                let ell = *ell;
+                let f = lp.filters();
+                let k = lp.k;
+                let land_width = lp.ops.len() * f;
+                let in_width = input.cols();
+
+                // Per-row backward, map-reduce over the batch for (dK, db).
+                struct RowResult {
+                    dk: Matrix,
+                    db: Vec<f32>,
+                }
+                let mut grad_in = Matrix::zeros(input.rows(), in_width);
+                let reduced: RowResult = grad_in
+                    .data_mut()
+                    .par_chunks_mut(in_width)
+                    .zip(input.data().par_chunks(in_width))
+                    .zip(f_values.data().par_chunks(ell * f))
+                    .zip(grad_out.data().par_chunks(grad_out.cols()))
+                    .map(|(((gin_row, in_row), frow), gout_row)| {
+                        let mut scratch = PoolScratch::default();
+                        let mut col = Vec::with_capacity(ell);
+                        let mut col_grad = vec![0.0f32; ell];
+                        let mut op_grad = vec![0.0f32; lp.ops.len()];
+                        // dF: ℓ × f gradient of the pooled outputs.
+                        let mut dfv = Matrix::zeros(ell, f);
+                        #[allow(clippy::needless_range_loop)] // strided gathers
+                        for j in 0..f {
+                            col.clear();
+                            col.extend((0..ell).map(|lam| frow[lam * f + j]));
+                            for (oi, og) in op_grad.iter_mut().enumerate() {
+                                *og = gout_row[oi * f + j];
+                            }
+                            col_grad.iter_mut().for_each(|g| *g = 0.0);
+                            pool_backward(&col, &lp.ops, &op_grad, &mut col_grad, &mut scratch);
+                            for lam in 0..ell {
+                                dfv.set(lam, j, col_grad[lam]);
+                            }
+                        }
+                        // Chain rule through the shared kernel.
+                        let mut dk = Matrix::zeros(f, k);
+                        let mut db = vec![0.0f32; f];
+                        for lam in 0..ell {
+                            let x = &in_row[lam * k..(lam + 1) * k];
+                            let df = dfv.row(lam);
+                            // dX[λ] = Kᵀ · dF[λ]
+                            let gin = &mut gin_row[lam * k..(lam + 1) * k];
+                            for j in 0..f {
+                                let g = df[j];
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let krow = lp.kernel.row(j);
+                                for (gi, &kv) in gin.iter_mut().zip(krow) {
+                                    *gi += g * kv;
+                                }
+                                // dK[j] += dF[λ][j] · x[λ]
+                                let dkrow = dk.row_mut(j);
+                                for (dkv, &xv) in dkrow.iter_mut().zip(x) {
+                                    *dkv += g * xv;
+                                }
+                                db[j] += g;
+                            }
+                        }
+                        // Local features pass straight through.
+                        gin_row[ell * k..].copy_from_slice(&gout_row[land_width..]);
+                        RowResult { dk, db }
+                    })
+                    .reduce(
+                        || RowResult {
+                            dk: Matrix::zeros(f, k),
+                            db: vec![0.0; f],
+                        },
+                        |mut a, b| {
+                            a.dk.add_assign(&b.dk);
+                            for (x, y) in a.db.iter_mut().zip(&b.db) {
+                                *x += y;
+                            }
+                            a
+                        },
+                    );
+                if let Some(LayerGrads::LandPool { dk, db }) = grads {
+                    dk.add_assign(&reduced.dk);
+                    for (a, b) in db.iter_mut().zip(&reduced.db) {
+                        *a += b;
+                    }
+                } else if grads.is_some() {
+                    panic!("LandPool backward: gradient holder has wrong variant");
+                }
+                grad_in
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.next_f32() * 2.0 - 1.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn dense_forward_shapes_and_bias() {
+        let mut layer = Layer::dense(3, 2, 1);
+        if let Layer::Dense(d) = &mut layer {
+            d.b = vec![1.0, -1.0];
+        }
+        let x = Matrix::zeros(4, 3);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]); // zero input → bias only
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let x = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+        let y = Layer::relu().forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Matrix::from_rows(&[vec![-1.0, 0.5]]);
+        let layer = Layer::relu();
+        let (_, cache) = layer.forward_cached(&x);
+        let g = Matrix::from_rows(&[vec![3.0, 3.0]]);
+        let gi = layer.backward(&x, &cache, &g, None);
+        assert_eq!(gi.row(0), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn landpool_output_width_independent_of_landmarks() {
+        let layer = Layer::land_pool(4, 3, 2, PoolOp::small_bank(), 2);
+        let x5 = Matrix::zeros(1, 5 * 3 + 2);
+        let x9 = Matrix::zeros(1, 9 * 3 + 2);
+        assert_eq!(layer.forward(&x5).cols(), 3 * 4 + 2);
+        assert_eq!(layer.forward(&x9).cols(), 3 * 4 + 2);
+    }
+
+    #[test]
+    fn landpool_local_passthrough() {
+        let layer = Layer::land_pool(2, 2, 3, vec![PoolOp::Avg], 3);
+        let mut x = Matrix::zeros(1, 2 * 2 + 3);
+        x.row_mut(0)[4..].copy_from_slice(&[7.0, 8.0, 9.0]);
+        let y = layer.forward(&x);
+        assert_eq!(&y.row(0)[2..], &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn landpool_permutation_invariant_over_landmarks() {
+        // Pooling is commutative: permuting landmark blocks must not change
+        // the output. This is the heart of root-cause extensibility.
+        let layer = Layer::land_pool(5, 4, 2, PoolOp::standard_bank(), 7);
+        let mut rng = SplitMix64::new(99);
+        let blocks: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..4).map(|_| rng.next_f32()).collect())
+            .collect();
+        let local = [0.3f32, -0.4];
+        let build = |order: &[usize]| {
+            let mut row = Vec::new();
+            for &i in order {
+                row.extend_from_slice(&blocks[i]);
+            }
+            row.extend_from_slice(&local);
+            Matrix::from_row(row)
+        };
+        let y1 = layer.forward(&build(&[0, 1, 2, 3, 4, 5]));
+        let y2 = layer.forward(&build(&[5, 3, 1, 0, 4, 2]));
+        assert!(y1.max_abs_diff(&y2) < 1e-5);
+    }
+
+    /// Finite-difference check of the full LandPool backward pass:
+    /// input gradients, kernel gradients and bias gradients.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn landpool_gradcheck() {
+        let layer = Layer::land_pool(3, 2, 2, vec![PoolOp::Avg, PoolOp::Max, PoolOp::Var], 11);
+        let x = random_matrix(2, 4 * 2 + 2, 13);
+        let (y, cache) = layer.forward_cached(&x);
+        // Loss = sum of outputs → grad_out = ones.
+        let gout = Matrix::full(y.rows(), y.cols(), 1.0);
+        let mut grads = layer.zero_grads();
+        let gin = layer.backward(&x, &cache, &gout, Some(&mut grads));
+        let loss = |l: &Layer, x: &Matrix| -> f32 { l.forward(x).data().iter().sum() };
+        let eps = 1e-2f32;
+        // Input gradients.
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!(
+                    (gin.get(r, c) - num).abs() < 2e-2,
+                    "input grad ({r},{c}): {} vs {}",
+                    gin.get(r, c),
+                    num
+                );
+            }
+        }
+        // Kernel and bias gradients.
+        let LayerGrads::LandPool { dk, db } = &grads else {
+            unreachable!()
+        };
+        let Layer::LandPool(lp) = &layer else {
+            unreachable!()
+        };
+        for j in 0..lp.kernel.rows() {
+            for c in 0..lp.kernel.cols() {
+                let mut lp_p = lp.clone();
+                lp_p.kernel.set(j, c, lp.kernel.get(j, c) + eps);
+                let mut lp_m = lp.clone();
+                lp_m.kernel.set(j, c, lp.kernel.get(j, c) - eps);
+                let num = (loss(&Layer::LandPool(lp_p), &x) - loss(&Layer::LandPool(lp_m), &x))
+                    / (2.0 * eps);
+                assert!(
+                    (dk.get(j, c) - num).abs() < 5e-2,
+                    "kernel grad ({j},{c}): {} vs {}",
+                    dk.get(j, c),
+                    num
+                );
+            }
+            let mut lp_p = lp.clone();
+            lp_p.bias[j] += eps;
+            let mut lp_m = lp.clone();
+            lp_m.bias[j] -= eps;
+            let num =
+                (loss(&Layer::LandPool(lp_p), &x) - loss(&Layer::LandPool(lp_m), &x)) / (2.0 * eps);
+            assert!(
+                (db[j] - num).abs() < 5e-2,
+                "bias grad {j}: {} vs {}",
+                db[j],
+                num
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn dense_gradcheck() {
+        let layer = Layer::dense(3, 2, 17);
+        let x = random_matrix(4, 3, 19);
+        let (y, cache) = layer.forward_cached(&x);
+        let gout = Matrix::full(y.rows(), y.cols(), 1.0);
+        let mut grads = layer.zero_grads();
+        let gin = layer.backward(&x, &cache, &gout, Some(&mut grads));
+        let loss = |l: &Layer, x: &Matrix| -> f32 { l.forward(x).data().iter().sum() };
+        let eps = 1e-2f32;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!((gin.get(r, c) - num).abs() < 1e-2);
+            }
+        }
+        let LayerGrads::Dense { dw, db } = &grads else {
+            unreachable!()
+        };
+        let Layer::Dense(d) = &layer else {
+            unreachable!()
+        };
+        for r in 0..d.w.rows() {
+            for c in 0..d.w.cols() {
+                let mut dp = d.clone();
+                dp.w.set(r, c, d.w.get(r, c) + eps);
+                let mut dm = d.clone();
+                dm.w.set(r, c, d.w.get(r, c) - eps);
+                let num = (loss(&Layer::Dense(dp), &x) - loss(&Layer::Dense(dm), &x)) / (2.0 * eps);
+                assert!((dw.get(r, c) - num).abs() < 2e-2);
+            }
+        }
+        for j in 0..d.b.len() {
+            let mut dp = d.clone();
+            dp.b[j] += eps;
+            let mut dm = d.clone();
+            dm.b[j] -= eps;
+            let num = (loss(&Layer::Dense(dp), &x) - loss(&Layer::Dense(dm), &x)) / (2.0 * eps);
+            assert!((db[j] - num).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn freeze_flags() {
+        let mut layer = Layer::dense(2, 2, 21);
+        assert!(!layer.is_frozen());
+        layer.set_frozen(true);
+        assert!(layer.is_frozen());
+        assert!(
+            Layer::relu().is_frozen(),
+            "parameter-free layers report frozen"
+        );
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(Layer::dense(317, 512, 1).num_params(), 317 * 512 + 512);
+        assert_eq!(Layer::relu().num_params(), 0);
+        assert_eq!(
+            Layer::land_pool(24, 5, 5, PoolOp::standard_bank(), 1).num_params(),
+            24 * 5 + 24
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn landpool_rejects_bad_width() {
+        let layer = Layer::land_pool(2, 3, 1, vec![PoolOp::Avg], 1);
+        layer.forward(&Matrix::zeros(1, 9)); // (9-1) % 3 != 0
+    }
+}

@@ -1,0 +1,75 @@
+//! # diagnet-nn — a minimal dense neural-network framework
+//!
+//! This crate is the deep-learning substrate of the DiagNet reproduction
+//! (Bonniot, Neumann, Taïani — IPDPS 2021). The paper used TensorFlow 1.13;
+//! the Rust ecosystem has no equivalent offline, so this crate implements
+//! from scratch everything DiagNet's inference model needs:
+//!
+//! * a row-major `f32` [`tensor::Matrix`] type with
+//!   rayon-parallelised matrix products ([`linalg`]),
+//! * dense layers, ReLU non-linearities and the paper's **LandPooling**
+//!   layer (non-overlapping convolution over per-landmark feature blocks
+//!   followed by a bank of global pooling operations, §III-C of the paper),
+//! * reverse-mode backpropagation through entire networks, including the
+//!   **gradient with respect to the input features** that DiagNet's
+//!   attention mechanism requires (§III-E),
+//! * stochastic gradient descent with Nesterov momentum and learning-rate
+//!   decay (the optimiser of the paper's Table I),
+//! * a training loop with mini-batching, shuffling, validation splits and
+//!   early stopping, recording per-epoch losses (used to regenerate the
+//!   paper's Fig. 9),
+//! * layer freezing, used by the general → specialised transfer procedure
+//!   of §IV-F,
+//! * JSON (de)serialisation of trained models.
+//!
+//! Everything is deterministic given a seed: parallel code paths never
+//! change results, only wall-clock time.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use diagnet_nn::prelude::*;
+//!
+//! // Learn XOR with a tiny MLP.
+//! let x = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0],
+//! ]);
+//! let y = vec![0usize, 1, 1, 0];
+//! let mut net = Network::new(vec![
+//!     Layer::dense(2, 8, 1),
+//!     Layer::relu(),
+//!     Layer::dense(8, 2, 2),
+//! ]);
+//! let cfg = TrainConfig { epochs: 400, batch_size: 4, ..TrainConfig::default() };
+//! let mut trainer = Trainer::new(cfg, SgdNesterov::new(0.3, 0.9, 0.0));
+//! trainer.fit(&mut net, &x, &y, None, 7).unwrap();
+//! let probs = net.predict_proba(&x);
+//! assert!(probs.get(0, 0) > 0.5 && probs.get(1, 1) > 0.5);
+//! ```
+
+pub mod error;
+pub mod init;
+pub mod layer;
+pub mod linalg;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod pool;
+pub mod rng;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::layer::{Layer, LayerCache};
+    pub use crate::loss::{softmax_cross_entropy, softmax_in_place};
+    pub use crate::network::{Gradients, Network};
+    pub use crate::optim::{Optimizer, SgdNesterov};
+    pub use crate::pool::PoolOp;
+    pub use crate::tensor::Matrix;
+    pub use crate::train::{TrainConfig, TrainHistory, Trainer};
+}
+
+pub use error::NnError;
+pub use prelude::*;

@@ -1,0 +1,231 @@
+//! Matrix products, parallelised with rayon.
+//!
+//! Three product flavours cover everything backpropagation needs without
+//! ever materialising a transpose:
+//!
+//! * [`matmul`]      — `C = A · B`        (forward pass)
+//! * [`matmul_bt`]   — `C = A · Bᵀ`       (input gradients: `dX = dY · Wᵀ`
+//!   when weights are stored `out × in`… see [`crate::layer::Dense`])
+//! * [`matmul_at`]   — `C = Aᵀ · B`       (weight gradients: `dW = dYᵀ · X`)
+//!
+//! Each kernel parallelises over output rows. With row-major storage the
+//! inner loops stream contiguously, which lets LLVM auto-vectorise them.
+
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// Rows below which parallel dispatch costs more than it saves.
+const PAR_THRESHOLD: usize = 8;
+
+/// `A (m×k) · B (k×n) = C (m×n)`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let bd = b.data();
+    let kernel = |(row_out, row_a): (&mut [f32], &[f32])| {
+        // i-k-j loop order: both `brow` and `row_out` stream contiguously.
+        for (kk, &av) in row_a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in row_out.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.data_mut()
+            .par_chunks_mut(n)
+            .zip(a.data().par_chunks(k))
+            .for_each(kernel);
+    } else {
+        c.data_mut()
+            .chunks_mut(n)
+            .zip(a.data().chunks(k))
+            .for_each(kernel);
+    }
+    c
+}
+
+/// `A (m×k) · Bᵀ (k×n) = C (m×n)` where `B` is stored `n×k`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.cols()`.
+pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt: inner dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    let bd = b.data();
+    let kernel = |(row_out, row_a): (&mut [f32], &[f32])| {
+        for (j, o) in row_out.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in row_a.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.data_mut()
+            .par_chunks_mut(n)
+            .zip(a.data().par_chunks(k))
+            .for_each(kernel);
+    } else {
+        c.data_mut()
+            .chunks_mut(n)
+            .zip(a.data().chunks(k))
+            .for_each(kernel);
+    }
+    c
+}
+
+/// `Aᵀ (m×k) · B (m×n) = C (k×n)` where `A` is stored `m×k`.
+///
+/// Used for weight gradients: the reduction runs over the batch dimension
+/// `m`, so we parallelise over output rows (`k`) and let each task scan the
+/// batch.
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()`.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at: batch dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(k, n);
+    let (ad, bd) = (a.data(), b.data());
+    let kernel = |(i, row_out): (usize, &mut [f32])| {
+        for s in 0..m {
+            let av = ad[s * k + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[s * n..(s + 1) * n];
+            for (o, &bv) in row_out.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if k >= PAR_THRESHOLD {
+        c.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
+    } else {
+        c.data_mut().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    c
+}
+
+/// Adds `bias` (length `n`) to every row of the `m×n` matrix.
+///
+/// # Panics
+/// Panics if `bias.len() != x.cols()`.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), x.cols(), "add_bias: width mismatch");
+    let n = x.cols();
+    for row in x.data_mut().chunks_exact_mut(n) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Sums the rows of `x` into a length-`cols` vector (bias gradients).
+pub fn column_sums(x: &Matrix) -> Vec<f32> {
+    let n = x.cols();
+    let mut out = vec![0.0f32; n];
+    for row in x.data().chunks_exact(n) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.next_f32() * 2.0 - 1.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = random_matrix(13, 7, 1);
+        let b = random_matrix(7, 5, 2);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_bt_matches_transpose() {
+        let a = random_matrix(9, 6, 3);
+        let b = random_matrix(4, 6, 4);
+        let c = matmul_bt(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b.transpose())) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_at_matches_transpose() {
+        let a = random_matrix(11, 3, 5);
+        let b = random_matrix(11, 4, 6);
+        let c = matmul_at(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a.transpose(), &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_large_parallel_path() {
+        // Exercise the rayon branch (rows >= PAR_THRESHOLD).
+        let a = random_matrix(64, 32, 7);
+        let b = random_matrix(32, 16, 8);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_matrix(5, 5, 9);
+        let mut id = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            id.set(i, i, 1.0);
+        }
+        assert!(matmul(&a, &id).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&id, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn add_bias_and_column_sums() {
+        let mut x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        add_bias(&mut x, &[10.0, 20.0]);
+        assert_eq!(x.row(0), &[11.0, 22.0]);
+        assert_eq!(column_sums(&x), vec![24.0, 46.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_shape_mismatch_panics() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+}

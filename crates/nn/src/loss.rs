@@ -1,0 +1,347 @@
+//! Softmax and cross-entropy utilities.
+
+use crate::tensor::Matrix;
+
+/// Numerically stable row-wise softmax, in place.
+pub fn softmax_in_place(x: &mut Matrix) {
+    let cols = x.cols();
+    for row in x.data_mut().chunks_exact_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise softmax into a fresh matrix.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut probs = logits.clone();
+    softmax_in_place(&mut probs);
+    probs
+}
+
+/// Floor applied inside `log` to keep the loss finite when a probability
+/// underflows to zero.
+const LOG_FLOOR: f32 = 1e-12;
+
+/// Mean softmax cross-entropy between `logits` (`n × c`) and integer class
+/// `targets` (length `n`). Returns `(mean_loss, grad)` where `grad` is
+/// `∂L/∂logits = (softmax(logits) − onehot) / n` — ready to backpropagate.
+///
+/// # Panics
+/// Panics if `targets.len() != logits.rows()` or any target is `>= c`.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    softmax_cross_entropy_weighted(logits, targets, None)
+}
+
+/// Class-weighted softmax cross-entropy: sample `i` contributes with
+/// weight `weights[targets[i]]`. Used to counter the heavy
+/// nominal-vs-faulty imbalance of the paper's dataset (213k nominal vs
+/// 30k faulty split over six fault families).
+///
+/// # Panics
+/// Panics on inconsistent shapes or a target out of range.
+pub fn softmax_cross_entropy_weighted(
+    logits: &Matrix,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+) -> (f32, Matrix) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "softmax_cross_entropy: target count mismatch"
+    );
+    let n = logits.rows();
+    let c = logits.cols();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), c, "softmax_cross_entropy: weight count mismatch");
+    }
+    let mut grad = softmax(logits);
+    let mut loss = 0.0f32;
+    let inv_n = 1.0 / n as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(
+            t < c,
+            "softmax_cross_entropy: target {t} out of range for {c} classes"
+        );
+        let w = weights.map_or(1.0, |w| w[t]);
+        let row = grad.row_mut(i);
+        loss -= row[t].max(LOG_FLOOR).ln() * w;
+        row[t] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n * w;
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+/// Mean cross-entropy loss only (no gradient), for validation monitoring.
+pub fn cross_entropy_loss(logits: &Matrix, targets: &[usize]) -> f32 {
+    cross_entropy_loss_weighted(logits, targets, None)
+}
+
+/// Class-weighted mean cross-entropy (no gradient). Validation must be
+/// monitored under the *same* objective the optimiser minimises, or early
+/// stopping fires on the wrong signal.
+pub fn cross_entropy_loss_weighted(
+    logits: &Matrix,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+) -> f32 {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "cross_entropy_loss: target count mismatch"
+    );
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    for (i, &t) in targets.iter().enumerate() {
+        let w = weights.map_or(1.0, |w| w[t]);
+        loss -= probs.get(i, t).max(LOG_FLOOR).ln() * w;
+    }
+    loss / targets.len() as f32
+}
+
+/// Element-wise sigmoid.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Mean binary cross-entropy with logits over a multi-hot target matrix
+/// (`targets[i][j] ∈ {0, 1}`), plus `∂L/∂logits`. Supports the
+/// *multi-label* reading of the general model's training target ("the
+/// union of services' problems", §IV-F) and simultaneous-fault labelling.
+///
+/// # Panics
+/// Panics if shapes differ or targets are outside `[0, 1]`.
+pub fn binary_cross_entropy(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        logits.rows(),
+        targets.rows(),
+        "binary_cross_entropy: row mismatch"
+    );
+    assert_eq!(
+        logits.cols(),
+        targets.cols(),
+        "binary_cross_entropy: col mismatch"
+    );
+    let n = (logits.rows() * logits.cols()).max(1) as f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f32;
+    for ((g, &z), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data())
+        .zip(targets.data())
+    {
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "binary_cross_entropy: target {t} outside [0, 1]"
+        );
+        let p = sigmoid(z);
+        loss -= t * p.max(LOG_FLOOR).ln() + (1.0 - t) * (1.0 - p).max(LOG_FLOOR).ln();
+        *g = (p - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Gradient of the paper's *ideal-label* loss `L* = −log y_argmax(y)`
+/// (§III-E, used by the attention mechanism) with respect to the logits:
+/// `∂L*/∂logits = softmax(logits) − onehot(argmax)`.
+///
+/// One row per sample; no `1/n` averaging since attention works per sample.
+pub fn ideal_label_grad(logits: &Matrix) -> Matrix {
+    let mut grad = softmax(logits);
+    for i in 0..grad.rows() {
+        let arg = grad.argmax_row(i);
+        let row = grad.row_mut(i);
+        row[arg] -= 1.0;
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Matrix::from_rows(&[vec![1000.0, 1001.0]]);
+        let p = softmax(&x);
+        assert!(!p.has_non_finite());
+        assert!(p.get(0, 1) > p.get(0, 0));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let x = Matrix::from_rows(&[vec![20.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&x, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&x, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 1.1], vec![0.0, 0.2, -0.4]]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&x, &targets);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let lp = softmax_cross_entropy(&xp, &targets).0;
+                let lm = softmax_cross_entropy(&xm, &targets).0;
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((grad.get(r, c) - num).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // softmax − onehot always sums to 0 per row.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let (_, grad) = softmax_cross_entropy(&x, &[1]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_label_grad_zero_only_when_confident() {
+        // Confident prediction → small gradient; uncertain → large.
+        let confident = Matrix::from_rows(&[vec![10.0, 0.0]]);
+        let uncertain = Matrix::from_rows(&[vec![0.1, 0.0]]);
+        let gc = ideal_label_grad(&confident);
+        let gu = ideal_label_grad(&uncertain);
+        assert!(gc.norm() < gu.norm());
+    }
+
+    #[test]
+    fn cross_entropy_loss_matches_grad_variant() {
+        let x = Matrix::from_rows(&[vec![0.5, -0.2, 0.9], vec![1.0, 1.0, 1.0]]);
+        let t = [0usize, 2];
+        assert!((cross_entropy_loss(&x, &t) - softmax_cross_entropy(&x, &t).0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_out_of_range_panics() {
+        softmax_cross_entropy(&Matrix::zeros(1, 2), &[5]);
+    }
+
+    #[test]
+    fn weighted_ce_scales_loss_and_gradient_per_class() {
+        let x = Matrix::from_rows(&[vec![0.2, -0.3, 0.5], vec![0.1, 0.4, -0.2]]);
+        let targets = [0usize, 2];
+        let weights = [2.0f32, 1.0, 0.5];
+        let (lu, gu) = softmax_cross_entropy(&x, &targets);
+        let (lw, gw) = softmax_cross_entropy_weighted(&x, &targets, Some(&weights));
+        // Per-sample losses scale by w[target]; here the mean mixes 2.0 and
+        // 0.5 weights, so recompute per row.
+        let (l0, _) = softmax_cross_entropy(&Matrix::from_rows(&[x.row(0).to_vec()]), &[0]);
+        let (l1, _) = softmax_cross_entropy(&Matrix::from_rows(&[x.row(1).to_vec()]), &[2]);
+        assert!((lw - (2.0 * l0 + 0.5 * l1) / 2.0).abs() < 1e-5);
+        assert!(lu > 0.0);
+        // Gradients of row 0 doubled, row 1 halved.
+        for c in 0..3 {
+            assert!((gw.get(0, c) - 2.0 * gu.get(0, c)).abs() < 1e-6);
+            assert!((gw.get(1, c) - 0.5 * gu.get(1, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let x = Matrix::from_rows(&[vec![0.3, -0.1], vec![-0.5, 0.8]]);
+        let targets = [1usize, 0];
+        let (lu, gu) = softmax_cross_entropy(&x, &targets);
+        let (lw, gw) = softmax_cross_entropy_weighted(&x, &targets, Some(&[1.0, 1.0]));
+        assert_eq!(lu, lw);
+        assert_eq!(gu, gw);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn wrong_weight_count_panics() {
+        softmax_cross_entropy_weighted(&Matrix::zeros(1, 3), &[0], Some(&[1.0]));
+    }
+
+    #[test]
+    fn bce_perfect_and_uniform() {
+        // Confident, correct logits → near-zero loss.
+        let logits = Matrix::from_rows(&[vec![10.0, -10.0]]);
+        let targets = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (loss, _) = binary_cross_entropy(&logits, &targets);
+        assert!(loss < 1e-3);
+        // Zero logits → ln 2 per element.
+        let (loss, _) = binary_cross_entropy(&Matrix::zeros(1, 3), &Matrix::zeros(1, 3));
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[vec![0.4, -0.7, 1.2]]);
+        let t = Matrix::from_rows(&[vec![1.0, 0.0, 1.0]]);
+        let (_, grad) = binary_cross_entropy(&x, &t);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let num =
+                (binary_cross_entropy(&xp, &t).0 - binary_cross_entropy(&xm, &t).0) / (2.0 * eps);
+            assert!((grad.get(0, c) - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_supports_multi_hot_rows() {
+        // Two simultaneous faults: both positive labels pull their logits up.
+        let x = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let t = Matrix::from_rows(&[vec![1.0, 1.0, 0.0]]);
+        let (_, grad) = binary_cross_entropy(&x, &t);
+        assert!(grad.get(0, 0) < 0.0 && grad.get(0, 1) < 0.0);
+        assert!(grad.get(0, 2) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bce_rejects_bad_targets() {
+        binary_cross_entropy(&Matrix::zeros(1, 1), &Matrix::from_rows(&[vec![2.0]]));
+    }
+
+    #[test]
+    fn weighted_validation_loss_matches() {
+        let x = Matrix::from_rows(&[vec![0.3, -0.1, 0.2]]);
+        let w = [3.0f32, 1.0, 1.0];
+        let (l, _) = softmax_cross_entropy_weighted(&x, &[0], Some(&w));
+        assert!((cross_entropy_loss_weighted(&x, &[0], Some(&w)) - l).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! Networks: layer stacks with forward, backward and input-gradient passes.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerCache, LayerGrads};
+use crate::loss::{softmax, softmax_cross_entropy_weighted};
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Parameter gradients for a whole network, mirroring its layer structure.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// One gradient holder per layer (`LayerGrads::None` for ReLU etc.).
+    pub layers: Vec<LayerGrads>,
+}
+
+impl Gradients {
+    /// All-zero gradients shaped like `net`.
+    pub fn zeros_like(net: &Network) -> Self {
+        Gradients {
+            layers: net.layers.iter().map(Layer::zero_grads).collect(),
+        }
+    }
+
+    /// Reset to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.layers {
+            match g {
+                LayerGrads::None => {}
+                LayerGrads::Dense { dw, db } | LayerGrads::LandPool { dk: dw, db } => {
+                    dw.fill_zero();
+                    db.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// A feed-forward network. The final layer produces **logits**; call
+/// [`Network::predict_proba`] for softmax probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Ordered layers, input to output.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Build a network from layers.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "Network::new: need at least one layer");
+        Network { layers }
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Number of parameters in non-frozen layers.
+    pub fn num_trainable_params(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| !l.is_frozen())
+            .map(|l| l.num_params())
+            .sum()
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass returning softmax probabilities, one row per sample.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax(&self.forward(x))
+    }
+
+    /// Predicted class per sample (argmax of logits).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.forward(x);
+        (0..logits.rows()).map(|i| logits.argmax_row(i)).collect()
+    }
+
+    /// Training forward pass: returns all activations (`len = layers + 1`,
+    /// `activations[0] = x`) and per-layer caches.
+    pub fn forward_all(&self, x: &Matrix) -> (Vec<Matrix>, Vec<LayerCache>) {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        activations.push(x.clone());
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_cached(activations.last().expect("non-empty"));
+            activations.push(out);
+            caches.push(cache);
+        }
+        (activations, caches)
+    }
+
+    /// Backward pass from `grad_logits` (gradient w.r.t. the final layer's
+    /// output). Accumulates parameter gradients into `grads` and returns the
+    /// gradient w.r.t. the network input.
+    pub fn backward(
+        &self,
+        activations: &[Matrix],
+        caches: &[LayerCache],
+        grad_logits: Matrix,
+        grads: Option<&mut Gradients>,
+    ) -> Matrix {
+        assert_eq!(
+            activations.len(),
+            self.layers.len() + 1,
+            "backward: activation count mismatch"
+        );
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "backward: cache count mismatch"
+        );
+        let mut grad = grad_logits;
+        match grads {
+            Some(gs) => {
+                assert_eq!(
+                    gs.layers.len(),
+                    self.layers.len(),
+                    "backward: gradient holder mismatch"
+                );
+                for (i, layer) in self.layers.iter().enumerate().rev() {
+                    grad =
+                        layer.backward(&activations[i], &caches[i], &grad, Some(&mut gs.layers[i]));
+                }
+            }
+            None => {
+                for (i, layer) in self.layers.iter().enumerate().rev() {
+                    grad = layer.backward(&activations[i], &caches[i], &grad, None);
+                }
+            }
+        }
+        grad
+    }
+
+    /// One full training step's gradient computation: forward, softmax
+    /// cross-entropy against `targets`, backward. Returns the mean loss.
+    pub fn loss_gradients(&self, x: &Matrix, targets: &[usize], grads: &mut Gradients) -> f32 {
+        self.loss_gradients_weighted(x, targets, None, grads)
+    }
+
+    /// [`Network::loss_gradients`] with optional per-class loss weights.
+    pub fn loss_gradients_weighted(
+        &self,
+        x: &Matrix,
+        targets: &[usize],
+        class_weights: Option<&[f32]>,
+        grads: &mut Gradients,
+    ) -> f32 {
+        let (activations, caches) = self.forward_all(x);
+        let logits = activations.last().expect("non-empty");
+        let (loss, grad_logits) = softmax_cross_entropy_weighted(logits, targets, class_weights);
+        self.backward(&activations, &caches, grad_logits, Some(grads));
+        loss
+    }
+
+    /// Gradient of an arbitrary output-space gradient w.r.t. the **input
+    /// features**, without touching parameters. `make_grad` receives the
+    /// logits and must return `∂L/∂logits`. This is the primitive behind
+    /// DiagNet's attention mechanism (§III-E).
+    pub fn input_gradient<F>(&self, x: &Matrix, make_grad: F) -> Matrix
+    where
+        F: FnOnce(&Matrix) -> Matrix,
+    {
+        let (activations, caches) = self.forward_all(x);
+        let grad_logits = make_grad(activations.last().expect("non-empty"));
+        self.backward(&activations, &caches, grad_logits, None)
+    }
+
+    /// Output width produced for inputs of `in_dim` features; validates all
+    /// intermediate widths.
+    pub fn out_dim(&self, in_dim: usize) -> Result<usize, NnError> {
+        let mut dim = in_dim;
+        for (i, layer) in self.layers.iter().enumerate() {
+            // `Layer::out_dim` panics on mismatch; convert to an error here
+            // so callers can validate untrusted dimensions.
+            let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| layer.out_dim(dim)));
+            match ok {
+                Ok(d) => dim = d,
+                Err(_) => {
+                    return Err(NnError::ShapeMismatch {
+                        context: format!("layer {i}"),
+                        expected: 0,
+                        actual: dim,
+                    })
+                }
+            }
+        }
+        Ok(dim)
+    }
+
+    /// Freeze every layer whose index is in `indices` (and thaw the rest).
+    pub fn freeze_only(&mut self, indices: &[usize]) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.set_frozen(indices.contains(&i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolOp;
+    use crate::rng::SplitMix64;
+
+    fn tiny_net() -> Network {
+        Network::new(vec![
+            Layer::dense(4, 6, 1),
+            Layer::relu(),
+            Layer::dense(6, 3, 2),
+        ])
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.next_f32() * 2.0 - 1.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = tiny_net();
+        let y = net.forward(&Matrix::zeros(5, 4));
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn predict_proba_rows_normalised() {
+        let net = tiny_net();
+        let p = net.predict_proba(&random_matrix(3, 4, 5));
+        for r in 0..3 {
+            assert!((p.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn out_dim_validates() {
+        let net = tiny_net();
+        assert_eq!(net.out_dim(4).unwrap(), 3);
+        assert!(net.out_dim(7).is_err());
+    }
+
+    #[test]
+    fn num_params_and_freezing() {
+        let mut net = tiny_net();
+        assert_eq!(net.num_params(), 4 * 6 + 6 + 6 * 3 + 3);
+        assert_eq!(net.num_trainable_params(), net.num_params());
+        net.freeze_only(&[0]);
+        assert_eq!(net.num_trainable_params(), 6 * 3 + 3);
+    }
+
+    /// End-to-end gradient check through a realistic DiagNet-shaped stack
+    /// (LandPool + MLP) against finite differences of the CE loss.
+    #[test]
+    fn full_network_gradcheck() {
+        let net = Network::new(vec![
+            Layer::land_pool(3, 2, 2, vec![PoolOp::Avg, PoolOp::Max], 3),
+            Layer::dense(3 * 2 + 2, 5, 4),
+            Layer::relu(),
+            Layer::dense(5, 3, 5),
+        ]);
+        let x = random_matrix(3, 4 * 2 + 2, 7);
+        let targets = [0usize, 2, 1];
+        let mut grads = Gradients::zeros_like(&net);
+        net.loss_gradients(&x, &targets, &mut grads);
+        let loss_of = |n: &Network| {
+            let logits = n.forward(&x);
+            crate::loss::cross_entropy_loss(&logits, &targets)
+        };
+        let eps = 1e-2f32;
+        // Spot-check dense weights of the first dense layer.
+        let LayerGrads::Dense { dw, .. } = &grads.layers[1] else {
+            panic!()
+        };
+        for (r, c) in [(0, 0), (3, 2), (7, 4)] {
+            let mut np = net.clone();
+            let mut nm = net.clone();
+            let (Layer::Dense(dp), Layer::Dense(dm)) = (&mut np.layers[1], &mut nm.layers[1])
+            else {
+                panic!()
+            };
+            dp.w.set(r, c, dp.w.get(r, c) + eps);
+            dm.w.set(r, c, dm.w.get(r, c) - eps);
+            let num = (loss_of(&np) - loss_of(&nm)) / (2.0 * eps);
+            assert!(
+                (dw.get(r, c) - num).abs() < 1e-2,
+                "dW({r},{c}): analytic {} vs numeric {}",
+                dw.get(r, c),
+                num
+            );
+        }
+        // Spot-check the LandPool kernel.
+        let LayerGrads::LandPool { dk, .. } = &grads.layers[0] else {
+            panic!()
+        };
+        for (r, c) in [(0, 0), (2, 1)] {
+            let mut np = net.clone();
+            let mut nm = net.clone();
+            let (Layer::LandPool(lp), Layer::LandPool(lm)) = (&mut np.layers[0], &mut nm.layers[0])
+            else {
+                panic!()
+            };
+            lp.kernel.set(r, c, lp.kernel.get(r, c) + eps);
+            lm.kernel.set(r, c, lm.kernel.get(r, c) - eps);
+            let num = (loss_of(&np) - loss_of(&nm)) / (2.0 * eps);
+            assert!(
+                (dk.get(r, c) - num).abs() < 1e-2,
+                "dK({r},{c}): analytic {} vs numeric {}",
+                dk.get(r, c),
+                num
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let net = tiny_net();
+        let x = random_matrix(1, 4, 11);
+        let targets = [1usize];
+        let gin = net.input_gradient(&x, |logits| {
+            crate::loss::softmax_cross_entropy(logits, &targets).1
+        });
+        let loss_of = |x: &Matrix| crate::loss::cross_entropy_loss(&net.forward(x), &targets);
+        let eps = 1e-2f32;
+        for c in 0..4 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
+            assert!((gin.get(0, c) - num).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradients_zero_resets() {
+        let net = tiny_net();
+        let mut grads = Gradients::zeros_like(&net);
+        net.loss_gradients(&random_matrix(4, 4, 13), &[0, 1, 2, 0], &mut grads);
+        let LayerGrads::Dense { dw, .. } = &grads.layers[0] else {
+            panic!()
+        };
+        assert!(dw.norm() > 0.0);
+        grads.zero();
+        let LayerGrads::Dense { dw, .. } = &grads.layers[0] else {
+            panic!()
+        };
+        assert_eq!(dw.norm(), 0.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Optimisers. DiagNet (Table I) trains with SGD + Nesterov momentum,
+//! learning rate 0.05 and decay 0.001; that is [`SgdNesterov`]'s default.
+
+use crate::layer::{Layer, LayerGrads};
+use crate::network::{Gradients, Network};
+use crate::tensor::Matrix;
+
+/// Anything that can apply a gradient step to a network.
+pub trait Optimizer {
+    /// Apply one update. Frozen layers must be left untouched.
+    fn step(&mut self, net: &mut Network, grads: &Gradients);
+    /// Reset internal state (velocities, step counters).
+    fn reset(&mut self);
+    /// Current effective learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Stochastic gradient descent with Nesterov momentum and time-based
+/// learning-rate decay:
+///
+/// ```text
+/// lr_t = lr0 / (1 + decay · t)
+/// v    ← μ·v − lr_t·g
+/// p    ← p + μ·v − lr_t·g        (Nesterov look-ahead form)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SgdNesterov {
+    /// Initial learning rate (paper: 0.05).
+    pub lr0: f32,
+    /// Momentum coefficient μ.
+    pub momentum: f32,
+    /// Time-based decay (paper: 0.001).
+    pub decay: f32,
+    steps: u64,
+    /// Per-layer velocity buffers, lazily shaped on the first step.
+    velocities: Vec<LayerGrads>,
+}
+
+impl SgdNesterov {
+    /// Create an optimiser.
+    pub fn new(lr0: f32, momentum: f32, decay: f32) -> Self {
+        assert!(lr0 > 0.0, "SgdNesterov: learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "SgdNesterov: momentum must be in [0, 1)"
+        );
+        assert!(decay >= 0.0, "SgdNesterov: decay must be non-negative");
+        SgdNesterov {
+            lr0,
+            momentum,
+            decay,
+            steps: 0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration: lr 0.05, Nesterov momentum 0.9, decay 1e-3.
+    pub fn paper_default() -> Self {
+        SgdNesterov::new(0.05, 0.9, 0.001)
+    }
+
+    fn ensure_velocities(&mut self, net: &Network) {
+        if self.velocities.len() != net.layers.len() {
+            self.velocities = net.layers.iter().map(Layer::zero_grads).collect();
+        }
+    }
+
+    fn update_buffers(
+        w: &mut Matrix,
+        b: &mut [f32],
+        g: (&Matrix, &[f32]),
+        v: (&mut Matrix, &mut [f32]),
+        lr: f32,
+        mu: f32,
+    ) {
+        let (gw, gb) = g;
+        let (vw, vb) = v;
+        for ((p, &grad), vel) in w.data_mut().iter_mut().zip(gw.data()).zip(vw.data_mut()) {
+            *vel = mu * *vel - lr * grad;
+            *p += mu * *vel - lr * grad;
+        }
+        for ((p, &grad), vel) in b.iter_mut().zip(gb).zip(vb.iter_mut()) {
+            *vel = mu * *vel - lr * grad;
+            *p += mu * *vel - lr * grad;
+        }
+    }
+}
+
+impl Optimizer for SgdNesterov {
+    fn step(&mut self, net: &mut Network, grads: &Gradients) {
+        assert_eq!(
+            grads.layers.len(),
+            net.layers.len(),
+            "SgdNesterov: gradient shape mismatch"
+        );
+        self.ensure_velocities(net);
+        let lr = self.learning_rate();
+        let mu = self.momentum;
+        for ((layer, grad), vel) in net
+            .layers
+            .iter_mut()
+            .zip(&grads.layers)
+            .zip(&mut self.velocities)
+        {
+            if layer.is_frozen() {
+                continue;
+            }
+            match (layer, grad, vel) {
+                (
+                    Layer::Dense(d),
+                    LayerGrads::Dense { dw, db },
+                    LayerGrads::Dense { dw: vw, db: vb },
+                ) => Self::update_buffers(&mut d.w, &mut d.b, (dw, db), (vw, vb), lr, mu),
+                (
+                    Layer::LandPool(lp),
+                    LayerGrads::LandPool { dk, db },
+                    LayerGrads::LandPool { dk: vk, db: vb },
+                ) => Self::update_buffers(&mut lp.kernel, &mut lp.bias, (dk, db), (vk, vb), lr, mu),
+                (Layer::ReLU, LayerGrads::None, LayerGrads::None) => {}
+                _ => panic!("SgdNesterov: layer/gradient variant mismatch"),
+            }
+        }
+        self.steps += 1;
+    }
+
+    fn reset(&mut self) {
+        self.steps = 0;
+        self.velocities.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr0 / (1.0 + self.decay * self.steps as f32)
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction — not used by the paper
+/// (Table I specifies SGD + Nesterov) but provided so the optimiser choice
+/// can be ablated.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Step size α.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability term ε.
+    pub eps: f32,
+    steps: u64,
+    /// First moments, mirroring the network layers.
+    m: Vec<LayerGrads>,
+    /// Second moments.
+    v: Vec<LayerGrads>,
+}
+
+impl Adam {
+    /// Create an Adam optimiser with the usual β defaults.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "Adam: learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            steps: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, net: &Network) {
+        if self.m.len() != net.layers.len() {
+            self.m = net.layers.iter().map(Layer::zero_grads).collect();
+            self.v = net.layers.iter().map(Layer::zero_grads).collect();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        params: &mut [f32],
+        grads: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bias1: f32,
+        bias2: f32,
+    ) {
+        for (((p, &g), mi), vi) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
+            *mi = beta1 * *mi + (1.0 - beta1) * g;
+            *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+            let m_hat = *mi / bias1;
+            let v_hat = *vi / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Network, grads: &Gradients) {
+        assert_eq!(
+            grads.layers.len(),
+            net.layers.len(),
+            "Adam: gradient shape mismatch"
+        );
+        self.ensure_state(net);
+        self.steps += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.steps as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.steps as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        for (((layer, grad), m), v) in net
+            .layers
+            .iter_mut()
+            .zip(&grads.layers)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            if layer.is_frozen() {
+                continue;
+            }
+            match (layer, grad, m, v) {
+                (
+                    Layer::Dense(d),
+                    LayerGrads::Dense { dw, db },
+                    LayerGrads::Dense { dw: mw, db: mb },
+                    LayerGrads::Dense { dw: vw, db: vb },
+                ) => {
+                    Self::update(
+                        d.w.data_mut(),
+                        dw.data(),
+                        mw.data_mut(),
+                        vw.data_mut(),
+                        lr,
+                        b1,
+                        b2,
+                        eps,
+                        bias1,
+                        bias2,
+                    );
+                    Self::update(&mut d.b, db, mb, vb, lr, b1, b2, eps, bias1, bias2);
+                }
+                (
+                    Layer::LandPool(lp),
+                    LayerGrads::LandPool { dk, db },
+                    LayerGrads::LandPool { dk: mk, db: mb },
+                    LayerGrads::LandPool { dk: vk, db: vb },
+                ) => {
+                    Self::update(
+                        lp.kernel.data_mut(),
+                        dk.data(),
+                        mk.data_mut(),
+                        vk.data_mut(),
+                        lr,
+                        b1,
+                        b2,
+                        eps,
+                        bias1,
+                        bias2,
+                    );
+                    Self::update(&mut lp.bias, db, mb, vb, lr, b1, b2, eps, bias1, bias2);
+                }
+                (Layer::ReLU, LayerGrads::None, LayerGrads::None, LayerGrads::None) => {}
+                _ => panic!("Adam: layer/gradient variant mismatch"),
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.steps = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn quadratic_net() -> Network {
+        // Single 1→1 dense layer; loss analogue handled manually in tests.
+        Network::new(vec![Layer::dense(1, 1, 1)])
+    }
+
+    fn weight(net: &Network) -> f32 {
+        let Layer::Dense(d) = &net.layers[0] else {
+            panic!()
+        };
+        d.w.get(0, 0)
+    }
+
+    /// Minimise f(w) = (w − 3)² by feeding the optimiser ∂f/∂w directly.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut net = quadratic_net();
+        let mut opt = SgdNesterov::new(0.1, 0.9, 0.0);
+        for _ in 0..100 {
+            let w = weight(&net);
+            let mut grads = Gradients::zeros_like(&net);
+            if let LayerGrads::Dense { dw, .. } = &mut grads.layers[0] {
+                dw.set(0, 0, 2.0 * (w - 3.0));
+            }
+            opt.step(&mut net, &grads);
+        }
+        assert!((weight(&net) - 3.0).abs() < 1e-3, "w = {}", weight(&net));
+    }
+
+    #[test]
+    fn momentum_accelerates_over_plain_sgd() {
+        let run = |momentum: f32| {
+            let mut net = quadratic_net();
+            let mut opt = SgdNesterov::new(0.01, momentum, 0.0);
+            for _ in 0..50 {
+                let w = weight(&net);
+                let mut grads = Gradients::zeros_like(&net);
+                if let LayerGrads::Dense { dw, .. } = &mut grads.layers[0] {
+                    dw.set(0, 0, 2.0 * (w - 3.0));
+                }
+                opt.step(&mut net, &grads);
+            }
+            (weight(&net) - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn decay_reduces_learning_rate() {
+        let mut opt = SgdNesterov::new(0.05, 0.9, 0.001);
+        assert_eq!(opt.learning_rate(), 0.05);
+        let mut net = quadratic_net();
+        let grads = Gradients::zeros_like(&net);
+        for _ in 0..1000 {
+            opt.step(&mut net, &grads);
+        }
+        assert!((opt.learning_rate() - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frozen_layers_untouched() {
+        let mut net = Network::new(vec![Layer::dense(2, 2, 3), Layer::dense(2, 2, 4)]);
+        net.layers[0].set_frozen(true);
+        let before_frozen = net.layers[0].clone();
+        let before_free = net.layers[1].clone();
+        let mut grads = Gradients::zeros_like(&net);
+        let mut rng = SplitMix64::new(5);
+        for g in &mut grads.layers {
+            if let LayerGrads::Dense { dw, db } = g {
+                for v in dw.data_mut() {
+                    *v = rng.next_f32();
+                }
+                for v in db.iter_mut() {
+                    *v = rng.next_f32();
+                }
+            }
+        }
+        let mut opt = SgdNesterov::paper_default();
+        opt.step(&mut net, &grads);
+        assert_eq!(net.layers[0], before_frozen);
+        assert_ne!(net.layers[1], before_free);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = SgdNesterov::new(0.05, 0.9, 0.01);
+        let mut net = quadratic_net();
+        let grads = Gradients::zeros_like(&net);
+        opt.step(&mut net, &grads);
+        assert!(opt.learning_rate() < 0.05);
+        opt.reset();
+        assert_eq!(opt.learning_rate(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn invalid_momentum_panics() {
+        SgdNesterov::new(0.1, 1.5, 0.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut net = quadratic_net();
+        let mut opt = Adam::new(0.2);
+        for _ in 0..200 {
+            let w = weight(&net);
+            let mut grads = Gradients::zeros_like(&net);
+            if let LayerGrads::Dense { dw, .. } = &mut grads.layers[0] {
+                dw.set(0, 0, 2.0 * (w - 3.0));
+            }
+            opt.step(&mut net, &grads);
+        }
+        assert!((weight(&net) - 3.0).abs() < 1e-2, "w = {}", weight(&net));
+    }
+
+    #[test]
+    fn adam_respects_frozen_layers() {
+        let mut net = Network::new(vec![Layer::dense(2, 2, 3)]);
+        net.layers[0].set_frozen(true);
+        let before = net.layers[0].clone();
+        let mut grads = Gradients::zeros_like(&net);
+        if let LayerGrads::Dense { dw, .. } = &mut grads.layers[0] {
+            dw.set(0, 0, 5.0);
+        }
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut net, &grads);
+        assert_eq!(net.layers[0], before);
+    }
+
+    #[test]
+    fn adam_reset_clears_moments() {
+        let mut net = quadratic_net();
+        let mut opt = Adam::new(0.1);
+        let mut grads = Gradients::zeros_like(&net);
+        if let LayerGrads::Dense { dw, .. } = &mut grads.layers[0] {
+            dw.set(0, 0, 1.0);
+        }
+        opt.step(&mut net, &grads);
+        let w_after_one = weight(&net);
+        opt.reset();
+        let mut net2 = quadratic_net();
+        opt.step(&mut net2, &grads);
+        assert!(
+            (weight(&net2) - w_after_one).abs() < 1e-6,
+            "reset restores step-1 behaviour"
+        );
+    }
+}

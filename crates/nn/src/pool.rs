@@ -1,0 +1,326 @@
+//! Global pooling operations (the Ω bank of the LandPooling layer).
+//!
+//! DiagNet flattens a variable number of landmarks into a fixed-size vector
+//! by applying a *bank* of commutative pooling functions element-wise over
+//! the per-landmark convolution outputs (paper §III-C, Table I):
+//! `Ω = {min, max, avg, variance, p10, …, p90}`.
+//!
+//! Every operation here has an exact sub-gradient used during training:
+//!
+//! * `min` / `max` route the gradient to the arg-extremum (first on ties),
+//! * `avg` spreads it uniformly,
+//! * `variance` uses `∂/∂vⱼ = 2(vⱼ − μ)/ℓ`,
+//! * percentiles linearly interpolate between two order statistics, and the
+//!   gradient splits between those two elements with the interpolation
+//!   weights.
+
+use serde::{Deserialize, Serialize};
+
+/// One global pooling operation over a set of per-landmark values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolOp {
+    /// Minimum over landmarks.
+    Min,
+    /// Maximum over landmarks.
+    Max,
+    /// Arithmetic mean over landmarks.
+    Avg,
+    /// Population variance over landmarks.
+    Var,
+    /// Linear-interpolated percentile (0 ..= 100).
+    Percentile(u8),
+}
+
+impl PoolOp {
+    /// The paper's Ω bank: min, max, avg, variance and the nine deciles
+    /// p10 … p90 — 13 operations in total.
+    pub fn standard_bank() -> Vec<PoolOp> {
+        let mut ops = vec![PoolOp::Min, PoolOp::Max, PoolOp::Avg, PoolOp::Var];
+        for p in (10..=90).step_by(10) {
+            ops.push(PoolOp::Percentile(p as u8));
+        }
+        ops
+    }
+
+    /// A minimal bank used by ablation benchmarks.
+    pub fn minimal_bank() -> Vec<PoolOp> {
+        vec![PoolOp::Avg]
+    }
+
+    /// A medium bank used by ablation benchmarks.
+    pub fn small_bank() -> Vec<PoolOp> {
+        vec![PoolOp::Min, PoolOp::Max, PoolOp::Avg]
+    }
+
+    /// Short human-readable name (for bench and experiment output).
+    pub fn name(&self) -> String {
+        match self {
+            PoolOp::Min => "min".into(),
+            PoolOp::Max => "max".into(),
+            PoolOp::Avg => "avg".into(),
+            PoolOp::Var => "var".into(),
+            PoolOp::Percentile(p) => format!("p{p}"),
+        }
+    }
+}
+
+/// Reusable scratch space for pooling (avoids per-call allocation in the
+/// training hot loop).
+#[derive(Debug, Default)]
+pub struct PoolScratch {
+    sorted: Vec<usize>,
+}
+
+impl PoolScratch {
+    /// Sort indices of `values` ascending (stable w.r.t. NaN-free input).
+    fn sort_for(&mut self, values: &[f32]) {
+        self.sorted.clear();
+        self.sorted.extend(0..values.len());
+        self.sorted.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+}
+
+/// The two order statistics and weights a percentile interpolates between.
+#[inline]
+fn percentile_anchors(len: usize, p: u8) -> (usize, usize, f32) {
+    debug_assert!(len > 0);
+    let rank = (p as f32 / 100.0) * (len - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    (lo, hi, rank - lo as f32)
+}
+
+/// Applies every op in `ops` to `values`, writing one output per op.
+///
+/// # Panics
+/// Panics if `values` is empty or `out.len() != ops.len()`.
+pub fn pool_forward(values: &[f32], ops: &[PoolOp], out: &mut [f32], scratch: &mut PoolScratch) {
+    assert!(!values.is_empty(), "pool_forward: empty value set");
+    assert_eq!(
+        out.len(),
+        ops.len(),
+        "pool_forward: out length != ops length"
+    );
+    let needs_sort = ops.iter().any(|op| matches!(op, PoolOp::Percentile(_)));
+    if needs_sort {
+        scratch.sort_for(values);
+    }
+    let len = values.len();
+    let mean = values.iter().sum::<f32>() / len as f32;
+    for (o, op) in out.iter_mut().zip(ops) {
+        *o = match op {
+            PoolOp::Min => values.iter().copied().fold(f32::INFINITY, f32::min),
+            PoolOp::Max => values.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            PoolOp::Avg => mean,
+            PoolOp::Var => values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / len as f32,
+            PoolOp::Percentile(p) => {
+                let (lo, hi, frac) = percentile_anchors(len, *p);
+                let vlo = values[scratch.sorted[lo]];
+                let vhi = values[scratch.sorted[hi]];
+                vlo * (1.0 - frac) + vhi * frac
+            }
+        };
+    }
+}
+
+/// Accumulates `∂L/∂values` given `∂L/∂out` (one scalar per op).
+///
+/// Gradients are **added** into `grad_values`, so the caller can fold
+/// multiple filters into one buffer.
+///
+/// # Panics
+/// Panics if `values` is empty, or if `grad_out.len() != ops.len()`, or if
+/// `grad_values.len() != values.len()`.
+pub fn pool_backward(
+    values: &[f32],
+    ops: &[PoolOp],
+    grad_out: &[f32],
+    grad_values: &mut [f32],
+    scratch: &mut PoolScratch,
+) {
+    assert!(!values.is_empty(), "pool_backward: empty value set");
+    assert_eq!(
+        grad_out.len(),
+        ops.len(),
+        "pool_backward: grad_out length != ops length"
+    );
+    assert_eq!(
+        grad_values.len(),
+        values.len(),
+        "pool_backward: grad_values length mismatch"
+    );
+    let needs_sort = ops.iter().any(|op| matches!(op, PoolOp::Percentile(_)));
+    if needs_sort {
+        scratch.sort_for(values);
+    }
+    let len = values.len();
+    let mean = values.iter().sum::<f32>() / len as f32;
+    for (op, &g) in ops.iter().zip(grad_out) {
+        if g == 0.0 {
+            continue;
+        }
+        match op {
+            PoolOp::Min => {
+                let mut arg = 0;
+                for (i, &v) in values.iter().enumerate().skip(1) {
+                    if v < values[arg] {
+                        arg = i;
+                    }
+                }
+                grad_values[arg] += g;
+            }
+            PoolOp::Max => {
+                let mut arg = 0;
+                for (i, &v) in values.iter().enumerate().skip(1) {
+                    if v > values[arg] {
+                        arg = i;
+                    }
+                }
+                grad_values[arg] += g;
+            }
+            PoolOp::Avg => {
+                let share = g / len as f32;
+                for gv in grad_values.iter_mut() {
+                    *gv += share;
+                }
+            }
+            PoolOp::Var => {
+                let scale = 2.0 * g / len as f32;
+                for (gv, &v) in grad_values.iter_mut().zip(values) {
+                    *gv += scale * (v - mean);
+                }
+            }
+            PoolOp::Percentile(p) => {
+                let (lo, hi, frac) = percentile_anchors(len, *p);
+                grad_values[scratch.sorted[lo]] += g * (1.0 - frac);
+                if hi != lo {
+                    grad_values[scratch.sorted[hi]] += g * frac;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_forward(values: &[f32], ops: &[PoolOp]) -> Vec<f32> {
+        let mut out = vec![0.0; ops.len()];
+        let mut scratch = PoolScratch::default();
+        pool_forward(values, ops, &mut out, &mut scratch);
+        out
+    }
+
+    #[test]
+    fn standard_bank_has_thirteen_ops() {
+        assert_eq!(PoolOp::standard_bank().len(), 13);
+    }
+
+    #[test]
+    fn min_max_avg_values() {
+        let out = run_forward(&[3.0, -1.0, 2.0], &[PoolOp::Min, PoolOp::Max, PoolOp::Avg]);
+        assert_eq!(out, vec![-1.0, 3.0, 4.0 / 3.0]);
+    }
+
+    #[test]
+    fn variance_population() {
+        let out = run_forward(&[1.0, 3.0], &[PoolOp::Var]);
+        assert!((out[0] - 1.0).abs() < 1e-6); // mean 2, deviations ±1
+    }
+
+    #[test]
+    fn percentile_endpoints_match_min_max() {
+        let vals = [5.0, 1.0, 9.0, 3.0];
+        let out = run_forward(&vals, &[PoolOp::Percentile(0), PoolOp::Percentile(100)]);
+        assert_eq!(out, vec![1.0, 9.0]);
+    }
+
+    #[test]
+    fn median_of_even_set_interpolates() {
+        let out = run_forward(&[1.0, 2.0, 3.0, 4.0], &[PoolOp::Percentile(50)]);
+        assert!((out[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_value_all_ops_defined() {
+        let ops = PoolOp::standard_bank();
+        let out = run_forward(&[7.0], &ops);
+        for (op, &v) in ops.iter().zip(&out) {
+            match op {
+                PoolOp::Var => assert_eq!(v, 0.0),
+                _ => assert_eq!(v, 7.0, "op {:?}", op),
+            }
+        }
+    }
+
+    /// Central-difference check of every op's backward rule.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let ops = PoolOp::standard_bank();
+        let values = [0.5f32, -1.2, 3.3, 0.9, 2.1];
+        let mut scratch = PoolScratch::default();
+        let eps = 1e-3f32;
+        for (oi, op) in ops.iter().enumerate() {
+            // Analytic gradient: dL/dout = 1 for this op only.
+            let mut grad_out = vec![0.0; ops.len()];
+            grad_out[oi] = 1.0;
+            let mut analytic = vec![0.0f32; values.len()];
+            pool_backward(&values, &ops, &grad_out, &mut analytic, &mut scratch);
+            for j in 0..values.len() {
+                let mut plus = values;
+                plus[j] += eps;
+                let mut minus = values;
+                minus[j] -= eps;
+                let mut out_p = vec![0.0; ops.len()];
+                let mut out_m = vec![0.0; ops.len()];
+                pool_forward(&plus, &ops, &mut out_p, &mut scratch);
+                pool_forward(&minus, &ops, &mut out_m, &mut scratch);
+                let numeric = (out_p[oi] - out_m[oi]) / (2.0 * eps);
+                assert!(
+                    (analytic[j] - numeric).abs() < 5e-3,
+                    "op {:?} input {}: analytic {} vs numeric {}",
+                    op,
+                    j,
+                    analytic[j],
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let values = [1.0f32, 2.0];
+        let mut scratch = PoolScratch::default();
+        let mut grads = vec![1.0f32, 1.0];
+        pool_backward(&values, &[PoolOp::Avg], &[2.0], &mut grads, &mut scratch);
+        assert_eq!(grads, vec![2.0, 2.0]); // 1.0 pre-existing + 1.0 share
+    }
+
+    #[test]
+    fn zero_upstream_gradient_is_noop() {
+        let values = [1.0f32, 2.0, 3.0];
+        let mut scratch = PoolScratch::default();
+        let mut grads = vec![0.0f32; 3];
+        pool_backward(
+            &values,
+            &PoolOp::standard_bank(),
+            &[0.0; 13],
+            &mut grads,
+            &mut scratch,
+        );
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value set")]
+    fn forward_empty_panics() {
+        let mut out = vec![0.0];
+        pool_forward(&[], &[PoolOp::Avg], &mut out, &mut PoolScratch::default());
+    }
+}

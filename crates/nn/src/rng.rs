@@ -1,0 +1,6 @@
+//! Re-export of the shared deterministic RNG crate.
+//!
+//! The simulator (`diagnet-sim`) and the learning stack share one RNG so
+//! that seeds mean the same thing everywhere; see `diagnet-rng` for the
+//! implementation and its tests.
+pub use diagnet_rng::*;

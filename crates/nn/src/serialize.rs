@@ -1,0 +1,90 @@
+//! Model persistence (JSON via serde).
+//!
+//! JSON keeps the format human-inspectable and diff-able; DiagNet models are
+//! small (≈200k parameters), so compactness is not a concern.
+
+use crate::error::NnError;
+use crate::network::Network;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serialise a network to a writer as JSON.
+pub fn save_network<W: Write>(net: &Network, writer: W) -> Result<(), NnError> {
+    serde_json::to_writer(writer, net).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+/// Deserialise a network from a reader.
+pub fn load_network<R: Read>(reader: R) -> Result<Network, NnError> {
+    serde_json::from_reader(reader).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+/// Serialise a network to a file path.
+pub fn save_network_to_path<P: AsRef<Path>>(net: &Network, path: P) -> Result<(), NnError> {
+    let file = std::fs::File::create(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+    save_network(net, std::io::BufWriter::new(file))
+}
+
+/// Deserialise a network from a file path.
+pub fn load_network_from_path<P: AsRef<Path>>(path: P) -> Result<Network, NnError> {
+    let file = std::fs::File::open(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+    load_network(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::pool::PoolOp;
+    use crate::tensor::Matrix;
+
+    fn sample_net() -> Network {
+        Network::new(vec![
+            Layer::land_pool(4, 3, 2, PoolOp::standard_bank(), 1),
+            Layer::dense(4 * 13 + 2, 8, 2),
+            Layer::relu(),
+            Layer::dense(8, 3, 3),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_network() {
+        let net = sample_net();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(buf.as_slice()).unwrap();
+        assert_eq!(net, loaded);
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let net = sample_net();
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let loaded = load_network(buf.as_slice()).unwrap();
+        let x = Matrix::full(2, 5 * 3 + 2, 0.5);
+        assert!(net.forward(&x).max_abs_diff(&loaded.forward(&x)) == 0.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let net = sample_net();
+        let dir = std::env::temp_dir().join("diagnet_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_network_to_path(&net, &path).unwrap();
+        let loaded = load_network_from_path(&path).unwrap();
+        assert_eq!(net, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_input_is_error_not_panic() {
+        assert!(load_network(&b"not json"[..]).is_err());
+        assert!(load_network(&br#"{"layers": "nope"}"#[..]).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(load_network_from_path("/nonexistent/diagnet/model.json").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Mini-batch training loop with shuffling, validation and early stopping.
+//!
+//! The paper stops training "when the validation loss is no longer
+//! decreasing" (§IV-F, Fig. 9); [`TrainConfig::patience`] implements that
+//! rule, and [`TrainHistory`] records the per-epoch loss curves the figure
+//! plots.
+
+use crate::error::NnError;
+use crate::loss::{cross_entropy_loss, cross_entropy_loss_weighted};
+use crate::network::{Gradients, Network};
+use crate::optim::Optimizer;
+use crate::rng::SplitMix64;
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Stop after this many epochs without a new best validation loss
+    /// (`None` disables early stopping). Ignored when no validation set is
+    /// provided.
+    pub patience: Option<usize>,
+    /// Shuffle samples between epochs.
+    pub shuffle: bool,
+    /// Restore the best-validation-loss weights when stopping.
+    pub restore_best: bool,
+    /// Optional per-class loss weights (length = number of classes).
+    pub class_weights: Option<Vec<f32>>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 50,
+            batch_size: 64,
+            patience: Some(3),
+            shuffle: true,
+            restore_best: true,
+            class_weights: None,
+        }
+    }
+}
+
+/// Per-epoch record of a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainHistory {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Validation loss per epoch (empty when no validation set was given).
+    pub val_loss: Vec<f32>,
+    /// Epoch index with the best validation loss (0-based), if any.
+    pub best_epoch: Option<usize>,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+}
+
+/// Drives the optimisation of a [`Network`].
+#[derive(Debug)]
+pub struct Trainer<O: Optimizer> {
+    /// Loop configuration.
+    pub config: TrainConfig,
+    /// The optimiser applied after each mini-batch.
+    pub optimizer: O,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// Create a trainer.
+    pub fn new(config: TrainConfig, optimizer: O) -> Self {
+        Trainer { config, optimizer }
+    }
+
+    /// Train `net` on `(x, y)`; `y` holds integer class labels. If
+    /// `validation` is provided, it is used for early stopping and for the
+    /// recorded validation curve. `seed` drives shuffling.
+    pub fn fit(
+        &mut self,
+        net: &mut Network,
+        x: &Matrix,
+        y: &[usize],
+        validation: Option<(&Matrix, &[usize])>,
+        seed: u64,
+    ) -> Result<TrainHistory, NnError> {
+        if x.rows() == 0 {
+            return Err(NnError::InvalidTrainingData("empty training set".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(NnError::InvalidTrainingData(format!(
+                "{} samples but {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if self.config.batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if let Some((vx, vy)) = validation {
+            if vx.rows() != vy.len() {
+                return Err(NnError::InvalidTrainingData(format!(
+                    "{} validation samples but {} labels",
+                    vx.rows(),
+                    vy.len()
+                )));
+            }
+        }
+
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(seed);
+        let mut grads = Gradients::zeros_like(net);
+        let mut history = TrainHistory::default();
+        let mut best_val = f32::INFINITY;
+        let mut best_weights: Option<Network> = None;
+        let mut stale_epochs = 0usize;
+
+        for _epoch in 0..self.config.epochs {
+            if self.config.shuffle {
+                rng.shuffle(&mut order);
+            }
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let bx = x.select_rows(chunk);
+                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                grads.zero();
+                let loss = net.loss_gradients_weighted(
+                    &bx,
+                    &by,
+                    self.config.class_weights.as_deref(),
+                    &mut grads,
+                );
+                self.optimizer.step(net, &grads);
+                epoch_loss += loss as f64;
+                batches += 1;
+            }
+            history
+                .train_loss
+                .push((epoch_loss / batches.max(1) as f64) as f32);
+            history.epochs_run += 1;
+
+            if let Some((vx, vy)) = validation {
+                let vloss = cross_entropy_loss_weighted(
+                    &net.forward(vx),
+                    vy,
+                    self.config.class_weights.as_deref(),
+                );
+                history.val_loss.push(vloss);
+                if vloss < best_val {
+                    best_val = vloss;
+                    history.best_epoch = Some(history.epochs_run - 1);
+                    stale_epochs = 0;
+                    if self.config.restore_best {
+                        best_weights = Some(net.clone());
+                    }
+                } else {
+                    stale_epochs += 1;
+                    if let Some(patience) = self.config.patience {
+                        if stale_epochs >= patience {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_weights {
+            *net = best;
+        }
+        Ok(history)
+    }
+
+    /// Mean cross-entropy of `net` on a labelled set (no training).
+    pub fn evaluate(&self, net: &Network, x: &Matrix, y: &[usize]) -> f32 {
+        cross_entropy_loss(&net.forward(x), y)
+    }
+}
+
+/// Deterministically split `(x, y)` into train and validation sets, with
+/// `val_fraction` of samples (rounded down, at least 1 if possible) held
+/// out. Shuffles with `seed` before splitting.
+pub fn train_val_split(
+    x: &Matrix,
+    y: &[usize],
+    val_fraction: f32,
+    seed: u64,
+) -> (Matrix, Vec<usize>, Matrix, Vec<usize>) {
+    assert_eq!(
+        x.rows(),
+        y.len(),
+        "train_val_split: sample/label count mismatch"
+    );
+    assert!(
+        (0.0..1.0).contains(&val_fraction),
+        "train_val_split: fraction must be in [0, 1)"
+    );
+    let n = x.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut order);
+    let n_val = ((n as f32 * val_fraction) as usize).min(n.saturating_sub(1));
+    let (val_idx, train_idx) = order.split_at(n_val);
+    let tx = x.select_rows(train_idx);
+    let ty = train_idx.iter().map(|&i| y[i]).collect();
+    let vx = x.select_rows(val_idx);
+    let vy = val_idx.iter().map(|&i| y[i]).collect();
+    (tx, ty, vx, vy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::optim::SgdNesterov;
+    use crate::rng::SplitMix64;
+
+    /// Two well-separated Gaussian blobs in 2-D.
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                rng.normal_with(center, 0.5),
+                rng.normal_with(center, 0.5),
+            ]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    fn classifier() -> Network {
+        Network::new(vec![
+            Layer::dense(2, 8, 1),
+            Layer::relu(),
+            Layer::dense(8, 2, 2),
+        ])
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(200, 3);
+        let mut net = classifier();
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            patience: None,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, SgdNesterov::new(0.1, 0.9, 0.0));
+        let hist = trainer.fit(&mut net, &x, &y, None, 7).unwrap();
+        assert!(hist.train_loss.last().unwrap() < &0.1);
+        let preds = net.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct as f32 / y.len() as f32 > 0.95);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = blobs(100, 5);
+        let mut net = classifier();
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 10,
+            patience: None,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, SgdNesterov::new(0.05, 0.9, 0.001));
+        let hist = trainer.fit(&mut net, &x, &y, None, 7).unwrap();
+        assert!(hist.train_loss.first().unwrap() > hist.train_loss.last().unwrap());
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_epochs() {
+        let (x, y) = blobs(120, 9);
+        let (tx, ty, vx, vy) = train_val_split(&x, &y, 0.25, 1);
+        let mut net = classifier();
+        let cfg = TrainConfig {
+            epochs: 500,
+            batch_size: 16,
+            patience: Some(2),
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, SgdNesterov::new(0.1, 0.9, 0.0));
+        let hist = trainer
+            .fit(&mut net, &tx, &ty, Some((&vx, &vy)), 3)
+            .unwrap();
+        assert!(hist.epochs_run < 500, "early stopping never triggered");
+        assert_eq!(hist.val_loss.len(), hist.epochs_run);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(60, 11);
+        let run = || {
+            let mut net = classifier();
+            let cfg = TrainConfig {
+                epochs: 5,
+                batch_size: 8,
+                patience: None,
+                ..Default::default()
+            };
+            let mut t = Trainer::new(cfg, SgdNesterov::paper_default());
+            t.fit(&mut net, &x, &y, None, 42).unwrap();
+            net
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (x, y) = blobs(10, 13);
+        let mut net = classifier();
+        let mut trainer = Trainer::new(TrainConfig::default(), SgdNesterov::paper_default());
+        assert!(trainer.fit(&mut net, &x, &y[..5], None, 1).is_err());
+        let cfg = TrainConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, SgdNesterov::paper_default());
+        assert!(trainer.fit(&mut net, &x, &y, None, 1).is_err());
+    }
+
+    #[test]
+    fn split_fractions_and_disjointness() {
+        let (x, y) = blobs(100, 15);
+        let (tx, ty, vx, vy) = train_val_split(&x, &y, 0.2, 3);
+        assert_eq!(vx.rows(), 20);
+        assert_eq!(tx.rows(), 80);
+        assert_eq!(ty.len(), 80);
+        assert_eq!(vy.len(), 20);
+    }
+
+    #[test]
+    fn class_weights_lift_minority_recall() {
+        // 95/5 imbalanced blobs: unweighted training tends to neglect the
+        // minority class; inverse-frequency weights must recover it.
+        let mut rng = SplitMix64::new(21);
+        let n = 400;
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let minority = i % 20 == 0;
+            let center = if minority { 1.2 } else { -1.2 };
+            rows.push(vec![
+                rng.normal_with(center, 0.8),
+                rng.normal_with(center, 0.8),
+            ]);
+            labels.push(usize::from(minority));
+        }
+        let x = Matrix::from_rows(&rows);
+        let minority_recall = |weights: Option<Vec<f32>>| {
+            let mut net = Network::new(vec![
+                Layer::dense(2, 8, 7),
+                Layer::relu(),
+                Layer::dense(8, 2, 8),
+            ]);
+            let cfg = TrainConfig {
+                epochs: 25,
+                batch_size: 32,
+                patience: None,
+                class_weights: weights,
+                ..Default::default()
+            };
+            Trainer::new(cfg, SgdNesterov::new(0.05, 0.9, 0.0))
+                .fit(&mut net, &x, &labels, None, 9)
+                .unwrap();
+            let preds = net.predict(&x);
+            let hits = preds
+                .iter()
+                .zip(&labels)
+                .filter(|(p, t)| **t == 1 && **p == 1)
+                .count();
+            hits as f32 / labels.iter().filter(|&&t| t == 1).count() as f32
+        };
+        let unweighted = minority_recall(None);
+        let weighted = minority_recall(Some(vec![0.53, 10.0]));
+        assert!(
+            weighted >= unweighted,
+            "weighted minority recall {weighted} < unweighted {unweighted}"
+        );
+        assert!(weighted > 0.5, "weighted minority recall = {weighted}");
+    }
+
+    #[test]
+    fn frozen_layer_survives_training() {
+        let (x, y) = blobs(60, 17);
+        let mut net = classifier();
+        net.layers[0].set_frozen(true);
+        let frozen_before = net.layers[0].clone();
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 8,
+            patience: None,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, SgdNesterov::paper_default());
+        trainer.fit(&mut net, &x, &y, None, 19).unwrap();
+        assert_eq!(net.layers[0], frozen_before);
+    }
+}

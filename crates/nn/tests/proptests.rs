@@ -1,0 +1,225 @@
+//! Property-based tests of the numerical core: linear-algebra identities,
+//! pooling invariants, softmax/loss properties and layer behaviours that
+//! must hold for *arbitrary* inputs, not just hand-picked ones.
+
+use diagnet_nn::layer::Layer;
+use diagnet_nn::linalg::{add_bias, column_sums, matmul, matmul_at, matmul_bt};
+use diagnet_nn::loss::{cross_entropy_loss, softmax, softmax_cross_entropy};
+use diagnet_nn::pool::{pool_backward, pool_forward, PoolOp, PoolScratch};
+use diagnet_nn::tensor::{argmax, argsort_desc, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded dimensions and finite values.
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// A small non-empty f32 vector.
+fn values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    len.prop_flat_map(|n| prop::collection::vec(-100.0f32..100.0, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Linear algebra.
+    // ------------------------------------------------------------------
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ, expressed through the fused kernels.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(1..6, 1..6), b in matrix(1..6, 1..6)) {
+        prop_assume!(a.cols() == b.rows());
+        let ab = matmul(&a, &b);
+        let btat = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab.transpose().max_abs_diff(&btat) < 1e-4);
+    }
+
+    /// matmul_bt(A, B) = A·Bᵀ and matmul_at(A, B) = Aᵀ·B.
+    #[test]
+    fn fused_kernels_match_explicit_transpose(a in matrix(1..6, 1..6), b in matrix(1..6, 1..6)) {
+        if a.cols() == b.cols() {
+            prop_assert!(matmul_bt(&a, &b).max_abs_diff(&matmul(&a, &b.transpose())) < 1e-4);
+        }
+        if a.rows() == b.rows() {
+            prop_assert!(matmul_at(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-4);
+        }
+    }
+
+    /// Column sums after a bias add grow by rows × bias.
+    #[test]
+    fn bias_add_shifts_column_sums(m in matrix(1..6, 1..6), shift in -5.0f32..5.0) {
+        let before = column_sums(&m);
+        let mut shifted = m.clone();
+        let bias = vec![shift; m.cols()];
+        add_bias(&mut shifted, &bias);
+        let after = column_sums(&shifted);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!((a - b - shift * m.rows() as f32).abs() < 1e-3);
+        }
+    }
+
+    /// Row selection preserves content.
+    #[test]
+    fn select_rows_identity(m in matrix(1..8, 1..8)) {
+        let all: Vec<usize> = (0..m.rows()).collect();
+        prop_assert_eq!(m.select_rows(&all), m);
+    }
+
+    /// argsort_desc is a permutation sorted by score.
+    #[test]
+    fn argsort_desc_is_sorted_permutation(xs in values(1..30)) {
+        let order = argsort_desc(&xs);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..xs.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(xs[w[0]] >= xs[w[1]]);
+        }
+        prop_assert_eq!(order[0], argmax(&xs));
+    }
+
+    // ------------------------------------------------------------------
+    // Pooling.
+    // ------------------------------------------------------------------
+
+    /// All pooling ops are permutation-invariant (the property that makes
+    /// LandPooling landmark-order agnostic).
+    #[test]
+    fn pooling_is_permutation_invariant(mut vals in values(1..20), seed in 0u64..1000) {
+        let ops = PoolOp::standard_bank();
+        let mut scratch = PoolScratch::default();
+        let mut out1 = vec![0.0; ops.len()];
+        pool_forward(&vals, &ops, &mut out1, &mut scratch);
+        diagnet_rng::SplitMix64::new(seed).shuffle(&mut vals);
+        let mut out2 = vec![0.0; ops.len()];
+        pool_forward(&vals, &ops, &mut out2, &mut scratch);
+        for (a, b) in out1.iter().zip(&out2) {
+            // Relative tolerance: f32 summation order differs (Var sums
+            // squares of values up to 100 → results near 1e4).
+            prop_assert!((a - b).abs() <= 1e-4 + 1e-5 * a.abs().max(b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// min ≤ p10 ≤ … ≤ p90 ≤ max, and avg within [min, max].
+    #[test]
+    fn pooling_order_statistics_monotone(vals in values(1..20)) {
+        let ops = PoolOp::standard_bank();
+        let mut out = vec![0.0; ops.len()];
+        pool_forward(&vals, &ops, &mut out, &mut PoolScratch::default());
+        let (min, max, avg) = (out[0], out[1], out[2]);
+        prop_assert!(min <= max);
+        prop_assert!(avg >= min - 1e-4 && avg <= max + 1e-4);
+        // Percentiles p10..p90 occupy slots 4..13 and must be monotone.
+        for w in out[4..13].windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-4);
+        }
+        prop_assert!(min - 1e-4 <= out[4] && out[12] <= max + 1e-4);
+    }
+
+    /// Pool gradients conserve mass for linear ops: the avg gradient sums
+    /// to the upstream gradient; min/max route it to a single element.
+    #[test]
+    fn pool_gradient_mass(vals in values(2..15), g in 0.1f32..3.0) {
+        let mut scratch = PoolScratch::default();
+        for op in [PoolOp::Avg, PoolOp::Min, PoolOp::Max, PoolOp::Percentile(50)] {
+            let mut grads = vec![0.0; vals.len()];
+            pool_backward(&vals, &[op], &[g], &mut grads, &mut scratch);
+            let total: f32 = grads.iter().sum();
+            prop_assert!((total - g).abs() < 1e-4, "op {:?}: mass {total} != {g}", op);
+        }
+    }
+
+    /// Variance pooling is translation invariant; its gradient sums to 0.
+    #[test]
+    fn variance_translation_invariant(vals in values(2..15), shift in -50.0f32..50.0) {
+        let mut scratch = PoolScratch::default();
+        let mut out1 = vec![0.0];
+        pool_forward(&vals, &[PoolOp::Var], &mut out1, &mut scratch);
+        let shifted: Vec<f32> = vals.iter().map(|v| v + shift).collect();
+        let mut out2 = vec![0.0];
+        pool_forward(&shifted, &[PoolOp::Var], &mut out2, &mut scratch);
+        // Relative tolerance: f32 cancellation grows with |shift|.
+        let tol = 1e-3 * (1.0 + out1[0].abs() + shift.abs());
+        prop_assert!((out1[0] - out2[0]).abs() < tol, "{} vs {}", out1[0], out2[0]);
+        let mut grads = vec![0.0; vals.len()];
+        pool_backward(&vals, &[PoolOp::Var], &[1.0], &mut grads, &mut scratch);
+        prop_assert!(grads.iter().sum::<f32>().abs() < 1e-3);
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax & loss.
+    // ------------------------------------------------------------------
+
+    /// Softmax rows are probability distributions and are shift-invariant.
+    #[test]
+    fn softmax_distribution_and_shift_invariance(m in matrix(1..5, 2..8), shift in -20.0f32..20.0) {
+        let p = softmax(&m);
+        for r in 0..p.rows() {
+            prop_assert!((p.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let mut shifted = m.clone();
+        for v in shifted.data_mut() {
+            *v += shift;
+        }
+        prop_assert!(softmax(&shifted).max_abs_diff(&p) < 1e-4);
+    }
+
+    /// Cross-entropy is non-negative and its logit gradient rows sum to 0.
+    #[test]
+    fn cross_entropy_properties(m in matrix(1..5, 2..6), pick in 0usize..6) {
+        let targets: Vec<usize> = (0..m.rows()).map(|i| (pick + i) % m.cols()).collect();
+        let (loss, grad) = softmax_cross_entropy(&m, &targets);
+        prop_assert!(loss >= 0.0);
+        prop_assert!((loss - cross_entropy_loss(&m, &targets)).abs() < 1e-5);
+        for r in 0..grad.rows() {
+            prop_assert!(grad.row(r).iter().sum::<f32>().abs() < 1e-5);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Layers.
+    // ------------------------------------------------------------------
+
+    /// ReLU output is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(m in matrix(1..6, 1..10)) {
+        let relu = Layer::relu();
+        let once = relu.forward(&m);
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(relu.forward(&once), once);
+    }
+
+    /// Dense layers are affine: f(αx) − f(0) = α(f(x) − f(0)).
+    #[test]
+    fn dense_is_affine(m in matrix(1..4, 3..4), alpha in 0.1f32..3.0) {
+        let layer = Layer::dense(3, 5, 42);
+        let zero = layer.forward(&Matrix::zeros(m.rows(), 3));
+        let fx = layer.forward(&m);
+        let mut scaled_in = m.clone();
+        scaled_in.scale(alpha);
+        let f_scaled = layer.forward(&scaled_in);
+        for i in 0..m.rows() {
+            for j in 0..5 {
+                let lhs = f_scaled.get(i, j) - zero.get(i, j);
+                let rhs = alpha * (fx.get(i, j) - zero.get(i, j));
+                prop_assert!((lhs - rhs).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// LandPooling output width never depends on the landmark count.
+    #[test]
+    fn landpool_width_invariant(ell in 1usize..20, batch in 1usize..4) {
+        let layer = Layer::land_pool(4, 5, 5, PoolOp::small_bank(), 7);
+        let x = Matrix::zeros(batch, ell * 5 + 5);
+        prop_assert_eq!(layer.forward(&x).cols(), 4 * 3 + 5);
+    }
+}

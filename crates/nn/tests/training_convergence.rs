@@ -1,0 +1,198 @@
+//! Training-convergence integration tests: the framework must actually
+//! *learn* on tasks shaped like DiagNet's, not just compute gradients
+//! correctly.
+
+use diagnet_nn::prelude::*;
+use diagnet_rng::SplitMix64;
+
+/// A miniature of DiagNet's core problem: ℓ landmark blocks of k metrics;
+/// in "faulty" samples one random landmark's metric `fault_metric` is
+/// shifted. The label is which metric family was faulted (or nominal) —
+/// the *location* is deliberately random, so only landmark-invariant
+/// pattern extraction can solve it.
+fn landmark_task(
+    n: usize,
+    ell: usize,
+    k: usize,
+    seed: u64,
+) -> (Matrix, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    let n_local = 2;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row: Vec<f32> = (0..ell * k + n_local).map(|_| rng.normal()).collect();
+        let label = i % (k + 1); // 0 = nominal, 1..=k = fault on metric j-1
+        if label > 0 {
+            let landmark = rng.next_below(ell);
+            row[landmark * k + (label - 1)] += 4.0;
+        }
+        rows.push(row);
+        labels.push(label);
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn accuracy(net: &Network, x: &Matrix, y: &[usize]) -> f32 {
+    let preds = net.predict(x);
+    preds.iter().zip(y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32
+}
+
+#[test]
+fn landpool_network_solves_the_landmark_task() {
+    let (ell, k) = (6, 3);
+    let (x, y) = landmark_task(600, ell, k, 1);
+    let (xt, yt) = landmark_task(200, ell, k, 2);
+    let mut net = Network::new(vec![
+        Layer::land_pool(8, k, 2, PoolOp::standard_bank(), 3),
+        Layer::dense(8 * 13 + 2, 24, 4),
+        Layer::relu(),
+        Layer::dense(24, k + 1, 5),
+    ]);
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    Trainer::new(cfg, SgdNesterov::new(0.05, 0.9, 0.001))
+        .fit(&mut net, &x, &y, None, 7)
+        .unwrap();
+    let acc = accuracy(&net, &xt, &yt);
+    assert!(
+        acc > 0.8,
+        "LandPool net must solve the location-agnostic fault task: {acc}"
+    );
+}
+
+#[test]
+fn landpool_generalises_to_more_landmarks_on_the_task() {
+    // Train with 6 landmarks, test with 12: the shifted block may sit in
+    // positions that did not exist during training.
+    let k = 3;
+    let (x, y) = landmark_task(600, 6, k, 11);
+    let (xt, yt) = landmark_task(200, 12, k, 12);
+    let mut net = Network::new(vec![
+        Layer::land_pool(8, k, 2, PoolOp::standard_bank(), 13),
+        Layer::dense(8 * 13 + 2, 24, 14),
+        Layer::relu(),
+        Layer::dense(24, k + 1, 15),
+    ]);
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    Trainer::new(cfg, SgdNesterov::new(0.05, 0.9, 0.001))
+        .fit(&mut net, &x, &y, None, 17)
+        .unwrap();
+    let acc = accuracy(&net, &xt, &yt);
+    assert!(
+        acc > 0.6,
+        "doubling the landmark count must not break the classifier: {acc}"
+    );
+}
+
+#[test]
+fn plain_dense_network_fails_under_landmark_permutation() {
+    // Control experiment: a dense net can fit the task in-distribution but
+    // must degrade when landmark blocks are permuted at test time, whereas
+    // LandPooling is permutation-invariant by construction. This is the
+    // architectural claim of paper §III-C in falsifiable form.
+    let (ell, k) = (6, 3);
+    let (x, y) = landmark_task(600, ell, k, 21);
+    let in_dim = ell * k + 2;
+
+    // Permute whole landmark blocks of every test row.
+    let (xt, yt) = landmark_task(200, ell, k, 22);
+    let mut perm: Vec<usize> = (0..ell).collect();
+    SplitMix64::new(23).shuffle(&mut perm);
+    let permuted_rows: Vec<Vec<f32>> = (0..xt.rows())
+        .map(|i| {
+            let row = xt.row(i);
+            let mut out = Vec::with_capacity(in_dim);
+            for &lam in &perm {
+                out.extend_from_slice(&row[lam * k..(lam + 1) * k]);
+            }
+            out.extend_from_slice(&row[ell * k..]);
+            out
+        })
+        .collect();
+    let xt_perm = Matrix::from_rows(&permuted_rows);
+
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+
+    // LandPool variant.
+    let mut pool_net = Network::new(vec![
+        Layer::land_pool(8, k, 2, PoolOp::standard_bank(), 31),
+        Layer::dense(8 * 13 + 2, 24, 32),
+        Layer::relu(),
+        Layer::dense(24, k + 1, 33),
+    ]);
+    Trainer::new(cfg.clone(), SgdNesterov::new(0.05, 0.9, 0.001))
+        .fit(&mut pool_net, &x, &y, None, 34)
+        .unwrap();
+    let pool_plain = accuracy(&pool_net, &xt, &yt);
+    let pool_perm = accuracy(&pool_net, &xt_perm, &yt);
+    assert!(
+        (pool_plain - pool_perm).abs() < 1e-4,
+        "LandPooling must be exactly permutation-invariant: {pool_plain} vs {pool_perm}"
+    );
+
+    // Dense-only variant.
+    let mut dense_net = Network::new(vec![
+        Layer::dense(in_dim, 64, 41),
+        Layer::relu(),
+        Layer::dense(64, 24, 42),
+        Layer::relu(),
+        Layer::dense(24, k + 1, 43),
+    ]);
+    Trainer::new(cfg, SgdNesterov::new(0.05, 0.9, 0.001))
+        .fit(&mut dense_net, &x, &y, None, 44)
+        .unwrap();
+    let dense_plain = accuracy(&dense_net, &xt, &yt);
+    assert!(
+        dense_plain > 0.7,
+        "the dense control must at least fit in-distribution: {dense_plain}"
+    );
+    // The dense net carries positional weights, so permuting blocks changes
+    // its outputs (it may still often be *accurate* here because this task
+    // randomises fault locations during training — real deployments don't,
+    // which is the paper's point). LandPooling's outputs are bit-identical.
+    let plain_logits = dense_net.forward(&xt);
+    let perm_logits = dense_net.forward(&xt_perm);
+    assert!(
+        plain_logits.max_abs_diff(&perm_logits) > 1e-3,
+        "a dense net cannot be exactly permutation-invariant"
+    );
+}
+
+#[test]
+fn adam_also_solves_the_task() {
+    use diagnet_nn::optim::Adam;
+    let (ell, k) = (5, 3);
+    let (x, y) = landmark_task(400, ell, k, 51);
+    let mut net = Network::new(vec![
+        Layer::land_pool(6, k, 2, PoolOp::small_bank(), 52),
+        Layer::dense(6 * 3 + 2, 16, 53),
+        Layer::relu(),
+        Layer::dense(16, k + 1, 54),
+    ]);
+    let cfg = TrainConfig {
+        epochs: 40,
+        batch_size: 32,
+        patience: None,
+        ..Default::default()
+    };
+    Trainer::new(cfg, Adam::new(0.005))
+        .fit(&mut net, &x, &y, None, 55)
+        .unwrap();
+    let acc = accuracy(&net, &x, &y);
+    assert!(acc > 0.8, "Adam training accuracy {acc}");
+}

@@ -1,0 +1,183 @@
+//! Probe ingestion: a bounded, thread-safe buffer of labelled
+//! observations.
+//!
+//! Clients "periodically fetch network features from landmarks and visit
+//! mockup services" (§IV-A(c)); those samples flow here. The buffer is
+//! bounded — when full, the *oldest* samples are evicted, so the training
+//! window slides with time (the paper retrained on the freshest two weeks
+//! of data).
+
+use diagnet_sim::dataset::{Dataset, Sample};
+use diagnet_sim::metrics::FeatureSchema;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Thread-safe sliding buffer of samples.
+#[derive(Debug)]
+pub struct ProbeCollector {
+    buffer: Mutex<VecDeque<Sample>>,
+    capacity: usize,
+    schema: FeatureSchema,
+}
+
+impl ProbeCollector {
+    /// A collector holding at most `capacity` samples, expressed in
+    /// `schema` (normally the full schema — clients report everything
+    /// they can measure).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, schema: FeatureSchema) -> Self {
+        assert!(capacity > 0, "ProbeCollector: capacity must be positive");
+        ProbeCollector {
+            buffer: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            schema,
+        }
+    }
+
+    /// Ingest one sample. Returns `false` (and drops the sample) when its
+    /// feature width does not match the collector's schema; evicts the
+    /// oldest sample when full.
+    pub fn submit(&self, sample: Sample) -> bool {
+        if sample.features.len() != self.schema.n_features() {
+            return false;
+        }
+        let mut buf = self.buffer.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(sample);
+        true
+    }
+
+    /// Current number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.lock().is_empty()
+    }
+
+    /// Number of buffered *faulty* samples (ground-truth labelled).
+    pub fn n_faulty(&self) -> usize {
+        self.buffer
+            .lock()
+            .iter()
+            .filter(|s| s.label.is_faulty())
+            .count()
+    }
+
+    /// Snapshot the buffer as a [`Dataset`] without consuming it.
+    pub fn snapshot(&self) -> Dataset {
+        let buf = self.buffer.lock();
+        Dataset {
+            schema: self.schema.clone(),
+            samples: buf.iter().cloned().collect(),
+        }
+    }
+
+    /// Drain the buffer into a [`Dataset`] (leaves the collector empty).
+    pub fn drain(&self) -> Dataset {
+        let mut buf = self.buffer.lock();
+        Dataset {
+            schema: self.schema.clone(),
+            samples: buf.drain(..).collect(),
+        }
+    }
+
+    /// The schema samples must conform to.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_sim::world::World;
+    use std::sync::Arc;
+
+    fn samples(n_scenarios: usize, seed: u64) -> Vec<Sample> {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, seed);
+        cfg.n_scenarios = n_scenarios;
+        Dataset::generate(&world, &cfg).samples
+    }
+
+    #[test]
+    fn submit_and_snapshot() {
+        let collector = ProbeCollector::new(1000, FeatureSchema::full());
+        let samples = samples(2, 1);
+        for s in &samples {
+            assert!(collector.submit(s.clone()));
+        }
+        assert_eq!(collector.len(), samples.len());
+        let snap = collector.snapshot();
+        assert_eq!(snap.len(), samples.len());
+        assert_eq!(collector.len(), samples.len(), "snapshot must not consume");
+    }
+
+    #[test]
+    fn drain_empties() {
+        let collector = ProbeCollector::new(1000, FeatureSchema::full());
+        for s in samples(1, 2) {
+            collector.submit(s);
+        }
+        let ds = collector.drain();
+        assert!(!ds.is_empty());
+        assert!(collector.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let collector = ProbeCollector::new(10, FeatureSchema::full());
+        let all = samples(1, 3); // 100 samples
+        for s in &all {
+            collector.submit(s.clone());
+        }
+        assert_eq!(collector.len(), 10);
+        let snap = collector.snapshot();
+        // The survivors are the 10 newest.
+        assert_eq!(snap.samples, all[all.len() - 10..].to_vec());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let collector = ProbeCollector::new(10, FeatureSchema::known());
+        let mut s = samples(1, 4)[0].clone();
+        assert_eq!(s.features.len(), 55);
+        assert!(
+            !collector.submit(s.clone()),
+            "55-wide sample vs 40-wide schema"
+        );
+        s.features.truncate(40);
+        assert!(collector.submit(s));
+    }
+
+    #[test]
+    fn concurrent_submissions_all_land() {
+        let collector = Arc::new(ProbeCollector::new(100_000, FeatureSchema::full()));
+        let all = samples(2, 5);
+        let chunk = all.len() / 4;
+        std::thread::scope(|scope| {
+            for part in all.chunks(chunk.max(1)) {
+                let collector = Arc::clone(&collector);
+                scope.spawn(move || {
+                    for s in part {
+                        collector.submit(s.clone());
+                    }
+                });
+            }
+        });
+        assert_eq!(collector.len(), all.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # diagnet-platform — the root-cause *analysis service*
+//!
+//! The paper describes DiagNet as "a distributed platform for the root
+//! cause analysis of Internet-based services" (abstract): clients and
+//! landmarks continuously produce measurements, a central analysis
+//! service combines them with ground truth to train the inference model,
+//! and the model is then "provided to clients as an online analysis
+//! service" (Fig. 1, §III-A). This crate implements that service side:
+//!
+//! * [`collector`] — thread-safe probe ingestion with a bounded sample
+//!   buffer (clients push labelled observations; training drains them);
+//! * [`registry`] — a versioned model registry holding the general model
+//!   plus per-service specialised models behind an `RwLock`, with atomic
+//!   swap-on-publish so in-flight diagnoses keep their model snapshot;
+//! * [`trainer`] — retraining orchestration: drains the collector, trains
+//!   general + specialised models and publishes them, either on demand or
+//!   from a background worker thread fed through a crossbeam channel;
+//! * [`service`] — the [`service::AnalysisService`] facade clients talk
+//!   to: `submit` probes, `diagnose` failures;
+//! * [`replay`] — prequential (test-then-train) evaluation of the service
+//!   over a simulated measurement campaign.
+//!
+//! Everything is `Send + Sync`; concurrent clients can submit and
+//! diagnose while a retrain runs.
+
+pub mod collector;
+pub mod registry;
+pub mod replay;
+pub mod service;
+pub mod trainer;
+
+pub use collector::ProbeCollector;
+pub use registry::ModelRegistry;
+pub use replay::{replay, GenerationStats};
+pub use service::{AnalysisService, Diagnosis, ServiceConfig};
+pub use trainer::{RetrainWorker, TrainReport};

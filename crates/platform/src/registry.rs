@@ -1,0 +1,170 @@
+//! Versioned model registry.
+//!
+//! The analysis service "builds and shares the root cause inference
+//! model" (paper Fig. 1). Publications atomically swap `Arc` snapshots
+//! behind a `parking_lot::RwLock`, so a diagnosis that started with
+//! version *n* keeps using it even while version *n + 1* is being
+//! published.
+
+use diagnet::model::DiagNet;
+use diagnet_sim::service::ServiceId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Inner state guarded by the lock.
+#[derive(Debug, Default)]
+struct State {
+    general: Option<Arc<DiagNet>>,
+    specialized: HashMap<ServiceId, Arc<DiagNet>>,
+    version: u64,
+}
+
+/// Thread-safe registry of the general model and per-service specialised
+/// models.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    state: RwLock<State>,
+}
+
+impl ModelRegistry {
+    /// An empty registry (no models yet).
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Publish a new generation of models, bumping the version.
+    pub fn publish(&self, general: DiagNet, specialized: HashMap<ServiceId, DiagNet>) -> u64 {
+        let mut state = self.state.write();
+        state.general = Some(Arc::new(general));
+        state.specialized = specialized
+            .into_iter()
+            .map(|(sid, m)| (sid, Arc::new(m)))
+            .collect();
+        state.version += 1;
+        state.version
+    }
+
+    /// Publish (or replace) the specialised model of a single service
+    /// without touching the others — the cheap onboarding path of §IV-F.
+    pub fn publish_specialized(&self, sid: ServiceId, model: DiagNet) -> u64 {
+        let mut state = self.state.write();
+        state.specialized.insert(sid, Arc::new(model));
+        state.version += 1;
+        state.version
+    }
+
+    /// The model to use for `sid`: its specialised model when published,
+    /// the general model otherwise, `None` before any publication.
+    pub fn model_for(&self, sid: ServiceId) -> Option<Arc<DiagNet>> {
+        let state = self.state.read();
+        state
+            .specialized
+            .get(&sid)
+            .cloned()
+            .or_else(|| state.general.clone())
+    }
+
+    /// The general model, if published.
+    pub fn general(&self) -> Option<Arc<DiagNet>> {
+        self.state.read().general.clone()
+    }
+
+    /// Current registry version (0 = nothing published yet).
+    pub fn version(&self) -> u64 {
+        self.state.read().version
+    }
+
+    /// Services with a specialised model.
+    pub fn specialized_services(&self) -> Vec<ServiceId> {
+        let mut ids: Vec<ServiceId> = self.state.read().specialized.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// True once any model has been published.
+    pub fn is_ready(&self) -> bool {
+        self.state.read().general.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet::config::DiagNetConfig;
+    use diagnet_sim::dataset::{Dataset, DatasetConfig};
+    use diagnet_sim::world::World;
+    use std::sync::OnceLock;
+
+    fn trained_pair() -> &'static (DiagNet, DiagNet) {
+        static CELL: OnceLock<(DiagNet, DiagNet)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let world = World::new();
+            let mut cfg = DatasetConfig::small(&world, 71);
+            cfg.n_scenarios = 15;
+            let ds = Dataset::generate(&world, &cfg);
+            let split = ds.split(0.8, 71);
+            let mut mc = DiagNetConfig::fast();
+            mc.epochs = 2;
+            let general = DiagNet::train(&mc, &split.train, 71).unwrap();
+            let spec = general
+                .specialize(&split.train.filter_service(ServiceId(0)), 71)
+                .unwrap();
+            (general, spec)
+        })
+    }
+
+    #[test]
+    fn empty_registry_serves_nothing() {
+        let reg = ModelRegistry::new();
+        assert!(!reg.is_ready());
+        assert_eq!(reg.version(), 0);
+        assert!(reg.model_for(ServiceId(0)).is_none());
+        assert!(reg.general().is_none());
+    }
+
+    #[test]
+    fn publish_and_dispatch() {
+        let (general, spec) = trained_pair();
+        let reg = ModelRegistry::new();
+        let mut specs = HashMap::new();
+        specs.insert(ServiceId(0), spec.clone());
+        let v = reg.publish(general.clone(), specs);
+        assert_eq!(v, 1);
+        assert!(reg.is_ready());
+        // Service 0 gets its specialised model, others the general one.
+        let m0 = reg.model_for(ServiceId(0)).unwrap();
+        let m1 = reg.model_for(ServiceId(1)).unwrap();
+        assert_eq!(m0.network, spec.network);
+        assert_eq!(m1.network, general.network);
+        assert_eq!(reg.specialized_services(), vec![ServiceId(0)]);
+    }
+
+    #[test]
+    fn incremental_specialised_publication() {
+        let (general, spec) = trained_pair();
+        let reg = ModelRegistry::new();
+        reg.publish(general.clone(), HashMap::new());
+        assert_eq!(reg.version(), 1);
+        reg.publish_specialized(ServiceId(3), spec.clone());
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.model_for(ServiceId(3)).unwrap().network, spec.network);
+        // General stayed in place.
+        assert_eq!(reg.general().unwrap().network, general.network);
+    }
+
+    #[test]
+    fn snapshots_survive_republication() {
+        let (general, spec) = trained_pair();
+        let reg = ModelRegistry::new();
+        reg.publish(general.clone(), HashMap::new());
+        let snapshot = reg.model_for(ServiceId(5)).unwrap();
+        // New generation published while we hold the old Arc.
+        reg.publish(spec.clone(), HashMap::new());
+        assert_eq!(
+            snapshot.network, general.network,
+            "held snapshot must not change"
+        );
+        assert_eq!(reg.general().unwrap().network, spec.network);
+    }
+}

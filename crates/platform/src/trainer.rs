@@ -1,0 +1,264 @@
+//! Retraining orchestration.
+//!
+//! [`retrain`] performs one synchronous training generation: snapshot the
+//! collector, train the general model on the configured base services,
+//! specialise for every service present in the data, and publish to the
+//! registry. [`RetrainWorker`] runs the same logic on a dedicated thread,
+//! triggered through a crossbeam channel, so probe ingestion and
+//! diagnosis never block on training.
+
+use crate::collector::ProbeCollector;
+use crate::registry::ModelRegistry;
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet::transfer::SpecializedModels;
+use diagnet_nn::error::NnError;
+use diagnet_sim::service::ServiceId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome of one training generation.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Registry version the generation was published as.
+    pub version: u64,
+    /// Samples used.
+    pub n_samples: usize,
+    /// Faulty samples among them.
+    pub n_faulty: usize,
+    /// Services that received a specialised model.
+    pub specialized: Vec<ServiceId>,
+    /// Wall-clock training duration, seconds.
+    pub duration_secs: f64,
+}
+
+/// Train one generation from the collector's current contents and publish
+/// it. The collector is snapshotted, not drained: the sliding window
+/// keeps accumulating.
+///
+/// `general_services` picks the services the general model trains on
+/// (paper: eight); specialised models are built for every service with at
+/// least `min_service_samples` samples.
+pub fn retrain(
+    collector: &ProbeCollector,
+    registry: &ModelRegistry,
+    config: &DiagNetConfig,
+    general_services: &[ServiceId],
+    min_service_samples: usize,
+    seed: u64,
+) -> Result<TrainReport, NnError> {
+    let t0 = Instant::now();
+    let data = collector.snapshot();
+    if data.is_empty() {
+        return Err(NnError::InvalidTrainingData("collector is empty".into()));
+    }
+    let general_data = data.filter_services(general_services);
+    if general_data.is_empty() {
+        return Err(NnError::InvalidTrainingData(
+            "no samples for any of the general services".into(),
+        ));
+    }
+    let general = DiagNet::train(config, &general_data, seed)?;
+
+    // Specialise every service with enough data.
+    let mut present: Vec<ServiceId> = data.samples.iter().map(|s| s.service).collect();
+    present.sort();
+    present.dedup();
+    let eligible: Vec<ServiceId> = present
+        .into_iter()
+        .filter(|&sid| data.filter_service(sid).len() >= min_service_samples)
+        .collect();
+    let suite = SpecializedModels::train(general, &data, &eligible, seed ^ 0x7E7E)?;
+
+    let specialized: HashMap<ServiceId, DiagNet> = suite
+        .models
+        .iter()
+        .map(|(&sid, m)| (sid, m.clone()))
+        .collect();
+    let version = registry.publish(suite.general, specialized);
+    Ok(TrainReport {
+        version,
+        n_samples: data.len(),
+        n_faulty: data.n_faulty(),
+        specialized: eligible,
+        duration_secs: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Commands accepted by the background worker.
+enum Command {
+    Retrain { seed: u64 },
+    Shutdown,
+}
+
+/// A background retraining worker on a dedicated thread.
+pub struct RetrainWorker {
+    commands: crossbeam::channel::Sender<Command>,
+    reports: crossbeam::channel::Receiver<Result<TrainReport, NnError>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RetrainWorker {
+    /// Spawn the worker. It holds shared handles on the collector and
+    /// registry and trains on demand.
+    pub fn spawn(
+        collector: Arc<ProbeCollector>,
+        registry: Arc<ModelRegistry>,
+        config: DiagNetConfig,
+        general_services: Vec<ServiceId>,
+        min_service_samples: usize,
+    ) -> Self {
+        let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Command>();
+        let (rep_tx, rep_rx) = crossbeam::channel::unbounded();
+        let handle = std::thread::Builder::new()
+            .name("diagnet-retrain".into())
+            .spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Command::Retrain { seed } => {
+                            let report = retrain(
+                                &collector,
+                                &registry,
+                                &config,
+                                &general_services,
+                                min_service_samples,
+                                seed,
+                            );
+                            if rep_tx.send(report).is_err() {
+                                break; // owner gone
+                            }
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn retrain worker");
+        RetrainWorker {
+            commands: cmd_tx,
+            reports: rep_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Request a retrain; does not block.
+    pub fn request_retrain(&self, seed: u64) {
+        let _ = self.commands.send(Command::Retrain { seed });
+    }
+
+    /// Wait for the next training report.
+    pub fn wait_report(&self) -> Result<TrainReport, NnError> {
+        self.reports
+            .recv()
+            .unwrap_or_else(|_| Err(NnError::InvalidTrainingData("worker gone".into())))
+    }
+
+    /// Try to fetch a report without blocking.
+    pub fn try_report(&self) -> Option<Result<TrainReport, NnError>> {
+        self.reports.try_recv().ok()
+    }
+
+    /// Wait for the next report up to `timeout`; `None` when none arrives
+    /// in time (e.g. no retrain was ever requested — the blocking
+    /// [`RetrainWorker::wait_report`] would hang in that case).
+    pub fn wait_report_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<Result<TrainReport, NnError>> {
+        self.reports.recv_timeout(timeout).ok()
+    }
+}
+
+impl Drop for RetrainWorker {
+    fn drop(&mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::dataset::{Dataset, DatasetConfig};
+    use diagnet_sim::metrics::FeatureSchema;
+    use diagnet_sim::world::World;
+
+    fn loaded_collector(seed: u64) -> (World, Arc<ProbeCollector>) {
+        let world = World::new();
+        let collector = Arc::new(ProbeCollector::new(100_000, FeatureSchema::full()));
+        let mut cfg = DatasetConfig::small(&world, seed);
+        cfg.n_scenarios = 15;
+        for s in Dataset::generate(&world, &cfg).samples {
+            collector.submit(s);
+        }
+        (world, collector)
+    }
+
+    fn fast_config() -> DiagNetConfig {
+        let mut c = DiagNetConfig::fast();
+        c.epochs = 2;
+        c.forest.n_trees = 5;
+        c
+    }
+
+    #[test]
+    fn synchronous_retrain_publishes() {
+        let (world, collector) = loaded_collector(81);
+        let registry = ModelRegistry::new();
+        let report = retrain(
+            &collector,
+            &registry,
+            &fast_config(),
+            &world.catalog.general_ids(),
+            1,
+            81,
+        )
+        .unwrap();
+        assert_eq!(report.version, 1);
+        assert_eq!(report.n_samples, collector.len(), "snapshot, not drain");
+        assert_eq!(report.specialized.len(), world.catalog.len());
+        assert!(registry.is_ready());
+        assert!(report.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn empty_collector_is_an_error() {
+        let world = World::new();
+        let collector = ProbeCollector::new(10, FeatureSchema::full());
+        let registry = ModelRegistry::new();
+        assert!(retrain(
+            &collector,
+            &registry,
+            &fast_config(),
+            &world.catalog.general_ids(),
+            1,
+            1
+        )
+        .is_err());
+        assert!(!registry.is_ready());
+    }
+
+    #[test]
+    fn background_worker_round_trip() {
+        let (world, collector) = loaded_collector(83);
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = RetrainWorker::spawn(
+            Arc::clone(&collector),
+            Arc::clone(&registry),
+            fast_config(),
+            world.catalog.general_ids(),
+            1,
+        );
+        assert!(worker.try_report().is_none());
+        worker.request_retrain(83);
+        let report = worker.wait_report().unwrap();
+        assert_eq!(report.version, 1);
+        assert!(registry.is_ready());
+        // Second generation bumps the version.
+        worker.request_retrain(84);
+        let report = worker.wait_report().unwrap();
+        assert_eq!(report.version, 2);
+    }
+}

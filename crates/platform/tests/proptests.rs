@@ -1,0 +1,67 @@
+//! Property-based tests of the platform's collector.
+
+use diagnet_platform::ProbeCollector;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A pool of real samples to draw from (generated once).
+fn pool() -> &'static Vec<diagnet_sim::dataset::Sample> {
+    static CELL: OnceLock<Vec<diagnet_sim::dataset::Sample>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 808);
+        cfg.n_scenarios = 3;
+        Dataset::generate(&world, &cfg).samples
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The buffer never exceeds capacity and retains the newest samples.
+    #[test]
+    fn capacity_is_a_hard_bound(capacity in 1usize..200, n in 1usize..300) {
+        let samples = pool();
+        let collector = ProbeCollector::new(capacity, FeatureSchema::full());
+        for i in 0..n {
+            prop_assert!(collector.submit(samples[i % samples.len()].clone()));
+            prop_assert!(collector.len() <= capacity);
+        }
+        prop_assert_eq!(collector.len(), n.min(capacity));
+        // The snapshot holds exactly the newest min(n, capacity) samples.
+        let snap = collector.snapshot();
+        let expected: Vec<_> = (n.saturating_sub(capacity)..n)
+            .map(|i| samples[i % samples.len()].clone())
+            .collect();
+        prop_assert_eq!(snap.samples, expected);
+    }
+
+    /// Drain empties the buffer and returns everything exactly once.
+    #[test]
+    fn drain_returns_everything_once(n in 1usize..150) {
+        let samples = pool();
+        let collector = ProbeCollector::new(10_000, FeatureSchema::full());
+        for i in 0..n {
+            collector.submit(samples[i % samples.len()].clone());
+        }
+        let drained = collector.drain();
+        prop_assert_eq!(drained.len(), n);
+        prop_assert!(collector.is_empty());
+        prop_assert_eq!(collector.drain().len(), 0);
+    }
+
+    /// Schema mismatches are rejected without disturbing the buffer.
+    #[test]
+    fn mismatched_widths_rejected(truncate_to in 1usize..54) {
+        let samples = pool();
+        let collector = ProbeCollector::new(100, FeatureSchema::full());
+        collector.submit(samples[0].clone());
+        let mut bad = samples[1].clone();
+        bad.features.truncate(truncate_to);
+        prop_assert!(!collector.submit(bad));
+        prop_assert_eq!(collector.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the analysis service under concurrency: probes
+//! arriving while diagnoses run and model generations roll over — the
+//! operational picture of the paper's Fig. 1.
+
+use diagnet::config::DiagNetConfig;
+use diagnet_platform::{AnalysisService, ServiceConfig};
+use diagnet_sim::dataset::{Dataset, DatasetConfig, Sample};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::sync::Arc;
+
+fn fixture() -> (World, Arc<AnalysisService>, Vec<Sample>) {
+    let world = World::new();
+    let mut model = DiagNetConfig::fast();
+    model.epochs = 2;
+    model.forest.n_trees = 5;
+    let service = Arc::new(AnalysisService::new(
+        ServiceConfig {
+            model,
+            buffer_capacity: 200_000,
+            general_services: world.catalog.general_ids(),
+            min_service_samples: 1,
+            auto_retrain_every: None,
+            seed: 500,
+        },
+        FeatureSchema::full(),
+    ));
+    let mut cfg = DatasetConfig::small(&world, 500);
+    cfg.n_scenarios = 15;
+    let samples = Dataset::generate(&world, &cfg).samples;
+    (world, service, samples)
+}
+
+#[test]
+fn concurrent_submissions_and_diagnoses() {
+    let (_, service, samples) = fixture();
+    // Bootstrap: first half of the samples, then one generation.
+    let (first, second) = samples.split_at(samples.len() / 2);
+    for s in first {
+        service.submit(s.clone());
+    }
+    service.retrain_now().unwrap();
+    let schema = FeatureSchema::full();
+
+    // Concurrently: one thread keeps submitting, several threads diagnose.
+    let faulty: Vec<Sample> = first
+        .iter()
+        .filter(|s| s.label.is_faulty())
+        .cloned()
+        .collect();
+    assert!(!faulty.is_empty());
+    std::thread::scope(|scope| {
+        let svc = Arc::clone(&service);
+        scope.spawn(move || {
+            for s in second {
+                assert!(svc.submit(s.clone()));
+            }
+        });
+        for chunk in faulty.chunks(faulty.len().div_ceil(3)) {
+            let svc = Arc::clone(&service);
+            let schema = schema.clone();
+            scope.spawn(move || {
+                for s in chunk {
+                    let d = svc.diagnose(&s.features, s.service, &schema).unwrap();
+                    assert_eq!(d.ranking.scores.len(), 55);
+                    assert_eq!(d.model_version, 1);
+                }
+            });
+        }
+    });
+    assert_eq!(service.buffered_samples(), samples.len());
+}
+
+#[test]
+fn generation_rollover_changes_version_not_correctness() {
+    let (_, service, samples) = fixture();
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    service.retrain_now().unwrap();
+    let schema = FeatureSchema::full();
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    let before = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(before.model_version, 1);
+
+    // Second generation (different derived seed ⇒ different weights).
+    service.retrain_now().unwrap();
+    let after = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(after.model_version, 2);
+    assert_eq!(after.ranking.scores.len(), 55);
+    assert!((after.ranking.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn sliding_window_keeps_service_trainable() {
+    // A tiny buffer evicts aggressively; training must still work off the
+    // window that remains.
+    let world = World::new();
+    let mut model = DiagNetConfig::fast();
+    model.epochs = 1;
+    model.forest.n_trees = 3;
+    let service = AnalysisService::new(
+        ServiceConfig {
+            model,
+            buffer_capacity: 600,
+            general_services: world.catalog.general_ids(),
+            min_service_samples: 1,
+            auto_retrain_every: None,
+            seed: 600,
+        },
+        FeatureSchema::full(),
+    );
+    let mut cfg = DatasetConfig::small(&world, 600);
+    cfg.n_scenarios = 12;
+    for s in Dataset::generate(&world, &cfg).samples {
+        service.submit(s);
+    }
+    assert_eq!(service.buffered_samples(), 600);
+    let report = service.retrain_now().unwrap();
+    assert_eq!(report.n_samples, 600);
+    assert!(service.is_ready());
+}

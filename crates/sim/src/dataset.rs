@@ -1,0 +1,403 @@
+//! Dataset generation and splitting.
+//!
+//! Reproduces the paper's data-collection protocol (§IV-A):
+//!
+//! * clients in every region periodically probe all landmarks and visit the
+//!   mock-up services under a scheduled fault scenario;
+//! * samples are labelled nominal/faulty from QoE + fault ground truth;
+//! * 80 % of each kind goes to training, 20 % to testing — except samples
+//!   whose fault lies near a *hidden* landmark (EAST, GRAV, SEAT), which
+//!   are "forced to appear only in the testing set" (§IV-A(d));
+//! * training feature vectors only expose the seven known landmarks.
+//!
+//! Generation fans out over scenarios with rayon; every observation derives
+//! its own seed, so the dataset is identical at any thread count.
+
+use crate::metrics::FeatureSchema;
+use crate::region::{Region, ALL_REGIONS};
+use crate::scenario::ScenarioGenerator;
+use crate::service::ServiceId;
+use crate::world::{Observation, World};
+use diagnet_rng::SplitMix64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A labelled sample; alias of [`Observation`] for readability at API
+/// boundaries.
+pub type Sample = Observation;
+
+/// Configuration of a generation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of fault scenarios to schedule.
+    pub n_scenarios: usize,
+    /// Regions with active clients (paper default: all ten; Fig. 8 varies
+    /// this for the client-diversity experiment).
+    pub client_regions: Vec<Region>,
+    /// Services visited by every client in every scenario.
+    pub services: Vec<ServiceId>,
+    /// Scenario schedule.
+    pub generator: ScenarioGenerator,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A small configuration for unit tests (≈ hundreds of samples).
+    pub fn small(world: &World, seed: u64) -> Self {
+        DatasetConfig {
+            n_scenarios: 40,
+            client_regions: ALL_REGIONS.to_vec(),
+            services: world.catalog.all_ids(),
+            generator: ScenarioGenerator::standard(),
+            seed,
+        }
+    }
+
+    /// The evaluation-scale configuration (tens of thousands of samples,
+    /// matching the paper's order of magnitude when scaled by
+    /// `n_scenarios`).
+    pub fn standard(world: &World, n_scenarios: usize, seed: u64) -> Self {
+        DatasetConfig {
+            n_scenarios,
+            client_regions: ALL_REGIONS.to_vec(),
+            services: world.catalog.all_ids(),
+            generator: ScenarioGenerator::standard(),
+            seed,
+        }
+    }
+
+    /// Total number of samples this configuration will produce.
+    pub fn n_samples(&self) -> usize {
+        self.n_scenarios * self.client_regions.len() * self.services.len()
+    }
+}
+
+/// A generated set of labelled samples plus the full measurement schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The full (all-landmark) schema the sample features are laid out in.
+    pub schema: FeatureSchema,
+    /// Samples in generation order.
+    pub samples: Vec<Sample>,
+}
+
+/// A train/test split following the paper's hidden-landmark protocol.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training samples (no hidden-landmark faults).
+    pub train: Dataset,
+    /// Test samples (includes *all* hidden-landmark fault samples).
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Generate a dataset. Parallelised over scenarios; deterministic in
+    /// `config.seed`.
+    pub fn generate(world: &World, config: &DatasetConfig) -> Dataset {
+        assert!(!config.client_regions.is_empty(), "no client regions");
+        assert!(!config.services.is_empty(), "no services");
+        let per_scenario = config.client_regions.len() * config.services.len();
+        let samples: Vec<Sample> = (0..config.n_scenarios as u64)
+            .into_par_iter()
+            .flat_map_iter(|si| {
+                let scenario = config.generator.generate(si, config.seed);
+                let world = world.clone();
+                let regions = config.client_regions.clone();
+                let services = config.services.clone();
+                let base = si * per_scenario as u64;
+                regions
+                    .into_iter()
+                    .enumerate()
+                    .flat_map(move |(ri, region)| {
+                        let scenario = scenario.clone();
+                        let world = world.clone();
+                        let services = services.clone();
+                        let n_services = services.len();
+                        services.into_iter().enumerate().map(move |(vi, service)| {
+                            // Unique per (scenario, region, service).
+                            let unique = base + (ri * n_services + vi) as u64;
+                            let seed = SplitMix64::derive(config.seed ^ 0x5EED_DA7A, unique);
+                            world.observe(region, service, &scenario, seed)
+                        })
+                    })
+            })
+            .collect();
+        Dataset {
+            schema: world.schema.clone(),
+            samples,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Count of nominal samples.
+    pub fn n_nominal(&self) -> usize {
+        self.samples.iter().filter(|s| !s.label.is_faulty()).count()
+    }
+
+    /// Count of faulty samples.
+    pub fn n_faulty(&self) -> usize {
+        self.samples.iter().filter(|s| s.label.is_faulty()).count()
+    }
+
+    /// Samples restricted to one service.
+    pub fn filter_service(&self, service: ServiceId) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.service == service)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Samples restricted to a set of services.
+    pub fn filter_services(&self, services: &[ServiceId]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| services.contains(&s.service))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Samples whose fault was injected near a hidden ("new") landmark.
+    pub fn filter_near_hidden(&self, hidden: bool) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.label.is_near_hidden_landmark() == Some(hidden))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Feature rows projected into `schema` (missing landmarks filled with
+    /// `fill`), plus coarse-family labels.
+    pub fn to_rows(&self, schema: &FeatureSchema, fill: f32) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let rows = self
+            .samples
+            .iter()
+            .map(|s| schema.project_from(&self.schema, &s.features, fill))
+            .collect();
+        let labels = self
+            .samples
+            .iter()
+            .map(|s| s.label.family_index())
+            .collect();
+        (rows, labels)
+    }
+
+    /// Split into train/test with the paper's protocol: samples whose
+    /// root cause is near a hidden landmark go to test unconditionally;
+    /// the rest is split `train_fraction` / `1 − train_fraction`,
+    /// stratified by nominal/faulty.
+    pub fn split(&self, train_fraction: f32, seed: u64) -> SplitDataset {
+        assert!(
+            (0.0..1.0).contains(&train_fraction),
+            "train_fraction must be in [0, 1)"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        // Stratify: nominal vs faulty (hidden-fault samples forced to test).
+        let mut strata: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for (i, s) in self.samples.iter().enumerate() {
+            if s.label.is_near_hidden_landmark() == Some(true) {
+                test.push(i);
+            } else {
+                strata[s.label.is_faulty() as usize].push(i);
+            }
+        }
+        for stratum in &mut strata {
+            rng.shuffle(stratum);
+            let n_train = (stratum.len() as f32 * train_fraction).round() as usize;
+            train.extend_from_slice(&stratum[..n_train]);
+            test.extend_from_slice(&stratum[n_train..]);
+        }
+        train.sort_unstable();
+        test.sort_unstable();
+        let pick = |idx: &[usize]| Dataset {
+            schema: self.schema.clone(),
+            samples: idx.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        SplitDataset {
+            train: pick(&train),
+            test: pick(&test),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::HIDDEN_LANDMARKS;
+    use crate::world::Label;
+
+    fn small_dataset(seed: u64) -> (World, Dataset) {
+        let world = World::new();
+        let cfg = DatasetConfig::small(&world, seed);
+        let ds = Dataset::generate(&world, &cfg);
+        (world, ds)
+    }
+
+    #[test]
+    fn generation_produces_expected_count() {
+        let (_, ds) = small_dataset(1);
+        assert_eq!(ds.len(), 40 * 10 * 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = small_dataset(5);
+        let (_, b) = small_dataset(5);
+        assert_eq!(a.samples, b.samples);
+        let (_, c) = small_dataset(6);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn mix_of_nominal_and_faulty() {
+        let (_, ds) = small_dataset(2);
+        let faulty_frac = ds.n_faulty() as f32 / ds.len() as f32;
+        // Paper: 30k faulty / 243k total ≈ 12 %. Our schedule injects
+        // faults in 50 % of scenarios but most faults don't degrade most
+        // (client, service) pairs; expect a small but solid faulty share.
+        assert!(
+            faulty_frac > 0.02,
+            "faulty fraction too small: {faulty_frac}"
+        );
+        assert!(
+            faulty_frac < 0.5,
+            "faulty fraction too large: {faulty_frac}"
+        );
+    }
+
+    #[test]
+    fn faulty_labels_cover_multiple_families_and_regions() {
+        let (_, ds) = small_dataset(3);
+        let mut families = std::collections::HashSet::new();
+        let mut regions = std::collections::HashSet::new();
+        for s in &ds.samples {
+            if let Label::Faulty { family, region, .. } = s.label {
+                families.insert(family);
+                regions.insert(region);
+            }
+        }
+        assert!(families.len() >= 5, "families seen: {families:?}");
+        assert!(regions.len() >= 4, "regions seen: {regions:?}");
+    }
+
+    #[test]
+    fn split_forces_hidden_faults_into_test() {
+        let (_, ds) = small_dataset(4);
+        let split = ds.split(0.8, 9);
+        for s in &split.train.samples {
+            assert_ne!(
+                s.label.is_near_hidden_landmark(),
+                Some(true),
+                "hidden-landmark fault leaked into training"
+            );
+        }
+        let hidden_in_test = split
+            .test
+            .samples
+            .iter()
+            .filter(|s| s.label.is_near_hidden_landmark() == Some(true))
+            .count();
+        let hidden_total = ds
+            .samples
+            .iter()
+            .filter(|s| s.label.is_near_hidden_landmark() == Some(true))
+            .count();
+        assert_eq!(hidden_in_test, hidden_total);
+        assert!(
+            hidden_total > 0,
+            "dataset should contain hidden-landmark faults"
+        );
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let (_, ds) = small_dataset(7);
+        let split = ds.split(0.8, 1);
+        assert_eq!(split.train.len() + split.test.len(), ds.len());
+    }
+
+    #[test]
+    fn split_ratio_approximate_on_visible_samples() {
+        let (_, ds) = small_dataset(8);
+        let split = ds.split(0.8, 2);
+        let visible: Vec<&Sample> = ds
+            .samples
+            .iter()
+            .filter(|s| s.label.is_near_hidden_landmark() != Some(true))
+            .collect();
+        let frac = split.train.len() as f32 / visible.len() as f32;
+        assert!((frac - 0.8).abs() < 0.02, "train fraction {frac}");
+    }
+
+    #[test]
+    fn to_rows_projects_into_training_schema() {
+        let (_, ds) = small_dataset(9);
+        let known = FeatureSchema::known();
+        let (rows, labels) = ds.to_rows(&known, 0.0);
+        assert_eq!(rows.len(), ds.len());
+        assert_eq!(labels.len(), ds.len());
+        assert!(rows.iter().all(|r| r.len() == 40));
+        assert!(labels.iter().all(|&l| l < 7));
+    }
+
+    #[test]
+    fn hidden_landmarks_constant_matches_schema() {
+        let full = FeatureSchema::full();
+        let known = FeatureSchema::known();
+        assert_eq!(
+            full.n_landmarks() - known.n_landmarks(),
+            HIDDEN_LANDMARKS.len()
+        );
+    }
+
+    #[test]
+    fn client_diversity_restriction() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 11);
+        cfg.client_regions = vec![Region::Amst, Region::Toky];
+        let ds = Dataset::generate(&world, &cfg);
+        assert_eq!(ds.len(), 40 * 2 * 10);
+        assert!(ds
+            .samples
+            .iter()
+            .all(|s| s.client_region == Region::Amst || s.client_region == Region::Toky));
+    }
+
+    #[test]
+    fn filters_work() {
+        let (world, ds) = small_dataset(12);
+        let sid = world.catalog.by_name("single").unwrap().id;
+        let only = ds.filter_service(sid);
+        assert!(only.samples.iter().all(|s| s.service == sid));
+        assert_eq!(only.len(), ds.len() / 10);
+        let near_hidden = ds.filter_near_hidden(true);
+        assert!(near_hidden
+            .samples
+            .iter()
+            .all(|s| s.label.is_near_hidden_landmark() == Some(true)));
+    }
+}

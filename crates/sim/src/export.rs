@@ -1,0 +1,127 @@
+//! CSV export of datasets.
+//!
+//! The JSON form (serde) round-trips losslessly inside the toolchain; CSV
+//! is for everything else — pandas, R, spreadsheets. One row per sample:
+//! all feature columns (named per the schema), the service, the client
+//! region, the PLT, and the ground-truth label columns.
+
+use crate::dataset::Dataset;
+use crate::service::ServiceCatalog;
+use std::io::Write;
+
+/// Write `dataset` as CSV. Columns:
+/// `<feature names...>,service,client,plt_s,label,cause,cause_region`.
+///
+/// `label` is `nominal` or the coarse family name; `cause` /
+/// `cause_region` are empty for nominal samples.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<()> {
+    let schema = &dataset.schema;
+    let catalog = ServiceCatalog::standard();
+    // Header.
+    let mut header: Vec<String> = schema
+        .features()
+        .iter()
+        .map(|f| f.name().replace('/', "_"))
+        .collect();
+    header.extend(
+        ["service", "client", "plt_s", "label", "cause", "cause_region"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    writeln!(out, "{}", header.join(","))?;
+    // Rows.
+    for s in &dataset.samples {
+        let mut cells: Vec<String> = s.features.iter().map(|v| format!("{v}")).collect();
+        cells.push(catalog.get(s.service).name.to_string());
+        cells.push(s.client_region.code().to_string());
+        cells.push(format!("{}", s.plt_s));
+        match s.label.cause() {
+            Some(cause) => {
+                cells.push(
+                    crate::metrics::ALL_FAMILIES[s.label.family_index()]
+                        .name()
+                        .to_string(),
+                );
+                cells.push(cause.name().replace('/', "_"));
+                cells.push(
+                    s.label
+                        .cause_region()
+                        .map(|r| r.code().to_string())
+                        .unwrap_or_default(),
+                );
+            }
+            None => {
+                cells.push("nominal".to_string());
+                cells.push(String::new());
+                cells.push(String::new());
+            }
+        }
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::world::World;
+
+    fn sample_csv() -> (Dataset, String) {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 909);
+        cfg.n_scenarios = 4;
+        let ds = crate::dataset::Dataset::generate(&world, &cfg);
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        (ds, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn header_and_row_counts() {
+        let (ds, csv) = sample_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), ds.len() + 1);
+        let header: Vec<&str> = lines[0].split(',').collect();
+        assert_eq!(header.len(), 55 + 6);
+        assert_eq!(header[0], "SEAT_rtt");
+        assert_eq!(header[54], "local_conn_count");
+        assert_eq!(header[55], "service");
+    }
+
+    #[test]
+    fn every_row_has_the_same_width() {
+        let (_, csv) = sample_csv();
+        let widths: Vec<usize> = csv.lines().map(|l| l.split(',').count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn labels_rendered() {
+        let (ds, csv) = sample_csv();
+        let n_faulty = ds.n_faulty();
+        let nominal_rows = csv.lines().skip(1).filter(|l| l.contains(",nominal,")).count();
+        assert_eq!(nominal_rows, ds.n_nominal());
+        if n_faulty > 0 {
+            // Faulty rows name a family and a cause region.
+            let faulty_line = csv
+                .lines()
+                .skip(1)
+                .find(|l| !l.contains(",nominal,"))
+                .expect("a faulty row");
+            let cells: Vec<&str> = faulty_line.split(',').collect();
+            assert!(!cells[58].is_empty(), "family cell");
+            assert!(!cells[60].is_empty(), "cause_region cell");
+        }
+    }
+
+    #[test]
+    fn values_are_parseable_floats() {
+        let (_, csv) = sample_csv();
+        for line in csv.lines().skip(1).take(20) {
+            for cell in line.split(',').take(55) {
+                cell.parse::<f32>().expect("feature cell parses as f32");
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Fault injection — the six fault families of paper §IV-A(e).
+//!
+//! Faults are injected *per region* (the paper applied `tc netem` rules
+//! inside cloud regions). Network-level faults affect every path touching
+//! the faulty region; client-level faults (gateway latency, CPU stress)
+//! affect clients located in the faulty region.
+//!
+//! Magnitudes follow the paper: download shaping at 8 Mbit/s, +50 ms
+//! service latency, +50 ms gateway latency, jitter up to 100 ms, 8 %
+//! packet loss, and a CPU stress that measurably degrades page rendering.
+
+use crate::link::PathConditions;
+use crate::metrics::{CoarseFamily, FeatureId, LandmarkMetric, LocalMetric};
+use crate::region::Region;
+use diagnet_rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One of the six injectable fault families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// Download bandwidth shaped to 8 Mbit/s on paths touching the region.
+    BandwidthShaping,
+    /// +50 ms latency on paths touching the region.
+    ServiceLatency,
+    /// +50 ms latency at the gateway of clients *in* the region.
+    GatewayLatency,
+    /// Up to +100 ms of jitter on paths touching the region.
+    Jitter,
+    /// +8 % packet loss on paths touching the region.
+    PacketLoss,
+    /// CPU stress on clients *in* the region (impacts page rendering).
+    CpuStress,
+}
+
+/// All injectable families (uniform scheduling iterates this).
+pub const ALL_FAULT_FAMILIES: [FaultFamily; 6] = [
+    FaultFamily::BandwidthShaping,
+    FaultFamily::ServiceLatency,
+    FaultFamily::GatewayLatency,
+    FaultFamily::Jitter,
+    FaultFamily::PacketLoss,
+    FaultFamily::CpuStress,
+];
+
+/// Where a fault family acts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultLocation {
+    /// Acts on network paths with an endpoint in the region.
+    NetworkPaths,
+    /// Acts on client devices located in the region.
+    ClientDevices,
+}
+
+impl FaultFamily {
+    /// Index within [`ALL_FAULT_FAMILIES`].
+    pub fn index(self) -> usize {
+        ALL_FAULT_FAMILIES
+            .iter()
+            .position(|&f| f == self)
+            .expect("family listed")
+    }
+
+    /// The coarse class (paper §III-B) this fault family maps to.
+    pub fn coarse(self) -> CoarseFamily {
+        match self {
+            FaultFamily::BandwidthShaping => CoarseFamily::LinkBandwidth,
+            FaultFamily::ServiceLatency => CoarseFamily::LinkLatency,
+            FaultFamily::GatewayLatency => CoarseFamily::UplinkLatency,
+            FaultFamily::Jitter => CoarseFamily::LinkJitter,
+            FaultFamily::PacketLoss => CoarseFamily::LinkLoss,
+            FaultFamily::CpuStress => CoarseFamily::LocalLoad,
+        }
+    }
+
+    /// Whether this family acts on paths or on client devices.
+    pub fn location(self) -> FaultLocation {
+        match self {
+            FaultFamily::GatewayLatency | FaultFamily::CpuStress => FaultLocation::ClientDevices,
+            _ => FaultLocation::NetworkPaths,
+        }
+    }
+
+    /// Display name matching the paper's fault list.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultFamily::BandwidthShaping => "bandwidth-shaping",
+            FaultFamily::ServiceLatency => "service-latency",
+            FaultFamily::GatewayLatency => "gateway-latency",
+            FaultFamily::Jitter => "jitter",
+            FaultFamily::PacketLoss => "packet-loss",
+            FaultFamily::CpuStress => "cpu-stress",
+        }
+    }
+}
+
+/// A fault instance: a family injected in a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Injected family.
+    pub family: FaultFamily,
+    /// Region whose paths/clients are affected.
+    pub region: Region,
+}
+
+/// Paper-calibrated injection magnitudes.
+mod magnitude {
+    /// Download cap under shaping, Mbit/s.
+    pub const SHAPED_DOWN_MBPS: f32 = 8.0;
+    /// Added path latency, ms.
+    pub const SERVICE_LATENCY_MS: f32 = 50.0;
+    /// Added gateway latency, ms.
+    pub const GATEWAY_LATENCY_MS: f32 = 50.0;
+    /// Maximum added jitter, ms (uniform in [MAX/2, MAX]).
+    pub const JITTER_MAX_MS: f32 = 100.0;
+    /// Added packet loss ratio.
+    pub const LOSS_RATIO: f32 = 0.08;
+    /// CPU load under stress (fraction of one core).
+    pub const CPU_STRESS_LOAD: f32 = 0.95;
+}
+
+impl Fault {
+    /// Convenience constructor.
+    pub fn new(family: FaultFamily, region: Region) -> Self {
+        Fault { family, region }
+    }
+
+    /// Whether this fault perturbs the path `from → to`.
+    pub fn affects_path(&self, from: Region, to: Region) -> bool {
+        self.family.location() == FaultLocation::NetworkPaths
+            && (from == self.region || to == self.region)
+    }
+
+    /// Whether this fault perturbs a client located in `client_region`.
+    pub fn affects_client(&self, client_region: Region) -> bool {
+        self.family.location() == FaultLocation::ClientDevices && client_region == self.region
+    }
+
+    /// The ground-truth root-cause feature for a client observing this
+    /// fault (paper §III-A: the root-cause space *is* the feature space).
+    pub fn cause_feature(&self) -> FeatureId {
+        match self.family {
+            FaultFamily::BandwidthShaping => {
+                FeatureId::Landmark(self.region, LandmarkMetric::DownBw)
+            }
+            FaultFamily::ServiceLatency => FeatureId::Landmark(self.region, LandmarkMetric::Rtt),
+            FaultFamily::Jitter => FeatureId::Landmark(self.region, LandmarkMetric::Jitter),
+            FaultFamily::PacketLoss => {
+                FeatureId::Landmark(self.region, LandmarkMetric::LossRetrans)
+            }
+            FaultFamily::GatewayLatency => FeatureId::Local(LocalMetric::GatewayRtt),
+            FaultFamily::CpuStress => FeatureId::Local(LocalMetric::CpuLoad),
+        }
+    }
+
+    /// Apply this fault's effect to path conditions (no-op when the path is
+    /// unaffected). `rng` drives the stochastic part of jitter injection.
+    pub fn apply_to_path(
+        &self,
+        cond: &mut PathConditions,
+        from: Region,
+        to: Region,
+        rng: &mut SplitMix64,
+    ) {
+        if !self.affects_path(from, to) {
+            return;
+        }
+        match self.family {
+            FaultFamily::BandwidthShaping => {
+                cond.down_capacity_mbps = cond.down_capacity_mbps.min(magnitude::SHAPED_DOWN_MBPS);
+            }
+            FaultFamily::ServiceLatency => {
+                cond.rtt_ms += magnitude::SERVICE_LATENCY_MS;
+            }
+            FaultFamily::Jitter => {
+                // tc netem "up to 100 ms": sample the realised spread.
+                let added = rng.uniform(magnitude::JITTER_MAX_MS * 0.5, magnitude::JITTER_MAX_MS);
+                cond.jitter_ms += added;
+                // Jitter also inflates the mean RTT a little (queue churn).
+                cond.rtt_ms += added * 0.25;
+            }
+            FaultFamily::PacketLoss => {
+                cond.loss = (cond.loss + magnitude::LOSS_RATIO).min(1.0);
+            }
+            FaultFamily::GatewayLatency | FaultFamily::CpuStress => unreachable!("client fault"),
+        }
+    }
+
+    /// Deterministic variant of [`Fault::apply_to_path`] that uses the
+    /// *expected* magnitude for stochastic faults (jitter). Used for QoE
+    /// baselines and root-cause attribution, where two evaluations must be
+    /// comparable.
+    pub fn apply_to_path_expected(&self, cond: &mut PathConditions, from: Region, to: Region) {
+        if !self.affects_path(from, to) {
+            return;
+        }
+        match self.family {
+            FaultFamily::Jitter => {
+                let added = magnitude::JITTER_MAX_MS * 0.75; // mean of U[50, 100]
+                cond.jitter_ms += added;
+                cond.rtt_ms += added * 0.25;
+            }
+            // All other path faults are already deterministic.
+            _ => {
+                let mut rng = SplitMix64::new(0);
+                self.apply_to_path(cond, from, to, &mut rng);
+            }
+        }
+    }
+
+    /// Extra RTT this fault adds at the *client gateway* (0 when it is not
+    /// a gateway fault or the client is elsewhere).
+    pub fn gateway_latency_ms(&self, client_region: Region) -> f32 {
+        if self.family == FaultFamily::GatewayLatency && self.affects_client(client_region) {
+            magnitude::GATEWAY_LATENCY_MS
+        } else {
+            0.0
+        }
+    }
+
+    /// CPU load this fault imposes on a client (0 when not applicable).
+    pub fn cpu_stress_load(&self, client_region: Region) -> f32 {
+        if self.family == FaultFamily::CpuStress && self.affects_client(client_region) {
+            magnitude::CPU_STRESS_LOAD
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.family.name(), self.region.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkModel;
+
+    fn nominal() -> PathConditions {
+        LinkModel::default().expected_conditions(Region::Beau, Region::Grav)
+    }
+
+    #[test]
+    fn six_families_cover_six_coarse_classes() {
+        let mut coarse: Vec<CoarseFamily> = ALL_FAULT_FAMILIES.iter().map(|f| f.coarse()).collect();
+        coarse.sort();
+        coarse.dedup();
+        assert_eq!(
+            coarse.len(),
+            6,
+            "each fault family maps to a distinct coarse class"
+        );
+        assert!(!coarse.contains(&CoarseFamily::Nominal));
+    }
+
+    #[test]
+    fn path_faults_affect_both_endpoints() {
+        let f = Fault::new(FaultFamily::PacketLoss, Region::Grav);
+        assert!(f.affects_path(Region::Grav, Region::Toky));
+        assert!(f.affects_path(Region::Toky, Region::Grav));
+        assert!(!f.affects_path(Region::Toky, Region::Seat));
+    }
+
+    #[test]
+    fn client_faults_only_affect_local_clients() {
+        let f = Fault::new(FaultFamily::CpuStress, Region::Sing);
+        assert!(f.affects_client(Region::Sing));
+        assert!(!f.affects_client(Region::Seat));
+        assert!(
+            !f.affects_path(Region::Sing, Region::Seat),
+            "CPU stress is not a path fault"
+        );
+    }
+
+    #[test]
+    fn shaping_caps_download_only() {
+        let mut cond = nominal();
+        let up_before = cond.up_capacity_mbps;
+        let f = Fault::new(FaultFamily::BandwidthShaping, Region::Grav);
+        f.apply_to_path(
+            &mut cond,
+            Region::Beau,
+            Region::Grav,
+            &mut SplitMix64::new(1),
+        );
+        assert_eq!(cond.down_capacity_mbps, 8.0);
+        assert_eq!(cond.up_capacity_mbps, up_before);
+    }
+
+    #[test]
+    fn latency_fault_adds_50ms() {
+        let mut cond = nominal();
+        let before = cond.rtt_ms;
+        Fault::new(FaultFamily::ServiceLatency, Region::Beau).apply_to_path(
+            &mut cond,
+            Region::Beau,
+            Region::Grav,
+            &mut SplitMix64::new(1),
+        );
+        assert!((cond.rtt_ms - before - 50.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jitter_fault_bounded_and_random() {
+        let f = Fault::new(FaultFamily::Jitter, Region::Beau);
+        for seed in 0..20 {
+            let mut cond = nominal();
+            let before = cond.jitter_ms;
+            f.apply_to_path(
+                &mut cond,
+                Region::Beau,
+                Region::Grav,
+                &mut SplitMix64::new(seed),
+            );
+            let added = cond.jitter_ms - before;
+            assert!((50.0..=100.0).contains(&added), "added jitter {added}");
+        }
+    }
+
+    #[test]
+    fn loss_fault_adds_8_percent() {
+        let mut cond = nominal();
+        let before = cond.loss;
+        Fault::new(FaultFamily::PacketLoss, Region::Grav).apply_to_path(
+            &mut cond,
+            Region::Grav,
+            Region::Toky,
+            &mut SplitMix64::new(1),
+        );
+        assert!((cond.loss - before - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unaffected_path_is_untouched() {
+        let mut cond = nominal();
+        let before = cond;
+        Fault::new(FaultFamily::PacketLoss, Region::Sing).apply_to_path(
+            &mut cond,
+            Region::Beau,
+            Region::Grav,
+            &mut SplitMix64::new(1),
+        );
+        assert_eq!(cond, before);
+    }
+
+    #[test]
+    fn cause_features_match_families() {
+        let f = Fault::new(FaultFamily::BandwidthShaping, Region::Amst);
+        assert_eq!(
+            f.cause_feature(),
+            FeatureId::Landmark(Region::Amst, LandmarkMetric::DownBw)
+        );
+        assert_eq!(f.cause_feature().family(), CoarseFamily::LinkBandwidth);
+        let g = Fault::new(FaultFamily::GatewayLatency, Region::Amst);
+        assert_eq!(g.cause_feature(), FeatureId::Local(LocalMetric::GatewayRtt));
+    }
+
+    #[test]
+    fn gateway_and_cpu_magnitudes() {
+        let g = Fault::new(FaultFamily::GatewayLatency, Region::Seat);
+        assert_eq!(g.gateway_latency_ms(Region::Seat), 50.0);
+        assert_eq!(g.gateway_latency_ms(Region::Beau), 0.0);
+        let c = Fault::new(FaultFamily::CpuStress, Region::Seat);
+        assert!(c.cpu_stress_load(Region::Seat) > 0.9);
+        assert_eq!(c.cpu_stress_load(Region::Toky), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # diagnet-sim — a geo-distributed multi-cloud testbed simulator
+//!
+//! The DiagNet paper (IPDPS 2021) evaluated on a real deployment: one
+//! landmark server and a fleet of automated-browser clients in each of ten
+//! cloud regions across four providers, three of which also hosted mock-up
+//! web services; faults were injected with `tc netem` and the clients'
+//! Quality of Experience (QoE) was measured from browser timings.
+//!
+//! We do not have that testbed, so this crate simulates it end to end:
+//!
+//! * [`region`] — the ten regions, their providers and geographic
+//!   coordinates (Fig. 4 of the paper);
+//! * [`link`] — a wide-area path model: base RTT from great-circle
+//!   distance, provider peering penalties, diurnal congestion, heavy-tailed
+//!   noise, and TCP throughput coupling (Mathis et al.) that entangles
+//!   latency/loss with measured bandwidth exactly the way the paper's
+//!   "anomaly disentanglement" challenge describes;
+//! * [`fault`] — the six injectable fault families of §IV-A(e) with the
+//!   paper's magnitudes (8 Mbit/s shaping, +50 ms latency, ≤100 ms jitter,
+//!   8 % loss, CPU stress);
+//! * [`metrics`] — the measurement schema: k = 5 metrics per landmark plus
+//!   5 client-local metrics (m = 55 features for ℓ = 10 landmarks), the
+//!   7 coarse fault families, and the feature ↔ root-cause mapping;
+//! * [`service`] — the mock-up online services of Table II (plus two
+//!   extras so that a *general* model can be trained on 8 services and
+//!   specialised on the rest, as in §IV-F), with a page-load-time QoE
+//!   model;
+//! * [`world`] — glues everything together: a client probing landmarks and
+//!   visiting services under a fault scenario, producing one feature
+//!   vector + ground-truth label per observation;
+//! * [`scenario`] — fault schedules (uniform region × family coverage,
+//!   occasional simultaneous faults);
+//! * [`dataset`] — parallel, deterministic dataset generation with the
+//!   paper's hidden-landmark protocol (EAST, GRAV, SEAT unseen during
+//!   training);
+//! * [`timeline`] — multi-day measurement campaigns (the paper's two-week
+//!   collection) as time-ordered sample streams for the online analysis
+//!   service.
+//!
+//! Everything is driven by explicit seeds; generation parallelised with
+//! rayon is bit-identical to the sequential result.
+
+pub mod dataset;
+pub mod export;
+pub mod fault;
+pub mod link;
+pub mod metrics;
+pub mod region;
+pub mod scenario;
+pub mod service;
+pub mod timeline;
+pub mod world;
+
+pub use dataset::{Dataset, DatasetConfig, Sample, SplitDataset};
+pub use fault::{Fault, FaultFamily, FaultLocation};
+pub use metrics::{
+    CoarseFamily, FeatureId, FeatureSchema, LandmarkMetric, LocalMetric, K_LANDMARK_METRICS,
+    N_LOCAL_METRICS,
+};
+pub use region::{CloudProvider, Region, ALL_REGIONS, HIDDEN_LANDMARKS, SERVICE_REGIONS};
+pub use scenario::{Scenario, ScenarioKind};
+pub use service::{Service, ServiceCatalog, ServiceId};
+pub use timeline::{Campaign, CampaignConfig, Window};
+pub use world::{Label, Observation, World};

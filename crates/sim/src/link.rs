@@ -1,0 +1,370 @@
+//! Wide-area path model.
+//!
+//! Produces the *nominal* (fault-free) conditions of a network path between
+//! two regions at a given time of day. The model is intentionally simple
+//! but captures the effects that matter to root-cause analysis:
+//!
+//! * **propagation delay** from great-circle distance (≈1 ms of RTT per
+//!   100 km of fibre), plus a peering penalty when the endpoints belong to
+//!   different cloud providers;
+//! * **diurnal congestion**: traffic peaks in the local evening of each
+//!   endpoint, inflating RTT and deflating available bandwidth — this is
+//!   the background "constant stream of anomalies" the paper's *anomaly
+//!   disentanglement* property is about (§II-B);
+//! * **heavy-tailed noise** (log-normal) on every quantity, so outliers
+//!   occur even on healthy paths;
+//! * **TCP coupling**: the *measured* throughput of a path is capped by the
+//!   Mathis et al. formula `BW ≈ C·MSS/(RTT·√loss)`, so latency and loss
+//!   faults degrade measured bandwidth too — DiagNet's coarse classifier
+//!   must learn to undo exactly this entanglement (§III-B).
+
+use crate::region::Region;
+use diagnet_rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Conditions of one directed network path at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathConditions {
+    /// Round-trip time, milliseconds.
+    pub rtt_ms: f32,
+    /// RTT jitter, milliseconds.
+    pub jitter_ms: f32,
+    /// Packet loss ratio in `[0, 1]`.
+    pub loss: f32,
+    /// Raw downstream capacity, Mbit/s (before TCP effects).
+    pub down_capacity_mbps: f32,
+    /// Raw upstream capacity, Mbit/s (before TCP effects).
+    pub up_capacity_mbps: f32,
+}
+
+impl PathConditions {
+    /// Mathis TCP throughput cap (Mbit/s) for the current RTT and loss,
+    /// assuming `n_conns` parallel connections (browsers open several).
+    pub fn mathis_cap_mbps(&self, n_conns: f32) -> f32 {
+        // C·MSS/(RTT·√p): C ≈ 1.22, MSS = 1460 B.
+        let rtt_s = (self.rtt_ms.max(0.1)) / 1000.0;
+        let p = self.loss.max(1e-6);
+        let single = 1.22 * 1460.0 * 8.0 / (rtt_s * p.sqrt()) / 1e6;
+        single * n_conns
+    }
+
+    /// Measured download throughput (Mbit/s): capacity gated by TCP.
+    pub fn effective_down_mbps(&self) -> f32 {
+        self.down_capacity_mbps
+            .min(self.mathis_cap_mbps(MEASURE_CONNS))
+    }
+
+    /// Measured upload throughput (Mbit/s): capacity gated by TCP.
+    pub fn effective_up_mbps(&self) -> f32 {
+        self.up_capacity_mbps
+            .min(self.mathis_cap_mbps(MEASURE_CONNS))
+    }
+
+    /// Time (seconds) to transfer `kbytes` kilobytes downstream, including
+    /// `setup_rtts` round trips of protocol handshakes and a jitter-induced
+    /// retransmission penalty.
+    pub fn download_time_s(&self, kbytes: f32, setup_rtts: f32) -> f32 {
+        self.transfer_time_s(kbytes, setup_rtts, false)
+    }
+
+    /// Time (seconds) to transfer `kbytes` kilobytes upstream.
+    pub fn upload_time_s(&self, kbytes: f32, setup_rtts: f32) -> f32 {
+        self.transfer_time_s(kbytes, setup_rtts, true)
+    }
+
+    /// Shared transfer-time model: protocol handshakes cost `setup_rtts`
+    /// round trips (inflated by jitter), then the payload streams at the
+    /// TCP-effective rate.
+    pub fn transfer_time_s(&self, kbytes: f32, setup_rtts: f32, upstream: bool) -> f32 {
+        let bw = if upstream {
+            self.effective_up_mbps()
+        } else {
+            self.effective_down_mbps()
+        };
+        let transfer = kbytes * 8.0 / 1000.0 / bw.max(0.05); // kB → Mbit, / Mbit/s
+        let handshake = setup_rtts * (self.rtt_ms + 0.5 * self.jitter_ms) / 1000.0;
+        transfer + handshake
+    }
+}
+
+/// Number of parallel TCP connections assumed for throughput measurements.
+const MEASURE_CONNS: f32 = 6.0;
+
+/// Tunable parameters of the nominal path model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Fixed per-path overhead added to every RTT, ms.
+    pub base_rtt_ms: f32,
+    /// RTT milliseconds added per 100 km of great-circle distance.
+    pub ms_per_100km: f32,
+    /// Extra RTT when endpoints are operated by different providers, ms.
+    pub peering_penalty_ms: f32,
+    /// Same-provider path capacity, Mbit/s.
+    pub intra_provider_mbps: f32,
+    /// Cross-provider path capacity, Mbit/s.
+    pub inter_provider_mbps: f32,
+    /// Additional capacity cap for intercontinental paths (> 8000 km).
+    pub intercontinental_mbps: f32,
+    /// Peak-hour congestion amplitude (0.15 → RTT +15 %, capacity −15 %).
+    pub congestion_amplitude: f32,
+    /// σ of the log-normal noise applied to RTT and bandwidth.
+    pub noise_sigma: f32,
+    /// Nominal loss ratio scale (per-path losses are exponential around it).
+    pub base_loss: f32,
+    /// Probability that a sampled path observation carries a *spurious*
+    /// transient anomaly unrelated to any injected fault — the paper's
+    /// "constant stream of anomalies" (§II-B) that a root-cause model must
+    /// disentangle from actual causes.
+    pub anomaly_prob: f32,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            base_rtt_ms: 4.0,
+            ms_per_100km: 1.0,
+            peering_penalty_ms: 8.0,
+            intra_provider_mbps: 400.0,
+            inter_provider_mbps: 180.0,
+            intercontinental_mbps: 110.0,
+            congestion_amplitude: 0.18,
+            noise_sigma: 0.08,
+            base_loss: 3e-4,
+            anomaly_prob: 0.06,
+        }
+    }
+}
+
+/// The nominal (fault-free) wide-area path model.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct LinkModel {
+    /// Model parameters.
+    pub params: LinkParams,
+}
+
+impl LinkModel {
+    /// Build a model with explicit parameters.
+    pub fn new(params: LinkParams) -> Self {
+        LinkModel { params }
+    }
+
+    /// Deterministic expected RTT (ms) of the path `from → to`, before
+    /// congestion and noise. Used both by sampling and by the QoE baseline.
+    pub fn expected_rtt_ms(&self, from: Region, to: Region) -> f32 {
+        let p = &self.params;
+        if from == to {
+            return p.base_rtt_ms * 0.5;
+        }
+        let mut rtt = p.base_rtt_ms + (from.distance_km(to) as f32 / 100.0) * p.ms_per_100km;
+        if from.provider() != to.provider() {
+            rtt += p.peering_penalty_ms;
+        }
+        rtt
+    }
+
+    /// Deterministic expected capacity (Mbit/s) of the path `from → to`.
+    pub fn expected_capacity_mbps(&self, from: Region, to: Region) -> f32 {
+        let p = &self.params;
+        if from == to {
+            return p.intra_provider_mbps * 2.0;
+        }
+        let mut cap = if from.provider() == to.provider() {
+            p.intra_provider_mbps
+        } else {
+            p.inter_provider_mbps
+        };
+        if from.distance_km(to) > 8000.0 {
+            cap = cap.min(p.intercontinental_mbps);
+        }
+        cap
+    }
+
+    /// Diurnal congestion factor ≥ 1 for a path at UTC hour `hour`
+    /// (fractional). Peaks around 20:00 local time at each endpoint.
+    pub fn congestion_factor(&self, from: Region, to: Region, hour_utc: f64) -> f32 {
+        let peak = |r: Region| {
+            let local = (hour_utc + r.utc_offset_hours()).rem_euclid(24.0);
+            // Raised cosine centred on 20:00, width ~6 h.
+            let dist = (local - 20.0).abs().min(24.0 - (local - 20.0).abs());
+            if dist < 6.0 {
+                0.5 * (1.0 + (std::f64::consts::PI * dist / 6.0).cos())
+            } else {
+                0.0
+            }
+        };
+        let intensity = 0.5 * (peak(from) + peak(to)) as f32;
+        1.0 + self.params.congestion_amplitude * intensity
+    }
+
+    /// Expected nominal conditions (no noise) — the deterministic baseline
+    /// used for QoE thresholds.
+    pub fn expected_conditions(&self, from: Region, to: Region) -> PathConditions {
+        let cap = self.expected_capacity_mbps(from, to);
+        let rtt = self.expected_rtt_ms(from, to);
+        PathConditions {
+            rtt_ms: rtt,
+            jitter_ms: 0.5 + 0.03 * rtt,
+            loss: self.params.base_loss,
+            down_capacity_mbps: cap,
+            up_capacity_mbps: cap * 0.8,
+        }
+    }
+
+    /// Sample the nominal conditions of `from → to` at `hour_utc`, using
+    /// `rng` for congestion noise.
+    pub fn sample(
+        &self,
+        from: Region,
+        to: Region,
+        hour_utc: f64,
+        rng: &mut SplitMix64,
+    ) -> PathConditions {
+        let p = &self.params;
+        let expected = self.expected_conditions(from, to);
+        let congestion = self.congestion_factor(from, to, hour_utc);
+        let rtt_noise = rng.log_normal(0.0, p.noise_sigma);
+        let bw_noise = rng.log_normal(0.0, p.noise_sigma);
+        let jitter_noise = rng.log_normal(0.0, p.noise_sigma * 2.0);
+        let rtt = expected.rtt_ms * congestion * rtt_noise;
+        let mut cond = PathConditions {
+            rtt_ms: rtt,
+            jitter_ms: (0.5 + 0.03 * rtt) * jitter_noise,
+            loss: p.base_loss * rng.exponential(1.0).max(0.05),
+            down_capacity_mbps: expected.down_capacity_mbps / congestion * bw_noise,
+            up_capacity_mbps: expected.up_capacity_mbps / congestion * bw_noise,
+        };
+        // Spurious transient anomalies: a random drop in bandwidth here, a
+        // latency spike there — uncorrelated with injected faults.
+        if rng.bernoulli(p.anomaly_prob) {
+            match rng.next_below(4) {
+                0 => cond.rtt_ms *= rng.uniform(1.5, 3.0),
+                1 => cond.jitter_ms += rng.uniform(10.0, 60.0),
+                2 => cond.loss += rng.uniform(0.004, 0.025),
+                _ => {
+                    let dip = rng.uniform(0.2, 0.6);
+                    cond.down_capacity_mbps *= dip;
+                    cond.up_capacity_mbps *= dip;
+                }
+            }
+        }
+        cond
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::ALL_REGIONS;
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        let m = LinkModel::default();
+        let near = m.expected_rtt_ms(Region::Amst, Region::Lond);
+        let far = m.expected_rtt_ms(Region::Seat, Region::Sydn);
+        assert!(near < 25.0, "AMST-LOND expected {near} ms");
+        assert!(far > 100.0, "SEAT-SYDN expected {far} ms");
+    }
+
+    #[test]
+    fn same_region_is_fast() {
+        let m = LinkModel::default();
+        assert!(m.expected_rtt_ms(Region::Seat, Region::Seat) < 5.0);
+        assert!(m.expected_capacity_mbps(Region::Seat, Region::Seat) > 400.0);
+    }
+
+    #[test]
+    fn peering_penalty_applies_across_providers() {
+        let m = LinkModel::default();
+        // BEAU (Bravo) and EAST (Alpha) are geographically close; the
+        // cross-provider penalty should be visible against the same pair's
+        // distance-only baseline.
+        let rtt = m.expected_rtt_ms(Region::Beau, Region::East);
+        let dist_only = m.params.base_rtt_ms
+            + (Region::Beau.distance_km(Region::East) as f32 / 100.0) * m.params.ms_per_100km;
+        assert!((rtt - dist_only - m.params.peering_penalty_ms).abs() < 1e-4);
+    }
+
+    #[test]
+    fn congestion_peaks_in_the_evening() {
+        let m = LinkModel::default();
+        // 20:00 in Amsterdam = 19:00 UTC.
+        let peak = m.congestion_factor(Region::Amst, Region::Amst, 19.0);
+        let trough = m.congestion_factor(Region::Amst, Region::Amst, 7.0);
+        assert!(peak > trough);
+        assert!((peak - (1.0 + m.params.congestion_amplitude)).abs() < 1e-3);
+        assert!((trough - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampled_conditions_are_positive_and_near_expected() {
+        let m = LinkModel::default();
+        let mut rng = SplitMix64::new(1);
+        for &a in &ALL_REGIONS {
+            for &b in &ALL_REGIONS {
+                let c = m.sample(a, b, 12.0, &mut rng);
+                assert!(
+                    c.rtt_ms > 0.0 && c.rtt_ms < 500.0,
+                    "{a}->{b} rtt {}",
+                    c.rtt_ms
+                );
+                assert!(c.down_capacity_mbps > 10.0);
+                assert!(c.loss >= 0.0 && c.loss < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LinkModel::default();
+        let c1 = m.sample(Region::Seat, Region::Toky, 3.0, &mut SplitMix64::new(5));
+        let c2 = m.sample(Region::Seat, Region::Toky, 3.0, &mut SplitMix64::new(5));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn mathis_cap_punishes_loss_and_latency() {
+        let base = PathConditions {
+            rtt_ms: 50.0,
+            jitter_ms: 2.0,
+            loss: 3e-4,
+            down_capacity_mbps: 200.0,
+            up_capacity_mbps: 160.0,
+        };
+        let lossy = PathConditions { loss: 0.08, ..base };
+        let slow = PathConditions {
+            rtt_ms: 200.0,
+            ..base
+        };
+        assert!(lossy.effective_down_mbps() < base.effective_down_mbps() / 5.0);
+        assert!(slow.effective_down_mbps() < base.effective_down_mbps());
+    }
+
+    #[test]
+    fn healthy_short_path_is_capacity_bound() {
+        // On a short, clean path TCP should not be the bottleneck.
+        let c = PathConditions {
+            rtt_ms: 10.0,
+            jitter_ms: 1.0,
+            loss: 1e-4,
+            down_capacity_mbps: 400.0,
+            up_capacity_mbps: 320.0,
+        };
+        assert_eq!(c.effective_down_mbps(), 400.0);
+    }
+
+    #[test]
+    fn download_time_scales_with_size_and_rtt() {
+        let c = PathConditions {
+            rtt_ms: 100.0,
+            jitter_ms: 5.0,
+            loss: 1e-4,
+            down_capacity_mbps: 100.0,
+            up_capacity_mbps: 80.0,
+        };
+        let small = c.download_time_s(10.0, 2.0);
+        let big = c.download_time_s(5000.0, 2.0);
+        assert!(big > small);
+        // Handshake floor: 2 RTTs ≈ 0.205 s.
+        assert!(small >= 0.2);
+    }
+}

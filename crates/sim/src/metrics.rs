@@ -1,0 +1,504 @@
+//! Measurement schema: features, coarse fault families and their mapping.
+//!
+//! DiagNet's key structural idea is that **the space of possible root
+//! causes is exactly the space of input features** (paper §III-A): each of
+//! the `k = 5` metrics measured against each landmark is a candidate remote
+//! root cause ("high RTT towards the GRAV landmark"), and each of the five
+//! client-local metrics is a candidate local root cause ("client CPU
+//! overloaded"). With ℓ = 10 landmarks this gives the paper's `m = 55`.
+//!
+//! Every feature is manually assigned to one of the `c = 7` coarse fault
+//! families (§III-E: "In our implementation, we manually assign each
+//! feature to a coarse class"), which is what Algorithm 1 uses to boost
+//! family-consistent fine-grained causes.
+
+use crate::region::{Region, ALL_REGIONS, HIDDEN_LANDMARKS};
+use serde::{Deserialize, Serialize};
+
+/// Number of metrics measured against each landmark (k in Table I).
+pub const K_LANDMARK_METRICS: usize = 5;
+
+/// Number of client-local metrics.
+pub const N_LOCAL_METRICS: usize = 5;
+
+/// A metric measured by a client against one landmark server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LandmarkMetric {
+    /// Round-trip time, milliseconds (WebSocket echo in the paper).
+    Rtt,
+    /// Download throughput, Mbit/s (large GET timing).
+    DownBw,
+    /// Upload throughput, Mbit/s (large POST timing).
+    UpBw,
+    /// RTT jitter, milliseconds (spread across repeated probes).
+    Jitter,
+    /// Retransmitted + reordered packet ratio (from `getsockopt` TCP stats).
+    LossRetrans,
+}
+
+/// All landmark metrics in canonical order.
+pub const LANDMARK_METRICS: [LandmarkMetric; K_LANDMARK_METRICS] = [
+    LandmarkMetric::Rtt,
+    LandmarkMetric::DownBw,
+    LandmarkMetric::UpBw,
+    LandmarkMetric::Jitter,
+    LandmarkMetric::LossRetrans,
+];
+
+/// A metric measured on the client itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalMetric {
+    /// RTT to the local network gateway, milliseconds.
+    GatewayRtt,
+    /// Jitter of the gateway RTT, milliseconds.
+    GatewayJitter,
+    /// CPU load, 0–1.
+    CpuLoad,
+    /// Memory load, 0–1.
+    MemLoad,
+    /// Number of concurrently open connections (browser tab pressure).
+    ConnCount,
+}
+
+/// All local metrics in canonical order.
+pub const LOCAL_METRICS: [LocalMetric; N_LOCAL_METRICS] = [
+    LocalMetric::GatewayRtt,
+    LocalMetric::GatewayJitter,
+    LocalMetric::CpuLoad,
+    LocalMetric::MemLoad,
+    LocalMetric::ConnCount,
+];
+
+/// The `c = 7` coarse fault families predicted by DiagNet's convolutional
+/// classifier (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoarseFamily {
+    /// No fault.
+    Nominal,
+    /// Gateway / uplink latency problem (client side of the access link).
+    UplinkLatency,
+    /// End-to-end latency problem on a remote link.
+    LinkLatency,
+    /// Jitter problem on a remote link.
+    LinkJitter,
+    /// Packet-loss problem on a remote link.
+    LinkLoss,
+    /// Download/upload bandwidth problem on a remote link.
+    LinkBandwidth,
+    /// Client device overload (CPU / memory).
+    LocalLoad,
+}
+
+/// All coarse families in canonical (class-index) order. `Nominal` is
+/// class 0.
+pub const ALL_FAMILIES: [CoarseFamily; 7] = [
+    CoarseFamily::Nominal,
+    CoarseFamily::UplinkLatency,
+    CoarseFamily::LinkLatency,
+    CoarseFamily::LinkJitter,
+    CoarseFamily::LinkLoss,
+    CoarseFamily::LinkBandwidth,
+    CoarseFamily::LocalLoad,
+];
+
+impl CoarseFamily {
+    /// Class index (0..7) used as the NN training label.
+    pub fn index(self) -> usize {
+        ALL_FAMILIES
+            .iter()
+            .position(|&f| f == self)
+            .expect("family in ALL_FAMILIES")
+    }
+
+    /// Family from its class index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 7`.
+    pub fn from_index(idx: usize) -> CoarseFamily {
+        ALL_FAMILIES[idx]
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoarseFamily::Nominal => "Nominal",
+            CoarseFamily::UplinkLatency => "Uplink",
+            CoarseFamily::LinkLatency => "Latency",
+            CoarseFamily::LinkJitter => "Jitter",
+            CoarseFamily::LinkLoss => "Loss",
+            CoarseFamily::LinkBandwidth => "Bandwidth",
+            CoarseFamily::LocalLoad => "Load",
+        }
+    }
+}
+
+impl LandmarkMetric {
+    /// Canonical position within a landmark's feature block.
+    pub fn index(self) -> usize {
+        LANDMARK_METRICS
+            .iter()
+            .position(|&m| m == self)
+            .expect("metric in LANDMARK_METRICS")
+    }
+
+    /// Coarse family this metric is manually assigned to.
+    pub fn family(self) -> CoarseFamily {
+        match self {
+            LandmarkMetric::Rtt => CoarseFamily::LinkLatency,
+            LandmarkMetric::DownBw | LandmarkMetric::UpBw => CoarseFamily::LinkBandwidth,
+            LandmarkMetric::Jitter => CoarseFamily::LinkJitter,
+            LandmarkMetric::LossRetrans => CoarseFamily::LinkLoss,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LandmarkMetric::Rtt => "rtt",
+            LandmarkMetric::DownBw => "down_bw",
+            LandmarkMetric::UpBw => "up_bw",
+            LandmarkMetric::Jitter => "jitter",
+            LandmarkMetric::LossRetrans => "loss",
+        }
+    }
+}
+
+impl LocalMetric {
+    /// Canonical position within the local feature block.
+    pub fn index(self) -> usize {
+        LOCAL_METRICS
+            .iter()
+            .position(|&m| m == self)
+            .expect("metric in LOCAL_METRICS")
+    }
+
+    /// Coarse family this metric is manually assigned to.
+    pub fn family(self) -> CoarseFamily {
+        match self {
+            LocalMetric::GatewayRtt | LocalMetric::GatewayJitter => CoarseFamily::UplinkLatency,
+            LocalMetric::CpuLoad | LocalMetric::MemLoad | LocalMetric::ConnCount => {
+                CoarseFamily::LocalLoad
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalMetric::GatewayRtt => "gw_rtt",
+            LocalMetric::GatewayJitter => "gw_jitter",
+            LocalMetric::CpuLoad => "cpu_load",
+            LocalMetric::MemLoad => "mem_load",
+            LocalMetric::ConnCount => "conn_count",
+        }
+    }
+}
+
+/// A feature — equivalently, a candidate root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureId {
+    /// A metric measured against a specific landmark (a *remote* cause:
+    /// location = landmark region, family = metric family).
+    Landmark(Region, LandmarkMetric),
+    /// A client-local metric (a *local* cause).
+    Local(LocalMetric),
+}
+
+impl FeatureId {
+    /// Coarse family of this feature.
+    pub fn family(self) -> CoarseFamily {
+        match self {
+            FeatureId::Landmark(_, m) => m.family(),
+            FeatureId::Local(m) => m.family(),
+        }
+    }
+
+    /// The region a remote cause points to (None for local causes).
+    pub fn region(self) -> Option<Region> {
+        match self {
+            FeatureId::Landmark(r, _) => Some(r),
+            FeatureId::Local(_) => None,
+        }
+    }
+
+    /// Index of this feature's *metric kind* (0..10), shared across
+    /// landmarks. Normalisation statistics are computed per kind so that a
+    /// landmark unseen during training still gets sensibly scaled features.
+    pub fn kind_index(self) -> usize {
+        match self {
+            FeatureId::Landmark(_, m) => m.index(),
+            FeatureId::Local(m) => K_LANDMARK_METRICS + m.index(),
+        }
+    }
+
+    /// Human-readable name, e.g. `GRAV/rtt` or `local/cpu_load`.
+    pub fn name(self) -> String {
+        match self {
+            FeatureId::Landmark(r, m) => format!("{}/{}", r.code(), m.name()),
+            FeatureId::Local(m) => format!("local/{}", m.name()),
+        }
+    }
+}
+
+/// Maps feature indices ↔ [`FeatureId`]s for a given ordered set of
+/// landmarks. Layout: `[lm₀ metrics… | lm₁ metrics… | … | local metrics]`,
+/// matching the paper's `x_i[λ]` blocks followed by local features.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSchema {
+    landmarks: Vec<Region>,
+}
+
+impl FeatureSchema {
+    /// Schema over an explicit, ordered landmark set.
+    ///
+    /// # Panics
+    /// Panics if `landmarks` contains duplicates or is empty.
+    pub fn new(landmarks: Vec<Region>) -> Self {
+        assert!(
+            !landmarks.is_empty(),
+            "FeatureSchema: need at least one landmark"
+        );
+        let mut sorted = landmarks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            landmarks.len(),
+            "FeatureSchema: duplicate landmarks"
+        );
+        FeatureSchema { landmarks }
+    }
+
+    /// Schema over all ten landmarks (the test-time view; m = 55).
+    pub fn full() -> Self {
+        FeatureSchema::new(ALL_REGIONS.to_vec())
+    }
+
+    /// Schema over the seven *known* landmarks (the training-time view;
+    /// EAST, GRAV and SEAT are hidden per §IV-A(d)).
+    pub fn known() -> Self {
+        FeatureSchema::new(
+            ALL_REGIONS
+                .iter()
+                .copied()
+                .filter(|r| !HIDDEN_LANDMARKS.contains(r))
+                .collect(),
+        )
+    }
+
+    /// The ordered landmark set.
+    pub fn landmarks(&self) -> &[Region] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks (ℓ).
+    pub fn n_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Total feature count (`ℓ·k + 5`).
+    pub fn n_features(&self) -> usize {
+        self.landmarks.len() * K_LANDMARK_METRICS + N_LOCAL_METRICS
+    }
+
+    /// The [`FeatureId`] at a feature index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= n_features()`.
+    pub fn feature(&self, idx: usize) -> FeatureId {
+        let land = self.landmarks.len() * K_LANDMARK_METRICS;
+        if idx < land {
+            FeatureId::Landmark(
+                self.landmarks[idx / K_LANDMARK_METRICS],
+                LANDMARK_METRICS[idx % K_LANDMARK_METRICS],
+            )
+        } else {
+            let li = idx - land;
+            assert!(li < N_LOCAL_METRICS, "feature index {idx} out of range");
+            FeatureId::Local(LOCAL_METRICS[li])
+        }
+    }
+
+    /// Index of a [`FeatureId`] in this schema, if its landmark is present.
+    pub fn index_of(&self, fid: FeatureId) -> Option<usize> {
+        match fid {
+            FeatureId::Landmark(r, m) => self
+                .landmarks
+                .iter()
+                .position(|&lr| lr == r)
+                .map(|li| li * K_LANDMARK_METRICS + m.index()),
+            FeatureId::Local(m) => Some(self.landmarks.len() * K_LANDMARK_METRICS + m.index()),
+        }
+    }
+
+    /// All features in index order.
+    pub fn features(&self) -> Vec<FeatureId> {
+        (0..self.n_features()).map(|i| self.feature(i)).collect()
+    }
+
+    /// Coarse family of the feature at `idx`.
+    pub fn family_of(&self, idx: usize) -> CoarseFamily {
+        self.feature(idx).family()
+    }
+
+    /// Indices of all features assigned to `family`.
+    pub fn indices_of_family(&self, family: CoarseFamily) -> Vec<usize> {
+        (0..self.n_features())
+            .filter(|&i| self.family_of(i) == family)
+            .collect()
+    }
+
+    /// Project a feature vector expressed in `from`'s layout into this
+    /// schema's layout; features whose landmark is missing in `from` are
+    /// filled with `fill`.
+    pub fn project_from(&self, from: &FeatureSchema, values: &[f32], fill: f32) -> Vec<f32> {
+        assert_eq!(
+            values.len(),
+            from.n_features(),
+            "project_from: value length mismatch"
+        );
+        (0..self.n_features())
+            .map(|i| from.index_of(self.feature(i)).map_or(fill, |j| values[j]))
+            .collect()
+    }
+
+    /// Indices (in `self`) of features whose landmark is **not** present in
+    /// `other` — i.e. the "unknown feature" set U of §III-F when `self` is
+    /// the test schema and `other` the training schema.
+    pub fn unknown_relative_to(&self, other: &FeatureSchema) -> Vec<usize> {
+        (0..self.n_features())
+            .filter(|&i| other.index_of(self.feature(i)).is_none())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_schema_is_55_features() {
+        assert_eq!(FeatureSchema::full().n_features(), 55);
+    }
+
+    #[test]
+    fn known_schema_is_40_features() {
+        let s = FeatureSchema::known();
+        assert_eq!(s.n_landmarks(), 7);
+        assert_eq!(s.n_features(), 40);
+        assert!(s.landmarks().iter().all(|r| !r.is_hidden_landmark()));
+    }
+
+    #[test]
+    fn feature_index_round_trip() {
+        let s = FeatureSchema::full();
+        for i in 0..s.n_features() {
+            assert_eq!(s.index_of(s.feature(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn local_features_at_end() {
+        let s = FeatureSchema::full();
+        assert_eq!(s.feature(50), FeatureId::Local(LocalMetric::GatewayRtt));
+        assert_eq!(s.feature(54), FeatureId::Local(LocalMetric::ConnCount));
+    }
+
+    #[test]
+    fn seven_families_with_expected_indices() {
+        assert_eq!(ALL_FAMILIES.len(), 7);
+        assert_eq!(CoarseFamily::Nominal.index(), 0);
+        for f in ALL_FAMILIES {
+            assert_eq!(CoarseFamily::from_index(f.index()), f);
+        }
+    }
+
+    #[test]
+    fn family_assignment_covers_all_features() {
+        let s = FeatureSchema::full();
+        // Every non-nominal family has at least one feature; nominal has none.
+        assert!(s.indices_of_family(CoarseFamily::Nominal).is_empty());
+        for f in &ALL_FAMILIES[1..] {
+            assert!(
+                !s.indices_of_family(*f).is_empty(),
+                "family {f:?} has no features"
+            );
+        }
+        // Families partition the features.
+        let total: usize = ALL_FAMILIES
+            .iter()
+            .map(|&f| s.indices_of_family(f).len())
+            .sum();
+        assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn bandwidth_family_covers_both_directions() {
+        assert_eq!(LandmarkMetric::DownBw.family(), CoarseFamily::LinkBandwidth);
+        assert_eq!(LandmarkMetric::UpBw.family(), CoarseFamily::LinkBandwidth);
+    }
+
+    #[test]
+    fn projection_between_schemas() {
+        let full = FeatureSchema::full();
+        let known = FeatureSchema::known();
+        let full_values: Vec<f32> = (0..55).map(|i| i as f32).collect();
+        // Full → known keeps only known-landmark features.
+        let down = known.project_from(&full, &full_values, -1.0);
+        assert_eq!(down.len(), 40);
+        assert!(
+            !down.contains(&-1.0),
+            "no fill expected when projecting down"
+        );
+        // Known → full fills hidden-landmark features.
+        let up = full.project_from(&known, &down, 0.0);
+        assert_eq!(up.len(), 55);
+        let unknown = full.unknown_relative_to(&known);
+        assert_eq!(unknown.len(), 15); // 3 hidden landmarks × 5 metrics
+        for &i in &unknown {
+            assert_eq!(up[i], 0.0);
+        }
+        // Round-trips for known features.
+        for i in 0..55 {
+            if !unknown.contains(&i) {
+                assert_eq!(up[i], full_values[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_set_is_exactly_hidden_landmarks() {
+        let full = FeatureSchema::full();
+        let known = FeatureSchema::known();
+        for &i in &full.unknown_relative_to(&known) {
+            match full.feature(i) {
+                FeatureId::Landmark(r, _) => assert!(r.is_hidden_landmark()),
+                FeatureId::Local(_) => panic!("local features are never unknown"),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_index_shared_across_landmarks() {
+        let a = FeatureId::Landmark(Region::Seat, LandmarkMetric::Rtt);
+        let b = FeatureId::Landmark(Region::Toky, LandmarkMetric::Rtt);
+        assert_eq!(a.kind_index(), b.kind_index());
+        assert_ne!(
+            a.kind_index(),
+            FeatureId::Local(LocalMetric::CpuLoad).kind_index()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate landmarks")]
+    fn duplicate_landmarks_panic() {
+        FeatureSchema::new(vec![Region::Seat, Region::Seat]);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        let s = FeatureSchema::full();
+        assert_eq!(s.feature(0).name(), "SEAT/rtt");
+        assert_eq!(s.feature(54).name(), "local/conn_count");
+    }
+}

@@ -1,0 +1,273 @@
+//! The ten cloud regions of the experimental deployment (paper Fig. 4).
+//!
+//! The paper names six of its regions (SEAT, BEAU, EAST, GRAV, AMST, SING)
+//! and states there were ten across four providers; we fill the remaining
+//! four with plausible locations. Three regions host mock-up services
+//! (SEAT, GRAV, SING) and three landmarks are *hidden* during training
+//! (EAST, GRAV, SEAT — the paper's "new" landmarks, chosen for their
+//! proximity to services and injected faults).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four cloud providers of the multi-cloud deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CloudProvider {
+    /// Hyperscaler A (hosts SEAT, EAST, SING).
+    Alpha,
+    /// European provider B (hosts BEAU, GRAV, TOKY).
+    Bravo,
+    /// Hyperscaler C (hosts AMST, LOND).
+    Charlie,
+    /// Hyperscaler D (hosts FRAN, SYDN).
+    Delta,
+}
+
+/// A cloud region; one landmark server is deployed in each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Seattle, US — hosts services; hidden landmark.
+    Seat,
+    /// Beauharnois, Canada.
+    Beau,
+    /// Northern Virginia, US — hidden landmark.
+    East,
+    /// Gravelines, France — hosts services; hidden landmark.
+    Grav,
+    /// Amsterdam, Netherlands.
+    Amst,
+    /// Singapore — hosts services.
+    Sing,
+    /// London, UK.
+    Lond,
+    /// Frankfurt, Germany.
+    Fran,
+    /// Sydney, Australia.
+    Sydn,
+    /// Tokyo, Japan.
+    Toky,
+}
+
+/// All regions, in canonical feature order.
+pub const ALL_REGIONS: [Region; 10] = [
+    Region::Seat,
+    Region::Beau,
+    Region::East,
+    Region::Grav,
+    Region::Amst,
+    Region::Sing,
+    Region::Lond,
+    Region::Fran,
+    Region::Sydn,
+    Region::Toky,
+];
+
+/// Regions hosting mock-up services (paper §IV-A(a)).
+pub const SERVICE_REGIONS: [Region; 3] = [Region::Grav, Region::Seat, Region::Sing];
+
+/// Landmarks hidden during training (the paper's "new" landmarks, §IV-A(d)).
+pub const HIDDEN_LANDMARKS: [Region; 3] = [Region::East, Region::Grav, Region::Seat];
+
+/// Regions where faults are injected (regions "involving services",
+/// §IV-A(e)).
+pub const FAULT_REGIONS: [Region; 5] = [
+    Region::Seat,
+    Region::Beau,
+    Region::Grav,
+    Region::Amst,
+    Region::Sing,
+];
+
+impl Region {
+    /// Index in [`ALL_REGIONS`] (canonical feature ordering).
+    pub fn index(self) -> usize {
+        ALL_REGIONS
+            .iter()
+            .position(|&r| r == self)
+            .expect("region in ALL_REGIONS")
+    }
+
+    /// Region from its canonical index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 10`.
+    pub fn from_index(idx: usize) -> Region {
+        ALL_REGIONS[idx]
+    }
+
+    /// Four-letter region code used in paper figures.
+    pub fn code(self) -> &'static str {
+        match self {
+            Region::Seat => "SEAT",
+            Region::Beau => "BEAU",
+            Region::East => "EAST",
+            Region::Grav => "GRAV",
+            Region::Amst => "AMST",
+            Region::Sing => "SING",
+            Region::Lond => "LOND",
+            Region::Fran => "FRAN",
+            Region::Sydn => "SYDN",
+            Region::Toky => "TOKY",
+        }
+    }
+
+    /// Cloud provider operating this region.
+    pub fn provider(self) -> CloudProvider {
+        match self {
+            Region::Seat | Region::East | Region::Sing => CloudProvider::Alpha,
+            Region::Beau | Region::Grav | Region::Toky => CloudProvider::Bravo,
+            Region::Amst | Region::Lond => CloudProvider::Charlie,
+            Region::Fran | Region::Sydn => CloudProvider::Delta,
+        }
+    }
+
+    /// `(latitude, longitude)` in degrees.
+    pub fn coordinates(self) -> (f64, f64) {
+        match self {
+            Region::Seat => (47.61, -122.33),
+            Region::Beau => (45.31, -73.87),
+            Region::East => (38.95, -77.45),
+            Region::Grav => (50.99, 2.13),
+            Region::Amst => (52.37, 4.90),
+            Region::Sing => (1.35, 103.82),
+            Region::Lond => (51.51, -0.13),
+            Region::Fran => (50.11, 8.68),
+            Region::Sydn => (-33.87, 151.21),
+            Region::Toky => (35.68, 139.69),
+        }
+    }
+
+    /// UTC offset in hours (approximate, for the diurnal congestion model).
+    pub fn utc_offset_hours(self) -> f64 {
+        match self {
+            Region::Seat => -8.0,
+            Region::Beau | Region::East => -5.0,
+            Region::Grav | Region::Amst | Region::Fran => 1.0,
+            Region::Lond => 0.0,
+            Region::Sing => 8.0,
+            Region::Sydn => 10.0,
+            Region::Toky => 9.0,
+        }
+    }
+
+    /// True if this region hosts mock-up services.
+    pub fn hosts_services(self) -> bool {
+        SERVICE_REGIONS.contains(&self)
+    }
+
+    /// True if this region's landmark is hidden during training.
+    pub fn is_hidden_landmark(self) -> bool {
+        HIDDEN_LANDMARKS.contains(&self)
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(self, other: Region) -> f64 {
+        const EARTH_RADIUS_KM: f64 = 6371.0;
+        let (lat1, lon1) = self.coordinates();
+        let (lat2, lon2) = other.coordinates();
+        let (lat1, lon1, lat2, lon2) = (
+            lat1.to_radians(),
+            lon1.to_radians(),
+            lat2.to_radians(),
+            lon2.to_radians(),
+        );
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// The region of `candidates` closest to `self` (CDN "nearest region"
+    /// resolution). Falls back to `self` when `candidates` is empty.
+    pub fn nearest_of(self, candidates: &[Region]) -> Region {
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.distance_km(a)
+                    .partial_cmp(&self.distance_km(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(self)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_regions() {
+        let mut codes: Vec<&str> = ALL_REGIONS.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 10);
+    }
+
+    #[test]
+    fn four_providers_all_used() {
+        let mut providers: Vec<CloudProvider> = ALL_REGIONS.iter().map(|r| r.provider()).collect();
+        providers.sort_by_key(|p| format!("{p:?}"));
+        providers.dedup();
+        assert_eq!(providers.len(), 4);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, &r) in ALL_REGIONS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Region::from_index(i), r);
+        }
+    }
+
+    #[test]
+    fn hidden_landmarks_match_paper() {
+        assert!(Region::East.is_hidden_landmark());
+        assert!(Region::Grav.is_hidden_landmark());
+        assert!(Region::Seat.is_hidden_landmark());
+        assert!(!Region::Beau.is_hidden_landmark());
+    }
+
+    #[test]
+    fn service_regions_match_paper() {
+        for r in SERVICE_REGIONS {
+            assert!(r.hosts_services());
+        }
+        assert!(!Region::Toky.hosts_services());
+    }
+
+    #[test]
+    fn fault_regions_involve_services_or_their_dependencies() {
+        // Paper: faults injected in SEAT, BEAU, GRAV, AMST, SING.
+        assert_eq!(FAULT_REGIONS.len(), 5);
+        assert!(FAULT_REGIONS.contains(&Region::Beau));
+    }
+
+    #[test]
+    fn distance_symmetric_and_sane() {
+        let d1 = Region::Seat.distance_km(Region::Sing);
+        let d2 = Region::Sing.distance_km(Region::Seat);
+        assert!((d1 - d2).abs() < 1e-6);
+        assert!(d1 > 10_000.0 && d1 < 16_000.0, "SEAT-SING = {d1} km");
+        assert_eq!(Region::Amst.distance_km(Region::Amst), 0.0);
+        // Amsterdam-London is short.
+        assert!(Region::Amst.distance_km(Region::Lond) < 500.0);
+    }
+
+    #[test]
+    fn nearest_of_picks_closest() {
+        // From Tokyo, Singapore is the nearest service region.
+        assert_eq!(Region::Toky.nearest_of(&SERVICE_REGIONS), Region::Sing);
+        // From London, Gravelines.
+        assert_eq!(Region::Lond.nearest_of(&SERVICE_REGIONS), Region::Grav);
+        // From Seattle, Seattle itself.
+        assert_eq!(Region::Seat.nearest_of(&SERVICE_REGIONS), Region::Seat);
+        // Empty candidate list falls back to self.
+        assert_eq!(Region::Beau.nearest_of(&[]), Region::Beau);
+    }
+}

@@ -1,0 +1,240 @@
+//! Fault scenarios and their schedule.
+//!
+//! The paper injected faults "uniformly distributed between regions and
+//! families to avoid bias towards more frequent root causes", sometimes
+//! with "multiple faults at the same time" (§IV-A(e)), spread over two
+//! weeks at "different hours of day and days of week". The
+//! [`ScenarioGenerator`] reproduces that schedule: a deterministic
+//! round-robin over (family × region) combinations for faulty scenarios,
+//! random hours of day, and an optional second simultaneous fault.
+
+use crate::fault::{Fault, FaultFamily, ALL_FAULT_FAMILIES};
+use crate::region::{Region, FAULT_REGIONS};
+use diagnet_rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// How a scenario was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// No injected faults.
+    Nominal,
+    /// A single injected fault.
+    SingleFault,
+    /// Two simultaneous injected faults.
+    MultiFault,
+}
+
+/// One experimental condition: the set of active faults and the time of day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Active faults (empty for nominal scenarios).
+    pub faults: Vec<Fault>,
+    /// UTC hour of day (fractional, 0–24) — drives diurnal congestion.
+    pub hour_utc: f64,
+    /// Scenario kind.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// A fault-free scenario at a given hour.
+    pub fn nominal(hour_utc: f64) -> Self {
+        Scenario {
+            faults: Vec::new(),
+            hour_utc,
+            kind: ScenarioKind::Nominal,
+        }
+    }
+
+    /// A scenario with explicit faults.
+    pub fn with_faults(faults: Vec<Fault>, hour_utc: f64) -> Self {
+        let kind = match faults.len() {
+            0 => ScenarioKind::Nominal,
+            1 => ScenarioKind::SingleFault,
+            _ => ScenarioKind::MultiFault,
+        };
+        Scenario {
+            faults,
+            hour_utc,
+            kind,
+        }
+    }
+}
+
+/// Deterministic scenario schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioGenerator {
+    /// Regions where faults may be injected (paper: the five regions
+    /// involving services).
+    pub fault_regions: Vec<Region>,
+    /// Injectable fault families.
+    pub families: Vec<FaultFamily>,
+    /// Fraction of scenarios that carry at least one fault.
+    pub faulty_fraction: f32,
+    /// Probability that a faulty scenario carries a second simultaneous
+    /// fault.
+    pub multi_fault_prob: f32,
+}
+
+impl Default for ScenarioGenerator {
+    fn default() -> Self {
+        ScenarioGenerator {
+            fault_regions: FAULT_REGIONS.to_vec(),
+            families: ALL_FAULT_FAMILIES.to_vec(),
+            faulty_fraction: 0.5,
+            multi_fault_prob: 0.15,
+        }
+    }
+}
+
+impl ScenarioGenerator {
+    /// The paper's schedule.
+    pub fn standard() -> Self {
+        ScenarioGenerator::default()
+    }
+
+    /// Number of distinct (family × region) combinations.
+    pub fn n_combinations(&self) -> usize {
+        self.fault_regions.len() * self.families.len()
+    }
+
+    /// The `i`-th combination of the uniform round-robin.
+    fn combination(&self, i: usize) -> Fault {
+        let i = i % self.n_combinations();
+        let family = self.families[i % self.families.len()];
+        let region = self.fault_regions[(i / self.families.len()) % self.fault_regions.len()];
+        Fault::new(family, region)
+    }
+
+    /// Generate scenario `index` under `base_seed`. Deterministic; distinct
+    /// indices explore hours of day uniformly and cycle fault combinations
+    /// round-robin so coverage is uniform by construction.
+    pub fn generate(&self, index: u64, base_seed: u64) -> Scenario {
+        let mut rng = SplitMix64::new(SplitMix64::derive(base_seed, index));
+        let hour_utc = rng.next_f64() * 24.0;
+        if !rng.bernoulli(self.faulty_fraction) {
+            return Scenario::nominal(hour_utc);
+        }
+        // Round-robin over combinations, but only among *faulty* scenarios:
+        // derive the combination rank from a per-generator counter hash so
+        // the uniform coverage is preserved regardless of which indices
+        // happen to be faulty.
+        let first = self.combination(rng.next_below(self.n_combinations() * 1024));
+        let mut faults = vec![first];
+        if rng.bernoulli(self.multi_fault_prob) {
+            // Pick a second, distinct combination.
+            for _ in 0..16 {
+                let second = self.combination(rng.next_below(self.n_combinations() * 1024));
+                if second != first {
+                    faults.push(second);
+                    break;
+                }
+            }
+        }
+        Scenario::with_faults(faults, hour_utc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn nominal_constructor() {
+        let s = Scenario::nominal(5.5);
+        assert_eq!(s.kind, ScenarioKind::Nominal);
+        assert!(s.faults.is_empty());
+    }
+
+    #[test]
+    fn with_faults_derives_kind() {
+        let f = Fault::new(FaultFamily::Jitter, Region::Amst);
+        assert_eq!(
+            Scenario::with_faults(vec![f], 1.0).kind,
+            ScenarioKind::SingleFault
+        );
+        let g = Fault::new(FaultFamily::PacketLoss, Region::Sing);
+        assert_eq!(
+            Scenario::with_faults(vec![f, g], 1.0).kind,
+            ScenarioKind::MultiFault
+        );
+        assert_eq!(
+            Scenario::with_faults(vec![], 1.0).kind,
+            ScenarioKind::Nominal
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = ScenarioGenerator::standard();
+        assert_eq!(g.generate(7, 99), g.generate(7, 99));
+        assert_ne!(g.generate(7, 99), g.generate(8, 99));
+    }
+
+    #[test]
+    fn faulty_fraction_respected() {
+        let g = ScenarioGenerator::standard();
+        let faulty = (0..2000)
+            .filter(|&i| !g.generate(i, 1).faults.is_empty())
+            .count() as f32
+            / 2000.0;
+        assert!((faulty - 0.5).abs() < 0.05, "faulty fraction {faulty}");
+    }
+
+    #[test]
+    fn fault_coverage_is_uniform() {
+        let g = ScenarioGenerator::standard();
+        let mut counts: HashMap<(FaultFamily, Region), usize> = HashMap::new();
+        for i in 0..6000 {
+            for f in &g.generate(i, 3).faults {
+                *counts.entry((f.family, f.region)).or_default() += 1;
+            }
+        }
+        assert_eq!(counts.len(), 30, "all 6 families × 5 regions appear");
+        let min = *counts.values().min().unwrap() as f32;
+        let max = *counts.values().max().unwrap() as f32;
+        assert!(max / min < 1.6, "coverage skew: min {min}, max {max}");
+    }
+
+    #[test]
+    fn multi_fault_scenarios_have_distinct_faults() {
+        let g = ScenarioGenerator::standard();
+        let mut multi = 0;
+        for i in 0..3000 {
+            let s = g.generate(i, 5);
+            if s.kind == ScenarioKind::MultiFault {
+                multi += 1;
+                assert_eq!(s.faults.len(), 2);
+                assert_ne!(s.faults[0], s.faults[1]);
+            }
+        }
+        assert!(multi > 100, "multi-fault scenarios should occur: {multi}");
+    }
+
+    #[test]
+    fn hours_cover_the_day() {
+        let g = ScenarioGenerator::standard();
+        let hours: Vec<f64> = (0..500).map(|i| g.generate(i, 7).hour_utc).collect();
+        assert!(hours.iter().any(|&h| h < 6.0));
+        assert!(hours.iter().any(|&h| h > 18.0));
+        assert!(hours.iter().all(|&h| (0.0..24.0).contains(&h)));
+    }
+
+    #[test]
+    fn restricted_generator_respects_bounds() {
+        let g = ScenarioGenerator {
+            fault_regions: vec![Region::Beau],
+            families: vec![FaultFamily::ServiceLatency],
+            faulty_fraction: 1.0,
+            multi_fault_prob: 0.0,
+        };
+        for i in 0..50 {
+            let s = g.generate(i, 11);
+            assert_eq!(s.faults.len(), 1);
+            assert_eq!(
+                s.faults[0],
+                Fault::new(FaultFamily::ServiceLatency, Region::Beau)
+            );
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Mock-up online services and their QoE (page-load-time) model.
+//!
+//! Table II of the paper defines six services with distinct network
+//! sensitivity profiles (a bare HTML page, scripts and images fetched from
+//! a far region or the nearest CDN region, …). We add four more with
+//! complementary profiles (API chains, bulk video, a mixed dashboard and an
+//! upload portal) so that — as in §IV-F — a *general* model can be trained
+//! on eight services and *specialised* models on services never seen by the
+//! general training run.
+//!
+//! QoE is modelled as an analytic page load time (PLT): each resource costs
+//! protocol handshakes (RTT- and jitter-bound) plus payload transfer
+//! (bandwidth- and loss-bound via the Mathis cap), and rendering cost
+//! scales with client CPU load. A sample's QoE is *degraded* when its PLT
+//! exceeds a multiplicative threshold over the deterministic fault-free
+//! baseline — which reproduces the paper's observation that many injected
+//! faults do **not** degrade QoE (e.g. bandwidth shaping does not hurt a
+//! small HTML page) and such samples must be labelled nominal.
+
+use crate::link::PathConditions;
+use crate::region::{Region, SERVICE_REGIONS};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a service in a [`ServiceCatalog`] (index into the list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(pub usize);
+
+/// Where a resource is served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Origin {
+    /// The service's own host region.
+    Host,
+    /// A fixed region (e.g. a third-party script pinned in BEAU).
+    Fixed(Region),
+    /// The CDN point of presence nearest to the client
+    /// (resolved among [`SERVICE_REGIONS`]).
+    Nearest,
+}
+
+/// Transfer direction of a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client downloads the resource.
+    Down,
+    /// Client uploads the resource (POST body).
+    Up,
+}
+
+/// One dependency fetched when loading the service.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Resource {
+    /// Human-readable name ("html", "hero-image", …).
+    pub name: &'static str,
+    /// Payload size in kilobytes.
+    pub size_kb: f32,
+    /// Origin server.
+    pub origin: Origin,
+    /// Protocol round trips before the payload flows (DNS/TCP/TLS/request).
+    /// Resources reusing an existing connection cost fewer.
+    pub setup_rtts: f32,
+    /// Transfer direction.
+    pub direction: Direction,
+}
+
+/// A mock-up online service.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Service {
+    /// Identifier (index in the catalog).
+    pub id: ServiceId,
+    /// Name following the paper's `kind.variant` convention.
+    pub name: &'static str,
+    /// Region hosting the main document.
+    pub host: Region,
+    /// Dependencies fetched sequentially after the main document.
+    pub resources: Vec<Resource>,
+    /// Client-side rendering cost at zero CPU load, milliseconds.
+    pub render_ms: f32,
+}
+
+/// QoE degradation threshold: a page load is *degraded* when it exceeds
+/// `PLT_nominal × QOE_DEGRADATION_FACTOR + QOE_SLACK_S`.
+pub const QOE_DEGRADATION_FACTOR: f32 = 1.4;
+
+/// Absolute slack added to the degradation threshold (seconds), so tiny
+/// pages do not flip on millisecond noise.
+pub const QOE_SLACK_S: f32 = 0.1;
+
+impl Service {
+    /// Resolve a resource origin to a concrete region for a given client.
+    pub fn resolve_origin(&self, client: Region, origin: Origin) -> Region {
+        match origin {
+            Origin::Host => self.host,
+            Origin::Fixed(r) => r,
+            Origin::Nearest => client.nearest_of(&SERVICE_REGIONS),
+        }
+    }
+
+    /// Page load time (seconds) for a client in `client`, with CPU load
+    /// `cpu_load ∈ [0,1]`, where `path(origin_region)` yields the current
+    /// conditions of the client→origin path (gateway effects included by
+    /// the caller).
+    pub fn page_load_time_s<F>(&self, client: Region, cpu_load: f32, mut path: F) -> f32
+    where
+        F: FnMut(Region) -> PathConditions,
+    {
+        let mut plt = 0.0f32;
+        for res in &self.resources {
+            let origin = self.resolve_origin(client, res.origin);
+            let cond = path(origin);
+            plt += match res.direction {
+                Direction::Down => cond.download_time_s(res.size_kb, res.setup_rtts),
+                Direction::Up => cond.upload_time_s(res.size_kb, res.setup_rtts),
+            };
+        }
+        // Rendering slows superlinearly as the CPU saturates; a stressed
+        // client (load ≈ 0.95) renders ≈ 3.7× slower.
+        let render_factor = 1.0 + 3.0 * cpu_load * cpu_load;
+        plt + self.render_ms / 1000.0 * render_factor
+    }
+
+    /// All regions this service may fetch from for a given client —
+    /// the service's (hidden) dependency set.
+    pub fn dependency_regions(&self, client: Region) -> Vec<Region> {
+        let mut regions: Vec<Region> = self
+            .resources
+            .iter()
+            .map(|r| self.resolve_origin(client, r.origin))
+            .collect();
+        regions.sort();
+        regions.dedup();
+        regions
+    }
+}
+
+/// The full set of mock-up services.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceCatalog {
+    /// Services, indexed by [`ServiceId`].
+    pub services: Vec<Service>,
+}
+
+impl ServiceCatalog {
+    /// The standard ten-service catalog: Table II's six services plus four
+    /// with complementary sensitivity profiles.
+    pub fn standard() -> Self {
+        let mut services = Vec::new();
+        let mut push =
+            |name: &'static str, host: Region, render_ms: f32, resources: Vec<Resource>| {
+                services.push(Service {
+                    id: ServiceId(services.len()),
+                    name,
+                    host,
+                    resources,
+                    render_ms,
+                });
+            };
+        let html = |setup: f32| Resource {
+            name: "html",
+            size_kb: 15.0,
+            origin: Origin::Host,
+            setup_rtts: setup,
+            direction: Direction::Down,
+        };
+        // 1. single — static HTML page, no dependency (Table II).
+        push("single", Region::Grav, 30.0, vec![html(3.0)]);
+        // 2. script.far — requires a JS file in BEAU (Table II).
+        push(
+            "script.far",
+            Region::Seat,
+            120.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "app.js",
+                    size_kb: 300.0,
+                    origin: Origin::Fixed(Region::Beau),
+                    setup_rtts: 3.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 3. script.cdn — JS from the nearest region (Table II).
+        push(
+            "script.cdn",
+            Region::Sing,
+            120.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "app.js",
+                    size_kb: 300.0,
+                    origin: Origin::Nearest,
+                    setup_rtts: 3.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 4. image.local — 5 MB image from the same server, same HTTP
+        //    connection (Table II): no extra handshakes.
+        push(
+            "image.local",
+            Region::Grav,
+            80.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "hero.png",
+                    size_kb: 5000.0,
+                    origin: Origin::Host,
+                    setup_rtts: 1.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 5. image.far — 5 MB image from BEAU (Table II).
+        push(
+            "image.far",
+            Region::Seat,
+            80.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "hero.png",
+                    size_kb: 5000.0,
+                    origin: Origin::Fixed(Region::Beau),
+                    setup_rtts: 3.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 6. image.cdn — 5 MB image from the nearest region (Table II).
+        push(
+            "image.cdn",
+            Region::Sing,
+            80.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "hero.png",
+                    size_kb: 5000.0,
+                    origin: Origin::Nearest,
+                    setup_rtts: 3.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 7. api.chain — three sequential API calls to the host
+        //    (latency-sensitive, like a multiplayer lobby at GRAV).
+        let api = |name: &'static str| Resource {
+            name,
+            size_kb: 5.0,
+            origin: Origin::Host,
+            setup_rtts: 2.0,
+            direction: Direction::Down,
+        };
+        push(
+            "api.chain",
+            Region::Grav,
+            90.0,
+            vec![html(3.0), api("api-1"), api("api-2"), api("api-3")],
+        );
+        // 8. video.stream — 20 MB of segments from the host
+        //    (bandwidth-sensitive, like video start-up buffering).
+        push(
+            "video.stream",
+            Region::Seat,
+            60.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "segments",
+                    size_kb: 20_000.0,
+                    origin: Origin::Host,
+                    setup_rtts: 2.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 9. mixed.dashboard — scripts from BEAU, images from the CDN, an
+        //    API call to GRAV, heavy rendering (CPU-sensitive).
+        push(
+            "mixed.dashboard",
+            Region::Sing,
+            400.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "charts.js",
+                    size_kb: 500.0,
+                    origin: Origin::Fixed(Region::Beau),
+                    setup_rtts: 3.0,
+                    direction: Direction::Down,
+                },
+                Resource {
+                    name: "tiles.png",
+                    size_kb: 1000.0,
+                    origin: Origin::Nearest,
+                    setup_rtts: 2.0,
+                    direction: Direction::Down,
+                },
+                Resource {
+                    name: "api",
+                    size_kb: 20.0,
+                    origin: Origin::Fixed(Region::Grav),
+                    setup_rtts: 2.0,
+                    direction: Direction::Down,
+                },
+            ],
+        );
+        // 10. upload.portal — 2 MB POST to the host (upload-sensitive).
+        push(
+            "upload.portal",
+            Region::Grav,
+            70.0,
+            vec![
+                html(3.0),
+                Resource {
+                    name: "attachment",
+                    size_kb: 2000.0,
+                    origin: Origin::Host,
+                    setup_rtts: 2.0,
+                    direction: Direction::Up,
+                },
+            ],
+        );
+        ServiceCatalog { services }
+    }
+
+    /// Number of services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Service by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: ServiceId) -> &Service {
+        &self.services[id.0]
+    }
+
+    /// Service by name, if present.
+    pub fn by_name(&self, name: &str) -> Option<&Service> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// The eight services the paper's *general* model is trained on.
+    pub fn general_ids(&self) -> Vec<ServiceId> {
+        self.services.iter().take(8).map(|s| s.id).collect()
+    }
+
+    /// Services reserved for specialised-model evaluation (never seen by
+    /// general training).
+    pub fn held_out_ids(&self) -> Vec<ServiceId> {
+        self.services.iter().skip(8).map(|s| s.id).collect()
+    }
+
+    /// All service ids.
+    pub fn all_ids(&self) -> Vec<ServiceId> {
+        self.services.iter().map(|s| s.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkModel;
+
+    fn plt(service: &Service, client: Region, cpu: f32) -> f32 {
+        let model = LinkModel::default();
+        service.page_load_time_s(client, cpu, |origin| {
+            model.expected_conditions(client, origin)
+        })
+    }
+
+    #[test]
+    fn catalog_has_ten_services_with_table_ii_names() {
+        let cat = ServiceCatalog::standard();
+        assert_eq!(cat.len(), 10);
+        for name in [
+            "single",
+            "script.far",
+            "script.cdn",
+            "image.local",
+            "image.far",
+            "image.cdn",
+        ] {
+            assert!(
+                cat.by_name(name).is_some(),
+                "missing Table II service {name}"
+            );
+        }
+        assert_eq!(cat.general_ids().len(), 8);
+        assert_eq!(cat.held_out_ids().len(), 2);
+    }
+
+    #[test]
+    fn ids_match_indices() {
+        let cat = ServiceCatalog::standard();
+        for (i, s) in cat.services.iter().enumerate() {
+            assert_eq!(s.id, ServiceId(i));
+            assert_eq!(cat.get(s.id).name, s.name);
+        }
+    }
+
+    #[test]
+    fn hosts_are_service_regions() {
+        let cat = ServiceCatalog::standard();
+        for s in &cat.services {
+            assert!(
+                SERVICE_REGIONS.contains(&s.host),
+                "{} hosted in {}",
+                s.name,
+                s.host
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_origin_resolves_per_client() {
+        let cat = ServiceCatalog::standard();
+        let cdn = cat.by_name("image.cdn").unwrap();
+        assert_eq!(
+            cdn.resolve_origin(Region::Lond, Origin::Nearest),
+            Region::Grav
+        );
+        assert_eq!(
+            cdn.resolve_origin(Region::Toky, Origin::Nearest),
+            Region::Sing
+        );
+    }
+
+    #[test]
+    fn far_image_slower_than_cdn_image_for_european_client() {
+        let cat = ServiceCatalog::standard();
+        let far = plt(cat.by_name("image.far").unwrap(), Region::Amst, 0.05);
+        let cdn = plt(cat.by_name("image.cdn").unwrap(), Region::Amst, 0.05);
+        assert!(far > cdn, "far {far} vs cdn {cdn}");
+    }
+
+    #[test]
+    fn cpu_stress_crosses_threshold_for_dashboard_not_single() {
+        // Paper: "the QoE of a small HTML website was not affected by ...
+        // CPU stress", while render-heavy pages degrade.
+        let cat = ServiceCatalog::standard();
+        let dash = cat.by_name("mixed.dashboard").unwrap();
+        let single = cat.by_name("single").unwrap();
+        let crosses = |svc: &Service, client: Region| {
+            let nominal = plt(svc, client, 0.15);
+            let stressed = plt(svc, client, 0.95);
+            stressed > nominal * QOE_DEGRADATION_FACTOR + QOE_SLACK_S
+        };
+        assert!(
+            crosses(dash, Region::Sing),
+            "dashboard must degrade under CPU stress"
+        );
+        assert!(
+            !crosses(single, Region::Amst),
+            "single page must shrug off CPU stress"
+        );
+    }
+
+    #[test]
+    fn video_dominated_by_bandwidth() {
+        let cat = ServiceCatalog::standard();
+        let video = cat.by_name("video.stream").unwrap();
+        let model = LinkModel::default();
+        let fast = video.page_load_time_s(Region::Beau, 0.0, |o| {
+            model.expected_conditions(Region::Beau, o)
+        });
+        let shaped = video.page_load_time_s(Region::Beau, 0.0, |o| {
+            let mut c = model.expected_conditions(Region::Beau, o);
+            c.down_capacity_mbps = 8.0;
+            c
+        });
+        assert!(
+            shaped > fast * 3.0,
+            "shaping must crush video PLT: {fast} → {shaped}"
+        );
+    }
+
+    #[test]
+    fn single_page_insensitive_to_bandwidth() {
+        let cat = ServiceCatalog::standard();
+        let single = cat.by_name("single").unwrap();
+        let model = LinkModel::default();
+        let fast = single.page_load_time_s(Region::Amst, 0.0, |o| {
+            model.expected_conditions(Region::Amst, o)
+        });
+        let shaped = single.page_load_time_s(Region::Amst, 0.0, |o| {
+            let mut c = model.expected_conditions(Region::Amst, o);
+            c.down_capacity_mbps = 8.0;
+            c
+        });
+        assert!(
+            shaped < fast * QOE_DEGRADATION_FACTOR + QOE_SLACK_S,
+            "shaping must NOT degrade a 15 kB page: {fast} → {shaped}"
+        );
+    }
+
+    #[test]
+    fn api_chain_sensitive_to_latency() {
+        let cat = ServiceCatalog::standard();
+        let api = cat.by_name("api.chain").unwrap();
+        let model = LinkModel::default();
+        let base = api.page_load_time_s(Region::Amst, 0.0, |o| {
+            model.expected_conditions(Region::Amst, o)
+        });
+        let slow = api.page_load_time_s(Region::Amst, 0.0, |o| {
+            let mut c = model.expected_conditions(Region::Amst, o);
+            c.rtt_ms += 50.0;
+            c
+        });
+        assert!(
+            slow > base * QOE_DEGRADATION_FACTOR + QOE_SLACK_S,
+            "latency must degrade the API chain: {base} → {slow}"
+        );
+    }
+
+    #[test]
+    fn upload_portal_uses_upstream() {
+        let cat = ServiceCatalog::standard();
+        let portal = cat.by_name("upload.portal").unwrap();
+        let model = LinkModel::default();
+        let base = portal.page_load_time_s(Region::Amst, 0.0, |o| {
+            model.expected_conditions(Region::Amst, o)
+        });
+        // Crushing *upstream* capacity must hurt; downstream barely matters.
+        let up_crushed = portal.page_load_time_s(Region::Amst, 0.0, |o| {
+            let mut c = model.expected_conditions(Region::Amst, o);
+            c.up_capacity_mbps = 1.0;
+            c
+        });
+        assert!(up_crushed > base * 2.0);
+    }
+
+    #[test]
+    fn dependency_regions_reflect_hidden_architecture() {
+        let cat = ServiceCatalog::standard();
+        let dash = cat.by_name("mixed.dashboard").unwrap();
+        let deps = dash.dependency_regions(Region::Lond);
+        assert!(deps.contains(&Region::Beau)); // scripts
+        assert!(deps.contains(&Region::Grav)); // api + nearest CDN for London
+        assert!(deps.contains(&Region::Sing)); // host
+    }
+}

@@ -1,0 +1,274 @@
+//! Measurement campaigns over simulated time.
+//!
+//! The paper collected data "during the last two weeks of December 2019,
+//! using different hours of day and days of week to ensure large coverage
+//! of traffic and congestion patterns" (§IV-A(e)). A [`Campaign`] models
+//! that: simulated days are tiled with fault *windows* (each holding one
+//! scenario, possibly nominal), and clients probe on a fixed interval,
+//! yielding a time-ordered stream of labelled samples — the shape of data
+//! an online analysis service actually ingests.
+
+use crate::dataset::Sample;
+use crate::region::Region;
+use crate::scenario::{Scenario, ScenarioGenerator};
+use crate::service::ServiceId;
+use crate::world::World;
+use diagnet_rng::SplitMix64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One fault window: a scenario active during `[start_h, start_h + duration_h)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Campaign-relative start, in hours since the campaign began.
+    pub start_h: f64,
+    /// Window length in hours.
+    pub duration_h: f64,
+    /// The scenario active in this window.
+    pub scenario: Scenario,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of simulated days (paper: 14).
+    pub days: usize,
+    /// Fault windows per day (windows tile each day evenly).
+    pub windows_per_day: usize,
+    /// Scenario schedule.
+    pub generator: ScenarioGenerator,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            days: 14,
+            windows_per_day: 8,
+            generator: ScenarioGenerator::standard(),
+            seed: 0,
+        }
+    }
+}
+
+/// A fully scheduled measurement campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Windows in chronological order, tiling the whole campaign.
+    pub windows: Vec<Window>,
+}
+
+impl Campaign {
+    /// Schedule a campaign: each day is tiled with `windows_per_day` equal
+    /// windows; each window gets a scenario from the generator whose
+    /// `hour_utc` is aligned with the window's wall-clock start.
+    pub fn generate(config: &CampaignConfig) -> Campaign {
+        assert!(config.days > 0, "Campaign: need at least one day");
+        assert!(
+            config.windows_per_day > 0,
+            "Campaign: need at least one window per day"
+        );
+        let duration_h = 24.0 / config.windows_per_day as f64;
+        let mut windows = Vec::with_capacity(config.days * config.windows_per_day);
+        for day in 0..config.days {
+            for slot in 0..config.windows_per_day {
+                let index = (day * config.windows_per_day + slot) as u64;
+                let mut scenario = config.generator.generate(index, config.seed);
+                let start_h = day as f64 * 24.0 + slot as f64 * duration_h;
+                // Align the scenario's diurnal clock with the window.
+                scenario.hour_utc = start_h.rem_euclid(24.0);
+                windows.push(Window {
+                    start_h,
+                    duration_h,
+                    scenario,
+                });
+            }
+        }
+        Campaign { windows }
+    }
+
+    /// Total campaign length in hours.
+    pub fn duration_h(&self) -> f64 {
+        self.windows
+            .last()
+            .map_or(0.0, |w| w.start_h + w.duration_h)
+    }
+
+    /// The scenario active at campaign hour `t` (`None` outside the
+    /// campaign).
+    pub fn scenario_at(&self, t: f64) -> Option<&Scenario> {
+        if t < 0.0 {
+            return None;
+        }
+        // Windows tile time uniformly; direct index then guard.
+        let idx = self
+            .windows
+            .binary_search_by(|w| {
+                if t < w.start_h {
+                    std::cmp::Ordering::Greater
+                } else if t >= w.start_h + w.duration_h {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()?;
+        Some(&self.windows[idx].scenario)
+    }
+
+    /// Run the campaign: every client in `clients` probes every service in
+    /// `services` once per `interval_h` hours, producing a time-ordered
+    /// sample stream. Deterministic in the campaign seed; parallelised
+    /// over probe ticks.
+    pub fn run(
+        &self,
+        world: &World,
+        clients: &[Region],
+        services: &[ServiceId],
+        interval_h: f64,
+        seed: u64,
+    ) -> Vec<(f64, Sample)> {
+        assert!(interval_h > 0.0, "Campaign::run: interval must be positive");
+        assert!(
+            !clients.is_empty() && !services.is_empty(),
+            "Campaign::run: empty participants"
+        );
+        let n_ticks = (self.duration_h() / interval_h) as usize;
+        let per_tick = clients.len() * services.len();
+        (0..n_ticks)
+            .into_par_iter()
+            .flat_map_iter(|tick| {
+                let t = tick as f64 * interval_h;
+                let scenario = self
+                    .scenario_at(t)
+                    .cloned()
+                    .unwrap_or_else(|| Scenario::nominal(t.rem_euclid(24.0)));
+                let world = world.clone();
+                let clients = clients.to_vec();
+                let services = services.to_vec();
+                clients
+                    .into_iter()
+                    .enumerate()
+                    .flat_map(move |(ci, client)| {
+                        let scenario = scenario.clone();
+                        let world = world.clone();
+                        let services = services.clone();
+                        let n_services = services.len();
+                        services.into_iter().enumerate().map(move |(si, service)| {
+                            let unique = (tick * per_tick + ci * n_services + si) as u64;
+                            let obs_seed = SplitMix64::derive(seed ^ 0x7131_E11E, unique);
+                            (t, world.observe(client, service, &scenario, obs_seed))
+                        })
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::ALL_REGIONS;
+
+    fn small_campaign(seed: u64) -> (CampaignConfig, Campaign) {
+        let cfg = CampaignConfig {
+            days: 2,
+            windows_per_day: 4,
+            seed,
+            ..Default::default()
+        };
+        let campaign = Campaign::generate(&cfg);
+        (cfg, campaign)
+    }
+
+    #[test]
+    fn windows_tile_the_campaign() {
+        let (cfg, campaign) = small_campaign(1);
+        assert_eq!(campaign.windows.len(), cfg.days * cfg.windows_per_day);
+        assert_eq!(campaign.duration_h(), 48.0);
+        // Windows are contiguous and non-overlapping.
+        for pair in campaign.windows.windows(2) {
+            assert!((pair[0].start_h + pair[0].duration_h - pair[1].start_h).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scenario_lookup_matches_windows() {
+        let (_, campaign) = small_campaign(2);
+        for w in &campaign.windows {
+            let mid = w.start_h + w.duration_h / 2.0;
+            assert_eq!(campaign.scenario_at(mid), Some(&w.scenario));
+            assert_eq!(campaign.scenario_at(w.start_h), Some(&w.scenario));
+        }
+        assert_eq!(campaign.scenario_at(-1.0), None);
+        assert_eq!(campaign.scenario_at(48.0), None);
+    }
+
+    #[test]
+    fn diurnal_clock_aligned() {
+        let (_, campaign) = small_campaign(3);
+        for w in &campaign.windows {
+            assert!((w.scenario.hour_utc - w.start_h.rem_euclid(24.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hours_of_day_covered() {
+        let cfg = CampaignConfig {
+            days: 14,
+            windows_per_day: 8,
+            seed: 4,
+            ..Default::default()
+        };
+        let campaign = Campaign::generate(&cfg);
+        let mut hours: Vec<f64> = campaign
+            .windows
+            .iter()
+            .map(|w| w.scenario.hour_utc)
+            .collect();
+        hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(hours[0] < 1.0);
+        assert!(*hours.last().unwrap() > 20.0);
+    }
+
+    #[test]
+    fn run_produces_ordered_deterministic_stream() {
+        let (_, campaign) = small_campaign(5);
+        let world = World::new();
+        let clients = [Region::Amst, Region::Toky];
+        let services = [world.catalog.all_ids()[0], world.catalog.all_ids()[4]];
+        let run = || campaign.run(&world, &clients, &services, 3.0, 5);
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), (48.0f64 / 3.0) as usize * 2 * 2);
+        // Time-ordered.
+        for pair in a.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        // Samples carry the active window's faults.
+        for (t, sample) in &a {
+            let expected = campaign.scenario_at(*t).unwrap();
+            assert_eq!(sample.faults, expected.faults);
+        }
+    }
+
+    #[test]
+    fn stream_contains_faulty_samples() {
+        let cfg = CampaignConfig {
+            days: 4,
+            windows_per_day: 6,
+            seed: 7,
+            ..Default::default()
+        };
+        let campaign = Campaign::generate(&cfg);
+        let world = World::new();
+        let stream = campaign.run(&world, &ALL_REGIONS, &world.catalog.all_ids(), 4.0, 7);
+        let faulty = stream.iter().filter(|(_, s)| s.label.is_faulty()).count();
+        assert!(
+            faulty > 10,
+            "stream should contain labelled failures: {faulty}"
+        );
+    }
+}

@@ -1,0 +1,611 @@
+//! The simulated world: clients probing landmarks and visiting services
+//! under fault scenarios, producing labelled observations.
+//!
+//! One [`Observation`] corresponds to one row of the paper's dataset: the
+//! `m = 55` feature vector a client collects (5 metrics × 10 landmarks + 5
+//! local metrics), the measured QoE, and the ground-truth label derived
+//! from fault injection — *nominal* when QoE is not degraded (even if
+//! faults are active: §IV-A(e) "we observed that the QoE was not degraded
+//! despite the injected fault(s); we flag these samples as nominal"),
+//! otherwise the single injected fault that actually explains the
+//! degradation.
+
+use crate::fault::Fault;
+use crate::link::{LinkModel, PathConditions};
+use crate::metrics::{CoarseFamily, FeatureId, FeatureSchema, LandmarkMetric, LocalMetric};
+use crate::region::Region;
+use crate::scenario::Scenario;
+use crate::service::{ServiceCatalog, ServiceId, QOE_DEGRADATION_FACTOR, QOE_SLACK_S};
+use diagnet_rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth label of an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Label {
+    /// QoE not degraded (possibly despite active faults).
+    Nominal,
+    /// QoE degraded; `cause` is the root-cause feature, `family` its
+    /// coarse class, `region` the region the fault was injected in.
+    Faulty {
+        /// The feature identifying the root cause (landmark × metric for
+        /// remote causes, local metric for local causes).
+        cause: FeatureId,
+        /// Coarse fault family (the NN training target).
+        family: CoarseFamily,
+        /// Region the causing fault was injected in (for local faults, the
+        /// client's own region).
+        region: Region,
+    },
+}
+
+impl Label {
+    /// Coarse class index used as the NN label (`Nominal` = 0).
+    pub fn family_index(&self) -> usize {
+        match self {
+            Label::Nominal => CoarseFamily::Nominal.index(),
+            Label::Faulty { family, .. } => family.index(),
+        }
+    }
+
+    /// The cause feature, if faulty.
+    pub fn cause(&self) -> Option<FeatureId> {
+        match self {
+            Label::Nominal => None,
+            Label::Faulty { cause, .. } => Some(*cause),
+        }
+    }
+
+    /// True for faulty labels.
+    pub fn is_faulty(&self) -> bool {
+        matches!(self, Label::Faulty { .. })
+    }
+
+    /// Region the causing fault was injected in, if faulty.
+    pub fn cause_region(&self) -> Option<Region> {
+        match self {
+            Label::Nominal => None,
+            Label::Faulty { region, .. } => Some(*region),
+        }
+    }
+
+    /// True when this sample's fault was injected near a landmark hidden
+    /// during training (the paper's "new landmark" samples).
+    pub fn is_near_hidden_landmark(&self) -> Option<bool> {
+        self.cause_region().map(|r| r.is_hidden_landmark())
+    }
+}
+
+/// One labelled measurement sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Feature vector in the world's full-schema order (m = 55).
+    pub features: Vec<f32>,
+    /// Ground-truth label.
+    pub label: Label,
+    /// The service the client visited.
+    pub service: ServiceId,
+    /// The client's region.
+    pub client_region: Region,
+    /// Measured page load time, seconds.
+    pub plt_s: f32,
+    /// Faults active during the observation (ground truth, never shown to
+    /// models).
+    pub faults: Vec<Fault>,
+}
+
+/// Client-local state sampled per observation.
+#[derive(Debug, Clone, Copy)]
+struct LocalState {
+    gw_rtt_ms: f32,
+    gw_jitter_ms: f32,
+    cpu_load: f32,
+    mem_load: f32,
+    conn_count: f32,
+    /// Extra RTT the gateway adds to every wide-area path.
+    gateway_extra_ms: f32,
+}
+
+/// The simulated deployment.
+///
+/// ```
+/// use diagnet_sim::{Fault, FaultFamily, Region, Scenario, World};
+///
+/// let world = World::new();
+/// let service = world.catalog.by_name("video.stream").unwrap().id;
+/// let outage = Scenario::with_faults(
+///     vec![Fault::new(FaultFamily::BandwidthShaping, Region::Seat)],
+///     12.0,
+/// );
+/// let obs = world.observe(Region::Beau, service, &outage, 7);
+/// assert_eq!(obs.features.len(), 55);
+/// ```
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Wide-area path model.
+    pub link_model: LinkModel,
+    /// Mock-up services.
+    pub catalog: ServiceCatalog,
+    /// Full measurement schema (all ten landmarks).
+    pub schema: FeatureSchema,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World {
+            link_model: LinkModel::default(),
+            catalog: ServiceCatalog::standard(),
+            schema: FeatureSchema::full(),
+        }
+    }
+}
+
+/// Minimum deterministic PLT impact (relative to the nominal baseline) for
+/// a fault to count as the root cause of a degradation.
+const ATTRIBUTION_MIN_RELATIVE_IMPACT: f32 = 0.05;
+
+impl World {
+    /// A world with the default link model and standard catalog.
+    pub fn new() -> Self {
+        World::default()
+    }
+
+    fn sample_local_state(
+        &self,
+        client: Region,
+        scenario: &Scenario,
+        rng: &mut SplitMix64,
+    ) -> LocalState {
+        let stress: f32 = scenario
+            .faults
+            .iter()
+            .map(|f| f.cpu_stress_load(client))
+            .fold(0.0, f32::max);
+        let gw_fault_ms: f32 = scenario
+            .faults
+            .iter()
+            .map(|f| f.gateway_latency_ms(client))
+            .sum();
+        let base_cpu = rng.uniform(0.03, 0.30);
+        let gw_rtt = rng.uniform(1.0, 4.0) + gw_fault_ms * rng.log_normal(0.0, 0.05);
+        LocalState {
+            gw_rtt_ms: gw_rtt,
+            gw_jitter_ms: rng.uniform(0.1, 1.0)
+                + if gw_fault_ms > 0.0 {
+                    rng.uniform(2.0, 8.0)
+                } else {
+                    0.0
+                },
+            cpu_load: (base_cpu + stress).min(1.0),
+            mem_load: rng.uniform(0.25, 0.65),
+            conn_count: rng.uniform(2.0, 20.0).round(),
+            gateway_extra_ms: gw_fault_ms,
+        }
+    }
+
+    /// Sample the live conditions of the path `client → target` under the
+    /// scenario's faults, including the client's gateway penalty.
+    fn sample_path(
+        &self,
+        client: Region,
+        target: Region,
+        local: &LocalState,
+        scenario: &Scenario,
+        rng: &mut SplitMix64,
+    ) -> PathConditions {
+        let mut cond = self
+            .link_model
+            .sample(client, target, scenario.hour_utc, rng);
+        for fault in &scenario.faults {
+            fault.apply_to_path(&mut cond, client, target, rng);
+        }
+        cond.rtt_ms += local.gateway_extra_ms;
+        cond.jitter_ms += local.gw_jitter_ms * 0.5;
+        cond
+    }
+
+    /// Deterministic (expected, noise-free) path conditions under an
+    /// arbitrary fault subset — the comparable evaluations used for QoE
+    /// baselines and root-cause attribution.
+    fn expected_path(
+        &self,
+        client: Region,
+        target: Region,
+        faults: &[&Fault],
+        gateway_extra_ms: f32,
+    ) -> PathConditions {
+        let mut cond = self.link_model.expected_conditions(client, target);
+        for fault in faults {
+            fault.apply_to_path_expected(&mut cond, client, target);
+        }
+        cond.rtt_ms += gateway_extra_ms;
+        cond
+    }
+
+    /// Deterministic (expected, noise-free) PLT under a fault subset.
+    /// Public so experiments can compute *relevant fault sets* (Fig. 10
+    /// distinguishes services hurt by one, the other, or both injected
+    /// faults).
+    pub fn expected_plt(&self, client: Region, service: ServiceId, faults: &[&Fault]) -> f32 {
+        let gw: f32 = faults.iter().map(|f| f.gateway_latency_ms(client)).sum();
+        let cpu: f32 = faults
+            .iter()
+            .map(|f| f.cpu_stress_load(client))
+            .fold(0.15, f32::max);
+        self.catalog
+            .get(service)
+            .page_load_time_s(client, cpu, |origin| {
+                self.expected_path(client, origin, faults, gw)
+            })
+    }
+
+    /// The fault-free deterministic PLT baseline for `(client, service)`.
+    pub fn nominal_plt(&self, client: Region, service: ServiceId) -> f32 {
+        self.expected_plt(client, service, &[])
+    }
+
+    /// Attribute a degradation to the injected fault whose removal most
+    /// reduces the deterministic PLT; `None` when no fault meaningfully
+    /// contributes (spurious degradation → nominal label).
+    fn attribute_cause<'a>(
+        &self,
+        client: Region,
+        service: ServiceId,
+        faults: &'a [Fault],
+    ) -> Option<&'a Fault> {
+        if faults.is_empty() {
+            return None;
+        }
+        let all: Vec<&Fault> = faults.iter().collect();
+        let plt_all = self.expected_plt(client, service, &all);
+        let nominal = self.nominal_plt(client, service);
+        let mut best: Option<(&Fault, f32)> = None;
+        for (i, fault) in faults.iter().enumerate() {
+            let without: Vec<&Fault> = faults
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, f)| f)
+                .collect();
+            let impact = plt_all - self.expected_plt(client, service, &without);
+            if best.is_none_or(|(_, b)| impact > b) {
+                best = Some((fault, impact));
+            }
+        }
+        let threshold = ATTRIBUTION_MIN_RELATIVE_IMPACT * nominal;
+        best.and_then(|(f, impact)| if impact > threshold { Some(f) } else { None })
+    }
+
+    /// Produce one labelled observation: a client in `client` probes all
+    /// ten landmarks, visits `service`, and the QoE/ground-truth label is
+    /// derived. Fully deterministic in `seed`.
+    pub fn observe(
+        &self,
+        client: Region,
+        service: ServiceId,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Observation {
+        let mut rng = SplitMix64::new(seed);
+        let local = self.sample_local_state(client, scenario, &mut rng);
+
+        // 1. Probe every landmark.
+        let mut features = vec![0.0f32; self.schema.n_features()];
+        for (li, &landmark) in self.schema.landmarks().iter().enumerate() {
+            let cond = self.sample_path(client, landmark, &local, scenario, &mut rng);
+            let base = li * crate::metrics::K_LANDMARK_METRICS;
+            features[base + LandmarkMetric::Rtt.index()] = cond.rtt_ms;
+            features[base + LandmarkMetric::DownBw.index()] = cond.effective_down_mbps();
+            features[base + LandmarkMetric::UpBw.index()] = cond.effective_up_mbps();
+            features[base + LandmarkMetric::Jitter.index()] = cond.jitter_ms;
+            features[base + LandmarkMetric::LossRetrans.index()] = cond.loss;
+        }
+        // 2. Local metrics.
+        let local_base = self.schema.n_landmarks() * crate::metrics::K_LANDMARK_METRICS;
+        features[local_base + LocalMetric::GatewayRtt.index()] = local.gw_rtt_ms;
+        features[local_base + LocalMetric::GatewayJitter.index()] = local.gw_jitter_ms;
+        features[local_base + LocalMetric::CpuLoad.index()] = local.cpu_load;
+        features[local_base + LocalMetric::MemLoad.index()] = local.mem_load;
+        features[local_base + LocalMetric::ConnCount.index()] = local.conn_count;
+
+        // 3. Visit the service and measure QoE.
+        let plt = self
+            .catalog
+            .get(service)
+            .page_load_time_s(client, local.cpu_load, |origin| {
+                self.sample_path(client, origin, &local, scenario, &mut rng)
+            });
+
+        // 4. Label: degraded iff the PLT exceeds the threshold AND an
+        //    injected fault explains it.
+        let nominal_plt = self.nominal_plt(client, service);
+        let degraded = plt > nominal_plt * QOE_DEGRADATION_FACTOR + QOE_SLACK_S;
+        let label = if degraded {
+            match self.attribute_cause(client, service, &scenario.faults) {
+                Some(fault) => Label::Faulty {
+                    cause: fault.cause_feature(),
+                    family: fault.family.coarse(),
+                    region: fault.region,
+                },
+                None => Label::Nominal,
+            }
+        } else {
+            Label::Nominal
+        };
+
+        Observation {
+            features,
+            label,
+            service,
+            client_region: client,
+            plt_s: plt,
+            faults: scenario.faults.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultFamily;
+    use crate::metrics::K_LANDMARK_METRICS;
+    use crate::region::ALL_REGIONS;
+
+    fn world() -> World {
+        World::new()
+    }
+
+    fn service(world: &World, name: &str) -> ServiceId {
+        world.catalog.by_name(name).unwrap().id
+    }
+
+    fn feature_value(w: &World, obs: &Observation, fid: FeatureId) -> f32 {
+        obs.features[w.schema.index_of(fid).unwrap()]
+    }
+
+    #[test]
+    fn observation_has_55_features() {
+        let w = world();
+        let obs = w.observe(
+            Region::Amst,
+            service(&w, "single"),
+            &Scenario::nominal(12.0),
+            1,
+        );
+        assert_eq!(obs.features.len(), 55);
+        assert!(obs.features.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = world();
+        let sc = Scenario::nominal(9.0);
+        let a = w.observe(Region::Toky, service(&w, "image.cdn"), &sc, 42);
+        let b = w.observe(Region::Toky, service(&w, "image.cdn"), &sc, 42);
+        assert_eq!(a, b);
+        let c = w.observe(Region::Toky, service(&w, "image.cdn"), &sc, 43);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn nominal_scenario_yields_nominal_labels() {
+        let w = world();
+        let sc = Scenario::nominal(6.0);
+        let mut nominal = 0;
+        let mut total = 0;
+        for (i, &client) in ALL_REGIONS.iter().enumerate() {
+            for sid in w.catalog.all_ids() {
+                let obs = w.observe(client, sid, &sc, 100 + i as u64 * 37 + sid.0 as u64);
+                total += 1;
+                if obs.label == Label::Nominal {
+                    nominal += 1;
+                }
+            }
+        }
+        // Noise may occasionally cross the QoE threshold, but with no
+        // injected faults no sample can be labelled faulty.
+        assert_eq!(nominal, total);
+    }
+
+    #[test]
+    fn latency_fault_visible_in_landmark_rtt() {
+        let w = world();
+        let fault = Fault::new(FaultFamily::ServiceLatency, Region::Grav);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        let nominal_sc = Scenario::nominal(12.0);
+        let faulty = w.observe(Region::Amst, service(&w, "single"), &sc, 7);
+        let clean = w.observe(Region::Amst, service(&w, "single"), &nominal_sc, 7);
+        let fid = FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt);
+        assert!(
+            feature_value(&w, &faulty, fid) > feature_value(&w, &clean, fid) + 30.0,
+            "GRAV RTT must jump by ~50 ms"
+        );
+        // Other landmarks' RTTs stay in the same ballpark.
+        let other = FeatureId::Landmark(Region::Toky, LandmarkMetric::Rtt);
+        assert!(
+            (feature_value(&w, &faulty, other) - feature_value(&w, &clean, other)).abs() < 30.0
+        );
+    }
+
+    #[test]
+    fn latency_fault_on_host_degrades_and_is_attributed() {
+        let w = world();
+        let fault = Fault::new(FaultFamily::ServiceLatency, Region::Grav);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        // api.chain is hosted in GRAV and latency-sensitive; a client in
+        // AMST (close to GRAV) has a tight nominal PLT.
+        let mut faulty_count = 0;
+        for seed in 0..20 {
+            let obs = w.observe(Region::Amst, service(&w, "api.chain"), &sc, seed);
+            if let Label::Faulty { cause, family, .. } = obs.label {
+                assert_eq!(family, CoarseFamily::LinkLatency);
+                assert_eq!(
+                    cause,
+                    FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt)
+                );
+                faulty_count += 1;
+            }
+        }
+        assert!(
+            faulty_count >= 15,
+            "latency on host should usually degrade: {faulty_count}/20"
+        );
+    }
+
+    #[test]
+    fn shaping_degrades_video_but_not_single() {
+        let w = world();
+        let fault = Fault::new(FaultFamily::BandwidthShaping, Region::Seat);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        let mut video_faulty = 0;
+        let mut single_faulty = 0;
+        for seed in 0..20 {
+            // video.stream is hosted in SEAT.
+            if w.observe(Region::Beau, service(&w, "video.stream"), &sc, seed)
+                .label
+                .is_faulty()
+            {
+                video_faulty += 1;
+            }
+            // single is hosted in GRAV — completely unaffected; even if it
+            // were local, 15 kB at 8 Mbit/s is nothing.
+            if w.observe(Region::Beau, service(&w, "single"), &sc, 1000 + seed)
+                .label
+                .is_faulty()
+            {
+                single_faulty += 1;
+            }
+        }
+        assert!(
+            video_faulty >= 15,
+            "shaping must degrade video: {video_faulty}/20"
+        );
+        assert_eq!(single_faulty, 0, "shaping must not degrade the single page");
+    }
+
+    #[test]
+    fn gateway_fault_raises_all_rtts_and_gw_metric() {
+        let w = world();
+        let fault = Fault::new(FaultFamily::GatewayLatency, Region::Lond);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        let nominal_sc = Scenario::nominal(12.0);
+        // Multiplicative congestion noise on long paths can exceed the
+        // 50 ms shift in a single draw; average over seeds.
+        let mean_fv = |sc: &Scenario, fid: FeatureId| {
+            (0..10)
+                .map(|seed| {
+                    let obs = w.observe(Region::Lond, service(&w, "script.cdn"), sc, seed);
+                    feature_value(&w, &obs, fid)
+                })
+                .sum::<f32>()
+                / 10.0
+        };
+        let gw = FeatureId::Local(LocalMetric::GatewayRtt);
+        assert!(mean_fv(&sc, gw) > mean_fv(&nominal_sc, gw) + 30.0);
+        // Every landmark RTT is shifted up by roughly the gateway penalty.
+        for &lm in w.schema.landmarks() {
+            let fid = FeatureId::Landmark(lm, LandmarkMetric::Rtt);
+            assert!(
+                mean_fv(&sc, fid) > mean_fv(&nominal_sc, fid) + 25.0,
+                "landmark {lm} RTT should reflect gateway latency"
+            );
+        }
+        // A client elsewhere is untouched.
+        let other = w.observe(Region::Toky, service(&w, "script.cdn"), &sc, 5);
+        assert_eq!(other.label, Label::Nominal);
+        assert!(feature_value(&w, &other, gw) < 10.0);
+    }
+
+    #[test]
+    fn cpu_stress_degrades_dashboard_with_local_cause() {
+        let w = world();
+        let fault = Fault::new(FaultFamily::CpuStress, Region::Sing);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        let mut hits = 0;
+        for seed in 0..20 {
+            let obs = w.observe(Region::Sing, service(&w, "mixed.dashboard"), &sc, seed);
+            if let Label::Faulty { cause, family, .. } = obs.label {
+                assert_eq!(family, CoarseFamily::LocalLoad);
+                assert_eq!(cause, FeatureId::Local(LocalMetric::CpuLoad));
+                hits += 1;
+            }
+        }
+        assert!(
+            hits >= 15,
+            "CPU stress should degrade the dashboard: {hits}/20"
+        );
+    }
+
+    #[test]
+    fn loss_fault_crushes_bandwidth_feature_but_cause_is_loss() {
+        // The anomaly-disentanglement scenario: loss makes measured
+        // throughput collapse, yet the ground truth points at the loss
+        // feature, not bandwidth.
+        let w = world();
+        let fault = Fault::new(FaultFamily::PacketLoss, Region::Beau);
+        let sc = Scenario::with_faults(vec![fault], 12.0);
+        let faulty = w.observe(Region::Amst, service(&w, "image.far"), &sc, 11);
+        let clean = w.observe(
+            Region::Amst,
+            service(&w, "image.far"),
+            &Scenario::nominal(12.0),
+            11,
+        );
+        let bw = FeatureId::Landmark(Region::Beau, LandmarkMetric::DownBw);
+        let loss = FeatureId::Landmark(Region::Beau, LandmarkMetric::LossRetrans);
+        assert!(feature_value(&w, &faulty, bw) < feature_value(&w, &clean, bw) * 0.3);
+        assert!(feature_value(&w, &faulty, loss) > 0.05);
+        if let Label::Faulty { cause, .. } = faulty.label {
+            assert_eq!(cause, loss);
+        }
+    }
+
+    #[test]
+    fn multi_fault_attributes_dominant_cause() {
+        let w = world();
+        // Latency near GRAV (the host of api.chain) and shaping near SEAT
+        // (irrelevant to api.chain): the latency fault must win.
+        let sc = Scenario::with_faults(
+            vec![
+                Fault::new(FaultFamily::ServiceLatency, Region::Grav),
+                Fault::new(FaultFamily::BandwidthShaping, Region::Seat),
+            ],
+            12.0,
+        );
+        let mut latency_attr = 0;
+        let mut total_faulty = 0;
+        for seed in 0..20 {
+            let obs = w.observe(Region::Amst, service(&w, "api.chain"), &sc, seed);
+            if let Label::Faulty { cause, .. } = obs.label {
+                total_faulty += 1;
+                if cause == FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt) {
+                    latency_attr += 1;
+                }
+            }
+        }
+        assert!(total_faulty > 10);
+        assert_eq!(
+            latency_attr, total_faulty,
+            "only the latency fault explains api.chain"
+        );
+    }
+
+    #[test]
+    fn features_have_sane_ranges() {
+        let w = world();
+        let sc = Scenario::with_faults(
+            vec![Fault::new(FaultFamily::PacketLoss, Region::Sing)],
+            20.0,
+        );
+        for seed in 0..10 {
+            let obs = w.observe(Region::Sydn, service(&w, "image.cdn"), &sc, seed);
+            for (i, &v) in obs.features.iter().enumerate() {
+                assert!(v.is_finite() && v >= 0.0, "feature {i} = {v}");
+            }
+            // RTTs below 1 second, loads within [0, 1].
+            for li in 0..10 {
+                assert!(obs.features[li * K_LANDMARK_METRICS] < 1000.0);
+            }
+            assert!(obs.features[52] <= 1.0 && obs.features[53] <= 1.0);
+        }
+    }
+}

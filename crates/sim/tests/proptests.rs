@@ -1,0 +1,213 @@
+//! Property-based tests of the simulator: schema algebra, link-model
+//! bounds, fault application laws and QoE monotonicity must hold for
+//! arbitrary inputs.
+
+use diagnet_rng::SplitMix64;
+use diagnet_sim::fault::{Fault, ALL_FAULT_FAMILIES};
+use diagnet_sim::link::LinkModel;
+use diagnet_sim::metrics::{FeatureSchema, K_LANDMARK_METRICS, N_LOCAL_METRICS};
+use diagnet_sim::region::{Region, ALL_REGIONS};
+use diagnet_sim::scenario::{Scenario, ScenarioGenerator};
+use diagnet_sim::service::ServiceId;
+use diagnet_sim::world::World;
+use proptest::prelude::*;
+
+fn region() -> impl Strategy<Value = Region> {
+    (0usize..ALL_REGIONS.len()).prop_map(Region::from_index)
+}
+
+fn fault() -> impl Strategy<Value = Fault> {
+    ((0usize..ALL_FAULT_FAMILIES.len()), region())
+        .prop_map(|(f, r)| Fault::new(ALL_FAULT_FAMILIES[f], r))
+}
+
+/// A subset of regions encoded as a bitmask (never empty).
+fn region_subset() -> impl Strategy<Value = Vec<Region>> {
+    (1u16..1024).prop_map(|mask| {
+        ALL_REGIONS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &r)| r)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ------------------------------------------------------------------
+    // Schema algebra.
+    // ------------------------------------------------------------------
+
+    /// Feature ↔ index round trips for any landmark subset.
+    #[test]
+    fn schema_round_trip(landmarks in region_subset()) {
+        let schema = FeatureSchema::new(landmarks.clone());
+        prop_assert_eq!(schema.n_features(), landmarks.len() * K_LANDMARK_METRICS + N_LOCAL_METRICS);
+        for i in 0..schema.n_features() {
+            prop_assert_eq!(schema.index_of(schema.feature(i)), Some(i));
+        }
+    }
+
+    /// Projecting full → subset → full preserves subset features and fills
+    /// the rest.
+    #[test]
+    fn projection_round_trip(landmarks in region_subset(), fill in -5.0f32..5.0) {
+        let full = FeatureSchema::full();
+        let sub = FeatureSchema::new(landmarks);
+        let values: Vec<f32> = (0..full.n_features()).map(|i| i as f32).collect();
+        let down = sub.project_from(&full, &values, fill);
+        let up = full.project_from(&sub, &down, fill);
+        for i in 0..full.n_features() {
+            if sub.index_of(full.feature(i)).is_some() {
+                prop_assert_eq!(up[i], values[i]);
+            } else {
+                prop_assert_eq!(up[i], fill);
+            }
+        }
+    }
+
+    /// The unknown set partitions features: unknown ∪ mapped = all.
+    #[test]
+    fn unknown_set_partition(landmarks in region_subset()) {
+        let full = FeatureSchema::full();
+        let sub = FeatureSchema::new(landmarks);
+        let unknown = full.unknown_relative_to(&sub);
+        let mapped = (0..full.n_features())
+            .filter(|&i| sub.index_of(full.feature(i)).is_some())
+            .count();
+        prop_assert_eq!(unknown.len() + mapped, full.n_features());
+    }
+
+    // ------------------------------------------------------------------
+    // Link model.
+    // ------------------------------------------------------------------
+
+    /// Sampled conditions are finite, positive and bounded for every pair
+    /// of regions, hour and seed.
+    #[test]
+    fn link_samples_bounded(a in region(), b in region(), hour in 0.0f64..24.0, seed in 0u64..10_000) {
+        let model = LinkModel::default();
+        let c = model.sample(a, b, hour, &mut SplitMix64::new(seed));
+        prop_assert!(c.rtt_ms > 0.0 && c.rtt_ms < 2000.0);
+        prop_assert!(c.jitter_ms >= 0.0 && c.jitter_ms < 500.0);
+        prop_assert!((0.0..0.2).contains(&c.loss));
+        prop_assert!(c.down_capacity_mbps > 0.0);
+        prop_assert!(c.up_capacity_mbps > 0.0);
+        prop_assert!(c.effective_down_mbps() <= c.down_capacity_mbps + 1e-3);
+    }
+
+    /// Expected RTT satisfies the triangle-ish sanity: same-region is the
+    /// minimum of all destinations from a region.
+    #[test]
+    fn same_region_rtt_is_minimal(a in region()) {
+        let model = LinkModel::default();
+        let local = model.expected_rtt_ms(a, a);
+        for &b in &ALL_REGIONS {
+            prop_assert!(local <= model.expected_rtt_ms(a, b) + 1e-6);
+        }
+    }
+
+    /// More loss can only reduce effective throughput.
+    #[test]
+    fn loss_monotone_in_throughput(a in region(), b in region(), extra in 0.0f32..0.1) {
+        let model = LinkModel::default();
+        let base = model.expected_conditions(a, b);
+        let mut lossy = base;
+        lossy.loss += extra;
+        prop_assert!(lossy.effective_down_mbps() <= base.effective_down_mbps() + 1e-4);
+    }
+
+    // ------------------------------------------------------------------
+    // Faults.
+    // ------------------------------------------------------------------
+
+    /// Fault application never produces invalid conditions, and only
+    /// affected paths change.
+    #[test]
+    fn fault_application_sound(f in fault(), a in region(), b in region(), seed in 0u64..1000) {
+        let model = LinkModel::default();
+        let before = model.expected_conditions(a, b);
+        let mut after = before;
+        f.apply_to_path(&mut after, a, b, &mut SplitMix64::new(seed));
+        prop_assert!(after.rtt_ms >= before.rtt_ms);
+        prop_assert!(after.loss >= before.loss && after.loss <= 1.0);
+        prop_assert!(after.down_capacity_mbps <= before.down_capacity_mbps);
+        if !f.affects_path(a, b) {
+            prop_assert_eq!(after, before);
+        }
+    }
+
+    /// The deterministic fault variant is idempotent in expectation form:
+    /// applying to an unaffected path is a no-op.
+    #[test]
+    fn expected_fault_respects_scope(f in fault(), a in region(), b in region()) {
+        let model = LinkModel::default();
+        let mut cond = model.expected_conditions(a, b);
+        let before = cond;
+        f.apply_to_path_expected(&mut cond, a, b);
+        if !f.affects_path(a, b) {
+            prop_assert_eq!(cond, before);
+        }
+    }
+
+    /// Every fault's cause feature belongs to the fault's coarse family.
+    #[test]
+    fn cause_feature_family_consistent(f in fault()) {
+        prop_assert_eq!(f.cause_feature().family(), f.family.coarse());
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario generation.
+    // ------------------------------------------------------------------
+
+    /// Scenarios are valid: hours within the day, fault counts within the
+    /// generator's contract, faults drawn from the configured space.
+    #[test]
+    fn scenarios_valid(index in 0u64..5000, seed in 0u64..100) {
+        let g = ScenarioGenerator::standard();
+        let s = g.generate(index, seed);
+        prop_assert!((0.0..24.0).contains(&s.hour_utc));
+        prop_assert!(s.faults.len() <= 2);
+        for f in &s.faults {
+            prop_assert!(g.fault_regions.contains(&f.region));
+            prop_assert!(g.families.contains(&f.family));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // World / QoE.
+    // ------------------------------------------------------------------
+
+    /// Observations always have exactly m features, all finite and
+    /// non-negative, for any client/service/scenario/seed.
+    #[test]
+    fn observations_well_formed(
+        client in region(),
+        service in 0usize..10,
+        f in fault(),
+        seed in 0u64..5000,
+    ) {
+        let world = World::new();
+        let scenario = Scenario::with_faults(vec![f], 12.0);
+        let obs = world.observe(client, ServiceId(service), &scenario, seed);
+        prop_assert_eq!(obs.features.len(), 55);
+        prop_assert!(obs.features.iter().all(|v| v.is_finite() && *v >= 0.0));
+        prop_assert!(obs.plt_s > 0.0 && obs.plt_s < 120.0);
+        // A faulty label always names one of the scenario's faults.
+        if let Some(cause) = obs.label.cause() {
+            prop_assert!(scenario.faults.iter().any(|f| f.cause_feature() == cause));
+        }
+    }
+
+    /// Adding a fault can only increase the deterministic PLT.
+    #[test]
+    fn faults_never_speed_pages_up(client in region(), service in 0usize..10, f in fault()) {
+        let world = World::new();
+        let sid = ServiceId(service);
+        let nominal = world.nominal_plt(client, sid);
+        let with_fault = world.expected_plt(client, sid, &[&f]);
+        prop_assert!(with_fault >= nominal - 1e-5, "{with_fault} < {nominal}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Statistical regression tests of the simulator: aggregate behaviour
+//! over many samples must track the model's analytical expectations.
+//! These guard the *calibration* of the testbed substitute — if a future
+//! change silently shifts distributions, the learnability of the dataset
+//! (and every experiment) shifts with it.
+
+use diagnet_rng::SplitMix64;
+use diagnet_sim::link::LinkModel;
+use diagnet_sim::region::Region;
+use diagnet_sim::scenario::Scenario;
+use diagnet_sim::world::World;
+
+/// Mean of `n` sampled RTTs for one path at a fixed hour.
+fn mean_rtt(model: &LinkModel, from: Region, to: Region, hour: f64, n: usize, seed: u64) -> f32 {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| model.sample(from, to, hour, &mut rng).rtt_ms).sum::<f32>() / n as f32
+}
+
+#[test]
+fn sampled_rtt_tracks_expected_value() {
+    let model = LinkModel::default();
+    for (a, b) in [
+        (Region::Amst, Region::Lond),
+        (Region::Seat, Region::Sing),
+        (Region::Beau, Region::Grav),
+    ] {
+        let expected = model.expected_rtt_ms(a, b);
+        // Off-peak hour: congestion ≈ 1, noise is mean-1 log-normal, but
+        // spurious anomalies push the mean up a little.
+        let measured = mean_rtt(&model, a, b, 7.0, 4000, 42);
+        let ratio = measured / expected;
+        assert!(
+            (0.95..1.25).contains(&ratio),
+            "{a}->{b}: expected {expected}, measured {measured} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn evening_congestion_visible_in_aggregate() {
+    let model = LinkModel::default();
+    // 20:00 local in Amsterdam = 19:00 UTC; 07:00 local is the trough.
+    let peak = mean_rtt(&model, Region::Amst, Region::Fran, 19.0, 4000, 1);
+    let trough = mean_rtt(&model, Region::Amst, Region::Fran, 6.0, 4000, 2);
+    assert!(
+        peak > trough * 1.08,
+        "evening RTT should be visibly congested: {peak} vs {trough}"
+    );
+}
+
+#[test]
+fn anomaly_rate_matches_configuration() {
+    let mut model = LinkModel::default();
+    model.params.anomaly_prob = 0.10;
+    model.params.noise_sigma = 0.01; // tighten noise so anomalies stand out
+    let expected = model.expected_conditions(Region::Beau, Region::Grav);
+    let mut rng = SplitMix64::new(3);
+    let n = 10_000;
+    let mut outliers = 0;
+    for _ in 0..n {
+        let c = model.sample(Region::Beau, Region::Grav, 7.0, &mut rng);
+        // Any of the four anomaly flavours leaves a distinctive trace.
+        if c.rtt_ms > expected.rtt_ms * 1.4
+            || c.jitter_ms > expected.jitter_ms + 9.0
+            || c.loss > 0.004
+            || c.down_capacity_mbps < expected.down_capacity_mbps * 0.65
+        {
+            outliers += 1;
+        }
+    }
+    let rate = outliers as f32 / n as f32;
+    assert!(
+        (0.07..0.14).contains(&rate),
+        "anomaly rate {rate} should be near the configured 0.10"
+    );
+}
+
+#[test]
+fn qoe_degradation_rate_is_moderate_under_nominal_conditions() {
+    // Under fault-free scenarios QoE noise alone should rarely cross the
+    // degradation threshold (paper: nominal samples vastly outnumber
+    // faulty ones).
+    let world = World::new();
+    let mut degraded = 0;
+    let mut total = 0;
+    for (i, &client) in diagnet_sim::region::ALL_REGIONS.iter().enumerate() {
+        for sid in world.catalog.all_ids() {
+            for seed in 0..20u64 {
+                let obs = world.observe(
+                    client,
+                    sid,
+                    &Scenario::nominal(12.0),
+                    8000 + i as u64 * 1000 + sid.0 as u64 * 50 + seed,
+                );
+                total += 1;
+                let threshold = world.nominal_plt(client, sid)
+                    * diagnet_sim::service::QOE_DEGRADATION_FACTOR
+                    + diagnet_sim::service::QOE_SLACK_S;
+                if obs.plt_s > threshold {
+                    degraded += 1;
+                }
+            }
+        }
+    }
+    let rate = degraded as f32 / total as f32;
+    assert!(
+        rate < 0.10,
+        "spurious QoE degradation should be rare under nominal conditions: {rate}"
+    );
+}
+
+#[test]
+fn fault_magnitudes_dominate_noise_in_aggregate() {
+    // Per fault family, the faulted metric's mean shift across many
+    // observations must exceed the nominal standard deviation — otherwise
+    // the dataset is unlearnable and every experiment is meaningless.
+    use diagnet_sim::fault::{Fault, FaultFamily};
+    use diagnet_sim::metrics::{FeatureId, FeatureSchema, LandmarkMetric};
+    let world = World::new();
+    let schema = FeatureSchema::full();
+    let sid = world.catalog.all_ids()[0];
+    let client = Region::Amst;
+    let cases = [
+        (FaultFamily::ServiceLatency, LandmarkMetric::Rtt),
+        (FaultFamily::Jitter, LandmarkMetric::Jitter),
+        (FaultFamily::PacketLoss, LandmarkMetric::LossRetrans),
+        (FaultFamily::BandwidthShaping, LandmarkMetric::DownBw),
+    ];
+    for (family, metric) in cases {
+        let fault = Fault::new(family, Region::Grav);
+        let idx = schema
+            .index_of(FeatureId::Landmark(Region::Grav, metric))
+            .unwrap();
+        let collect = |scenario: &Scenario, base: u64| -> Vec<f32> {
+            (0..300u64)
+                .map(|s| world.observe(client, sid, scenario, base + s).features[idx])
+                .collect()
+        };
+        let nominal = collect(&Scenario::nominal(12.0), 100);
+        let faulty = collect(&Scenario::with_faults(vec![fault], 12.0), 5000);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let std = |v: &[f32], mu: f32| {
+            (v.iter().map(|x| (x - mu) * (x - mu)).sum::<f32>() / v.len() as f32).sqrt()
+        };
+        let mu_n = mean(&nominal);
+        let sigma_n = std(&nominal, mu_n).max(1e-6);
+        let shift = (mean(&faulty) - mu_n).abs();
+        assert!(
+            shift > sigma_n,
+            "{family:?}: shift {shift} must exceed nominal σ {sigma_n} on {metric:?}"
+        );
+    }
+}

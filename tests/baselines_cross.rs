@@ -1,0 +1,145 @@
+//! Cross-model comparison invariants — the qualitative *shape* of the
+//! paper's Fig. 5, with generous thresholds so the test is robust at unit
+//! scale:
+//!
+//! * RANDOM FOREST near-ideal on faults near known landmarks, collapsing
+//!   towards chance on new landmarks;
+//! * NAIVE BAYES biased towards new landmarks, weak on known ones;
+//! * DiagNet competitive on both sides.
+
+use diagnet::prelude::*;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::sync::OnceLock;
+
+struct Fixture {
+    test: Dataset,
+    diagnet: DiagNet,
+    forest: ForestRanker,
+    bayes: NaiveBayesRanker,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 33);
+        cfg.n_scenarios = 80;
+        let ds = Dataset::generate(&world, &cfg);
+        let split = ds.split(0.8, 33);
+        let schema = FeatureSchema::known();
+        let diagnet = DiagNet::train(&DiagNetConfig::fast(), &split.train, 33).unwrap();
+        let forest = ForestRanker::train(&diagnet.config.forest, &split.train, &schema, 33);
+        let bayes = NaiveBayesRanker::train(&Default::default(), &split.train, &schema);
+        Fixture {
+            test: split.test,
+            diagnet,
+            forest,
+            bayes,
+        }
+    })
+}
+
+/// Recall@k of a ranker on the faulty test slice near (or not near)
+/// hidden landmarks.
+fn recall(ranker: &dyn CauseRanker, fx: &Fixture, hidden: bool, k: usize) -> f32 {
+    let full = FeatureSchema::full();
+    let scored: Vec<(Vec<f32>, usize)> = fx
+        .test
+        .samples
+        .iter()
+        .filter(|s| s.label.is_near_hidden_landmark() == Some(hidden))
+        .map(|s| {
+            (
+                ranker.rank(&s.features, &full).scores,
+                full.index_of(s.label.cause().unwrap()).unwrap(),
+            )
+        })
+        .collect();
+    assert!(scored.len() >= 20, "subset too small: {}", scored.len());
+    diagnet_eval::recall_at_k(&scored, k)
+}
+
+#[test]
+fn forest_near_ideal_on_known_landmarks() {
+    let fx = fixture();
+    let r5 = recall(&fx.forest, fx, false, 5);
+    assert!(r5 > 0.8, "RF Recall@5 on known landmarks = {r5}");
+}
+
+#[test]
+fn forest_collapses_on_new_landmarks() {
+    let fx = fixture();
+    let known = recall(&fx.forest, fx, false, 5);
+    let new = recall(&fx.forest, fx, true, 5);
+    assert!(
+        new < known - 0.3,
+        "RF should degrade starkly on new landmarks: known {known}, new {new}"
+    );
+}
+
+#[test]
+fn bayes_biased_towards_new_landmarks() {
+    // Unlike the forest, NB does NOT collapse on new landmarks (its
+    // generic likelihoods keep them competitive — the paper's "bias
+    // towards new features"), and it clearly beats the forest there.
+    let fx = fixture();
+    let known = recall(&fx.bayes, fx, false, 5);
+    let new = recall(&fx.bayes, fx, true, 5);
+    assert!(
+        new > known - 0.15,
+        "NB must not collapse on new landmarks: known {known}, new {new}"
+    );
+    let forest_new = recall(&fx.forest, fx, true, 5);
+    assert!(
+        new > forest_new,
+        "NB ({new}) should beat RF ({forest_new}) on new landmarks"
+    );
+}
+
+#[test]
+fn diagnet_beats_forest_on_new_landmarks() {
+    let fx = fixture();
+    let dn = recall(&fx.diagnet, fx, true, 5);
+    let rf = recall(&fx.forest, fx, true, 5);
+    assert!(dn > rf, "DiagNet {dn} should beat RF {rf} on new landmarks");
+}
+
+#[test]
+fn diagnet_close_to_forest_on_known_landmarks() {
+    let fx = fixture();
+    let dn = recall(&fx.diagnet, fx, false, 5);
+    let rf = recall(&fx.forest, fx, false, 5);
+    assert!(
+        dn > rf - 0.15,
+        "DiagNet {dn} should be close to ideal RF {rf} on known landmarks"
+    );
+}
+
+#[test]
+fn diagnet_beats_bayes_on_known_landmarks() {
+    let fx = fixture();
+    let dn = recall(&fx.diagnet, fx, false, 1);
+    let nb = recall(&fx.bayes, fx, false, 1);
+    assert!(
+        dn > nb,
+        "DiagNet {dn} should beat NB {nb} on known landmarks at k=1"
+    );
+}
+
+#[test]
+fn all_models_beat_chance_everywhere() {
+    let fx = fixture();
+    // Chance Recall@5 over 55 causes ≈ 9 %.
+    for (name, r) in [
+        ("diagnet", &fx.diagnet as &dyn CauseRanker),
+        ("forest", &fx.forest),
+        ("bayes", &fx.bayes),
+    ] {
+        for hidden in [false, true] {
+            let r5 = recall(r, fx, hidden, 5);
+            assert!(r5 > 0.12, "{name} hidden={hidden}: Recall@5 {r5} ≈ chance");
+        }
+    }
+}

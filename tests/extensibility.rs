@@ -1,0 +1,138 @@
+//! Root-cause extensibility (paper §II-D / §IV-A(d)): models trained on a
+//! subset of landmarks must consume feature vectors from *more* (or fewer)
+//! landmarks without retraining, and still produce meaningful rankings.
+
+use diagnet::prelude::*;
+use diagnet_nn::layer::Layer;
+use diagnet_nn::pool::PoolOp;
+use diagnet_nn::tensor::Matrix;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::{FeatureSchema, K_LANDMARK_METRICS, N_LOCAL_METRICS};
+use diagnet_sim::region::{Region, ALL_REGIONS};
+use diagnet_sim::world::World;
+use std::sync::OnceLock;
+
+fn trained() -> &'static (Dataset, DiagNet) {
+    static CELL: OnceLock<(Dataset, DiagNet)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 55));
+        let split = ds.split(0.8, 55);
+        let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 55).unwrap();
+        (split.test, model)
+    })
+}
+
+#[test]
+fn landpool_accepts_any_landmark_count() {
+    let layer = Layer::land_pool(
+        6,
+        K_LANDMARK_METRICS,
+        N_LOCAL_METRICS,
+        PoolOp::standard_bank(),
+        3,
+    );
+    for ell in [1usize, 3, 7, 10, 25] {
+        let x = Matrix::zeros(2, ell * K_LANDMARK_METRICS + N_LOCAL_METRICS);
+        let y = layer.forward(&x);
+        assert_eq!(
+            y.cols(),
+            6 * 13 + N_LOCAL_METRICS,
+            "output width fixed for ℓ = {ell}"
+        );
+    }
+}
+
+#[test]
+fn model_trained_on_7_infers_on_10_and_on_5() {
+    let (test, model) = trained();
+    assert_eq!(model.train_schema.n_landmarks(), 7);
+    // Full ten landmarks.
+    let full = FeatureSchema::full();
+    let r10 = model.rank_causes(&test.samples[0].features, &full);
+    assert_eq!(r10.scores.len(), 55);
+    // Degraded availability: only five landmarks reachable.
+    let five = FeatureSchema::new(vec![
+        Region::Beau,
+        Region::Amst,
+        Region::Sing,
+        Region::Lond,
+        Region::Toky,
+    ]);
+    let projected = five.project_from(&full, &test.samples[0].features, 0.0);
+    let r5 = model.rank_causes(&projected, &five);
+    assert_eq!(r5.scores.len(), 5 * K_LANDMARK_METRICS + N_LOCAL_METRICS);
+    assert!((r5.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn w_unknown_tracks_hidden_landmark_faults() {
+    // On average, samples whose fault is near a hidden landmark should
+    // push more attention mass onto unknown features than known-fault
+    // samples do.
+    let (test, model) = trained();
+    let full = FeatureSchema::full();
+    let mean_w = |hidden: bool| {
+        let samples: Vec<_> = test
+            .samples
+            .iter()
+            .filter(|s| s.label.is_near_hidden_landmark() == Some(hidden))
+            .take(80)
+            .collect();
+        assert!(!samples.is_empty());
+        samples
+            .iter()
+            .map(|s| model.rank_causes(&s.features, &full).w_unknown)
+            .sum::<f32>()
+            / samples.len() as f32
+    };
+    let w_hidden = mean_w(true);
+    let w_known = mean_w(false);
+    assert!(
+        w_hidden > w_known,
+        "w_U should be higher for hidden-landmark faults: {w_hidden} vs {w_known}"
+    );
+}
+
+#[test]
+fn landmark_permutation_does_not_change_coarse_prediction() {
+    // Location agnosticism of the convolution: the coarse prediction is
+    // invariant to the order in which landmarks are listed.
+    let (test, model) = trained();
+    let sample = &test.samples[0];
+    let full = FeatureSchema::full();
+    let mut permuted_regions = ALL_REGIONS.to_vec();
+    permuted_regions.reverse();
+    let permuted_schema = FeatureSchema::new(permuted_regions);
+    let permuted_features = permuted_schema.project_from(&full, &sample.features, 0.0);
+    let a = model.coarse_predict(&sample.features, &full);
+    let b = model.coarse_predict(&permuted_features, &permuted_schema);
+    for (x, y) in a.iter().zip(&b) {
+        assert!(
+            (x - y).abs() < 1e-4,
+            "coarse prediction changed under permutation"
+        );
+    }
+}
+
+#[test]
+fn baselines_accept_unseen_landmarks() {
+    let (test, model) = trained();
+    let world = World::new();
+    let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 56));
+    let split = ds.split(0.8, 56);
+    let schema = FeatureSchema::known();
+    let forest = ForestRanker::train(&model.config.forest, &split.train, &schema, 1);
+    let bayes = NaiveBayesRanker::train(&Default::default(), &split.train, &schema);
+    let full = FeatureSchema::full();
+    for s in test.samples.iter().take(10) {
+        let rf = forest.rank(&s.features, &full);
+        let nb = bayes.rank(&s.features, &full);
+        assert_eq!(rf.scores.len(), 55);
+        assert_eq!(nb.scores.len(), 55);
+        // Hidden-landmark causes keep non-null scores in both baselines.
+        let unknown = full.unknown_relative_to(&schema);
+        assert!(unknown.iter().all(|&j| rf.scores[j] > 0.0));
+        assert!(unknown.iter().all(|&j| nb.scores[j] > 0.0));
+    }
+}

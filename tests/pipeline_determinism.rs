@@ -1,0 +1,90 @@
+//! Determinism across the whole pipeline: identical seeds must produce
+//! bit-identical datasets, models and rankings regardless of rayon's
+//! thread scheduling; different seeds must diverge.
+
+use diagnet::prelude::*;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+
+fn make_dataset(seed: u64) -> Dataset {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, seed);
+    cfg.n_scenarios = 20;
+    Dataset::generate(&world, &cfg)
+}
+
+#[test]
+fn dataset_generation_reproducible() {
+    let a = make_dataset(99);
+    let b = make_dataset(99);
+    assert_eq!(a.samples, b.samples);
+}
+
+#[test]
+fn dataset_generation_thread_count_independent() {
+    // Generate under a 1-thread pool and under the default pool: identical.
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| make_dataset(101));
+    let parallel = make_dataset(101);
+    assert_eq!(single.samples, parallel.samples);
+}
+
+#[test]
+fn training_and_ranking_reproducible() {
+    let ds = make_dataset(103);
+    let split = ds.split(0.8, 103);
+    let run = || {
+        let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 103).unwrap();
+        let full = FeatureSchema::full();
+        split
+            .test
+            .samples
+            .iter()
+            .take(10)
+            .map(|s| model.rank_causes(&s.features, &full).scores)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn forest_training_thread_count_independent() {
+    let ds = make_dataset(105);
+    let split = ds.split(0.8, 105);
+    let schema = FeatureSchema::known();
+    let cfg = diagnet_forest::ForestConfig::paper_default(9);
+    let sequential = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| ForestRanker::train(&cfg, &split.train, &schema, 9));
+    let parallel = ForestRanker::train(&cfg, &split.train, &schema, 9);
+    let full = FeatureSchema::full();
+    for s in split.test.samples.iter().take(10) {
+        assert_eq!(
+            sequential.rank(&s.features, &full).scores,
+            parallel.rank(&s.features, &full).scores
+        );
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = make_dataset(1);
+    let b = make_dataset(2);
+    assert_ne!(a.samples, b.samples);
+}
+
+#[test]
+fn split_deterministic_but_seed_sensitive() {
+    let ds = make_dataset(107);
+    let s1 = ds.split(0.8, 5);
+    let s2 = ds.split(0.8, 5);
+    let s3 = ds.split(0.8, 6);
+    assert_eq!(s1.train.samples, s2.train.samples);
+    assert_ne!(s1.train.samples, s3.train.samples);
+}
