@@ -1,0 +1,101 @@
+//! Hot-path micro/macro benchmarks for the zero-allocation work (ISSUE 2):
+//! allocating vs `_into` matmul kernels, allocating forward vs reusable
+//! workspaces, and per-row vs batched end-to-end scoring.
+//!
+//! For a JSON summary with explicit speedup ratios (the acceptance
+//! artefact `BENCH_hotpath.json`), run the companion binary:
+//! `cargo run --release -p diagnet-bench --bin hotpath`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_nn::linalg::{matmul, matmul_into};
+use diagnet_nn::prelude::*;
+use diagnet_nn::rng::SplitMix64;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SplitMix64) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn trained() -> &'static (DiagNet, Vec<Vec<f32>>, FeatureSchema) {
+    static CELL: OnceLock<(DiagNet, Vec<Vec<f32>>, FeatureSchema)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 11);
+        cfg.n_scenarios = 20;
+        let ds = Dataset::generate(&world, &cfg);
+        let split = ds.split(0.8, 11);
+        let model = DiagNet::train(&DiagNetConfig::paper(), &split.train, 11).unwrap();
+        let rows: Vec<Vec<f32>> = split
+            .test
+            .samples
+            .iter()
+            .take(64)
+            .map(|s| s.features.clone())
+            .collect();
+        (model, rows, FeatureSchema::full())
+    })
+}
+
+/// The paper network's widest GEMM (batch 64 through the 317→512 layer):
+/// allocating product vs writing into a reused buffer.
+fn bench_matmul_into(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let a = random_matrix(64, 317, &mut rng);
+    let b = random_matrix(317, 512, &mut rng);
+    let mut out = Matrix::zeros(64, 512);
+    let mut group = c.benchmark_group("hotpath_matmul");
+    group.bench_function("matmul_alloc", |bch| bch.iter(|| black_box(matmul(&a, &b))));
+    group.bench_function("matmul_into", |bch| {
+        bch.iter(|| {
+            matmul_into(&a, &b, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+/// Full paper network, batch 64: allocating forward vs warm workspace.
+fn bench_forward_ws(c: &mut Criterion) {
+    let (model, rows, schema) = trained();
+    let x = model.normalizer.apply_matrix(schema, rows);
+    let mut ws = ForwardWorkspace::new(&model.network);
+    model.network.forward_ws(&x, &mut ws); // warm up buffers once
+    let mut group = c.benchmark_group("hotpath_forward");
+    group.bench_function("forward_alloc", |b| {
+        b.iter(|| black_box(model.network.forward(&x).get(0, 0)))
+    });
+    group.bench_function("forward_ws", |b| {
+        b.iter(|| black_box(model.network.forward_ws(&x, &mut ws).get(0, 0)))
+    });
+    group.finish();
+}
+
+/// End-to-end scoring of 64 episodes: one rank_causes call per row vs the
+/// batched pipeline (one forward GEMM + one attention backward).
+fn bench_scoring(c: &mut Criterion) {
+    let (model, rows, schema) = trained();
+    let mut group = c.benchmark_group("hotpath_scoring64");
+    group.sample_size(20);
+    group.bench_function("per_row", |b| {
+        b.iter(|| {
+            black_box(
+                rows.iter()
+                    .map(|r| model.rank_causes(r, schema))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.bench_function("score_batch", |b| {
+        b.iter(|| black_box(model.score_batch(rows, schema)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_into, bench_forward_ws, bench_scoring);
+criterion_main!(benches);

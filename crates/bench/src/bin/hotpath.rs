@@ -1,0 +1,172 @@
+//! Hot-path acceptance artefact for ISSUE 2: measures the allocating vs
+//! zero-allocation kernels and per-row vs batched end-to-end scoring, then
+//! writes `BENCH_hotpath.json` (current directory, overridable with
+//! `DIAGNET_HOTPATH_OUT`) plus the usual JSON line under
+//! `target/experiments/hotpath.jsonl`.
+//!
+//! Honours `DIAGNET_SCENARIOS` / `DIAGNET_SEED` / `DIAGNET_CONFIG` like
+//! every other experiment binary; the defaults keep the run under a
+//! minute on a laptop.
+
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_bench::report::{json_out, Table};
+use diagnet_nn::linalg::{matmul, matmul_into};
+use diagnet_nn::prelude::*;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock seconds per call over `iters` timed calls (after one
+/// untimed warm-up call).
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SplitMix64) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.normal()).collect())
+}
+
+fn main() {
+    let n_scenarios: usize = std::env::var("DIAGNET_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let seed: u64 = std::env::var("DIAGNET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let (config, config_name) = match std::env::var("DIAGNET_CONFIG").as_deref() {
+        Ok("fast") => (DiagNetConfig::fast(), "fast"),
+        _ => (DiagNetConfig::paper(), "paper"),
+    };
+
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, seed);
+    cfg.n_scenarios = n_scenarios;
+    let ds = Dataset::generate(&world, &cfg);
+    let split = ds.split(0.8, seed);
+    eprintln!(
+        "hotpath: training {config_name} model on {} samples …",
+        split.train.len()
+    );
+    let model = DiagNet::train(&config, &split.train, seed).unwrap();
+    let schema = FeatureSchema::full();
+    let rows: Vec<Vec<f32>> = split
+        .test
+        .samples
+        .iter()
+        .take(64)
+        .map(|s| s.features.clone())
+        .collect();
+    let batch = rows.len();
+
+    // 1. Kernel level: the paper network's widest GEMM, allocating vs
+    //    writing into a reused buffer.
+    let mut rng = SplitMix64::new(seed ^ 0x5bd1);
+    let a = random_matrix(batch, 317, &mut rng);
+    let b = random_matrix(317, 512, &mut rng);
+    let mut out = Matrix::zeros(batch, 512);
+    let t_mm_alloc = time_median(60, || {
+        black_box(matmul(&a, &b));
+    });
+    let t_mm_into = time_median(60, || {
+        matmul_into(&a, &b, &mut out);
+        black_box(out.get(0, 0));
+    });
+
+    // 2. Network level: allocating forward vs warm workspace, batch 64.
+    let x = model.normalizer.apply_matrix(&schema, &rows);
+    let mut ws = ForwardWorkspace::new(&model.network);
+    let t_fwd_alloc = time_median(40, || {
+        black_box(model.network.forward(&x).get(0, 0));
+    });
+    let t_fwd_ws = time_median(40, || {
+        black_box(model.network.forward_ws(&x, &mut ws).get(0, 0));
+    });
+
+    // 3. Inference: the seed per-row path (normalize + `Matrix::from_row`
+    //    + a 1-row forward per episode) vs one batched GEMM per layer.
+    let t_inf_per_row = time_median(20, || {
+        black_box(
+            rows.iter()
+                .map(|r| model.coarse_predict(r, &schema))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let t_inf_batched = time_median(20, || {
+        black_box(model.predict_batch(&rows, &schema).get(0, 0));
+    });
+
+    // 4. End to end: one rank_causes call per episode vs the batched
+    //    pipeline (one forward GEMM + one whole-batch attention backward).
+    let t_per_row = time_median(12, || {
+        black_box(
+            rows.iter()
+                .map(|r| model.rank_causes(r, &schema))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let t_batched = time_median(12, || {
+        black_box(model.score_batch(&rows, &schema));
+    });
+
+    let us = |s: f64| s * 1e6;
+    let mut table = Table::new(
+        "hot path: allocating vs zero-allocation (median µs/call)",
+        &["stage", "before", "after", "speedup"],
+    );
+    for (stage, before, after) in [
+        ("matmul 64×317·317×512", t_mm_alloc, t_mm_into),
+        ("forward batch=64", t_fwd_alloc, t_fwd_ws),
+        ("inference 64 episodes", t_inf_per_row, t_inf_batched),
+        ("scoring 64 episodes", t_per_row, t_batched),
+    ] {
+        table.row(vec![
+            stage.into(),
+            format!("{:.1}", us(before)),
+            format!("{:.1}", us(after)),
+            format!("{:.2}×", before / after),
+        ]);
+    }
+    table.print();
+
+    let record = serde_json::json!({
+        "experiment": "hotpath",
+        "config": config_name,
+        "n_scenarios": n_scenarios,
+        "seed": seed,
+        "batch": batch,
+        "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "matmul_alloc_us": us(t_mm_alloc),
+        "matmul_into_us": us(t_mm_into),
+        "matmul_speedup": t_mm_alloc / t_mm_into,
+        "forward_alloc_us": us(t_fwd_alloc),
+        "forward_ws_us": us(t_fwd_ws),
+        "forward_speedup": t_fwd_alloc / t_fwd_ws,
+        "infer_per_row_us": us(t_inf_per_row),
+        "infer_batch_us": us(t_inf_batched),
+        "infer_batch_speedup": t_inf_per_row / t_inf_batched,
+        "score_per_row_us": us(t_per_row),
+        "score_batch_us": us(t_batched),
+        "score_batch_speedup": t_per_row / t_batched,
+    });
+    json_out("hotpath", &record);
+    let out_path =
+        std::env::var("DIAGNET_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    std::fs::write(&out_path, serde_json::to_string_pretty(&record).unwrap())
+        .unwrap_or_else(|e| eprintln!("hotpath: could not write {out_path}: {e}"));
+    eprintln!("hotpath: wrote {out_path}");
+}

@@ -19,12 +19,16 @@ fn main() {
     let config = HarnessConfig::from_env();
     let ctx = ExperimentContext::create(config.clone());
     eprintln!("[importance] training general model…");
-    let model = DiagNet::train(&config.model_config, &ctx.split.train, config.seed).expect("training");
+    let model =
+        DiagNet::train(&config.model_config, &ctx.split.train, config.seed).expect("training");
     let full = FeatureSchema::full();
     let samples = eval_samples(&ctx);
 
     // Forest importance over the full cause space.
-    let forest_importance = model.auxiliary.forest().feature_importance(full.n_features());
+    let forest_importance = model
+        .auxiliary
+        .forest()
+        .feature_importance(full.n_features());
 
     // Mean gradient attention over faulty test samples.
     let attention_sums: Vec<f32> = samples
@@ -39,8 +43,10 @@ fn main() {
                 acc
             },
         );
-    let mean_attention: Vec<f32> =
-        attention_sums.iter().map(|v| v / samples.len().max(1) as f32).collect();
+    let mean_attention: Vec<f32> = attention_sums
+        .iter()
+        .map(|v| v / samples.len().max(1) as f32)
+        .collect();
 
     // Agreement restricted to features the forest could actually learn.
     let known: Vec<usize> = (0..full.n_features())
@@ -66,8 +72,16 @@ fn main() {
     for i in 0..8 {
         table.row(vec![
             (i + 1).to_string(),
-            format!("{} ({:.3})", full.feature(ft[i]).name(), forest_importance[ft[i]]),
-            format!("{} ({:.3})", full.feature(at[i]).name(), mean_attention[at[i]]),
+            format!(
+                "{} ({:.3})",
+                full.feature(ft[i]).name(),
+                forest_importance[ft[i]]
+            ),
+            format!(
+                "{} ({:.3})",
+                full.feature(at[i]).name(),
+                mean_attention[at[i]]
+            ),
         ]);
     }
     table.print();

@@ -379,7 +379,16 @@ mod tests {
         let data = tmp("cli_export_data.json");
         let csv = tmp("cli_export.csv");
         let (data_s, csv_s) = (data.to_str().unwrap(), csv.to_str().unwrap());
-        run_line(&["simulate", "--out", data_s, "--scenarios", "2", "--seed", "9"]).unwrap();
+        run_line(&[
+            "simulate",
+            "--out",
+            data_s,
+            "--scenarios",
+            "2",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         let msg = run_line(&["export", "--data", data_s, "--out", csv_s]).unwrap();
         assert!(msg.contains("wrote 200 rows"), "{msg}");
         let content = std::fs::read_to_string(&csv).unwrap();

@@ -69,9 +69,9 @@ pub mod weighting;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::aggregate::IncidentMap;
     pub use crate::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
     pub use crate::config::DiagNetConfig;
-    pub use crate::aggregate::IncidentMap;
     pub use crate::explain::Explanation;
     pub use crate::model::DiagNet;
     pub use crate::normalize::Normalizer;

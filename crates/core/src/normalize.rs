@@ -7,6 +7,7 @@
 //! exactly like its trained peers, so the shared convolution kernel sees
 //! them in-distribution.
 
+use diagnet_nn::tensor::Matrix;
 use diagnet_sim::metrics::{FeatureSchema, K_LANDMARK_METRICS, N_LOCAL_METRICS};
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +119,23 @@ impl Normalizer {
         rows.iter().map(|r| self.apply(schema, r)).collect()
     }
 
+    /// Standardise many rows straight into one row-major matrix — the
+    /// zero-copy entry point of the batched scoring path. Values are
+    /// bit-identical to [`Normalizer::apply`] applied row by row.
+    pub fn apply_matrix(&self, schema: &FeatureSchema, rows: &[Vec<f32>]) -> Matrix {
+        let m = schema.n_features();
+        let mut data = Vec::with_capacity(rows.len() * m);
+        for row in rows {
+            assert_eq!(row.len(), m, "Normalizer::apply: row width mismatch");
+            data.extend(
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| self.apply_value(schema.feature(j).kind_index(), v)),
+            );
+        }
+        Matrix::from_vec(rows.len(), m, data)
+    }
+
     /// Mean of a metric kind (for inspection).
     pub fn mean_of(&self, kind: usize) -> f32 {
         self.mean[kind]
@@ -218,6 +236,18 @@ mod tests {
             "raw variant must z-score untransformed values"
         );
         assert_ne!(raw, Normalizer::fit(&schema, &rows));
+    }
+
+    #[test]
+    fn apply_matrix_is_bitwise_identical_to_apply() {
+        let (schema, rows) = sample_rows();
+        let norm = Normalizer::fit(&schema, &rows);
+        let m = norm.apply_matrix(&schema, &rows);
+        assert_eq!(m.rows(), rows.len());
+        assert_eq!(m.cols(), schema.n_features());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(m.row(i), norm.apply(&schema, row).as_slice());
+        }
     }
 
     #[test]

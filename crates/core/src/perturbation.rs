@@ -38,16 +38,16 @@ pub fn occlusion_scores(model: &DiagNet, features: &[f32], schema: &FeatureSchem
     let normalized = model.normalizer.apply(schema, features);
     let m = normalized.len();
 
-    // Baseline prediction plus one occluded row per feature, evaluated as
-    // one batch so the rayon-parallel matmuls amortise.
-    let mut rows = Vec::with_capacity(m + 1);
-    rows.push(normalized.clone());
+    // Baseline prediction plus one occluded row per feature, built
+    // straight into one (m+1)×m matrix and evaluated as a single batch so
+    // the rayon-parallel matmuls amortise.
+    let mut data = Vec::with_capacity((m + 1) * m);
+    data.extend_from_slice(&normalized);
     for j in 0..m {
-        let mut occluded = normalized.clone();
-        occluded[j] = 0.0; // z-score 0 = "a perfectly average measurement"
-        rows.push(occluded);
+        data.extend_from_slice(&normalized);
+        data[(j + 1) * m + j] = 0.0; // z-score 0 = "a perfectly average measurement"
     }
-    let probs = softmax(&model.network.forward(&Matrix::from_rows(&rows)));
+    let probs = softmax(&model.network.forward(&Matrix::from_vec(m + 1, m, data)));
     let phi = probs.argmax_row(0);
     let base = probs.get(0, phi);
     let drops: Vec<f32> = (0..m)

@@ -13,6 +13,7 @@ use diagnet_nn::train::TrainHistory;
 use diagnet_rng::SplitMix64;
 use diagnet_sim::dataset::Dataset;
 use diagnet_sim::service::ServiceId;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A general model plus one specialised model per service.
@@ -27,24 +28,33 @@ pub struct SpecializedModels {
 impl SpecializedModels {
     /// Specialise `general` for each service in `services`, training each
     /// on its own samples from `train_data`.
+    ///
+    /// Specialisations share nothing but the (read-only) general model, so
+    /// they train in parallel; each derives its seed from its position in
+    /// `services`, keeping every per-service model bit-identical to the
+    /// former sequential schedule.
     pub fn train(
         general: DiagNet,
         train_data: &Dataset,
         services: &[ServiceId],
         seed: u64,
     ) -> Result<Self, NnError> {
-        let mut models = HashMap::new();
-        for (i, &sid) in services.iter().enumerate() {
-            let service_data = train_data.filter_service(sid);
-            if service_data.is_empty() {
-                return Err(NnError::InvalidTrainingData(format!(
-                    "no training samples for service {}",
-                    sid.0
-                )));
-            }
-            let model = general.specialize(&service_data, SplitMix64::derive(seed, i as u64))?;
-            models.insert(sid, model);
-        }
+        let models = services
+            .par_iter()
+            .enumerate()
+            .map(|(i, &sid)| {
+                let service_data = train_data.filter_service(sid);
+                if service_data.is_empty() {
+                    return Err(NnError::InvalidTrainingData(format!(
+                        "no training samples for service {}",
+                        sid.0
+                    )));
+                }
+                let model =
+                    general.specialize(&service_data, SplitMix64::derive(seed, i as u64))?;
+                Ok((sid, model))
+            })
+            .collect::<Result<HashMap<_, _>, NnError>>()?;
         Ok(SpecializedModels { general, models })
     }
 

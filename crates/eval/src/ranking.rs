@@ -89,7 +89,11 @@ pub fn spearman_rho(a: &[f32], b: &[f32]) -> f32 {
     }
     let ranks = |xs: &[f32]| -> Vec<f32> {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&i, &j| {
+            xs[i]
+                .partial_cmp(&xs[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut out = vec![0.0f32; xs.len()];
         let mut i = 0;
         while i < idx.len() {
@@ -196,7 +200,11 @@ mod tests {
         let b = [1.0f32, 1.0, 2.0, 2.0];
         assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-5);
         assert_eq!(spearman_rho(&[1.0], &[2.0]), 0.0);
-        assert_eq!(spearman_rho(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "zero variance side");
+        assert_eq!(
+            spearman_rho(&[1.0, 1.0], &[1.0, 2.0]),
+            0.0,
+            "zero variance side"
+        );
     }
 
     #[test]

@@ -5,11 +5,32 @@
 //! and match-based dispatch lets the compiler inline the hot paths.
 
 use crate::init;
-use crate::linalg::{add_bias, column_sums, matmul, matmul_at, matmul_bt};
-use crate::pool::{pool_backward, pool_forward, PoolOp, PoolScratch};
+use crate::linalg::{add_bias, column_sums_acc, matmul_at_acc, matmul_bt_into, matmul_into};
+use crate::pool::{pool_backward, pool_forward, PoolOp};
 use crate::tensor::Matrix;
+use crate::workspace::{BackwardScratch, LayerScratch, PoolRowScratch};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Batch rows per parallel pooling task.
+const POOL_ROWS_PER_TASK: usize = 8;
+/// Total pooled values (`batch·ℓ·f`) above which the pooling loops run in
+/// parallel. Rows are independent and tasks write disjoint output chunks,
+/// so the parallel and serial paths produce identical results.
+const POOL_PAR_VALUES: usize = 4096;
+
+/// Copy the landmark prefix (`ℓ·k` values) of every row of `x` into `xl`,
+/// shaped `(batch·ℓ) × k`, skipping the trailing local features. This is
+/// the gather that lets one GEMM convolve the whole batch.
+fn gather_landmarks(x: &Matrix, ell: usize, k: usize, xl: &mut Matrix) {
+    let (batch, width) = (x.rows(), x.cols());
+    xl.resize(batch * ell, k);
+    let xd = x.data();
+    let xld = xl.data_mut();
+    for r in 0..batch {
+        xld[r * ell * k..(r + 1) * ell * k].copy_from_slice(&xd[r * width..r * width + ell * k]);
+    }
+}
 
 /// A fully-connected layer: `y = x · W + b` with `W ∈ R^{in × out}`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,50 +97,6 @@ impl LandPool {
             self.n_local
         );
         (width - self.n_local) / self.k
-    }
-
-    /// Per-landmark convolution: returns `F` as an `ℓ × f` matrix for one
-    /// input row.
-    // Index loops mirror the K·x[λ]+b math; iterator chains obscure it.
-    #[allow(clippy::needless_range_loop)]
-    fn convolve_row(&self, row: &[f32], ell: usize) -> Matrix {
-        let f = self.filters();
-        let mut fv = Matrix::zeros(ell, f);
-        for lam in 0..ell {
-            let x = &row[lam * self.k..(lam + 1) * self.k];
-            let out = fv.row_mut(lam);
-            for j in 0..f {
-                let krow = self.kernel.row(j);
-                let mut acc = self.bias[j];
-                for (kv, xv) in krow.iter().zip(x) {
-                    acc += kv * xv;
-                }
-                out[j] = acc;
-            }
-        }
-        fv
-    }
-
-    /// Pool `F` (`ℓ × f`) into the output row (landmark part only).
-    fn pool_row(
-        &self,
-        fv: &Matrix,
-        out: &mut [f32],
-        scratch: &mut PoolScratch,
-        col: &mut Vec<f32>,
-    ) {
-        let f = self.filters();
-        let ell = fv.rows();
-        let n_ops = self.ops.len();
-        let mut op_out = vec![0.0f32; n_ops];
-        for j in 0..f {
-            col.clear();
-            col.extend((0..ell).map(|lam| fv.get(lam, j)));
-            pool_forward(col, &self.ops, &mut op_out, scratch);
-            for (oi, &v) in op_out.iter().enumerate() {
-                out[oi * f + j] = v;
-            }
-        }
     }
 }
 
@@ -310,50 +287,114 @@ impl Layer {
     }
 
     /// Training forward pass: also returns the cache `backward` needs.
+    /// Allocating wrapper around [`Layer::forward_cached_into`].
     pub fn forward_cached(&self, x: &Matrix) -> (Matrix, LayerCache) {
+        let mut out = Matrix::zeros(0, 0);
+        let mut cache = LayerCache::None;
+        let mut scratch = LayerScratch::for_layer(self);
+        self.forward_cached_into(x, &mut out, &mut cache, &mut scratch);
+        (out, cache)
+    }
+
+    /// Training forward pass into caller-owned buffers: `out` receives the
+    /// activations, `cache` the state `backward_into` needs, and `scratch`
+    /// (from [`crate::workspace::ForwardWorkspace`]) holds reusable
+    /// intermediates. Allocation-free once the buffers reach steady-state
+    /// capacity.
+    pub fn forward_cached_into(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        cache: &mut LayerCache,
+        scratch: &mut LayerScratch,
+    ) {
         match self {
             Layer::Dense(d) => {
                 assert_eq!(x.cols(), d.w.rows(), "Dense forward: width mismatch");
-                let mut y = matmul(x, &d.w);
-                add_bias(&mut y, &d.b);
-                (y, LayerCache::None)
+                matmul_into(x, &d.w, out);
+                add_bias(out, &d.b);
+                *cache = LayerCache::None;
             }
             Layer::ReLU => {
-                let mut y = x.clone();
-                for v in y.data_mut() {
+                out.copy_from(x);
+                for v in out.data_mut() {
                     if *v < 0.0 {
                         *v = 0.0;
                     }
                 }
-                (y, LayerCache::None)
+                *cache = LayerCache::None;
             }
             Layer::LandPool(lp) => {
                 let ell = lp.landmarks_for_width(x.cols());
-                let f = lp.filters();
-                let land_width = lp.ops.len() * f;
+                let (f, k) = (lp.filters(), lp.k);
+                let n_ops = lp.ops.len();
+                let land_width = n_ops * f;
                 let out_width = land_width + lp.n_local;
-                let mut y = Matrix::zeros(x.rows(), out_width);
-                let mut fcache = Matrix::zeros(x.rows(), ell * f);
-                let k = lp.k;
-                y.data_mut()
-                    .par_chunks_mut(out_width)
-                    .zip(fcache.data_mut().par_chunks_mut(ell * f))
-                    .zip(x.data().par_chunks(x.cols()))
-                    .for_each(|((out_row, frow), in_row)| {
-                        let fv = lp.convolve_row(in_row, ell);
-                        frow.copy_from_slice(fv.data());
-                        let mut scratch = PoolScratch::default();
-                        let mut col = Vec::with_capacity(ell);
-                        lp.pool_row(&fv, &mut out_row[..land_width], &mut scratch, &mut col);
+                let (batch, in_width) = (x.rows(), x.cols());
+                let LayerScratch::LandPool { xl, rows } = scratch else {
+                    panic!("LandPool forward: scratch has wrong variant");
+                };
+                // One GEMM convolves the whole batch: gather every row's
+                // landmark blocks, multiply by the shared kernel, add bias.
+                gather_landmarks(x, ell, k, xl);
+                if !matches!(cache, LayerCache::LandPool { .. }) {
+                    *cache = LayerCache::LandPool {
+                        f_values: Matrix::zeros(0, 0),
+                        ell: 0,
+                    };
+                }
+                let LayerCache::LandPool {
+                    f_values,
+                    ell: cached_ell,
+                } = cache
+                else {
+                    unreachable!()
+                };
+                matmul_bt_into(xl, &lp.kernel, f_values); // (batch·ℓ) × f
+                add_bias(f_values, &lp.bias);
+                // Same data viewed as batch × (ℓ·f), row-major λ-then-f.
+                f_values.resize(batch, ell * f);
+                *cached_ell = ell;
+
+                out.resize(batch, out_width);
+                let pool_rows = |out_chunk: &mut [f32],
+                                 f_chunk: &[f32],
+                                 x_chunk: &[f32],
+                                 rs: &mut PoolRowScratch| {
+                    rs.op_out.resize(n_ops, 0.0);
+                    for ((out_row, frow), in_row) in out_chunk
+                        .chunks_exact_mut(out_width)
+                        .zip(f_chunk.chunks_exact(ell * f))
+                        .zip(x_chunk.chunks_exact(in_width))
+                    {
+                        for j in 0..f {
+                            rs.col.clear();
+                            rs.col.extend((0..ell).map(|lam| frow[lam * f + j]));
+                            pool_forward(&rs.col, &lp.ops, &mut rs.op_out, &mut rs.sort);
+                            for (oi, &v) in rs.op_out.iter().enumerate() {
+                                out_row[oi * f + j] = v;
+                            }
+                        }
                         out_row[land_width..].copy_from_slice(&in_row[ell * k..]);
-                    });
-                (
-                    y,
-                    LayerCache::LandPool {
-                        f_values: fcache,
-                        ell,
-                    },
-                )
+                    }
+                };
+                if batch * ell * f >= POOL_PAR_VALUES {
+                    let n_tasks = batch.div_ceil(POOL_ROWS_PER_TASK);
+                    if rows.len() < n_tasks {
+                        rows.resize_with(n_tasks, PoolRowScratch::default);
+                    }
+                    out.data_mut()
+                        .par_chunks_mut(POOL_ROWS_PER_TASK * out_width)
+                        .zip(f_values.data().par_chunks(POOL_ROWS_PER_TASK * ell * f))
+                        .zip(x.data().par_chunks(POOL_ROWS_PER_TASK * in_width))
+                        .zip(rows[..n_tasks].par_iter_mut())
+                        .for_each(|(((oc, fc), xc), rs)| pool_rows(oc, fc, xc, rs));
+                } else {
+                    if rows.is_empty() {
+                        rows.push(PoolRowScratch::default());
+                    }
+                    pool_rows(out.data_mut(), f_values.data(), x.data(), &mut rows[0]);
+                }
             }
         }
     }
@@ -363,7 +404,8 @@ impl Layer {
     /// `input` is the activation that was fed to `forward_cached`, `cache`
     /// its cache, `grad_out` the loss gradient w.r.t. this layer's output.
     /// Returns the gradient w.r.t. the input; if `grads` is `Some`,
-    /// parameter gradients are **accumulated** into it.
+    /// parameter gradients are **accumulated** into it. Allocating wrapper
+    /// around [`Layer::backward_into`].
     pub fn backward(
         &self,
         input: &Matrix,
@@ -371,121 +413,140 @@ impl Layer {
         grad_out: &Matrix,
         grads: Option<&mut LayerGrads>,
     ) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        let mut scratch = BackwardScratch::default();
+        self.backward_into(input, cache, grad_out, &mut grad_in, grads, &mut scratch);
+        grad_in
+    }
+
+    /// Backward pass into caller-owned buffers: `grad_in` receives the
+    /// gradient w.r.t. the input, `scratch` (from
+    /// [`crate::workspace::BackwardWorkspace`]) holds the LandPool DF/XL
+    /// intermediates. Allocation-free once buffers reach steady-state
+    /// capacity, except for the gradient GEMMs' batch-partial parallel
+    /// path.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        cache: &LayerCache,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+        grads: Option<&mut LayerGrads>,
+        scratch: &mut BackwardScratch,
+    ) {
         match self {
             Layer::Dense(d) => {
-                let grad_in = matmul_bt(grad_out, &d.w);
+                matmul_bt_into(grad_out, &d.w, grad_in);
                 if let Some(LayerGrads::Dense { dw, db }) = grads {
-                    dw.add_assign(&matmul_at(input, grad_out));
-                    for (a, b) in db.iter_mut().zip(column_sums(grad_out)) {
-                        *a += b;
-                    }
+                    matmul_at_acc(input, grad_out, dw);
+                    column_sums_acc(grad_out, db);
                 } else if grads.is_some() {
                     panic!("Dense backward: gradient holder has wrong variant");
                 }
-                grad_in
             }
             Layer::ReLU => {
-                let mut grad_in = grad_out.clone();
+                grad_in.copy_from(grad_out);
                 for (g, &x) in grad_in.data_mut().iter_mut().zip(input.data()) {
                     if x <= 0.0 {
                         *g = 0.0;
                     }
                 }
-                grad_in
             }
             Layer::LandPool(lp) => {
                 let LayerCache::LandPool { f_values, ell } = cache else {
                     panic!("LandPool backward: missing cache");
                 };
                 let ell = *ell;
-                let f = lp.filters();
-                let k = lp.k;
-                let land_width = lp.ops.len() * f;
-                let in_width = input.cols();
+                let (f, k) = (lp.filters(), lp.k);
+                let n_ops = lp.ops.len();
+                let land_width = n_ops * f;
+                let (batch, in_width) = (input.rows(), input.cols());
+                let gout_width = grad_out.cols();
 
-                // Per-row backward, map-reduce over the batch for (dK, db).
-                struct RowResult {
-                    dk: Matrix,
-                    db: Vec<f32>,
-                }
-                let mut grad_in = Matrix::zeros(input.rows(), in_width);
-                let reduced: RowResult = grad_in
-                    .data_mut()
-                    .par_chunks_mut(in_width)
-                    .zip(input.data().par_chunks(in_width))
-                    .zip(f_values.data().par_chunks(ell * f))
-                    .zip(grad_out.data().par_chunks(grad_out.cols()))
-                    .map(|(((gin_row, in_row), frow), gout_row)| {
-                        let mut scratch = PoolScratch::default();
-                        let mut col = Vec::with_capacity(ell);
-                        let mut col_grad = vec![0.0f32; ell];
-                        let mut op_grad = vec![0.0f32; lp.ops.len()];
-                        // dF: ℓ × f gradient of the pooled outputs.
-                        let mut dfv = Matrix::zeros(ell, f);
-                        #[allow(clippy::needless_range_loop)] // strided gathers
+                // 1. DF: gradient of every per-landmark filter output,
+                //    built per row through the pooling sub-gradients and
+                //    laid out `(batch·ℓ) × f` so the parameter and input
+                //    gradients below are plain GEMMs over the whole batch.
+                scratch.df.resize(batch * ell, f);
+                let build_df = |df_chunk: &mut [f32],
+                                f_chunk: &[f32],
+                                g_chunk: &[f32],
+                                rs: &mut PoolRowScratch| {
+                    rs.op_out.resize(n_ops, 0.0);
+                    rs.col_grad.resize(ell, 0.0);
+                    for ((df_row, frow), gout_row) in df_chunk
+                        .chunks_exact_mut(ell * f)
+                        .zip(f_chunk.chunks_exact(ell * f))
+                        .zip(g_chunk.chunks_exact(gout_width))
+                    {
                         for j in 0..f {
-                            col.clear();
-                            col.extend((0..ell).map(|lam| frow[lam * f + j]));
-                            for (oi, og) in op_grad.iter_mut().enumerate() {
+                            rs.col.clear();
+                            rs.col.extend((0..ell).map(|lam| frow[lam * f + j]));
+                            for (oi, og) in rs.op_out.iter_mut().enumerate() {
                                 *og = gout_row[oi * f + j];
                             }
-                            col_grad.iter_mut().for_each(|g| *g = 0.0);
-                            pool_backward(&col, &lp.ops, &op_grad, &mut col_grad, &mut scratch);
-                            for lam in 0..ell {
-                                dfv.set(lam, j, col_grad[lam]);
+                            rs.col_grad.iter_mut().for_each(|g| *g = 0.0);
+                            pool_backward(
+                                &rs.col,
+                                &lp.ops,
+                                &rs.op_out,
+                                &mut rs.col_grad,
+                                &mut rs.sort,
+                            );
+                            for (lam, &g) in rs.col_grad.iter().enumerate() {
+                                df_row[lam * f + j] = g;
                             }
                         }
-                        // Chain rule through the shared kernel.
-                        let mut dk = Matrix::zeros(f, k);
-                        let mut db = vec![0.0f32; f];
-                        for lam in 0..ell {
-                            let x = &in_row[lam * k..(lam + 1) * k];
-                            let df = dfv.row(lam);
-                            // dX[λ] = Kᵀ · dF[λ]
-                            let gin = &mut gin_row[lam * k..(lam + 1) * k];
-                            for j in 0..f {
-                                let g = df[j];
-                                if g == 0.0 {
-                                    continue;
-                                }
-                                let krow = lp.kernel.row(j);
-                                for (gi, &kv) in gin.iter_mut().zip(krow) {
-                                    *gi += g * kv;
-                                }
-                                // dK[j] += dF[λ][j] · x[λ]
-                                let dkrow = dk.row_mut(j);
-                                for (dkv, &xv) in dkrow.iter_mut().zip(x) {
-                                    *dkv += g * xv;
-                                }
-                                db[j] += g;
-                            }
-                        }
-                        // Local features pass straight through.
-                        gin_row[ell * k..].copy_from_slice(&gout_row[land_width..]);
-                        RowResult { dk, db }
-                    })
-                    .reduce(
-                        || RowResult {
-                            dk: Matrix::zeros(f, k),
-                            db: vec![0.0; f],
-                        },
-                        |mut a, b| {
-                            a.dk.add_assign(&b.dk);
-                            for (x, y) in a.db.iter_mut().zip(&b.db) {
-                                *x += y;
-                            }
-                            a
-                        },
-                    );
-                if let Some(LayerGrads::LandPool { dk, db }) = grads {
-                    dk.add_assign(&reduced.dk);
-                    for (a, b) in db.iter_mut().zip(&reduced.db) {
-                        *a += b;
                     }
+                };
+                if batch * ell * f >= POOL_PAR_VALUES {
+                    let n_tasks = batch.div_ceil(POOL_ROWS_PER_TASK);
+                    if scratch.rows.len() < n_tasks {
+                        scratch.rows.resize_with(n_tasks, PoolRowScratch::default);
+                    }
+                    scratch
+                        .df
+                        .data_mut()
+                        .par_chunks_mut(POOL_ROWS_PER_TASK * ell * f)
+                        .zip(f_values.data().par_chunks(POOL_ROWS_PER_TASK * ell * f))
+                        .zip(grad_out.data().par_chunks(POOL_ROWS_PER_TASK * gout_width))
+                        .zip(scratch.rows[..n_tasks].par_iter_mut())
+                        .for_each(|(((dc, fc), gc), rs)| build_df(dc, fc, gc, rs));
+                } else {
+                    if scratch.rows.is_empty() {
+                        scratch.rows.push(PoolRowScratch::default());
+                    }
+                    build_df(
+                        scratch.df.data_mut(),
+                        f_values.data(),
+                        grad_out.data(),
+                        &mut scratch.rows[0],
+                    );
+                }
+
+                // 2. Parameter gradients in two batched reductions:
+                //    dK += DFᵀ · XL and db += column sums of DF.
+                if let Some(LayerGrads::LandPool { dk, db }) = grads {
+                    gather_landmarks(input, ell, k, &mut scratch.xl);
+                    matmul_at_acc(&scratch.df, &scratch.xl, dk);
+                    column_sums_acc(&scratch.df, db);
                 } else if grads.is_some() {
                     panic!("LandPool backward: gradient holder has wrong variant");
                 }
-                grad_in
+
+                // 3. dXL = DF · K, scattered back to the landmark prefix of
+                //    each input row; local features pass straight through.
+                matmul_into(&scratch.df, &lp.kernel, &mut scratch.dxl);
+                grad_in.resize(batch, in_width);
+                let gind = grad_in.data_mut();
+                let dxld = scratch.dxl.data();
+                let goutd = grad_out.data();
+                for r in 0..batch {
+                    let gin_row = &mut gind[r * in_width..(r + 1) * in_width];
+                    gin_row[..ell * k].copy_from_slice(&dxld[r * ell * k..(r + 1) * ell * k]);
+                    let gout_row = &goutd[r * gout_width..(r + 1) * gout_width];
+                    gin_row[ell * k..].copy_from_slice(&gout_row[land_width..]);
+                }
             }
         }
     }

@@ -59,6 +59,7 @@ pub mod rng;
 pub mod serialize;
 pub mod tensor;
 pub mod train;
+pub mod workspace;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::pool::PoolOp;
     pub use crate::tensor::Matrix;
     pub use crate::train::{TrainConfig, TrainHistory, Trainer};
+    pub use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
 }
 
 pub use error::NnError;

@@ -8,48 +8,195 @@
 //!   when weights are stored `out × in`… see [`crate::layer::Dense`])
 //! * [`matmul_at`]   — `C = Aᵀ · B`       (weight gradients: `dW = dYᵀ · X`)
 //!
-//! Each kernel parallelises over output rows. With row-major storage the
-//! inner loops stream contiguously, which lets LLVM auto-vectorise them.
+//! Every kernel also exists as a `*_into` variant ([`matmul_into`],
+//! [`matmul_bt_into`], [`matmul_at_into`], plus the accumulating
+//! [`matmul_at_acc`] and [`column_sums_acc`]) that writes into a
+//! caller-provided buffer; the allocating functions are thin wrappers.
+//! The `*_into` family is what the workspace-based hot path uses: after
+//! warm-up, no call here touches the allocator.
+//!
+//! ## Tiling
+//!
+//! Kernels process `MB`-row blocks and tile the reduction dimension in
+//! `KB`-wide slabs, so the slab of `B` a block needs is loaded into cache
+//! once and reused by every row of the block instead of re-streamed per
+//! row. With row-major storage the inner loops stream contiguously, which
+//! lets LLVM auto-vectorise them.
+//!
+//! ## Parallel dispatch
+//!
+//! Dispatch keys on the *work size* `m·k·n` (the multiply-accumulate
+//! count), not on the row count alone: wide-but-short products (a 4-row
+//! gradient batch against a 512-wide layer) parallelise over columns,
+//! batch-heavy `Aᵀ·B` reductions with narrow outputs parallelise over
+//! batch tiles, and tiny products stay serial whatever their shape. Every
+//! path accumulates each output element in the same fixed order, and the
+//! tile sizes are compile-time constants, so results depend only on the
+//! inputs — never on the number of worker threads.
 
 use crate::tensor::Matrix;
 use rayon::prelude::*;
 
-/// Rows below which parallel dispatch costs more than it saves.
-const PAR_THRESHOLD: usize = 8;
+/// Multiply-accumulate count above which a product is worth parallelising
+/// (~15 µs of serial work — comfortably above rayon's dispatch overhead).
+const PAR_MACS: usize = 48 * 1024;
+/// Element count above which cheap element-wise passes parallelise.
+const PAR_ELEMS: usize = 1 << 18;
+/// Rows per task and per cache tile.
+const MB: usize = 8;
+/// Reduction-dimension tile: keeps a `KB × n` slab of `B` hot across a
+/// whole row block.
+const KB: usize = 128;
+/// Column chunk for the few-rows-but-wide parallel paths.
+const JB: usize = 64;
+/// Batch tile for `Aᵀ·B` partials and parallel column sums.
+const SB: usize = 512;
+
+#[inline]
+fn par_macs(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PAR_MACS
+}
+
+/// Whether an element-wise pass over `elems` values is worth
+/// parallelising. Shared by [`add_bias`], [`column_sums`] and the
+/// LandPool pooling loops, so every hot-path dispatch decision lives here.
+#[inline]
+pub fn par_elems(elems: usize) -> bool {
+    elems >= PAR_ELEMS
+}
+
+/// `A (m×k) · B (k×n) = C (m×n)`, written into `c` (resized as needed).
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    c.resize(m, n);
+    let (ad, bd) = (a.data(), b.data());
+    // i-k-j loop order: both `brow` and `row_out` stream contiguously.
+    // k is tiled so the `KB × n` slab of `B` is reused by every row of a
+    // block before the next slab is touched.
+    let block = |c_rows: &mut [f32], a_rows: &[f32]| {
+        c_rows.fill(0.0);
+        if k == 0 {
+            return;
+        }
+        let rows = a_rows.len() / k;
+        for kb in (0..k).step_by(KB) {
+            let kend = (kb + KB).min(k);
+            for r in 0..rows {
+                let row_a = &a_rows[r * k + kb..r * k + kend];
+                let row_out = &mut c_rows[r * n..(r + 1) * n];
+                for (kk, &av) in row_a.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[(kb + kk) * n..(kb + kk + 1) * n];
+                    for (o, &bv) in row_out.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    };
+    if par_macs(m, k, n) && m >= 2 * MB {
+        c.data_mut()
+            .par_chunks_mut(MB * n)
+            .zip(ad.par_chunks(MB * k))
+            .for_each(|(cc, aa)| block(cc, aa));
+    } else if par_macs(m, k, n) && n >= 2 * JB {
+        // Few rows but plenty of work: parallelise each row over column
+        // chunks (k-ascending accumulation, identical to the serial path).
+        for r in 0..m {
+            let row_a = &ad[r * k..(r + 1) * k];
+            c.data_mut()[r * n..(r + 1) * n]
+                .par_chunks_mut(JB)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let j0 = ci * JB;
+                    chunk.fill(0.0);
+                    for (kk, &av) in row_a.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[kk * n + j0..kk * n + j0 + chunk.len()];
+                        for (o, &bv) in chunk.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                });
+        }
+    } else {
+        block(c.data_mut(), ad);
+    }
+}
 
 /// `A (m×k) · B (k×n) = C (m×n)`.
 ///
 /// # Panics
 /// Panics if `A.cols() != B.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions differ");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    let bd = b.data();
-    let kernel = |(row_out, row_a): (&mut [f32], &[f32])| {
-        // i-k-j loop order: both `brow` and `row_out` stream contiguously.
-        for (kk, &av) in row_a.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in row_out.iter_mut().zip(brow) {
-                *o += av * bv;
+    let mut c = Matrix::zeros(0, 0);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `A (m×k) · Bᵀ (k×n) = C (m×n)` where `B` is stored `n×k`, written into
+/// `c` (resized as needed).
+///
+/// # Panics
+/// Panics if `A.cols() != B.cols()`.
+pub fn matmul_bt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt: inner dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    c.resize(m, n);
+    if k == 0 {
+        c.data_mut().fill(0.0);
+        return;
+    }
+    let (ad, bd) = (a.data(), b.data());
+    // Dot-product kernel; `B` rows iterate in the outer loop so each `brow`
+    // stays in cache for the whole row block.
+    let block = |c_rows: &mut [f32], a_rows: &[f32]| {
+        let rows = a_rows.len() / k;
+        for (j, brow) in bd.chunks_exact(k).enumerate() {
+            for r in 0..rows {
+                let row_a = &a_rows[r * k..(r + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in row_a.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c_rows[r * n + j] = acc;
             }
         }
     };
-    if m >= PAR_THRESHOLD {
+    if par_macs(m, k, n) && m >= 2 * MB {
         c.data_mut()
-            .par_chunks_mut(n)
-            .zip(a.data().par_chunks(k))
-            .for_each(kernel);
+            .par_chunks_mut(MB * n)
+            .zip(ad.par_chunks(MB * k))
+            .for_each(|(cc, aa)| block(cc, aa));
+    } else if par_macs(m, k, n) && n >= 2 {
+        // Few rows, many independent dot products: parallelise over `B`
+        // rows instead (the single-sample attention backward lands here).
+        for r in 0..m {
+            let row_a = &ad[r * k..(r + 1) * k];
+            c.data_mut()[r * n..(r + 1) * n]
+                .par_chunks_mut(JB)
+                .zip(bd.par_chunks(JB * k))
+                .for_each(|(chunk, brows)| {
+                    for (o, brow) in chunk.iter_mut().zip(brows.chunks_exact(k)) {
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in row_a.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        *o = acc;
+                    }
+                });
+        }
     } else {
-        c.data_mut()
-            .chunks_mut(n)
-            .zip(a.data().chunks(k))
-            .for_each(kernel);
+        block(c.data_mut(), ad);
     }
-    c
 }
 
 /// `A (m×k) · Bᵀ (k×n) = C (m×n)` where `B` is stored `n×k`.
@@ -57,91 +204,193 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// # Panics
 /// Panics if `A.cols() != B.cols()`.
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_bt: inner dimensions differ");
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let mut c = Matrix::zeros(m, n);
-    let bd = b.data();
-    let kernel = |(row_out, row_a): (&mut [f32], &[f32])| {
-        for (j, o) in row_out.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in row_a.iter().zip(brow) {
-                acc += av * bv;
+    let mut c = Matrix::zeros(0, 0);
+    matmul_bt_into(a, b, &mut c);
+    c
+}
+
+fn matmul_at_impl(a: &Matrix, b: &Matrix, c: &mut Matrix, accumulate: bool) {
+    assert_eq!(a.rows(), b.rows(), "matmul_at: batch dimensions differ");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if accumulate {
+        assert_eq!(
+            (c.rows(), c.cols()),
+            (k, n),
+            "matmul_at_acc: output shape mismatch"
+        );
+    } else {
+        c.resize(k, n);
+        c.data_mut().fill(0.0);
+    }
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let (ad, bd) = (a.data(), b.data());
+    // Each task owns a band of output rows and scans the batch in SB-row
+    // tiles so the matching slabs of `A` and `B` stay cache-resident.
+    let band = |i0: usize, c_rows: &mut [f32]| {
+        let rows = c_rows.len() / n;
+        for sb in (0..m).step_by(SB) {
+            let send = (sb + SB).min(m);
+            for ri in 0..rows {
+                let i = i0 + ri;
+                let row_out = &mut c_rows[ri * n..(ri + 1) * n];
+                for s in sb..send {
+                    let av = ad[s * k + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[s * n..(s + 1) * n];
+                    for (o, &bv) in row_out.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
             }
-            *o = acc;
         }
     };
-    if m >= PAR_THRESHOLD {
+    if par_macs(m, k, n) && k >= 2 * MB {
         c.data_mut()
-            .par_chunks_mut(n)
-            .zip(a.data().par_chunks(k))
-            .for_each(kernel);
+            .par_chunks_mut(MB * n)
+            .enumerate()
+            .for_each(|(bi, cc)| band(bi * MB, cc));
+    } else if par_macs(m, k, n) && m >= 2 * SB {
+        // Narrow output but a huge batch — the seed dispatch keyed on `k`
+        // alone and ran these serially. Compute fixed-size batch partials
+        // in parallel and combine them in tile order: the tile size is a
+        // constant, so the result is independent of the thread count.
+        let parts: Vec<Matrix> = ad
+            .par_chunks(SB * k)
+            .zip(bd.par_chunks(SB * n))
+            .map(|(ac, bc)| {
+                let mut p = Matrix::zeros(k, n);
+                let pd = p.data_mut();
+                let rows = ac.len() / k;
+                for s in 0..rows {
+                    let arow = &ac[s * k..(s + 1) * k];
+                    let brow = &bc[s * n..(s + 1) * n];
+                    for (i, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let row_out = &mut pd[i * n..(i + 1) * n];
+                        for (o, &bv) in row_out.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                p
+            })
+            .collect();
+        for p in &parts {
+            c.add_assign(p);
+        }
     } else {
-        c.data_mut()
-            .chunks_mut(n)
-            .zip(a.data().chunks(k))
-            .for_each(kernel);
+        band(0, c.data_mut());
     }
-    c
+}
+
+/// `Aᵀ (m×k) · B (m×n) = C (k×n)` where `A` is stored `m×k`, written into
+/// `c` (resized as needed).
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()`.
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_at_impl(a, b, c, false);
+}
+
+/// `C += Aᵀ · B` — the accumulating flavour used for weight gradients,
+/// which sum over mini-batches anyway.
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()` or `c` is not `A.cols() × B.cols()`.
+pub fn matmul_at_acc(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_at_impl(a, b, c, true);
 }
 
 /// `Aᵀ (m×k) · B (m×n) = C (k×n)` where `A` is stored `m×k`.
 ///
 /// Used for weight gradients: the reduction runs over the batch dimension
-/// `m`, so we parallelise over output rows (`k`) and let each task scan the
-/// batch.
+/// `m`.
 ///
 /// # Panics
 /// Panics if `A.rows() != B.rows()`.
 pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_at: batch dimensions differ");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(k, n);
-    let (ad, bd) = (a.data(), b.data());
-    let kernel = |(i, row_out): (usize, &mut [f32])| {
-        for s in 0..m {
-            let av = ad[s * k + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[s * n..(s + 1) * n];
-            for (o, &bv) in row_out.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    };
-    if k >= PAR_THRESHOLD {
-        c.data_mut().par_chunks_mut(n).enumerate().for_each(kernel);
-    } else {
-        c.data_mut().chunks_mut(n).enumerate().for_each(kernel);
-    }
+    let mut c = Matrix::zeros(0, 0);
+    matmul_at_into(a, b, &mut c);
     c
 }
 
-/// Adds `bias` (length `n`) to every row of the `m×n` matrix.
+/// Adds `bias` (length `n`) to every row of the `m×n` matrix. Parallel for
+/// large batches.
 ///
 /// # Panics
 /// Panics if `bias.len() != x.cols()`.
 pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
     assert_eq!(bias.len(), x.cols(), "add_bias: width mismatch");
     let n = x.cols();
-    for row in x.data_mut().chunks_exact_mut(n) {
-        for (v, &b) in row.iter_mut().zip(bias) {
-            *v += b;
+    if n == 0 {
+        return;
+    }
+    let apply = |chunk: &mut [f32]| {
+        for row in chunk.chunks_exact_mut(n) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
         }
+    };
+    if par_elems(x.rows() * n) {
+        x.data_mut().par_chunks_mut(MB * n).for_each(apply);
+    } else {
+        apply(x.data_mut());
     }
 }
 
 /// Sums the rows of `x` into a length-`cols` vector (bias gradients).
 pub fn column_sums(x: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.cols()];
+    column_sums_acc(x, &mut out);
+    out
+}
+
+/// Adds the column sums of `x` into `out` (accumulating bias-gradient
+/// flavour; no allocation on the serial path). Parallel for large batches
+/// via fixed-size row-tile partials combined in order, so the result does
+/// not depend on the thread count.
+///
+/// # Panics
+/// Panics if `out.len() != x.cols()`.
+pub fn column_sums_acc(x: &Matrix, out: &mut [f32]) {
     let n = x.cols();
-    let mut out = vec![0.0f32; n];
-    for row in x.data().chunks_exact(n) {
-        for (o, &v) in out.iter_mut().zip(row) {
-            *o += v;
+    assert_eq!(out.len(), n, "column_sums: width mismatch");
+    if n == 0 {
+        return;
+    }
+    if par_elems(x.rows() * n) {
+        let parts: Vec<Vec<f32>> = x
+            .data()
+            .par_chunks(SB * n)
+            .map(|chunk| {
+                let mut p = vec![0.0f32; n];
+                for row in chunk.chunks_exact(n) {
+                    for (o, &v) in p.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+                p
+            })
+            .collect();
+        for p in &parts {
+            for (o, &v) in out.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+    } else {
+        for row in x.data().chunks_exact(n) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -197,11 +446,71 @@ mod tests {
 
     #[test]
     fn matmul_large_parallel_path() {
-        // Exercise the rayon branch (rows >= PAR_THRESHOLD).
-        let a = random_matrix(64, 32, 7);
-        let b = random_matrix(32, 16, 8);
+        // Exercise the row-parallel branch (work size above PAR_MACS).
+        let a = random_matrix(64, 64, 7);
+        let b = random_matrix(64, 32, 8);
         let c = matmul(&a, &b);
         assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_single_row_column_parallel_path() {
+        // m = 1 but m·k·n ≥ PAR_MACS: the column-parallel branch.
+        let a = random_matrix(1, 320, 9);
+        let b = random_matrix(320, 256, 10);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_bt_few_rows_parallel_path() {
+        // m below the row-parallel cutoff, work size above PAR_MACS.
+        let a = random_matrix(3, 200, 11);
+        let b = random_matrix(150, 200, 12);
+        let c = matmul_bt(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b.transpose())) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_at_narrow_output_wide_batch() {
+        // The seed bug class: k tiny, batch huge — must still be correct
+        // on the batch-partials branch.
+        let a = random_matrix(1200, 3, 13);
+        let b = random_matrix(1200, 16, 14);
+        let c = matmul_at(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a.transpose(), &b)) < 1e-3);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let a = random_matrix(6, 5, 15);
+        let b = random_matrix(5, 4, 16);
+        let mut c = Matrix::full(9, 9, 123.0);
+        matmul_into(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-5);
+
+        let bt = random_matrix(4, 5, 17);
+        let mut c = Matrix::full(2, 2, -7.0);
+        matmul_bt_into(&a, &bt, &mut c);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &bt.transpose())) < 1e-5);
+
+        let b2 = random_matrix(6, 3, 18);
+        let mut c = Matrix::full(1, 1, 42.0);
+        matmul_at_into(&a, &b2, &mut c);
+        assert!(c.max_abs_diff(&naive_matmul(&a.transpose(), &b2)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_at_acc_accumulates() {
+        let a = random_matrix(7, 4, 19);
+        let b = random_matrix(7, 3, 20);
+        let mut c = Matrix::full(4, 3, 1.0);
+        matmul_at_acc(&a, &b, &mut c);
+        let mut expected = naive_matmul(&a.transpose(), &b);
+        for v in expected.data_mut() {
+            *v += 1.0;
+        }
+        assert!(c.max_abs_diff(&expected) < 1e-5);
     }
 
     #[test]
@@ -221,6 +530,20 @@ mod tests {
         add_bias(&mut x, &[10.0, 20.0]);
         assert_eq!(x.row(0), &[11.0, 22.0]);
         assert_eq!(column_sums(&x), vec![24.0, 46.0]);
+        let mut acc = vec![1.0f32, 1.0];
+        column_sums_acc(&x, &mut acc);
+        assert_eq!(acc, vec![25.0, 47.0]);
+    }
+
+    #[test]
+    fn column_sums_large_parallel_path() {
+        let x = random_matrix(3000, 128, 21);
+        let serial: Vec<f32> = (0..x.cols())
+            .map(|j| (0..x.rows()).map(|i| x.get(i, j)).sum())
+            .collect();
+        for (a, b) in column_sums(&x).iter().zip(&serial) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
     }
 
     #[test]

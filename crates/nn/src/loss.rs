@@ -52,6 +52,24 @@ pub fn softmax_cross_entropy_weighted(
     targets: &[usize],
     weights: Option<&[f32]>,
 ) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = softmax_cross_entropy_weighted_into(logits, targets, weights, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy_weighted`] writing the gradient into a
+/// caller-provided buffer (resized as needed) — the hot-path flavour used
+/// by `Network::loss_gradients_weighted_ws`; allocation-free once `grad`
+/// has steady-state capacity.
+///
+/// # Panics
+/// Panics on inconsistent shapes or a target out of range.
+pub fn softmax_cross_entropy_weighted_into(
+    logits: &Matrix,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+    grad: &mut Matrix,
+) -> f32 {
     assert_eq!(
         targets.len(),
         logits.rows(),
@@ -62,7 +80,8 @@ pub fn softmax_cross_entropy_weighted(
     if let Some(w) = weights {
         assert_eq!(w.len(), c, "softmax_cross_entropy: weight count mismatch");
     }
-    let mut grad = softmax(logits);
+    grad.copy_from(logits);
+    softmax_in_place(grad);
     let mut loss = 0.0f32;
     let inv_n = 1.0 / n as f32;
     for (i, &t) in targets.iter().enumerate() {
@@ -78,7 +97,7 @@ pub fn softmax_cross_entropy_weighted(
             *v *= inv_n * w;
         }
     }
-    (loss * inv_n, grad)
+    loss * inv_n
 }
 
 /// Mean cross-entropy loss only (no gradient), for validation monitoring.

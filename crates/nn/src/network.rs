@@ -2,8 +2,9 @@
 
 use crate::error::NnError;
 use crate::layer::{Layer, LayerCache, LayerGrads};
-use crate::loss::{softmax, softmax_cross_entropy_weighted};
+use crate::loss::{softmax, softmax_cross_entropy_weighted, softmax_cross_entropy_weighted_into};
 use crate::tensor::Matrix;
+use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
 use serde::{Deserialize, Serialize};
 
 /// Parameter gradients for a whole network, mirroring its layer structure.
@@ -67,13 +68,94 @@ impl Network {
             .sum()
     }
 
-    /// Forward pass to logits.
+    /// Forward pass to logits. Allocating wrapper around
+    /// [`Network::forward_ws`]; callers on the hot path should hold a
+    /// [`ForwardWorkspace`] and call that directly.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
+        let mut ws = ForwardWorkspace::new(self);
+        self.forward_ws(x, &mut ws);
+        ws.into_output()
+    }
+
+    /// Cached forward pass into a reusable workspace; returns the logits
+    /// (also available as `ws.output()`). Performs zero heap allocations
+    /// once `ws` has warmed up at the current batch size.
+    pub fn forward_ws<'w>(&self, x: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
+        assert_eq!(
+            ws.num_layers(),
+            self.layers.len(),
+            "forward_ws: workspace shaped for a different network"
+        );
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = ws.activations.split_at_mut(i);
+            let input = if i == 0 { x } else { &done[i - 1] };
+            layer.forward_cached_into(input, &mut rest[0], &mut ws.caches[i], &mut ws.scratch[i]);
         }
-        cur
+        ws.output()
+    }
+
+    /// Backward pass through the state left in `fws` by
+    /// [`Network::forward_ws`] on the same `x`. On entry
+    /// `bws.grad_logits_mut()` must hold `∂L/∂logits`; on exit
+    /// `bws.input_grad()` holds `∂L/∂x`. Parameter gradients are
+    /// accumulated into `grads` when provided.
+    pub fn backward_ws(
+        &self,
+        x: &Matrix,
+        fws: &ForwardWorkspace,
+        grads: Option<&mut Gradients>,
+        bws: &mut BackwardWorkspace,
+    ) {
+        assert_eq!(
+            fws.num_layers(),
+            self.layers.len(),
+            "backward_ws: workspace shaped for a different network"
+        );
+        if let Some(gs) = &grads {
+            assert_eq!(
+                gs.layers.len(),
+                self.layers.len(),
+                "backward_ws: gradient holder mismatch"
+            );
+        }
+        let mut gs = grads;
+        for i in (0..self.layers.len()).rev() {
+            let input = if i == 0 { x } else { &fws.activations[i - 1] };
+            let layer_grads = gs.as_deref_mut().map(|g| &mut g.layers[i]);
+            self.layers[i].backward_into(
+                input,
+                &fws.caches[i],
+                &bws.cur,
+                &mut bws.next,
+                layer_grads,
+                &mut bws.scratch,
+            );
+            std::mem::swap(&mut bws.cur, &mut bws.next);
+        }
+    }
+
+    /// Workspace-based [`Network::loss_gradients_weighted`]: forward,
+    /// softmax cross-entropy, backward, all through reusable buffers.
+    /// Returns the mean loss; parameter gradients are accumulated into
+    /// `grads`.
+    pub fn loss_gradients_weighted_ws(
+        &self,
+        x: &Matrix,
+        targets: &[usize],
+        class_weights: Option<&[f32]>,
+        grads: &mut Gradients,
+        fws: &mut ForwardWorkspace,
+        bws: &mut BackwardWorkspace,
+    ) -> f32 {
+        self.forward_ws(x, fws);
+        let loss = softmax_cross_entropy_weighted_into(
+            fws.output(),
+            targets,
+            class_weights,
+            bws.grad_logits_mut(),
+        );
+        self.backward_ws(x, fws, Some(grads), bws);
+        loss
     }
 
     /// Forward pass returning softmax probabilities, one row per sample.
@@ -345,6 +427,95 @@ mod tests {
             let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
             assert!((gin.get(0, c) - num).abs() < 1e-2);
         }
+    }
+
+    fn landpool_net() -> Network {
+        Network::new(vec![
+            Layer::land_pool(
+                3,
+                2,
+                2,
+                vec![PoolOp::Avg, PoolOp::Max, PoolOp::Percentile(50)],
+                3,
+            ),
+            Layer::dense(3 * 3 + 2, 5, 4),
+            Layer::relu(),
+            Layer::dense(5, 3, 5),
+        ])
+    }
+
+    /// The workspace path must be bit-identical to the allocating path —
+    /// both route through the same `*_into` kernels.
+    #[test]
+    fn forward_ws_matches_allocating_forward() {
+        use crate::workspace::ForwardWorkspace;
+        let net = landpool_net();
+        let mut ws = ForwardWorkspace::new(&net);
+        for (batch, seed) in [(4usize, 21u64), (9, 22), (1, 23), (4, 24)] {
+            let x = random_matrix(batch, 4 * 2 + 2, seed);
+            let expected = net.forward(&x);
+            let got = net.forward_ws(&x, &mut ws);
+            assert_eq!(got, &expected, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn loss_gradients_ws_matches_allocating() {
+        use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
+        let net = landpool_net();
+        let x = random_matrix(6, 4 * 2 + 2, 31);
+        let targets = [0usize, 2, 1, 1, 0, 2];
+        let mut grads_ref = Gradients::zeros_like(&net);
+        let loss_ref = net.loss_gradients(&x, &targets, &mut grads_ref);
+        let mut grads_ws = Gradients::zeros_like(&net);
+        let mut fws = ForwardWorkspace::new(&net);
+        let mut bws = BackwardWorkspace::new(&net);
+        // Run twice through the same workspaces: the second pass reuses
+        // warm buffers and must still agree exactly.
+        for _ in 0..2 {
+            grads_ws.zero();
+            let loss_ws = net.loss_gradients_weighted_ws(
+                &x,
+                &targets,
+                None,
+                &mut grads_ws,
+                &mut fws,
+                &mut bws,
+            );
+            assert_eq!(loss_ref, loss_ws);
+            for (a, b) in grads_ref.layers.iter().zip(&grads_ws.layers) {
+                match (a, b) {
+                    (LayerGrads::None, LayerGrads::None) => {}
+                    (LayerGrads::Dense { dw, db }, LayerGrads::Dense { dw: ow, db: ob })
+                    | (
+                        LayerGrads::LandPool { dk: dw, db },
+                        LayerGrads::LandPool { dk: ow, db: ob },
+                    ) => {
+                        assert_eq!(dw, ow);
+                        assert_eq!(db, ob);
+                    }
+                    _ => panic!("variant mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_ws_input_grad_matches_input_gradient() {
+        use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
+        let net = tiny_net();
+        let x = random_matrix(3, 4, 41);
+        let targets = [1usize, 0, 2];
+        let expected = net.input_gradient(&x, |logits| {
+            crate::loss::softmax_cross_entropy(logits, &targets).1
+        });
+        let mut fws = ForwardWorkspace::new(&net);
+        let mut bws = BackwardWorkspace::new(&net);
+        net.forward_ws(&x, &mut fws);
+        let (_, grad_logits) = crate::loss::softmax_cross_entropy(fws.output(), &targets);
+        bws.grad_logits_mut().copy_from(&grad_logits);
+        net.backward_ws(&x, &fws, None, &mut bws);
+        assert_eq!(bws.input_grad(), &expected);
     }
 
     #[test]

@@ -72,11 +72,15 @@ pub struct PoolScratch {
 }
 
 impl PoolScratch {
-    /// Sort indices of `values` ascending (stable w.r.t. NaN-free input).
+    /// Sort indices of `values` ascending. `sort_unstable_by` never
+    /// allocates (unlike the stable merge sort), which keeps the
+    /// steady-state forward pass allocation-free; ties break by index
+    /// because `0..len` is generated in order and pdqsort is deterministic
+    /// for a fixed input, so pooling results stay reproducible.
     fn sort_for(&mut self, values: &[f32]) {
         self.sorted.clear();
         self.sorted.extend(0..values.len());
-        self.sorted.sort_by(|&a, &b| {
+        self.sorted.sort_unstable_by(|&a, &b| {
             values[a]
                 .partial_cmp(&values[b])
                 .unwrap_or(std::cmp::Ordering::Equal)

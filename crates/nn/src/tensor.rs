@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// A dense, row-major matrix of `f32` values.
 ///
 /// Invariant: `data.len() == rows * cols` at all times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -116,6 +116,28 @@ impl Matrix {
         self.data
     }
 
+    /// Reshape to `rows × cols` in place, reusing the allocation.
+    ///
+    /// Newly exposed elements are zeroed; surviving elements keep whatever
+    /// values they held (callers are expected to overwrite them). After the
+    /// buffer has grown to its steady-state size once, further `resize`
+    /// calls never touch the allocator — this is the primitive behind the
+    /// reusable forward/backward workspaces.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrite `self` with `other`'s shape and contents, reusing the
+    /// existing allocation when capacity allows.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Element at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -153,10 +175,17 @@ impl Matrix {
     /// (in the given order; duplicates allowed).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] into a caller-provided buffer (reused across
+    /// mini-batches by the training loop).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
     }
 
     /// A new matrix holding only the columns selected by `indices`.
@@ -380,6 +409,38 @@ mod tests {
         let a = Matrix::zeros(1, 2);
         let b = Matrix::zeros(2, 1);
         assert!(a.max_abs_diff(&b).is_infinite());
+    }
+
+    #[test]
+    fn resize_reuses_allocation_and_zeros_growth() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.resize(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+        let cap_before = m.data.capacity();
+        m.resize(1, 2);
+        m.resize(3, 2);
+        assert_eq!(
+            m.data.capacity(),
+            cap_before,
+            "shrink/regrow must not realloc"
+        );
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let mut dst = Matrix::zeros(4, 4);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        m.select_rows_into(&[2, 0, 2], &mut out);
+        assert_eq!(out, m.select_rows(&[2, 0, 2]));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::network::{Gradients, Network};
 use crate::optim::Optimizer;
 use crate::rng::SplitMix64;
 use crate::tensor::Matrix;
+use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
 use serde::{Deserialize, Serialize};
 
 /// Training-loop configuration.
@@ -115,6 +116,13 @@ impl<O: Optimizer> Trainer<O> {
         let mut best_val = f32::INFINITY;
         let mut best_weights: Option<Network> = None;
         let mut stale_epochs = 0usize;
+        // Workspaces and batch buffers are created once and reused across
+        // every mini-batch and epoch: after the first epoch the training
+        // loop performs no per-batch heap allocations.
+        let mut fws = ForwardWorkspace::new(net);
+        let mut bws = BackwardWorkspace::new(net);
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by: Vec<usize> = Vec::with_capacity(self.config.batch_size);
 
         for _epoch in 0..self.config.epochs {
             if self.config.shuffle {
@@ -123,14 +131,17 @@ impl<O: Optimizer> Trainer<O> {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
-                let bx = x.select_rows(chunk);
-                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                x.select_rows_into(chunk, &mut bx);
+                by.clear();
+                by.extend(chunk.iter().map(|&i| y[i]));
                 grads.zero();
-                let loss = net.loss_gradients_weighted(
+                let loss = net.loss_gradients_weighted_ws(
                     &bx,
                     &by,
                     self.config.class_weights.as_deref(),
                     &mut grads,
+                    &mut fws,
+                    &mut bws,
                 );
                 self.optimizer.step(net, &grads);
                 epoch_loss += loss as f64;
@@ -143,7 +154,7 @@ impl<O: Optimizer> Trainer<O> {
 
             if let Some((vx, vy)) = validation {
                 let vloss = cross_entropy_loss_weighted(
-                    &net.forward(vx),
+                    net.forward_ws(vx, &mut fws),
                     vy,
                     self.config.class_weights.as_deref(),
                 );

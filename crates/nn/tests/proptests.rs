@@ -3,7 +3,10 @@
 //! must hold for *arbitrary* inputs, not just hand-picked ones.
 
 use diagnet_nn::layer::Layer;
-use diagnet_nn::linalg::{add_bias, column_sums, matmul, matmul_at, matmul_bt};
+use diagnet_nn::linalg::{
+    add_bias, column_sums, column_sums_acc, matmul, matmul_at, matmul_at_acc, matmul_at_into,
+    matmul_bt, matmul_bt_into, matmul_into,
+};
 use diagnet_nn::loss::{cross_entropy_loss, softmax, softmax_cross_entropy};
 use diagnet_nn::pool::{pool_backward, pool_forward, PoolOp, PoolScratch};
 use diagnet_nn::tensor::{argmax, argsort_desc, Matrix};
@@ -23,6 +26,21 @@ fn matrix(
 /// A small non-empty f32 vector.
 fn values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
     len.prop_flat_map(|n| prop::collection::vec(-100.0f32..100.0, n))
+}
+
+/// Textbook triple-loop reference the fused/tiled kernels must match.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
 }
 
 proptest! {
@@ -49,6 +67,57 @@ proptest! {
         }
         if a.rows() == b.rows() {
             prop_assert!(matmul_at(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-4);
+        }
+    }
+
+    /// The `*_into` kernels match the naive reference regardless of the
+    /// (dirty, wrongly-shaped) state of the output buffer, and the
+    /// allocating wrappers agree bit-for-bit with their `_into` twins.
+    #[test]
+    fn into_kernels_match_naive(
+        a in matrix(1..8, 1..8),
+        b in matrix(1..8, 1..8),
+        junk_dim in 0usize..5,
+        junk in -9.0f32..9.0,
+    ) {
+        let mut out = Matrix::full(junk_dim, junk_dim + 1, junk);
+        if a.cols() == b.rows() {
+            matmul_into(&a, &b, &mut out);
+            prop_assert!(out.max_abs_diff(&naive_matmul(&a, &b)) < 1e-3);
+            prop_assert_eq!(&matmul(&a, &b), &out);
+        }
+        if a.cols() == b.cols() {
+            matmul_bt_into(&a, &b, &mut out);
+            prop_assert!(out.max_abs_diff(&naive_matmul(&a, &b.transpose())) < 1e-3);
+            prop_assert_eq!(&matmul_bt(&a, &b), &out);
+        }
+        if a.rows() == b.rows() {
+            matmul_at_into(&a, &b, &mut out);
+            prop_assert!(out.max_abs_diff(&naive_matmul(&a.transpose(), &b)) < 1e-3);
+            prop_assert_eq!(&matmul_at(&a, &b), &out);
+        }
+    }
+
+    /// `matmul_at_acc` adds Aᵀ·B on top of the existing buffer, and
+    /// `column_sums_acc` adds the column sums — both must equal the
+    /// non-accumulating results plus the prior contents.
+    #[test]
+    fn accumulating_kernels_accumulate(
+        a in matrix(1..8, 1..8),
+        b in matrix(1..8, 1..8),
+        base in -5.0f32..5.0,
+    ) {
+        prop_assume!(a.rows() == b.rows());
+        let mut acc = Matrix::full(a.cols(), b.cols(), base);
+        matmul_at_acc(&a, &b, &mut acc);
+        let fresh = matmul_at(&a, &b);
+        for (got, want) in acc.data().iter().zip(fresh.data()) {
+            prop_assert!((got - (want + base)).abs() < 1e-3);
+        }
+        let mut sums = vec![base; b.cols()];
+        column_sums_acc(&b, &mut sums);
+        for (got, want) in sums.iter().zip(column_sums(&b)) {
+            prop_assert!((got - (want + base)).abs() < 1e-3);
         }
     }
 

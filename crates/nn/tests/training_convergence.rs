@@ -10,12 +10,7 @@ use diagnet_rng::SplitMix64;
 /// shifted. The label is which metric family was faulted (or nominal) —
 /// the *location* is deliberately random, so only landmark-invariant
 /// pattern extraction can solve it.
-fn landmark_task(
-    n: usize,
-    ell: usize,
-    k: usize,
-    seed: u64,
-) -> (Matrix, Vec<usize>) {
+fn landmark_task(n: usize, ell: usize, k: usize, seed: u64) -> (Matrix, Vec<usize>) {
     let mut rng = SplitMix64::new(seed);
     let n_local = 2;
     let mut rows = Vec::with_capacity(n);

@@ -43,8 +43,8 @@ pub fn replay(
     let mut stats: Vec<GenerationStats> = Vec::new();
     let mut current: Option<(u64, usize, usize, usize)> = None;
     let flush = |current: &mut Option<(u64, usize, usize, usize)>,
-                     t: f64,
-                     out: &mut Vec<GenerationStats>| {
+                 t: f64,
+                 out: &mut Vec<GenerationStats>| {
         if let Some((generation, h1, h5, n)) = current.take() {
             if n > 0 {
                 out.push(GenerationStats {

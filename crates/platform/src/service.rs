@@ -150,9 +150,7 @@ impl AnalysisService {
         &self,
         timeout: std::time::Duration,
     ) -> Option<Option<Result<TrainReport, NnError>>> {
-        self.worker
-            .as_ref()
-            .map(|w| w.wait_report_timeout(timeout))
+        self.worker.as_ref().map(|w| w.wait_report_timeout(timeout))
     }
 
     /// Number of buffered samples.

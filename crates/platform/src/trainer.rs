@@ -40,6 +40,13 @@ pub struct TrainReport {
 /// `general_services` picks the services the general model trains on
 /// (paper: eight); specialised models are built for every service with at
 /// least `min_service_samples` samples.
+///
+/// The generation is internally parallel: `DiagNet::train` fits the
+/// coarse network and the auxiliary forest concurrently
+/// (`rayon::join`), and `SpecializedModels::train` specialises all
+/// eligible services in parallel. Per-member seeds are derived by index,
+/// so a generation is bit-for-bit reproducible regardless of thread
+/// count.
 pub fn retrain(
     collector: &ProbeCollector,
     registry: &ModelRegistry,

@@ -24,9 +24,16 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<()>
         .map(|f| f.name().replace('/', "_"))
         .collect();
     header.extend(
-        ["service", "client", "plt_s", "label", "cause", "cause_region"]
-            .iter()
-            .map(|s| s.to_string()),
+        [
+            "service",
+            "client",
+            "plt_s",
+            "label",
+            "cause",
+            "cause_region",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
     );
     writeln!(out, "{}", header.join(","))?;
     // Rows.
@@ -100,7 +107,11 @@ mod tests {
     fn labels_rendered() {
         let (ds, csv) = sample_csv();
         let n_faulty = ds.n_faulty();
-        let nominal_rows = csv.lines().skip(1).filter(|l| l.contains(",nominal,")).count();
+        let nominal_rows = csv
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains(",nominal,"))
+            .count();
         assert_eq!(nominal_rows, ds.n_nominal());
         if n_faulty > 0 {
             // Faulty rows name a family and a cause region.

@@ -13,7 +13,10 @@ use diagnet_sim::world::World;
 /// Mean of `n` sampled RTTs for one path at a fixed hour.
 fn mean_rtt(model: &LinkModel, from: Region, to: Region, hour: f64, n: usize, seed: u64) -> f32 {
     let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| model.sample(from, to, hour, &mut rng).rtt_ms).sum::<f32>() / n as f32
+    (0..n)
+        .map(|_| model.sample(from, to, hour, &mut rng).rtt_ms)
+        .sum::<f32>()
+        / n as f32
 }
 
 #[test]

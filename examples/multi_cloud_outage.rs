@@ -72,8 +72,11 @@ fn main() {
 
     // Fuse the individual diagnoses into a NOC-style incident map.
     let map = IncidentMap::build(&rankings, &full);
-    println!("
-incident map (evidence fused across {} affected clients):", map.n_clients);
+    println!(
+        "
+incident map (evidence fused across {} affected clients):",
+        map.n_clients
+    );
     for (region, evidence) in map.hotspots().into_iter().take(3) {
         println!(
             "  {:>4}: mass {:.2}, {} top votes, dominant family {}",
