@@ -23,4 +23,4 @@ pub mod kde;
 pub mod naive_bayes;
 
 pub use kde::Kde;
-pub use naive_bayes::{ExtensibleNaiveBayes, NaiveBayesConfig};
+pub use naive_bayes::{generic_cause_adjustment, ExtensibleNaiveBayes, NaiveBayesConfig};

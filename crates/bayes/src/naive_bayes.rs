@@ -222,9 +222,7 @@ impl ExtensibleNaiveBayes {
                 if k < self.n_features {
                     let kind = self.feature_kinds[k];
                     if let Some(kde) = self.generic_cause.get(&kind) {
-                        let bg_density = bg[k].exp();
-                        let mixed = 0.5 * kde.density(row[k]) + 0.5 * bg_density;
-                        score += mixed.max(1e-30).ln() - bg[k];
+                        score += generic_cause_adjustment(kde.density(row[k]), bg[k]);
                     }
                 }
             }
@@ -278,6 +276,36 @@ impl ExtensibleNaiveBayes {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+
+    /// Total KDE support points across specific and generic likelihoods
+    /// (the model's "parameter count" in model-size comparisons).
+    pub fn n_support_points(&self) -> usize {
+        let specific: usize = self
+            .specific
+            .values()
+            .flat_map(|kdes| kdes.iter())
+            .filter_map(|k| k.as_ref())
+            .map(Kde::n_points)
+            .sum();
+        let background: usize = self.generic_background.values().map(Kde::n_points).sum();
+        let cause: usize = self.generic_cause.values().map(Kde::n_points).sum();
+        specific + background + cause
+    }
+}
+
+/// Log-likelihood adjustment for an *unseen* candidate-cause class at its
+/// own feature (§IV-B(b)): replace the background log-likelihood `bg_log`
+/// with a 50/50 mixture of the generic fault-conditioned density
+/// `cause_density` and the background density. The mixture (rather than the
+/// raw cause KDE) is what makes merged likelihoods "flattened", the paper's
+/// documented bias toward new features.
+///
+/// This is the naive-Bayes half of the shared "unknown score" logic — the
+/// forest counterpart is `diagnet_forest::spread_nominal_mass`.
+pub fn generic_cause_adjustment(cause_density: f32, bg_log: f32) -> f32 {
+    let bg_density = bg_log.exp();
+    let mixed = 0.5 * cause_density + 0.5 * bg_density;
+    mixed.max(1e-30).ln() - bg_log
 }
 
 #[cfg(test)]
@@ -454,6 +482,18 @@ mod tests {
         for (r, b) in rows[..10].iter().zip(&batch) {
             assert_eq!(&model.scores(r), b);
         }
+    }
+
+    #[test]
+    fn generic_cause_adjustment_pins_mixture_arithmetic() {
+        // bg_log = 0 ⇒ bg_density = 1: adjustment is ln(0.5·d + 0.5).
+        let adj = generic_cause_adjustment(3.0, 0.0);
+        assert!((adj - 2.0f32.ln()).abs() < 1e-6, "got {adj}");
+        // d = 1 with bg_density = 1 mixes to 1: no adjustment.
+        assert!(generic_cause_adjustment(1.0, 0.0).abs() < 1e-6);
+        // Vanishing densities hit the 1e-30 clamp before the log.
+        let clamped = generic_cause_adjustment(0.0, -200.0);
+        assert!((clamped - ((1e-30f32).ln() + 200.0)).abs() < 1e-3);
     }
 
     #[test]

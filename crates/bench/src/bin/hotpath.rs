@@ -8,8 +8,10 @@
 //! every other experiment binary; the defaults keep the run under a
 //! minute on a laptop.
 
+use diagnet::backend::{Backend, BayesBackend, ForestBackend};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
+use diagnet_bayes::NaiveBayesConfig;
 use diagnet_bench::report::{json_out, Table};
 use diagnet_nn::linalg::{matmul, matmul_into};
 use diagnet_nn::prelude::*;
@@ -123,6 +125,36 @@ fn main() {
         black_box(model.score_batch(&rows, &schema));
     });
 
+    // 5. Baseline backends behind the same `Backend` trait: per-row vs
+    //    batched ranking for the forest and naive-Bayes models.
+    eprintln!("hotpath: training baseline backends …");
+    let forest = ForestBackend::train(&config.forest, &split.train, &FeatureSchema::known(), seed);
+    let bayes = BayesBackend::train(
+        &NaiveBayesConfig::default(),
+        &split.train,
+        &FeatureSchema::known(),
+    );
+    let t_forest_per_row = time_median(12, || {
+        black_box(
+            rows.iter()
+                .map(|r| Backend::rank_causes(&forest, r, &schema))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let t_forest_batch = time_median(12, || {
+        black_box(forest.rank_causes_batch(&rows, &schema));
+    });
+    let t_bayes_per_row = time_median(12, || {
+        black_box(
+            rows.iter()
+                .map(|r| Backend::rank_causes(&bayes, r, &schema))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let t_bayes_batch = time_median(12, || {
+        black_box(bayes.rank_causes_batch(&rows, &schema));
+    });
+
     let us = |s: f64| s * 1e6;
     let mut table = Table::new(
         "hot path: allocating vs zero-allocation (median µs/call)",
@@ -133,6 +165,8 @@ fn main() {
         ("forward batch=64", t_fwd_alloc, t_fwd_ws),
         ("inference 64 episodes", t_inf_per_row, t_inf_batched),
         ("scoring 64 episodes", t_per_row, t_batched),
+        ("forest 64 episodes", t_forest_per_row, t_forest_batch),
+        ("bayes 64 episodes", t_bayes_per_row, t_bayes_batch),
     ] {
         table.row(vec![
             stage.into(),
@@ -162,6 +196,12 @@ fn main() {
         "score_per_row_us": us(t_per_row),
         "score_batch_us": us(t_batched),
         "score_batch_speedup": t_per_row / t_batched,
+        "forest_per_row_us": us(t_forest_per_row),
+        "forest_batch_us": us(t_forest_batch),
+        "forest_batch_speedup": t_forest_per_row / t_forest_batch,
+        "bayes_per_row_us": us(t_bayes_per_row),
+        "bayes_batch_us": us(t_bayes_batch),
+        "bayes_batch_speedup": t_bayes_per_row / t_bayes_batch,
     });
     json_out("hotpath", &record);
     let out_path =

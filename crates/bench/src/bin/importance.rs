@@ -30,19 +30,19 @@ fn main() {
         .forest()
         .feature_importance(full.n_features());
 
-    // Mean gradient attention over faulty test samples.
-    let attention_sums: Vec<f32> = samples
+    // Mean gradient attention over faulty test samples. Per-sample scores in
+    // parallel, deterministic serial accumulation (float sums stay
+    // reproducible regardless of how the work was split).
+    let per_sample: Vec<Vec<f32>> = samples
         .par_iter()
         .map(|s| attention_scores(&model.network, &model.normalizer.apply(&full, &s.features)))
-        .reduce(
-            || vec![0.0f32; full.n_features()],
-            |mut acc, a| {
-                for (x, y) in acc.iter_mut().zip(&a) {
-                    *x += y;
-                }
-                acc
-            },
-        );
+        .collect();
+    let mut attention_sums = vec![0.0f32; full.n_features()];
+    for scores in &per_sample {
+        for (x, y) in attention_sums.iter_mut().zip(scores) {
+            *x += y;
+        }
+    }
     let mean_attention: Vec<f32> = attention_sums
         .iter()
         .map(|v| v / samples.len().max(1) as f32)

@@ -26,6 +26,7 @@ fn main() {
     let schema = FeatureSchema::full();
     let service = AnalysisService::new(
         ServiceConfig {
+            backend: diagnet::backend::BackendKind::DiagNet,
             model: config.model_config.clone(),
             buffer_capacity: 500_000,
             general_services: world.catalog.general_ids(),

@@ -5,10 +5,10 @@
 //! training run across every figure.
 
 use crate::harness::{
-    eval_samples, EvalSample, ExperimentContext, HarnessConfig, ModelKind, TrainedModels,
+    eval_samples, EvalSample, ExperimentContext, HarnessConfig, ModelKind, Scorer, TrainedModels,
 };
 use crate::report::{json_out, pct, Table};
-use diagnet::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
+use diagnet::backend::{Backend, BayesBackend, ForestBackend};
 use diagnet::model::DiagNet;
 use diagnet_bayes::NaiveBayesConfig;
 use diagnet_eval::{
@@ -60,19 +60,19 @@ pub fn fig5(ctx: &ExperimentContext, models: &TrainedModels) {
             &format!("Fig. 5 {title} — Recall@k ({} samples)", subset.len()),
             &["model", "R@1", "R@2", "R@3", "R@4", "R@5"],
         );
-        for kind in COMPARED_WITH_GENERAL {
-            let scored = models.score_all(kind, &subset, &ctx.full_schema);
+        for entry in models.entries_for(&COMPARED_WITH_GENERAL) {
+            let scored = entry.score_all(&subset, &ctx.full_schema);
             let curve = recall_curve(&scored, 5);
             json_out(
                 "fig5",
                 &json!({
-                    "model": kind.label(),
+                    "model": entry.label(),
                     "near_hidden": hidden,
                     "n": subset.len(),
                     "recall": curve,
                 }),
             );
-            let mut row = vec![kind.label().to_string()];
+            let mut row = vec![entry.label().to_string()];
             row.extend(curve.iter().map(|&r| pct(r)));
             table.row(row);
         }
@@ -109,19 +109,21 @@ pub fn fig6(ctx: &ExperimentContext, models: &TrainedModels) {
         CoarseFamily::LinkBandwidth,
         CoarseFamily::LocalLoad,
     ];
-    for kind in COMPARED {
+    for entry in models.entries_for(&COMPARED) {
+        let ranked = entry.scorer.rank_batch(&samples, &ctx.full_schema);
         let grouped: Vec<(CoarseFamily, Vec<f32>, usize)> = samples
-            .par_iter()
-            .map(|s| (s.family, models.scores(kind, s, &ctx.full_schema), s.truth))
+            .iter()
+            .zip(ranked)
+            .map(|(s, r)| (s.family, r.scores, s.truth))
             .collect();
         let recalls = grouped_recall_at_k(&grouped, 5);
-        let mut row = vec![kind.label().to_string()];
+        let mut row = vec![entry.label().to_string()];
         for fam in families {
             let (r, n) = recalls.get(&fam).copied().unwrap_or((0.0, 0));
             row.push(if n == 0 { "—".into() } else { pct(r) });
             json_out(
                 "fig6",
-                &json!({"model": kind.label(), "group": "family", "key": fam.name(), "recall5": r, "n": n}),
+                &json!({"model": entry.label(), "group": "family", "key": fam.name(), "recall5": r, "n": n}),
             );
         }
         table.row(row);
@@ -144,19 +146,21 @@ pub fn fig6(ctx: &ExperimentContext, models: &TrainedModels) {
         "Fig. 6 (bottom) — Recall@5 per fault region (* = hidden)",
         &headers_ref,
     );
-    for kind in COMPARED {
+    for entry in models.entries_for(&COMPARED) {
+        let ranked = entry.scorer.rank_batch(&samples, &ctx.full_schema);
         let grouped: Vec<(Region, Vec<f32>, usize)> = samples
-            .par_iter()
-            .map(|s| (s.region, models.scores(kind, s, &ctx.full_schema), s.truth))
+            .iter()
+            .zip(ranked)
+            .map(|(s, r)| (s.region, r.scores, s.truth))
             .collect();
         let recalls = grouped_recall_at_k(&grouped, 5);
-        let mut row = vec![kind.label().to_string()];
+        let mut row = vec![entry.label().to_string()];
         for region in &fault_regions {
             let (r, n) = recalls.get(region).copied().unwrap_or((0.0, 0));
             row.push(if n == 0 { "—".into() } else { pct(r) });
             json_out(
                 "fig6",
-                &json!({"model": kind.label(), "group": "region", "key": region.code(), "recall5": r, "n": n}),
+                &json!({"model": entry.label(), "group": "region", "key": region.code(), "recall5": r, "n": n}),
             );
         }
         table.row(row);
@@ -298,13 +302,13 @@ pub fn fig8(base: &HarnessConfig, combos: usize) {
             // Train the three models on this subset.
             let general = DiagNet::train(&base.model_config, &ctx.split.train, base.seed)
                 .expect("fig8 training");
-            let forest = ForestRanker::train(
+            let forest = ForestBackend::train(
                 &base.model_config.forest,
                 &ctx.split.train,
                 &ctx.train_schema,
                 base.seed,
             );
-            let bayes = NaiveBayesRanker::train(
+            let bayes = BayesBackend::train(
                 &NaiveBayesConfig::default(),
                 &ctx.split.train,
                 &ctx.train_schema,
@@ -317,11 +321,14 @@ pub fn fig8(base: &HarnessConfig, combos: usize) {
                 continue;
             }
             total_n += samples.len();
-            let rankers: [&dyn CauseRanker; 3] = [&general, &forest, &bayes];
-            for (mi, ranker) in rankers.iter().enumerate() {
-                let scored: Vec<(Vec<f32>, usize)> = samples
-                    .par_iter()
-                    .map(|s| (ranker.rank(&s.features, &ctx.full_schema).scores, s.truth))
+            let rows: Vec<Vec<f32>> = samples.iter().map(|s| s.features.clone()).collect();
+            let backends: [&dyn Backend; 3] = [&general, &forest, &bayes];
+            for (mi, backend) in backends.iter().enumerate() {
+                let scored: Vec<(Vec<f32>, usize)> = backend
+                    .rank_causes_batch(&rows, &ctx.full_schema)
+                    .into_iter()
+                    .zip(&samples)
+                    .map(|(r, s)| (r.scores, s.truth))
                     .collect();
                 sums[mi] += diagnet_eval::recall_at_k(&scored, 5) as f64 * samples.len() as f64;
             }
@@ -513,7 +520,7 @@ pub fn fig10(ctx: &ExperimentContext, models: &TrainedModels) {
                 .par_iter()
                 .filter(|s| {
                     let model = if use_general {
-                        &models.general
+                        &*models.general
                     } else {
                         models.specialized.for_service(s.service)
                     };
@@ -566,24 +573,24 @@ pub fn headline(ctx: &ExperimentContext, models: &TrainedModels) {
     );
     let new: Vec<EvalSample> = samples.iter().filter(|s| s.near_hidden).cloned().collect();
     let known: Vec<EvalSample> = samples.iter().filter(|s| !s.near_hidden).cloned().collect();
-    for kind in COMPARED_WITH_GENERAL {
-        let raw = recall_curve(&models.score_all(kind, &samples, &ctx.full_schema), 5);
-        let new_curve = recall_curve(&models.score_all(kind, &new, &ctx.full_schema), 5);
-        let known_curve = recall_curve(&models.score_all(kind, &known, &ctx.full_schema), 5);
+    for entry in models.entries_for(&COMPARED_WITH_GENERAL) {
+        let raw = recall_curve(&entry.score_all(&samples, &ctx.full_schema), 5);
+        let new_curve = recall_curve(&entry.score_all(&new, &ctx.full_schema), 5);
+        let known_curve = recall_curve(&entry.score_all(&known, &ctx.full_schema), 5);
         let mix = |k: usize| {
             PAPER_HIDDEN_SHARE * new_curve[k] + (1.0 - PAPER_HIDDEN_SHARE) * known_curve[k]
         };
         json_out(
             "headline",
             &json!({
-                "model": kind.label(),
+                "model": entry.label(),
                 "recall1_raw": raw[0], "recall5_raw": raw[4],
                 "recall1_paper_mix": mix(0), "recall5_paper_mix": mix(4),
                 "n": samples.len(),
             }),
         );
         table.row(vec![
-            kind.label().to_string(),
+            entry.label().to_string(),
             pct(raw[0]),
             pct(mix(0)),
             pct(raw[4]),
@@ -641,67 +648,88 @@ pub fn params(ctx: &ExperimentContext, models: &TrainedModels) {
 /// streams.
 const AVAIL_SEED_SALT: u64 = 0xA7A1_1AB1;
 
-/// Landmark-availability experiment: the general model (trained on 7
-/// landmarks) diagnoses test samples as the reachable fleet shrinks from
-/// all ten landmarks down to two — without retraining (§II-D: the model
-/// "should still provide accurate results even when only a subset of
-/// landmarks is available"). Causes at unreachable landmarks cannot be
-/// named, so recall is computed over still-observable causes.
+/// Landmark-availability experiment: every single-model backend (trained
+/// against 7 landmarks) diagnoses test samples as the reachable fleet
+/// shrinks from all ten landmarks down to two — without retraining
+/// (§II-D: the model "should still provide accurate results even when
+/// only a subset of landmarks is available"). Causes at unreachable
+/// landmarks cannot be named, so recall is computed over still-observable
+/// causes. The landmark subsets are derived from the seed and fleet size
+/// only, so every backend sees identical fleets.
 pub fn availability(ctx: &ExperimentContext, models: &TrainedModels) {
     let samples = eval_samples(ctx);
     let full = &ctx.full_schema;
-    let model = &models.general;
+    let entries = models.entries_for(&[
+        ModelKind::DiagNetGeneral,
+        ModelKind::Forest,
+        ModelKind::NaiveBayes,
+    ]);
     let mut table = Table::new(
         "Availability — Recall vs reachable landmarks (no retraining)",
-        &["landmarks", "diagnosable", "R@1", "R@5", "subsets"],
+        &["model", "landmarks", "diagnosable", "R@1", "R@5", "subsets"],
     );
-    for n_landmarks in (2..=ALL_REGIONS.len()).rev() {
-        let n_subsets = if n_landmarks == ALL_REGIONS.len() {
-            1
-        } else {
-            3
+    for entry in &entries {
+        let backend = match &entry.scorer {
+            Scorer::Single(backend) => backend,
+            Scorer::PerService(_) => unreachable!("availability compares single-model backends"),
         };
-        let (mut hits1, mut hits5, mut total) = (0usize, 0usize, 0usize);
-        for subset_idx in 0..n_subsets {
-            let mut rng = SplitMix64::new(SplitMix64::derive(
-                ctx.config.seed ^ AVAIL_SEED_SALT,
-                (n_landmarks * 10 + subset_idx) as u64,
-            ));
-            let landmarks: Vec<Region> = rng
-                .sample_indices(ALL_REGIONS.len(), n_landmarks)
-                .into_iter()
-                .map(Region::from_index)
-                .collect();
-            let schema = diagnet_sim::metrics::FeatureSchema::new(landmarks);
-            let ranks: Vec<usize> = samples
-                .par_iter()
-                .filter_map(|s| {
-                    let truth = schema.index_of(full.feature(s.truth))?;
-                    let features = schema.project_from(full, &s.features, 0.0);
-                    let ranking = model.rank_causes(&features, &schema);
-                    Some(diagnet_eval::ranking::rank_of_truth(&ranking.scores, truth))
-                })
-                .collect();
-            total += ranks.len();
-            hits1 += ranks.iter().filter(|&&r| r < 1).count();
-            hits5 += ranks.iter().filter(|&&r| r < 5).count();
+        for n_landmarks in (2..=ALL_REGIONS.len()).rev() {
+            let n_subsets = if n_landmarks == ALL_REGIONS.len() {
+                1
+            } else {
+                3
+            };
+            let (mut hits1, mut hits5, mut total) = (0usize, 0usize, 0usize);
+            for subset_idx in 0..n_subsets {
+                let mut rng = SplitMix64::new(SplitMix64::derive(
+                    ctx.config.seed ^ AVAIL_SEED_SALT,
+                    (n_landmarks * 10 + subset_idx) as u64,
+                ));
+                let landmarks: Vec<Region> = rng
+                    .sample_indices(ALL_REGIONS.len(), n_landmarks)
+                    .into_iter()
+                    .map(Region::from_index)
+                    .collect();
+                let schema = diagnet_sim::metrics::FeatureSchema::new(landmarks);
+                // Project the still-diagnosable samples, then rank them in
+                // one batch through the backend's batched kernel.
+                let (rows, truths): (Vec<Vec<f32>>, Vec<usize>) = samples
+                    .iter()
+                    .filter_map(|s| {
+                        let truth = schema.index_of(full.feature(s.truth))?;
+                        Some((schema.project_from(full, &s.features, 0.0), truth))
+                    })
+                    .unzip();
+                let ranks: Vec<usize> = backend
+                    .rank_causes_batch(&rows, &schema)
+                    .into_iter()
+                    .zip(&truths)
+                    .map(|(ranking, &truth)| {
+                        diagnet_eval::ranking::rank_of_truth(&ranking.scores, truth)
+                    })
+                    .collect();
+                total += ranks.len();
+                hits1 += ranks.iter().filter(|&&r| r < 1).count();
+                hits5 += ranks.iter().filter(|&&r| r < 5).count();
+            }
+            let r1 = hits1 as f32 / total.max(1) as f32;
+            let r5 = hits5 as f32 / total.max(1) as f32;
+            json_out(
+                "availability",
+                &json!({"model": entry.label(), "n_landmarks": n_landmarks, "recall1": r1, "recall5": r5, "n": total}),
+            );
+            table.row(vec![
+                entry.label().to_string(),
+                n_landmarks.to_string(),
+                total.to_string(),
+                pct(r1),
+                pct(r5),
+                n_subsets.to_string(),
+            ]);
         }
-        let r1 = hits1 as f32 / total.max(1) as f32;
-        let r5 = hits5 as f32 / total.max(1) as f32;
-        json_out(
-            "availability",
-            &json!({"n_landmarks": n_landmarks, "recall1": r1, "recall5": r5, "n": total}),
-        );
-        table.row(vec![
-            n_landmarks.to_string(),
-            total.to_string(),
-            pct(r1),
-            pct(r5),
-            n_subsets.to_string(),
-        ]);
     }
     table.print();
-    println!("(the model was never retrained between fleet sizes — §II-D extensibility)");
+    println!("(no model was retrained between fleet sizes — §II-D extensibility)");
 }
 
 // ---------------------------------------------------------------------------

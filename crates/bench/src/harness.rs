@@ -4,9 +4,10 @@
 //! reported scores use the specialised models), baselines trained on the
 //! identical training set, EAST/GRAV/SEAT landmarks hidden from training.
 
-use diagnet::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
+use diagnet::backend::{Backend, BayesBackend, ForestBackend};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
+use diagnet::ranking::CauseRanking;
 use diagnet::transfer::SpecializedModels;
 use diagnet_bayes::NaiveBayesConfig;
 use diagnet_sim::dataset::{Dataset, DatasetConfig, SplitDataset};
@@ -14,7 +15,8 @@ use diagnet_sim::metrics::{CoarseFamily, FeatureSchema};
 use diagnet_sim::region::Region;
 use diagnet_sim::service::ServiceId;
 use diagnet_sim::world::World;
-use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Harness-level configuration, read from the environment.
@@ -153,16 +155,101 @@ impl ModelKind {
     }
 }
 
+/// How a [`BackendEntry`] scores evaluation samples.
+#[derive(Clone)]
+pub enum Scorer {
+    /// Dispatch each sample to its service's specialised DiagNet (the
+    /// paper's reported configuration).
+    PerService(Arc<SpecializedModels>),
+    /// One backend serves every sample.
+    Single(Arc<dyn Backend>),
+}
+
+impl Scorer {
+    /// Rank one evaluation sample.
+    pub fn rank(&self, sample: &EvalSample, schema: &FeatureSchema) -> CauseRanking {
+        match self {
+            Scorer::PerService(suite) => suite
+                .for_service(sample.service)
+                .rank_causes(&sample.features, schema),
+            Scorer::Single(backend) => backend.rank_causes(&sample.features, schema),
+        }
+    }
+
+    /// Rank a batch through the backend's batched kernel
+    /// ([`Backend::rank_causes_batch`]); per-service dispatch groups the
+    /// samples by service first. Bit-identical to per-sample
+    /// [`Scorer::rank`] calls, in input order.
+    pub fn rank_batch(&self, samples: &[EvalSample], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        match self {
+            Scorer::PerService(suite) => {
+                let mut by_service: BTreeMap<ServiceId, Vec<usize>> = BTreeMap::new();
+                for (i, s) in samples.iter().enumerate() {
+                    by_service.entry(s.service).or_default().push(i);
+                }
+                let mut out: Vec<Option<CauseRanking>> = vec![None; samples.len()];
+                for (sid, idxs) in by_service {
+                    let rows: Vec<Vec<f32>> =
+                        idxs.iter().map(|&i| samples[i].features.clone()).collect();
+                    let ranked = suite.for_service(sid).rank_causes_batch(&rows, schema);
+                    for (i, r) in idxs.into_iter().zip(ranked) {
+                        out[i] = Some(r);
+                    }
+                }
+                out.into_iter()
+                    .map(|r| r.expect("every sample scored"))
+                    .collect()
+            }
+            Scorer::Single(backend) => {
+                let rows: Vec<Vec<f32>> = samples.iter().map(|s| s.features.clone()).collect();
+                backend.rank_causes_batch(&rows, schema)
+            }
+        }
+    }
+}
+
+/// One row of the harness's backend registry: a comparison label plus the
+/// scoring strategy behind it.
+#[derive(Clone)]
+pub struct BackendEntry {
+    /// Which comparison row this is.
+    pub kind: ModelKind,
+    /// The scoring strategy.
+    pub scorer: Scorer,
+}
+
+impl BackendEntry {
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    /// Batch-score eval samples through the backend's batched kernel;
+    /// returns `(scores, truth)` pairs ready for `diagnet_eval`.
+    pub fn score_all(
+        &self,
+        samples: &[EvalSample],
+        schema: &FeatureSchema,
+    ) -> Vec<(Vec<f32>, usize)> {
+        self.scorer
+            .rank_batch(samples, schema)
+            .into_iter()
+            .zip(samples)
+            .map(|(r, s)| (r.scores, s.truth))
+            .collect()
+    }
+}
+
 /// All trained models plus their training costs.
 pub struct TrainedModels {
     /// General DiagNet (trained on the first eight services).
-    pub general: DiagNet,
+    pub general: Arc<DiagNet>,
     /// Specialised models for every service.
-    pub specialized: SpecializedModels,
+    pub specialized: Arc<SpecializedModels>,
     /// Random-forest baseline (trained on the full training set).
-    pub forest: ForestRanker,
+    pub forest: Arc<ForestBackend>,
     /// Naive-Bayes baseline.
-    pub bayes: NaiveBayesRanker,
+    pub bayes: Arc<BayesBackend>,
     /// Wall-clock seconds to train the general model.
     pub general_train_secs: f64,
     /// Mean wall-clock seconds per specialised model.
@@ -202,50 +289,55 @@ impl TrainedModels {
         );
 
         eprintln!("[harness] training baselines…");
-        let forest = ForestRanker::train(&cfg.forest, &ctx.split.train, &ctx.train_schema, seed);
-        let bayes = NaiveBayesRanker::train(
+        let forest = ForestBackend::train(&cfg.forest, &ctx.split.train, &ctx.train_schema, seed);
+        let bayes = BayesBackend::train(
             &NaiveBayesConfig::default(),
             &ctx.split.train,
             &ctx.train_schema,
         );
 
         TrainedModels {
-            general,
-            specialized,
-            forest,
-            bayes,
+            general: Arc::new(general),
+            specialized: Arc::new(specialized),
+            forest: Arc::new(forest),
+            bayes: Arc::new(bayes),
             general_train_secs,
             specialized_train_secs,
         }
     }
 
-    /// Score one evaluation sample with the chosen model.
-    pub fn scores(&self, kind: ModelKind, sample: &EvalSample, schema: &FeatureSchema) -> Vec<f32> {
-        match kind {
-            ModelKind::DiagNet => {
-                self.specialized
-                    .for_service(sample.service)
-                    .rank_causes(&sample.features, schema)
-                    .scores
+    /// The registry entry for one comparison row.
+    pub fn entry(&self, kind: ModelKind) -> BackendEntry {
+        let scorer = match kind {
+            ModelKind::DiagNet => Scorer::PerService(Arc::clone(&self.specialized)),
+            ModelKind::DiagNetGeneral => {
+                Scorer::Single(Arc::clone(&self.general) as Arc<dyn Backend>)
             }
-            ModelKind::DiagNetGeneral => self.general.rank_causes(&sample.features, schema).scores,
-            ModelKind::Forest => self.forest.rank(&sample.features, schema).scores,
-            ModelKind::NaiveBayes => self.bayes.rank(&sample.features, schema).scores,
-        }
+            ModelKind::Forest => Scorer::Single(Arc::clone(&self.forest) as Arc<dyn Backend>),
+            ModelKind::NaiveBayes => Scorer::Single(Arc::clone(&self.bayes) as Arc<dyn Backend>),
+        };
+        BackendEntry { kind, scorer }
     }
 
-    /// Batch-score eval samples (parallel); returns `(scores, truth)`
-    /// pairs ready for `diagnet_eval`.
+    /// Registry entries for a comparison set, in the given order.
+    pub fn entries_for(&self, kinds: &[ModelKind]) -> Vec<BackendEntry> {
+        kinds.iter().map(|&k| self.entry(k)).collect()
+    }
+
+    /// Score one evaluation sample with the chosen model.
+    pub fn scores(&self, kind: ModelKind, sample: &EvalSample, schema: &FeatureSchema) -> Vec<f32> {
+        self.entry(kind).scorer.rank(sample, schema).scores
+    }
+
+    /// Batch-score eval samples through each backend's batched kernel;
+    /// returns `(scores, truth)` pairs ready for `diagnet_eval`.
     pub fn score_all(
         &self,
         kind: ModelKind,
         samples: &[EvalSample],
         schema: &FeatureSchema,
     ) -> Vec<(Vec<f32>, usize)> {
-        samples
-            .par_iter()
-            .map(|s| (self.scores(kind, s, schema), s.truth))
-            .collect()
+        self.entry(kind).score_all(samples, schema)
     }
 }
 
@@ -319,9 +411,17 @@ mod tests {
         ] {
             let scored = models.score_all(kind, subset, &ctx.full_schema);
             assert_eq!(scored.len(), subset.len());
-            for (scores, truth) in &scored {
+            for (i, (scores, truth)) in scored.iter().enumerate() {
                 assert_eq!(scores.len(), 55);
                 assert!(*truth < 55);
+                // The batched registry path must match per-sample scoring
+                // bit for bit.
+                assert_eq!(
+                    scores,
+                    &models.scores(kind, &subset[i], &ctx.full_schema),
+                    "batch/single divergence for {:?}",
+                    kind
+                );
             }
         }
         assert!(models.general_train_secs > 0.0);

@@ -29,5 +29,7 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 
-pub use harness::{EvalSample, ExperimentContext, HarnessConfig, TrainedModels};
+pub use harness::{
+    BackendEntry, EvalSample, ExperimentContext, HarnessConfig, ModelKind, Scorer, TrainedModels,
+};
 pub use report::{json_out, Table};

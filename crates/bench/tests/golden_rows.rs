@@ -1,0 +1,119 @@
+//! Golden-row regression for the backend refactor: at a fixed seed, the
+//! per-model experiment rows (Fig. 5-style recall curves) and the raw
+//! ranked-cause scores must be **bit-identical** to what the harness
+//! produced before `CauseRanker` became the `Backend` abstraction.
+//!
+//! The constants below were captured from the pre-refactor harness at
+//! `n_scenarios = 30`, `seed = 7`, `DiagNetConfig::fast()` — the same
+//! scoring paths, per-sample and batched, must reproduce them exactly.
+
+use diagnet::config::DiagNetConfig;
+use diagnet_bench::harness::{eval_samples, EvalSample, ExperimentContext, HarnessConfig};
+use diagnet_bench::ModelKind;
+use diagnet_bench::TrainedModels;
+use diagnet_eval::recall_curve;
+
+struct GoldenRow {
+    kind: ModelKind,
+    label: &'static str,
+    /// Recall@1..=5 bits over faults near hidden landmarks.
+    hidden: [u32; 5],
+    /// Recall@1..=5 bits over faults near known landmarks.
+    known: [u32; 5],
+    /// Recall@1..=5 bits over all faulty test samples.
+    raw: [u32; 5],
+    /// Wrapping sum of the score bits of the first ten samples' full
+    /// ranked-cause vectors.
+    fingerprint: u32,
+}
+
+/// Captured from the pre-refactor harness (see module docs).
+const GOLDEN: [GoldenRow; 4] = [
+    GoldenRow {
+        kind: ModelKind::DiagNet,
+        label: "DiagNet",
+        hidden: [0x3ded2308, 0x3e21af28, 0x3e6d2308, 0x3e896e7c, 0x3ea1af28],
+        known: [0x3f4ccccd, 0x3f6eeeef, 0x3f6eeeef, 0x3f6eeeef, 0x3f6eeeef],
+        raw: [0x3e29d58b, 0x3e5bc90e, 0x3e90dbc9, 0x3ea2576a, 0x3eb8d1cc],
+        fingerprint: 0x05072389,
+    },
+    GoldenRow {
+        kind: ModelKind::DiagNetGeneral,
+        label: "DiagNet (general)",
+        hidden: [0x3e3ca1af, 0x3e67bf54, 0x3e840ac7, 0x3e96e7bf, 0x3eaf286c],
+        known: [0x3f4ccccd, 0x3f6eeeef, 0x3f800000, 0x3f800000, 0x3f800000],
+        raw: [0x3e6ac54f, 0x3e8e5c69, 0x3e9fd80a, 0x3eb153ab, 0x3ec7ce0c],
+        fingerprint: 0x03e9aecc,
+    },
+    GoldenRow {
+        kind: ModelKind::Forest,
+        label: "Random Forest",
+        hidden: [0x3d579436, 0x3d579436, 0x3d579436, 0x3d579436, 0x3d579436],
+        known: [0x3f6eeeef, 0x3f6eeeef, 0x3f6eeeef, 0x3f6eeeef, 0x3f6eeeef],
+        raw: [0x3defc40f, 0x3defc40f, 0x3defc40f, 0x3defc40f, 0x3defc40f],
+        fingerprint: 0x2733aeff,
+    },
+    GoldenRow {
+        kind: ModelKind::NaiveBayes,
+        label: "Naive Bayes",
+        hidden: [0x3eb73dfb, 0x3ebca1af, 0x3ecccccd, 0x3eda4610, 0x3eed2308],
+        known: [0x3ecccccd, 0x3ecccccd, 0x3ecccccd, 0x3ecccccd, 0x3f088889],
+        raw: [0x3eb8d1cc, 0x3ebdd08c, 0x3ecccccd, 0x3ed949ae, 0x3eefc40f],
+        fingerprint: 0xd2a245bd,
+    },
+];
+
+fn curve_bits(models: &TrainedModels, kind: ModelKind, subset: &[EvalSample]) -> [u32; 5] {
+    let ctx_schema = diagnet_sim::metrics::FeatureSchema::full();
+    let curve = recall_curve(&models.score_all(kind, subset, &ctx_schema), 5);
+    let mut bits = [0u32; 5];
+    for (b, v) in bits.iter_mut().zip(&curve) {
+        *b = v.to_bits();
+    }
+    bits
+}
+
+#[test]
+fn experiment_rows_are_bit_identical_to_pre_refactor_capture() {
+    let ctx = ExperimentContext::create(HarnessConfig {
+        n_scenarios: 30,
+        seed: 7,
+        model_config: DiagNetConfig::fast(),
+    });
+    let models = TrainedModels::train(&ctx);
+    let samples = eval_samples(&ctx);
+    let hidden: Vec<EvalSample> = samples.iter().filter(|s| s.near_hidden).cloned().collect();
+    let known: Vec<EvalSample> = samples.iter().filter(|s| !s.near_hidden).cloned().collect();
+    assert_eq!((samples.len(), hidden.len(), known.len()), (205, 190, 15));
+
+    for row in &GOLDEN {
+        assert_eq!(
+            curve_bits(&models, row.kind, &hidden),
+            row.hidden,
+            "{}: hidden-landmark recall curve drifted",
+            row.label
+        );
+        assert_eq!(
+            curve_bits(&models, row.kind, &known),
+            row.known,
+            "{}: known-landmark recall curve drifted",
+            row.label
+        );
+        assert_eq!(
+            curve_bits(&models, row.kind, &samples),
+            row.raw,
+            "{}: combined recall curve drifted",
+            row.label
+        );
+        // Raw ranked-cause scores, not just derived recall numbers.
+        let fingerprint = samples[..10]
+            .iter()
+            .flat_map(|s| models.scores(row.kind, s, &ctx.full_schema))
+            .fold(0u32, |acc, v| acc.wrapping_add(v.to_bits()));
+        assert_eq!(
+            fingerprint, row.fingerprint,
+            "{}: ranked-cause score fingerprint drifted",
+            row.label
+        );
+    }
+}

@@ -1,5 +1,8 @@
 //! Hand-rolled argument parsing (keeping the dependency set minimal).
+//! Every rejection is a [`CliError::Usage`], so `main` exits with
+//! status 2 and prints the usage text.
 
+use crate::error::CliError;
 use std::collections::HashMap;
 
 /// A parsed command line.
@@ -54,27 +57,30 @@ impl Command {
 /// Parse a raw argument vector (without the program name).
 ///
 /// Grammar: `<command> (--key value)*`.
-pub fn parse(args: &[String]) -> Result<Args, String> {
+pub fn parse(args: &[String]) -> Result<Args, CliError> {
     let Some(first) = args.first() else {
         return Ok(Args {
             command: Command::Help,
             options: HashMap::new(),
         });
     };
-    let command = Command::from_name(first)
-        .ok_or_else(|| format!("unknown command `{first}` (try `diagnet help`)"))?;
+    let command = Command::from_name(first).ok_or_else(|| {
+        CliError::usage(format!("unknown command `{first}` (try `diagnet help`)"))
+    })?;
     let mut options = HashMap::new();
     let mut i = 1;
     while i < args.len() {
         let key = &args[i];
         let Some(name) = key.strip_prefix("--") else {
-            return Err(format!("expected `--option`, got `{key}`"));
+            return Err(CliError::usage(format!("expected `--option`, got `{key}`")));
         };
         let Some(value) = args.get(i + 1) else {
-            return Err(format!("option `--{name}` is missing a value"));
+            return Err(CliError::usage(format!(
+                "option `--{name}` is missing a value"
+            )));
         };
         if options.insert(name.to_string(), value.clone()).is_some() {
-            return Err(format!("option `--{name}` given twice"));
+            return Err(CliError::usage(format!("option `--{name}` given twice")));
         }
         i += 2;
     }
@@ -83,11 +89,11 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
 
 impl Args {
     /// A required string option.
-    pub fn require(&self, name: &str) -> Result<&str, String> {
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
         self.options
             .get(name)
             .map(String::as_str)
-            .ok_or_else(|| format!("missing required option `--{name}`"))
+            .ok_or_else(|| CliError::usage(format!("missing required option `--{name}`")))
     }
 
     /// An optional string option.
@@ -96,12 +102,12 @@ impl Args {
     }
 
     /// An optional parsed option with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.options.get(name) {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
-                .map_err(|_| format!("option `--{name}`: cannot parse `{raw}`")),
+                .map_err(|_| CliError::usage(format!("option `--{name}`: cannot parse `{raw}`"))),
         }
     }
 }
@@ -118,19 +124,28 @@ COMMANDS:
                 generate a labelled dataset from the simulated testbed
     campaign    --out FILE [--days N=14] [--interval-h H=1.0] [--seed S=42]
                 generate a time-ordered measurement campaign (dataset JSON)
-    train       --data FILE --out FILE [--config paper|fast=paper] [--seed S=42]
-                train a general model (hidden-landmark protocol)
+    train       --data FILE --out FILE [--backend diagnet|forest|bayes=diagnet]
+                [--config paper|fast=paper] [--seed S=42]
+                train a model (hidden-landmark protocol)
     specialize  --model FILE --data FILE --service NAME --out FILE [--seed S=42]
-                retrain the final layers for one service
-    diagnose    --model FILE --data FILE --sample IDX [--top K=5]
+                retrain the final layers for one service (diagnet backend only)
+    diagnose    --model FILE --data FILE --sample IDX [--top K=5] [--backend B]
                 rank the root causes of one sample
-    evaluate    --model FILE --data FILE [--k 5]
+    evaluate    --model FILE --data FILE [--k 5] [--backend B]
                 Recall@1..k on the dataset's faulty samples
     export      --data FILE --out FILE
                 convert a dataset JSON to CSV (pandas/R-friendly)
-    info        --model FILE
+    info        --model FILE [--backend B]
                 print a model summary
     help        this text
+
+`--backend` selects which model family `train` fits; on `diagnose`,
+`evaluate` and `info` it asserts the kind of the loaded artefact.
+
+EXIT STATUS:
+    0  success
+    1  environment error (unreadable file, corrupt model, training failure)
+    2  user error (bad flags, unknown backend/service/config)
 ";
 
 #[cfg(test)]

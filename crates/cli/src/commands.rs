@@ -1,16 +1,27 @@
 //! Command implementations. Each returns its output as a `String` so the
 //! logic is unit-testable without capturing stdout.
+//!
+//! Model-facing commands are backend-generic: `train` fits whichever
+//! [`BackendKind`] `--backend` names (default `diagnet`), `diagnose` /
+//! `evaluate` / `info` work on any loaded [`Backend`] and use `--backend`
+//! only to assert the artefact's kind. `specialize` is the one
+//! DiagNet-only command, because only the paper's model supports
+//! per-service transfer learning.
 
 use crate::args::{Args, Command, USAGE};
+use crate::error::CliError;
+use crate::io;
+use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceCatalog;
 use diagnet_sim::world::World;
 use std::fmt::Write as _;
 
 /// Execute a parsed command line.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Simulate => simulate(args),
@@ -24,40 +35,51 @@ pub fn run(args: &Args) -> Result<String, String> {
     }
 }
 
-fn load_dataset(path: &str) -> Result<Dataset, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
-    serde_json::from_reader(std::io::BufReader::new(file))
-        .map_err(|e| format!("cannot parse dataset `{path}`: {e}"))
-}
-
-fn save_json<T: serde::Serialize>(value: &T, path: &str) -> Result<(), String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
-    serde_json::to_writer(std::io::BufWriter::new(file), value)
-        .map_err(|e| format!("cannot write `{path}`: {e}"))
-}
-
-fn load_model(path: &str) -> Result<DiagNet, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
-    DiagNet::load(std::io::BufReader::new(file)).map_err(|e| e.to_string())
-}
-
-fn model_config(args: &Args) -> Result<DiagNetConfig, String> {
+fn model_config(args: &Args) -> Result<DiagNetConfig, CliError> {
     match args.get("config").unwrap_or("paper") {
         "paper" => Ok(DiagNetConfig::paper()),
         "fast" => Ok(DiagNetConfig::fast()),
-        other => Err(format!(
+        other => Err(CliError::usage(format!(
             "unknown config `{other}` (expected `paper` or `fast`)"
-        )),
+        ))),
     }
 }
 
-fn simulate(args: &Args) -> Result<String, String> {
+/// The `--backend` flag, when given. Unknown tokens are usage errors.
+fn backend_flag(args: &Args) -> Result<Option<BackendKind>, CliError> {
+    match args.get("backend") {
+        None => Ok(None),
+        Some(raw) => BackendKind::parse(raw).map(Some).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown backend `{raw}` (expected `diagnet`, `forest`, or `bayes`)"
+            ))
+        }),
+    }
+}
+
+/// Load the `--model` artefact and, when `--backend` was given, assert the
+/// loaded kind matches it.
+fn load_checked_backend(args: &Args) -> Result<Box<dyn Backend>, CliError> {
+    let path = args.require("model")?;
+    let backend = io::load_backend_file(path)?;
+    if let Some(expected) = backend_flag(args)? {
+        let actual = backend.describe().kind;
+        if actual != expected {
+            return Err(CliError::usage(format!(
+                "model at `{path}` is a `{actual}` backend, not `{expected}`"
+            )));
+        }
+    }
+    Ok(backend)
+}
+
+fn simulate(args: &Args) -> Result<String, CliError> {
     let out = args.require("out")?;
     let scenarios: usize = args.get_or("scenarios", 100)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let world = World::new();
     let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed));
-    save_json(&dataset, out)?;
+    io::save_json(&dataset, out)?;
     Ok(format!(
         "wrote {} samples ({} nominal, {} faulty) to {out}\n",
         dataset.len(),
@@ -66,16 +88,16 @@ fn simulate(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn campaign(args: &Args) -> Result<String, String> {
+fn campaign(args: &Args) -> Result<String, CliError> {
     let out = args.require("out")?;
     let days: usize = args.get_or("days", 14)?;
     let interval_h: f64 = args.get_or("interval-h", 1.0)?;
     let seed: u64 = args.get_or("seed", 42)?;
     if days == 0 {
-        return Err("`--days` must be at least 1".into());
+        return Err(CliError::usage("`--days` must be at least 1"));
     }
     if interval_h <= 0.0 {
-        return Err("`--interval-h` must be positive".into());
+        return Err(CliError::usage("`--interval-h` must be positive"));
     }
     let world = World::new();
     let campaign =
@@ -96,7 +118,7 @@ fn campaign(args: &Args) -> Result<String, String> {
         schema: world.schema.clone(),
         samples,
     };
-    save_json(&dataset, out)?;
+    io::save_json(&dataset, out)?;
     Ok(format!(
         "wrote a {days}-day campaign: {} samples ({} faulty) to {out}
 ",
@@ -105,44 +127,61 @@ fn campaign(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn train(args: &Args) -> Result<String, String> {
+fn train(args: &Args) -> Result<String, CliError> {
     let data_path = args.require("data")?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let config = model_config(args)?;
-    let dataset = load_dataset(data_path)?;
+    let kind = backend_flag(args)?.unwrap_or(BackendKind::DiagNet);
+    let config = BackendConfig::from_diagnet(model_config(args)?);
+    let dataset = io::load_dataset(data_path)?;
     let split = dataset.split(0.8, seed);
-    let model = DiagNet::train(&config, &split.train, seed).map_err(|e| e.to_string())?;
-    model.save_to_path(out).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "trained on {} samples: {} parameters, {} epochs (final val loss {:.4})\nmodel written to {out}\n",
+    let backend = kind.train(&config, &split.train, &FeatureSchema::known(), seed)?;
+    io::save_backend_file(backend.as_ref(), out)?;
+    let info = backend.describe();
+    let mut msg = format!(
+        "trained on {} samples: `{}` backend, {} parameters",
         split.train.len(),
-        model.num_params(),
-        model.history.epochs_run,
-        model.history.val_loss.last().copied().unwrap_or(f32::NAN)
-    ))
+        info.kind,
+        info.n_params
+    );
+    if let Some(model) = backend.as_any().downcast_ref::<DiagNet>() {
+        let _ = write!(
+            msg,
+            ", {} epochs (final val loss {:.4})",
+            model.history.epochs_run,
+            model.history.val_loss.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    let _ = write!(msg, "\nmodel written to {out}\n");
+    Ok(msg)
 }
 
-fn specialize(args: &Args) -> Result<String, String> {
+fn specialize(args: &Args) -> Result<String, CliError> {
     let model_path = args.require("model")?;
     let data_path = args.require("data")?;
     let service_name = args.require("service")?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let model = load_model(model_path)?;
-    let dataset = load_dataset(data_path)?;
+    let backend = load_checked_backend(args)?;
+    let Some(model) = backend.as_any().downcast_ref::<DiagNet>() else {
+        return Err(CliError::usage(format!(
+            "model at `{model_path}` is a `{}` backend; only `diagnet` supports specialisation",
+            backend.describe().kind
+        )));
+    };
+    let dataset = io::load_dataset(data_path)?;
     let catalog = ServiceCatalog::standard();
     let service = catalog
         .by_name(service_name)
-        .ok_or_else(|| format!("unknown service `{service_name}`"))?;
+        .ok_or_else(|| CliError::usage(format!("unknown service `{service_name}`")))?;
     let service_data = dataset.filter_service(service.id);
     if service_data.is_empty() {
-        return Err(format!("dataset has no samples for `{service_name}`"));
+        return Err(CliError::usage(format!(
+            "dataset has no samples for `{service_name}`"
+        )));
     }
-    let special = model
-        .specialize(&service_data, seed)
-        .map_err(|e| e.to_string())?;
-    special.save_to_path(out).map_err(|e| e.to_string())?;
+    let special = model.specialize(&service_data, seed)?;
+    io::save_backend_file(&special, out)?;
     Ok(format!(
         "specialised for `{service_name}` on {} samples: {} of {} parameters retrained in {} epochs\nmodel written to {out}\n",
         service_data.len(),
@@ -152,16 +191,16 @@ fn specialize(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn diagnose(args: &Args) -> Result<String, String> {
-    let model = load_model(args.require("model")?)?;
-    let dataset = load_dataset(args.require("data")?)?;
+fn diagnose(args: &Args) -> Result<String, CliError> {
+    let model = load_checked_backend(args)?;
+    let dataset = io::load_dataset(args.require("data")?)?;
     let sample_idx: usize = args.get_or("sample", 0)?;
     let top: usize = args.get_or("top", 5)?;
     let sample = dataset.samples.get(sample_idx).ok_or_else(|| {
-        format!(
+        CliError::usage(format!(
             "sample {sample_idx} out of range (dataset has {})",
             dataset.len()
-        )
+        ))
     })?;
     let schema = dataset.schema.clone();
     let ranking = model.rank_causes(&sample.features, &schema);
@@ -203,33 +242,40 @@ fn diagnose(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn evaluate(args: &Args) -> Result<String, String> {
-    let model = load_model(args.require("model")?)?;
-    let dataset = load_dataset(args.require("data")?)?;
+fn evaluate(args: &Args) -> Result<String, CliError> {
+    let model = load_checked_backend(args)?;
+    let dataset = io::load_dataset(args.require("data")?)?;
     let max_k: usize = args.get_or("k", 5)?;
     if max_k == 0 {
-        return Err("`--k` must be at least 1".into());
+        return Err(CliError::usage("`--k` must be at least 1"));
     }
     let schema = dataset.schema.clone();
-    let scored: Vec<(Vec<f32>, usize)> = dataset
+    let (rows, truths): (Vec<Vec<f32>>, Vec<usize>) = dataset
         .samples
         .iter()
         .filter_map(|s| {
             let cause = s.label.cause()?;
             Some((
-                model.rank_causes(&s.features, &schema).scores,
+                s.features.clone(),
                 schema.index_of(cause).expect("cause in schema"),
             ))
         })
-        .collect();
-    if scored.is_empty() {
-        return Err("dataset has no faulty samples to evaluate".into());
+        .unzip();
+    if rows.is_empty() {
+        return Err(CliError::usage("dataset has no faulty samples to evaluate"));
     }
+    let scored: Vec<(Vec<f32>, usize)> = model
+        .rank_causes_batch(&rows, &schema)
+        .into_iter()
+        .map(|r| r.scores)
+        .zip(truths)
+        .collect();
     let curve = diagnet_eval::recall_curve(&scored, max_k);
     let mut out = format!(
-        "{} faulty samples, {} candidate causes\n",
+        "{} faulty samples, {} candidate causes (`{}` backend)\n",
         scored.len(),
-        schema.n_features()
+        schema.n_features(),
+        model.describe().kind
     );
     for (k, r) in curve.iter().enumerate() {
         let _ = writeln!(out, "Recall@{} = {:.1}%", k + 1, r * 100.0);
@@ -237,54 +283,83 @@ fn evaluate(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn export(args: &Args) -> Result<String, String> {
-    let dataset = load_dataset(args.require("data")?)?;
+fn export(args: &Args) -> Result<String, CliError> {
+    let dataset = io::load_dataset(args.require("data")?)?;
     let out = args.require("out")?;
-    let file = std::fs::File::create(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
-    diagnet_sim::export::write_csv(&dataset, std::io::BufWriter::new(file))
-        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    let file = std::fs::File::create(out).map_err(|e| CliError::Io {
+        action: "create",
+        path: out.into(),
+        source: e,
+    })?;
+    diagnet_sim::export::write_csv(&dataset, std::io::BufWriter::new(file)).map_err(|e| {
+        CliError::Data {
+            action: "write",
+            path: out.into(),
+            detail: e.to_string(),
+        }
+    })?;
     Ok(format!("wrote {} rows to {out}\n", dataset.len()))
 }
 
-fn info(args: &Args) -> Result<String, String> {
-    let model = load_model(args.require("model")?)?;
+fn info(args: &Args) -> Result<String, CliError> {
+    let backend = load_checked_backend(args)?;
+    let meta = backend.describe();
     let mut out = String::new();
-    let _ = writeln!(out, "DiagNet model");
-    let _ = writeln!(
-        out,
-        "  architecture: {} filters × {} pooling ops, hidden {:?}",
-        model.config.filters,
-        model.config.pool_ops.len(),
-        model.config.hidden
-    );
-    let _ = writeln!(
-        out,
-        "  parameters: {} total, {} trainable",
-        model.num_params(),
-        model.num_trainable_params()
-    );
-    let _ = writeln!(
-        out,
-        "  trained against {} landmarks: {:?}",
-        model.train_schema.n_landmarks(),
-        model
-            .train_schema
-            .landmarks()
-            .iter()
-            .map(|r| r.code())
-            .collect::<Vec<_>>()
-    );
-    let _ = writeln!(
-        out,
-        "  training: {} epochs, final val loss {:.4}",
-        model.history.epochs_run,
-        model.history.val_loss.last().copied().unwrap_or(f32::NAN)
-    );
-    let _ = writeln!(
-        out,
-        "  auxiliary forest: {} trees",
-        model.auxiliary.forest().n_trees()
-    );
+    if let Some(model) = backend.as_any().downcast_ref::<DiagNet>() {
+        let _ = writeln!(out, "DiagNet model");
+        let _ = writeln!(
+            out,
+            "  architecture: {} filters × {} pooling ops, hidden {:?}",
+            model.config.filters,
+            model.config.pool_ops.len(),
+            model.config.hidden
+        );
+        let _ = writeln!(
+            out,
+            "  parameters: {} total, {} trainable",
+            model.num_params(),
+            model.num_trainable_params()
+        );
+        let _ = writeln!(
+            out,
+            "  trained against {} landmarks: {:?}",
+            model.train_schema.n_landmarks(),
+            model
+                .train_schema
+                .landmarks()
+                .iter()
+                .map(|r| r.code())
+                .collect::<Vec<_>>()
+        );
+        let _ = writeln!(
+            out,
+            "  training: {} epochs, final val loss {:.4}",
+            model.history.epochs_run,
+            model.history.val_loss.last().copied().unwrap_or(f32::NAN)
+        );
+        let _ = writeln!(
+            out,
+            "  auxiliary forest: {} trees",
+            model.auxiliary.forest().n_trees()
+        );
+    } else {
+        let _ = writeln!(out, "{} model (`{}` backend)", meta.name, meta.kind);
+        let _ = writeln!(out, "  parameters: {}", meta.n_params);
+        let _ = writeln!(
+            out,
+            "  trained against {} landmarks",
+            meta.n_train_landmarks
+        );
+        let _ = writeln!(
+            out,
+            "  supports specialisation: {}",
+            if meta.supports_specialization {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
     Ok(out)
 }
 
@@ -300,7 +375,7 @@ mod tests {
         dir.join(name)
     }
 
-    fn run_line(parts: &[&str]) -> Result<String, String> {
+    fn run_line(parts: &[&str]) -> Result<String, CliError> {
         let raw: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
         run(&parse(&raw).unwrap())
     }
@@ -310,6 +385,23 @@ mod tests {
         let out = run_line(&["help"]).unwrap();
         assert!(out.contains("simulate"));
         assert!(out.contains("diagnose"));
+        assert!(out.contains("--backend"));
+    }
+
+    #[test]
+    fn unknown_backend_is_a_usage_error() {
+        let err = run_line(&[
+            "train",
+            "--data",
+            "d.json",
+            "--out",
+            "m.json",
+            "--backend",
+            "svm",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unknown backend `svm`"), "{err}");
     }
 
     #[test]
@@ -343,6 +435,13 @@ mod tests {
         let out = run_line(&["info", "--model", model_s]).unwrap();
         assert!(out.contains("trained against 7 landmarks"), "{out}");
 
+        // `--backend` validates the artefact's kind.
+        let out = run_line(&["info", "--model", model_s, "--backend", "diagnet"]).unwrap();
+        assert!(out.contains("DiagNet model"), "{out}");
+        let err = run_line(&["info", "--model", model_s, "--backend", "forest"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("not `forest`"), "{err}");
+
         let out =
             run_line(&["evaluate", "--model", model_s, "--data", data_s, "--k", "3"]).unwrap();
         assert!(out.contains("Recall@3"), "{out}");
@@ -372,6 +471,69 @@ mod tests {
         for p in [data, model, special] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn baseline_backends_train_evaluate_and_diagnose() {
+        let data = tmp("cli_backend_data.json");
+        let data_s = data.to_str().unwrap();
+        run_line(&[
+            "simulate",
+            "--out",
+            data_s,
+            "--scenarios",
+            "6",
+            "--seed",
+            "11",
+        ])
+        .unwrap();
+
+        for backend in ["forest", "bayes"] {
+            let model = tmp(&format!("cli_{backend}_model.json"));
+            let model_s = model.to_str().unwrap();
+            let out = run_line(&[
+                "train",
+                "--data",
+                data_s,
+                "--out",
+                model_s,
+                "--backend",
+                backend,
+                "--seed",
+                "11",
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("`{backend}` backend")), "{out}");
+
+            let out = run_line(&["info", "--model", model_s, "--backend", backend]).unwrap();
+            assert!(out.contains("trained against 7 landmarks"), "{out}");
+
+            let out =
+                run_line(&["evaluate", "--model", model_s, "--data", data_s, "--k", "3"]).unwrap();
+            assert!(out.contains("Recall@3"), "{out}");
+
+            let out = run_line(&["diagnose", "--model", model_s, "--data", data_s]).unwrap();
+            assert!(out.contains("ground truth"), "{out}");
+
+            // Only DiagNet can be specialised.
+            let err = run_line(&[
+                "specialize",
+                "--model",
+                model_s,
+                "--data",
+                data_s,
+                "--service",
+                "single",
+                "--out",
+                model_s,
+            ])
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2);
+            assert!(err.to_string().contains("specialisation"), "{err}");
+
+            std::fs::remove_file(model).ok();
+        }
+        std::fs::remove_file(data).ok();
     }
 
     #[test]
@@ -416,30 +578,36 @@ mod tests {
         .unwrap();
         assert!(msg.contains("1-day campaign"), "{msg}");
         // The artefact is a loadable dataset.
-        let ds = load_dataset(out_s).unwrap();
+        let ds = io::load_dataset(out_s).unwrap();
         assert_eq!(ds.len(), (24 / 6) * 10 * 10);
-        assert!(run_line(&["campaign", "--out", out_s, "--days", "0"]).is_err());
+        let err = run_line(&["campaign", "--out", out_s, "--days", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
         std::fs::remove_file(out).ok();
     }
 
     #[test]
     fn helpful_errors() {
-        assert!(run_line(&[
+        let err = run_line(&[
             "train",
             "--data",
             "/nonexistent.json",
             "--out",
-            "/tmp/x.json"
+            "/tmp/x.json",
         ])
-        .unwrap_err()
-        .contains("cannot open"));
-        assert!(run_line(&["info"]).unwrap_err().contains("--model"));
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot open"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+
+        let err = run_line(&["info"]).unwrap_err();
+        assert!(err.to_string().contains("--model"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
         let data = tmp("cli_err_data.json");
         let data_s = data.to_str().unwrap();
         run_line(&["simulate", "--out", data_s, "--scenarios", "2"]).unwrap();
-        assert!(run_line(&["diagnose", "--model", data_s, "--data", data_s])
-            .unwrap_err()
-            .contains("serialization error"));
+        let err = run_line(&["diagnose", "--model", data_s, "--data", data_s]).unwrap_err();
+        assert!(err.to_string().contains("serialization error"), "{err}");
+        assert_eq!(err.exit_code(), 1);
         std::fs::remove_file(data).ok();
     }
 }

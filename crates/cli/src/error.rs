@@ -1,0 +1,142 @@
+//! The CLI's typed error: every fallible path in [`crate::args`] and
+//! [`crate::commands`] funnels into [`CliError`], which knows how to render
+//! itself with context and which process exit status it maps to.
+//!
+//! Exit-status contract (documented in [`crate::args::USAGE`]):
+//!
+//! * `2` — user error: bad flags, unknown backends/services/configs,
+//!   out-of-range requests. The shell sees "you asked wrong".
+//! * `1` — environment or artefact error: unreadable files, corrupt
+//!   models, training failures. The shell sees "it went wrong".
+
+use diagnet_nn::NnError;
+use std::fmt;
+
+/// Everything that can go wrong between `argv` and a command's output.
+#[derive(Debug)]
+pub enum CliError {
+    /// The user asked for something invalid (bad flag, unknown value,
+    /// out-of-range index). Exits with status 2.
+    Usage(String),
+    /// A filesystem operation on `path` failed.
+    Io {
+        /// What we were doing: `"open"`, `"create"`, …
+        action: &'static str,
+        /// The offending path, as the user spelled it.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// An artefact at `path` exists but its contents are unusable.
+    Data {
+        /// What we were doing: `"parse dataset"`, `"write"`, …
+        action: &'static str,
+        /// The offending path, as the user spelled it.
+        path: String,
+        /// The parser/encoder's message.
+        detail: String,
+    },
+    /// The model layer (training, serialisation, specialisation) failed.
+    Model(NnError),
+}
+
+impl CliError {
+    /// Build a [`CliError::Usage`] from anything stringly.
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError::Usage(message.into())
+    }
+
+    /// The process exit status this error maps to: 2 for user errors,
+    /// 1 for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => f.write_str(message),
+            CliError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "cannot {action} `{path}`: {source}"),
+            CliError::Data {
+                action,
+                path,
+                detail,
+            } => write!(f, "cannot {action} `{path}`: {detail}"),
+            CliError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CliError {
+    fn from(e: NnError) -> CliError {
+        CliError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_exit_2_everything_else_1() {
+        assert_eq!(CliError::usage("bad flag").exit_code(), 2);
+        assert_eq!(
+            CliError::Io {
+                action: "open",
+                path: "x.json".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Model(NnError::Serialization("bad".into())).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_gives_path_context() {
+        let e = CliError::Io {
+            action: "open",
+            path: "missing.json".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        };
+        let text = e.to_string();
+        assert!(text.contains("cannot open `missing.json`"), "{text}");
+
+        let e = CliError::Data {
+            action: "parse dataset",
+            path: "d.json".into(),
+            detail: "truncated".into(),
+        };
+        assert!(
+            e.to_string().contains("cannot parse dataset `d.json`"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn model_errors_keep_the_nn_error_text() {
+        let e = CliError::from(NnError::Serialization("bad payload".into()));
+        let text = e.to_string();
+        assert!(text.contains("serialization error"), "{text}");
+    }
+}

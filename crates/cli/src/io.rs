@@ -1,0 +1,63 @@
+//! File IO for the CLI, kept in one module so every path/serde failure is
+//! converted to a [`CliError`] with the offending path in the message.
+//!
+//! Model artefacts go through [`diagnet::backend_persist`]: new files are
+//! versioned envelopes tagged with their [`BackendKind`]; bare `DiagNet`
+//! JSON written by older builds still loads via the legacy fallback.
+//!
+//! [`BackendKind`]: diagnet::backend::BackendKind
+
+use crate::error::CliError;
+use diagnet::backend::Backend;
+use diagnet::backend_persist;
+use diagnet_sim::Dataset;
+use std::io::{BufReader, BufWriter};
+
+/// Load a dataset JSON produced by `simulate`/`campaign`.
+pub fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError::Io {
+        action: "open",
+        path: path.into(),
+        source: e,
+    })?;
+    serde_json::from_reader(BufReader::new(file)).map_err(|e| CliError::Data {
+        action: "parse dataset",
+        path: path.into(),
+        detail: e.to_string(),
+    })
+}
+
+/// Serialise any value as JSON to `path`.
+pub fn save_json<T: serde::Serialize>(value: &T, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path).map_err(|e| CliError::Io {
+        action: "create",
+        path: path.into(),
+        source: e,
+    })?;
+    serde_json::to_writer(BufWriter::new(file), value).map_err(|e| CliError::Data {
+        action: "write",
+        path: path.into(),
+        detail: e.to_string(),
+    })
+}
+
+/// Load a model artefact: versioned envelope first, bare legacy `DiagNet`
+/// JSON as the fallback.
+pub fn load_backend_file(path: &str) -> Result<Box<dyn Backend>, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError::Io {
+        action: "open",
+        path: path.into(),
+        source: e,
+    })?;
+    backend_persist::load_backend(BufReader::new(file)).map_err(CliError::Model)
+}
+
+/// Save any backend to `path` as a versioned envelope.
+pub fn save_backend_file(backend: &dyn Backend, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path).map_err(|e| CliError::Io {
+        action: "create",
+        path: path.into(),
+        source: e,
+    })?;
+    backend_persist::save_backend(backend, BufWriter::new(file)).map_err(CliError::Model)
+}

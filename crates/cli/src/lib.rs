@@ -5,6 +5,7 @@
 //! ```text
 //! diagnet simulate  --scenarios 100 --seed 42 --out dataset.json
 //! diagnet train     --data dataset.json --out model.json [--config fast]
+//!                   [--backend diagnet|forest|bayes]
 //! diagnet specialize --model model.json --data dataset.json \
 //!                    --service video.stream --out special.json
 //! diagnet diagnose  --model model.json --data dataset.json --sample 3
@@ -13,10 +14,17 @@
 //! ```
 //!
 //! Datasets and models are interchanged as JSON, so pipelines can be
-//! scripted and artefacts inspected.
+//! scripted and artefacts inspected. Models are wrapped in a versioned
+//! envelope tagged with their [`BackendKind`](diagnet::backend::BackendKind);
+//! `--backend` selects the family on `train` and asserts the artefact's
+//! kind elsewhere. Errors are the typed [`CliError`]: user errors exit
+//! with status 2, environment errors with 1.
 
 pub mod args;
 pub mod commands;
+pub mod error;
+pub mod io;
 
 pub use args::{Args, Command};
 pub use commands::run;
+pub use error::CliError;

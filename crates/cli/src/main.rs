@@ -1,23 +1,23 @@
 //! The `diagnet` binary: thin wrapper over [`diagnet_cli`].
+//!
+//! Exit status: 0 on success, 2 on user error (with usage text), 1 on
+//! environment/artefact errors — see [`diagnet_cli::CliError::exit_code`].
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let exit = match diagnet_cli::args::parse(&raw) {
-        Ok(args) => match diagnet_cli::commands::run(&args) {
+    let exit =
+        match diagnet_cli::args::parse(&raw).and_then(|args| diagnet_cli::commands::run(&args)) {
             Ok(output) => {
                 print!("{output}");
                 0
             }
-            Err(message) => {
-                eprintln!("error: {message}");
-                1
+            Err(e) => {
+                eprintln!("error: {e}");
+                if e.exit_code() == 2 {
+                    eprintln!("{}", diagnet_cli::args::USAGE);
+                }
+                e.exit_code()
             }
-        },
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("{}", diagnet_cli::args::USAGE);
-            2
-        }
-    };
+        };
     std::process::exit(exit);
 }

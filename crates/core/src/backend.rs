@@ -1,0 +1,710 @@
+//! The backend abstraction: a capability-complete, object-safe interface
+//! over every root-cause–ranking model in the workspace.
+//!
+//! [`CauseRanker`](crate::baselines::CauseRanker) (PR 1) only covered
+//! scoring. Production consumers need more: the platform retrains and
+//! hot-swaps models, the CLI persists them, and the bench harness batches
+//! them. [`Backend`] is the superset trait all of those program against:
+//!
+//! * **Training** — [`BackendKind::train`] is the uniform factory; per-model
+//!   hyper-parameters travel in one [`BackendConfig`].
+//! * **Ranking** — [`Backend::rank_causes`] plus a mandatory batched
+//!   entry point ([`Backend::rank_causes_batch`]) so the zero-allocation
+//!   batch kernels of PR 2 are reachable behind the trait.
+//! * **Extensibility** — [`Backend::extend`] reports (and validates) how a
+//!   model copes with candidate causes that appeared after training, the
+//!   paper's central claim (§III-F).
+//! * **Persistence** — [`Backend::to_envelope`] wraps any backend in a
+//!   versioned, tagged [`BackendEnvelope`] (serialised by
+//!   [`backend_persist`](crate::backend_persist)).
+//! * **Introspection** — [`Backend::describe`] returns the metadata the
+//!   CLI's `info` command and the bench reports print.
+//!
+//! The shared zero-fill training protocol (hidden-landmark features dropped,
+//! then re-filled with zeros over the full cause space) lives here as
+//! [`training_rows_and_labels`] / [`project_scores`], deduplicating what
+//! used to be three private copies across the DiagNet auxiliary, the forest
+//! baseline and the naive-Bayes baseline.
+
+use crate::model::DiagNet;
+use crate::ranking::CauseRanking;
+use diagnet_bayes::{ExtensibleNaiveBayes, NaiveBayesConfig};
+use diagnet_forest::{ExtensibleForest, ForestConfig};
+use diagnet_nn::NnError;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::Dataset;
+use diagnet_sim::metrics::FeatureSchema;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+
+/// Version tag written into every serialised [`BackendEnvelope`].
+pub const BACKEND_FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Shared extension helpers (the zero-fill protocol).
+// ---------------------------------------------------------------------------
+
+/// Build the training matrix + cause labels over the **full** cause space
+/// from a dataset observed under `train_schema` (the paper's zero-padding
+/// protocol, §IV-B): hidden-landmark measurements are dropped by the schema
+/// projection and re-filled with zeros, so every model trains against all
+/// candidate causes while only ever seeing known-landmark evidence.
+///
+/// Labels index into [`FeatureSchema::full`]; nominal samples get the
+/// out-of-range class `full.n_features()`.
+pub fn training_rows_and_labels(
+    train_data: &Dataset,
+    train_schema: &FeatureSchema,
+) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let full = FeatureSchema::full();
+    let n_causes = full.n_features();
+    let (train_rows, _) = train_data.to_rows(train_schema, 0.0);
+    let rows: Vec<Vec<f32>> = train_rows
+        .iter()
+        .map(|r| full.project_from(train_schema, r, 0.0))
+        .collect();
+    let labels: Vec<usize> = train_data
+        .samples
+        .iter()
+        .map(|s| match s.label.cause() {
+            Some(cause) => full
+                .index_of(cause)
+                .expect("cause feature always exists in the full schema"),
+            None => n_causes,
+        })
+        .collect();
+    (rows, labels)
+}
+
+/// Map full-schema cause scores onto an evaluation schema and renormalise.
+///
+/// The inverse of the zero-fill: a model scores all 55 candidate causes, the
+/// caller asked about `schema`'s subset, so the relevant slice is extracted
+/// and rescaled to sum to one (when non-degenerate).
+pub fn project_scores(
+    full_scores: &[f32],
+    full: &FeatureSchema,
+    schema: &FeatureSchema,
+) -> Vec<f32> {
+    let mut scores: Vec<f32> = (0..schema.n_features())
+        .map(|j| full_scores[full.index_of(schema.feature(j)).expect("schema ⊆ full")])
+        .collect();
+    let sum: f32 = scores.iter().sum();
+    if sum > 0.0 {
+        for s in &mut scores {
+            *s /= sum;
+        }
+    }
+    scores
+}
+
+// ---------------------------------------------------------------------------
+// Metadata types.
+// ---------------------------------------------------------------------------
+
+/// Which backend implementation a model is. The CLI's `--backend` flag and
+/// the serialised envelope both speak this vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The paper's convolutional model with auxiliary-forest ensemble.
+    DiagNet,
+    /// The RANDOM FOREST baseline of §IV-B(a).
+    Forest,
+    /// The NAIVE BAYES baseline of §IV-B(b).
+    NaiveBayes,
+}
+
+/// All selectable backends, in CLI/reporting order.
+pub const ALL_BACKENDS: [BackendKind; 3] = [
+    BackendKind::DiagNet,
+    BackendKind::Forest,
+    BackendKind::NaiveBayes,
+];
+
+impl BackendKind {
+    /// Parse a CLI token (`diagnet`, `forest`, `bayes`).
+    pub fn parse(token: &str) -> Option<BackendKind> {
+        match token {
+            "diagnet" => Some(BackendKind::DiagNet),
+            "forest" => Some(BackendKind::Forest),
+            "bayes" | "naive-bayes" => Some(BackendKind::NaiveBayes),
+            _ => None,
+        }
+    }
+
+    /// The CLI token for this backend.
+    pub fn token(self) -> &'static str {
+        match self {
+            BackendKind::DiagNet => "diagnet",
+            BackendKind::Forest => "forest",
+            BackendKind::NaiveBayes => "bayes",
+        }
+    }
+
+    /// Model name as it appears in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::DiagNet => "DiagNet",
+            BackendKind::Forest => "Random Forest",
+            BackendKind::NaiveBayes => "Naive Bayes",
+        }
+    }
+
+    /// Uniform training factory: fit a backend of this kind on `train_data`
+    /// observed under `train_schema`, with the deterministic seed protocol
+    /// each model has used since its introduction (DiagNet derives its own
+    /// salts; the forest baseline salts with 40; naive Bayes is
+    /// deterministic without a seed).
+    pub fn train(
+        self,
+        config: &BackendConfig,
+        train_data: &Dataset,
+        train_schema: &FeatureSchema,
+        seed: u64,
+    ) -> Result<Box<dyn Backend>, NnError> {
+        match self {
+            BackendKind::DiagNet => Ok(Box::new(DiagNet::train_with_schema(
+                &config.diagnet,
+                train_data,
+                train_schema.clone(),
+                seed,
+            )?)),
+            BackendKind::Forest => Ok(Box::new(ForestBackend::train(
+                &config.diagnet.forest,
+                train_data,
+                train_schema,
+                seed,
+            ))),
+            BackendKind::NaiveBayes => Ok(Box::new(BayesBackend::train(
+                &config.bayes,
+                train_data,
+                train_schema,
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One bundle of hyper-parameters covering every backend kind, so training
+/// call sites (platform trainer, CLI, bench) carry a single config value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// DiagNet hyper-parameters; `diagnet.forest` doubles as the forest
+    /// baseline's config, mirroring the paper's shared forest settings.
+    pub diagnet: crate::config::DiagNetConfig,
+    /// Naive-Bayes (KDE) hyper-parameters.
+    pub bayes: NaiveBayesConfig,
+}
+
+impl BackendConfig {
+    /// Wrap an existing DiagNet config, defaulting everything else.
+    pub fn from_diagnet(diagnet: crate::config::DiagNetConfig) -> Self {
+        BackendConfig {
+            diagnet,
+            bayes: NaiveBayesConfig::default(),
+        }
+    }
+}
+
+/// Metadata every backend reports via [`Backend::describe`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendInfo {
+    /// Implementation kind.
+    pub kind: BackendKind,
+    /// Figure label, e.g. `"Random Forest"`.
+    pub name: &'static str,
+    /// Model size: network weights for DiagNet, tree nodes for the forest,
+    /// KDE support points for naive Bayes.
+    pub n_params: usize,
+    /// Whether [`Backend::specialize_for`] is implemented.
+    pub supports_specialization: bool,
+    /// Landmarks visible when the model was trained.
+    pub n_train_landmarks: usize,
+}
+
+/// What [`Backend::extend`] reports about serving a (possibly wider)
+/// candidate-cause schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtensionInfo {
+    /// Candidate causes in the requested schema.
+    pub n_candidates: usize,
+    /// Candidates whose landmark was visible during training.
+    pub n_known: usize,
+    /// Candidates new since training (scored via the extensibility
+    /// machinery: attention + redistribution/generic likelihoods).
+    pub n_new: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The trait.
+// ---------------------------------------------------------------------------
+
+/// A trained, servable root-cause–analysis model.
+///
+/// Object safe: the platform registry stores `Arc<dyn Backend>` and swaps
+/// implementations atomically on publish. All implementations must be
+/// deterministic — for a fixed training seed, [`Backend::rank_causes`] and
+/// [`Backend::rank_causes_batch`] return bit-identical scores.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// Name, size and capability metadata.
+    fn describe(&self) -> BackendInfo;
+
+    /// Rank all candidate causes of `schema` for one raw feature vector.
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking;
+
+    /// Batched ranking. Must return exactly what per-row
+    /// [`Backend::rank_causes`] calls would, bit for bit; implementations
+    /// are expected to route through their batch kernels where they exist.
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking>;
+
+    /// Check that this model can serve `schema` (every candidate must exist
+    /// in the full cause space) and report how much of it is new relative
+    /// to the training schema.
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError>;
+
+    /// Derive a service-specialised variant (§IV-F). Backends without
+    /// transfer learning return an error.
+    fn specialize_for(
+        &self,
+        service_data: &Dataset,
+        seed: u64,
+    ) -> Result<Box<dyn Backend>, NnError> {
+        let _ = (service_data, seed);
+        Err(NnError::InvalidConfig(format!(
+            "backend `{}` does not support specialisation",
+            self.describe().kind
+        )))
+    }
+
+    /// Wrap a copy of this model in the versioned persistence envelope.
+    fn to_envelope(&self) -> BackendEnvelope;
+
+    /// Downcasting hook (e.g. the registry's DiagNet-specific consumers).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Shared `extend` logic: validate `schema` against the full cause space
+/// and count what is new relative to `train_schema`.
+fn extension_info(
+    train_schema: &FeatureSchema,
+    schema: &FeatureSchema,
+) -> Result<ExtensionInfo, NnError> {
+    let full = FeatureSchema::full();
+    for j in 0..schema.n_features() {
+        let fid = schema.feature(j);
+        if full.index_of(fid).is_none() {
+            return Err(NnError::InvalidConfig(format!(
+                "cannot extend to feature `{}`: not in the full cause space",
+                fid.name()
+            )));
+        }
+    }
+    let n_candidates = schema.n_features();
+    let n_new = schema.unknown_relative_to(train_schema).len();
+    Ok(ExtensionInfo {
+        n_candidates,
+        n_known: n_candidates - n_new,
+        n_new,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DiagNet as a backend.
+// ---------------------------------------------------------------------------
+
+impl Backend for DiagNet {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::DiagNet,
+            name: BackendKind::DiagNet.label(),
+            n_params: self.num_params(),
+            supports_specialization: true,
+            n_train_landmarks: self.train_schema.n_landmarks(),
+        }
+    }
+
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        DiagNet::rank_causes(self, features, schema)
+    }
+
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        DiagNet::rank_causes_batch(self, rows, schema)
+    }
+
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError> {
+        extension_info(&self.train_schema, schema)
+    }
+
+    fn specialize_for(
+        &self,
+        service_data: &Dataset,
+        seed: u64,
+    ) -> Result<Box<dyn Backend>, NnError> {
+        Ok(Box::new(self.specialize(service_data, seed)?))
+    }
+
+    fn to_envelope(&self) -> BackendEnvelope {
+        BackendEnvelope {
+            format_version: BACKEND_FORMAT_VERSION,
+            kind: BackendKind::DiagNet,
+            payload: BackendPayload::DiagNet(Box::new(self.clone())),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The forest baseline as a backend.
+// ---------------------------------------------------------------------------
+
+/// The RANDOM FOREST baseline of §IV-B(a): an [`ExtensibleForest`] used
+/// directly as the cause ranker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestBackend {
+    /// The underlying extensible forest (over the full cause space).
+    pub forest: ExtensibleForest,
+    /// Landmarks visible during training.
+    pub train_schema: FeatureSchema,
+}
+
+impl ForestBackend {
+    /// Train on `train_data` with the paper's zero-padding protocol:
+    /// hidden-landmark features are dropped and re-filled with zeros.
+    pub fn train(
+        config: &ForestConfig,
+        train_data: &Dataset,
+        train_schema: &FeatureSchema,
+        seed: u64,
+    ) -> Self {
+        let n_causes = FeatureSchema::full().n_features();
+        let (rows, labels) = training_rows_and_labels(train_data, train_schema);
+        let cfg = ForestConfig {
+            seed: SplitMix64::derive(seed, 40),
+            ..config.clone()
+        };
+        ForestBackend {
+            forest: ExtensibleForest::fit(&cfg, &rows, &labels, n_causes),
+            train_schema: train_schema.clone(),
+        }
+    }
+}
+
+impl Backend for ForestBackend {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::Forest,
+            name: BackendKind::Forest.label(),
+            n_params: self.forest.forest().n_nodes(),
+            supports_specialization: false,
+            n_train_landmarks: self.train_schema.n_landmarks(),
+        }
+    }
+
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        let full = FeatureSchema::full();
+        let input = full.project_from(schema, features, 0.0);
+        let full_scores = self.forest.scores(&input);
+        CauseRanking::from_scores(project_scores(&full_scores, &full, schema))
+    }
+
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        let full = FeatureSchema::full();
+        let inputs: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| full.project_from(schema, r, 0.0))
+            .collect();
+        self.forest
+            .scores_batch(&inputs)
+            .par_iter()
+            .map(|full_scores| {
+                CauseRanking::from_scores(project_scores(full_scores, &full, schema))
+            })
+            .collect()
+    }
+
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError> {
+        extension_info(&self.train_schema, schema)
+    }
+
+    fn to_envelope(&self) -> BackendEnvelope {
+        BackendEnvelope {
+            format_version: BACKEND_FORMAT_VERSION,
+            kind: BackendKind::Forest,
+            payload: BackendPayload::Forest(self.clone()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The naive-Bayes baseline as a backend.
+// ---------------------------------------------------------------------------
+
+/// The NAIVE BAYES baseline of §IV-B(b).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesBackend {
+    /// The underlying extensible KDE naive Bayes (over the full space).
+    pub model: ExtensibleNaiveBayes,
+    /// Landmarks visible during training.
+    pub train_schema: FeatureSchema,
+}
+
+impl BayesBackend {
+    /// Train with the same protocol as the forest baseline; the visible
+    /// feature set tells the model which features carry real measurements.
+    pub fn train(
+        config: &NaiveBayesConfig,
+        train_data: &Dataset,
+        train_schema: &FeatureSchema,
+    ) -> Self {
+        let full = FeatureSchema::full();
+        let n_features = full.n_features();
+        let (rows, labels) = training_rows_and_labels(train_data, train_schema);
+        let kinds: Vec<usize> = (0..n_features)
+            .map(|j| full.feature(j).kind_index())
+            .collect();
+        let visible: Vec<usize> = (0..n_features)
+            .filter(|&j| train_schema.index_of(full.feature(j)).is_some())
+            .collect();
+        BayesBackend {
+            model: ExtensibleNaiveBayes::fit(config, &rows, &labels, n_features, &kinds, &visible),
+            train_schema: train_schema.clone(),
+        }
+    }
+}
+
+impl Backend for BayesBackend {
+    fn describe(&self) -> BackendInfo {
+        BackendInfo {
+            kind: BackendKind::NaiveBayes,
+            name: BackendKind::NaiveBayes.label(),
+            n_params: self.model.n_support_points(),
+            supports_specialization: false,
+            n_train_landmarks: self.train_schema.n_landmarks(),
+        }
+    }
+
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        let full = FeatureSchema::full();
+        let input = full.project_from(schema, features, 0.0);
+        let full_scores = self.model.scores(&input);
+        CauseRanking::from_scores(project_scores(&full_scores, &full, schema))
+    }
+
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        let full = FeatureSchema::full();
+        let inputs: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| full.project_from(schema, r, 0.0))
+            .collect();
+        self.model
+            .scores_batch(&inputs)
+            .par_iter()
+            .map(|full_scores| {
+                CauseRanking::from_scores(project_scores(full_scores, &full, schema))
+            })
+            .collect()
+    }
+
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError> {
+        extension_info(&self.train_schema, schema)
+    }
+
+    fn to_envelope(&self) -> BackendEnvelope {
+        BackendEnvelope {
+            format_version: BACKEND_FORMAT_VERSION,
+            kind: BackendKind::NaiveBayes,
+            payload: BackendPayload::NaiveBayes(self.clone()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned persistence envelope.
+// ---------------------------------------------------------------------------
+
+/// The serialised form of any backend: a format version, a kind tag, and the
+/// model payload. [`backend_persist`](crate::backend_persist) writes/reads
+/// this as JSON; old bare-`DiagNet` files (pre-envelope) are still accepted
+/// on load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendEnvelope {
+    /// Format revision, currently [`BACKEND_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Which implementation the payload holds (redundant with the payload
+    /// tag, and cross-checked against it on load).
+    pub kind: BackendKind,
+    /// The model itself.
+    pub payload: BackendPayload,
+}
+
+/// The model inside a [`BackendEnvelope`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum BackendPayload {
+    /// A full DiagNet (network + auxiliary forest).
+    DiagNet(Box<DiagNet>),
+    /// The forest baseline.
+    Forest(ForestBackend),
+    /// The naive-Bayes baseline.
+    NaiveBayes(BayesBackend),
+}
+
+impl BackendPayload {
+    fn kind(&self) -> BackendKind {
+        match self {
+            BackendPayload::DiagNet(_) => BackendKind::DiagNet,
+            BackendPayload::Forest(_) => BackendKind::Forest,
+            BackendPayload::NaiveBayes(_) => BackendKind::NaiveBayes,
+        }
+    }
+}
+
+impl BackendEnvelope {
+    /// Check version and kind/payload agreement.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.format_version != BACKEND_FORMAT_VERSION {
+            return Err(NnError::Serialization(format!(
+                "unsupported backend format version {} (expected {BACKEND_FORMAT_VERSION})",
+                self.format_version
+            )));
+        }
+        if self.kind != self.payload.kind() {
+            return Err(NnError::Serialization(format!(
+                "backend envelope kind `{}` does not match payload `{}`",
+                self.kind,
+                self.payload.kind()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validate and unwrap into a servable backend.
+    pub fn into_backend(self) -> Result<Box<dyn Backend>, NnError> {
+        self.validate()?;
+        Ok(match self.payload {
+            BackendPayload::DiagNet(m) => m,
+            BackendPayload::Forest(m) => Box::new(m),
+            BackendPayload::NaiveBayes(m) => Box::new(m),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_sim::world::World;
+
+    fn data() -> (Dataset, Dataset) {
+        let world = World::new();
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 41));
+        let split = ds.split(0.8, 41);
+        (split.train, split.test)
+    }
+
+    #[test]
+    fn project_scores_renormalises() {
+        let full = FeatureSchema::full();
+        let known = FeatureSchema::known();
+        let mut full_scores = vec![0.0f32; full.n_features()];
+        // Put mass on the first two known features and one hidden feature.
+        let a = full.index_of(known.feature(0)).unwrap();
+        let b = full.index_of(known.feature(1)).unwrap();
+        full_scores[a] = 0.2;
+        full_scores[b] = 0.2;
+        let hidden = full.unknown_relative_to(&known)[0];
+        full_scores[hidden] = 0.6;
+        let projected = project_scores(&full_scores, &full, &known);
+        assert_eq!(projected.len(), known.n_features());
+        assert!((projected.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((projected[0] - 0.5).abs() < 1e-6);
+        assert!((projected[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn project_scores_identity_on_full_schema() {
+        let full = FeatureSchema::full();
+        let scores: Vec<f32> = (0..full.n_features()).map(|i| (i + 1) as f32).collect();
+        let sum: f32 = scores.iter().sum();
+        let projected = project_scores(&scores, &full, &full);
+        for (p, s) in projected.iter().zip(&scores) {
+            assert!((p - s / sum).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_rows_use_full_space_with_zero_fill() {
+        let (train, _) = data();
+        let known = FeatureSchema::known();
+        let full = FeatureSchema::full();
+        let (rows, labels) = training_rows_and_labels(&train, &known);
+        assert_eq!(rows.len(), train.samples.len());
+        assert_eq!(labels.len(), train.samples.len());
+        let hidden = full.unknown_relative_to(&known);
+        for row in &rows {
+            assert_eq!(row.len(), full.n_features());
+            for &j in &hidden {
+                assert_eq!(row[j], 0.0, "hidden features must be zero-filled");
+            }
+        }
+        // Labels are full-space cause indices or the nominal class.
+        for &l in &labels {
+            assert!(l <= full.n_features());
+        }
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in ALL_BACKENDS {
+            assert_eq!(BackendKind::parse(kind.token()), Some(kind));
+        }
+        assert_eq!(
+            BackendKind::parse("naive-bayes"),
+            Some(BackendKind::NaiveBayes)
+        );
+        assert_eq!(BackendKind::parse("svm"), None);
+    }
+
+    #[test]
+    fn extend_rejects_foreign_schema() {
+        let (train, _) = data();
+        let backend =
+            ForestBackend::train(&ForestConfig::default(), &train, &FeatureSchema::known(), 1);
+        // A one-landmark schema is a subset of full: accepted.
+        let sub = FeatureSchema::new(vec![FeatureSchema::full().landmarks()[0]]);
+        let info = Backend::extend(&backend, &sub).unwrap();
+        assert_eq!(info.n_candidates, sub.n_features());
+    }
+
+    #[test]
+    fn envelope_validation_catches_mismatches() {
+        let (train, _) = data();
+        let backend =
+            ForestBackend::train(&ForestConfig::default(), &train, &FeatureSchema::known(), 1);
+        let mut env = backend.to_envelope();
+        assert!(env.validate().is_ok());
+        env.kind = BackendKind::DiagNet;
+        assert!(env.validate().is_err());
+        let mut env2 = backend.to_envelope();
+        env2.format_version = 99;
+        assert!(env2.validate().is_err());
+    }
+}

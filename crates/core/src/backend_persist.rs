@@ -1,0 +1,48 @@
+//! Versioned persistence for any [`Backend`]: a tagged JSON envelope with a
+//! format version, cross-checked kind tag, and the model payload.
+//!
+//! Files written before the envelope existed (bare [`DiagNet`] JSON, as
+//! produced by [`DiagNet::save`]) are still accepted by the loaders — the
+//! legacy shape is tried whenever the envelope parse fails.
+
+use crate::backend::{Backend, BackendEnvelope};
+use crate::model::DiagNet;
+use diagnet_nn::NnError;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialise a backend (wrapped in its envelope) as JSON to a writer.
+pub fn save_backend<W: Write>(backend: &dyn Backend, writer: W) -> Result<(), NnError> {
+    serde_json::to_writer(writer, &backend.to_envelope())
+        .map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+/// Deserialise a backend from JSON: envelope first, then the legacy bare
+/// [`DiagNet`] shape.
+pub fn load_backend<R: Read>(reader: R) -> Result<Box<dyn Backend>, NnError> {
+    let mut buf = Vec::new();
+    let mut reader = reader;
+    reader
+        .read_to_end(&mut buf)
+        .map_err(|e| NnError::Serialization(e.to_string()))?;
+    match serde_json::from_slice::<BackendEnvelope>(&buf) {
+        Ok(envelope) => envelope.into_backend(),
+        Err(envelope_err) => match serde_json::from_slice::<DiagNet>(&buf) {
+            Ok(model) => Ok(Box::new(model)),
+            Err(_) => Err(NnError::Serialization(envelope_err.to_string())),
+        },
+    }
+}
+
+/// [`save_backend`] to a filesystem path.
+pub fn save_backend_to_path<P: AsRef<Path>>(backend: &dyn Backend, path: P) -> Result<(), NnError> {
+    let file = File::create(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+    save_backend(backend, BufWriter::new(file))
+}
+
+/// [`load_backend`] from a filesystem path.
+pub fn load_backend_from_path<P: AsRef<Path>>(path: P) -> Result<Box<dyn Backend>, NnError> {
+    let file = File::open(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+    load_backend(BufReader::new(file))
+}

@@ -1,168 +1,62 @@
-//! A common interface over DiagNet and the two comparison baselines
-//! (§IV-B), so the evaluation harness can treat all three uniformly.
+//! A common scoring interface over DiagNet and the two comparison baselines
+//! (§IV-B), so evaluation code can treat all three uniformly.
+//!
+//! Since the backend refactor this module is a thin compatibility layer:
+//! the model structs live in [`backend`](crate::backend) (as
+//! [`ForestBackend`](crate::backend::ForestBackend) /
+//! [`BayesBackend`](crate::backend::BayesBackend), re-exported here under
+//! their historical names), and [`CauseRanker`] is blanket-implemented for
+//! every [`Backend`](crate::backend::Backend), so anything servable by the
+//! platform automatically works with the older scoring call sites.
 
-use crate::model::DiagNet;
+use crate::backend::Backend;
 use crate::ranking::CauseRanking;
-use diagnet_bayes::{ExtensibleNaiveBayes, NaiveBayesConfig};
-use diagnet_forest::{ExtensibleForest, ForestConfig};
-use diagnet_rng::SplitMix64;
-use diagnet_sim::dataset::Dataset;
 use diagnet_sim::metrics::FeatureSchema;
-use rayon::prelude::*;
+
+/// The RANDOM FOREST baseline of §IV-B(a), under its pre-backend name.
+pub type ForestRanker = crate::backend::ForestBackend;
+
+/// The NAIVE BAYES baseline of §IV-B(b), under its pre-backend name.
+pub type NaiveBayesRanker = crate::backend::BayesBackend;
 
 /// Anything that can rank the candidate root causes of a sample.
+///
+/// Blanket-implemented for every [`Backend`]; implement `Backend` for new
+/// models rather than this trait.
 pub trait CauseRanker: Send + Sync {
     /// Model name as it appears in the paper's figures.
     fn name(&self) -> &'static str;
     /// Rank all candidate causes of `schema` for one raw feature vector.
     fn rank(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking;
-    /// Batched ranking (parallel by default).
+    /// Batched ranking.
     fn rank_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking>
     where
         Self: Sized,
     {
-        rows.par_iter().map(|r| self.rank(r, schema)).collect()
+        rows.iter().map(|r| self.rank(r, schema)).collect()
     }
 }
 
-impl CauseRanker for DiagNet {
+impl<T: Backend> CauseRanker for T {
     fn name(&self) -> &'static str {
-        "DiagNet"
+        self.describe().name
     }
 
     fn rank(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
-        self.rank_causes(features, schema)
-    }
-}
-
-/// Map full-schema cause scores onto an evaluation schema and renormalise.
-fn project_scores(full_scores: &[f32], full: &FeatureSchema, schema: &FeatureSchema) -> Vec<f32> {
-    let mut scores: Vec<f32> = (0..schema.n_features())
-        .map(|j| full_scores[full.index_of(schema.feature(j)).expect("schema ⊆ full")])
-        .collect();
-    let sum: f32 = scores.iter().sum();
-    if sum > 0.0 {
-        for s in &mut scores {
-            *s /= sum;
-        }
-    }
-    scores
-}
-
-/// The RANDOM FOREST baseline of §IV-B(a): an [`ExtensibleForest`] used
-/// directly as the cause ranker.
-#[derive(Debug, Clone)]
-pub struct ForestRanker {
-    /// The underlying extensible forest (over the full cause space).
-    pub forest: ExtensibleForest,
-}
-
-impl ForestRanker {
-    /// Train on `train_data` with the paper's zero-padding protocol:
-    /// hidden-landmark features are dropped and re-filled with zeros.
-    pub fn train(
-        config: &ForestConfig,
-        train_data: &Dataset,
-        train_schema: &FeatureSchema,
-        seed: u64,
-    ) -> Self {
-        let full = FeatureSchema::full();
-        let n_causes = full.n_features();
-        let (train_rows, _) = train_data.to_rows(train_schema, 0.0);
-        let rows: Vec<Vec<f32>> = train_rows
-            .iter()
-            .map(|r| full.project_from(train_schema, r, 0.0))
-            .collect();
-        let labels: Vec<usize> = train_data
-            .samples
-            .iter()
-            .map(|s| match s.label.cause() {
-                Some(cause) => full.index_of(cause).expect("cause in full schema"),
-                None => n_causes,
-            })
-            .collect();
-        let cfg = ForestConfig {
-            seed: SplitMix64::derive(seed, 40),
-            ..config.clone()
-        };
-        ForestRanker {
-            forest: ExtensibleForest::fit(&cfg, &rows, &labels, n_causes),
-        }
-    }
-}
-
-impl CauseRanker for ForestRanker {
-    fn name(&self) -> &'static str {
-        "Random Forest"
+        Backend::rank_causes(self, features, schema)
     }
 
-    fn rank(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
-        let full = FeatureSchema::full();
-        let input = full.project_from(schema, features, 0.0);
-        let full_scores = self.forest.scores(&input);
-        CauseRanking::from_scores(project_scores(&full_scores, &full, schema))
-    }
-}
-
-/// The NAIVE BAYES baseline of §IV-B(b).
-#[derive(Debug, Clone)]
-pub struct NaiveBayesRanker {
-    /// The underlying extensible KDE naive Bayes (over the full space).
-    pub model: ExtensibleNaiveBayes,
-}
-
-impl NaiveBayesRanker {
-    /// Train with the same protocol as the forest baseline; the visible
-    /// feature set tells the model which features carry real measurements.
-    pub fn train(
-        config: &NaiveBayesConfig,
-        train_data: &Dataset,
-        train_schema: &FeatureSchema,
-    ) -> Self {
-        let full = FeatureSchema::full();
-        let n_features = full.n_features();
-        let (train_rows, _) = train_data.to_rows(train_schema, 0.0);
-        let rows: Vec<Vec<f32>> = train_rows
-            .iter()
-            .map(|r| full.project_from(train_schema, r, 0.0))
-            .collect();
-        let labels: Vec<usize> = train_data
-            .samples
-            .iter()
-            .map(|s| match s.label.cause() {
-                Some(cause) => full.index_of(cause).expect("cause in full schema"),
-                None => n_features,
-            })
-            .collect();
-        let kinds: Vec<usize> = (0..n_features)
-            .map(|j| full.feature(j).kind_index())
-            .collect();
-        let visible: Vec<usize> = (0..n_features)
-            .filter(|&j| train_schema.index_of(full.feature(j)).is_some())
-            .collect();
-        NaiveBayesRanker {
-            model: ExtensibleNaiveBayes::fit(config, &rows, &labels, n_features, &kinds, &visible),
-        }
-    }
-}
-
-impl CauseRanker for NaiveBayesRanker {
-    fn name(&self) -> &'static str {
-        "Naive Bayes"
-    }
-
-    fn rank(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
-        let full = FeatureSchema::full();
-        let input = full.project_from(schema, features, 0.0);
-        let full_scores = self.model.scores(&input);
-        CauseRanking::from_scores(project_scores(&full_scores, &full, schema))
+    fn rank_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        Backend::rank_causes_batch(self, rows, schema)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_bayes::NaiveBayesConfig;
+    use diagnet_forest::ForestConfig;
+    use diagnet_sim::dataset::{Dataset, DatasetConfig};
     use diagnet_sim::world::World;
 
     fn data() -> (Dataset, Dataset) {
@@ -181,7 +75,7 @@ mod tests {
         let r = ranker.rank(&test.samples[0].features, &full);
         assert_eq!(r.scores.len(), 55);
         assert!((r.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
-        assert_eq!(ranker.name(), "Random Forest");
+        assert_eq!(CauseRanker::name(&ranker), "Random Forest");
     }
 
     #[test]

@@ -32,10 +32,13 @@
 //!   weighted by the predicted probability `w_U` that the cause lies at an
 //!   unknown landmark ([`ensemble`]).
 //!
-//! Beyond the paper's pipeline: [`persist`] serialises whole pipelines,
-//! [`perturbation`] provides the black-box occlusion-attention alternative
-//! §III-E alludes to, [`explain`] renders ticket-style diagnoses, and
-//! [`aggregate`] fuses many clients' rankings into an incident map.
+//! Beyond the paper's pipeline: [`backend`] abstracts every model behind
+//! one servable [`Backend`](backend::Backend) trait (training, batched
+//! ranking, extension, versioned persistence via [`backend_persist`]),
+//! [`persist`] serialises whole pipelines, [`perturbation`] provides the
+//! black-box occlusion-attention alternative §III-E alludes to, [`explain`]
+//! renders ticket-style diagnoses, and [`aggregate`] fuses many clients'
+//! rankings into an incident map.
 //!
 //! ## Quick start
 //!
@@ -55,6 +58,8 @@
 
 pub mod aggregate;
 pub mod attention;
+pub mod backend;
+pub mod backend_persist;
 pub mod baselines;
 pub mod config;
 pub mod ensemble;
@@ -70,6 +75,9 @@ pub mod weighting;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::aggregate::IncidentMap;
+    pub use crate::backend::{
+        Backend, BackendConfig, BackendInfo, BackendKind, ExtensionInfo, ALL_BACKENDS,
+    };
     pub use crate::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
     pub use crate::config::DiagNetConfig;
     pub use crate::explain::Explanation;

@@ -219,25 +219,10 @@ impl DiagNet {
         train_schema: &FeatureSchema,
         seed: u64,
     ) -> Result<ExtensibleForest, NnError> {
-        let full = FeatureSchema::full();
-        let n_causes = full.n_features();
+        let n_causes = FeatureSchema::full().n_features();
         // Project: dataset → train schema (drops hidden measurements) →
         // full schema with zeros in the hidden slots.
-        let (train_rows, _) = train_data.to_rows(train_schema, 0.0);
-        let rows: Vec<Vec<f32>> = train_rows
-            .iter()
-            .map(|r| full.project_from(train_schema, r, 0.0))
-            .collect();
-        let labels: Vec<usize> = train_data
-            .samples
-            .iter()
-            .map(|s| match s.label.cause() {
-                Some(cause) => full
-                    .index_of(cause)
-                    .expect("cause feature always exists in the full schema"),
-                None => n_causes,
-            })
-            .collect();
+        let (rows, labels) = crate::backend::training_rows_and_labels(train_data, train_schema);
         let mut forest_cfg = config.forest.clone();
         forest_cfg.seed = SplitMix64::derive(seed, 3);
         Ok(ExtensibleForest::fit(&forest_cfg, &rows, &labels, n_causes))
@@ -341,15 +326,7 @@ impl DiagNet {
         let full = FeatureSchema::full();
         let aux_input = full.project_from(schema, features, 0.0);
         let aux_full = self.auxiliary.scores(&aux_input);
-        let mut aux: Vec<f32> = (0..schema.n_features())
-            .map(|j| aux_full[full.index_of(schema.feature(j)).expect("schema ⊆ full")])
-            .collect();
-        let aux_sum: f32 = aux.iter().sum();
-        if aux_sum > 0.0 {
-            for a in &mut aux {
-                *a /= aux_sum;
-            }
-        }
+        let aux = crate::backend::project_scores(&aux_full, &full, schema);
         let unknown = schema.unknown_relative_to(&self.train_schema);
         let (scores, w_unknown) = ensemble_average(&gamma_tuned, &aux, &unknown);
         CauseRanking {

@@ -15,6 +15,19 @@ use crate::forest::{ForestConfig, RandomForest};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// Evenly redistribute the special nominal/unknown class's probability mass
+/// over the `n_causes` cause classes (§IV-B(a)).
+///
+/// `probs` is a forest probability vector of width `n_causes + 1`, with the
+/// nominal class last; the returned vector has width `n_causes` and the same
+/// total mass. This is the forest half of the shared "unknown score" logic —
+/// the naive-Bayes counterpart is `diagnet_bayes`'s generic-cause mixture.
+pub fn spread_nominal_mass(probs: &[f32], n_causes: usize) -> Vec<f32> {
+    let nominal_mass = probs[n_causes];
+    let share = nominal_mass / n_causes as f32;
+    probs[..n_causes].iter().map(|&p| p + share).collect()
+}
+
 /// Extensible root-cause classifier backed by a random forest.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExtensibleForest {
@@ -58,10 +71,7 @@ impl ExtensibleForest {
     /// probability estimate with the nominal class's mass spread evenly.
     pub fn scores(&self, row: &[f32]) -> Vec<f32> {
         assert_eq!(row.len(), self.n_causes, "row must have n_causes features");
-        let probs = self.forest.predict_proba(row);
-        let nominal_mass = probs[self.n_causes];
-        let share = nominal_mass / self.n_causes as f32;
-        probs[..self.n_causes].iter().map(|&p| p + share).collect()
+        spread_nominal_mass(&self.forest.predict_proba(row), self.n_causes)
     }
 
     /// Batch scores, parallelised over samples.
@@ -217,5 +227,18 @@ mod tests {
     fn rejects_wrong_width() {
         let (model, _, _) = fit_small(8, 6);
         model.scores(&[0.0; 3]);
+    }
+
+    #[test]
+    fn spread_nominal_mass_pins_redistribution_arithmetic() {
+        // probs = [cause0, cause1, nominal]; nominal mass 0.5 splits into
+        // 0.25 per cause.
+        let spread = spread_nominal_mass(&[0.2, 0.3, 0.5], 2);
+        assert_eq!(spread, vec![0.2 + 0.25, 0.3 + 0.25]);
+        assert!((spread.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // No nominal mass → identity.
+        assert_eq!(spread_nominal_mass(&[0.6, 0.4, 0.0], 2), vec![0.6, 0.4]);
+        // All-nominal → uniform.
+        assert_eq!(spread_nominal_mass(&[0.0, 0.0, 1.0], 2), vec![0.5, 0.5]);
     }
 }

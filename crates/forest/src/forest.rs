@@ -156,6 +156,12 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Total node count across the ensemble (the forest's "parameter
+    /// count" in model-size comparisons).
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.n_nodes()).sum()
+    }
+
     /// Normalised per-feature importance: the fraction of all splits in
     /// the ensemble that test each feature. Zero vector if the forest
     /// never split (degenerate data).

@@ -20,6 +20,6 @@ pub mod extensible;
 pub mod forest;
 pub mod tree;
 
-pub use extensible::ExtensibleForest;
+pub use extensible::{spread_nominal_mass, ExtensibleForest};
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
 pub use tree::{DecisionTree, TreeConfig};

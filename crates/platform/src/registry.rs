@@ -5,7 +5,14 @@
 //! behind a `parking_lot::RwLock`, so a diagnosis that started with
 //! version *n* keeps using it even while version *n + 1* is being
 //! published.
+//!
+//! Since the backend refactor the registry stores `Arc<dyn Backend>`: any
+//! model behind the [`Backend`] trait (DiagNet, the forest baseline, naive
+//! Bayes, or something new) can be served and hot-swapped. The historic
+//! DiagNet-typed [`ModelRegistry::publish`] entry points remain as thin
+//! wrappers.
 
+use diagnet::backend::Backend;
 use diagnet::model::DiagNet;
 use diagnet_sim::service::ServiceId;
 use parking_lot::RwLock;
@@ -15,8 +22,8 @@ use std::sync::Arc;
 /// Inner state guarded by the lock.
 #[derive(Debug, Default)]
 struct State {
-    general: Option<Arc<DiagNet>>,
-    specialized: HashMap<ServiceId, Arc<DiagNet>>,
+    general: Option<Arc<dyn Backend>>,
+    specialized: HashMap<ServiceId, Arc<dyn Backend>>,
     version: u64,
 }
 
@@ -33,30 +40,50 @@ impl ModelRegistry {
         ModelRegistry::default()
     }
 
-    /// Publish a new generation of models, bumping the version.
-    pub fn publish(&self, general: DiagNet, specialized: HashMap<ServiceId, DiagNet>) -> u64 {
+    /// Publish a new generation of models behind the backend abstraction,
+    /// bumping the version.
+    pub fn publish_backend(
+        &self,
+        general: Arc<dyn Backend>,
+        specialized: HashMap<ServiceId, Arc<dyn Backend>>,
+    ) -> u64 {
         let mut state = self.state.write();
-        state.general = Some(Arc::new(general));
-        state.specialized = specialized
-            .into_iter()
-            .map(|(sid, m)| (sid, Arc::new(m)))
-            .collect();
+        state.general = Some(general);
+        state.specialized = specialized;
         state.version += 1;
         state.version
     }
 
-    /// Publish (or replace) the specialised model of a single service
+    /// Publish a new generation of DiagNet models (wrapper over
+    /// [`ModelRegistry::publish_backend`]).
+    pub fn publish(&self, general: DiagNet, specialized: HashMap<ServiceId, DiagNet>) -> u64 {
+        self.publish_backend(
+            Arc::new(general),
+            specialized
+                .into_iter()
+                .map(|(sid, m)| (sid, Arc::new(m) as Arc<dyn Backend>))
+                .collect(),
+        )
+    }
+
+    /// Publish (or replace) the specialised backend of a single service
     /// without touching the others — the cheap onboarding path of §IV-F.
-    pub fn publish_specialized(&self, sid: ServiceId, model: DiagNet) -> u64 {
+    pub fn publish_specialized_backend(&self, sid: ServiceId, model: Arc<dyn Backend>) -> u64 {
         let mut state = self.state.write();
-        state.specialized.insert(sid, Arc::new(model));
+        state.specialized.insert(sid, model);
         state.version += 1;
         state.version
+    }
+
+    /// DiagNet-typed wrapper over
+    /// [`ModelRegistry::publish_specialized_backend`].
+    pub fn publish_specialized(&self, sid: ServiceId, model: DiagNet) -> u64 {
+        self.publish_specialized_backend(sid, Arc::new(model))
     }
 
     /// The model to use for `sid`: its specialised model when published,
     /// the general model otherwise, `None` before any publication.
-    pub fn model_for(&self, sid: ServiceId) -> Option<Arc<DiagNet>> {
+    pub fn model_for(&self, sid: ServiceId) -> Option<Arc<dyn Backend>> {
         let state = self.state.read();
         state
             .specialized
@@ -66,7 +93,7 @@ impl ModelRegistry {
     }
 
     /// The general model, if published.
-    pub fn general(&self) -> Option<Arc<DiagNet>> {
+    pub fn general(&self) -> Option<Arc<dyn Backend>> {
         self.state.read().general.clone()
     }
 
@@ -91,6 +118,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use diagnet::backend::BackendKind;
     use diagnet::config::DiagNetConfig;
     use diagnet_sim::dataset::{Dataset, DatasetConfig};
     use diagnet_sim::world::World;
@@ -114,6 +142,11 @@ mod tests {
         })
     }
 
+    /// Downcast a served backend to the DiagNet the tests published.
+    fn as_diagnet(model: &Arc<dyn Backend>) -> &DiagNet {
+        model.as_any().downcast_ref().expect("published a DiagNet")
+    }
+
     #[test]
     fn empty_registry_serves_nothing() {
         let reg = ModelRegistry::new();
@@ -135,8 +168,8 @@ mod tests {
         // Service 0 gets its specialised model, others the general one.
         let m0 = reg.model_for(ServiceId(0)).unwrap();
         let m1 = reg.model_for(ServiceId(1)).unwrap();
-        assert_eq!(m0.network, spec.network);
-        assert_eq!(m1.network, general.network);
+        assert_eq!(as_diagnet(&m0).network, spec.network);
+        assert_eq!(as_diagnet(&m1).network, general.network);
         assert_eq!(reg.specialized_services(), vec![ServiceId(0)]);
     }
 
@@ -148,9 +181,11 @@ mod tests {
         assert_eq!(reg.version(), 1);
         reg.publish_specialized(ServiceId(3), spec.clone());
         assert_eq!(reg.version(), 2);
-        assert_eq!(reg.model_for(ServiceId(3)).unwrap().network, spec.network);
+        let m3 = reg.model_for(ServiceId(3)).unwrap();
+        assert_eq!(as_diagnet(&m3).network, spec.network);
         // General stayed in place.
-        assert_eq!(reg.general().unwrap().network, general.network);
+        let g = reg.general().unwrap();
+        assert_eq!(as_diagnet(&g).network, general.network);
     }
 
     #[test]
@@ -162,9 +197,32 @@ mod tests {
         // New generation published while we hold the old Arc.
         reg.publish(spec.clone(), HashMap::new());
         assert_eq!(
-            snapshot.network, general.network,
+            as_diagnet(&snapshot).network,
+            general.network,
             "held snapshot must not change"
         );
-        assert_eq!(reg.general().unwrap().network, spec.network);
+        let g = reg.general().unwrap();
+        assert_eq!(as_diagnet(&g).network, spec.network);
+    }
+
+    #[test]
+    fn serves_any_backend_kind() {
+        use diagnet::backend::ForestBackend;
+        use diagnet_forest::ForestConfig;
+        use diagnet_sim::metrics::FeatureSchema;
+
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 72);
+        cfg.n_scenarios = 10;
+        let ds = Dataset::generate(&world, &cfg);
+        let forest =
+            ForestBackend::train(&ForestConfig::default(), &ds, &FeatureSchema::known(), 72);
+        let reg = ModelRegistry::new();
+        reg.publish_backend(Arc::new(forest), HashMap::new());
+        let served = reg.model_for(ServiceId(1)).unwrap();
+        assert_eq!(served.describe().kind, BackendKind::Forest);
+        let schema = FeatureSchema::full();
+        let ranking = served.rank_causes(&ds.samples[0].features, &schema);
+        assert_eq!(ranking.scores.len(), schema.n_features());
     }
 }

@@ -111,6 +111,7 @@ mod tests {
         model.forest.n_trees = 5;
         let service = AnalysisService::new(
             ServiceConfig {
+                backend: diagnet::backend::BackendKind::DiagNet,
                 model,
                 buffer_capacity: 100_000,
                 general_services: world.catalog.general_ids(),

@@ -10,7 +10,8 @@
 
 use crate::collector::ProbeCollector;
 use crate::registry::ModelRegistry;
-use crate::trainer::{retrain, RetrainWorker, TrainReport};
+use crate::trainer::{retrain_backend, RetrainWorker, TrainReport};
+use diagnet::backend::{BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::ranking::CauseRanking;
 use diagnet_nn::error::NnError;
@@ -23,6 +24,9 @@ use std::sync::Arc;
 /// Analysis-service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
+    /// Which backend every generation trains ([`BackendKind::DiagNet`] for
+    /// the paper's pipeline; baselines serve through the same registry).
+    pub backend: BackendKind,
     /// Model hyper-parameters for every generation.
     pub model: DiagNetConfig,
     /// Sample-buffer capacity (sliding window).
@@ -69,7 +73,8 @@ impl AnalysisService {
             RetrainWorker::spawn(
                 Arc::clone(&collector),
                 Arc::clone(&registry),
-                config.model.clone(),
+                config.backend,
+                BackendConfig::from_diagnet(config.model.clone()),
                 config.general_services.clone(),
                 config.min_service_samples,
             )
@@ -123,12 +128,13 @@ impl AnalysisService {
         })
     }
 
-    /// Run one synchronous training generation.
+    /// Run one synchronous training generation of the configured backend.
     pub fn retrain_now(&self) -> Result<TrainReport, NnError> {
-        retrain(
+        retrain_backend(
             &self.collector,
             &self.registry,
-            &self.config.model,
+            self.config.backend,
+            &BackendConfig::from_diagnet(self.config.model.clone()),
             &self.config.general_services,
             self.config.min_service_samples,
             self.next_seed(),
@@ -190,6 +196,7 @@ mod tests {
         model.epochs = 2;
         model.forest.n_trees = 5;
         let config = ServiceConfig {
+            backend: BackendKind::DiagNet,
             model,
             buffer_capacity: 100_000,
             general_services: world.catalog.general_ids(),

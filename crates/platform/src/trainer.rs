@@ -1,18 +1,21 @@
 //! Retraining orchestration.
 //!
-//! [`retrain`] performs one synchronous training generation: snapshot the
-//! collector, train the general model on the configured base services,
-//! specialise for every service present in the data, and publish to the
-//! registry. [`RetrainWorker`] runs the same logic on a dedicated thread,
-//! triggered through a crossbeam channel, so probe ingestion and
-//! diagnosis never block on training.
+//! [`retrain_backend`] performs one synchronous training generation for
+//! any registered [`BackendKind`]: snapshot the collector, train on the
+//! configured base services, specialise per service where the backend
+//! supports it, and publish to the registry. [`retrain`] is the historic
+//! DiagNet-typed wrapper. [`RetrainWorker`] runs the same logic on a
+//! dedicated thread, triggered through a crossbeam channel, so probe
+//! ingestion and diagnosis never block on training.
 
 use crate::collector::ProbeCollector;
 use crate::registry::ModelRegistry;
+use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
 use diagnet::transfer::SpecializedModels;
 use diagnet_nn::error::NnError;
+use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,6 +26,8 @@ use std::time::Instant;
 pub struct TrainReport {
     /// Registry version the generation was published as.
     pub version: u64,
+    /// Backend kind that was trained.
+    pub backend: BackendKind,
     /// Samples used.
     pub n_samples: usize,
     /// Faulty samples among them.
@@ -33,24 +38,26 @@ pub struct TrainReport {
     pub duration_secs: f64,
 }
 
-/// Train one generation from the collector's current contents and publish
-/// it. The collector is snapshotted, not drained: the sliding window
-/// keeps accumulating.
+/// Train one generation of `kind` from the collector's current contents
+/// and publish it. The collector is snapshotted, not drained: the sliding
+/// window keeps accumulating.
 ///
 /// `general_services` picks the services the general model trains on
-/// (paper: eight); specialised models are built for every service with at
-/// least `min_service_samples` samples.
+/// (paper: eight). When the backend supports specialisation (DiagNet),
+/// specialised models are built for every service with at least
+/// `min_service_samples` samples; other backends publish the general model
+/// alone.
 ///
-/// The generation is internally parallel: `DiagNet::train` fits the
-/// coarse network and the auxiliary forest concurrently
-/// (`rayon::join`), and `SpecializedModels::train` specialises all
-/// eligible services in parallel. Per-member seeds are derived by index,
-/// so a generation is bit-for-bit reproducible regardless of thread
-/// count.
-pub fn retrain(
+/// A DiagNet generation is internally parallel: `DiagNet::train` fits the
+/// coarse network and the auxiliary forest concurrently (`rayon::join`),
+/// and `SpecializedModels::train` specialises all eligible services in
+/// parallel. Per-member seeds are derived by index, so a generation is
+/// bit-for-bit reproducible regardless of thread count.
+pub fn retrain_backend(
     collector: &ProbeCollector,
     registry: &ModelRegistry,
-    config: &DiagNetConfig,
+    kind: BackendKind,
+    config: &BackendConfig,
     general_services: &[ServiceId],
     min_service_samples: usize,
     seed: u64,
@@ -66,7 +73,22 @@ pub fn retrain(
             "no samples for any of the general services".into(),
         ));
     }
-    let general = DiagNet::train(config, &general_data, seed)?;
+
+    if kind != BackendKind::DiagNet {
+        // Baseline backends have no transfer learning: one general model.
+        let general = kind.train(config, &general_data, &FeatureSchema::known(), seed)?;
+        let version = registry.publish_backend(Arc::from(general), HashMap::new());
+        return Ok(TrainReport {
+            version,
+            backend: kind,
+            n_samples: data.len(),
+            n_faulty: data.n_faulty(),
+            specialized: Vec::new(),
+            duration_secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+
+    let general = DiagNet::train(&config.diagnet, &general_data, seed)?;
 
     // Specialise every service with enough data.
     let mut present: Vec<ServiceId> = data.samples.iter().map(|s| s.service).collect();
@@ -78,19 +100,41 @@ pub fn retrain(
         .collect();
     let suite = SpecializedModels::train(general, &data, &eligible, seed ^ 0x7E7E)?;
 
-    let specialized: HashMap<ServiceId, DiagNet> = suite
+    let specialized: HashMap<ServiceId, Arc<dyn Backend>> = suite
         .models
         .iter()
-        .map(|(&sid, m)| (sid, m.clone()))
+        .map(|(&sid, m)| (sid, Arc::new(m.clone()) as Arc<dyn Backend>))
         .collect();
-    let version = registry.publish(suite.general, specialized);
+    let version = registry.publish_backend(Arc::new(suite.general), specialized);
     Ok(TrainReport {
         version,
+        backend: BackendKind::DiagNet,
         n_samples: data.len(),
         n_faulty: data.n_faulty(),
         specialized: eligible,
         duration_secs: t0.elapsed().as_secs_f64(),
     })
+}
+
+/// DiagNet-typed wrapper over [`retrain_backend`], kept for call sites
+/// that predate the backend abstraction.
+pub fn retrain(
+    collector: &ProbeCollector,
+    registry: &ModelRegistry,
+    config: &DiagNetConfig,
+    general_services: &[ServiceId],
+    min_service_samples: usize,
+    seed: u64,
+) -> Result<TrainReport, NnError> {
+    retrain_backend(
+        collector,
+        registry,
+        BackendKind::DiagNet,
+        &BackendConfig::from_diagnet(config.clone()),
+        general_services,
+        min_service_samples,
+        seed,
+    )
 }
 
 /// Commands accepted by the background worker.
@@ -108,11 +152,12 @@ pub struct RetrainWorker {
 
 impl RetrainWorker {
     /// Spawn the worker. It holds shared handles on the collector and
-    /// registry and trains on demand.
+    /// registry and trains backends of `kind` on demand.
     pub fn spawn(
         collector: Arc<ProbeCollector>,
         registry: Arc<ModelRegistry>,
-        config: DiagNetConfig,
+        kind: BackendKind,
+        config: BackendConfig,
         general_services: Vec<ServiceId>,
         min_service_samples: usize,
     ) -> Self {
@@ -124,9 +169,10 @@ impl RetrainWorker {
                 while let Ok(cmd) = cmd_rx.recv() {
                     match cmd {
                         Command::Retrain { seed } => {
-                            let report = retrain(
+                            let report = retrain_backend(
                                 &collector,
                                 &registry,
+                                kind,
                                 &config,
                                 &general_services,
                                 min_service_samples,
@@ -189,7 +235,6 @@ impl Drop for RetrainWorker {
 mod tests {
     use super::*;
     use diagnet_sim::dataset::{Dataset, DatasetConfig};
-    use diagnet_sim::metrics::FeatureSchema;
     use diagnet_sim::world::World;
 
     fn loaded_collector(seed: u64) -> (World, Arc<ProbeCollector>) {
@@ -224,6 +269,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.version, 1);
+        assert_eq!(report.backend, BackendKind::DiagNet);
         assert_eq!(report.n_samples, collector.len(), "snapshot, not drain");
         assert_eq!(report.specialized.len(), world.catalog.len());
         assert!(registry.is_ready());
@@ -248,13 +294,42 @@ mod tests {
     }
 
     #[test]
+    fn baseline_backends_retrain_and_publish() {
+        let (world, collector) = loaded_collector(85);
+        let registry = ModelRegistry::new();
+        let mut config = BackendConfig::from_diagnet(fast_config());
+        config.bayes.kde_cap = 64;
+        for (i, kind) in [BackendKind::Forest, BackendKind::NaiveBayes]
+            .into_iter()
+            .enumerate()
+        {
+            let report = retrain_backend(
+                &collector,
+                &registry,
+                kind,
+                &config,
+                &world.catalog.general_ids(),
+                1,
+                85,
+            )
+            .unwrap();
+            assert_eq!(report.version, i as u64 + 1);
+            assert_eq!(report.backend, kind);
+            assert!(report.specialized.is_empty(), "baselines do not specialise");
+            let served = registry.general().unwrap();
+            assert_eq!(served.describe().kind, kind);
+        }
+    }
+
+    #[test]
     fn background_worker_round_trip() {
         let (world, collector) = loaded_collector(83);
         let registry = Arc::new(ModelRegistry::new());
         let worker = RetrainWorker::spawn(
             Arc::clone(&collector),
             Arc::clone(&registry),
-            fast_config(),
+            BackendKind::DiagNet,
+            BackendConfig::from_diagnet(fast_config()),
             world.catalog.general_ids(),
             1,
         );

@@ -2,6 +2,7 @@
 //! arriving while diagnoses run and model generations roll over — the
 //! operational picture of the paper's Fig. 1.
 
+use diagnet::backend::BackendKind;
 use diagnet::config::DiagNetConfig;
 use diagnet_platform::{AnalysisService, ServiceConfig};
 use diagnet_sim::dataset::{Dataset, DatasetConfig, Sample};
@@ -16,6 +17,7 @@ fn fixture() -> (World, Arc<AnalysisService>, Vec<Sample>) {
     model.forest.n_trees = 5;
     let service = Arc::new(AnalysisService::new(
         ServiceConfig {
+            backend: BackendKind::DiagNet,
             model,
             buffer_capacity: 200_000,
             general_services: world.catalog.general_ids(),
@@ -96,6 +98,83 @@ fn generation_rollover_changes_version_not_correctness() {
 }
 
 #[test]
+fn baseline_backend_hot_swaps_into_a_live_service() {
+    use diagnet::backend::ForestBackend;
+    use diagnet_forest::ForestConfig;
+    use std::collections::HashMap;
+    use std::sync::Arc as StdArc;
+
+    let (_, service, samples) = fixture();
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    let report = service.retrain_now().unwrap();
+    assert_eq!(report.backend, BackendKind::DiagNet);
+    let schema = FeatureSchema::full();
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    let before = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(before.model_version, 1);
+
+    // Hot-swap a forest baseline into the registry the service is serving
+    // from: diagnoses keep flowing, now against the new backend.
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, 501);
+    cfg.n_scenarios = 10;
+    let ds = Dataset::generate(&world, &cfg);
+    let forest = ForestBackend::train(&ForestConfig::default(), &ds, &FeatureSchema::known(), 501);
+    let snapshot = service.registry().general().unwrap();
+    service
+        .registry()
+        .publish_backend(StdArc::new(forest), HashMap::new());
+    let after = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(after.model_version, 2);
+    assert_eq!(after.ranking.scores.len(), 55);
+    assert_eq!(
+        service.registry().general().unwrap().describe().kind,
+        BackendKind::Forest
+    );
+    // The pre-swap snapshot is unaffected by the publication.
+    assert_eq!(snapshot.describe().kind, BackendKind::DiagNet);
+}
+
+#[test]
+fn service_trains_a_configured_baseline_backend() {
+    let world = World::new();
+    let service = AnalysisService::new(
+        ServiceConfig {
+            backend: BackendKind::NaiveBayes,
+            model: DiagNetConfig::fast(),
+            buffer_capacity: 100_000,
+            general_services: world.catalog.general_ids(),
+            min_service_samples: 1,
+            auto_retrain_every: None,
+            seed: 502,
+        },
+        FeatureSchema::full(),
+    );
+    let mut cfg = DatasetConfig::small(&world, 502);
+    cfg.n_scenarios = 10;
+    let samples = Dataset::generate(&world, &cfg).samples;
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    let report = service.retrain_now().unwrap();
+    assert_eq!(report.backend, BackendKind::NaiveBayes);
+    assert!(report.specialized.is_empty());
+    let schema = FeatureSchema::full();
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    let d = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(d.ranking.scores.len(), 55);
+    assert!((d.ranking.scores.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+}
+
+#[test]
 fn sliding_window_keeps_service_trainable() {
     // A tiny buffer evicts aggressively; training must still work off the
     // window that remains.
@@ -105,6 +184,7 @@ fn sliding_window_keeps_service_trainable() {
     model.forest.n_trees = 3;
     let service = AnalysisService::new(
         ServiceConfig {
+            backend: BackendKind::DiagNet,
             model,
             buffer_capacity: 600,
             general_services: world.catalog.general_ids(),

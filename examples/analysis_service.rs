@@ -23,6 +23,7 @@ fn main() {
     // that fires every 5 000 submissions.
     let service = AnalysisService::new(
         ServiceConfig {
+            backend: BackendKind::DiagNet,
             model: DiagNetConfig::fast(),
             buffer_capacity: 200_000,
             general_services: world.catalog.general_ids(),

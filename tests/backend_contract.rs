@@ -1,0 +1,215 @@
+//! Trait-conformance suite for the `diagnet::backend` family: every
+//! [`BackendKind`] must honour the same capability contract — train,
+//! describe, rank (single and batched, bit-identical), extend to a wider
+//! candidate schema, declare its specialisation support truthfully, and
+//! survive an envelope round-trip unchanged.
+//!
+//! One fixture trains all three backends once (fast config, small dataset);
+//! each test then iterates `ALL_BACKENDS` so a fourth backend added later
+//! is covered by construction.
+
+use diagnet::backend::{Backend, BackendConfig, BackendKind, ALL_BACKENDS};
+use diagnet::config::DiagNetConfig;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::sync::OnceLock;
+
+const SEED: u64 = 4242;
+
+struct Fixture {
+    train: Dataset,
+    test: Dataset,
+    backends: Vec<(BackendKind, Box<dyn Backend>)>,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, SEED);
+        cfg.n_scenarios = 40;
+        let ds = Dataset::generate(&world, &cfg);
+        let split = ds.split(0.8, SEED);
+        let mut config = BackendConfig::from_diagnet(DiagNetConfig::fast());
+        config.bayes.kde_cap = 64;
+        let backends = ALL_BACKENDS
+            .iter()
+            .map(|&kind| {
+                let backend = kind
+                    .train(&config, &split.train, &FeatureSchema::known(), SEED)
+                    .expect("training must succeed on a healthy dataset");
+                (kind, backend)
+            })
+            .collect();
+        Fixture {
+            train: split.train,
+            test: split.test,
+            backends,
+        }
+    })
+}
+
+fn rows(fx: &Fixture, n: usize) -> Vec<Vec<f32>> {
+    fx.test
+        .samples
+        .iter()
+        .take(n)
+        .map(|s| s.features.clone())
+        .collect()
+}
+
+#[test]
+fn describe_reports_kind_size_and_capabilities() {
+    let fx = fixture();
+    for (kind, backend) in &fx.backends {
+        let info = backend.describe();
+        assert_eq!(info.kind, *kind, "{kind}: describe() kind mismatch");
+        assert_eq!(info.name, kind.label(), "{kind}: figure label mismatch");
+        assert!(info.n_params > 0, "{kind}: zero-size model");
+        assert_eq!(
+            info.n_train_landmarks,
+            FeatureSchema::known().n_landmarks(),
+            "{kind}: trained on the known()-landmark protocol"
+        );
+        assert_eq!(
+            info.supports_specialization,
+            *kind == BackendKind::DiagNet,
+            "{kind}: only DiagNet implements transfer learning"
+        );
+    }
+}
+
+#[test]
+fn rank_causes_is_a_distribution_over_all_candidates() {
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    for (kind, backend) in &fx.backends {
+        for sample in fx.test.samples.iter().take(8) {
+            let ranking = backend.rank_causes(&sample.features, &full);
+            assert_eq!(
+                ranking.scores.len(),
+                full.n_features(),
+                "{kind}: one score per candidate cause"
+            );
+            assert!(
+                ranking.scores.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{kind}: scores must be finite and non-negative"
+            );
+            let sum: f32 = ranking.scores.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-3,
+                "{kind}: scores sum to {sum}, expected ≈1"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_ranking_is_bitwise_identical_to_per_row() {
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    let rows = rows(fx, 16);
+    for (kind, backend) in &fx.backends {
+        let batched = backend.rank_causes_batch(&rows, &full);
+        assert_eq!(batched.len(), rows.len());
+        for (i, (row, from_batch)) in rows.iter().zip(&batched).enumerate() {
+            let single = backend.rank_causes(row, &full);
+            let single_bits: Vec<u32> = single.scores.iter().map(|v| v.to_bits()).collect();
+            let batch_bits: Vec<u32> = from_batch.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                single_bits, batch_bits,
+                "{kind}: row {i} drifted between batch and single paths"
+            );
+            assert_eq!(
+                single.w_unknown.to_bits(),
+                from_batch.w_unknown.to_bits(),
+                "{kind}: row {i} w_unknown drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn extend_covers_new_landmarks_and_is_a_noop_on_the_train_schema() {
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    let known = FeatureSchema::known();
+    let expected_new = full.n_features() - known.n_features();
+    for (kind, backend) in &fx.backends {
+        let wide = backend
+            .extend(&full)
+            .unwrap_or_else(|e| panic!("{kind}: extend(full) must succeed: {e}"));
+        assert_eq!(wide.n_candidates, full.n_features(), "{kind}");
+        assert_eq!(wide.n_known, known.n_features(), "{kind}");
+        assert_eq!(wide.n_new, expected_new, "{kind}");
+
+        let same = backend
+            .extend(&known)
+            .unwrap_or_else(|e| panic!("{kind}: extend(known) must succeed: {e}"));
+        assert_eq!(same.n_candidates, known.n_features(), "{kind}");
+        assert_eq!(same.n_new, 0, "{kind}: nothing is new on the train schema");
+    }
+}
+
+#[test]
+fn specialization_succeeds_exactly_when_advertised() {
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    for (kind, backend) in &fx.backends {
+        let result = backend.specialize_for(&fx.train, SEED ^ 0x51);
+        if backend.describe().supports_specialization {
+            let special = result.unwrap_or_else(|e| panic!("{kind}: specialisation failed: {e}"));
+            let ranking = special.rank_causes(&fx.test.samples[0].features, &full);
+            assert_eq!(ranking.scores.len(), full.n_features(), "{kind}");
+        } else {
+            assert!(
+                result.is_err(),
+                "{kind}: must refuse specialisation it does not support"
+            );
+        }
+    }
+}
+
+#[test]
+fn envelope_round_trip_preserves_scores_bitwise() {
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    let rows = rows(fx, 6);
+    for (kind, backend) in &fx.backends {
+        let envelope = backend.to_envelope();
+        assert_eq!(envelope.kind, *kind, "{kind}: envelope kind tag");
+        envelope
+            .validate()
+            .unwrap_or_else(|e| panic!("{kind}: fresh envelope must validate: {e}"));
+        let restored = envelope
+            .clone()
+            .into_backend()
+            .unwrap_or_else(|e| panic!("{kind}: envelope must unwrap: {e}"));
+        assert_eq!(restored.describe(), backend.describe(), "{kind}");
+        for (a, b) in backend
+            .rank_causes_batch(&rows, &full)
+            .iter()
+            .zip(&restored.rank_causes_batch(&rows, &full))
+        {
+            let before: Vec<u32> = a.scores.iter().map(|v| v.to_bits()).collect();
+            let after: Vec<u32> = b.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(before, after, "{kind}: scores drifted through the envelope");
+        }
+    }
+}
+
+#[test]
+fn envelope_validation_rejects_version_and_kind_mismatches() {
+    let fx = fixture();
+    let (_, backend) = &fx.backends[0];
+    let mut envelope = backend.to_envelope();
+    envelope.format_version += 1;
+    let err = envelope.validate().unwrap_err().to_string();
+    assert!(err.contains("format version"), "{err}");
+
+    let mut envelope = backend.to_envelope();
+    envelope.kind = BackendKind::Forest; // payload is DiagNet
+    let err = envelope.validate().unwrap_err().to_string();
+    assert!(err.contains("does not match"), "{err}");
+}

@@ -1,0 +1,81 @@
+//! Versioned persistence round-trips for every backend kind, plus the
+//! legacy fallback: bare `DiagNet` JSON written before the envelope existed
+//! must still load.
+
+use diagnet::backend::{BackendConfig, BackendKind, ALL_BACKENDS};
+use diagnet::backend_persist::{load_backend, save_backend};
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+
+const SEED: u64 = 77;
+
+fn data() -> (Dataset, Dataset) {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, SEED);
+    cfg.n_scenarios = 30;
+    let ds = Dataset::generate(&world, &cfg);
+    let split = ds.split(0.8, SEED);
+    (split.train, split.test)
+}
+
+#[test]
+fn every_backend_kind_round_trips_bitwise() {
+    let (train, test) = data();
+    let mut config = BackendConfig::from_diagnet(DiagNetConfig::fast());
+    config.bayes.kde_cap = 64;
+    let full = FeatureSchema::full();
+    let rows: Vec<Vec<f32>> = test
+        .samples
+        .iter()
+        .take(6)
+        .map(|s| s.features.clone())
+        .collect();
+    for kind in ALL_BACKENDS {
+        let backend = kind
+            .train(&config, &train, &FeatureSchema::known(), SEED)
+            .unwrap();
+        let mut buf = Vec::new();
+        save_backend(backend.as_ref(), &mut buf).unwrap();
+        let restored = load_backend(buf.as_slice()).unwrap();
+        assert_eq!(restored.describe(), backend.describe(), "{kind}");
+        for (a, b) in backend
+            .rank_causes_batch(&rows, &full)
+            .iter()
+            .zip(&restored.rank_causes_batch(&rows, &full))
+        {
+            let before: Vec<u32> = a.scores.iter().map(|v| v.to_bits()).collect();
+            let after: Vec<u32> = b.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(before, after, "{kind}: scores drifted through save/load");
+        }
+    }
+}
+
+#[test]
+fn legacy_bare_diagnet_json_still_loads() {
+    let (train, test) = data();
+    let model = DiagNet::train(&DiagNetConfig::fast(), &train, SEED).unwrap();
+    // The pre-envelope on-disk shape: the model serialised directly.
+    let legacy = serde_json::to_vec(&model).unwrap();
+    let restored = load_backend(legacy.as_slice()).unwrap();
+    assert_eq!(restored.describe().kind, BackendKind::DiagNet);
+    let full = FeatureSchema::full();
+    let before = model.rank_causes(&test.samples[0].features, &full);
+    let after = restored.rank_causes(&test.samples[0].features, &full);
+    let before: Vec<u32> = before.scores.iter().map(|v| v.to_bits()).collect();
+    let after: Vec<u32> = after.scores.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(before, after, "legacy load drifted");
+}
+
+#[test]
+fn corrupt_artefacts_are_a_serialization_error() {
+    let err = load_backend(&b"{\"definitely\": \"not a model\"}"[..]).unwrap_err();
+    assert!(
+        err.to_string().contains("serialization error"),
+        "unexpected error text: {err}"
+    );
+    let err = load_backend(&b"not json at all"[..]).unwrap_err();
+    assert!(err.to_string().contains("serialization error"), "{err}");
+}
