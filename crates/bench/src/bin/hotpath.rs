@@ -2,7 +2,10 @@
 //! zero-allocation kernels and per-row vs batched end-to-end scoring, then
 //! writes `BENCH_hotpath.json` (current directory, overridable with
 //! `DIAGNET_HOTPATH_OUT`) plus the usual JSON line under
-//! `target/experiments/hotpath.jsonl`.
+//! `target/experiments/hotpath.jsonl`. Since ISSUE 4 the record also
+//! carries a `stages` object with per-stage pipeline timings gathered
+//! from the observability spans (`obs_enabled` says whether the `obs`
+//! feature was compiled in; see OBSERVABILITY.md and EXPERIMENTS.md).
 //!
 //! Honours `DIAGNET_SCENARIOS` / `DIAGNET_SEED` / `DIAGNET_CONFIG` like
 //! every other experiment binary; the defaults keep the run under a
@@ -155,7 +158,52 @@ fn main() {
         black_box(bayes.rank_causes_batch(&rows, &schema));
     });
 
+    // 6. Per-stage pipeline timings from the tracing spans the batched
+    //    runs above just recorded in the global metrics registry (see
+    //    OBSERVABILITY.md). Quantiles are interpolated from histogram
+    //    buckets, so they are bucket-resolution estimates, not exact
+    //    order statistics. Empty when built with --no-default-features.
     let us = |s: f64| s * 1e6;
+    let obs_enabled = cfg!(feature = "obs");
+    let span_snapshot = diagnet_obs::global().snapshot();
+    let stage_json = |stage: &str| -> serde_json::Value {
+        match span_snapshot.histogram(diagnet_obs::span::SPAN_HISTOGRAM, &[("span", stage)]) {
+            Some(h) => serde_json::json!({
+                "count": h.count,
+                "p50_us": us(h.quantile(0.5)),
+                "p95_us": us(h.quantile(0.95)),
+                "p99_us": us(h.quantile(0.99)),
+            }),
+            None => serde_json::json!(null),
+        }
+    };
+    if obs_enabled {
+        let mut spans = Table::new(
+            "pipeline stage spans (bucket-interpolated µs)",
+            &["span", "count", "p50", "p95", "p99"],
+        );
+        for stage in [
+            "core.rank_causes_batch",
+            "core.normalize",
+            "core.forward",
+            "core.attention_backward",
+            "core.fine_rank",
+        ] {
+            if let Some(h) =
+                span_snapshot.histogram(diagnet_obs::span::SPAN_HISTOGRAM, &[("span", stage)])
+            {
+                spans.row(vec![
+                    stage.into(),
+                    h.count.to_string(),
+                    format!("{:.1}", us(h.quantile(0.5))),
+                    format!("{:.1}", us(h.quantile(0.95))),
+                    format!("{:.1}", us(h.quantile(0.99))),
+                ]);
+            }
+        }
+        spans.print();
+    }
+
     let mut table = Table::new(
         "hot path: allocating vs zero-allocation (median µs/call)",
         &["stage", "before", "after", "speedup"],
@@ -177,6 +225,13 @@ fn main() {
     }
     table.print();
 
+    let stages = serde_json::json!({
+        "core.rank_causes_batch": stage_json("core.rank_causes_batch"),
+        "core.normalize": stage_json("core.normalize"),
+        "core.forward": stage_json("core.forward"),
+        "core.attention_backward": stage_json("core.attention_backward"),
+        "core.fine_rank": stage_json("core.fine_rank"),
+    });
     let record = serde_json::json!({
         "experiment": "hotpath",
         "config": config_name,
@@ -202,6 +257,8 @@ fn main() {
         "bayes_per_row_us": us(t_bayes_per_row),
         "bayes_batch_us": us(t_bayes_batch),
         "bayes_batch_speedup": t_bayes_per_row / t_bayes_batch,
+        "obs_enabled": obs_enabled,
+        "stages": stages,
     });
     json_out("hotpath", &record);
     let out_path =

@@ -33,6 +33,8 @@ pub enum Command {
     Export,
     /// Print a model summary.
     Info,
+    /// Print serving metrics (a saved dump or a live self-demo).
+    Metrics,
     /// Print usage.
     Help,
 }
@@ -48,6 +50,7 @@ impl Command {
             "evaluate" => Command::Evaluate,
             "export" => Command::Export,
             "info" => Command::Info,
+            "metrics" => Command::Metrics,
             "help" | "--help" | "-h" => Command::Help,
             _ => return None,
         })
@@ -130,17 +133,23 @@ COMMANDS:
     specialize  --model FILE --data FILE --service NAME --out FILE [--seed S=42]
                 retrain the final layers for one service (diagnet backend only)
     diagnose    --model FILE --data FILE --sample IDX [--top K=5] [--backend B]
+                [--metrics-out FILE]
                 rank the root causes of one sample
-    evaluate    --model FILE --data FILE [--k 5] [--backend B]
+    evaluate    --model FILE --data FILE [--k 5] [--backend B] [--metrics-out FILE]
                 Recall@1..k on the dataset's faulty samples
     export      --data FILE --out FILE
                 convert a dataset JSON to CSV (pandas/R-friendly)
     info        --model FILE [--backend B]
                 print a model summary
+    metrics     [--in FILE] [--seed S=42]
+                print serving metrics: a dump saved by `--metrics-out`
+                (`--in`), or a live self-demo (see OBSERVABILITY.md)
     help        this text
 
 `--backend` selects which model family `train` fits; on `diagnose`,
 `evaluate` and `info` it asserts the kind of the loaded artefact.
+`--metrics-out` writes the serving-metrics registry as Prometheus text
+after the run; `diagnet metrics --in FILE` prints such a dump back.
 
 EXIT STATUS:
     0  success

@@ -13,6 +13,7 @@ use crate::error::CliError;
 use crate::io;
 use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
+use diagnet::instrument::InstrumentedBackend;
 use diagnet::model::DiagNet;
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
 use diagnet_sim::metrics::FeatureSchema;
@@ -32,6 +33,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Evaluate => evaluate(args),
         Command::Export => export(args),
         Command::Info => info(args),
+        Command::Metrics => metrics(args),
     }
 }
 
@@ -58,7 +60,9 @@ fn backend_flag(args: &Args) -> Result<Option<BackendKind>, CliError> {
 }
 
 /// Load the `--model` artefact and, when `--backend` was given, assert the
-/// loaded kind matches it.
+/// loaded kind matches it. The result is wrapped in an
+/// [`InstrumentedBackend`], so every serving command feeds the process
+/// metrics registry (`--metrics-out` / `diagnet metrics`).
 fn load_checked_backend(args: &Args) -> Result<Box<dyn Backend>, CliError> {
     let path = args.require("model")?;
     let backend = io::load_backend_file(path)?;
@@ -70,7 +74,23 @@ fn load_checked_backend(args: &Args) -> Result<Box<dyn Backend>, CliError> {
             )));
         }
     }
-    Ok(backend)
+    Ok(Box::new(InstrumentedBackend::new(backend)))
+}
+
+/// Honour `--metrics-out FILE`: dump the global metrics registry as
+/// Prometheus text and append a note to the command's output.
+fn maybe_dump_metrics(args: &Args, out: &mut String) -> Result<(), CliError> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(());
+    };
+    let dump = diagnet_obs::global().snapshot().render_prometheus();
+    std::fs::write(path, dump).map_err(|e| CliError::Io {
+        action: "create",
+        path: path.into(),
+        source: e,
+    })?;
+    let _ = writeln!(out, "metrics written to {path}");
+    Ok(())
 }
 
 fn simulate(args: &Args) -> Result<String, CliError> {
@@ -239,6 +259,7 @@ fn diagnose(args: &Args) -> Result<String, CliError> {
 {}",
         explanation.render().trim_end()
     );
+    maybe_dump_metrics(args, &mut out)?;
     Ok(out)
 }
 
@@ -280,6 +301,7 @@ fn evaluate(args: &Args) -> Result<String, CliError> {
     for (k, r) in curve.iter().enumerate() {
         let _ = writeln!(out, "Recall@{} = {:.1}%", k + 1, r * 100.0);
     }
+    maybe_dump_metrics(args, &mut out)?;
     Ok(out)
 }
 
@@ -363,6 +385,41 @@ fn info(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn metrics(args: &Args) -> Result<String, CliError> {
+    // Replay mode: print a dump previously written by `--metrics-out`.
+    if let Some(path) = args.get("in") {
+        return std::fs::read_to_string(path).map_err(|e| CliError::Io {
+            action: "open",
+            path: path.into(),
+            source: e,
+        });
+    }
+    // Live mode: one-shot processes have nothing accumulated yet, so run a
+    // small self-demo (train the forest baseline in memory, score a batch
+    // through an instrumented backend) and dump the registry it fed.
+    let seed: u64 = args.get_or("seed", 42)?;
+    let world = World::new();
+    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 6, seed));
+    let split = dataset.split(0.8, seed);
+    let config = BackendConfig::default();
+    let inner = BackendKind::Forest.train(&config, &split.train, &FeatureSchema::known(), seed)?;
+    let backend = InstrumentedBackend::new(inner);
+    let schema = FeatureSchema::full();
+    let rows: Vec<Vec<f32>> = split
+        .test
+        .samples
+        .iter()
+        .take(64)
+        .map(|s| s.features.clone())
+        .collect();
+    let _ = backend.rank_causes_batch(&rows, &schema);
+    let _ = backend.rank_causes(&rows[0], &schema);
+    let mut out =
+        String::from("live self-demo: trained the forest baseline and scored 65 rows\n\n");
+    out.push_str(&diagnet_obs::global().snapshot().render_text());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,9 +499,38 @@ mod tests {
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("not `forest`"), "{err}");
 
-        let out =
-            run_line(&["evaluate", "--model", model_s, "--data", data_s, "--k", "3"]).unwrap();
+        let dump = tmp("cli_metrics.prom");
+        let dump_s = dump.to_str().unwrap();
+        let out = run_line(&[
+            "evaluate",
+            "--model",
+            model_s,
+            "--data",
+            data_s,
+            "--k",
+            "3",
+            "--metrics-out",
+            dump_s,
+        ])
+        .unwrap();
         assert!(out.contains("Recall@3"), "{out}");
+        assert!(out.contains("metrics written to"), "{out}");
+        // The dump shows the evaluate traffic and replays through
+        // `diagnet metrics --in`.
+        let replay = run_line(&["metrics", "--in", dump_s]).unwrap();
+        // Presence, not exact counts: the global registry is shared with
+        // concurrently running tests.
+        if cfg!(feature = "obs") {
+            assert!(
+                replay.contains("diagnet_rank_requests_total{backend=\"diagnet\"}"),
+                "{replay}"
+            );
+            assert!(
+                replay.contains("diagnet_rank_latency_seconds_bucket"),
+                "{replay}"
+            );
+        }
+        std::fs::remove_file(dump).ok();
 
         let out = run_line(&[
             "diagnose", "--model", model_s, "--data", data_s, "--sample", "7",
@@ -534,6 +620,18 @@ mod tests {
             std::fs::remove_file(model).ok();
         }
         std::fs::remove_file(data).ok();
+    }
+
+    /// Needs no file IO, so this also runs in the offline shadow harness.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn metrics_live_self_demo_shows_serving_counters() {
+        let out = run_line(&["metrics", "--seed", "13"]).unwrap();
+        assert!(out.contains("live self-demo"), "{out}");
+        assert!(out.contains("diagnet_rank_requests_total"), "{out}");
+        assert!(out.contains("p99="), "{out}");
+        let err = run_line(&["metrics", "--in", "/nonexistent.prom"]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Metrics instrumentation for [`Backend`] call sites.
+//!
+//! [`InstrumentedBackend`] is a transparent decorator: it implements
+//! [`Backend`] by delegating to the wrapped model while recording request
+//! counters, row counters, latency histograms and batch-size distributions
+//! into a [`MetricsRegistry`] (the process-wide
+//! [`global`](diagnet_obs::global) one unless a private registry is
+//! given). The serving layers wrap models at the edge — the CLI wraps
+//! whatever `--model` loads, the platform wraps what the registry
+//! publishes — so the inner scoring hot path stays untouched.
+//!
+//! All metric handles are resolved once at construction; per-call overhead
+//! is a handful of relaxed atomic operations plus two clock reads, well
+//! under the 2 % budget documented in `OBSERVABILITY.md`. With the `obs`
+//! feature off, every handle is a no-op and the wrapper reduces to plain
+//! delegation.
+
+use crate::backend::{Backend, BackendEnvelope, BackendInfo, ExtensionInfo};
+use crate::ranking::CauseRanking;
+use diagnet_nn::NnError;
+use diagnet_obs::{Counter, Histogram, MetricsRegistry, DEFAULT_SIZE_BOUNDS};
+use diagnet_sim::dataset::Dataset;
+use diagnet_sim::metrics::FeatureSchema;
+use std::any::Any;
+use std::fmt;
+
+/// Name of the counter of ranking calls (single or batched, one each).
+pub const RANK_REQUESTS_TOTAL: &str = "diagnet_rank_requests_total";
+/// Name of the counter of individual rows scored.
+pub const RANK_ROWS_TOTAL: &str = "diagnet_rank_rows_total";
+/// Name of the ranking-latency histogram (label `call`: `single`/`batch`).
+pub const RANK_LATENCY_SECONDS: &str = "diagnet_rank_latency_seconds";
+/// Name of the batch-size histogram (rows per `rank_causes_batch` call).
+pub const RANK_BATCH_ROWS: &str = "diagnet_rank_batch_rows";
+/// Name of the counter of schema-extension checks.
+pub const EXTEND_CHECKS_TOTAL: &str = "diagnet_extend_checks_total";
+/// Name of the counter of specialisation requests.
+pub const SPECIALIZE_TOTAL: &str = "diagnet_specialize_total";
+
+/// A [`Backend`] decorator that records serving metrics.
+pub struct InstrumentedBackend {
+    inner: Box<dyn Backend>,
+    requests: Counter,
+    rows: Counter,
+    latency_single: Histogram,
+    latency_batch: Histogram,
+    batch_rows: Histogram,
+    extends: Counter,
+    specializations: Counter,
+}
+
+impl InstrumentedBackend {
+    /// Wrap `inner`, recording into the process-wide global registry.
+    pub fn new(inner: Box<dyn Backend>) -> Self {
+        Self::with_registry(inner, diagnet_obs::global())
+    }
+
+    /// Wrap `inner`, recording into an explicit registry (tests use a
+    /// private registry for exact assertions).
+    pub fn with_registry(inner: Box<dyn Backend>, registry: &MetricsRegistry) -> Self {
+        let backend = inner.describe().kind.token();
+        let labels: &[(&str, &str)] = &[("backend", backend)];
+        InstrumentedBackend {
+            requests: registry.counter(
+                RANK_REQUESTS_TOTAL,
+                labels,
+                "ranking calls served (one per rank_causes or rank_causes_batch)",
+            ),
+            rows: registry.counter(RANK_ROWS_TOTAL, labels, "individual rows scored"),
+            latency_single: registry.histogram(
+                RANK_LATENCY_SECONDS,
+                &[("backend", backend), ("call", "single")],
+                "wall-clock latency of ranking calls",
+            ),
+            latency_batch: registry.histogram(
+                RANK_LATENCY_SECONDS,
+                &[("backend", backend), ("call", "batch")],
+                "wall-clock latency of ranking calls",
+            ),
+            batch_rows: registry.histogram_with(
+                RANK_BATCH_ROWS,
+                labels,
+                "rows per rank_causes_batch call",
+                &DEFAULT_SIZE_BOUNDS,
+            ),
+            extends: registry.counter(EXTEND_CHECKS_TOTAL, labels, "schema extension checks"),
+            specializations: registry.counter(
+                SPECIALIZE_TOTAL,
+                labels,
+                "per-service specialisation requests",
+            ),
+            inner,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn Backend {
+        self.inner.as_ref()
+    }
+
+    /// Unwrap, discarding the instrumentation.
+    pub fn into_inner(self) -> Box<dyn Backend> {
+        self.inner
+    }
+}
+
+impl fmt::Debug for InstrumentedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstrumentedBackend")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend for InstrumentedBackend {
+    fn describe(&self) -> BackendInfo {
+        self.inner.describe()
+    }
+
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        let timer = self.latency_single.start_timer();
+        let ranking = self.inner.rank_causes(features, schema);
+        timer.stop();
+        self.requests.inc();
+        self.rows.inc();
+        ranking
+    }
+
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        let timer = self.latency_batch.start_timer();
+        let rankings = self.inner.rank_causes_batch(rows, schema);
+        timer.stop();
+        self.requests.inc();
+        self.rows.add(rows.len() as u64);
+        self.batch_rows.observe(rows.len() as f64);
+        rankings
+    }
+
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError> {
+        let _span = diagnet_obs::span("core.extend");
+        self.extends.inc();
+        self.inner.extend(schema)
+    }
+
+    fn specialize_for(
+        &self,
+        service_data: &Dataset,
+        seed: u64,
+    ) -> Result<Box<dyn Backend>, NnError> {
+        let _span = diagnet_obs::span("core.specialize");
+        self.specializations.inc();
+        self.inner.specialize_for(service_data, seed)
+    }
+
+    fn to_envelope(&self) -> BackendEnvelope {
+        self.inner.to_envelope()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        // Delegate so `downcast_ref::<DiagNet>()`-style consumers see the
+        // wrapped model, not the wrapper.
+        self.inner.as_any()
+    }
+}

@@ -37,8 +37,9 @@
 //! ranking, extension, versioned persistence via [`backend_persist`]),
 //! [`persist`] serialises whole pipelines, [`perturbation`] provides the
 //! black-box occlusion-attention alternative §III-E alludes to, [`explain`]
-//! renders ticket-style diagnoses, and [`aggregate`] fuses many clients'
-//! rankings into an incident map.
+//! renders ticket-style diagnoses, [`aggregate`] fuses many clients'
+//! rankings into an incident map, and [`instrument`] decorates any backend
+//! with serving metrics (see `OBSERVABILITY.md` at the repo root).
 //!
 //! ## Quick start
 //!
@@ -56,6 +57,8 @@
 //! println!("most probable cause: {}", test_schema.feature(ranking.top(1)[0]).name());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod attention;
 pub mod backend;
@@ -64,6 +67,7 @@ pub mod baselines;
 pub mod config;
 pub mod ensemble;
 pub mod explain;
+pub mod instrument;
 pub mod model;
 pub mod normalize;
 pub mod persist;
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use crate::baselines::{CauseRanker, ForestRanker, NaiveBayesRanker};
     pub use crate::config::DiagNetConfig;
     pub use crate::explain::Explanation;
+    pub use crate::instrument::InstrumentedBackend;
     pub use crate::model::DiagNet;
     pub use crate::normalize::Normalizer;
     pub use crate::ranking::CauseRanking;

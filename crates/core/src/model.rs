@@ -286,6 +286,7 @@ impl DiagNet {
             schema.n_features(),
             "rank_causes: feature width mismatch"
         );
+        let _span = diagnet_obs::span("core.rank_causes");
         // Coarse prediction + attention on normalised features.
         let normalized = self.normalizer.apply(schema, features);
         let logits = self.network.forward(&Matrix::from_row(normalized.clone()));
@@ -364,9 +365,23 @@ impl DiagNet {
                 "rank_causes: feature width mismatch"
             );
         }
-        let normalized = self.normalizer.apply_matrix(schema, rows);
-        let probs = softmax(&self.network.forward(&normalized));
-        let gammas = attention_scores_batch(&self.network, &normalized);
+        // Per-stage tracing spans: batch-level only (one span per stage per
+        // call, never per row), so the instrumentation cost stays far below
+        // the 2 % budget documented in OBSERVABILITY.md.
+        let _span = diagnet_obs::span("core.rank_causes_batch");
+        let normalized = {
+            let _s = diagnet_obs::span("core.normalize");
+            self.normalizer.apply_matrix(schema, rows)
+        };
+        let probs = {
+            let _s = diagnet_obs::span("core.forward");
+            softmax(&self.network.forward(&normalized))
+        };
+        let gammas = {
+            let _s = diagnet_obs::span("core.attention_backward");
+            attention_scores_batch(&self.network, &normalized)
+        };
+        let _s = diagnet_obs::span("core.fine_rank");
         rows.par_iter()
             .zip(gammas)
             .enumerate()

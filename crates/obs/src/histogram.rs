@@ -1,0 +1,232 @@
+//! Fixed-bucket histograms with percentile snapshots.
+//!
+//! Buckets are *fixed at registration* (no resizing, no locking on the
+//! record path): `observe` does one linear scan over ≤ ~24 bounds and one
+//! relaxed atomic increment, which keeps it cheap enough for per-request
+//! hot paths. Percentiles (p50/p95/p99) are estimated at snapshot time by
+//! linear interpolation inside the owning bucket — the standard
+//! fixed-bucket estimator, accurate to bucket width.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default latency bucket upper bounds, in **seconds**: a 1–2.5–5 ladder
+/// from 1 µs to 10 s (22 buckets, plus the implicit overflow bucket).
+/// Covers everything from a single kernel call to a full paper-config
+/// training generation.
+pub const DEFAULT_LATENCY_BOUNDS: [f64; 22] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Default size bucket upper bounds (dimensionless): powers of two from 1
+/// to 4096 — e.g. for batch-row distributions.
+pub const DEFAULT_SIZE_BOUNDS: [f64; 13] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Strictly increasing finite upper bounds; `buckets[i]` counts
+    /// observations `v <= bounds[i]` not captured by an earlier bucket,
+    /// and `buckets[bounds.len()]` is the overflow (+Inf) bucket.
+    pub(crate) bounds: Vec<f64>,
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    /// Sum of observed values, as `f64` bits (CAS-accumulated).
+    pub(crate) sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle (cheap to clone; clones share buckets).
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+#[cfg(feature = "enabled")]
+impl Histogram {
+    /// A detached histogram with the given bounds (not visible in any
+    /// registry snapshot). Bounds must be strictly increasing and finite.
+    pub fn detached(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Record one observation. A value exactly on a bucket bound lands in
+    /// that bucket (`v <= bound`, Prometheus `le` semantics); values above
+    /// the last bound land in the overflow bucket. NaN is dropped.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.core.bounds.len());
+        self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Record the seconds elapsed since `start`.
+    #[inline]
+    pub fn observe_since(&self, start: Instant) {
+        self.observe(start.elapsed().as_secs_f64());
+    }
+
+    /// Start a timer that records into this histogram when dropped.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+}
+
+/// No-op histogram (`enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Clone)]
+pub struct Histogram;
+
+#[cfg(not(feature = "enabled"))]
+impl Histogram {
+    /// A detached no-op histogram.
+    pub fn detached(_bounds: &[f64]) -> Self {
+        Histogram
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn observe(&self, _v: f64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn observe_since(&self, _start: Instant) {}
+
+    /// A timer that records nothing (and never reads the clock).
+    #[inline(always)]
+    pub fn start_timer(&self) -> Timer {
+        Timer
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// Records the elapsed wall-clock time into its histogram on drop.
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Instant,
+}
+
+#[cfg(feature = "enabled")]
+impl Timer {
+    /// Stop now and record (equivalent to dropping, but explicit).
+    pub fn stop(self) {}
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.hist.observe_since(self.start);
+    }
+}
+
+/// No-op timer (`enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug)]
+pub struct Timer;
+
+#[cfg(not(feature = "enabled"))]
+impl Timer {
+    /// No-op.
+    pub fn stop(self) {}
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_on_bucket_edges_use_le_semantics() {
+        let h = Histogram::detached(&[1.0, 2.0, 4.0]);
+        h.observe(1.0); // exactly on a bound → that bucket
+        h.observe(1.0000001); // just above → next bucket
+        h.observe(4.0); // last finite bound
+        h.observe(4.0000001); // overflow
+        h.observe(0.0); // below everything → first bucket
+        let counts: Vec<u64> = h
+            .core
+            .buckets
+            .iter()
+            .map(|b| b.load(std::sync::atomic::Ordering::Relaxed))
+            .collect();
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn nan_is_dropped() {
+        let h = Histogram::detached(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::detached(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::detached(&DEFAULT_LATENCY_BOUNDS);
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! # diagnet-obs — observability for the DiagNet platform
+//!
+//! A lightweight, dependency-free metrics and tracing layer consumed by
+//! every serving and training path in the workspace: `diagnet` (core),
+//! `diagnet-platform`, `diagnet-bench` and `diagnet-cli`.
+//!
+//! ## Primitives
+//!
+//! * [`Counter`] — monotonic event counts (relaxed atomic adds);
+//! * [`Gauge`] — instantaneous values (registry version, buffer sizes);
+//! * [`Histogram`] — fixed-bucket distributions with p50/p95/p99
+//!   estimates at snapshot time; the default bucket ladder spans
+//!   1 µs – 10 s for latencies ([`DEFAULT_LATENCY_BOUNDS`]);
+//! * [`span`] — timed tracing spans around pipeline stages, recorded into
+//!   the [`SPAN_HISTOGRAM`](span::SPAN_HISTOGRAM) histogram and optionally
+//!   emitted as structured JSON events (`DIAGNET_TRACE=1`).
+//!
+//! Metrics live in a [`MetricsRegistry`]; most code records into the
+//! process-wide [`global`] registry and dumps it with
+//! [`MetricsRegistry::snapshot`] → [`Snapshot::render_prometheus`] /
+//! [`Snapshot::render_text`].
+//!
+//! ## Compiling it out
+//!
+//! The `enabled` feature (on by default) gates the entire implementation.
+//! Built with `--no-default-features`, every handle is a zero-sized no-op,
+//! [`span`] never reads the clock, and snapshots are empty — consumers
+//! keep the exact same API with zero runtime cost. The workspace forwards
+//! this as the `obs` feature of each consuming crate, so
+//! `cargo build --workspace --no-default-features` produces an entirely
+//! uninstrumented build (see `OBSERVABILITY.md` at the repo root).
+//!
+//! ## Example
+//!
+//! ```
+//! use diagnet_obs::{global, span};
+//!
+//! let requests = global().counter(
+//!     "doc_requests_total",
+//!     &[("backend", "diagnet")],
+//!     "requests served",
+//! );
+//! let latency = global().histogram("doc_latency_seconds", &[], "request latency");
+//!
+//! {
+//!     let _stage = span("doc.handle_request");
+//!     let timer = latency.start_timer();
+//!     requests.inc();
+//!     timer.stop();
+//! }
+//!
+//! let snapshot = global().snapshot();
+//! print!("{}", snapshot.render_text());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use histogram::{Histogram, Timer, DEFAULT_LATENCY_BOUNDS, DEFAULT_SIZE_BOUNDS};
+pub use metrics::{Counter, Gauge};
+pub use registry::{global, Labels, MetricsRegistry};
+pub use snapshot::{HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
+pub use span::{span, Span};

@@ -1,0 +1,182 @@
+//! Counters and gauges: the two scalar metric primitives.
+//!
+//! Both are cheap cloneable handles around an atomic cell shared with the
+//! [`MetricsRegistry`](crate::MetricsRegistry) that registered them, so the
+//! hot path increments without ever touching the registry again. With the
+//! `enabled` feature off both compile to zero-sized no-ops.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+///
+/// Increments are relaxed atomic adds: exact under any interleaving, never
+/// a synchronisation point for surrounding code.
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+#[cfg(feature = "enabled")]
+impl Counter {
+    /// A detached counter (not visible in any registry snapshot). Mostly
+    /// useful as a default before real registration.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// No-op counter (`enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Clone, Default)]
+pub struct Counter;
+
+#[cfg(not(feature = "enabled"))]
+impl Counter {
+    /// A detached counter; indistinguishable from any other no-op counter.
+    pub fn detached() -> Self {
+        Counter
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A value that can go up and down (registry version, buffered samples…).
+///
+/// Stored as `f64` bits in an atomic; `set` is a single store, `add` a CAS
+/// loop (exact for integral values within `f64` precision).
+#[cfg(feature = "enabled")]
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+#[cfg(feature = "enabled")]
+impl Gauge {
+    /// A detached gauge (not visible in any registry snapshot).
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.cell.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// No-op gauge (`enabled` feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Debug, Clone, Default)]
+pub struct Gauge;
+
+#[cfg(not(feature = "enabled"))]
+impl Gauge {
+    /// A detached gauge; indistinguishable from any other no-op gauge.
+    pub fn detached() -> Self {
+        Gauge
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _delta: f64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::detached();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Clones share the cell.
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::detached();
+        assert_eq!(g.get(), 0.0);
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+        g.add(-2.5);
+        assert_eq!(g.get(), 5.0);
+    }
+}

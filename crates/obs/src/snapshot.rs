@@ -1,0 +1,365 @@
+//! Point-in-time metric snapshots and their text renderings.
+//!
+//! A [`Snapshot`] is plain data — it compiles (and renders, as empty)
+//! even with the `enabled` feature off, so downstream code that dumps
+//! metrics needs no feature gates of its own. Two renderings:
+//!
+//! * [`Snapshot::render_prometheus`] — the Prometheus text exposition
+//!   format (`# HELP`/`# TYPE`, cumulative `_bucket{le=…}` lines), for
+//!   scraping or file dumps;
+//! * [`Snapshot::render_text`] — a human-oriented table with p50/p95/p99
+//!   per histogram, what `diagnet metrics` prints.
+
+use std::fmt::Write as _;
+
+/// One registered metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name, e.g. `diagnet_rank_latency_seconds`.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Help text from the first registration.
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// The value of a metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A histogram's buckets, frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one longer than `bounds`, the
+    /// last entry being the overflow (+Inf) bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the owning bucket. Observations in the overflow bucket are
+    /// attributed to the last finite bound (the estimate saturates there).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if cum as f64 >= target && c > 0 {
+                let last = self.bounds.len() - 1;
+                if i > last {
+                    return self.bounds[last]; // overflow bucket: saturate
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = ((target - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (self.bounds[i] - lower) * frac;
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, sorted by (name, labels).
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Format a float for the text formats (`f64`'s shortest roundtrip).
+fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (or the crate is compiled out).
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Look up a counter's value by name and (sorted or unsorted) labels.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a gauge's value.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+    }
+
+    /// Render in the Prometheus text exposition format. Histograms emit
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for m in &self.metrics {
+            if m.name != last_name {
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                if !m.help.is_empty() {
+                    let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                }
+                let _ = writeln!(out, "# TYPE {} {kind}", m.name);
+                last_name = &m.name;
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", m.name, label_block(&m.labels));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, label_block(&m.labels), num(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        cum += c;
+                        let le = h
+                            .bounds
+                            .get(i)
+                            .map(|b| num(*b))
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let mut labels = m.labels.clone();
+                        labels.push(("le".to_string(), le));
+                        let _ = writeln!(out, "{}_bucket{} {cum}", m.name, label_block(&labels));
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        label_block(&m.labels),
+                        num(h.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        label_block(&m.labels),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a human-oriented table: one line per metric, histograms with
+    /// count, mean and p50/p95/p99 (scaled to µs/ms/s as appropriate for
+    /// `*_seconds` metrics).
+    pub fn render_text(&self) -> String {
+        if self.metrics.is_empty() {
+            return "(no metrics recorded — is the `obs` feature enabled?)\n".to_string();
+        }
+        let mut out = String::new();
+        for m in &self.metrics {
+            let id = format!("{}{}", m.name, label_block(&m.labels));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "counter    {id:<64} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "gauge      {id:<64} {}", num(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let seconds = m.name.ends_with("_seconds");
+                    let fmt = |v: f64| {
+                        if !seconds {
+                            format!("{v:.1}")
+                        } else if v < 1e-3 {
+                            format!("{:.1}µs", v * 1e6)
+                        } else if v < 1.0 {
+                            format!("{:.2}ms", v * 1e3)
+                        } else {
+                            format!("{v:.3}s")
+                        }
+                    };
+                    let _ = writeln!(
+                        out,
+                        "histogram  {id:<64} count={} mean={} p50={} p95={} p99={}",
+                        h.count,
+                        fmt(h.mean()),
+                        fmt(h.quantile(0.50)),
+                        fmt(h.quantile(0.95)),
+                        fmt(h.quantile(0.99)),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[f64], counts: &[u64]) -> HistogramSnapshot {
+        let sum = 0.0;
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            count: counts.iter().sum(),
+            sum,
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 100 observations uniform in the (1.0, 2.0] bucket.
+        let h = hist(&[1.0, 2.0, 4.0], &[0, 100, 0, 0]);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 1.5).abs() < 1e-9, "p50 = {p50}");
+        assert!((h.quantile(0.95) - 1.95).abs() < 1e-9);
+        // Everything sits below the first bound → interpolate from 0.
+        let h = hist(&[1.0, 2.0], &[10, 0, 0]);
+        assert!(h.quantile(0.5) <= 1.0);
+    }
+
+    #[test]
+    fn quantile_saturates_at_last_bound_for_overflow() {
+        let h = hist(&[1.0, 2.0], &[0, 0, 5]);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = hist(&[1.0], &[0, 0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative_and_typed() {
+        let snap = Snapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "requests_total".into(),
+                    labels: vec![("backend".into(), "diagnet".into())],
+                    help: "requests served".into(),
+                    value: MetricValue::Counter(3),
+                },
+                MetricSnapshot {
+                    name: "latency_seconds".into(),
+                    labels: vec![],
+                    help: "".into(),
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        bounds: vec![0.1, 1.0],
+                        counts: vec![2, 1, 1],
+                        count: 4,
+                        sum: 2.5,
+                    }),
+                },
+            ],
+        };
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{backend=\"diagnet\"} 3"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("latency_seconds_bucket{le=\"1\"} 3"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("latency_seconds_sum 2.5"));
+        assert!(text.contains("latency_seconds_count 4"));
+    }
+
+    #[test]
+    fn text_render_scales_seconds() {
+        let snap = Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "latency_seconds".into(),
+                labels: vec![],
+                help: "".into(),
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    bounds: vec![1e-4, 1e-3],
+                    counts: vec![10, 0, 0],
+                    count: 10,
+                    sum: 5e-4,
+                }),
+            }],
+        };
+        let text = snap.render_text();
+        assert!(text.contains("count=10"), "{text}");
+        assert!(text.contains("µs"), "{text}");
+    }
+
+    #[test]
+    fn lookup_helpers_normalise_label_order() {
+        let snap = Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "m".into(),
+                labels: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+                help: "".into(),
+                value: MetricValue::Counter(9),
+            }],
+        };
+        assert_eq!(snap.counter("m", &[("b", "2"), ("a", "1")]), Some(9));
+        assert_eq!(snap.counter("m", &[("a", "1")]), None);
+        assert_eq!(snap.counter("absent", &[]), None);
+    }
+}

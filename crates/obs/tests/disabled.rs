@@ -1,0 +1,41 @@
+//! The compiled-out contract: with `--no-default-features` the whole API
+//! stays callable but records nothing, and the crate builds with no
+//! dependencies at all (run via the CI `no-default-features` leg:
+//! `cargo test -p diagnet-obs --no-default-features`).
+
+#![cfg(not(feature = "enabled"))]
+
+use diagnet_obs::{global, span, Histogram, MetricsRegistry};
+
+#[test]
+fn disabled_build_is_a_complete_no_op() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("c_total", &[("k", "v")], "help");
+    c.inc();
+    c.add(100);
+    assert_eq!(c.get(), 0);
+
+    let g = reg.gauge("g", &[], "help");
+    g.set(5.0);
+    g.add(1.0);
+    assert_eq!(g.get(), 0.0);
+
+    let h = reg.histogram("h_seconds", &[], "help");
+    h.observe(0.5);
+    h.start_timer().stop();
+    assert_eq!(h.count(), 0);
+    let hb = Histogram::detached(&[1.0, 2.0]);
+    hb.observe(1.5);
+    assert_eq!(hb.count(), 0);
+
+    {
+        let _s = span("disabled.span");
+    }
+
+    let snap = reg.snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(snap.counter("c_total", &[("k", "v")]), None);
+    assert!(global().snapshot().is_empty());
+    assert!(snap.render_text().contains("no metrics recorded"));
+    assert_eq!(snap.render_prometheus(), "");
+}

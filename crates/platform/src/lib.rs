@@ -22,6 +22,15 @@
 //!
 //! Everything is `Send + Sync`; concurrent clients can submit and
 //! diagnose while a retrain runs.
+//!
+//! Every layer feeds the process-wide metrics registry (re-exported here
+//! as [`obs`]): submissions, diagnoses, registry publications and retrain
+//! generations are counted and timed, and
+//! [`AnalysisService::metrics_snapshot`](service::AnalysisService::metrics_snapshot)
+//! dumps the live registry. See `OBSERVABILITY.md` at the repo root; build
+//! with `--no-default-features` to compile all of it out.
+
+pub use diagnet_obs as obs;
 
 pub mod collector;
 pub mod registry;

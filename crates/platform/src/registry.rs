@@ -19,6 +19,31 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Name of the counter of registry publications (label `scope`:
+/// `general` for a full generation, `specialized` for a single-service
+/// incremental publish).
+pub const REGISTRY_PUBLISH_TOTAL: &str = "diagnet_registry_publish_total";
+/// Name of the gauge holding the most recently published registry version.
+pub const REGISTRY_VERSION: &str = "diagnet_registry_version";
+
+/// Publications are rare (one per training generation), so handles are
+/// resolved per call rather than cached.
+fn record_publish(scope: &'static str, version: u64) {
+    let obs = diagnet_obs::global();
+    obs.counter(
+        REGISTRY_PUBLISH_TOTAL,
+        &[("scope", scope)],
+        "model registry publications",
+    )
+    .inc();
+    obs.gauge(
+        REGISTRY_VERSION,
+        &[],
+        "most recently published registry version",
+    )
+    .set(version as f64);
+}
+
 /// Inner state guarded by the lock.
 #[derive(Debug, Default)]
 struct State {
@@ -51,6 +76,7 @@ impl ModelRegistry {
         state.general = Some(general);
         state.specialized = specialized;
         state.version += 1;
+        record_publish("general", state.version);
         state.version
     }
 
@@ -72,6 +98,7 @@ impl ModelRegistry {
         let mut state = self.state.write();
         state.specialized.insert(sid, model);
         state.version += 1;
+        record_publish("specialized", state.version);
         state.version
     }
 
@@ -203,6 +230,34 @@ mod tests {
         );
         let g = reg.general().unwrap();
         assert_eq!(as_diagnet(&g).network, spec.network);
+    }
+
+    /// The global registry is shared across concurrently running tests, so
+    /// this asserts deltas, not absolute values.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn publications_are_counted() {
+        let before = diagnet_obs::global()
+            .snapshot()
+            .counter(REGISTRY_PUBLISH_TOTAL, &[("scope", "general")])
+            .unwrap_or(0);
+        let (general, spec) = trained_pair();
+        let reg = ModelRegistry::new();
+        reg.publish(general.clone(), HashMap::new());
+        reg.publish_specialized(ServiceId(1), spec.clone());
+        let snap = diagnet_obs::global().snapshot();
+        let after = snap
+            .counter(REGISTRY_PUBLISH_TOTAL, &[("scope", "general")])
+            .unwrap_or(0);
+        assert!(after >= before + 1, "general publish not counted");
+        assert!(
+            snap.counter(REGISTRY_PUBLISH_TOTAL, &[("scope", "specialized")])
+                .unwrap_or(0)
+                >= 1
+        );
+        // Every test registry starts at version 0, so whoever wrote the
+        // gauge last published at least version 1.
+        assert!(snap.gauge(REGISTRY_VERSION, &[]).unwrap() >= 1.0);
     }
 
     #[test]

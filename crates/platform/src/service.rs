@@ -15,11 +15,21 @@ use diagnet::backend::{BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::ranking::CauseRanking;
 use diagnet_nn::error::NnError;
+use diagnet_obs::{Counter, Histogram};
 use diagnet_sim::dataset::Sample;
 use diagnet_sim::metrics::{FeatureId, FeatureSchema};
 use diagnet_sim::service::ServiceId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Name of the counter of probe submissions (label `outcome`:
+/// `accepted`/`rejected`).
+pub const SUBMISSIONS_TOTAL: &str = "diagnet_submissions_total";
+/// Name of the counter of diagnosis requests (label `outcome`:
+/// `ok`/`no_model`).
+pub const DIAGNOSES_TOTAL: &str = "diagnet_diagnoses_total";
+/// Name of the diagnosis-latency histogram (successful diagnoses only).
+pub const DIAGNOSE_LATENCY_SECONDS: &str = "diagnet_diagnose_latency_seconds";
 
 /// Analysis-service configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +71,13 @@ pub struct AnalysisService {
     worker: Option<RetrainWorker>,
     submissions: AtomicU64,
     generation_seed: AtomicU64,
+    // Metric handles, resolved once at construction (submit/diagnose are
+    // the platform's hot path).
+    submissions_accepted: Counter,
+    submissions_rejected: Counter,
+    diagnoses_ok: Counter,
+    diagnoses_unready: Counter,
+    diagnose_latency: Histogram,
 }
 
 impl AnalysisService {
@@ -79,6 +96,7 @@ impl AnalysisService {
                 config.min_service_samples,
             )
         });
+        let obs = diagnet_obs::global();
         AnalysisService {
             generation_seed: AtomicU64::new(config.seed),
             config,
@@ -86,6 +104,31 @@ impl AnalysisService {
             registry,
             worker,
             submissions: AtomicU64::new(0),
+            submissions_accepted: obs.counter(
+                SUBMISSIONS_TOTAL,
+                &[("outcome", "accepted")],
+                "probe submissions by outcome",
+            ),
+            submissions_rejected: obs.counter(
+                SUBMISSIONS_TOTAL,
+                &[("outcome", "rejected")],
+                "probe submissions by outcome",
+            ),
+            diagnoses_ok: obs.counter(
+                DIAGNOSES_TOTAL,
+                &[("outcome", "ok")],
+                "diagnosis requests by outcome",
+            ),
+            diagnoses_unready: obs.counter(
+                DIAGNOSES_TOTAL,
+                &[("outcome", "no_model")],
+                "diagnosis requests by outcome",
+            ),
+            diagnose_latency: obs.histogram(
+                DIAGNOSE_LATENCY_SECONDS,
+                &[],
+                "wall-clock latency of successful diagnoses",
+            ),
         }
     }
 
@@ -93,8 +136,10 @@ impl AnalysisService {
     /// Returns `false` when the sample was rejected (schema mismatch).
     pub fn submit(&self, sample: Sample) -> bool {
         if !self.collector.submit(sample) {
+            self.submissions_rejected.inc();
             return false;
         }
+        self.submissions_accepted.inc();
         let n = self.submissions.fetch_add(1, Ordering::Relaxed) + 1;
         if let (Some(every), Some(worker)) = (self.config.auto_retrain_every, &self.worker) {
             if n.is_multiple_of(every) {
@@ -115,11 +160,14 @@ impl AnalysisService {
         service: ServiceId,
         schema: &FeatureSchema,
     ) -> Result<Diagnosis, NnError> {
-        let model = self
-            .registry
-            .model_for(service)
-            .ok_or_else(|| NnError::InvalidConfig("no model published yet".into()))?;
+        let Some(model) = self.registry.model_for(service) else {
+            self.diagnoses_unready.inc();
+            return Err(NnError::InvalidConfig("no model published yet".into()));
+        };
+        let timer = self.diagnose_latency.start_timer();
         let ranking = model.rank_causes(features, schema);
+        timer.stop();
+        self.diagnoses_ok.inc();
         let top_cause = schema.feature(ranking.best());
         Ok(Diagnosis {
             ranking,
@@ -177,6 +225,16 @@ impl AnalysisService {
     /// Access the registry (e.g. to export a model to clients).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// A point-in-time snapshot of the process-wide metrics registry —
+    /// the operator hook for dumping live serving/training metrics (see
+    /// `OBSERVABILITY.md`). Render it with
+    /// [`render_text`](diagnet_obs::Snapshot::render_text) or
+    /// [`render_prometheus`](diagnet_obs::Snapshot::render_prometheus).
+    /// Empty when the `obs` feature is compiled out.
+    pub fn metrics_snapshot(&self) -> diagnet_obs::Snapshot {
+        diagnet_obs::global().snapshot()
     }
 
     fn next_seed(&self) -> u64 {
@@ -271,6 +329,49 @@ mod tests {
         assert!(no_worker
             .wait_background_report_timeout(std::time::Duration::from_millis(10))
             .is_none());
+    }
+
+    /// Delta-based asserts (the global metrics registry is shared across
+    /// test threads); exercises the end-to-end hook the analysis-service
+    /// example dumps.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn serving_metrics_flow_into_the_snapshot() {
+        let accepted: &[(&str, &str)] = &[("outcome", "accepted")];
+        let ok: &[(&str, &str)] = &[("outcome", "ok")];
+        let before = diagnet_obs::global().snapshot();
+        let sub0 = before.counter(SUBMISSIONS_TOTAL, accepted).unwrap_or(0);
+        let diag0 = before.counter(DIAGNOSES_TOTAL, ok).unwrap_or(0);
+
+        let (_, service, samples) = fast_service(None);
+        let schema = FeatureSchema::full();
+        assert!(service
+            .diagnose(&samples[0].features, samples[0].service, &schema)
+            .is_err());
+        for s in &samples {
+            service.submit(s.clone());
+        }
+        service.retrain_now().unwrap();
+        service
+            .diagnose(&samples[0].features, samples[0].service, &schema)
+            .unwrap();
+
+        let snap = service.metrics_snapshot();
+        assert!(
+            snap.counter(SUBMISSIONS_TOTAL, accepted).unwrap_or(0) >= sub0 + samples.len() as u64
+        );
+        assert!(snap.counter(DIAGNOSES_TOTAL, ok).unwrap_or(0) >= diag0 + 1);
+        assert!(
+            snap.counter(DIAGNOSES_TOTAL, &[("outcome", "no_model")])
+                .unwrap_or(0)
+                >= 1
+        );
+        let lat = snap.histogram(DIAGNOSE_LATENCY_SECONDS, &[]).unwrap();
+        assert!(lat.count >= 1);
+        // The rendered dump carries the serving series an operator expects.
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("diagnet_submissions_total{outcome=\"accepted\"}"));
+        assert!(prom.contains("diagnet_retrain_duration_seconds_bucket"));
     }
 
     #[test]

@@ -21,6 +21,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Name of the retrain wall-clock histogram (label `backend`).
+pub const RETRAIN_DURATION_SECONDS: &str = "diagnet_retrain_duration_seconds";
+/// Name of the counter of retrain attempts (labels `backend`, `outcome`:
+/// `ok`/`error`).
+pub const RETRAIN_TOTAL: &str = "diagnet_retrain_total";
+
 /// Outcome of one training generation.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -54,6 +60,44 @@ pub struct TrainReport {
 /// parallel. Per-member seeds are derived by index, so a generation is
 /// bit-for-bit reproducible regardless of thread count.
 pub fn retrain_backend(
+    collector: &ProbeCollector,
+    registry: &ModelRegistry,
+    kind: BackendKind,
+    config: &BackendConfig,
+    general_services: &[ServiceId],
+    min_service_samples: usize,
+    seed: u64,
+) -> Result<TrainReport, NnError> {
+    let _span = diagnet_obs::span("platform.retrain");
+    let obs = diagnet_obs::global();
+    let timer = obs
+        .histogram(
+            RETRAIN_DURATION_SECONDS,
+            &[("backend", kind.token())],
+            "wall-clock duration of one training generation",
+        )
+        .start_timer();
+    let result = run_retrain(
+        collector,
+        registry,
+        kind,
+        config,
+        general_services,
+        min_service_samples,
+        seed,
+    );
+    timer.stop();
+    let outcome = if result.is_ok() { "ok" } else { "error" };
+    obs.counter(
+        RETRAIN_TOTAL,
+        &[("backend", kind.token()), ("outcome", outcome)],
+        "retrain attempts by outcome",
+    )
+    .inc();
+    result
+}
+
+fn run_retrain(
     collector: &ProbeCollector,
     registry: &ModelRegistry,
     kind: BackendKind,
@@ -319,6 +363,63 @@ mod tests {
             let served = registry.general().unwrap();
             assert_eq!(served.describe().kind, kind);
         }
+    }
+
+    /// Delta-based asserts: the global registry is shared with other tests
+    /// running in the same process.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn retrains_are_timed_and_counted() {
+        let ok_labels: &[(&str, &str)] = &[("backend", "diagnet"), ("outcome", "ok")];
+        let before_ok = diagnet_obs::global()
+            .snapshot()
+            .counter(RETRAIN_TOTAL, ok_labels)
+            .unwrap_or(0);
+        let (world, collector) = loaded_collector(86);
+        let registry = ModelRegistry::new();
+        retrain(
+            &collector,
+            &registry,
+            &fast_config(),
+            &world.catalog.general_ids(),
+            1,
+            86,
+        )
+        .unwrap();
+        let empty = ProbeCollector::new(10, FeatureSchema::full());
+        assert!(retrain(
+            &empty,
+            &registry,
+            &fast_config(),
+            &world.catalog.general_ids(),
+            1,
+            1
+        )
+        .is_err());
+
+        let snap = diagnet_obs::global().snapshot();
+        assert!(snap.counter(RETRAIN_TOTAL, ok_labels).unwrap_or(0) >= before_ok + 1);
+        assert!(
+            snap.counter(
+                RETRAIN_TOTAL,
+                &[("backend", "diagnet"), ("outcome", "error")]
+            )
+            .unwrap_or(0)
+                >= 1,
+            "failed retrain not counted"
+        );
+        let hist = snap
+            .histogram(RETRAIN_DURATION_SECONDS, &[("backend", "diagnet")])
+            .unwrap();
+        assert!(hist.count >= 1);
+        assert!(hist.sum > 0.0);
+        let span = snap
+            .histogram(
+                diagnet_obs::span::SPAN_HISTOGRAM,
+                &[("span", "platform.retrain")],
+            )
+            .unwrap();
+        assert!(span.count >= 1);
     }
 
     #[test]

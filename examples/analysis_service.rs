@@ -97,4 +97,9 @@ fn main() {
             report.version
         );
     }
+
+    // Operator view: dump the live metrics registry (submissions,
+    // diagnoses, retrain generations, per-stage pipeline spans).
+    println!("\n--- live metrics ---");
+    print!("{}", service.metrics_snapshot().render_text());
 }

@@ -1,0 +1,134 @@
+//! ISSUE 4 acceptance: the observability layer sees real traffic.
+//!
+//! Uses a *private* `MetricsRegistry` for the wrapper assertions (exact
+//! counts, no interference from concurrently running tests) and the global
+//! registry for the pipeline spans (monotonic counters, `>=` assertions).
+
+#![cfg(feature = "obs")]
+
+use diagnet::backend::{Backend, BackendConfig, BackendKind};
+use diagnet::config::DiagNetConfig;
+use diagnet::instrument::{
+    InstrumentedBackend, EXTEND_CHECKS_TOTAL, RANK_BATCH_ROWS, RANK_LATENCY_SECONDS,
+    RANK_REQUESTS_TOTAL, RANK_ROWS_TOTAL,
+};
+use diagnet::model::DiagNet;
+use diagnet_obs::MetricsRegistry;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+
+fn small_data(seed: u64) -> (Dataset, Dataset) {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, seed);
+    cfg.n_scenarios = 10;
+    let ds = Dataset::generate(&world, &cfg);
+    let split = ds.split(0.8, seed);
+    (split.train, split.test)
+}
+
+#[test]
+fn instrumented_backend_records_exact_counts() {
+    let (train, test) = small_data(97);
+    let config = BackendConfig::default();
+    let inner = BackendKind::Forest
+        .train(&config, &train, &FeatureSchema::known(), 97)
+        .unwrap();
+    let registry = MetricsRegistry::new();
+    let backend = InstrumentedBackend::with_registry(inner, &registry);
+    let schema = FeatureSchema::full();
+
+    let rows: Vec<Vec<f32>> = test
+        .samples
+        .iter()
+        .take(8)
+        .map(|s| s.features.clone())
+        .collect();
+    let batched = backend.rank_causes_batch(&rows, &schema);
+    let single = backend.rank_causes(&rows[0], &schema);
+    assert_eq!(&batched[0], &single, "wrapper must not change results");
+    backend.extend(&schema).unwrap();
+
+    let labels = &[("backend", "forest")];
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(RANK_REQUESTS_TOTAL, labels), Some(2));
+    assert_eq!(snap.counter(RANK_ROWS_TOTAL, labels), Some(9));
+    assert_eq!(snap.counter(EXTEND_CHECKS_TOTAL, labels), Some(1));
+
+    let batch_lat = snap
+        .histogram(
+            RANK_LATENCY_SECONDS,
+            &[("backend", "forest"), ("call", "batch")],
+        )
+        .unwrap();
+    assert_eq!(batch_lat.count, 1);
+    assert!(batch_lat.sum > 0.0, "latency must be recorded");
+    let single_lat = snap
+        .histogram(
+            RANK_LATENCY_SECONDS,
+            &[("backend", "forest"), ("call", "single")],
+        )
+        .unwrap();
+    assert_eq!(single_lat.count, 1);
+    let batch_rows = snap.histogram(RANK_BATCH_ROWS, labels).unwrap();
+    assert_eq!(batch_rows.count, 1);
+    assert_eq!(batch_rows.sum, 8.0);
+
+    // The snapshot renders both ways with the recorded series present.
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("# TYPE diagnet_rank_requests_total counter"));
+    assert!(prom.contains("diagnet_rank_requests_total{backend=\"forest\"} 2"));
+    assert!(prom.contains("diagnet_rank_latency_seconds_bucket"));
+    let text = snap.render_text();
+    assert!(text.contains("p99="), "{text}");
+}
+
+#[test]
+fn wrapper_is_transparent_to_downcasts_and_envelopes() {
+    let (train, _) = small_data(98);
+    let mut config = DiagNetConfig::fast();
+    config.epochs = 2;
+    config.forest.n_trees = 5;
+    let model = DiagNet::train(&config, &train, 98).unwrap();
+    let registry = MetricsRegistry::new();
+    let backend = InstrumentedBackend::with_registry(Box::new(model), &registry);
+    // Consumers that downcast (CLI `info`, platform tests) must reach the
+    // wrapped model through the wrapper.
+    assert!(backend.as_any().downcast_ref::<DiagNet>().is_some());
+    assert_eq!(backend.describe().kind, BackendKind::DiagNet);
+    let envelope = backend.to_envelope();
+    assert_eq!(envelope.kind, BackendKind::DiagNet);
+    assert!(envelope.validate().is_ok());
+}
+
+#[test]
+fn pipeline_spans_reach_the_global_registry() {
+    let (train, test) = small_data(99);
+    let mut config = DiagNetConfig::fast();
+    config.epochs = 2;
+    config.forest.n_trees = 5;
+    let model = DiagNet::train(&config, &train, 99).unwrap();
+    let schema = FeatureSchema::full();
+    let rows: Vec<Vec<f32>> = test
+        .samples
+        .iter()
+        .take(16)
+        .map(|s| s.features.clone())
+        .collect();
+    let _ = model.rank_causes_batch(&rows, &schema);
+
+    let snap = diagnet_obs::global().snapshot();
+    for span in [
+        "core.rank_causes_batch",
+        "core.normalize",
+        "core.forward",
+        "core.attention_backward",
+        "core.fine_rank",
+    ] {
+        let hist = snap
+            .histogram(diagnet_obs::span::SPAN_HISTOGRAM, &[("span", span)])
+            .unwrap_or_else(|| panic!("span `{span}` not recorded"));
+        assert!(hist.count >= 1, "span `{span}` has no observations");
+        assert!(hist.quantile(0.5) >= 0.0);
+    }
+}
