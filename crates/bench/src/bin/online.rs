@@ -33,6 +33,7 @@ fn main() {
             min_service_samples: 50,
             auto_retrain_every: None, // replay drives retraining itself
             seed: config.seed,
+            ..ServiceConfig::default()
         },
         schema.clone(),
     );

@@ -382,6 +382,16 @@ fn info(args: &Args) -> Result<String, CliError> {
             }
         );
     }
+    // The same health probe the platform's publish gate runs: finite
+    // parameters, finite scores on a zero probe.
+    let _ = writeln!(
+        out,
+        "  health: {}",
+        match backend.validate() {
+            Ok(()) => "ok (finite parameters, finite probe scores)".to_string(),
+            Err(e) => format!("FAILED — {e}"),
+        }
+    );
     Ok(out)
 }
 
@@ -593,6 +603,7 @@ mod tests {
 
             let out = run_line(&["info", "--model", model_s, "--backend", backend]).unwrap();
             assert!(out.contains("trained against 7 landmarks"), "{out}");
+            assert!(out.contains("health: ok"), "{out}");
 
             let out =
                 run_line(&["evaluate", "--model", model_s, "--data", data_s, "--k", "3"]).unwrap();

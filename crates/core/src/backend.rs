@@ -286,8 +286,41 @@ pub trait Backend: Send + Sync + fmt::Debug {
     /// Wrap a copy of this model in the versioned persistence envelope.
     fn to_envelope(&self) -> BackendEnvelope;
 
+    /// Health check: verify the model is servable — parameters finite and
+    /// a probe row scores to finite values. Called after deserialisation
+    /// (never load a corrupted model) and before a registry publish (never
+    /// serve a diverged generation). The default scores one all-zero probe
+    /// row over the full cause space through [`Backend::rank_causes`];
+    /// implementations with direct parameter access should check those
+    /// too.
+    fn validate(&self) -> Result<(), NnError> {
+        validate_probe_scores(self)
+    }
+
     /// Downcasting hook (e.g. the registry's DiagNet-specific consumers).
     fn as_any(&self) -> &dyn Any;
+}
+
+/// Shared tail of [`Backend::validate`]: score one all-zero probe row over
+/// the full cause space and require every output to be finite. Callable
+/// from `validate` overrides after their own parameter checks.
+pub fn validate_probe_scores<B: Backend + ?Sized>(backend: &B) -> Result<(), NnError> {
+    let full = FeatureSchema::full();
+    let probe = vec![0.0f32; full.n_features()];
+    let ranking = backend.rank_causes(&probe, &full);
+    if ranking.scores.len() != full.n_features() {
+        return Err(NnError::InvalidConfig(format!(
+            "model health check failed: probe row produced {} scores for {} candidates",
+            ranking.scores.len(),
+            full.n_features()
+        )));
+    }
+    if !ranking.all_finite() {
+        return Err(NnError::InvalidConfig(
+            "model health check failed: probe row produced non-finite scores".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Shared `extend` logic: validate `schema` against the full cause space
@@ -356,6 +389,23 @@ impl Backend for DiagNet {
             kind: BackendKind::DiagNet,
             payload: BackendPayload::DiagNet(Box::new(self.clone())),
         }
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if !self.network.params_finite() {
+            return Err(NnError::InvalidConfig(
+                "model health check failed: network holds non-finite weights".into(),
+            ));
+        }
+        let stats_finite = (0..crate::normalize::N_KINDS).all(|k| {
+            self.normalizer.mean_of(k).is_finite() && self.normalizer.std_of(k).is_finite()
+        });
+        if !stats_finite {
+            return Err(NnError::InvalidConfig(
+                "model health check failed: normaliser statistics are non-finite".into(),
+            ));
+        }
+        validate_probe_scores(self)
     }
 
     fn as_any(&self) -> &dyn Any {

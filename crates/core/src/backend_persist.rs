@@ -19,20 +19,28 @@ pub fn save_backend<W: Write>(backend: &dyn Backend, writer: W) -> Result<(), Nn
 }
 
 /// Deserialise a backend from JSON: envelope first, then the legacy bare
-/// [`DiagNet`] shape.
+/// [`DiagNet`] shape. Either way the decoded model must pass its
+/// [`Backend::validate`] health check — a file that parses but holds
+/// non-finite weights (bit rot, a partially overwritten artefact, a
+/// diverged training run saved by an older build) is refused with a typed
+/// error instead of being served.
 pub fn load_backend<R: Read>(reader: R) -> Result<Box<dyn Backend>, NnError> {
     let mut buf = Vec::new();
     let mut reader = reader;
     reader
         .read_to_end(&mut buf)
         .map_err(|e| NnError::Serialization(e.to_string()))?;
-    match serde_json::from_slice::<BackendEnvelope>(&buf) {
-        Ok(envelope) => envelope.into_backend(),
+    let backend = match serde_json::from_slice::<BackendEnvelope>(&buf) {
+        Ok(envelope) => envelope.into_backend()?,
         Err(envelope_err) => match serde_json::from_slice::<DiagNet>(&buf) {
-            Ok(model) => Ok(Box::new(model)),
-            Err(_) => Err(NnError::Serialization(envelope_err.to_string())),
+            Ok(model) => Box::new(model) as Box<dyn Backend>,
+            Err(_) => return Err(NnError::Serialization(envelope_err.to_string())),
         },
-    }
+    };
+    backend
+        .validate()
+        .map_err(|e| NnError::Serialization(format!("loaded model failed validation: {e}")))?;
+    Ok(backend)
 }
 
 /// [`save_backend`] to a filesystem path.

@@ -156,6 +156,11 @@ impl Backend for InstrumentedBackend {
         self.inner.to_envelope()
     }
 
+    fn validate(&self) -> Result<(), NnError> {
+        // Health probes should not skew serving metrics.
+        self.inner.validate()
+    }
+
     fn as_any(&self) -> &dyn Any {
         // Delegate so `downcast_ref::<DiagNet>()`-style consumers see the
         // wrapped model, not the wrapper.

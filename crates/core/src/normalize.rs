@@ -32,6 +32,15 @@ pub fn stabilize(kind: usize, v: f32) -> f32 {
     }
 }
 
+/// Clamp bound on standardised values. Training-distribution z-scores are
+/// single digits; the linear kinds (CpuLoad, MemLoad, ConnCount) skip the
+/// log transform, so an adversarial or corrupted raw value like 1e30 would
+/// otherwise ride straight into the network and overflow `f32` inside the
+/// matmuls. ±1e4 is far outside anything a sane probe produces (identity
+/// for real data) while keeping activations finite for arbitrary finite
+/// inputs.
+pub const MAX_ABS_Z: f32 = 1e4;
+
 /// A fitted per-kind z-score normaliser.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Normalizer {
@@ -90,7 +99,8 @@ impl Normalizer {
     }
 
     /// Standardise one value of a given metric kind (stabilising
-    /// transform when enabled, then z-score).
+    /// transform when enabled, then z-score, clamped to ±[`MAX_ABS_Z`]).
+    /// NaN inputs map to the clamp bound rather than propagating.
     #[inline]
     pub fn apply_value(&self, kind: usize, v: f32) -> f32 {
         let t = if self.stabilized {
@@ -98,7 +108,12 @@ impl Normalizer {
         } else {
             v
         };
-        (t - self.mean[kind]) / self.std[kind]
+        let z = (t - self.mean[kind]) / self.std[kind];
+        if z.is_nan() {
+            MAX_ABS_Z
+        } else {
+            z.clamp(-MAX_ABS_Z, MAX_ABS_Z)
+        }
     }
 
     /// Standardise a row laid out in `schema`'s order, into a new vector.

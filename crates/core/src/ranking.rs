@@ -48,6 +48,16 @@ impl CauseRanking {
     pub fn best(&self) -> usize {
         self.top(1)[0]
     }
+
+    /// True when every score (and the coarse probabilities plus
+    /// `w_unknown`) is finite. The serving layer refuses to return a
+    /// ranking that fails this check, and the publish gate refuses to
+    /// publish a model that produces one.
+    pub fn all_finite(&self) -> bool {
+        self.scores.iter().all(|v| v.is_finite())
+            && self.coarse.iter().all(|v| v.is_finite())
+            && self.w_unknown.is_finite()
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,22 @@ impl Layer {
         }
     }
 
+    /// True when every parameter of this layer is finite (no NaN/Inf) —
+    /// the load-time/publish-time health check of corrupted or diverged
+    /// models.
+    pub fn params_finite(&self) -> bool {
+        match self {
+            Layer::Dense(d) => {
+                d.w.data().iter().all(|v| v.is_finite()) && d.b.iter().all(|v| v.is_finite())
+            }
+            Layer::ReLU => true,
+            Layer::LandPool(lp) => {
+                lp.kernel.data().iter().all(|v| v.is_finite())
+                    && lp.bias.iter().all(|v| v.is_finite())
+            }
+        }
+    }
+
     /// Whether the optimiser should skip this layer.
     pub fn is_frozen(&self) -> bool {
         match self {

@@ -59,6 +59,12 @@ impl Network {
         self.layers.iter().map(Layer::num_params).sum()
     }
 
+    /// True when every parameter of every layer is finite — see
+    /// [`Layer::params_finite`].
+    pub fn params_finite(&self) -> bool {
+        self.layers.iter().all(Layer::params_finite)
+    }
+
     /// Number of parameters in non-frozen layers.
     pub fn num_trainable_params(&self) -> usize {
         self.layers

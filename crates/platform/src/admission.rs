@@ -1,0 +1,369 @@
+//! Probe admission control.
+//!
+//! The platform diagnoses faults in unreliable infrastructure, and the
+//! probes themselves ride that infrastructure: a crashed client library
+//! can report NaN features, a truncated UDP payload a short row, a
+//! unit-confused exporter values of 1e30. None of that may reach the
+//! training buffer (a single NaN poisons a whole generation's normaliser
+//! statistics) or the scoring path. [`ProbeGate`] validates every
+//! `submit`/`diagnose` input against the collector's [`FeatureSchema`]:
+//!
+//! * **width** — the feature count must match the schema exactly;
+//! * **finiteness** — no NaN/Inf anywhere in the row;
+//! * **magnitude** — every value must stay under a configurable absurdity
+//!   bound (raw metrics are RTTs, bandwidths, load ratios — nothing a
+//!   real probe measures approaches 1e9).
+//!
+//! Rejected probes are counted per reason in
+//! [`PROBES_REJECTED_TOTAL`] and kept in a bounded quarantine ring for
+//! operator inspection (the freshest rejects win, like the sample buffer).
+//!
+//! Admission also owns the [`SubmissionQueue`]: accepted probes are staged
+//! in a bounded queue and batch-drained into the collector, so a
+//! saturated collector sheds load explicitly ([`RejectReason::QueueFull`],
+//! counted in [`PROBES_SHED_TOTAL`]) instead of blocking every client on
+//! one mutex.
+
+use diagnet_obs::Counter;
+use diagnet_sim::dataset::Sample;
+use diagnet_sim::metrics::FeatureSchema;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Name of the per-reason counter of rejected probes (label `reason`).
+pub const PROBES_REJECTED_TOTAL: &str = "diagnet_probes_rejected_total";
+/// Name of the counter of accepted-but-shed probes (submission queue full).
+pub const PROBES_SHED_TOTAL: &str = "diagnet_probes_shed_total";
+
+/// Why a probe was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Feature count differs from the schema's.
+    WidthMismatch,
+    /// At least one feature is NaN or infinite.
+    NonFinite,
+    /// At least one feature exceeds the configured absurdity bound.
+    Magnitude,
+    /// The bounded submission queue was full (load shed, not a validity
+    /// failure).
+    QueueFull,
+}
+
+impl RejectReason {
+    /// Stable metric-label token for this reason.
+    pub fn token(self) -> &'static str {
+        match self {
+            RejectReason::WidthMismatch => "width_mismatch",
+            RejectReason::NonFinite => "non_finite",
+            RejectReason::Magnitude => "magnitude",
+            RejectReason::QueueFull => "queue_full",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Admission-control tuning.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Absolute bound above which a feature value is absurd. Raw metrics
+    /// are milliseconds, Mbit/s, ratios and connection counts; the default
+    /// of 1e9 is orders of magnitude above all of them.
+    pub max_magnitude: f32,
+    /// Capacity of the quarantine ring of rejected probes.
+    pub quarantine_capacity: usize,
+    /// Capacity of the bounded submission queue; submissions beyond it are
+    /// shed.
+    pub max_pending: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_magnitude: 1e9,
+            quarantine_capacity: 256,
+            max_pending: 8192,
+        }
+    }
+}
+
+/// A rejected probe held for inspection.
+#[derive(Debug, Clone)]
+pub struct QuarantinedProbe {
+    /// The offending sample, as submitted.
+    pub sample: Sample,
+    /// Why it was refused.
+    pub reason: RejectReason,
+}
+
+/// Validates probes against a schema, quarantining and counting rejects.
+#[derive(Debug)]
+pub struct ProbeGate {
+    schema: FeatureSchema,
+    config: AdmissionConfig,
+    quarantine: Mutex<VecDeque<QuarantinedProbe>>,
+    // Per-reason counters, resolved once (submit is the hot path).
+    rejected_width: Counter,
+    rejected_non_finite: Counter,
+    rejected_magnitude: Counter,
+}
+
+impl ProbeGate {
+    /// A gate enforcing `config` against `schema`.
+    pub fn new(schema: FeatureSchema, config: AdmissionConfig) -> Self {
+        let obs = diagnet_obs::global();
+        let help = "probes rejected by admission control, by reason";
+        ProbeGate {
+            rejected_width: obs.counter(
+                PROBES_REJECTED_TOTAL,
+                &[("reason", RejectReason::WidthMismatch.token())],
+                help,
+            ),
+            rejected_non_finite: obs.counter(
+                PROBES_REJECTED_TOTAL,
+                &[("reason", RejectReason::NonFinite.token())],
+                help,
+            ),
+            rejected_magnitude: obs.counter(
+                PROBES_REJECTED_TOTAL,
+                &[("reason", RejectReason::Magnitude.token())],
+                help,
+            ),
+            quarantine: Mutex::new(VecDeque::with_capacity(
+                config.quarantine_capacity.min(1024),
+            )),
+            schema,
+            config,
+        }
+    }
+
+    /// Validate a feature row without taking ownership — the `diagnose`
+    /// entry point (nothing to quarantine: the caller gets a typed error).
+    pub fn check(&self, features: &[f32]) -> Result<(), RejectReason> {
+        if features.len() != self.schema.n_features() {
+            return Err(RejectReason::WidthMismatch);
+        }
+        for &v in features {
+            if !v.is_finite() {
+                return Err(RejectReason::NonFinite);
+            }
+            if v.abs() > self.config.max_magnitude {
+                return Err(RejectReason::Magnitude);
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate a submission. `Ok` hands the sample back for ingestion;
+    /// `Err` quarantines it and bumps the per-reason counter.
+    pub fn admit(&self, sample: Sample) -> Result<Sample, RejectReason> {
+        match self.check(&sample.features) {
+            Ok(()) => Ok(sample),
+            Err(reason) => {
+                match reason {
+                    RejectReason::WidthMismatch => self.rejected_width.inc(),
+                    RejectReason::NonFinite => self.rejected_non_finite.inc(),
+                    RejectReason::Magnitude => self.rejected_magnitude.inc(),
+                    RejectReason::QueueFull => unreachable!("check never sheds"),
+                }
+                let mut ring = self.quarantine.lock();
+                if ring.len() == self.config.quarantine_capacity {
+                    ring.pop_front();
+                }
+                if self.config.quarantine_capacity > 0 {
+                    ring.push_back(QuarantinedProbe { sample, reason });
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    /// Snapshot of the quarantine ring, oldest first.
+    pub fn quarantined(&self) -> Vec<QuarantinedProbe> {
+        self.quarantine.lock().iter().cloned().collect()
+    }
+
+    /// Number of quarantined probes currently held.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    /// The admission configuration in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+}
+
+/// A bounded staging queue between admission and the collector.
+#[derive(Debug)]
+pub struct SubmissionQueue {
+    pending: Mutex<VecDeque<Sample>>,
+    capacity: usize,
+    shed: Counter,
+}
+
+impl SubmissionQueue {
+    /// A queue holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        SubmissionQueue {
+            pending: Mutex::new(VecDeque::new()),
+            capacity,
+            shed: diagnet_obs::global().counter(
+                PROBES_SHED_TOTAL,
+                &[],
+                "admitted probes shed because the submission queue was full",
+            ),
+        }
+    }
+
+    /// Stage a sample. `Err(QueueFull)` sheds it (counted) when the queue
+    /// is at capacity — explicit back-pressure instead of unbounded growth
+    /// while the collector is saturated or intake is paused.
+    pub fn push(&self, sample: Sample) -> Result<(), RejectReason> {
+        let mut q = self.pending.lock();
+        if q.len() >= self.capacity {
+            self.shed.inc();
+            return Err(RejectReason::QueueFull);
+        }
+        q.push_back(sample);
+        Ok(())
+    }
+
+    /// Run `f` over the pending queue (used by the drain path to move
+    /// samples into the collector under one lock acquisition).
+    pub fn with_pending<R>(&self, f: impl FnOnce(&mut VecDeque<Sample>) -> R) -> R {
+        f(&mut self.pending.lock())
+    }
+
+    /// Number of staged samples.
+    pub fn len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.pending.lock().is_empty()
+    }
+
+    /// Maximum number of staged samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet_sim::dataset::{Dataset, DatasetConfig};
+    use diagnet_sim::world::World;
+
+    fn one_sample() -> Sample {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 11);
+        cfg.n_scenarios = 1;
+        Dataset::generate(&world, &cfg).samples.remove(0)
+    }
+
+    #[test]
+    fn clean_probe_is_admitted() {
+        let gate = ProbeGate::new(FeatureSchema::full(), AdmissionConfig::default());
+        let s = one_sample();
+        assert!(gate.check(&s.features).is_ok());
+        assert!(gate.admit(s).is_ok());
+        assert_eq!(gate.quarantine_len(), 0);
+    }
+
+    #[test]
+    fn each_defect_maps_to_its_reason() {
+        let gate = ProbeGate::new(FeatureSchema::full(), AdmissionConfig::default());
+        let clean = one_sample();
+
+        let mut short = clean.clone();
+        short.features.truncate(10);
+        assert_eq!(gate.admit(short), Err(RejectReason::WidthMismatch));
+
+        let mut nan = clean.clone();
+        nan.features[3] = f32::NAN;
+        assert_eq!(gate.admit(nan), Err(RejectReason::NonFinite));
+
+        let mut inf = clean.clone();
+        inf.features[7] = f32::INFINITY;
+        assert_eq!(gate.admit(inf), Err(RejectReason::NonFinite));
+
+        let mut huge = clean.clone();
+        huge.features[0] = -1e12;
+        assert_eq!(gate.admit(huge), Err(RejectReason::Magnitude));
+
+        let reasons: Vec<RejectReason> = gate.quarantined().iter().map(|q| q.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                RejectReason::WidthMismatch,
+                RejectReason::NonFinite,
+                RejectReason::NonFinite,
+                RejectReason::Magnitude,
+            ]
+        );
+    }
+
+    #[test]
+    fn quarantine_ring_is_bounded() {
+        let config = AdmissionConfig {
+            quarantine_capacity: 3,
+            ..AdmissionConfig::default()
+        };
+        let gate = ProbeGate::new(FeatureSchema::full(), config);
+        let clean = one_sample();
+        for i in 0..10 {
+            let mut bad = clean.clone();
+            bad.features[0] = f32::NAN;
+            bad.plt_s = i as f32; // marker to identify survivors
+            let _ = gate.admit(bad);
+        }
+        let held = gate.quarantined();
+        assert_eq!(held.len(), 3);
+        let markers: Vec<f32> = held.iter().map(|q| q.sample.plt_s).collect();
+        assert_eq!(markers, vec![7.0, 8.0, 9.0], "freshest rejects win");
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn rejections_are_counted_per_reason() {
+        let before = diagnet_obs::global()
+            .snapshot()
+            .counter(
+                PROBES_REJECTED_TOTAL,
+                &[("reason", RejectReason::NonFinite.token())],
+            )
+            .unwrap_or(0);
+        let gate = ProbeGate::new(FeatureSchema::full(), AdmissionConfig::default());
+        let mut bad = one_sample();
+        bad.features[0] = f32::NAN;
+        let _ = gate.admit(bad);
+        let after = diagnet_obs::global()
+            .snapshot()
+            .counter(
+                PROBES_REJECTED_TOTAL,
+                &[("reason", RejectReason::NonFinite.token())],
+            )
+            .unwrap_or(0);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn queue_sheds_at_capacity() {
+        let queue = SubmissionQueue::new(2);
+        let s = one_sample();
+        assert!(queue.push(s.clone()).is_ok());
+        assert!(queue.push(s.clone()).is_ok());
+        assert_eq!(queue.push(s), Err(RejectReason::QueueFull));
+        assert_eq!(queue.len(), 2);
+        queue.with_pending(|q| q.clear());
+        assert!(queue.is_empty());
+    }
+}

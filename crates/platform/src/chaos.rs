@@ -1,0 +1,363 @@
+//! Chaos fault-injection harness (compiled behind the `chaos` feature).
+//!
+//! The paper injects six fault families into the *network* under test
+//! (§IV-A, `tc netem`); this module injects faults into the *platform
+//! itself* so the resilience layer can be proven rather than assumed:
+//!
+//! * [`ChaosBackend`] — a [`Backend`] decorator that panics, stalls,
+//!   returns NaN scores, or fails N calls then recovers;
+//! * [`ChaosPipeline`] — a [`TrainPipeline`] decorator driven by a
+//!   scripted fault schedule (panic / stall / error / NaN-model per
+//!   generation), so tests can stage "three failed generations, then
+//!   recovery" deterministically;
+//! * [`ProbeCorruptor`] — a deterministic probe mangler (NaN injection,
+//!   truncation, absurd magnitudes) for exercising admission control.
+//!
+//! Everything is seed-driven: a chaos test is exactly reproducible.
+
+use crate::trainer::{Generation, TrainPipeline};
+use diagnet::backend::{Backend, BackendEnvelope, BackendInfo, ExtensionInfo};
+use diagnet::ranking::CauseRanking;
+use diagnet_nn::error::NnError;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::{Dataset, Sample};
+use diagnet_sim::metrics::FeatureSchema;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Serving faults.
+// ---------------------------------------------------------------------------
+
+/// What a [`ChaosBackend`] does on each ranking call.
+#[derive(Debug)]
+pub enum ServeFault {
+    /// Panic on every call.
+    Panic,
+    /// Sleep before delegating.
+    Slow(Duration),
+    /// Return all-NaN scores (a "diverged model" that parses fine).
+    NanScores,
+    /// Panic for the first `n` calls, then behave (fail-N-then-recover).
+    FailFirstN(AtomicU64),
+}
+
+/// A [`Backend`] decorator that injects serving faults. Deliberately does
+/// **not** override [`Backend::validate`]: the default probe-row check
+/// runs against the decorated scoring path, which is exactly how the
+/// publish gate catches a NaN-scoring generation.
+pub struct ChaosBackend {
+    inner: Arc<dyn Backend>,
+    fault: ServeFault,
+}
+
+impl ChaosBackend {
+    /// Wrap `inner` with `fault`.
+    pub fn new(inner: Arc<dyn Backend>, fault: ServeFault) -> Self {
+        ChaosBackend { inner, fault }
+    }
+
+    /// Convenience: fail the first `n` calls, then recover.
+    pub fn fail_first(inner: Arc<dyn Backend>, n: u64) -> Self {
+        ChaosBackend::new(inner, ServeFault::FailFirstN(AtomicU64::new(n)))
+    }
+
+    fn apply_fault(&self) -> bool {
+        match &self.fault {
+            ServeFault::Panic => panic!("chaos: injected serving panic"),
+            ServeFault::Slow(delay) => {
+                std::thread::sleep(*delay);
+                false
+            }
+            ServeFault::NanScores => true,
+            ServeFault::FailFirstN(remaining) => {
+                if remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    panic!("chaos: injected serving panic (fail-first-N)");
+                }
+                false
+            }
+        }
+    }
+
+    fn nan_ranking(schema: &FeatureSchema) -> CauseRanking {
+        CauseRanking::from_scores(vec![f32::NAN; schema.n_features()])
+    }
+}
+
+impl fmt::Debug for ChaosBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosBackend")
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Backend for ChaosBackend {
+    fn describe(&self) -> BackendInfo {
+        self.inner.describe()
+    }
+
+    fn rank_causes(&self, features: &[f32], schema: &FeatureSchema) -> CauseRanking {
+        if self.apply_fault() {
+            return Self::nan_ranking(schema);
+        }
+        self.inner.rank_causes(features, schema)
+    }
+
+    fn rank_causes_batch(&self, rows: &[Vec<f32>], schema: &FeatureSchema) -> Vec<CauseRanking> {
+        if self.apply_fault() {
+            return rows.iter().map(|_| Self::nan_ranking(schema)).collect();
+        }
+        self.inner.rank_causes_batch(rows, schema)
+    }
+
+    fn extend(&self, schema: &FeatureSchema) -> Result<ExtensionInfo, NnError> {
+        self.inner.extend(schema)
+    }
+
+    fn specialize_for(
+        &self,
+        service_data: &Dataset,
+        seed: u64,
+    ) -> Result<Box<dyn Backend>, NnError> {
+        self.inner.specialize_for(service_data, seed)
+    }
+
+    fn to_envelope(&self) -> BackendEnvelope {
+        self.inner.to_envelope()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self.inner.as_any()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Training faults.
+// ---------------------------------------------------------------------------
+
+/// What a [`ChaosPipeline`] does to one training generation.
+#[derive(Debug, Clone, Copy)]
+pub enum TrainFault {
+    /// Panic mid-generation.
+    Panic,
+    /// Sleep before training (drives the supervisor's budget timeout).
+    Stall(Duration),
+    /// Return a training error.
+    Error,
+    /// Train normally, then wrap every produced model in a NaN-scoring
+    /// [`ChaosBackend`] — a "diverged generation" the publish gate must
+    /// refuse.
+    NanModels,
+}
+
+/// A [`TrainPipeline`] decorator that replays a scripted fault schedule:
+/// each `train_generation` call pops the next fault (front first); an
+/// exhausted schedule delegates cleanly, which is how recovery scenarios
+/// are staged.
+#[derive(Debug)]
+pub struct ChaosPipeline {
+    inner: Arc<dyn TrainPipeline>,
+    schedule: Mutex<VecDeque<TrainFault>>,
+}
+
+impl ChaosPipeline {
+    /// Wrap `inner` with a fault schedule.
+    pub fn scripted(inner: Arc<dyn TrainPipeline>, faults: Vec<TrainFault>) -> Self {
+        ChaosPipeline {
+            inner,
+            schedule: Mutex::new(faults.into()),
+        }
+    }
+
+    /// Append a fault to the schedule (e.g. re-arm between phases).
+    pub fn push_fault(&self, fault: TrainFault) {
+        self.schedule.lock().push_back(fault);
+    }
+
+    /// Faults not yet consumed.
+    pub fn remaining_faults(&self) -> usize {
+        self.schedule.lock().len()
+    }
+}
+
+impl TrainPipeline for ChaosPipeline {
+    fn kind(&self) -> diagnet::backend::BackendKind {
+        self.inner.kind()
+    }
+
+    fn train_generation(&self, data: &Dataset, seed: u64) -> Result<Generation, NnError> {
+        let fault = self.schedule.lock().pop_front();
+        match fault {
+            None => self.inner.train_generation(data, seed),
+            Some(TrainFault::Panic) => panic!("chaos: injected training panic"),
+            Some(TrainFault::Stall(delay)) => {
+                std::thread::sleep(delay);
+                self.inner.train_generation(data, seed)
+            }
+            Some(TrainFault::Error) => Err(NnError::InvalidTrainingData(
+                "chaos: injected training error".into(),
+            )),
+            Some(TrainFault::NanModels) => {
+                let generation = self.inner.train_generation(data, seed)?;
+                Ok(Generation {
+                    backend: generation.backend,
+                    general: Arc::new(ChaosBackend::new(generation.general, ServeFault::NanScores)),
+                    specialized: generation
+                        .specialized
+                        .into_iter()
+                        .map(|(sid, m)| {
+                            (
+                                sid,
+                                Arc::new(ChaosBackend::new(m, ServeFault::NanScores))
+                                    as Arc<dyn Backend>,
+                            )
+                        })
+                        .collect(),
+                    specialized_ids: generation.specialized_ids,
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe corruption.
+// ---------------------------------------------------------------------------
+
+/// How a probe was mangled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// One feature replaced with NaN.
+    Nan,
+    /// One feature replaced with +Inf.
+    Inf,
+    /// The feature vector truncated to half its width.
+    Truncated,
+    /// One feature replaced with an absurd magnitude.
+    Huge,
+}
+
+/// Deterministically corrupts a configurable fraction of probes — the
+/// "10 % corrupt probes" leg of the chaos acceptance scenario.
+#[derive(Debug)]
+pub struct ProbeCorruptor {
+    rate: f64,
+    rng: Mutex<SplitMix64>,
+}
+
+impl ProbeCorruptor {
+    /// Corrupt roughly `rate` (in `[0, 1]`) of the probes passed through,
+    /// deterministically in `seed`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        ProbeCorruptor {
+            rate,
+            rng: Mutex::new(SplitMix64::new(seed)),
+        }
+    }
+
+    /// Maybe mangle `sample`; reports what was done to it.
+    pub fn maybe_corrupt(&self, sample: &mut Sample) -> Option<CorruptionKind> {
+        let mut rng = self.rng.lock();
+        if rng.next_f64() >= self.rate {
+            return None;
+        }
+        let kind = match rng.next_below(4) {
+            0 => CorruptionKind::Nan,
+            1 => CorruptionKind::Inf,
+            2 => CorruptionKind::Truncated,
+            _ => CorruptionKind::Huge,
+        };
+        let n = sample.features.len().max(1);
+        let j = rng.next_below(n);
+        match kind {
+            CorruptionKind::Nan => sample.features[j] = f32::NAN,
+            CorruptionKind::Inf => sample.features[j] = f32::INFINITY,
+            CorruptionKind::Truncated => sample.features.truncate(n / 2),
+            CorruptionKind::Huge => sample.features[j] = 4.2e30,
+        }
+        Some(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet::backend::ForestBackend;
+    use diagnet_forest::ForestConfig;
+    use diagnet_sim::dataset::DatasetConfig;
+    use diagnet_sim::world::World;
+
+    fn small_backend() -> Arc<dyn Backend> {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 21);
+        cfg.n_scenarios = 8;
+        let ds = Dataset::generate(&world, &cfg);
+        Arc::new(ForestBackend::train(
+            &ForestConfig::default(),
+            &ds,
+            &FeatureSchema::known(),
+            21,
+        ))
+    }
+
+    #[test]
+    fn nan_scores_fail_the_validate_probe() {
+        let chaotic = ChaosBackend::new(small_backend(), ServeFault::NanScores);
+        assert!(chaotic.validate().is_err(), "publish gate must catch NaNs");
+        let ranking = chaotic.rank_causes(
+            &vec![0.0; FeatureSchema::full().n_features()],
+            &FeatureSchema::full(),
+        );
+        assert!(!ranking.all_finite());
+    }
+
+    #[test]
+    fn fail_first_n_recovers() {
+        let chaotic = ChaosBackend::fail_first(small_backend(), 2);
+        let schema = FeatureSchema::full();
+        let probe = vec![0.0; schema.n_features()];
+        for _ in 0..2 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chaotic.rank_causes(&probe, &schema)
+            }));
+            assert!(outcome.is_err(), "first calls must panic");
+        }
+        let ranking = chaotic.rank_causes(&probe, &schema);
+        assert!(ranking.all_finite(), "recovered after N failures");
+    }
+
+    #[test]
+    fn corruptor_is_deterministic_and_rate_bound() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 22);
+        cfg.n_scenarios = 10;
+        let samples = Dataset::generate(&world, &cfg).samples;
+
+        let run = |seed: u64| {
+            let corruptor = ProbeCorruptor::new(0.1, seed);
+            let mut kinds = Vec::new();
+            for s in &samples {
+                let mut s = s.clone();
+                kinds.push(corruptor.maybe_corrupt(&mut s));
+            }
+            kinds
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "deterministic in the seed");
+        let corrupted = a.iter().filter(|k| k.is_some()).count();
+        let rate = corrupted as f64 / samples.len() as f64;
+        assert!(
+            (0.05..0.2).contains(&rate),
+            "~10% corruption expected, got {rate}"
+        );
+    }
+}

@@ -51,6 +51,38 @@ impl ProbeCollector {
         true
     }
 
+    /// Move every sample out of `pending` into the buffer under a single
+    /// lock acquisition (the drain side of the service's bounded
+    /// submission queue). Width is re-checked defensively; mismatching
+    /// rows are dropped. Evicts oldest when full.
+    pub fn ingest(&self, pending: &mut VecDeque<Sample>) {
+        let mut buf = self.buffer.lock();
+        self.ingest_into(&mut buf, pending);
+    }
+
+    /// Like [`ProbeCollector::ingest`] but gives up without blocking when
+    /// the buffer lock is contended (e.g. a training snapshot in
+    /// progress). Returns `false` when nothing was moved.
+    pub fn try_ingest(&self, pending: &mut VecDeque<Sample>) -> bool {
+        let Some(mut buf) = self.buffer.try_lock() else {
+            return false;
+        };
+        self.ingest_into(&mut buf, pending);
+        true
+    }
+
+    fn ingest_into(&self, buf: &mut VecDeque<Sample>, pending: &mut VecDeque<Sample>) {
+        for sample in pending.drain(..) {
+            if sample.features.len() != self.schema.n_features() {
+                continue;
+            }
+            if buf.len() == self.capacity {
+                buf.pop_front();
+            }
+            buf.push_back(sample);
+        }
+    }
+
     /// Current number of buffered samples.
     pub fn len(&self) -> usize {
         self.buffer.lock().len()

@@ -1,0 +1,164 @@
+//! Serving-health tracking.
+//!
+//! The service's availability contract is *diagnosis first*: a failing
+//! training pipeline must never take the request path down. Health is
+//! therefore a property of the training loop, reported alongside — not
+//! inside — `diagnose`:
+//!
+//! * [`HealthState::NoModel`] — nothing published yet (cold start, or the
+//!   first generation keeps failing);
+//! * [`HealthState::Serving`] — the most recent supervised retrain
+//!   succeeded; the registry serves its newest generation;
+//! * [`HealthState::Degraded`] — retraining is persistently failing, but
+//!   a last-good generation remains published and keeps serving.
+//!
+//! The state is mirrored into the [`HEALTH_STATE`] gauge (0 = no model,
+//! 1 = serving, 2 = degraded) so operators can alert on it without
+//! scraping the API.
+
+use diagnet_obs::Gauge;
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Name of the health gauge (0 = no model, 1 = serving, 2 = degraded).
+pub const HEALTH_STATE: &str = "diagnet_health_state";
+
+/// What the service can currently promise its clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthState {
+    /// No model has ever been published; `diagnose` returns errors.
+    NoModel,
+    /// The latest training generation succeeded and is being served.
+    Serving,
+    /// Training is failing; the last-good generation keeps serving.
+    Degraded {
+        /// Human-readable description of the most recent failure.
+        reason: String,
+    },
+}
+
+impl HealthState {
+    /// Gauge encoding of this state.
+    pub fn gauge_value(&self) -> f64 {
+        match self {
+            HealthState::NoModel => 0.0,
+            HealthState::Serving => 1.0,
+            HealthState::Degraded { .. } => 2.0,
+        }
+    }
+
+    /// True when a model is available for diagnosis (serving or degraded).
+    pub fn can_diagnose(&self) -> bool {
+        !matches!(self, HealthState::NoModel)
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::NoModel => f.write_str("no-model"),
+            HealthState::Serving => f.write_str("serving"),
+            HealthState::Degraded { reason } => write!(f, "degraded: {reason}"),
+        }
+    }
+}
+
+/// Thread-safe health register shared by the supervisor, the background
+/// worker and the service facade.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    state: Mutex<HealthState>,
+    gauge: Gauge,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor starting in [`HealthState::NoModel`].
+    pub fn new() -> Self {
+        let gauge = diagnet_obs::global().gauge(
+            HEALTH_STATE,
+            &[],
+            "serving health (0 = no model, 1 = serving, 2 = degraded)",
+        );
+        gauge.set(HealthState::NoModel.gauge_value());
+        HealthMonitor {
+            state: Mutex::new(HealthState::NoModel),
+            gauge,
+        }
+    }
+
+    /// A training generation was published successfully.
+    pub fn record_success(&self) {
+        self.set(HealthState::Serving);
+    }
+
+    /// A supervised retrain exhausted its attempts. `has_model` says
+    /// whether a last-good generation is still published (degraded) or
+    /// nothing ever was (no model).
+    pub fn record_failure(&self, reason: impl Into<String>, has_model: bool) {
+        if has_model {
+            self.set(HealthState::Degraded {
+                reason: reason.into(),
+            });
+        } else {
+            self.set(HealthState::NoModel);
+        }
+    }
+
+    /// Current state (cloned snapshot).
+    pub fn state(&self) -> HealthState {
+        self.state.lock().clone()
+    }
+
+    fn set(&self, next: HealthState) {
+        self.gauge.set(next.gauge_value());
+        *self.state.lock() = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_follow_training_outcomes() {
+        let monitor = HealthMonitor::new();
+        assert_eq!(monitor.state(), HealthState::NoModel);
+        assert!(!monitor.state().can_diagnose());
+
+        monitor.record_failure("first generation exploded", false);
+        assert_eq!(
+            monitor.state(),
+            HealthState::NoModel,
+            "nothing to fall back to"
+        );
+
+        monitor.record_success();
+        assert_eq!(monitor.state(), HealthState::Serving);
+        assert!(monitor.state().can_diagnose());
+
+        monitor.record_failure("panic: chaos", true);
+        let state = monitor.state();
+        assert!(matches!(&state, HealthState::Degraded { reason } if reason.contains("chaos")));
+        assert!(state.can_diagnose(), "degraded still serves");
+        assert_eq!(state.gauge_value(), 2.0);
+
+        monitor.record_success();
+        assert_eq!(monitor.state(), HealthState::Serving);
+    }
+
+    #[test]
+    fn display_is_operator_friendly() {
+        assert_eq!(HealthState::Serving.to_string(), "serving");
+        assert_eq!(HealthState::NoModel.to_string(), "no-model");
+        let degraded = HealthState::Degraded {
+            reason: "retrain timed out after 2s".into(),
+        };
+        assert_eq!(degraded.to_string(), "degraded: retrain timed out after 2s");
+    }
+}

@@ -18,7 +18,18 @@
 //! * [`service`] — the [`service::AnalysisService`] facade clients talk
 //!   to: `submit` probes, `diagnose` failures;
 //! * [`replay`] — prequential (test-then-train) evaluation of the service
-//!   over a simulated measurement campaign.
+//!   over a simulated measurement campaign;
+//! * [`admission`] — probe admission control: schema/finiteness/magnitude
+//!   validation, a bounded quarantine ring for rejects, and a bounded
+//!   submission queue with explicit load shedding;
+//! * [`supervisor`] — crash-isolated, budgeted, retry-with-backoff
+//!   training supervision that keeps the last-good model serving when a
+//!   generation fails;
+//! * [`health`] — the service's coarse health state
+//!   (`Serving`/`Degraded`/`NoModel`) exported as a gauge;
+//! * [`chaos`] (feature `chaos`, test-only) — fault-injecting backend and
+//!   pipeline decorators plus a probe corruptor, used by the chaos suite
+//!   to prove diagnosis availability under training failures.
 //!
 //! Everything is `Send + Sync`; concurrent clients can submit and
 //! diagnose while a retrain runs.
@@ -32,14 +43,22 @@
 
 pub use diagnet_obs as obs;
 
+pub mod admission;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod collector;
+pub mod health;
 pub mod registry;
 pub mod replay;
 pub mod service;
+pub mod supervisor;
 pub mod trainer;
 
+pub use admission::{AdmissionConfig, ProbeGate, QuarantinedProbe, RejectReason};
 pub use collector::ProbeCollector;
+pub use health::{HealthMonitor, HealthState};
 pub use registry::ModelRegistry;
 pub use replay::{replay, GenerationStats};
-pub use service::{AnalysisService, Diagnosis, ServiceConfig};
-pub use trainer::{RetrainWorker, TrainReport};
+pub use service::{AnalysisService, DiagnoseError, Diagnosis, ServiceConfig, SubmitOutcome};
+pub use supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
+pub use trainer::{RetrainWorker, TrainPipeline, TrainReport};

@@ -249,7 +249,7 @@ mod tests {
         let after = snap
             .counter(REGISTRY_PUBLISH_TOTAL, &[("scope", "general")])
             .unwrap_or(0);
-        assert!(after >= before + 1, "general publish not counted");
+        assert!(after > before, "general publish not counted");
         assert!(
             snap.counter(REGISTRY_PUBLISH_TOTAL, &[("scope", "specialized")])
                 .unwrap_or(0)

@@ -81,9 +81,9 @@ pub fn replay(
             }
         }
         // 2. Train: ingest the sample; retrain on schedule.
-        if service.submit(sample.clone()) {
+        if service.submit(sample.clone()).accepted() {
             submitted += 1;
-            if submitted % retrain_every == 0 {
+            if submitted.is_multiple_of(retrain_every) {
                 // Ignore failures (e.g. a window with no general-service
                 // samples yet): the previous generation stays live.
                 let _ = service.retrain_now();
@@ -118,6 +118,7 @@ mod tests {
                 min_service_samples: 1,
                 auto_retrain_every: None,
                 seed: 700,
+                ..ServiceConfig::default()
             },
             FeatureSchema::full(),
         );

@@ -7,26 +7,39 @@
 //! (paper §III-A). Retraining can run synchronously or be delegated to
 //! the background worker; `auto_retrain_every` makes the service kick a
 //! background generation each time that many new samples arrive.
+//!
+//! Resilience (see `DESIGN.md` §10): every input crosses the
+//! [`ProbeGate`] (width/NaN/magnitude checks, quarantine, per-reason
+//! rejection counters) and accepted probes stage through a bounded
+//! [`SubmissionQueue`] with explicit load shedding. Every training
+//! generation runs under the supervisor (crash isolation, budget, retry
+//! with backoff); on persistent failure the registry keeps serving its
+//! last-good version and [`AnalysisService::health`] reports `Degraded`.
 
+use crate::admission::{
+    AdmissionConfig, ProbeGate, QuarantinedProbe, RejectReason, SubmissionQueue,
+};
 use crate::collector::ProbeCollector;
+use crate::health::{HealthMonitor, HealthState};
 use crate::registry::ModelRegistry;
-use crate::trainer::{retrain_backend, RetrainWorker, TrainReport};
+use crate::supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
+use crate::trainer::{RetrainWorker, StandardPipeline, TrainPipeline, TrainReport};
 use diagnet::backend::{BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::ranking::CauseRanking;
-use diagnet_nn::error::NnError;
 use diagnet_obs::{Counter, Histogram};
 use diagnet_sim::dataset::Sample;
 use diagnet_sim::metrics::{FeatureId, FeatureSchema};
 use diagnet_sim::service::ServiceId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Name of the counter of probe submissions (label `outcome`:
-/// `accepted`/`rejected`).
+/// `accepted`/`rejected`/`shed`).
 pub const SUBMISSIONS_TOTAL: &str = "diagnet_submissions_total";
 /// Name of the counter of diagnosis requests (label `outcome`:
-/// `ok`/`no_model`).
+/// `ok`/`no_model`/`rejected`/`non_finite`).
 pub const DIAGNOSES_TOTAL: &str = "diagnet_diagnoses_total";
 /// Name of the diagnosis-latency histogram (successful diagnoses only).
 pub const DIAGNOSE_LATENCY_SECONDS: &str = "diagnet_diagnose_latency_seconds";
@@ -49,7 +62,79 @@ pub struct ServiceConfig {
     pub auto_retrain_every: Option<u64>,
     /// Master seed; each generation derives its own.
     pub seed: u64,
+    /// Probe admission-control tuning.
+    pub admission: AdmissionConfig,
+    /// Training-supervision tuning (retries, backoff, budget).
+    pub supervision: SupervisionConfig,
 }
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            backend: BackendKind::DiagNet,
+            model: DiagNetConfig::fast(),
+            buffer_capacity: 100_000,
+            general_services: Vec::new(),
+            min_service_samples: 1,
+            auto_retrain_every: None,
+            seed: 42,
+            admission: AdmissionConfig::default(),
+            supervision: SupervisionConfig::default(),
+        }
+    }
+}
+
+/// What happened to a submitted probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Validated and staged for ingestion.
+    Accepted,
+    /// Refused by admission control (quarantined, counted).
+    Rejected(RejectReason),
+    /// Valid but shed: the bounded submission queue was full.
+    Shed,
+}
+
+impl SubmitOutcome {
+    /// True when the probe was accepted.
+    pub fn accepted(self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
+
+/// Why a diagnosis request failed. The request path never panics and
+/// never returns garbage: invalid inputs and non-finite model output both
+/// map to typed errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagnoseError {
+    /// No model generation has been published yet.
+    NoModel,
+    /// The feature vector failed admission (width/NaN/magnitude).
+    InvalidProbe(RejectReason),
+    /// The serving model produced non-finite scores; the response was
+    /// withheld rather than returned.
+    NonFiniteScores {
+        /// Registry version of the offending model.
+        model_version: u64,
+    },
+}
+
+impl fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnoseError::NoModel => f.write_str("no model published yet"),
+            DiagnoseError::InvalidProbe(reason) => {
+                write!(f, "probe rejected by admission control: {reason}")
+            }
+            DiagnoseError::NonFiniteScores { model_version } => write!(
+                f,
+                "model version {model_version} produced non-finite scores"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {}
 
 /// A ranked diagnosis returned to a client.
 #[derive(Debug, Clone)]
@@ -62,12 +147,17 @@ pub struct Diagnosis {
     pub model_version: u64,
 }
 
-/// The analysis service: collector + registry + (optional) background
-/// trainer behind one object.
+/// The analysis service: admission gate + collector + registry +
+/// supervised trainer behind one object.
 pub struct AnalysisService {
     config: ServiceConfig,
+    gate: ProbeGate,
+    queue: SubmissionQueue,
+    intake_paused: AtomicBool,
     collector: Arc<ProbeCollector>,
     registry: Arc<ModelRegistry>,
+    pipeline: Arc<dyn TrainPipeline>,
+    health: Arc<HealthMonitor>,
     worker: Option<RetrainWorker>,
     submissions: AtomicU64,
     generation_seed: AtomicU64,
@@ -75,54 +165,80 @@ pub struct AnalysisService {
     // the platform's hot path).
     submissions_accepted: Counter,
     submissions_rejected: Counter,
+    submissions_shed: Counter,
     diagnoses_ok: Counter,
     diagnoses_unready: Counter,
+    diagnoses_rejected: Counter,
+    diagnoses_non_finite: Counter,
     diagnose_latency: Histogram,
 }
 
 impl AnalysisService {
-    /// Create a service. With `auto_retrain_every` set, a background
-    /// worker thread is spawned.
+    /// Create a service training [`StandardPipeline`] generations. With
+    /// `auto_retrain_every` set, a background worker thread is spawned.
     pub fn new(config: ServiceConfig, schema: FeatureSchema) -> Self {
-        let collector = Arc::new(ProbeCollector::new(config.buffer_capacity, schema));
+        let pipeline: Arc<dyn TrainPipeline> = Arc::new(StandardPipeline {
+            kind: config.backend,
+            config: BackendConfig::from_diagnet(config.model.clone()),
+            general_services: config.general_services.clone(),
+            min_service_samples: config.min_service_samples,
+        });
+        Self::with_pipeline(config, schema, pipeline)
+    }
+
+    /// Create a service around an explicit [`TrainPipeline`] — the hook
+    /// the chaos harness uses to inject training faults, and the seam for
+    /// custom training strategies.
+    pub fn with_pipeline(
+        config: ServiceConfig,
+        schema: FeatureSchema,
+        pipeline: Arc<dyn TrainPipeline>,
+    ) -> Self {
+        let collector = Arc::new(ProbeCollector::new(config.buffer_capacity, schema.clone()));
         let registry = Arc::new(ModelRegistry::new());
+        let health = Arc::new(HealthMonitor::new());
         let worker = config.auto_retrain_every.map(|_| {
             RetrainWorker::spawn(
                 Arc::clone(&collector),
                 Arc::clone(&registry),
-                config.backend,
-                BackendConfig::from_diagnet(config.model.clone()),
-                config.general_services.clone(),
-                config.min_service_samples,
+                Arc::clone(&pipeline),
+                config.supervision.clone(),
+                Arc::clone(&health),
             )
         });
         let obs = diagnet_obs::global();
+        let sub_help = "probe submissions by outcome";
+        let diag_help = "diagnosis requests by outcome";
         AnalysisService {
             generation_seed: AtomicU64::new(config.seed),
+            gate: ProbeGate::new(schema, config.admission.clone()),
+            queue: SubmissionQueue::new(config.admission.max_pending),
+            intake_paused: AtomicBool::new(false),
             config,
             collector,
             registry,
+            pipeline,
+            health,
             worker,
             submissions: AtomicU64::new(0),
             submissions_accepted: obs.counter(
                 SUBMISSIONS_TOTAL,
                 &[("outcome", "accepted")],
-                "probe submissions by outcome",
+                sub_help,
             ),
             submissions_rejected: obs.counter(
                 SUBMISSIONS_TOTAL,
                 &[("outcome", "rejected")],
-                "probe submissions by outcome",
+                sub_help,
             ),
-            diagnoses_ok: obs.counter(
+            submissions_shed: obs.counter(SUBMISSIONS_TOTAL, &[("outcome", "shed")], sub_help),
+            diagnoses_ok: obs.counter(DIAGNOSES_TOTAL, &[("outcome", "ok")], diag_help),
+            diagnoses_unready: obs.counter(DIAGNOSES_TOTAL, &[("outcome", "no_model")], diag_help),
+            diagnoses_rejected: obs.counter(DIAGNOSES_TOTAL, &[("outcome", "rejected")], diag_help),
+            diagnoses_non_finite: obs.counter(
                 DIAGNOSES_TOTAL,
-                &[("outcome", "ok")],
-                "diagnosis requests by outcome",
-            ),
-            diagnoses_unready: obs.counter(
-                DIAGNOSES_TOTAL,
-                &[("outcome", "no_model")],
-                "diagnosis requests by outcome",
+                &[("outcome", "non_finite")],
+                diag_help,
             ),
             diagnose_latency: obs.histogram(
                 DIAGNOSE_LATENCY_SECONDS,
@@ -132,60 +248,120 @@ impl AnalysisService {
         }
     }
 
-    /// Ingest one labelled observation. May trigger a background retrain.
-    /// Returns `false` when the sample was rejected (schema mismatch).
-    pub fn submit(&self, sample: Sample) -> bool {
-        if !self.collector.submit(sample) {
-            self.submissions_rejected.inc();
-            return false;
+    /// Ingest one labelled observation. The probe crosses admission
+    /// control (invalid probes are quarantined and counted per reason),
+    /// stages through the bounded submission queue (full queue = explicit
+    /// shed), and may trigger a background retrain.
+    pub fn submit(&self, sample: Sample) -> SubmitOutcome {
+        let sample = match self.gate.admit(sample) {
+            Ok(sample) => sample,
+            Err(reason) => {
+                self.submissions_rejected.inc();
+                return SubmitOutcome::Rejected(reason);
+            }
+        };
+        if self.queue.push(sample).is_err() {
+            self.submissions_shed.inc();
+            return SubmitOutcome::Shed;
         }
+        self.drain_pending(false);
         self.submissions_accepted.inc();
         let n = self.submissions.fetch_add(1, Ordering::Relaxed) + 1;
         if let (Some(every), Some(worker)) = (self.config.auto_retrain_every, &self.worker) {
             if n.is_multiple_of(every) {
+                self.drain_pending(true);
                 worker.request_retrain(self.next_seed());
             }
         }
-        true
+        SubmitOutcome::Accepted
+    }
+
+    /// Move staged submissions into the collector. Opportunistic by
+    /// default (skips when the collector lock is contended); `blocking`
+    /// forces a full flush — used right before training snapshots.
+    fn drain_pending(&self, blocking: bool) {
+        if self.intake_paused.load(Ordering::Relaxed) {
+            return;
+        }
+        if self.queue.is_empty() {
+            return;
+        }
+        self.queue.with_pending(|pending| {
+            if blocking {
+                self.collector.ingest(pending);
+            } else {
+                self.collector.try_ingest(pending);
+            }
+        });
     }
 
     /// Diagnose a failing client: rank the candidate causes of `schema`
     /// for `features`, using the service's specialised model when one
     /// exists.
     ///
-    /// Returns an error until a first model generation has been published.
+    /// The feature vector is validated first ([`DiagnoseError::InvalidProbe`])
+    /// and the model's output last ([`DiagnoseError::NonFiniteScores`]):
+    /// this path returns a ranked diagnosis or a typed error, never
+    /// garbage and never a panic. Returns [`DiagnoseError::NoModel`] until
+    /// a first generation has been published.
     pub fn diagnose(
         &self,
         features: &[f32],
         service: ServiceId,
         schema: &FeatureSchema,
-    ) -> Result<Diagnosis, NnError> {
+    ) -> Result<Diagnosis, DiagnoseError> {
+        if schema.n_features() == self.collector.schema().n_features() {
+            if let Err(reason) = self.gate.check(features) {
+                self.diagnoses_rejected.inc();
+                return Err(DiagnoseError::InvalidProbe(reason));
+            }
+        } else if features.len() != schema.n_features() || features.iter().any(|v| !v.is_finite()) {
+            // Diagnosing under a different schema (e.g. extension checks):
+            // still refuse malformed rows.
+            self.diagnoses_rejected.inc();
+            return Err(DiagnoseError::InvalidProbe(
+                if features.len() != schema.n_features() {
+                    RejectReason::WidthMismatch
+                } else {
+                    RejectReason::NonFinite
+                },
+            ));
+        }
         let Some(model) = self.registry.model_for(service) else {
             self.diagnoses_unready.inc();
-            return Err(NnError::InvalidConfig("no model published yet".into()));
+            return Err(DiagnoseError::NoModel);
         };
+        let model_version = self.registry.version();
         let timer = self.diagnose_latency.start_timer();
         let ranking = model.rank_causes(features, schema);
         timer.stop();
+        if !ranking.all_finite() {
+            self.diagnoses_non_finite.inc();
+            return Err(DiagnoseError::NonFiniteScores { model_version });
+        }
         self.diagnoses_ok.inc();
         let top_cause = schema.feature(ranking.best());
         Ok(Diagnosis {
             ranking,
             top_cause,
-            model_version: self.registry.version(),
+            model_version,
         })
     }
 
-    /// Run one synchronous training generation of the configured backend.
-    pub fn retrain_now(&self) -> Result<TrainReport, NnError> {
-        retrain_backend(
+    /// Run one supervised training generation of the configured pipeline:
+    /// crash-isolated, budgeted, retried per
+    /// [`ServiceConfig::supervision`]. On failure the last-good generation
+    /// keeps serving and [`AnalysisService::health`] turns `Degraded`.
+    pub fn retrain_now(&self) -> Result<TrainReport, TrainFailure> {
+        self.drain_pending(true);
+        supervised_retrain(
             &self.collector,
             &self.registry,
-            self.config.backend,
-            &BackendConfig::from_diagnet(self.config.model.clone()),
-            &self.config.general_services,
-            self.config.min_service_samples,
+            &self.pipeline,
+            &self.config.supervision,
+            &self.health,
             self.next_seed(),
+            &AtomicBool::new(false),
         )
     }
 
@@ -193,7 +369,7 @@ impl AnalysisService {
     /// with `auto_retrain_every`). Prefer
     /// [`AnalysisService::wait_background_report_timeout`] when a retrain
     /// may not be pending — this call blocks until one completes.
-    pub fn wait_background_report(&self) -> Option<Result<TrainReport, NnError>> {
+    pub fn wait_background_report(&self) -> Option<Result<TrainReport, TrainFailure>> {
         self.worker.as_ref().map(RetrainWorker::wait_report)
     }
 
@@ -203,13 +379,40 @@ impl AnalysisService {
     pub fn wait_background_report_timeout(
         &self,
         timeout: std::time::Duration,
-    ) -> Option<Option<Result<TrainReport, NnError>>> {
+    ) -> Option<Option<Result<TrainReport, TrainFailure>>> {
         self.worker.as_ref().map(|w| w.wait_report_timeout(timeout))
     }
 
-    /// Number of buffered samples.
+    /// What the service can currently promise: `Serving`, `Degraded`
+    /// (training failing, last-good model serving) or `NoModel`.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Pause or resume moving staged submissions into the collector.
+    /// While paused, accepted probes accumulate in the bounded queue and
+    /// overflow is shed — the operator hook for draining a poisoned
+    /// buffer, and the chaos harness's saturation lever.
+    pub fn set_intake_paused(&self, paused: bool) {
+        self.intake_paused.store(paused, Ordering::Relaxed);
+        if !paused {
+            self.drain_pending(true);
+        }
+    }
+
+    /// Number of buffered samples (collector plus staged queue).
     pub fn buffered_samples(&self) -> usize {
-        self.collector.len()
+        self.collector.len() + self.queue.len()
+    }
+
+    /// Number of staged-but-not-yet-ingested submissions.
+    pub fn pending_submissions(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Snapshot of the quarantine ring of rejected probes, oldest first.
+    pub fn quarantined_probes(&self) -> Vec<QuarantinedProbe> {
+        self.gate.quarantined()
     }
 
     /// True once a model is available for diagnosis.
@@ -261,6 +464,7 @@ mod tests {
             min_service_samples: 1,
             auto_retrain_every: auto,
             seed: 90,
+            ..ServiceConfig::default()
         };
         let service = AnalysisService::new(config, FeatureSchema::full());
         let mut ds_cfg = DatasetConfig::small(&world, 90);
@@ -273,21 +477,24 @@ mod tests {
     fn diagnose_before_training_errors() {
         let (_, service, samples) = fast_service(None);
         let schema = FeatureSchema::full();
-        assert!(service
+        let err = service
             .diagnose(&samples[0].features, samples[0].service, &schema)
-            .is_err());
+            .unwrap_err();
+        assert_eq!(err, DiagnoseError::NoModel);
+        assert_eq!(service.health(), HealthState::NoModel);
     }
 
     #[test]
     fn submit_train_diagnose_cycle() {
         let (_, service, samples) = fast_service(None);
         for s in &samples {
-            assert!(service.submit(s.clone()));
+            assert!(service.submit(s.clone()).accepted());
         }
         assert_eq!(service.buffered_samples(), samples.len());
         let report = service.retrain_now().unwrap();
         assert_eq!(report.version, 1);
         assert!(service.is_ready());
+        assert_eq!(service.health(), HealthState::Serving);
         let schema = FeatureSchema::full();
         let faulty = samples.iter().find(|s| s.label.is_faulty()).unwrap();
         let diagnosis = service
@@ -302,17 +509,82 @@ mod tests {
     }
 
     #[test]
+    fn invalid_probes_are_rejected_and_quarantined() {
+        let (_, service, samples) = fast_service(None);
+        let mut nan = samples[0].clone();
+        nan.features[0] = f32::NAN;
+        assert_eq!(
+            service.submit(nan),
+            SubmitOutcome::Rejected(RejectReason::NonFinite)
+        );
+        let mut short = samples[1].clone();
+        short.features.truncate(3);
+        assert_eq!(
+            service.submit(short),
+            SubmitOutcome::Rejected(RejectReason::WidthMismatch)
+        );
+        assert_eq!(service.buffered_samples(), 0, "rejects never buffer");
+        let quarantined = service.quarantined_probes();
+        assert_eq!(quarantined.len(), 2);
+        assert_eq!(quarantined[0].reason, RejectReason::NonFinite);
+
+        // The diagnose path refuses the same inputs with typed errors.
+        let schema = FeatureSchema::full();
+        let mut bad_row = samples[0].features.clone();
+        bad_row[5] = f32::INFINITY;
+        let err = service
+            .diagnose(&bad_row, samples[0].service, &schema)
+            .unwrap_err();
+        assert_eq!(err, DiagnoseError::InvalidProbe(RejectReason::NonFinite));
+    }
+
+    #[test]
+    fn paused_intake_stages_then_sheds() {
+        let world = World::new();
+        let config = ServiceConfig {
+            general_services: world.catalog.general_ids(),
+            admission: AdmissionConfig {
+                max_pending: 5,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let service = AnalysisService::new(config, FeatureSchema::full());
+        let mut ds_cfg = DatasetConfig::small(&world, 91);
+        ds_cfg.n_scenarios = 1;
+        let samples = Dataset::generate(&world, &ds_cfg).samples;
+
+        service.set_intake_paused(true);
+        let outcomes: Vec<SubmitOutcome> = samples
+            .iter()
+            .take(8)
+            .map(|s| service.submit(s.clone()))
+            .collect();
+        assert_eq!(service.pending_submissions(), 5, "queue is bounded");
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| **o == SubmitOutcome::Shed)
+                .count(),
+            3,
+            "overflow is shed explicitly"
+        );
+        service.set_intake_paused(false);
+        assert_eq!(service.pending_submissions(), 0, "resume flushes");
+        assert_eq!(service.buffered_samples(), 5);
+    }
+
+    #[test]
     fn auto_retrain_fires() {
-        let (_, service, samples) = fast_service(Some(samples_len_hint()));
-        fn samples_len_hint() -> u64 {
-            1200 // below the 1500 samples the fixture produces
-        }
+        let (_, service, samples) = fast_service(Some(1000));
+        assert!(samples.len() >= 1000, "fixture too small for the trigger");
         for s in &samples {
             service.submit(s.clone());
         }
         let report = service.wait_background_report().unwrap().unwrap();
         assert_eq!(report.version, 1);
         assert!(service.is_ready());
+        assert_eq!(service.health(), HealthState::Serving);
     }
 
     #[test]
@@ -360,7 +632,7 @@ mod tests {
         assert!(
             snap.counter(SUBMISSIONS_TOTAL, accepted).unwrap_or(0) >= sub0 + samples.len() as u64
         );
-        assert!(snap.counter(DIAGNOSES_TOTAL, ok).unwrap_or(0) >= diag0 + 1);
+        assert!(snap.counter(DIAGNOSES_TOTAL, ok).unwrap_or(0) > diag0);
         assert!(
             snap.counter(DIAGNOSES_TOTAL, &[("outcome", "no_model")])
                 .unwrap_or(0)
@@ -372,6 +644,7 @@ mod tests {
         let prom = snap.render_prometheus();
         assert!(prom.contains("diagnet_submissions_total{outcome=\"accepted\"}"));
         assert!(prom.contains("diagnet_retrain_duration_seconds_bucket"));
+        assert!(prom.contains("diagnet_health_state"));
     }
 
     #[test]

@@ -1,23 +1,44 @@
 //! Retraining orchestration.
 //!
-//! [`retrain_backend`] performs one synchronous training generation for
-//! any registered [`BackendKind`]: snapshot the collector, train on the
-//! configured base services, specialise per service where the backend
-//! supports it, and publish to the registry. [`retrain`] is the historic
-//! DiagNet-typed wrapper. [`RetrainWorker`] runs the same logic on a
-//! dedicated thread, triggered through a crossbeam channel, so probe
-//! ingestion and diagnosis never block on training.
+//! A training generation is split into composable stages so the
+//! supervisor (see [`supervisor`](crate::supervisor)) can isolate each
+//! one:
+//!
+//! * [`TrainPipeline`] — the strategy object that turns a snapshot of
+//!   probe data into a [`Generation`] (general + specialised models).
+//!   [`StandardPipeline`] is the production implementation for any
+//!   [`BackendKind`]; the chaos harness wraps pipelines with fault
+//!   injectors.
+//! * [`build_generation`] — snapshot the collector and run the pipeline
+//!   (the slow, crash-prone stage).
+//! * [`publish_generation`] — the publish gate: every model of the
+//!   generation must pass its [`Backend::validate`] health check (finite
+//!   parameters, finite probe scores) before the registry swaps to it. A
+//!   diverged generation is refused and the last-good version keeps
+//!   serving.
+//!
+//! [`retrain_backend`] chains the stages synchronously; [`retrain`] is the
+//! historic DiagNet-typed wrapper. [`RetrainWorker`] runs supervised
+//! generations on a dedicated thread, triggered through a crossbeam
+//! channel, so probe ingestion and diagnosis never block on training. The
+//! worker shuts down promptly on `Drop`: a shutdown flag makes it skip any
+//! queued retrain commands, and the thread is joined.
 
 use crate::collector::ProbeCollector;
+use crate::health::HealthMonitor;
 use crate::registry::ModelRegistry;
+use crate::supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
 use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
 use diagnet::transfer::SpecializedModels;
 use diagnet_nn::error::NnError;
+use diagnet_sim::dataset::Dataset;
 use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceId;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,21 +65,194 @@ pub struct TrainReport {
     pub duration_secs: f64,
 }
 
-/// Train one generation of `kind` from the collector's current contents
-/// and publish it. The collector is snapshotted, not drained: the sliding
+/// One trained (but not yet published) generation of models.
+pub struct Generation {
+    /// Backend kind of every model in the generation.
+    pub backend: BackendKind,
+    /// The general model.
+    pub general: Arc<dyn Backend>,
+    /// Per-service specialised models.
+    pub specialized: HashMap<ServiceId, Arc<dyn Backend>>,
+    /// Services that received a specialised model (sorted).
+    pub specialized_ids: Vec<ServiceId>,
+}
+
+impl fmt::Debug for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Generation")
+            .field("backend", &self.backend)
+            .field("specialized_ids", &self.specialized_ids)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Strategy for training one generation from a data snapshot. The
+/// production implementation is [`StandardPipeline`]; the chaos harness
+/// decorates pipelines with fault injectors, and tests substitute
+/// deterministic fakes.
+pub trait TrainPipeline: Send + Sync + fmt::Debug {
+    /// Backend kind this pipeline produces (metric labels, reports).
+    fn kind(&self) -> BackendKind;
+
+    /// Train a generation on `data` with `seed`.
+    fn train_generation(&self, data: &Dataset, seed: u64) -> Result<Generation, NnError>;
+}
+
+/// The production pipeline: train the configured backend on the general
+/// services and (for DiagNet) specialise every service with enough data.
+#[derive(Debug, Clone)]
+pub struct StandardPipeline {
+    /// Which backend every generation trains.
+    pub kind: BackendKind,
+    /// Hyper-parameters for every backend kind.
+    pub config: BackendConfig,
+    /// Services the general model trains on.
+    pub general_services: Vec<ServiceId>,
+    /// Minimum samples before a service gets a specialised model.
+    pub min_service_samples: usize,
+}
+
+impl TrainPipeline for StandardPipeline {
+    fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// A DiagNet generation is internally parallel: `DiagNet::train` fits
+    /// the coarse network and the auxiliary forest concurrently
+    /// (`rayon::join`), and `SpecializedModels::train` specialises all
+    /// eligible services in parallel. Per-member seeds are derived by
+    /// index, so a generation is bit-for-bit reproducible regardless of
+    /// thread count.
+    fn train_generation(&self, data: &Dataset, seed: u64) -> Result<Generation, NnError> {
+        let general_data = data.filter_services(&self.general_services);
+        if general_data.is_empty() {
+            return Err(NnError::InvalidTrainingData(
+                "no samples for any of the general services".into(),
+            ));
+        }
+
+        if self.kind != BackendKind::DiagNet {
+            // Baseline backends have no transfer learning: one general model.
+            let general =
+                self.kind
+                    .train(&self.config, &general_data, &FeatureSchema::known(), seed)?;
+            return Ok(Generation {
+                backend: self.kind,
+                general: Arc::from(general),
+                specialized: HashMap::new(),
+                specialized_ids: Vec::new(),
+            });
+        }
+
+        let general = DiagNet::train(&self.config.diagnet, &general_data, seed)?;
+
+        // Specialise every service with enough data.
+        let mut present: Vec<ServiceId> = data.samples.iter().map(|s| s.service).collect();
+        present.sort();
+        present.dedup();
+        let eligible: Vec<ServiceId> = present
+            .into_iter()
+            .filter(|&sid| data.filter_service(sid).len() >= self.min_service_samples)
+            .collect();
+        let suite = SpecializedModels::train(general, data, &eligible, seed ^ 0x7E7E)?;
+
+        let specialized: HashMap<ServiceId, Arc<dyn Backend>> = suite
+            .models
+            .iter()
+            .map(|(&sid, m)| (sid, Arc::new(m.clone()) as Arc<dyn Backend>))
+            .collect();
+        Ok(Generation {
+            backend: BackendKind::DiagNet,
+            general: Arc::new(suite.general),
+            specialized,
+            specialized_ids: eligible,
+        })
+    }
+}
+
+/// A trained generation plus the bookkeeping needed for its report.
+#[derive(Debug)]
+pub struct PendingGeneration {
+    /// The models awaiting publication.
+    pub generation: Generation,
+    /// Samples in the training snapshot.
+    pub n_samples: usize,
+    /// Faulty samples among them.
+    pub n_faulty: usize,
+    /// When the build started (feeds `duration_secs`).
+    pub started: Instant,
+}
+
+/// Snapshot the collector and run `pipeline` over it — the slow stage of
+/// a generation. The collector is snapshotted, not drained: the sliding
 /// window keeps accumulating.
+pub fn build_generation(
+    collector: &ProbeCollector,
+    pipeline: &dyn TrainPipeline,
+    seed: u64,
+) -> Result<PendingGeneration, NnError> {
+    let started = Instant::now();
+    let data = collector.snapshot();
+    if data.is_empty() {
+        return Err(NnError::InvalidTrainingData("collector is empty".into()));
+    }
+    let n_samples = data.len();
+    let n_faulty = data.n_faulty();
+    let generation = pipeline.train_generation(&data, seed)?;
+    Ok(PendingGeneration {
+        generation,
+        n_samples,
+        n_faulty,
+        started,
+    })
+}
+
+/// The publish gate: health-check every model of the generation
+/// ([`Backend::validate`]) and only then atomically swap the registry to
+/// it. A generation with non-finite weights or scores is refused — the
+/// registry keeps serving its last-good version.
+pub fn publish_generation(
+    registry: &ModelRegistry,
+    pending: PendingGeneration,
+) -> Result<TrainReport, NnError> {
+    let PendingGeneration {
+        generation,
+        n_samples,
+        n_faulty,
+        started,
+    } = pending;
+    generation
+        .general
+        .validate()
+        .map_err(|e| NnError::InvalidConfig(format!("refusing to publish general model: {e}")))?;
+    for (sid, model) in &generation.specialized {
+        model.validate().map_err(|e| {
+            NnError::InvalidConfig(format!(
+                "refusing to publish specialised model for service {}: {e}",
+                sid.0
+            ))
+        })?;
+    }
+    let version = registry.publish_backend(generation.general, generation.specialized);
+    Ok(TrainReport {
+        version,
+        backend: generation.backend,
+        n_samples,
+        n_faulty,
+        specialized: generation.specialized_ids,
+        duration_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Train one generation of `kind` from the collector's current contents
+/// and publish it (unsupervised: panics propagate; use
+/// [`supervised_retrain`] for crash isolation).
 ///
 /// `general_services` picks the services the general model trains on
 /// (paper: eight). When the backend supports specialisation (DiagNet),
 /// specialised models are built for every service with at least
 /// `min_service_samples` samples; other backends publish the general model
 /// alone.
-///
-/// A DiagNet generation is internally parallel: `DiagNet::train` fits the
-/// coarse network and the auxiliary forest concurrently (`rayon::join`),
-/// and `SpecializedModels::train` specialises all eligible services in
-/// parallel. Per-member seeds are derived by index, so a generation is
-/// bit-for-bit reproducible regardless of thread count.
 pub fn retrain_backend(
     collector: &ProbeCollector,
     registry: &ModelRegistry,
@@ -77,15 +271,14 @@ pub fn retrain_backend(
             "wall-clock duration of one training generation",
         )
         .start_timer();
-    let result = run_retrain(
-        collector,
-        registry,
+    let pipeline = StandardPipeline {
         kind,
-        config,
-        general_services,
+        config: config.clone(),
+        general_services: general_services.to_vec(),
         min_service_samples,
-        seed,
-    );
+    };
+    let result = build_generation(collector, &pipeline, seed)
+        .and_then(|pending| publish_generation(registry, pending));
     timer.stop();
     let outcome = if result.is_ok() { "ok" } else { "error" };
     obs.counter(
@@ -95,69 +288,6 @@ pub fn retrain_backend(
     )
     .inc();
     result
-}
-
-fn run_retrain(
-    collector: &ProbeCollector,
-    registry: &ModelRegistry,
-    kind: BackendKind,
-    config: &BackendConfig,
-    general_services: &[ServiceId],
-    min_service_samples: usize,
-    seed: u64,
-) -> Result<TrainReport, NnError> {
-    let t0 = Instant::now();
-    let data = collector.snapshot();
-    if data.is_empty() {
-        return Err(NnError::InvalidTrainingData("collector is empty".into()));
-    }
-    let general_data = data.filter_services(general_services);
-    if general_data.is_empty() {
-        return Err(NnError::InvalidTrainingData(
-            "no samples for any of the general services".into(),
-        ));
-    }
-
-    if kind != BackendKind::DiagNet {
-        // Baseline backends have no transfer learning: one general model.
-        let general = kind.train(config, &general_data, &FeatureSchema::known(), seed)?;
-        let version = registry.publish_backend(Arc::from(general), HashMap::new());
-        return Ok(TrainReport {
-            version,
-            backend: kind,
-            n_samples: data.len(),
-            n_faulty: data.n_faulty(),
-            specialized: Vec::new(),
-            duration_secs: t0.elapsed().as_secs_f64(),
-        });
-    }
-
-    let general = DiagNet::train(&config.diagnet, &general_data, seed)?;
-
-    // Specialise every service with enough data.
-    let mut present: Vec<ServiceId> = data.samples.iter().map(|s| s.service).collect();
-    present.sort();
-    present.dedup();
-    let eligible: Vec<ServiceId> = present
-        .into_iter()
-        .filter(|&sid| data.filter_service(sid).len() >= min_service_samples)
-        .collect();
-    let suite = SpecializedModels::train(general, &data, &eligible, seed ^ 0x7E7E)?;
-
-    let specialized: HashMap<ServiceId, Arc<dyn Backend>> = suite
-        .models
-        .iter()
-        .map(|(&sid, m)| (sid, Arc::new(m.clone()) as Arc<dyn Backend>))
-        .collect();
-    let version = registry.publish_backend(Arc::new(suite.general), specialized);
-    Ok(TrainReport {
-        version,
-        backend: BackendKind::DiagNet,
-        n_samples: data.len(),
-        n_faulty: data.n_faulty(),
-        specialized: eligible,
-        duration_secs: t0.elapsed().as_secs_f64(),
-    })
 }
 
 /// DiagNet-typed wrapper over [`retrain_backend`], kept for call sites
@@ -187,40 +317,51 @@ enum Command {
     Shutdown,
 }
 
-/// A background retraining worker on a dedicated thread.
+/// A background retraining worker on a dedicated thread. Every generation
+/// runs under the supervisor: panics are caught, stalls are bounded by the
+/// configured budget, transient failures retry with backoff, and the
+/// shared [`HealthMonitor`] tracks the outcome.
 pub struct RetrainWorker {
     commands: crossbeam::channel::Sender<Command>,
-    reports: crossbeam::channel::Receiver<Result<TrainReport, NnError>>,
+    reports: crossbeam::channel::Receiver<Result<TrainReport, TrainFailure>>,
+    shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RetrainWorker {
-    /// Spawn the worker. It holds shared handles on the collector and
-    /// registry and trains backends of `kind` on demand.
+    /// Spawn the worker. It holds shared handles on the collector,
+    /// registry and health monitor and runs `pipeline` generations on
+    /// demand under `supervision`.
     pub fn spawn(
         collector: Arc<ProbeCollector>,
         registry: Arc<ModelRegistry>,
-        kind: BackendKind,
-        config: BackendConfig,
-        general_services: Vec<ServiceId>,
-        min_service_samples: usize,
+        pipeline: Arc<dyn TrainPipeline>,
+        supervision: SupervisionConfig,
+        health: Arc<HealthMonitor>,
     ) -> Self {
         let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Command>();
         let (rep_tx, rep_rx) = crossbeam::channel::unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("diagnet-retrain".into())
             .spawn(move || {
                 while let Ok(cmd) = cmd_rx.recv() {
+                    // Queued commands are skipped once shutdown begins, so
+                    // Drop never waits behind a backlog of generations.
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
                     match cmd {
                         Command::Retrain { seed } => {
-                            let report = retrain_backend(
+                            let report = supervised_retrain(
                                 &collector,
                                 &registry,
-                                kind,
-                                &config,
-                                &general_services,
-                                min_service_samples,
+                                &pipeline,
+                                &supervision,
+                                &health,
                                 seed,
+                                &flag,
                             );
                             if rep_tx.send(report).is_err() {
                                 break; // owner gone
@@ -234,6 +375,7 @@ impl RetrainWorker {
         RetrainWorker {
             commands: cmd_tx,
             reports: rep_rx,
+            shutdown,
             handle: Some(handle),
         }
     }
@@ -244,14 +386,12 @@ impl RetrainWorker {
     }
 
     /// Wait for the next training report.
-    pub fn wait_report(&self) -> Result<TrainReport, NnError> {
-        self.reports
-            .recv()
-            .unwrap_or_else(|_| Err(NnError::InvalidTrainingData("worker gone".into())))
+    pub fn wait_report(&self) -> Result<TrainReport, TrainFailure> {
+        self.reports.recv().unwrap_or(Err(TrainFailure::Cancelled))
     }
 
     /// Try to fetch a report without blocking.
-    pub fn try_report(&self) -> Option<Result<TrainReport, NnError>> {
+    pub fn try_report(&self) -> Option<Result<TrainReport, TrainFailure>> {
         self.reports.try_recv().ok()
     }
 
@@ -261,13 +401,16 @@ impl RetrainWorker {
     pub fn wait_report_timeout(
         &self,
         timeout: std::time::Duration,
-    ) -> Option<Result<TrainReport, NnError>> {
+    ) -> Option<Result<TrainReport, TrainFailure>> {
         self.reports.recv_timeout(timeout).ok()
     }
 }
 
 impl Drop for RetrainWorker {
     fn drop(&mut self) {
+        // Flag first: the worker skips queued commands and the supervisor
+        // stops retrying/backing off at its next cancellation checkpoint.
+        self.shutdown.store(true, Ordering::Relaxed);
         let _ = self.commands.send(Command::Shutdown);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -278,7 +421,7 @@ impl Drop for RetrainWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diagnet_sim::dataset::{Dataset, DatasetConfig};
+    use diagnet_sim::dataset::DatasetConfig;
     use diagnet_sim::world::World;
 
     fn loaded_collector(seed: u64) -> (World, Arc<ProbeCollector>) {
@@ -297,6 +440,15 @@ mod tests {
         c.epochs = 2;
         c.forest.n_trees = 5;
         c
+    }
+
+    fn fast_pipeline(world: &World) -> Arc<dyn TrainPipeline> {
+        Arc::new(StandardPipeline {
+            kind: BackendKind::DiagNet,
+            config: BackendConfig::from_diagnet(fast_config()),
+            general_services: world.catalog.general_ids(),
+            min_service_samples: 1,
+        })
     }
 
     #[test]
@@ -398,7 +550,7 @@ mod tests {
         .is_err());
 
         let snap = diagnet_obs::global().snapshot();
-        assert!(snap.counter(RETRAIN_TOTAL, ok_labels).unwrap_or(0) >= before_ok + 1);
+        assert!(snap.counter(RETRAIN_TOTAL, ok_labels).unwrap_or(0) > before_ok);
         assert!(
             snap.counter(
                 RETRAIN_TOTAL,
@@ -426,22 +578,55 @@ mod tests {
     fn background_worker_round_trip() {
         let (world, collector) = loaded_collector(83);
         let registry = Arc::new(ModelRegistry::new());
+        let health = Arc::new(HealthMonitor::new());
         let worker = RetrainWorker::spawn(
             Arc::clone(&collector),
             Arc::clone(&registry),
-            BackendKind::DiagNet,
-            BackendConfig::from_diagnet(fast_config()),
-            world.catalog.general_ids(),
-            1,
+            fast_pipeline(&world),
+            SupervisionConfig::default(),
+            Arc::clone(&health),
         );
         assert!(worker.try_report().is_none());
         worker.request_retrain(83);
         let report = worker.wait_report().unwrap();
         assert_eq!(report.version, 1);
         assert!(registry.is_ready());
+        assert_eq!(health.state(), crate::health::HealthState::Serving);
         // Second generation bumps the version.
         worker.request_retrain(84);
         let report = worker.wait_report().unwrap();
         assert_eq!(report.version, 2);
+    }
+
+    #[test]
+    fn drop_skips_queued_generations() {
+        let (world, collector) = loaded_collector(87);
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = RetrainWorker::spawn(
+            Arc::clone(&collector),
+            Arc::clone(&registry),
+            fast_pipeline(&world),
+            SupervisionConfig::default(),
+            Arc::new(HealthMonitor::new()),
+        );
+        // Queue a deep backlog, then drop. Without the shutdown flag the
+        // worker would train every queued generation before joining.
+        for i in 0..50 {
+            worker.request_retrain(1000 + i);
+        }
+        let t0 = Instant::now();
+        drop(worker);
+        // One in-flight generation may finish (it cannot be killed), but
+        // the other 49 must be skipped: far below 49 × training time.
+        let one_generation_budget = std::time::Duration::from_secs(30);
+        assert!(
+            t0.elapsed() < one_generation_budget,
+            "drop waited on the queued backlog: {:?}",
+            t0.elapsed()
+        );
+        assert!(
+            registry.version() < 50,
+            "queued generations should have been skipped"
+        );
     }
 }

@@ -1,0 +1,275 @@
+//! Chaos suite: prove that diagnosis availability survives training
+//! failures, stalls, diverged generations and corrupt probes.
+//!
+//! Run with `cargo test -p diagnet-platform --features chaos`. Every
+//! scenario is scripted and seed-driven — reruns are bit-for-bit
+//! reproducible.
+#![cfg(feature = "chaos")]
+
+use diagnet::backend::{BackendConfig, BackendKind};
+use diagnet::config::DiagNetConfig;
+use diagnet_platform::chaos::{ChaosPipeline, ProbeCorruptor, TrainFault};
+use diagnet_platform::trainer::{RetrainWorker, StandardPipeline, TrainPipeline};
+use diagnet_platform::{
+    AnalysisService, HealthMonitor, HealthState, ModelRegistry, ProbeCollector, ServiceConfig,
+    SupervisionConfig, TrainFailure,
+};
+use diagnet_sim::dataset::{Dataset, DatasetConfig, Sample};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_model() -> DiagNetConfig {
+    let mut model = DiagNetConfig::fast();
+    model.epochs = 2;
+    model.forest.n_trees = 5;
+    model
+}
+
+fn standard_pipeline(world: &World) -> Arc<dyn TrainPipeline> {
+    Arc::new(StandardPipeline {
+        kind: BackendKind::DiagNet,
+        config: BackendConfig::from_diagnet(fast_model()),
+        general_services: world.catalog.general_ids(),
+        min_service_samples: 1,
+    })
+}
+
+fn chaotic_service(
+    seed: u64,
+    faults: Vec<TrainFault>,
+    supervision: SupervisionConfig,
+) -> (World, AnalysisService, Arc<ChaosPipeline>, Vec<Sample>) {
+    let world = World::new();
+    let chaos = Arc::new(ChaosPipeline::scripted(standard_pipeline(&world), faults));
+    let config = ServiceConfig {
+        model: fast_model(),
+        general_services: world.catalog.general_ids(),
+        seed,
+        supervision,
+        ..ServiceConfig::default()
+    };
+    let service = AnalysisService::with_pipeline(
+        config,
+        FeatureSchema::full(),
+        Arc::clone(&chaos) as Arc<dyn TrainPipeline>,
+    );
+    let mut cfg = DatasetConfig::small(&world, seed);
+    cfg.n_scenarios = 15;
+    let samples = Dataset::generate(&world, &cfg).samples;
+    (world, service, chaos, samples)
+}
+
+fn fast_supervision() -> SupervisionConfig {
+    SupervisionConfig {
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(10),
+        ..SupervisionConfig::default()
+    }
+}
+
+/// The acceptance scenario of the resilience layer, end to end: a
+/// service with a panicking retrain pipeline and 10 % corrupt probes
+/// keeps answering diagnoses from its last-good generation with zero
+/// request-path panics, reports `Degraded` with a reason, and returns to
+/// `Serving` on a new registry version once training recovers.
+#[test]
+fn diagnosis_survives_failing_retrains_and_corrupt_probes() {
+    let (_, service, chaos, samples) = chaotic_service(9001, vec![], fast_supervision());
+    let schema = FeatureSchema::full();
+
+    // Phase 1 — bootstrap: clean probes, one good generation.
+    for s in &samples {
+        assert!(service.submit(s.clone()).accepted());
+    }
+    let report = service.retrain_now().expect("clean generation");
+    assert_eq!(report.version, 1);
+    assert_eq!(service.health(), HealthState::Serving);
+
+    // Phase 2 — chaos: every retrain attempt panics (3 attempts per
+    // generation, two generations' worth of faults), while 10 % of the
+    // arriving probes are corrupted.
+    for _ in 0..6 {
+        chaos.push_fault(TrainFault::Panic);
+    }
+    let corruptor = ProbeCorruptor::new(0.1, 9002);
+    let mut corrupted = 0usize;
+    for s in &samples {
+        let mut s = s.clone();
+        let was_corrupted = corruptor.maybe_corrupt(&mut s).is_some();
+        corrupted += usize::from(was_corrupted);
+        let outcome = service.submit(s);
+        assert_eq!(
+            outcome.accepted(),
+            !was_corrupted,
+            "admission must reject exactly the corrupted probes"
+        );
+    }
+    assert!(corrupted > 0, "corruptor produced nothing at 10 %");
+
+    for round in 0..2 {
+        let failure = service.retrain_now().expect_err("every attempt panics");
+        assert!(
+            matches!(failure, TrainFailure::Panicked(_)),
+            "round {round}: {failure}"
+        );
+        // Health says degraded, with the panic surfaced as the reason.
+        match service.health() {
+            HealthState::Degraded { reason } => {
+                assert!(reason.contains("panicked"), "reason: {reason}")
+            }
+            other => panic!("expected Degraded, got {other}"),
+        }
+        // Availability: the request path keeps answering from v1,
+        // finite and well-formed, without a single panic.
+        for s in samples.iter().filter(|s| s.label.is_faulty()).take(25) {
+            let d = service
+                .diagnose(&s.features, s.service, &schema)
+                .expect("last-good model keeps serving");
+            assert_eq!(d.model_version, 1);
+            assert!(d.ranking.all_finite());
+        }
+    }
+    assert_eq!(service.model_version(), 1, "failed retrains never publish");
+
+    // Phase 3 — recovery: the fault schedule is exhausted; the next
+    // generation trains cleanly and the service returns to Serving.
+    assert_eq!(chaos.remaining_faults(), 0);
+    let report = service.retrain_now().expect("recovered generation");
+    assert_eq!(report.version, 2, "recovery publishes a new version");
+    assert_eq!(service.health(), HealthState::Serving);
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    let d = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert_eq!(d.model_version, 2);
+}
+
+/// A stalled generation is bounded by the wall-clock budget and reported
+/// as a timeout; the request path never notices.
+#[test]
+fn stalled_retrain_times_out_within_budget() {
+    // Budget comfortably above a clean fast-config generation, far below
+    // the injected stall.
+    let budget = Duration::from_secs(5);
+    let supervision = SupervisionConfig {
+        max_attempts: 1,
+        budget: Some(budget),
+        ..fast_supervision()
+    };
+    let (_, service, chaos, samples) = chaotic_service(9010, vec![], supervision);
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    service.retrain_now().expect("bootstrap generation");
+
+    chaos.push_fault(TrainFault::Stall(Duration::from_secs(60)));
+    let t0 = Instant::now();
+    let failure = service.retrain_now().expect_err("stall exceeds budget");
+    assert!(matches!(failure, TrainFailure::TimedOut(_)), "{failure}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "budget must bound the stall: {:?}",
+        t0.elapsed()
+    );
+    assert!(matches!(service.health(), HealthState::Degraded { .. }));
+    assert_eq!(
+        service.model_version(),
+        1,
+        "stalled attempt never publishes"
+    );
+    let schema = FeatureSchema::full();
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    assert!(service
+        .diagnose(&probe.features, probe.service, &schema)
+        .is_ok());
+}
+
+/// A generation that trains "successfully" but produces NaN-scoring
+/// models is refused by the publish gate: the registry version does not
+/// move and the last-good model keeps serving.
+#[test]
+fn diverged_generation_is_refused_by_the_publish_gate() {
+    let (_, service, chaos, samples) = chaotic_service(9020, vec![], fast_supervision());
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    service.retrain_now().expect("bootstrap generation");
+
+    chaos.push_fault(TrainFault::NanModels);
+    let failure = service
+        .retrain_now()
+        .expect_err("NaN models must not publish");
+    assert!(
+        matches!(failure, TrainFailure::Error(_)),
+        "publish-gate refusal is deterministic, not retried: {failure}"
+    );
+    assert!(
+        failure.to_string().contains("refusing to publish"),
+        "{failure}"
+    );
+    assert_eq!(service.model_version(), 1, "registry version untouched");
+    let schema = FeatureSchema::full();
+    let probe = samples.iter().find(|s| s.label.is_faulty()).unwrap();
+    let d = service
+        .diagnose(&probe.features, probe.service, &schema)
+        .unwrap();
+    assert!(d.ranking.all_finite(), "serving output stays finite");
+}
+
+/// Scripted training errors fail fast (no retry, no backoff) and degrade
+/// health while the previous generation keeps serving.
+#[test]
+fn injected_training_error_fails_fast() {
+    let (_, service, chaos, samples) = chaotic_service(9030, vec![], fast_supervision());
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    service.retrain_now().expect("bootstrap generation");
+    chaos.push_fault(TrainFault::Error);
+    let failure = service.retrain_now().expect_err("scripted error");
+    assert!(matches!(failure, TrainFailure::Error(_)), "{failure}");
+    assert_eq!(chaos.remaining_faults(), 0, "exactly one attempt consumed");
+    assert_eq!(service.model_version(), 1);
+}
+
+/// Dropping the background worker while a generation is stalled
+/// terminates promptly: the supervisor abandons the budgeted attempt and
+/// queued commands are skipped.
+#[test]
+fn worker_drop_during_stalled_retrain_is_prompt() {
+    let world = World::new();
+    let collector = Arc::new(ProbeCollector::new(100_000, FeatureSchema::full()));
+    let mut cfg = DatasetConfig::small(&world, 9040);
+    cfg.n_scenarios = 10;
+    for s in Dataset::generate(&world, &cfg).samples {
+        collector.submit(s);
+    }
+    let chaos = Arc::new(ChaosPipeline::scripted(
+        standard_pipeline(&world),
+        vec![TrainFault::Stall(Duration::from_secs(10))],
+    ));
+    let supervision = SupervisionConfig {
+        max_attempts: 1,
+        budget: Some(Duration::from_millis(200)),
+        ..fast_supervision()
+    };
+    let worker = RetrainWorker::spawn(
+        collector,
+        Arc::new(ModelRegistry::new()),
+        chaos as Arc<dyn TrainPipeline>,
+        supervision,
+        Arc::new(HealthMonitor::new()),
+    );
+    worker.request_retrain(9040);
+    // Give the worker a moment to enter the stalled attempt.
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    drop(worker);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drop must not wait out the 10s stall: {:?}",
+        t0.elapsed()
+    );
+}

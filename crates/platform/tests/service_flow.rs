@@ -24,6 +24,7 @@ fn fixture() -> (World, Arc<AnalysisService>, Vec<Sample>) {
             min_service_samples: 1,
             auto_retrain_every: None,
             seed: 500,
+            ..ServiceConfig::default()
         },
         FeatureSchema::full(),
     ));
@@ -55,7 +56,7 @@ fn concurrent_submissions_and_diagnoses() {
         let svc = Arc::clone(&service);
         scope.spawn(move || {
             for s in second {
-                assert!(svc.submit(s.clone()));
+                assert!(svc.submit(s.clone()).accepted());
             }
         });
         for chunk in faulty.chunks(faulty.len().div_ceil(3)) {
@@ -153,6 +154,7 @@ fn service_trains_a_configured_baseline_backend() {
             min_service_samples: 1,
             auto_retrain_every: None,
             seed: 502,
+            ..ServiceConfig::default()
         },
         FeatureSchema::full(),
     );
@@ -191,6 +193,7 @@ fn sliding_window_keeps_service_trainable() {
             min_service_samples: 1,
             auto_retrain_every: None,
             seed: 600,
+            ..ServiceConfig::default()
         },
         FeatureSchema::full(),
     );

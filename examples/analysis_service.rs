@@ -30,6 +30,7 @@ fn main() {
             min_service_samples: 50,
             auto_retrain_every: Some(5_000),
             seed: 7,
+            ..ServiceConfig::default()
         },
         schema.clone(),
     );
@@ -56,6 +57,7 @@ fn main() {
         report.n_faulty,
         report.specialized.len()
     );
+    println!("service health: {}", service.health());
 
     // An incident strikes: packet loss near SING. A client in Tokyo using
     // image.cdn (served from SING) experiences a slow page and asks for a

@@ -79,3 +79,69 @@ fn corrupt_artefacts_are_a_serialization_error() {
     let err = load_backend(&b"not json at all"[..]).unwrap_err();
     assert!(err.to_string().contains("serialization error"), "{err}");
 }
+
+fn saved_diagnet() -> Vec<u8> {
+    let (train, _) = data();
+    let model = DiagNet::train(&DiagNetConfig::fast(), &train, SEED).unwrap();
+    let mut buf = Vec::new();
+    save_backend(&model, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn truncated_artefacts_error_instead_of_panicking() {
+    let buf = saved_diagnet();
+    // Cut the artefact at several depths, including mid-token cuts; every
+    // prefix must come back as a typed error, never a panic or a model.
+    for cut in [0, 1, buf.len() / 4, buf.len() / 2, buf.len() - 1] {
+        let err = load_backend(&buf[..cut]).unwrap_err();
+        assert!(
+            err.to_string().contains("serialization error"),
+            "cut at {cut}: unexpected error text: {err}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_artefacts_never_panic() {
+    let buf = saved_diagnet();
+    // Flip a bit at positions scattered through the artefact. Each mutant
+    // either fails to parse (typed error) or parses into a model that
+    // still passes the load-time validation — loading must never panic
+    // and never hand back a non-finite model.
+    let full = FeatureSchema::full();
+    let zero = vec![0.0f32; full.n_features()];
+    let step = (buf.len() / 64).max(1);
+    for pos in (0..buf.len()).step_by(step) {
+        let mut mutant = buf.clone();
+        mutant[pos] ^= 0x10;
+        if let Ok(backend) = load_backend(mutant.as_slice()) {
+            let ranking = backend.rank_causes(&zero, &full);
+            assert!(
+                ranking.scores.iter().all(|v| v.is_finite()),
+                "bit flip at {pos}: non-finite model survived load validation"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_finite_weights_fail_load_time_validation() {
+    let text = String::from_utf8(saved_diagnet()).unwrap();
+    // serde_json refuses to *emit* non-finite floats, but a hand-edited or
+    // bit-rotted artefact can smuggle one in: 3.5e38 parses as a valid
+    // f64, then overflows to +inf on the cast to f32. Poison the first
+    // normaliser mean with it.
+    let key = "\"mean\":[";
+    let start = text.find(key).expect("normaliser means in artefact") + key.len();
+    let end = start
+        + text[start..]
+            .find([',', ']'])
+            .expect("first mean is delimited");
+    let poisoned = format!("{}3.5e38{}", &text[..start], &text[end..]);
+    let err = load_backend(poisoned.as_bytes()).unwrap_err();
+    assert!(
+        err.to_string().contains("failed validation"),
+        "expected the load-time validation to refuse non-finite weights: {err}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Numeric-robustness suite: every backend must keep its head when the
+//! input does not. Extreme-but-finite feature vectors (±1e30 spikes,
+//! denormals, all-zero rows, mixed extremes) must still produce finite,
+//! properly ordered score distributions on all three backends, and the
+//! batched path must stay bit-identical to the single-row path.
+//!
+//! These inputs are *admissible* (finite, right width): admission control
+//! lets them through, so the scoring path itself has to absorb them —
+//! the normaliser clamps z-scores to `Normalizer::MAX_ABS_Z` before they
+//! can overflow the network's accumulators.
+
+use diagnet::backend::{Backend, BackendConfig, BackendKind, ALL_BACKENDS};
+use diagnet::config::DiagNetConfig;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::sync::OnceLock;
+
+const SEED: u64 = 0xEB57;
+
+fn backends() -> &'static Vec<(BackendKind, Box<dyn Backend>)> {
+    static CELL: OnceLock<Vec<(BackendKind, Box<dyn Backend>)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, SEED);
+        cfg.n_scenarios = 10;
+        let ds = Dataset::generate(&world, &cfg);
+        let mut config = BackendConfig::from_diagnet(DiagNetConfig::fast());
+        config.diagnet.epochs = 2;
+        config.diagnet.forest.n_trees = 5;
+        config.bayes.kde_cap = 64;
+        ALL_BACKENDS
+            .iter()
+            .map(|&kind| {
+                let backend = kind
+                    .train(&config, &ds, &FeatureSchema::known(), SEED)
+                    .expect("training must succeed on a healthy dataset");
+                (kind, backend)
+            })
+            .collect()
+    })
+}
+
+/// Deterministic extreme-but-finite rows: spikes of ±1e30 and ±1e9,
+/// denormals (1e-40), exact zeros and sign flips, scattered over random
+/// positions so every feature kind gets hit across the set.
+fn extreme_rows(width: usize, n: usize) -> Vec<Vec<f32>> {
+    const EXTREMES: [f32; 8] = [1e30, -1e30, 1e9, -1e9, 1e-40, -1e-40, 0.0, 3.4e38];
+    let mut rng = SplitMix64::new(SEED ^ 0xC0FFEE);
+    let mut rows = Vec::with_capacity(n + 2);
+    rows.push(vec![0.0; width]); // all-zero row
+    rows.push(vec![1e30; width]); // uniformly absurd row
+    for _ in 0..n {
+        // A plausible baseline with a handful of extreme spikes.
+        let mut row: Vec<f32> = (0..width).map(|_| rng.uniform(0.0, 100.0)).collect();
+        for _ in 0..1 + rng.next_below(4) {
+            let j = rng.next_below(width);
+            row[j] = EXTREMES[rng.next_below(EXTREMES.len())];
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[test]
+fn extreme_inputs_produce_finite_ordered_scores() {
+    let full = FeatureSchema::full();
+    let rows = extreme_rows(full.n_features(), 24);
+    for (kind, backend) in backends() {
+        for (i, row) in rows.iter().enumerate() {
+            assert!(row.iter().all(|v| v.is_finite()), "fixture row {i} finite");
+            let ranking = backend.rank_causes(row, &full);
+            assert_eq!(ranking.scores.len(), full.n_features(), "{kind}: row {i}");
+            assert!(
+                ranking.scores.iter().all(|v| v.is_finite()),
+                "{kind}: non-finite score on extreme row {i}"
+            );
+            assert!(
+                ranking.w_unknown.is_finite() && (0.0..=1.0).contains(&ranking.w_unknown),
+                "{kind}: w_unknown escaped [0,1] on row {i}: {}",
+                ranking.w_unknown
+            );
+            // `top` must impose a total order: scores non-increasing along
+            // the returned ranking.
+            let top = ranking.top(full.n_features());
+            assert_eq!(top.len(), full.n_features(), "{kind}: row {i}");
+            for pair in top.windows(2) {
+                assert!(
+                    ranking.scores[pair[0]] >= ranking.scores[pair[1]],
+                    "{kind}: row {i} ranking out of order"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_inputs_keep_batch_and_single_paths_bitwise_equal() {
+    let full = FeatureSchema::full();
+    let rows = extreme_rows(full.n_features(), 12);
+    for (kind, backend) in backends() {
+        let batched = backend.rank_causes_batch(&rows, &full);
+        assert_eq!(batched.len(), rows.len());
+        for (i, (row, from_batch)) in rows.iter().zip(&batched).enumerate() {
+            let single = backend.rank_causes(row, &full);
+            let single_bits: Vec<u32> = single.scores.iter().map(|v| v.to_bits()).collect();
+            let batch_bits: Vec<u32> = from_batch.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                single_bits, batch_bits,
+                "{kind}: extreme row {i} drifted between batch and single"
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_health_probe_passes_on_trained_models() {
+    // The same check the publish gate and `load_backend` run: a zero row
+    // must score to a finite, full-width ranking.
+    for (kind, backend) in backends() {
+        backend
+            .validate()
+            .unwrap_or_else(|e| panic!("{kind}: healthy model failed validation: {e}"));
+    }
+}
