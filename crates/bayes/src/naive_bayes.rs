@@ -23,7 +23,7 @@
 use crate::kde::Kde;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the extensible naive Bayes model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,11 +60,11 @@ pub struct ExtensibleNaiveBayes {
     visible: Vec<bool>,
     /// Specific likelihoods: class (cause feature index, or `n_features`
     /// for nominal) → per-visible-feature KDE.
-    specific: HashMap<usize, Vec<Option<Kde>>>,
+    specific: BTreeMap<usize, Vec<Option<Kde>>>,
     /// Generic background likelihood per metric kind.
-    generic_background: HashMap<usize, Kde>,
+    generic_background: BTreeMap<usize, Kde>,
     /// Generic "this feature is the cause" likelihood per metric kind.
-    generic_cause: HashMap<usize, Kde>,
+    generic_cause: BTreeMap<usize, Kde>,
 }
 
 impl ExtensibleNaiveBayes {
@@ -118,7 +118,7 @@ impl ExtensibleNaiveBayes {
         }
 
         // Group sample indices by class.
-        let mut by_class: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, &label) in labels.iter().enumerate() {
             by_class.entry(label).or_default().push(i);
         }
@@ -129,7 +129,7 @@ impl ExtensibleNaiveBayes {
             .filter(|(_, idx)| idx.len() >= config.min_class_samples)
             .map(|(&c, idx)| (c, idx.clone()))
             .collect();
-        let specific: HashMap<usize, Vec<Option<Kde>>> = classes
+        let specific: BTreeMap<usize, Vec<Option<Kde>>> = classes
             .par_iter()
             .map(|(class, idx)| {
                 let kdes: Vec<Option<Kde>> = (0..n_features)
@@ -146,7 +146,7 @@ impl ExtensibleNaiveBayes {
             .collect();
 
         // Generic background: union over landmarks (and classes) per kind.
-        let mut kind_values: HashMap<usize, Vec<f32>> = HashMap::new();
+        let mut kind_values: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
         for row in rows {
             for j in 0..n_features {
                 if visible[j] {
@@ -157,7 +157,7 @@ impl ExtensibleNaiveBayes {
                 }
             }
         }
-        let generic_background: HashMap<usize, Kde> = kind_values
+        let generic_background: BTreeMap<usize, Kde> = kind_values
             .iter()
             .map(|(&kind, vals)| {
                 let kde = Kde::fit_with_cap(vals, config.kde_cap * 4)
@@ -167,7 +167,7 @@ impl ExtensibleNaiveBayes {
             .collect();
 
         // Generic cause: values of the cause feature under its own fault.
-        let mut cause_values: HashMap<usize, Vec<f32>> = HashMap::new();
+        let mut cause_values: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
         for (i, &label) in labels.iter().enumerate() {
             if label < n_features && visible[label] {
                 cause_values
@@ -176,7 +176,7 @@ impl ExtensibleNaiveBayes {
                     .push(rows[i][label]);
             }
         }
-        let generic_cause: HashMap<usize, Kde> = cause_values
+        let generic_cause: BTreeMap<usize, Kde> = cause_values
             .iter()
             .filter(|(_, vals)| vals.len() >= config.min_class_samples)
             .map(|(&kind, vals)| {

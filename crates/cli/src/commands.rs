@@ -244,7 +244,9 @@ fn diagnose(args: &Args) -> Result<String, CliError> {
             "  {}. {:<18} {:.3}",
             rank + 1,
             schema.feature(idx).name(),
-            ranking.scores[idx]
+            // `top()` only yields in-bounds indices; NaN would mean a
+            // scores/schema width bug and prints as a visible `NaN`.
+            ranking.scores.get(idx).copied().unwrap_or(f32::NAN)
         );
     }
     if let Some(cause) = sample.label.cause() {
@@ -271,17 +273,25 @@ fn evaluate(args: &Args) -> Result<String, CliError> {
         return Err(CliError::usage("`--k` must be at least 1"));
     }
     let schema = dataset.schema.clone();
-    let (rows, truths): (Vec<Vec<f32>>, Vec<usize>) = dataset
-        .samples
-        .iter()
-        .filter_map(|s| {
-            let cause = s.label.cause()?;
-            Some((
-                s.features.clone(),
-                schema.index_of(cause).expect("cause in schema"),
-            ))
-        })
-        .unzip();
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut truths: Vec<usize> = Vec::new();
+    for s in &dataset.samples {
+        let Some(cause) = s.label.cause() else {
+            continue;
+        };
+        let Some(truth) = schema.index_of(cause) else {
+            return Err(CliError::Data {
+                action: "evaluate dataset",
+                path: args.require("data")?.to_string(),
+                detail: format!(
+                    "faulty sample labels cause `{}`, which the dataset schema does not contain",
+                    cause.name()
+                ),
+            });
+        };
+        rows.push(s.features.clone());
+        truths.push(truth);
+    }
     if rows.is_empty() {
         return Err(CliError::usage("dataset has no faulty samples to evaluate"));
     }
@@ -423,7 +433,9 @@ fn metrics(args: &Args) -> Result<String, CliError> {
         .map(|s| s.features.clone())
         .collect();
     let _ = backend.rank_causes_batch(&rows, &schema);
-    let _ = backend.rank_causes(&rows[0], &schema);
+    if let Some(first) = rows.first() {
+        let _ = backend.rank_causes(first, &schema);
+    }
     let mut out =
         String::from("live self-demo: trained the forest baseline and scored 65 rows\n\n");
     out.push_str(&diagnet_obs::global().snapshot().render_text());

@@ -10,7 +10,7 @@
 use crate::ranking::CauseRanking;
 use diagnet_sim::metrics::{CoarseFamily, FeatureId, FeatureSchema};
 use diagnet_sim::region::Region;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregated evidence for one candidate incident location.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,7 @@ pub struct IncidentEvidence {
 #[derive(Debug, Clone, Default)]
 pub struct IncidentMap {
     /// Evidence per remote region.
-    pub remote: HashMap<Region, IncidentEvidence>,
+    pub remote: BTreeMap<Region, IncidentEvidence>,
     /// Evidence that causes are client-local (device or uplink).
     pub local_mass: f32,
     /// Number of rankings aggregated.
@@ -40,7 +40,8 @@ impl IncidentMap {
     /// # Panics
     /// Panics if a ranking's width mismatches the schema.
     pub fn build(rankings: &[CauseRanking], schema: &FeatureSchema) -> IncidentMap {
-        let mut remote: HashMap<Region, (f32, usize, HashMap<CoarseFamily, f32>)> = HashMap::new();
+        let mut remote: BTreeMap<Region, (f32, usize, BTreeMap<CoarseFamily, f32>)> =
+            BTreeMap::new();
         let mut local_mass = 0.0f32;
         for ranking in rankings {
             assert_eq!(
@@ -52,7 +53,7 @@ impl IncidentMap {
             for (j, &score) in ranking.scores.iter().enumerate() {
                 match schema.feature(j) {
                     FeatureId::Landmark(region, metric) => {
-                        let entry = remote.entry(region).or_insert((0.0, 0, HashMap::new()));
+                        let entry = remote.entry(region).or_insert((0.0, 0, BTreeMap::new()));
                         entry.0 += score;
                         if j == top {
                             entry.1 += 1;
@@ -109,7 +110,7 @@ impl IncidentMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diagnet_sim::metrics::LandmarkMetric;
+    use diagnet_sim::metrics::{LandmarkMetric, LocalMetric};
 
     /// A ranking concentrating `weight` on one remote feature, the rest
     /// uniform.
@@ -175,6 +176,106 @@ mod tests {
         };
         let map = IncidentMap::build(&[uniform], &schema);
         assert!((map.local_mass - 5.0 / 55.0).abs() < 1e-5);
+    }
+
+    /// Golden rows: dyadic scores make every sum exact in f32, so the
+    /// fused evidence is asserted bitwise, and fusing the same clients in
+    /// a different order must produce the identical map. Guards the
+    /// ordered-map conversion — any return to iteration-order-dependent
+    /// aggregation breaks this, not a downstream report.
+    #[test]
+    fn golden_rows_are_bitwise_stable() {
+        let schema = FeatureSchema::full();
+        let m = schema.n_features();
+        let idx = |f| schema.index_of(f).unwrap();
+        let mk = |scores| CauseRanking {
+            scores,
+            coarse: vec![0.0; 7],
+            w_unknown: 0.0,
+        };
+        let mut s1 = vec![0.0f32; m];
+        s1[idx(FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt))] = 0.5;
+        s1[idx(FeatureId::Landmark(
+            Region::Grav,
+            LandmarkMetric::LossRetrans,
+        ))] = 0.25;
+        s1[idx(FeatureId::Local(LocalMetric::CpuLoad))] = 0.25;
+        let mut s2 = vec![0.0f32; m];
+        s2[idx(FeatureId::Landmark(
+            Region::Sing,
+            LandmarkMetric::LossRetrans,
+        ))] = 0.5;
+        s2[idx(FeatureId::Landmark(Region::Grav, LandmarkMetric::Rtt))] = 0.25;
+        s2[idx(FeatureId::Local(LocalMetric::CpuLoad))] = 0.25;
+        let rankings = vec![mk(s1), mk(s2)];
+
+        let map = IncidentMap::build(&rankings, &schema);
+        assert_eq!(map.n_clients, 2);
+        assert_eq!(map.local_mass, 0.5);
+        let rows: Vec<(Region, IncidentEvidence)> = map
+            .remote
+            .iter()
+            .filter(|(_, e)| e.mass > 0.0)
+            .map(|(&r, e)| (r, e.clone()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (
+                    Region::Grav,
+                    IncidentEvidence {
+                        mass: 1.0,
+                        top_votes: 1,
+                        family: CoarseFamily::LinkLatency,
+                    }
+                ),
+                (
+                    Region::Sing,
+                    IncidentEvidence {
+                        mass: 0.5,
+                        top_votes: 1,
+                        family: CoarseFamily::LinkLoss,
+                    }
+                ),
+            ]
+        );
+
+        let permuted = IncidentMap::build(&[rankings[1].clone(), rankings[0].clone()], &schema);
+        assert_eq!(permuted.remote, map.remote);
+        assert_eq!(permuted.local_mass, map.local_mass);
+    }
+
+    /// Equal family masses must resolve the same way every run: ordered
+    /// iteration plus `max_by` (which keeps the *last* maximum) picks the
+    /// largest tied family in enum order.
+    #[test]
+    fn family_tie_breaks_deterministically() {
+        let schema = FeatureSchema::full();
+        let m = schema.n_features();
+        let mut s = vec![0.0f32; m];
+        s[schema
+            .index_of(FeatureId::Landmark(Region::Sing, LandmarkMetric::Rtt))
+            .unwrap()] = 0.25;
+        s[schema
+            .index_of(FeatureId::Landmark(
+                Region::Sing,
+                LandmarkMetric::LossRetrans,
+            ))
+            .unwrap()] = 0.25;
+        let map = IncidentMap::build(
+            &[CauseRanking {
+                scores: s,
+                coarse: vec![0.0; 7],
+                w_unknown: 0.0,
+            }],
+            &schema,
+        );
+        let evidence = &map.remote[&Region::Sing];
+        assert_eq!(evidence.mass, 0.5);
+        assert_eq!(
+            evidence.family,
+            CoarseFamily::LinkLatency.max(CoarseFamily::LinkLoss)
+        );
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub fn training_rows_and_labels(
         .map(|s| match s.label.cause() {
             Some(cause) => full
                 .index_of(cause)
+                // lint: allow(panic, reason = "FeatureSchema::full() enumerates every FaultCause by construction; a miss is a schema bug worth aborting training over, and this helper never runs while serving")
                 .expect("cause feature always exists in the full schema"),
             None => n_causes,
         })
@@ -89,7 +90,16 @@ pub fn project_scores(
     schema: &FeatureSchema,
 ) -> Vec<f32> {
     let mut scores: Vec<f32> = (0..schema.n_features())
-        .map(|j| full_scores[full.index_of(schema.feature(j)).expect("schema ⊆ full")])
+        .map(|j| {
+            // Every evaluation schema is a subset of the full schema and
+            // `full_scores` is full-width; a miss is a caller bug, and a
+            // zero contribution degrades more gracefully than a panic on
+            // the serving path.
+            full.index_of(schema.feature(j))
+                .and_then(|i| full_scores.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        })
         .collect();
     let sum: f32 = scores.iter().sum();
     if sum > 0.0 {

@@ -21,6 +21,7 @@ pub const N_KINDS: usize = K_LANDMARK_METRICS + N_LOCAL_METRICS;
 /// range spreads out; client load metrics are already in `[0, 1]` and stay
 /// linear.
 #[inline]
+// lint: no_alloc
 pub fn stabilize(kind: usize, v: f32) -> f32 {
     match kind {
         // Rtt, DownBw, UpBw, Jitter, GatewayRtt, GatewayJitter.
@@ -102,6 +103,7 @@ impl Normalizer {
     /// transform when enabled, then z-score, clamped to ±[`MAX_ABS_Z`]).
     /// NaN inputs map to the clamp bound rather than propagating.
     #[inline]
+    // lint: no_alloc
     pub fn apply_value(&self, kind: usize, v: f32) -> f32 {
         let t = if self.stabilized {
             stabilize(kind, v)

@@ -29,9 +29,12 @@ impl CauseRanking {
     /// Indices of the top-k causes, best first.
     pub fn top(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        // `a`/`b` come from `0..scores.len()`, so `get` always hits;
+        // comparing through `Option` keeps the comparator panic-free.
         idx.sort_by(|&a, &b| {
-            self.scores[b]
-                .partial_cmp(&self.scores[a])
+            self.scores
+                .get(b)
+                .partial_cmp(&self.scores.get(a))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         idx.truncate(k);
@@ -44,9 +47,10 @@ impl CauseRanking {
         diagnet_eval::ranking::rank_of_truth(&self.scores, cause)
     }
 
-    /// The single most probable cause.
+    /// The single most probable cause (0 for an empty ranking — rankings
+    /// produced by any backend are schema-width, hence non-empty).
     pub fn best(&self) -> usize {
-        self.top(1)[0]
+        self.top(1).first().copied().unwrap_or(0)
     }
 
     /// True when every score (and the coarse probabilities plus

@@ -14,7 +14,7 @@ use diagnet_rng::SplitMix64;
 use diagnet_sim::dataset::Dataset;
 use diagnet_sim::service::ServiceId;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A general model plus one specialised model per service.
 #[derive(Debug, Clone)]
@@ -22,7 +22,7 @@ pub struct SpecializedModels {
     /// The shared general model.
     pub general: DiagNet,
     /// Specialised models, keyed by service.
-    pub models: HashMap<ServiceId, DiagNet>,
+    pub models: BTreeMap<ServiceId, DiagNet>,
 }
 
 impl SpecializedModels {
@@ -54,7 +54,7 @@ impl SpecializedModels {
                     general.specialize(&service_data, SplitMix64::derive(seed, i as u64))?;
                 Ok((sid, model))
             })
-            .collect::<Result<HashMap<_, _>, NnError>>()?;
+            .collect::<Result<BTreeMap<_, _>, NnError>>()?;
         Ok(SpecializedModels { general, models })
     }
 
@@ -65,7 +65,7 @@ impl SpecializedModels {
     }
 
     /// Training histories of all specialised models (for Fig. 9(b)).
-    pub fn histories(&self) -> HashMap<ServiceId, &TrainHistory> {
+    pub fn histories(&self) -> BTreeMap<ServiceId, &TrainHistory> {
         self.models
             .iter()
             .map(|(&sid, m)| (sid, &m.history))
@@ -103,8 +103,15 @@ mod tests {
         // A service with no specialised model falls back to the general.
         let other = general_ids[0];
         assert!(std::ptr::eq(suite.for_service(other), &suite.general));
-        // Histories exposed for Fig. 9.
-        assert_eq!(suite.histories().len(), 2);
+        // Histories exposed for Fig. 9, keyed identically to the models,
+        // in ascending service order (the ordered map is what keeps
+        // transfer artefacts byte-stable across runs).
+        let history_keys: Vec<ServiceId> = suite.histories().keys().copied().collect();
+        let model_keys: Vec<ServiceId> = suite.models.keys().copied().collect();
+        assert_eq!(history_keys, model_keys);
+        let mut sorted = model_keys.clone();
+        sorted.sort();
+        assert_eq!(model_keys, sorted, "models must iterate in service order");
     }
 
     #[test]

@@ -2,17 +2,17 @@
 //! paper's Figs. 6 and 10.
 
 use crate::ranking::rank_of_truth;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Recall@k per group. Input samples are `(group, scores, true_cause)`
 /// triples; output maps each group to its Recall@k (and sample count).
-pub fn grouped_recall_at_k<K: Eq + Hash + Clone>(
+/// The map is ordered so iteration (reports, artefact JSON) is stable.
+pub fn grouped_recall_at_k<K: Ord + Clone>(
     samples: &[(K, Vec<f32>, usize)],
     k: usize,
-) -> HashMap<K, (f32, usize)> {
+) -> BTreeMap<K, (f32, usize)> {
     assert!(k >= 1, "grouped_recall_at_k: k must be >= 1");
-    let mut hits: HashMap<K, (usize, usize)> = HashMap::new();
+    let mut hits: BTreeMap<K, (usize, usize)> = BTreeMap::new();
     for (group, scores, truth) in samples {
         let entry = hits.entry(group.clone()).or_insert((0, 0));
         entry.1 += 1;
@@ -52,5 +52,26 @@ mod tests {
         let samples = vec![("g", vec![0.5, 0.3, 0.2], 2)];
         assert_eq!(grouped_recall_at_k(&samples, 1)["g"].0, 0.0);
         assert_eq!(grouped_recall_at_k(&samples, 3)["g"].0, 1.0);
+    }
+
+    /// Golden rows: exact fractions *and* sorted key order, asserted as a
+    /// whole. Guards the ordered-map contract — a switch back to an
+    /// unordered map (or any float-path change) shows up as a diff here,
+    /// not as a flaky report downstream.
+    #[test]
+    fn golden_rows_and_key_order_are_stable() {
+        // Groups arrive shuffled; counts are powers of two so every
+        // recall fraction is exactly representable in f32.
+        let samples = vec![
+            (7u8, vec![0.9, 0.1], 0),
+            (3u8, vec![0.1, 0.9], 0),
+            (7u8, vec![0.2, 0.8], 0),
+            (3u8, vec![0.9, 0.1], 0),
+            (3u8, vec![0.8, 0.2], 0),
+            (3u8, vec![0.3, 0.7], 0),
+            (5u8, vec![0.9, 0.1], 0),
+        ];
+        let rows: Vec<(u8, (f32, usize))> = grouped_recall_at_k(&samples, 1).into_iter().collect();
+        assert_eq!(rows, vec![(3, (0.5, 4)), (5, (1.0, 1)), (7, (0.5, 2))]);
     }
 }

@@ -1,0 +1,221 @@
+//! Workspace walk and rule orchestration.
+
+use crate::diagnostics::{Report, Rule, UsedAllow, Violation};
+use crate::rules::{hash_iter, metrics_doc, no_alloc, panic, FileCtx};
+use crate::{directives, lexer, scope};
+use std::path::{Path, PathBuf};
+
+/// Known rule slugs an `allow` may name.
+const KNOWN_SLUGS: &[&str] = &["panic", "hash_iter", "no_alloc", "metrics_doc"];
+
+/// Markdown file the metrics rule cross-checks against.
+pub const METRICS_DOC: &str = "OBSERVABILITY.md";
+
+/// Check every crate source under `root` plus the metrics doc. IO errors
+/// (unreadable root, missing `crates/`) are returned as `Err`; a missing
+/// OBSERVABILITY.md is a finding, not an error.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut code_names: Vec<metrics_doc::CodeName> = Vec::new();
+
+    let files = workspace_sources(root)?;
+    for file in &files {
+        let rel = scope::rel_path(root, file);
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        check_file(&rel, &src, &mut report, &mut code_names);
+    }
+    report.files_scanned = files.len();
+
+    let doc_path = root.join(METRICS_DOC);
+    match std::fs::read_to_string(&doc_path) {
+        Ok(md) => {
+            let doc = metrics_doc::doc_names(&md);
+            metrics_doc::cross_check(&code_names, &doc, METRICS_DOC, &mut report.violations);
+        }
+        Err(_) => report.violations.push(Violation {
+            rule: Rule::MetricsDoc,
+            file: METRICS_DOC.to_string(),
+            line: 0,
+            col: 0,
+            msg: format!("{METRICS_DOC} not found at the workspace root; metric names cannot be cross-checked"),
+        }),
+    }
+    Ok(report)
+}
+
+/// Run the per-file rules on one source, appending findings to `report`
+/// and metric literals to `code_names`.
+pub fn check_file(
+    rel: &str,
+    src: &str,
+    report: &mut Report,
+    code_names: &mut Vec<metrics_doc::CodeName>,
+) {
+    let lexed = lexer::lex(src);
+    let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+    let ctx = FileCtx::new(rel, &lexed.tokens, &dirs);
+
+    if scope::in_panic_scope(rel) {
+        panic::check(&ctx, &mut report.violations);
+    }
+    if scope::in_hash_scope(rel) {
+        hash_iter::check(&ctx, &mut report.violations);
+    }
+    no_alloc::check(&ctx, &mut report.violations);
+    if scope::in_metrics_scope(rel) {
+        code_names.extend(metrics_doc::collect(&ctx));
+    }
+
+    // Directive hygiene: malformed comments, unknown slugs, stale allows.
+    for m in &dirs.malformed {
+        report.violations.push(Violation {
+            rule: Rule::Directive,
+            file: rel.to_string(),
+            line: m.line,
+            col: 1,
+            msg: m.msg.clone(),
+        });
+    }
+    for a in &dirs.allows {
+        if !KNOWN_SLUGS.contains(&a.rule.as_str()) {
+            report.violations.push(Violation {
+                rule: Rule::Directive,
+                file: rel.to_string(),
+                line: a.comment_line,
+                col: 1,
+                msg: format!(
+                    "allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    KNOWN_SLUGS.join(", ")
+                ),
+            });
+        } else if a.used.get() {
+            report.allows_used.push(UsedAllow {
+                rule: a.rule.clone(),
+                file: rel.to_string(),
+                line: a.comment_line,
+                reason: a.reason.clone(),
+            });
+        } else {
+            report.violations.push(Violation {
+                rule: Rule::Directive,
+                file: rel.to_string(),
+                line: a.comment_line,
+                col: 1,
+                msg: format!(
+                    "unused allow({}) — the code it excused is gone; delete the directive",
+                    a.rule
+                ),
+            });
+        }
+    }
+}
+
+/// All `.rs` files under `crates/*/src`, sorted for deterministic reports.
+fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("no `crates/` under {}: {e}", root.display()))?;
+    let mut files = Vec::new();
+    for entry in entries.flatten() {
+        let src_dir = entry.path().join("src");
+        if src_dir.is_dir() {
+            collect_rs(&src_dir, &mut files);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Resolve the workspace root: `explicit` if given, else walk up from the
+/// current directory until a `crates/` directory appears (so the binary
+/// works from any crate subdirectory).
+pub fn resolve_root(explicit: Option<&str>) -> Result<PathBuf, String> {
+    if let Some(p) = explicit {
+        let path = PathBuf::from(p);
+        if path.join("crates").is_dir() {
+            return Ok(path);
+        }
+        return Err(format!("--root {p} has no crates/ directory"));
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found (run from the repo or pass --root PATH)".to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_report(rel: &str, src: &str) -> Report {
+        let mut report = Report::default();
+        let mut names = Vec::new();
+        check_file(rel, src, &mut report, &mut names);
+        report
+    }
+
+    #[test]
+    fn panic_rule_only_applies_in_scope() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }";
+        let in_scope = file_report("crates/core/src/backend.rs", src);
+        assert_eq!(in_scope.violations.len(), 1);
+        let out_of_scope = file_report("crates/core/src/model.rs", src);
+        assert!(out_of_scope.is_clean(), "{:?}", out_of_scope.violations);
+    }
+
+    #[test]
+    fn hash_rule_only_applies_in_scope() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(file_report("crates/eval/src/x.rs", src).violations.len(), 1);
+        assert!(file_report("crates/cli/src/args.rs", src).is_clean());
+    }
+
+    #[test]
+    fn unused_allow_is_a_violation() {
+        let src = "// lint: allow(panic, reason = \"stale\")\nfn f() {}\n";
+        let r = file_report("crates/core/src/backend.rs", src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, Rule::Directive);
+        assert!(r.violations[0].msg.contains("unused"));
+    }
+
+    #[test]
+    fn unknown_rule_slug_is_a_violation() {
+        let src = "fn f() {} // lint: allow(panics, reason = \"typo\")\n";
+        let r = file_report("crates/core/src/backend.rs", src);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].msg.contains("unknown rule"));
+    }
+
+    #[test]
+    fn used_allow_lands_in_the_summary() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() // lint: allow(panic, reason = \"caller checked\")\n }";
+        let r = file_report("crates/core/src/backend.rs", src);
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.allows_used.len(), 1);
+        assert_eq!(r.allows_used[0].reason, "caller checked");
+    }
+}

@@ -1,0 +1,221 @@
+//! Violation records and rustc-style rendering.
+
+use std::fmt::Write as _;
+
+/// Rule families, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panic-free serving paths.
+    Panic,
+    /// No hashed-collection iteration on determinism-sensitive paths.
+    HashIter,
+    /// Zero-allocation hot-path bodies.
+    NoAlloc,
+    /// Metric names in code ⇔ OBSERVABILITY.md.
+    MetricsDoc,
+    /// Directive hygiene (malformed or unused `lint:` comments).
+    Directive,
+}
+
+impl Rule {
+    /// Slug used in diagnostics and in `allow(<slug>, …)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::HashIter => "hash_iter",
+            Rule::NoAlloc => "no_alloc",
+            Rule::MetricsDoc => "metrics_doc",
+            Rule::Directive => "directive",
+        }
+    }
+
+    /// All rule families.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::Panic,
+            Rule::HashIter,
+            Rule::NoAlloc,
+            Rule::MetricsDoc,
+            Rule::Directive,
+        ]
+    }
+
+    /// One-line description for `diagnet-lint rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::Panic => {
+                "serving-path modules must not unwrap/expect/panic!/index; \
+                 escape with `// lint: allow(panic, reason = \"...\")`"
+            }
+            Rule::HashIter => {
+                "scoring/training/persistence crates must use ordered maps \
+                 (BTreeMap/BTreeSet), never HashMap/HashSet"
+            }
+            Rule::NoAlloc => {
+                "functions marked `// lint: no_alloc` must not allocate \
+                 (Vec/String/Box construction, push/collect/clone/format!, …)"
+            }
+            Rule::MetricsDoc => {
+                "metric name literals in code and the backticked names in \
+                 OBSERVABILITY.md must be the same set, both directions"
+            }
+            Rule::Directive => "lint directives must parse and every allow must be used",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line (0 = whole-file finding).
+    pub line: usize,
+    /// 1-based column (0 = unknown).
+    pub col: usize,
+    pub msg: String,
+}
+
+/// An allow that suppressed a violation — surfaced in the summary so every
+/// escape hatch stays visible.
+#[derive(Debug, Clone)]
+pub struct UsedAllow {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Full check result.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub allows_used: Vec<UsedAllow>,
+    /// Files scanned (for the summary line).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the full report in rustc style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&Violation> = self.violations.iter().collect();
+        sorted.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        for v in &sorted {
+            let _ = writeln!(out, "error[{}]: {}", v.rule.slug(), v.msg);
+            if v.line > 0 {
+                let _ = writeln!(out, "  --> {}:{}:{}", v.file, v.line, v.col.max(1));
+            } else {
+                let _ = writeln!(out, "  --> {}", v.file);
+            }
+        }
+        if !self.allows_used.is_empty() {
+            let _ = writeln!(out, "note: {} allow(s) in effect:", self.allows_used.len());
+            let mut allows: Vec<&UsedAllow> = self.allows_used.iter().collect();
+            allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+            for a in allows {
+                let _ = writeln!(
+                    out,
+                    "  {}:{} allow({}) — {}",
+                    a.file, a.line, a.rule, a.reason
+                );
+            }
+        }
+        let _ = writeln!(out, "{}", self.summary_line());
+        out
+    }
+
+    /// One-line verdict with per-rule counts.
+    pub fn summary_line(&self) -> String {
+        if self.is_clean() {
+            return format!(
+                "diagnet-lint: clean — {} files scanned, {} allow(s) in effect",
+                self.files_scanned,
+                self.allows_used.len()
+            );
+        }
+        let mut parts = Vec::new();
+        for rule in Rule::all() {
+            let n = self.violations.iter().filter(|v| v.rule == rule).count();
+            if n > 0 {
+                parts.push(format!("{} {}", n, rule.slug()));
+            }
+        }
+        format!(
+            "diagnet-lint: {} violation(s) ({}) across {} files scanned",
+            self.violations.len(),
+            parts.join(", "),
+            self.files_scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 5,
+            msg: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_summary_only() {
+        let r = Report {
+            files_scanned: 10,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.render().contains("clean — 10 files scanned"));
+    }
+
+    #[test]
+    fn violations_render_rustc_style_sorted_by_file_then_line() {
+        let r = Report {
+            violations: vec![
+                v(Rule::Panic, "crates/b.rs", 9),
+                v(Rule::HashIter, "crates/a.rs", 3),
+            ],
+            allows_used: vec![],
+            files_scanned: 2,
+        };
+        let text = r.render();
+        let a = text.find("crates/a.rs:3").expect("a.rs diagnostic");
+        let b = text.find("crates/b.rs:9").expect("b.rs diagnostic");
+        assert!(a < b);
+        assert!(text.contains("error[hash_iter]"));
+        assert!(text.contains("2 violation(s)"));
+        assert!(text.contains("1 panic"));
+        assert!(text.contains("1 hash_iter"));
+    }
+
+    #[test]
+    fn allows_are_listed_with_reasons() {
+        let r = Report {
+            violations: vec![],
+            allows_used: vec![UsedAllow {
+                rule: "panic".to_string(),
+                file: "crates/core/src/backend.rs".to_string(),
+                line: 74,
+                reason: "schema invariant".to_string(),
+            }],
+            files_scanned: 1,
+        };
+        let text = r.render();
+        assert!(text.contains("allow(panic) — schema invariant"));
+        assert!(text.contains("1 allow(s) in effect"));
+    }
+}

@@ -1,0 +1,220 @@
+//! In-source lint directives.
+//!
+//! Two comment forms steer the checker:
+//!
+//! * `// lint: allow(<rule>, reason = "...")` — suppress one violation of
+//!   `<rule>` on the same line (trailing comment) or on the next code line
+//!   (own-line comment). The reason is mandatory and every allow must be
+//!   *used*; a stale allow is itself a violation, so escapes can never
+//!   outlive the code they excuse.
+//! * `// lint: no_alloc` — marks the next `fn` as a zero-allocation hot
+//!   path; the `no_alloc` rule then polices its body.
+
+use crate::lexer::{Comment, Tok};
+
+/// A parsed `allow` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule slug the allow applies to (`panic`, `hash_iter`, …).
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line the directive comment sits on.
+    pub comment_line: usize,
+    /// Line of code the allow covers.
+    pub effective_line: usize,
+    /// Set when a rule suppresses a violation through this allow.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A `no_alloc` hot-path marker.
+#[derive(Debug, Clone)]
+pub struct NoAllocMarker {
+    /// Line the marker comment sits on; the rule binds it to the next `fn`.
+    pub line: usize,
+}
+
+/// A directive that could not be parsed — reported as a violation so typos
+/// never silently disable enforcement.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    /// Line of the bad comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub msg: String,
+}
+
+/// All directives found in one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub allows: Vec<Allow>,
+    pub no_alloc: Vec<NoAllocMarker>,
+    pub malformed: Vec<Malformed>,
+}
+
+impl Directives {
+    /// Try to consume an allow for `rule` covering `line`. Returns `true`
+    /// (and marks the allow used) when one matches.
+    pub fn consume_allow(&self, rule: &str, line: usize) -> bool {
+        for a in &self.allows {
+            if a.rule == rule && a.effective_line == line {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Extract directives from a file's comments. `tokens` is used to resolve
+/// which code line an own-line directive covers (the next line holding a
+/// token after the comment).
+pub fn parse(comments: &[Comment], tokens: &[Tok]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        let Some(body) = c.text.strip_prefix("lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        if body == "no_alloc" {
+            out.no_alloc.push(NoAllocMarker { line: c.line });
+            continue;
+        }
+        if let Some(args) = body
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            match parse_allow_args(args) {
+                Ok((rule, reason)) => {
+                    let effective_line = if c.own_line {
+                        next_code_line(tokens, c.line).unwrap_or(c.line)
+                    } else {
+                        c.line
+                    };
+                    out.allows.push(Allow {
+                        rule,
+                        reason,
+                        comment_line: c.line,
+                        effective_line,
+                        used: std::cell::Cell::new(false),
+                    });
+                }
+                Err(msg) => out.malformed.push(Malformed { line: c.line, msg }),
+            }
+            continue;
+        }
+        out.malformed.push(Malformed {
+            line: c.line,
+            msg: format!(
+                "unrecognised lint directive `{body}` (expected `allow(<rule>, reason = \"...\")` or `no_alloc`)"
+            ),
+        });
+    }
+    out
+}
+
+fn parse_allow_args(args: &str) -> Result<(String, String), String> {
+    let (rule, rest) = match args.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => {
+            return Err(format!(
+                "allow({args}) is missing a reason; write `allow({}, reason = \"...\")`",
+                args.trim()
+            ))
+        }
+    };
+    if rule.is_empty() || !rule.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_') {
+        return Err(format!("`{rule}` is not a rule slug"));
+    }
+    let Some(value) = rest
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim_start())
+    else {
+        return Err(format!("expected `reason = \"...\"`, found `{rest}`"));
+    };
+    let Some(reason) = value
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .filter(|r| !r.trim().is_empty())
+    else {
+        return Err("allow reason must be a non-empty quoted string".to_string());
+    };
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+fn next_code_line(tokens: &[Tok], after: usize) -> Option<usize> {
+    tokens.iter().map(|t| t.line).find(|&l| l > after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Directives {
+        let lexed = lex(src);
+        parse(&lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let d =
+            parse_src("let x = v.unwrap(); // lint: allow(panic, reason = \"checked above\")\n");
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].rule, "panic");
+        assert_eq!(d.allows[0].effective_line, 1);
+        assert!(d.consume_allow("panic", 1));
+        assert!(d.allows[0].used.get());
+    }
+
+    #[test]
+    fn own_line_allow_covers_the_next_code_line() {
+        let d = parse_src(
+            "// lint: allow(hash_iter, reason = \"lookup only\")\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(d.allows[0].effective_line, 2);
+        assert!(!d.consume_allow("hash_iter", 1));
+        assert!(d.consume_allow("hash_iter", 2));
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_match() {
+        let d = parse_src("x(); // lint: allow(panic, reason = \"r\")\n");
+        assert!(!d.consume_allow("hash_iter", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let d = parse_src("// lint: allow(panic)\n");
+        assert!(d.allows.is_empty());
+        assert_eq!(d.malformed.len(), 1);
+        assert!(d.malformed[0].msg.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let d = parse_src("// lint: allow(panic, reason = \"\")\n");
+        assert_eq!(d.malformed.len(), 1);
+    }
+
+    #[test]
+    fn unknown_directive_is_malformed() {
+        let d = parse_src("// lint: allwo(panic, reason = \"typo\")\n");
+        assert_eq!(d.malformed.len(), 1);
+    }
+
+    #[test]
+    fn no_alloc_marker_is_recorded() {
+        let d = parse_src("// lint: no_alloc\nfn kernel() {}\n");
+        assert_eq!(d.no_alloc.len(), 1);
+        assert_eq!(d.no_alloc[0].line, 1);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let d = parse_src("// plain comment mentioning lint rules\nfn f() {}\n");
+        assert!(d.allows.is_empty() && d.no_alloc.is_empty() && d.malformed.is_empty());
+    }
+}

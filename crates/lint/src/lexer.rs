@@ -1,0 +1,472 @@
+//! A small Rust lexer: just enough tokenization for the invariant rules.
+//!
+//! The scanner understands line/doc comments, (nested) block comments,
+//! string/raw-string/byte-string literals, char literals vs. lifetimes,
+//! numbers, identifiers, and punctuation — everything needed so the rules
+//! never mistake the *contents* of a string or comment for code. It does
+//! not build an AST; the rules work on the token stream plus brace
+//! matching, which is exact for the patterns they police.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); `text` is
+    /// the *unquoted* content for plain strings, raw content for raw ones.
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Number literal (`0`, `1.5e3`, `0x7E`).
+    Num,
+    /// Single punctuation character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind::Str`] for string semantics).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column of the token start.
+    pub col: usize,
+}
+
+/// One comment with its position. `text` excludes the `//` / `/*` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without delimiters, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+/// Lexer output: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments (line and block) in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Invalid UTF-8 is not expected (sources come from this
+/// repository); bytes ≥ 0x80 are folded into identifiers, which is good
+/// enough for the rules.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut line_start = true;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' => {
+                cur.bump();
+            }
+            b'\n' => {
+                cur.bump();
+                line_start = true;
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b' ') as char);
+                }
+                let body = text.trim_start_matches('/').trim().to_string();
+                out.comments.push(Comment {
+                    text: body,
+                    line,
+                    own_line: line_start,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            text.push(cur.bump().unwrap_or(b' ') as char);
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: text.trim().to_string(),
+                    line,
+                    own_line: line_start,
+                });
+            }
+            b'"' => {
+                let content = lex_string(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+            b'r' | b'b' if raw_string_lookahead(&cur) => {
+                let content = lex_raw_or_byte_string(&mut cur);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`). A
+                // lifetime is a quote + ident with no closing quote.
+                let tok = lex_quote(&mut cur);
+                out.tokens.push(Tok {
+                    kind: tok.0,
+                    text: tok.1,
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+            _ if is_ident_start(b) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'_') as char);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+            _ if b.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    // Accept the whole spelling incl. `0x`, `_`, `.`, `e±`.
+                    let next_is_digit =
+                        |cur: &Cursor<'_>| cur.peek_at(1).is_some_and(|d| d.is_ascii_digit());
+                    let take = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'.' && next_is_digit(&cur))
+                        || ((c == b'+' || c == b'-')
+                            && matches!(text.bytes().last(), Some(b'e') | Some(b'E')));
+                    if !take {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'0') as char);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text,
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+                line_start = false;
+            }
+        }
+        if b != b'\n' {
+            // `line_start` handled per-arm above; any non-newline token or
+            // whitespace keeps the current value set there.
+        }
+    }
+    out
+}
+
+fn raw_string_lookahead(cur: &Cursor<'_>) -> bool {
+    // r"…", r#"…"#, br"…", b"…", br#"…"#
+    let b0 = cur.peek();
+    match b0 {
+        Some(b'r') => {
+            let mut i = 1;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        Some(b'b') => match cur.peek_at(1) {
+            Some(b'"') => true,
+            Some(b'r') => {
+                let mut i = 2;
+                while cur.peek_at(i) == Some(b'#') {
+                    i += 1;
+                }
+                cur.peek_at(i) == Some(b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let mut content = String::new();
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    content.push('\\');
+                    content.push(esc as char);
+                }
+            }
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            _ => content.push(cur.bump().unwrap_or(b' ') as char),
+        }
+    }
+    content
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) -> String {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'"') {
+        return lex_string(cur);
+    }
+    cur.bump(); // 'r'
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let mut content = String::new();
+    'outer: while let Some(c) = cur.peek() {
+        if c == b'"' {
+            // Check for closing quote + the right number of hashes.
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek_at(1 + i) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        content.push(cur.bump().unwrap_or(b' ') as char);
+    }
+    content
+}
+
+fn lex_quote(cur: &mut Cursor<'_>) -> (TokKind, String) {
+    cur.bump(); // opening quote
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+    if cur.peek() == Some(b'\\') {
+        let mut text = String::new();
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c == b'\'' {
+                cur.bump();
+                break;
+            }
+            text.push(cur.bump().unwrap_or(b' ') as char);
+        }
+        return (TokKind::Char, text);
+    }
+    // `'x'` (char) vs `'ident` (lifetime): look one past the next char.
+    if cur.peek().is_some_and(is_ident_start) {
+        let mut text = String::new();
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(cur.bump().unwrap_or(b'_') as char);
+        }
+        if cur.peek() == Some(b'\'') && text.chars().count() == 1 {
+            cur.bump();
+            return (TokKind::Char, text);
+        }
+        return (TokKind::Lifetime, text);
+    }
+    // `'x'` where x is punctuation/digit — a char literal.
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == b'\'' {
+            cur.bump();
+            break;
+        }
+        text.push(cur.bump().unwrap_or(b' ') as char);
+    }
+    (TokKind::Char, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in a /* nested */ block */
+            let s = "don't unwrap() here";
+            let r = r#"raw panic!"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()), "{ids:?}");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap in a comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a \" b"; next"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("a \\\" b"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "next"));
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_hex() {
+        let lexed = lex("let a = 1.5e-3; let b = 0x7E7E; let c = 1_000;");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0x7E7E", "1_000"]);
+    }
+}

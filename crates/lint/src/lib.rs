@@ -1,0 +1,34 @@
+//! diagnet-lint: the workspace invariant checker.
+//!
+//! Four rule families keep the serving stack honest, mechanically:
+//!
+//! * **panic** — the serving-path modules (platform service/registry/
+//!   supervisor/admission, core backend/ranking/instrument, CLI commands)
+//!   must not `unwrap`/`expect`/`panic!`/index; a probe must get a ranked
+//!   answer or a typed error, never an abort.
+//! * **hash_iter** — scoring/training/persistence crates must use ordered
+//!   maps; `HashMap` iteration order would leak into rankings, artefacts,
+//!   and golden files.
+//! * **no_alloc** — `// lint: no_alloc`-marked kernels (nn workspace
+//!   forward/backward, core batch scoring) must not allocate.
+//! * **metrics_doc** — metric name literals and OBSERVABILITY.md must
+//!   stay the same set, both directions.
+//!
+//! Escapes are explicit, justified, and counted:
+//! `// lint: allow(<rule>, reason = "...")` suppresses exactly one
+//! finding and becomes a violation itself the moment it stops matching.
+//!
+//! The checker is dependency-free by design: it lexes Rust with its own
+//! scanner (`lexer`), so it builds wherever the workspace builds,
+//! including offline environments. Run it as
+//! `cargo run -p diagnet-lint -- check`.
+
+pub mod check;
+pub mod diagnostics;
+pub mod directives;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use check::{check_file, check_workspace, resolve_root};
+pub use diagnostics::{Report, Rule, UsedAllow, Violation};

@@ -1,0 +1,59 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! diagnet-lint check [--root PATH]   # exit 0 clean, 1 violations, 2 usage
+//! diagnet-lint rules                 # list the rule families
+//! ```
+
+use diagnet_lint::diagnostics::Rule;
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let mut root = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(path) => root = Some(path.clone()),
+                        None => return usage("--root needs a path"),
+                    },
+                    other => return usage(&format!("unknown option `{other}`")),
+                }
+            }
+            let root = match diagnet_lint::resolve_root(root.as_deref()) {
+                Ok(r) => r,
+                Err(e) => return usage(&e),
+            };
+            match diagnet_lint::check_workspace(&root) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.is_clean() {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                Err(e) => usage(&e),
+            }
+        }
+        Some("rules") => {
+            for rule in Rule::all() {
+                println!("{:<12} {}", rule.slug(), rule.describe());
+            }
+            0
+        }
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("no command given"),
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    eprintln!("diagnet-lint: {err}");
+    eprintln!("usage: diagnet-lint check [--root PATH] | diagnet-lint rules");
+    2
+}

@@ -1,0 +1,91 @@
+//! Rule `hash_iter`: determinism-sensitive crates must not use hashed
+//! collections.
+//!
+//! `HashMap`/`HashSet` iteration order varies run-to-run (and across
+//! std versions), so any scoring, training, or persistence path that
+//! iterates one leaks that order into results, artefacts, or logs. Rather
+//! than chase iteration sites, the rule bans the types outright in scoped
+//! crates — `BTreeMap`/`BTreeSet` are the workspace default, and a
+//! genuinely lookup-only map can carry an allow with its justification.
+
+use super::FileCtx;
+use crate::diagnostics::{Rule, Violation};
+
+const HASHED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Scan one file. The caller decides whether the file is in scope.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident_at(i) else {
+            continue;
+        };
+        if !HASHED_TYPES.contains(&name) {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        let ordered = if name == "HashMap" {
+            "BTreeMap"
+        } else {
+            "BTreeSet"
+        };
+        ctx.report(
+            out,
+            Rule::HashIter,
+            t.line,
+            t.col,
+            format!(
+                "`{name}` on a determinism-sensitive path: iteration order is unstable; use `{ordered}` (or justify a lookup-only map with an allow)"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+        let ctx = FileCtx::new("crates/core/src/x.rs", &lexed.tokens, &dirs);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_and_hashset_fire() {
+        let out = run("use std::collections::{HashMap, HashSet};\nfn f(m: HashMap<u32, u32>) {}");
+        assert_eq!(out.len(), 3);
+        assert!(out[0].msg.contains("BTreeMap"));
+        assert!(out[1].msg.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn btree_types_do_not_fire() {
+        let out = run("use std::collections::{BTreeMap, BTreeSet};\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = run("#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let out = run(
+            "// lint: allow(hash_iter, reason = \"lookup only, never iterated\")\nuse std::collections::HashMap;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn doc_strings_do_not_fire() {
+        let out = run("fn f() { let s = \"HashMap is mentioned here\"; }");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Rule `metrics_doc`: metric names in code ⇔ OBSERVABILITY.md.
+//!
+//! Code side: every string literal that fully matches `diagnet_[a-z0-9_]+`
+//! outside test code is treated as a metric name (in practice these are the
+//! `pub const …: &str = "diagnet_…"` declarations next to each subsystem).
+//! Doc side: every backticked token in OBSERVABILITY.md matching the same
+//! shape. The two sets must be equal — an undocumented metric and a
+//! documented-but-gone metric are both violations, so the doc can never
+//! drift from the binary.
+
+use super::FileCtx;
+use crate::diagnostics::{Rule, Violation};
+use crate::lexer::TokKind;
+use crate::scope;
+
+/// Crate-name strings that share the `diagnet_` prefix but are not
+/// metrics; they may appear in CLI help or artefact JSON.
+const NON_METRIC_NAMES: &[&str] = &[
+    "diagnet_nn",
+    "diagnet_sim",
+    "diagnet_rng",
+    "diagnet_eval",
+    "diagnet_bayes",
+    "diagnet_forest",
+    "diagnet_obs",
+    "diagnet_platform",
+    "diagnet_cli",
+    "diagnet_bench",
+    "diagnet_lint",
+    "diagnet_core",
+];
+
+/// A metric-name literal found in code.
+#[derive(Debug, Clone)]
+pub struct CodeName {
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// True when `s` has the canonical metric-name shape.
+pub fn is_metric_shape(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("diagnet_") else {
+        return false;
+    };
+    !rest.is_empty()
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Collect metric-name literals from one file (test code excluded).
+pub fn collect(ctx: &FileCtx<'_>) -> Vec<CodeName> {
+    let mut out = Vec::new();
+    for t in ctx.tokens {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        if !is_metric_shape(&t.text) || NON_METRIC_NAMES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if scope::in_ranges(&ctx.test_ranges, t.line) {
+            continue;
+        }
+        out.push(CodeName {
+            name: t.text.clone(),
+            file: ctx.rel.to_string(),
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
+/// Backticked metric names in a markdown document, with their lines.
+pub fn doc_names(md: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in md.lines().enumerate() {
+        let mut parts = line.split('`');
+        parts.next(); // text before the first backtick
+                      // Every odd-numbered split segment sits between backticks.
+        let mut inside = true;
+        for seg in parts {
+            if inside && is_metric_shape(seg) && !NON_METRIC_NAMES.contains(&seg) {
+                out.push((seg.to_string(), idx + 1));
+            }
+            inside = !inside;
+        }
+    }
+    out
+}
+
+/// Compare both directions and push violations.
+pub fn cross_check(
+    code: &[CodeName],
+    doc: &[(String, usize)],
+    doc_file: &str,
+    out: &mut Vec<Violation>,
+) {
+    use std::collections::BTreeSet;
+    let code_set: BTreeSet<&str> = code.iter().map(|c| c.name.as_str()).collect();
+    let doc_set: BTreeSet<&str> = doc.iter().map(|(n, _)| n.as_str()).collect();
+
+    let mut reported: BTreeSet<&str> = BTreeSet::new();
+    for c in code {
+        if !doc_set.contains(c.name.as_str()) && reported.insert(c.name.as_str()) {
+            out.push(Violation {
+                rule: Rule::MetricsDoc,
+                file: c.file.clone(),
+                line: c.line,
+                col: c.col,
+                msg: format!("metric `{}` is not documented in {doc_file}", c.name),
+            });
+        }
+    }
+    for (name, line) in doc {
+        if !code_set.contains(name.as_str()) && reported.insert(name.as_str()) {
+            out.push(Violation {
+                rule: Rule::MetricsDoc,
+                file: doc_file.to_string(),
+                line: *line,
+                col: 1,
+                msg: format!("documented metric `{name}` no longer exists in code"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives;
+    use crate::lexer::lex;
+
+    fn collect_src(src: &str) -> Vec<CodeName> {
+        let lexed = lex(src);
+        let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+        let ctx = FileCtx::new("crates/x/src/lib.rs", &lexed.tokens, &dirs);
+        collect(&ctx)
+    }
+
+    #[test]
+    fn const_declarations_are_collected() {
+        let names = collect_src("pub const M: &str = \"diagnet_rank_seconds\";");
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].name, "diagnet_rank_seconds");
+    }
+
+    #[test]
+    fn crate_names_and_non_metric_strings_are_not() {
+        let names = collect_src(
+            "const A: &str = \"diagnet_obs\"; const B: &str = \"diagnet-lint\"; const C: &str = \"Diagnet_X\";",
+        );
+        assert!(names.is_empty(), "{names:?}");
+    }
+
+    #[test]
+    fn test_code_literals_are_ignored() {
+        let names =
+            collect_src("#[cfg(test)]\nmod tests { const M: &str = \"diagnet_fake_total\"; }");
+        assert!(names.is_empty());
+    }
+
+    #[test]
+    fn doc_names_reads_backticked_tokens_only() {
+        let md = "The counter `diagnet_rank_total` and plain diagnet_unticked_total,\nplus `diagnet_obs::Snapshot` which is a type path.\n| `diagnet_rank_seconds` | histogram |";
+        let names = doc_names(md);
+        let just: Vec<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(just, vec!["diagnet_rank_total", "diagnet_rank_seconds"]);
+        assert_eq!(names[1].1, 3);
+    }
+
+    #[test]
+    fn cross_check_flags_both_directions_once_per_name() {
+        let code = vec![
+            CodeName {
+                name: "diagnet_a_total".into(),
+                file: "crates/x.rs".into(),
+                line: 1,
+                col: 1,
+            },
+            CodeName {
+                name: "diagnet_a_total".into(),
+                file: "crates/y.rs".into(),
+                line: 2,
+                col: 1,
+            },
+        ];
+        let doc = vec![("diagnet_b_total".to_string(), 7)];
+        let mut out = Vec::new();
+        cross_check(&code, &doc, "OBSERVABILITY.md", &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].msg.contains("not documented"));
+        assert!(out[1].msg.contains("no longer exists"));
+        assert_eq!(out[1].file, "OBSERVABILITY.md");
+        assert_eq!(out[1].line, 7);
+    }
+
+    #[test]
+    fn matching_sets_are_clean() {
+        let code = vec![CodeName {
+            name: "diagnet_a_total".into(),
+            file: "f".into(),
+            line: 1,
+            col: 1,
+        }];
+        let doc = vec![("diagnet_a_total".to_string(), 1)];
+        let mut out = Vec::new();
+        cross_check(&code, &doc, "OBSERVABILITY.md", &mut out);
+        assert!(out.is_empty());
+    }
+}

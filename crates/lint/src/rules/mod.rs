@@ -1,0 +1,80 @@
+//! The rule families and the per-file context they share.
+
+pub mod hash_iter;
+pub mod metrics_doc;
+pub mod no_alloc;
+pub mod panic;
+
+use crate::diagnostics::{Rule, Violation};
+use crate::directives::Directives;
+use crate::lexer::{Tok, TokKind};
+use crate::scope;
+
+/// Everything a rule needs to scan one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel: &'a str,
+    /// Code tokens (comments stripped).
+    pub tokens: &'a [Tok],
+    /// Parsed `lint:` directives.
+    pub directives: &'a Directives,
+    /// Line ranges of `#[cfg(test)]`-gated items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build a context; computes the test ranges from the tokens.
+    pub fn new(rel: &'a str, tokens: &'a [Tok], directives: &'a Directives) -> Self {
+        FileCtx {
+            rel,
+            tokens,
+            directives,
+            test_ranges: scope::test_ranges(tokens),
+        }
+    }
+
+    /// Record a violation unless it sits in test code or an allow covers
+    /// it (the allow is consumed either way it matches).
+    pub fn report(
+        &self,
+        out: &mut Vec<Violation>,
+        rule: Rule,
+        line: usize,
+        col: usize,
+        msg: String,
+    ) {
+        if scope::in_ranges(&self.test_ranges, line) {
+            return;
+        }
+        if self.directives.consume_allow(rule.slug(), line) {
+            return;
+        }
+        out.push(Violation {
+            rule,
+            file: self.rel.to_string(),
+            line,
+            col,
+            msg,
+        });
+    }
+
+    /// Token accessors used by the rules.
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        self.tokens
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    /// True when token `i` is the punctuation `text`.
+    pub fn punct_at(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+    }
+
+    /// True when tokens `i..` spell `::` (two adjacent colon puncts).
+    pub fn path_sep_at(&self, i: usize) -> bool {
+        self.punct_at(i, ":") && self.punct_at(i + 1, ":")
+    }
+}

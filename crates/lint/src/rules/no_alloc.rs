@@ -1,0 +1,212 @@
+//! Rule `no_alloc`: marked hot-path functions must not allocate.
+//!
+//! A `// lint: no_alloc` comment binds to the next `fn`; the rule then
+//! scans that function's body for allocating constructs:
+//!
+//! * collection/string/box construction (`Vec::new`, `String::from`,
+//!   `Box::new`, `vec![…]`, `format!`, …);
+//! * growing or materialising calls (`.push`, `.collect`, `.to_vec`,
+//!   `.to_owned`, `.to_string`, `.clone`, `.extend`, `.insert`,
+//!   `.reserve`, `.resize`, `.append`).
+//!
+//! The kernels this guards (`diagnet-nn` workspace forward/backward, core
+//! batch scoring) write into caller-provided buffers; any allocation there
+//! is a regression the benches would only catch statistically.
+
+use super::FileCtx;
+use crate::diagnostics::{Rule, Violation};
+use crate::lexer::TokKind;
+
+const ALLOCATING_METHODS: &[&str] = &[
+    "push",
+    "extend",
+    "insert",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "reserve",
+    "resize",
+    "with_capacity",
+    "append",
+];
+
+const ALLOCATING_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+const CONSTRUCTORS: &[&str] = &["new", "with_capacity", "from", "default"];
+
+const ALLOCATING_MACROS: &[&str] = &["vec", "format"];
+
+/// Scan one file's `no_alloc`-marked functions.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for marker in &ctx.directives.no_alloc {
+        let Some((fn_name, fn_line, body)) = fn_after(ctx, marker.line) else {
+            ctx.report(
+                out,
+                Rule::NoAlloc,
+                marker.line,
+                1,
+                "`lint: no_alloc` marker is not followed by a `fn`".to_string(),
+            );
+            continue;
+        };
+        scan_body(ctx, &fn_name, fn_line, body, out);
+    }
+}
+
+/// Find the first `fn` strictly after `line`; returns its name, line, and
+/// the token index range of its brace-delimited body.
+fn fn_after(ctx: &FileCtx<'_>, line: usize) -> Option<(String, usize, std::ops::Range<usize>)> {
+    let toks = ctx.tokens;
+    let fn_idx = (0..toks.len())
+        .find(|&i| toks[i].line > line && toks[i].kind == TokKind::Ident && toks[i].text == "fn")?;
+    let name = ctx.ident_at(fn_idx + 1)?.to_string();
+    // Body = first `{ … }` after the signature. Signatures contain no
+    // braces (where-clauses and generics are brace-free), so the first
+    // `{` is the body open.
+    let open = (fn_idx..toks.len()).find(|&i| ctx.punct_at(i, "{"))?;
+    let mut depth = 1usize;
+    let mut close = open + 1;
+    while close < toks.len() && depth > 0 {
+        if ctx.punct_at(close, "{") {
+            depth += 1;
+        } else if ctx.punct_at(close, "}") {
+            depth -= 1;
+        }
+        close += 1;
+    }
+    (depth == 0).then(|| (name, toks[fn_idx].line, open + 1..close - 1))
+}
+
+fn scan_body(
+    ctx: &FileCtx<'_>,
+    fn_name: &str,
+    _fn_line: usize,
+    body: std::ops::Range<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = ctx.tokens;
+    for i in body.clone() {
+        // `.push(` etc.
+        if ctx.punct_at(i, ".") {
+            if let Some(m) = ctx.ident_at(i + 1) {
+                if ALLOCATING_METHODS.contains(&m) && ctx.punct_at(i + 2, "(") {
+                    let t = &toks[i + 1];
+                    ctx.report(
+                        out,
+                        Rule::NoAlloc,
+                        t.line,
+                        t.col,
+                        format!("`.{m}()` allocates inside `no_alloc` fn `{fn_name}`; write into a caller-provided buffer"),
+                    );
+                }
+            }
+            continue;
+        }
+        if let Some(name) = ctx.ident_at(i) {
+            // `Vec::new(` etc.
+            if ALLOCATING_TYPES.contains(&name) && ctx.path_sep_at(i + 1) {
+                if let Some(ctor) = ctx.ident_at(i + 3) {
+                    if CONSTRUCTORS.contains(&ctor) {
+                        let t = &toks[i];
+                        ctx.report(
+                            out,
+                            Rule::NoAlloc,
+                            t.line,
+                            t.col,
+                            format!("`{name}::{ctor}` allocates inside `no_alloc` fn `{fn_name}`"),
+                        );
+                    }
+                }
+                continue;
+            }
+            // `vec![…]` / `format!(…)`.
+            if ALLOCATING_MACROS.contains(&name) && ctx.punct_at(i + 1, "!") {
+                let t = &toks[i];
+                ctx.report(
+                    out,
+                    Rule::NoAlloc,
+                    t.line,
+                    t.col,
+                    format!("`{name}!` allocates inside `no_alloc` fn `{fn_name}`"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+        let ctx = FileCtx::new("crates/nn/src/x.rs", &lexed.tokens, &dirs);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unmarked_functions_are_not_scanned() {
+        let out = run("fn free() { let v: Vec<u32> = Vec::new(); v.push(1); }");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn marked_function_flags_constructors_and_growth() {
+        let src = "// lint: no_alloc\nfn kernel(out: &mut [f32]) {\n  let v = Vec::new();\n  v.push(1.0);\n  let s = format!(\"x\");\n}";
+        let out = run(src);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|v| v.msg.contains("kernel")));
+    }
+
+    #[test]
+    fn marker_scope_ends_at_the_function_close_brace() {
+        let src = "// lint: no_alloc\nfn kernel(out: &mut [f32]) { out[0] = 1.0; }\nfn free() { let v = vec![1]; }";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn nested_closures_inside_marked_fn_are_scanned() {
+        let src = "// lint: no_alloc\nfn kernel(xs: &[f32]) -> f32 { xs.iter().map(|x| x.clone()).sum() }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("clone"));
+    }
+
+    #[test]
+    fn non_allocating_body_is_clean() {
+        let src = "// lint: no_alloc\nfn kernel(a: &[f32], out: &mut [f32]) {\n  for (o, x) in out.iter_mut().zip(a.iter()) { *o = x.max(0.0); }\n}";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn dangling_marker_is_reported() {
+        let out = run("// lint: no_alloc\nconst N: usize = 4;\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("not followed"));
+    }
+
+    #[test]
+    fn allow_escapes_one_site() {
+        let src = "// lint: no_alloc\nfn kernel(n: usize) {\n  let scratch = Vec::with_capacity(n); // lint: allow(no_alloc, reason = \"one-time setup before the loop\")\n}";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn generic_signature_does_not_confuse_body_detection() {
+        let src = "// lint: no_alloc\nfn kernel<T: Copy>(xs: &[T]) -> usize where T: PartialOrd { xs.len() }";
+        let out = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Rule `panic`: serving-path modules must be panic-free.
+//!
+//! Flags, outside test code:
+//! * `.unwrap()` / `.expect(…)` calls;
+//! * panicking macros: `panic!`, `unreachable!`, `unimplemented!`,
+//!   `todo!`, `assert!`, `assert_eq!`, `assert_ne!` (the `debug_assert*`
+//!   family is allowed — compiled out of release serving binaries);
+//! * direct indexing `x[i]` / slicing `x[a..b]` — use `.get()` /
+//!   `.get_mut()` or an allow with a stated invariant.
+
+use super::FileCtx;
+use crate::diagnostics::{Rule, Violation};
+use crate::lexer::TokKind;
+
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+const PANICKY_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "unimplemented",
+    "todo",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (`&mut [f32]`, `let [a, b] = …`, `dyn [..]`-adjacent forms).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "ref", "move", "as", "in", "return", "break", "continue", "else", "match", "if",
+    "while", "for", "loop", "let", "const", "static", "crate", "pub", "use", "where", "fn", "impl",
+    "trait", "type", "enum", "struct", "mod", "unsafe", "async", "await", "box", "yield",
+];
+
+/// Scan one file. The caller decides whether the file is in scope.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        // `.unwrap(` / `.expect(`
+        if ctx.punct_at(i, ".") {
+            if let Some(name) = ctx.ident_at(i + 1) {
+                if PANICKY_METHODS.contains(&name) && ctx.punct_at(i + 2, "(") {
+                    let t = &toks[i + 1];
+                    ctx.report(
+                        out,
+                        Rule::Panic,
+                        t.line,
+                        t.col,
+                        format!("`.{name}()` can panic on a serving path; return a typed error or use `unwrap_or_else`"),
+                    );
+                }
+            }
+            continue;
+        }
+        // `panic!(` and friends — an ident directly followed by `!` and `(`.
+        if let Some(name) = ctx.ident_at(i) {
+            if PANICKY_MACROS.contains(&name)
+                && ctx.punct_at(i + 1, "!")
+                && (ctx.punct_at(i + 2, "(")
+                    || ctx.punct_at(i + 2, "[")
+                    || ctx.punct_at(i + 2, "{"))
+            {
+                let t = &toks[i];
+                ctx.report(
+                    out,
+                    Rule::Panic,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{name}!` aborts the serving path; handle the case or return an error"
+                    ),
+                );
+            }
+            continue;
+        }
+        // Indexing: `[` preceded by an expression-ending token.
+        if ctx.punct_at(i, "[") && i > 0 {
+            let prev = &toks[i - 1];
+            let is_index = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if is_index {
+                let t = &toks[i];
+                ctx.report(
+                    out,
+                    Rule::Panic,
+                    t.line,
+                    t.col,
+                    "direct indexing can panic on a serving path; use `.get()`/`.get_mut()` or state the bound invariant in an allow".to_string(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+        let ctx = FileCtx::new("crates/x/src/lib.rs", &lexed.tokens, &dirs);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let out = run("fn f() { a.unwrap(); b.expect(\"x\"); }");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let out = run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 0); c.unwrap_or_default(); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn panicky_macros_fire_but_debug_assert_does_not() {
+        let out = run("fn f() { assert!(x); debug_assert!(x); debug_assert_eq!(a, b); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("assert!"));
+        let out = run("fn f() { unreachable!(\"no\") }");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn indexing_fires_but_types_and_patterns_do_not() {
+        let out = run("fn f(xs: &[f32], m: &mut [u8]) { let y = xs[0]; let [a, b] = pair; let t: [u8; 4] = arr; }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("indexing"));
+    }
+
+    #[test]
+    fn slicing_and_chained_indexing_fire() {
+        let out = run("fn f() { let a = &xs[..n]; let b = m[i][j]; let c = (v)[0]; }");
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn attributes_and_vec_macro_brackets_do_not_fire() {
+        let out = run("#[derive(Clone)]\n#[allow(dead_code)]\nfn f() { let v = vec![1, 2]; }");
+        // `vec![…]` is `vec` `!` `[` — the `[` is preceded by `!`, not an
+        // expression end, so only zero findings here.
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = run("fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src = "fn f() { a.unwrap(); // lint: allow(panic, reason = \"checked\")\n }";
+        let lexed = lex(src);
+        let dirs = directives::parse(&lexed.comments, &lexed.tokens);
+        let ctx = FileCtx::new("crates/x/src/lib.rs", &lexed.tokens, &dirs);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(dirs.allows[0].used.get());
+    }
+
+    #[test]
+    fn strings_mentioning_panics_do_not_fire() {
+        let out = run("fn f() { log(\"call .unwrap() here\"); }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixture suite: proves each rule family fires on known-bad code and
+//! stays quiet on known-good code. Every fixture under
+//! `tests/fixtures/fail/` must produce the violations listed here;
+//! every fixture under `tests/fixtures/pass/` must come back clean.
+//! A catch-all test keeps the fixture directories and this table in
+//! sync, so adding a fixture without wiring it up fails the build.
+
+use diagnet_lint::rules::metrics_doc;
+use diagnet_lint::{check_file, Report, Rule};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Run one fixture through the per-file rules under an assumed
+/// workspace-relative path (scoping is path-driven).
+fn run(src: &str, as_rel: &str) -> (Report, Vec<metrics_doc::CodeName>) {
+    let mut report = Report::default();
+    let mut names = Vec::new();
+    check_file(as_rel, src, &mut report, &mut names);
+    (report, names)
+}
+
+fn rule_counts(report: &Report) -> BTreeMap<Rule, usize> {
+    let mut counts = BTreeMap::new();
+    for v in &report.violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+// ---------------------------------------------------------------- fail/
+
+#[test]
+fn fail_panic_unwrap_fires_on_every_construct() {
+    let src = include_str!("fixtures/fail/panic_unwrap.rs");
+    let (report, _) = run(src, "crates/platform/src/service.rs");
+    let counts = rule_counts(&report);
+    assert_eq!(
+        counts.get(&Rule::Panic),
+        Some(&6),
+        "expected unwrap, expect, panic!, unreachable!, indexing, and assert! \
+         to each fire once: {:#?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1, "only the panic rule should fire");
+}
+
+#[test]
+fn fail_panic_fixture_is_clean_outside_the_serving_scope() {
+    let src = include_str!("fixtures/fail/panic_unwrap.rs");
+    let (report, _) = run(src, "crates/sim/src/world.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn fail_hash_map_fires_per_mention() {
+    let src = include_str!("fixtures/fail/hash_map.rs");
+    let (report, _) = run(src, "crates/core/src/aggregate.rs");
+    let counts = rule_counts(&report);
+    assert_eq!(
+        counts.get(&Rule::HashIter),
+        Some(&6),
+        "use-line (2) + type positions (2) + constructors (2): {:#?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+}
+
+#[test]
+fn fail_no_alloc_fires_on_marked_fns_only() {
+    let src = include_str!("fixtures/fail/no_alloc_viol.rs");
+    let (report, _) = run(src, "crates/nn/src/kernel.rs");
+    let counts = rule_counts(&report);
+    // hot(): to_vec, push, collect, format!; constructor(): with_capacity.
+    assert_eq!(
+        counts.get(&Rule::NoAlloc),
+        Some(&5),
+        "{:#?}",
+        report.violations
+    );
+    assert_eq!(counts.len(), 1);
+}
+
+#[test]
+fn fail_stale_allow_is_directive_hygiene() {
+    let src = include_str!("fixtures/fail/stale_allow.rs");
+    let (report, _) = run(src, "crates/platform/src/service.rs");
+    let counts = rule_counts(&report);
+    // Stale allow + unknown slug + reasonless (malformed) allow.
+    assert_eq!(
+        counts.get(&Rule::Directive),
+        Some(&3),
+        "{:#?}",
+        report.violations
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.msg.contains("unused allow(panic)")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.msg.contains("unknown rule")));
+}
+
+#[test]
+fn fail_metric_undocumented_cross_checks_both_directions() {
+    let src = include_str!("fixtures/fail/metric_undocumented.rs");
+    let (report, names) = run(src, "crates/platform/src/probes.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(names.len(), 1);
+    assert_eq!(names[0].name, "diagnet_bogus_total");
+
+    let doc = metrics_doc::doc_names("The doc knows `diagnet_documented_total` only.");
+    let mut violations = Vec::new();
+    metrics_doc::cross_check(&names, &doc, "OBSERVABILITY.md", &mut violations);
+    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.msg.contains("diagnet_bogus_total") && v.msg.contains("not documented")),
+        "code name missing from the doc must fire: {violations:#?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.msg.contains("diagnet_documented_total")),
+        "doc name missing from code must fire: {violations:#?}"
+    );
+}
+
+// ---------------------------------------------------------------- pass/
+
+#[test]
+fn pass_panic_clean_including_the_escape_hatch() {
+    let src = include_str!("fixtures/pass/panic_clean.rs");
+    let (report, _) = run(src, "crates/platform/src/service.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    assert_eq!(report.allows_used.len(), 1);
+    assert_eq!(report.allows_used[0].rule, "panic");
+}
+
+#[test]
+fn pass_btree_map_with_test_only_hashing() {
+    let src = include_str!("fixtures/pass/btree_map.rs");
+    let (report, _) = run(src, "crates/core/src/aggregate.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn pass_no_alloc_clean_kernels() {
+    let src = include_str!("fixtures/pass/no_alloc_clean.rs");
+    let (report, _) = run(src, "crates/nn/src/kernel.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn pass_metric_documented_matches_its_doc() {
+    let src = include_str!("fixtures/pass/metric_documented.rs");
+    let (report, names) = run(src, "crates/platform/src/probes.rs");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    let doc = metrics_doc::doc_names("The doc knows `diagnet_documented_total` only.");
+    let mut violations = Vec::new();
+    metrics_doc::cross_check(&names, &doc, "OBSERVABILITY.md", &mut violations);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+// ------------------------------------------------------- completeness
+
+/// Every fixture on disk is exercised by a test above (by name), so a
+/// fixture added without a matching test fails here.
+#[test]
+fn every_fixture_is_wired_up() {
+    let known: &[&str] = &[
+        "fail/panic_unwrap.rs",
+        "fail/hash_map.rs",
+        "fail/no_alloc_viol.rs",
+        "fail/stale_allow.rs",
+        "fail/metric_undocumented.rs",
+        "pass/panic_clean.rs",
+        "pass/btree_map.rs",
+        "pass/no_alloc_clean.rs",
+        "pass/metric_documented.rs",
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut on_disk = Vec::new();
+    for sub in ["pass", "fail"] {
+        let dir = root.join(sub);
+        for entry in std::fs::read_dir(&dir).expect("fixture dir").flatten() {
+            let name = entry.file_name();
+            on_disk.push(format!("{sub}/{}", name.to_string_lossy()));
+        }
+    }
+    on_disk.sort();
+    let mut expected: Vec<String> = known.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "fixture files and tests are out of sync");
+}

@@ -1,0 +1,15 @@
+// Fixture: iteration-order-dependent collections in a determinism-scoped
+// crate. Checked as `crates/core/src/aggregate.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = HashMap::new();
+    for &k in keys {
+        if seen.insert(k) {
+            out.insert(k, 1);
+        }
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// Fixture: a metric literal OBSERVABILITY.md has never heard of.
+// Checked as `crates/platform/src/probes.rs` against a doc snippet that
+// documents `diagnet_documented_total` only.
+
+pub const BOGUS: &str = "diagnet_bogus_total";
+
+pub fn record() {
+    let _ = BOGUS;
+}

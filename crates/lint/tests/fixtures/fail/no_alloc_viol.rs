@@ -1,0 +1,15 @@
+// Fixture: a marked hot-path function that allocates every way the rule
+// knows about. Checked as `crates/nn/src/kernel.rs`.
+
+// lint: no_alloc
+pub fn hot(xs: &[f32], out: &mut Vec<f32>) -> String {
+    let copy = xs.to_vec();
+    out.push(copy.iter().sum());
+    let doubled: Vec<f32> = xs.iter().map(|v| v * 2.0).collect();
+    format!("{}", doubled.len())
+}
+
+// lint: no_alloc
+pub fn constructor(n: usize) -> Vec<f32> {
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,31 @@
+// Fixture: every panic-family construct the rule must catch in a
+// serving-path file. Checked as `crates/platform/src/service.rs`.
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("serving code must not expect")
+}
+
+pub fn panic_site(code: u8) {
+    if code == 0 {
+        panic!("boom");
+    }
+}
+
+pub fn unreachable_site(code: u8) -> u32 {
+    match code {
+        0 => 1,
+        _ => unreachable!("codes are validated upstream"),
+    }
+}
+
+pub fn index_site(scores: &[f32], idx: usize) -> f32 {
+    scores[idx]
+}
+
+pub fn assert_site(scores: &[f32]) {
+    assert!(!scores.is_empty(), "asserts can abort serving too");
+}

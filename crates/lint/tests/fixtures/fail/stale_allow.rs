@@ -1,0 +1,17 @@
+// Fixture: directive hygiene failures — a stale allow whose excused code
+// is gone, an unknown rule slug, and a reasonless allow. Checked as
+// `crates/platform/src/service.rs`.
+
+// lint: allow(panic, reason = "this excused an unwrap that was deleted")
+pub fn no_longer_panics(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn typo(v: Option<u32>) -> u32 {
+    v.unwrap_or(1) // lint: allow(panics, reason = "slug does not exist")
+}
+
+// lint: allow(panic)
+pub fn reasonless(v: Option<u32>) -> u32 {
+    v.unwrap_or(2)
+}

@@ -1,0 +1,27 @@
+// Fixture: ordered collections keep the determinism rule quiet.
+// Checked as `crates/core/src/aggregate.rs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut out = BTreeMap::new();
+    for &k in keys {
+        if seen.insert(k) {
+            out.insert(k, 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m[&1], 2);
+    }
+}

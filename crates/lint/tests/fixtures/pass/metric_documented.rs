@@ -1,0 +1,8 @@
+// Fixture: a metric literal that matches the doc snippet used by the
+// integration test. Checked as `crates/platform/src/probes.rs`.
+
+pub const DOCUMENTED: &str = "diagnet_documented_total";
+
+pub fn record() {
+    let _ = DOCUMENTED;
+}

@@ -1,0 +1,21 @@
+// Fixture: a marked kernel that only mutates caller-owned storage.
+// Checked as `crates/nn/src/kernel.rs`.
+
+// lint: no_alloc
+pub fn axpy(alpha: f32, xs: &[f32], ys: &mut [f32]) {
+    for (y, x) in ys.iter_mut().zip(xs) {
+        *y += alpha * x;
+    }
+}
+
+// lint: no_alloc
+pub fn scale_in_place(buf: &mut [f32], factor: f32) {
+    for v in buf.iter_mut() {
+        *v *= factor;
+    }
+}
+
+// Unmarked functions may allocate as they please.
+pub fn cold(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}

@@ -1,0 +1,34 @@
+// Fixture: the panic-free shapes serving code is expected to use, plus
+// one justified escape hatch. Checked as `crates/platform/src/service.rs`.
+
+pub fn lookup(scores: &[f32], idx: usize) -> f32 {
+    scores.get(idx).copied().unwrap_or(0.0)
+}
+
+pub fn fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+
+pub fn checked(scores: &[f32]) -> Option<f32> {
+    debug_assert!(scores.len() < 1_000_000, "debug asserts are fine");
+    let first = scores.first()?;
+    Some(*first)
+}
+
+pub fn excused(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(panic, reason = "caller guarantees Some by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let xs = [1, 2, 3];
+        assert_eq!(xs[0], 1);
+        if false {
+            panic!("unreached");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The workspace must pass its own invariant checker. This is the same
+//! gate CI runs (`cargo run -p diagnet-lint -- check`), wired into
+//! `cargo test` so a violation fails the suite even without the CI leg.
+
+use diagnet_lint::check_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint");
+    let report = check_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        report.is_clean(),
+        "the workspace violates its own invariants:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walk break?",
+        report.files_scanned
+    );
+}

@@ -3,6 +3,7 @@
 use crate::tensor::Matrix;
 
 /// Numerically stable row-wise softmax, in place.
+// lint: no_alloc
 pub fn softmax_in_place(x: &mut Matrix) {
     let cols = x.cols();
     for row in x.data_mut().chunks_exact_mut(cols) {
@@ -64,6 +65,7 @@ pub fn softmax_cross_entropy_weighted(
 ///
 /// # Panics
 /// Panics on inconsistent shapes or a target out of range.
+// lint: no_alloc
 pub fn softmax_cross_entropy_weighted_into(
     logits: &Matrix,
     targets: &[usize],

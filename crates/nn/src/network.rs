@@ -86,6 +86,7 @@ impl Network {
     /// Cached forward pass into a reusable workspace; returns the logits
     /// (also available as `ws.output()`). Performs zero heap allocations
     /// once `ws` has warmed up at the current batch size.
+    // lint: no_alloc
     pub fn forward_ws<'w>(&self, x: &Matrix, ws: &'w mut ForwardWorkspace) -> &'w Matrix {
         assert_eq!(
             ws.num_layers(),
@@ -105,6 +106,7 @@ impl Network {
     /// `bws.grad_logits_mut()` must hold `∂L/∂logits`; on exit
     /// `bws.input_grad()` holds `∂L/∂x`. Parameter gradients are
     /// accumulated into `grads` when provided.
+    // lint: no_alloc
     pub fn backward_ws(
         &self,
         x: &Matrix,

@@ -16,7 +16,7 @@ use crate::histogram::DEFAULT_LATENCY_BOUNDS;
 #[cfg(feature = "enabled")]
 use crate::snapshot::{HistogramSnapshot, MetricSnapshot, MetricValue};
 #[cfg(feature = "enabled")]
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 #[cfg(feature = "enabled")]
 use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
@@ -27,7 +27,7 @@ use std::sync::RwLock;
 pub type Labels<'a> = &'a [(&'a str, &'a str)];
 
 #[cfg(feature = "enabled")]
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct MetricKey {
     name: String,
     labels: Vec<(String, String)>,
@@ -79,7 +79,7 @@ struct Registered {
 #[cfg(feature = "enabled")]
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    inner: RwLock<HashMap<MetricKey, Registered>>,
+    inner: RwLock<BTreeMap<MetricKey, Registered>>,
 }
 
 #[cfg(feature = "enabled")]
@@ -157,7 +157,7 @@ impl MetricsRegistry {
     /// "roughly now", not a linearisation point.
     pub fn snapshot(&self) -> Snapshot {
         let map = self.inner.read().expect("metrics lock");
-        let mut metrics: Vec<MetricSnapshot> = map
+        let metrics: Vec<MetricSnapshot> = map
             .iter()
             .map(|(key, reg)| MetricSnapshot {
                 name: key.name.clone(),
@@ -180,7 +180,8 @@ impl MetricsRegistry {
                 },
             })
             .collect();
-        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        // The map is ordered by (name, labels), so `metrics` comes out
+        // already in deterministic render order.
         Snapshot { metrics }
     }
 }

@@ -169,7 +169,11 @@ impl ProbeGate {
                     RejectReason::WidthMismatch => self.rejected_width.inc(),
                     RejectReason::NonFinite => self.rejected_non_finite.inc(),
                     RejectReason::Magnitude => self.rejected_magnitude.inc(),
-                    RejectReason::QueueFull => unreachable!("check never sheds"),
+                    // `check` never returns QueueFull (shedding happens in
+                    // the submission queue, which has its own counter);
+                    // if that ever changes, the quarantine below still
+                    // records the probe — no reason to abort serving.
+                    RejectReason::QueueFull => {}
                 }
                 let mut ring = self.quarantine.lock();
                 if ring.len() == self.config.quarantine_capacity {

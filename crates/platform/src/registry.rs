@@ -16,7 +16,7 @@ use diagnet::backend::Backend;
 use diagnet::model::DiagNet;
 use diagnet_sim::service::ServiceId;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Name of the counter of registry publications (label `scope`:
@@ -48,7 +48,7 @@ fn record_publish(scope: &'static str, version: u64) {
 #[derive(Debug, Default)]
 struct State {
     general: Option<Arc<dyn Backend>>,
-    specialized: HashMap<ServiceId, Arc<dyn Backend>>,
+    specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
     version: u64,
 }
 
@@ -70,7 +70,7 @@ impl ModelRegistry {
     pub fn publish_backend(
         &self,
         general: Arc<dyn Backend>,
-        specialized: HashMap<ServiceId, Arc<dyn Backend>>,
+        specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
     ) -> u64 {
         let mut state = self.state.write();
         state.general = Some(general);
@@ -82,7 +82,7 @@ impl ModelRegistry {
 
     /// Publish a new generation of DiagNet models (wrapper over
     /// [`ModelRegistry::publish_backend`]).
-    pub fn publish(&self, general: DiagNet, specialized: HashMap<ServiceId, DiagNet>) -> u64 {
+    pub fn publish(&self, general: DiagNet, specialized: BTreeMap<ServiceId, DiagNet>) -> u64 {
         self.publish_backend(
             Arc::new(general),
             specialized
@@ -129,11 +129,10 @@ impl ModelRegistry {
         self.state.read().version
     }
 
-    /// Services with a specialised model.
+    /// Services with a specialised model, in ascending id order (the
+    /// map is ordered, so no extra sort is needed).
     pub fn specialized_services(&self) -> Vec<ServiceId> {
-        let mut ids: Vec<ServiceId> = self.state.read().specialized.keys().copied().collect();
-        ids.sort();
-        ids
+        self.state.read().specialized.keys().copied().collect()
     }
 
     /// True once any model has been published.
@@ -187,7 +186,7 @@ mod tests {
     fn publish_and_dispatch() {
         let (general, spec) = trained_pair();
         let reg = ModelRegistry::new();
-        let mut specs = HashMap::new();
+        let mut specs = BTreeMap::new();
         specs.insert(ServiceId(0), spec.clone());
         let v = reg.publish(general.clone(), specs);
         assert_eq!(v, 1);
@@ -204,7 +203,7 @@ mod tests {
     fn incremental_specialised_publication() {
         let (general, spec) = trained_pair();
         let reg = ModelRegistry::new();
-        reg.publish(general.clone(), HashMap::new());
+        reg.publish(general.clone(), BTreeMap::new());
         assert_eq!(reg.version(), 1);
         reg.publish_specialized(ServiceId(3), spec.clone());
         assert_eq!(reg.version(), 2);
@@ -219,10 +218,10 @@ mod tests {
     fn snapshots_survive_republication() {
         let (general, spec) = trained_pair();
         let reg = ModelRegistry::new();
-        reg.publish(general.clone(), HashMap::new());
+        reg.publish(general.clone(), BTreeMap::new());
         let snapshot = reg.model_for(ServiceId(5)).unwrap();
         // New generation published while we hold the old Arc.
-        reg.publish(spec.clone(), HashMap::new());
+        reg.publish(spec.clone(), BTreeMap::new());
         assert_eq!(
             as_diagnet(&snapshot).network,
             general.network,
@@ -243,7 +242,7 @@ mod tests {
             .unwrap_or(0);
         let (general, spec) = trained_pair();
         let reg = ModelRegistry::new();
-        reg.publish(general.clone(), HashMap::new());
+        reg.publish(general.clone(), BTreeMap::new());
         reg.publish_specialized(ServiceId(1), spec.clone());
         let snap = diagnet_obs::global().snapshot();
         let after = snap
@@ -273,7 +272,7 @@ mod tests {
         let forest =
             ForestBackend::train(&ForestConfig::default(), &ds, &FeatureSchema::known(), 72);
         let reg = ModelRegistry::new();
-        reg.publish_backend(Arc::new(forest), HashMap::new());
+        reg.publish_backend(Arc::new(forest), BTreeMap::new());
         let served = reg.model_for(ServiceId(1)).unwrap();
         assert_eq!(served.describe().kind, BackendKind::Forest);
         let schema = FeatureSchema::full();

@@ -197,14 +197,23 @@ impl AnalysisService {
         let collector = Arc::new(ProbeCollector::new(config.buffer_capacity, schema.clone()));
         let registry = Arc::new(ModelRegistry::new());
         let health = Arc::new(HealthMonitor::new());
-        let worker = config.auto_retrain_every.map(|_| {
-            RetrainWorker::spawn(
+        let worker = config.auto_retrain_every.and_then(|_| {
+            match RetrainWorker::spawn(
                 Arc::clone(&collector),
                 Arc::clone(&registry),
                 Arc::clone(&pipeline),
                 config.supervision.clone(),
                 Arc::clone(&health),
-            )
+            ) {
+                Ok(worker) => Some(worker),
+                // No worker thread: the service still serves and trains
+                // synchronously via `retrain_now`; health records why the
+                // background loop is missing.
+                Err(e) => {
+                    health.record_failure(format!("retrain worker unavailable: {e}"), false);
+                    None
+                }
+            }
         });
         let obs = diagnet_obs::global();
         let sub_help = "probe submissions by outcome";

@@ -39,7 +39,7 @@ use std::time::Duration;
 /// Name of the counter of retrain retries (label `backend`).
 pub const RETRAIN_RETRIES_TOTAL: &str = "diagnet_retrain_retries_total";
 /// Name of the counter of failed retrain attempts (labels `backend`,
-/// `kind`: `panic`/`timeout`/`error`).
+/// `kind`: `panic`/`timeout`/`error`/`spawn`).
 pub const RETRAIN_FAILURES_TOTAL: &str = "diagnet_retrain_failures_total";
 
 /// Supervision tuning for training generations.
@@ -81,6 +81,8 @@ pub enum TrainFailure {
     Error(NnError),
     /// The supervisor was cancelled (worker shutdown) before finishing.
     Cancelled,
+    /// The OS refused to spawn the attempt thread (resource pressure).
+    Spawn(String),
 }
 
 impl fmt::Display for TrainFailure {
@@ -92,6 +94,7 @@ impl fmt::Display for TrainFailure {
             }
             TrainFailure::Error(e) => write!(f, "training failed: {e}"),
             TrainFailure::Cancelled => f.write_str("training cancelled by shutdown"),
+            TrainFailure::Spawn(msg) => write!(f, "cannot spawn training thread: {msg}"),
         }
     }
 }
@@ -106,6 +109,7 @@ impl TrainFailure {
             TrainFailure::TimedOut(_) => "timeout",
             TrainFailure::Error(_) => "error",
             TrainFailure::Cancelled => "cancelled",
+            TrainFailure::Spawn(_) => "spawn",
         }
     }
 
@@ -113,7 +117,10 @@ impl TrainFailure {
     /// deterministic in the data and seed, so retrying them only delays
     /// the degraded verdict.
     fn retryable(&self) -> bool {
-        matches!(self, TrainFailure::Panicked(_) | TrainFailure::TimedOut(_))
+        matches!(
+            self,
+            TrainFailure::Panicked(_) | TrainFailure::TimedOut(_) | TrainFailure::Spawn(_)
+        )
     }
 }
 
@@ -205,15 +212,21 @@ fn run_attempt(
         Arc::clone(pipeline),
         Arc::clone(&abandoned),
     );
-    let handle = std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name("diagnet-retrain-attempt".into())
         .spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 attempt_once(&c, &r, p.as_ref(), seed, Some(&a))
             }));
             let _ = tx.send(outcome);
-        })
-        .expect("spawn retrain attempt thread");
+        });
+    let handle = match spawned {
+        Ok(handle) => handle,
+        // Thread creation is the one supervised step that can fail before
+        // any training code runs; treat it like the other transient
+        // failures instead of panicking on the serving path.
+        Err(e) => return Err(TrainFailure::Spawn(e.to_string())),
+    };
     match rx.recv_timeout(budget) {
         Ok(outcome) => {
             let _ = handle.join();

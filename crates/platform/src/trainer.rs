@@ -36,7 +36,7 @@ use diagnet_nn::error::NnError;
 use diagnet_sim::dataset::Dataset;
 use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,7 +72,7 @@ pub struct Generation {
     /// The general model.
     pub general: Arc<dyn Backend>,
     /// Per-service specialised models.
-    pub specialized: HashMap<ServiceId, Arc<dyn Backend>>,
+    pub specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
     /// Services that received a specialised model (sorted).
     pub specialized_ids: Vec<ServiceId>,
 }
@@ -139,7 +139,7 @@ impl TrainPipeline for StandardPipeline {
             return Ok(Generation {
                 backend: self.kind,
                 general: Arc::from(general),
-                specialized: HashMap::new(),
+                specialized: BTreeMap::new(),
                 specialized_ids: Vec::new(),
             });
         }
@@ -156,7 +156,7 @@ impl TrainPipeline for StandardPipeline {
             .collect();
         let suite = SpecializedModels::train(general, data, &eligible, seed ^ 0x7E7E)?;
 
-        let specialized: HashMap<ServiceId, Arc<dyn Backend>> = suite
+        let specialized: BTreeMap<ServiceId, Arc<dyn Backend>> = suite
             .models
             .iter()
             .map(|(&sid, m)| (sid, Arc::new(m.clone()) as Arc<dyn Backend>))
@@ -331,14 +331,15 @@ pub struct RetrainWorker {
 impl RetrainWorker {
     /// Spawn the worker. It holds shared handles on the collector,
     /// registry and health monitor and runs `pipeline` generations on
-    /// demand under `supervision`.
+    /// demand under `supervision`. `Err` means the OS refused the worker
+    /// thread; the caller decides whether to degrade or propagate.
     pub fn spawn(
         collector: Arc<ProbeCollector>,
         registry: Arc<ModelRegistry>,
         pipeline: Arc<dyn TrainPipeline>,
         supervision: SupervisionConfig,
         health: Arc<HealthMonitor>,
-    ) -> Self {
+    ) -> Result<Self, TrainFailure> {
         let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Command>();
         let (rep_tx, rep_rx) = crossbeam::channel::unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -371,13 +372,13 @@ impl RetrainWorker {
                     }
                 }
             })
-            .expect("spawn retrain worker");
-        RetrainWorker {
+            .map_err(|e| TrainFailure::Spawn(e.to_string()))?;
+        Ok(RetrainWorker {
             commands: cmd_tx,
             reports: rep_rx,
             shutdown,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Request a retrain; does not block.
@@ -585,7 +586,8 @@ mod tests {
             fast_pipeline(&world),
             SupervisionConfig::default(),
             Arc::clone(&health),
-        );
+        )
+        .expect("spawn retrain worker");
         assert!(worker.try_report().is_none());
         worker.request_retrain(83);
         let report = worker.wait_report().unwrap();
@@ -608,7 +610,8 @@ mod tests {
             fast_pipeline(&world),
             SupervisionConfig::default(),
             Arc::new(HealthMonitor::new()),
-        );
+        )
+        .expect("spawn retrain worker");
         // Queue a deep backlog, then drop. Without the shutdown flag the
         // worker would train every queued generation before joining.
         for i in 0..50 {

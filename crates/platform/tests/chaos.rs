@@ -261,7 +261,8 @@ fn worker_drop_during_stalled_retrain_is_prompt() {
         chaos as Arc<dyn TrainPipeline>,
         supervision,
         Arc::new(HealthMonitor::new()),
-    );
+    )
+    .expect("spawn retrain worker");
     worker.request_retrain(9040);
     // Give the worker a moment to enter the stalled attempt.
     std::thread::sleep(Duration::from_millis(50));

@@ -1,0 +1,107 @@
+//! Publication/read race for the model registry.
+//!
+//! The registry swaps `Arc` snapshots behind a lock; a diagnosis that
+//! started under version *n* must keep using a *whole* generation even
+//! while version *n + 1* lands. This test hammers that contract: a
+//! writer thread republishes two distinguishable models in a tight loop
+//! while reader threads spin on `model_for` + `rank_causes`, asserting
+//! every ranking they see is bitwise-equal to one of the two published
+//! models' outputs (never a blend, never a torn state) and that the
+//! version counter is monotone from each reader's point of view.
+
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_platform::registry::ModelRegistry;
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::service::ServiceId;
+use diagnet_sim::world::World;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 3;
+const SWAPS: usize = 200;
+
+#[test]
+fn swap_racing_readers_see_only_whole_generations() {
+    let world = World::new();
+    let mut cfg = DatasetConfig::small(&world, 93);
+    cfg.n_scenarios = 12;
+    let ds = Dataset::generate(&world, &cfg);
+    let mut mc = DiagNetConfig::fast();
+    mc.epochs = 1;
+    let model_a = DiagNet::train(&mc, &ds, 93).expect("train model a");
+    let model_b = model_a
+        .specialize(&ds.filter_service(ServiceId(0)), 94)
+        .expect("train model b");
+
+    let schema = FeatureSchema::full();
+    let probe = ds.samples[0].features.clone();
+    let expect_a = model_a.rank_causes(&probe, &schema).scores;
+    let expect_b = model_b.rank_causes(&probe, &schema).scores;
+    assert_ne!(
+        expect_a, expect_b,
+        "the two generations must be distinguishable for the race to prove anything"
+    );
+
+    let reg = Arc::new(ModelRegistry::new());
+    reg.publish(model_a.clone(), BTreeMap::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let reg = Arc::clone(&reg);
+            let done = Arc::clone(&done);
+            let schema = schema.clone();
+            let probe = probe.clone();
+            let expect_a = expect_a.clone();
+            let expect_b = expect_b.clone();
+            std::thread::spawn(move || {
+                let mut iterations = 0u64;
+                let mut last_version = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let version = reg.version();
+                    assert!(
+                        version >= last_version,
+                        "reader {r} saw the version counter go backwards ({last_version} -> {version})"
+                    );
+                    last_version = version;
+                    let model = reg
+                        .model_for(ServiceId(7))
+                        .expect("registry published before readers started");
+                    let ranking = model.rank_causes(&probe, &schema);
+                    assert!(ranking.all_finite(), "reader {r} got a non-finite ranking");
+                    assert!(
+                        ranking.scores == expect_a || ranking.scores == expect_b,
+                        "reader {r} observed a ranking that matches neither published \
+                         generation — the swap exposed a torn model"
+                    );
+                    iterations += 1;
+                }
+                iterations
+            })
+        })
+        .collect();
+
+    for i in 0..SWAPS {
+        if i % 2 == 0 {
+            reg.publish(model_b.clone(), BTreeMap::new());
+        } else {
+            reg.publish(model_a.clone(), BTreeMap::new());
+        }
+        // A brief yield keeps the writer from starving readers of the
+        // lock on single-core machines.
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+
+    for handle in readers {
+        let iterations = handle.join().expect("reader thread panicked");
+        assert!(
+            iterations > 0,
+            "a reader never completed a single diagnosis"
+        );
+    }
+    assert_eq!(reg.version(), 1 + SWAPS as u64);
+}

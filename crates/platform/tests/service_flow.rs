@@ -102,7 +102,7 @@ fn generation_rollover_changes_version_not_correctness() {
 fn baseline_backend_hot_swaps_into_a_live_service() {
     use diagnet::backend::ForestBackend;
     use diagnet_forest::ForestConfig;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::Arc as StdArc;
 
     let (_, service, samples) = fixture();
@@ -128,7 +128,7 @@ fn baseline_backend_hot_swaps_into_a_live_service() {
     let snapshot = service.registry().general().unwrap();
     service
         .registry()
-        .publish_backend(StdArc::new(forest), HashMap::new());
+        .publish_backend(StdArc::new(forest), BTreeMap::new());
     let after = service
         .diagnose(&probe.features, probe.service, &schema)
         .unwrap();
