@@ -9,7 +9,11 @@
 //!
 //! Honours `DIAGNET_SCENARIOS` / `DIAGNET_SEED` / `DIAGNET_CONFIG` like
 //! every other experiment binary; the defaults keep the run under a
-//! minute on a laptop.
+//! minute on a laptop. Since ISSUE 7 the record also carries a
+//! `thread_scaling` array — the batched scoring pipeline timed under
+//! explicit rayon pools (default sweep 1/2/4/all cores, overridable with
+//! `--threads 1,2,8`); bitwise determinism guarantees every pool size
+//! returns identical rankings, so only wall-clock moves.
 
 use diagnet::backend::{Backend, BayesBackend, ForestBackend};
 use diagnet::config::DiagNetConfig;
@@ -166,6 +170,53 @@ fn main() {
     let us = |s: f64| s * 1e6;
     let obs_enabled = cfg!(feature = "obs");
     let span_snapshot = diagnet_obs::global().snapshot();
+
+    // 7. Thread scaling: the batched scoring pipeline under explicit rayon
+    //    pools (default 1/2/4/all cores, `--threads 1,2,8` overrides). Runs
+    //    after the span snapshot above so the stage quantiles stay pinned
+    //    to the default-pool measurements; the per-thread workspaces make
+    //    each pool size allocation-free after its own warm-up call.
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let args: Vec<String> = std::env::args().collect();
+    let mut sweep: Vec<usize> = match args.iter().position(|a| a == "--threads") {
+        Some(i) => args
+            .get(i + 1)
+            .map(|list| {
+                list.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect()
+            })
+            .unwrap_or_default(),
+        None => [1, 2, 4, available]
+            .into_iter()
+            .filter(|&n| n <= available)
+            .collect(),
+    };
+    sweep.retain(|&n| n >= 1);
+    sweep.sort_unstable();
+    sweep.dedup();
+    eprintln!("hotpath: thread-scaling sweep over {sweep:?} …");
+    let mut thread_scaling: Vec<(usize, f64)> = Vec::new();
+    for &n in &sweep {
+        match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Ok(pool) => {
+                let t = pool.install(|| {
+                    time_median(12, || {
+                        black_box(model.score_batch(&rows, &schema));
+                    })
+                });
+                thread_scaling.push((n, t));
+            }
+            Err(e) => eprintln!("hotpath: skipping {n}-thread pool: {e}"),
+        }
+    }
+    let t_scale_1 = thread_scaling
+        .iter()
+        .find(|(n, _)| *n == 1)
+        .map(|&(_, t)| t)
+        .unwrap_or(t_batched);
     let stage_json = |stage: &str| -> serde_json::Value {
         match span_snapshot.histogram(diagnet_obs::span::SPAN_HISTOGRAM, &[("span", stage)]) {
             Some(h) => serde_json::json!({
@@ -225,6 +276,19 @@ fn main() {
     }
     table.print();
 
+    let mut scaling_table = Table::new(
+        "thread scaling: score_batch 64 episodes (median µs/call)",
+        &["threads", "score_batch", "speedup vs 1"],
+    );
+    for &(n, t) in &thread_scaling {
+        scaling_table.row(vec![
+            n.to_string(),
+            format!("{:.1}", us(t)),
+            format!("{:.2}×", t_scale_1 / t),
+        ]);
+    }
+    scaling_table.print();
+
     let stages = serde_json::json!({
         "core.rank_causes_batch": stage_json("core.rank_causes_batch"),
         "core.normalize": stage_json("core.normalize"),
@@ -259,6 +323,16 @@ fn main() {
         "bayes_batch_speedup": t_bayes_per_row / t_bayes_batch,
         "obs_enabled": obs_enabled,
         "stages": stages,
+        "thread_scaling": thread_scaling
+            .iter()
+            .map(|&(n, t)| {
+                serde_json::json!({
+                    "threads": n,
+                    "score_batch_us": us(t),
+                    "speedup_vs_1": t_scale_1 / t,
+                })
+            })
+            .collect::<Vec<_>>(),
     });
     json_out("hotpath", &record);
     let out_path =

@@ -1,7 +1,7 @@
 //! The DiagNet pipeline: coarse convolutional classifier + attention +
 //! score weighting + ensemble averaging.
 
-use crate::attention::{attention_scores, attention_scores_batch};
+use crate::attention::{normalize_gradients_into, SaliencyWorkspace};
 use crate::config::{DiagNetConfig, OptimizerKind};
 use crate::ensemble::ensemble_average;
 use crate::normalize::Normalizer;
@@ -10,7 +10,7 @@ use crate::weighting::weight_scores;
 use diagnet_forest::ExtensibleForest;
 use diagnet_nn::error::NnError;
 use diagnet_nn::layer::Layer;
-use diagnet_nn::loss::softmax;
+use diagnet_nn::loss::{ideal_label_grad_into, softmax, softmax_in_place};
 use diagnet_nn::network::Network;
 use diagnet_nn::optim::{Adam, SgdNesterov};
 use diagnet_nn::tensor::Matrix;
@@ -20,6 +20,7 @@ use diagnet_sim::dataset::Dataset;
 use diagnet_sim::metrics::{FeatureSchema, K_LANDMARK_METRICS, N_LOCAL_METRICS};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Which stages of the fine-grained pipeline to run — used by the
 /// ablation benchmarks (the paper notes raw attention alone is weak,
@@ -119,7 +120,58 @@ fn fit_network(
     }
 }
 
+/// Per-thread reusable buffers for the fused scoring path: one cached
+/// forward's activations serve both the coarse softmax and the attention
+/// backward, and every intermediate (normalised features, probabilities,
+/// Eq.-1 scores) lives here — steady-state scoring performs no heap
+/// allocations beyond the returned rankings.
+struct ScoringWorkspace {
+    saliency: SaliencyWorkspace,
+    /// Normalised input features, one row per sample.
+    x: Matrix,
+    /// Coarse softmax probabilities, one row per sample.
+    probs: Matrix,
+    /// Eq.-1 attention scores, one row per sample.
+    gammas: Matrix,
+}
+
+impl ScoringWorkspace {
+    fn new(network: &Network) -> Self {
+        ScoringWorkspace {
+            saliency: SaliencyWorkspace::new(network),
+            x: Matrix::zeros(0, 0),
+            probs: Matrix::zeros(0, 0),
+            gammas: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+thread_local! {
+    /// One scoring workspace per thread, shared by every [`DiagNet`] the
+    /// thread scores with (rebuilt on architecture mismatch — see
+    /// [`SaliencyWorkspace::matches`]).
+    static SCORING_WS: RefCell<Option<ScoringWorkspace>> = const { RefCell::new(None) };
+}
+
 impl DiagNet {
+    /// Run `f` with this thread's scoring workspace, (re)building it when
+    /// the cached one was shaped for a different architecture. When the
+    /// cell is already borrowed — rayon work-stealing can nest another
+    /// ranking task inside this one's parallel sections — `f` runs on a
+    /// fresh stack-local workspace instead of panicking on the shared one.
+    fn with_scoring_ws<R>(&self, f: impl FnOnce(&mut ScoringWorkspace) -> R) -> R {
+        SCORING_WS.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut slot) => {
+                let ws = match slot.take() {
+                    Some(ws) if ws.saliency.matches(&self.network) => slot.insert(ws),
+                    _ => slot.insert(ScoringWorkspace::new(&self.network)),
+                };
+                f(ws)
+            }
+            Err(_) => f(&mut ScoringWorkspace::new(&self.network)),
+        })
+    }
+
     /// Build the (untrained) coarse network of Fig. 2 for a given config.
     pub fn build_network(config: &DiagNetConfig, seed: u64) -> Network {
         let mut layers = Vec::new();
@@ -287,11 +339,30 @@ impl DiagNet {
             "rank_causes: feature width mismatch"
         );
         let _span = diagnet_obs::span("core.rank_causes");
-        // Coarse prediction + attention on normalised features.
-        let normalized = self.normalizer.apply(schema, features);
-        let logits = self.network.forward(&Matrix::from_row(normalized.clone()));
-        let coarse = softmax(&logits).row(0).to_vec();
-        let gamma = attention_scores(&self.network, &normalized);
+        // Coarse prediction + attention on normalised features, through
+        // the fused one-forward workspace path (batch of one).
+        let (coarse, gamma) = self.with_scoring_ws(|ws| {
+            let ScoringWorkspace {
+                saliency,
+                x,
+                probs,
+                gammas,
+            } = ws;
+            let SaliencyWorkspace { fws, bws } = saliency;
+            x.resize(1, schema.n_features());
+            self.normalizer.apply_into(schema, features, x.row_mut(0));
+            self.network.forward_ws(x, fws);
+            probs.copy_from(fws.output());
+            softmax_in_place(probs);
+            ideal_label_grad_into(fws.output(), bws.grad_logits_mut());
+            self.network.backward_ws(x, fws, None, bws);
+            let grad = bws.input_grad();
+            gammas.resize(1, grad.cols());
+            normalize_gradients_into(grad.row(0), gammas.row_mut(0));
+            // Extract before releasing the thread-local borrow: fine_rank
+            // below may run inside rayon sections that re-enter scoring.
+            (probs.row(0).to_vec(), gammas.row(0).to_vec())
+        });
         self.fine_rank(features, schema, mode, coarse, gamma)
     }
 
@@ -337,12 +408,14 @@ impl DiagNet {
         }
     }
 
-    /// Batched ranking: one normalisation pass, one forward GEMM per layer
-    /// for the coarse probabilities, one whole-batch attention backward,
-    /// then the per-sample fine stage in parallel. Results are identical
-    /// to calling [`DiagNet::rank_causes`] per row — the batched kernels
-    /// accumulate each output element in the same order as the single-row
-    /// path.
+    /// Batched ranking: one normalisation pass, **one** cached forward
+    /// whose activations feed both the coarse softmax and the whole-batch
+    /// attention backward, then the per-sample fine stage in parallel.
+    /// Every intermediate lives in a per-thread workspace, so steady-state
+    /// calls allocate nothing beyond the returned rankings. Results are
+    /// identical to calling [`DiagNet::rank_causes`] per row — the batched
+    /// kernels accumulate each output element in the same order as the
+    /// single-row path.
     pub fn rank_causes_batch(
         &self,
         rows: &[Vec<f32>],
@@ -369,25 +442,51 @@ impl DiagNet {
         // call, never per row), so the instrumentation cost stays far below
         // the 2 % budget documented in OBSERVABILITY.md.
         let _span = diagnet_obs::span("core.rank_causes_batch");
-        let normalized = {
-            let _s = diagnet_obs::span("core.normalize");
-            self.normalizer.apply_matrix(schema, rows)
-        };
-        let probs = {
-            let _s = diagnet_obs::span("core.forward");
-            softmax(&self.network.forward(&normalized))
-        };
-        let gammas = {
-            let _s = diagnet_obs::span("core.attention_backward");
-            attention_scores_batch(&self.network, &normalized)
-        };
+        let (probs_rows, gamma_rows) = self.with_scoring_ws(|ws| {
+            let ScoringWorkspace {
+                saliency,
+                x,
+                probs,
+                gammas,
+            } = ws;
+            let SaliencyWorkspace { fws, bws } = saliency;
+            {
+                let _s = diagnet_obs::span("core.normalize");
+                self.normalizer.apply_matrix_into(schema, rows, x);
+            }
+            {
+                // One cached forward serves both the coarse softmax here
+                // and the attention backward below.
+                let _s = diagnet_obs::span("core.forward");
+                self.network.forward_ws(x, fws);
+                probs.copy_from(fws.output());
+                softmax_in_place(probs);
+            }
+            {
+                let _s = diagnet_obs::span("core.attention_backward");
+                ideal_label_grad_into(fws.output(), bws.grad_logits_mut());
+                self.network.backward_ws(x, fws, None, bws);
+                let grad = bws.input_grad();
+                gammas.resize(grad.rows(), grad.cols());
+                for i in 0..grad.rows() {
+                    normalize_gradients_into(grad.row(i), gammas.row_mut(i));
+                }
+            }
+            // Per-row extraction is the output boundary (the rankings own
+            // their vectors); it also releases the thread-local borrow
+            // before the parallel fine stage, whose work-stealing may
+            // re-enter scoring on this thread.
+            let probs_rows: Vec<Vec<f32>> =
+                (0..probs.rows()).map(|i| probs.row(i).to_vec()).collect();
+            let gamma_rows: Vec<Vec<f32>> =
+                (0..gammas.rows()).map(|i| gammas.row(i).to_vec()).collect();
+            (probs_rows, gamma_rows)
+        });
         let _s = diagnet_obs::span("core.fine_rank");
         rows.par_iter()
-            .zip(gammas)
-            .enumerate()
-            .map(|(i, (row, gamma))| {
-                self.fine_rank(row, schema, mode, probs.row(i).to_vec(), gamma)
-            })
+            .zip(probs_rows)
+            .zip(gamma_rows)
+            .map(|((row, coarse), gamma)| self.fine_rank(row, schema, mode, coarse, gamma))
             .collect()
     }
 

@@ -120,15 +120,32 @@ impl Normalizer {
 
     /// Standardise a row laid out in `schema`'s order, into a new vector.
     pub fn apply(&self, schema: &FeatureSchema, row: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; row.len()];
+        self.apply_into(schema, row, &mut out);
+        out
+    }
+
+    /// Standardise a row into a caller-provided slice of the same length —
+    /// the zero-allocation flavour of [`Normalizer::apply`], bit-identical
+    /// to it.
+    ///
+    /// # Panics
+    /// Panics if `row` or `out` mismatch the schema width.
+    // lint: no_alloc
+    pub fn apply_into(&self, schema: &FeatureSchema, row: &[f32], out: &mut [f32]) {
         assert_eq!(
             row.len(),
             schema.n_features(),
             "Normalizer::apply: row width mismatch"
         );
-        row.iter()
-            .enumerate()
-            .map(|(j, &v)| self.apply_value(schema.feature(j).kind_index(), v))
-            .collect()
+        assert_eq!(
+            out.len(),
+            row.len(),
+            "Normalizer::apply: out width mismatch"
+        );
+        for (j, (o, &v)) in out.iter_mut().zip(row).enumerate() {
+            *o = self.apply_value(schema.feature(j).kind_index(), v);
+        }
     }
 
     /// Standardise many rows.
@@ -140,17 +157,25 @@ impl Normalizer {
     /// zero-copy entry point of the batched scoring path. Values are
     /// bit-identical to [`Normalizer::apply`] applied row by row.
     pub fn apply_matrix(&self, schema: &FeatureSchema, rows: &[Vec<f32>]) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.apply_matrix_into(schema, rows, &mut out);
+        out
+    }
+
+    /// Standardise many rows into a caller-provided matrix (resized as
+    /// needed) — the reusable-buffer entry point of the fused scoring
+    /// path. Bit-identical to [`Normalizer::apply_matrix`]; zero heap
+    /// allocations once `out` has warmed up at the batch size.
+    ///
+    /// # Panics
+    /// Panics if a row width mismatches the schema.
+    // lint: no_alloc
+    pub fn apply_matrix_into(&self, schema: &FeatureSchema, rows: &[Vec<f32>], out: &mut Matrix) {
         let m = schema.n_features();
-        let mut data = Vec::with_capacity(rows.len() * m);
-        for row in rows {
-            assert_eq!(row.len(), m, "Normalizer::apply: row width mismatch");
-            data.extend(
-                row.iter()
-                    .enumerate()
-                    .map(|(j, &v)| self.apply_value(schema.feature(j).kind_index(), v)),
-            );
+        out.resize(rows.len(), m); // lint: allow(no_alloc, reason = "grows the caller's scratch once per batch size; steady-state calls reuse it")
+        for (row, orow) in rows.iter().zip(out.data_mut().chunks_exact_mut(m.max(1))) {
+            self.apply_into(schema, row, orow);
         }
-        Matrix::from_vec(rows.len(), m, data)
     }
 
     /// Mean of a metric kind (for inspection).

@@ -5,8 +5,10 @@
 //! and match-based dispatch lets the compiler inline the hot paths.
 
 use crate::init;
-use crate::linalg::{add_bias, column_sums_acc, matmul_at_acc, matmul_bt_into, matmul_into};
-use crate::pool::{pool_backward, pool_forward, PoolOp};
+use crate::linalg::{
+    add_bias, column_sums_acc, matmul_at_acc, matmul_bt_into, matmul_into, transpose_into,
+};
+use crate::pool::{pool_backward_cached, pool_forward_capture, PoolOp, PoolStats};
 use crate::tensor::Matrix;
 use crate::workspace::{BackwardScratch, LayerScratch, PoolRowScratch};
 use rayon::prelude::*;
@@ -107,12 +109,19 @@ pub enum LayerCache {
     /// Layers whose backward pass only needs the input (Dense, ReLU).
     None,
     /// LandPooling caches the per-landmark convolution outputs: one `ℓ×f`
-    /// matrix per batch row, flattened to `batch × (ℓ·f)`.
+    /// matrix per batch row, flattened to `batch × (ℓ·f)`, plus the
+    /// pooling facts (sorted orders, means, arg-extrema) the backward pass
+    /// replays instead of recomputing.
     LandPool {
         /// Per-row convolution outputs, `batch × (ℓ·f)` (row-major λ-then-f).
         f_values: Matrix,
         /// Number of landmarks in this batch's input.
         ell: usize,
+        /// Captured sorted order per (row, filter) site, `batch·f·ℓ`
+        /// flat (written only when the op bank contains a percentile).
+        order: Vec<u32>,
+        /// Captured mean/arg-extrema per (row, filter) site, `batch·f`.
+        stats: Vec<PoolStats>,
     },
 }
 
@@ -357,11 +366,15 @@ impl Layer {
                     *cache = LayerCache::LandPool {
                         f_values: Matrix::zeros(0, 0),
                         ell: 0,
+                        order: Vec::new(),
+                        stats: Vec::new(),
                     };
                 }
                 let LayerCache::LandPool {
                     f_values,
                     ell: cached_ell,
+                    order,
+                    stats,
                 } = cache
                 else {
                     unreachable!()
@@ -371,22 +384,37 @@ impl Layer {
                 // Same data viewed as batch × (ℓ·f), row-major λ-then-f.
                 f_values.resize(batch, ell * f);
                 *cached_ell = ell;
+                // The capture buffers are always sized (even when no op
+                // needs the sorted order) so the chunked zips below never
+                // run dry; unused entries are simply never read.
+                order.resize(batch * f * ell, 0);
+                stats.resize(batch * f, PoolStats::default());
 
                 out.resize(batch, out_width);
                 let pool_rows = |out_chunk: &mut [f32],
                                  f_chunk: &[f32],
                                  x_chunk: &[f32],
+                                 order_chunk: &mut [u32],
+                                 stats_chunk: &mut [PoolStats],
                                  rs: &mut PoolRowScratch| {
                     rs.op_out.resize(n_ops, 0.0);
-                    for ((out_row, frow), in_row) in out_chunk
+                    for ((((out_row, frow), in_row), row_order), row_stats) in out_chunk
                         .chunks_exact_mut(out_width)
                         .zip(f_chunk.chunks_exact(ell * f))
                         .zip(x_chunk.chunks_exact(in_width))
+                        .zip(order_chunk.chunks_exact_mut(f * ell))
+                        .zip(stats_chunk.chunks_exact_mut(f))
                     {
                         for j in 0..f {
                             rs.col.clear();
                             rs.col.extend((0..ell).map(|lam| frow[lam * f + j]));
-                            pool_forward(&rs.col, &lp.ops, &mut rs.op_out, &mut rs.sort);
+                            row_stats[j] = pool_forward_capture(
+                                &rs.col,
+                                &lp.ops,
+                                &mut rs.op_out,
+                                &mut rs.sort,
+                                &mut row_order[j * ell..(j + 1) * ell],
+                            );
                             for (oi, &v) in rs.op_out.iter().enumerate() {
                                 out_row[oi * f + j] = v;
                             }
@@ -403,13 +431,24 @@ impl Layer {
                         .par_chunks_mut(POOL_ROWS_PER_TASK * out_width)
                         .zip(f_values.data().par_chunks(POOL_ROWS_PER_TASK * ell * f))
                         .zip(x.data().par_chunks(POOL_ROWS_PER_TASK * in_width))
+                        .zip(order.par_chunks_mut(POOL_ROWS_PER_TASK * f * ell))
+                        .zip(stats.par_chunks_mut(POOL_ROWS_PER_TASK * f))
                         .zip(rows[..n_tasks].par_iter_mut())
-                        .for_each(|(((oc, fc), xc), rs)| pool_rows(oc, fc, xc, rs));
+                        .for_each(|(((((oc, fc), xc), orc), stc), rs)| {
+                            pool_rows(oc, fc, xc, orc, stc, rs)
+                        });
                 } else {
                     if rows.is_empty() {
                         rows.push(PoolRowScratch::default());
                     }
-                    pool_rows(out.data_mut(), f_values.data(), x.data(), &mut rows[0]);
+                    pool_rows(
+                        out.data_mut(),
+                        f_values.data(),
+                        x.data(),
+                        order,
+                        stats,
+                        &mut rows[0],
+                    );
                 }
             }
         }
@@ -452,7 +491,15 @@ impl Layer {
     ) {
         match self {
             Layer::Dense(d) => {
-                matmul_bt_into(grad_out, &d.w, grad_in);
+                // dX = dY · Wᵀ. Materialising Wᵀ into scratch first costs
+                // O(in·out) data movement but lets the O(batch·in·out)
+                // product run through the streaming register-strip kernel
+                // instead of matmul_bt_into's serially-dependent dot
+                // products — the difference between FP-add latency and
+                // FMA throughput. Both forms accumulate each element in
+                // ascending-k order, so results are bit-identical.
+                transpose_into(&d.w, &mut scratch.wt);
+                matmul_into(grad_out, &scratch.wt, grad_in);
                 if let Some(LayerGrads::Dense { dw, db }) = grads {
                     matmul_at_acc(input, grad_out, dw);
                     column_sums_acc(grad_out, db);
@@ -469,7 +516,13 @@ impl Layer {
                 }
             }
             Layer::LandPool(lp) => {
-                let LayerCache::LandPool { f_values, ell } = cache else {
+                let LayerCache::LandPool {
+                    f_values,
+                    ell,
+                    order,
+                    stats,
+                } = cache
+                else {
                     panic!("LandPool backward: missing cache");
                 };
                 let ell = *ell;
@@ -487,30 +540,53 @@ impl Layer {
                 let build_df = |df_chunk: &mut [f32],
                                 f_chunk: &[f32],
                                 g_chunk: &[f32],
+                                order_chunk: &[u32],
+                                stats_chunk: &[PoolStats],
                                 rs: &mut PoolRowScratch| {
                     rs.op_out.resize(n_ops, 0.0);
-                    rs.col_grad.resize(ell, 0.0);
-                    for ((df_row, frow), gout_row) in df_chunk
+                    rs.ft.resize(ell * f, 0.0);
+                    rs.dft.resize(ell * f, 0.0);
+                    for ((((df_row, frow), gout_row), row_order), row_stats) in df_chunk
                         .chunks_exact_mut(ell * f)
                         .zip(f_chunk.chunks_exact(ell * f))
                         .zip(g_chunk.chunks_exact(gout_width))
+                        .zip(order_chunk.chunks_exact(f * ell))
+                        .zip(stats_chunk.chunks_exact(f))
                     {
+                        // Transpose the row's ℓ×f filter outputs to f×ℓ up
+                        // front: every filter's landmark column becomes one
+                        // contiguous slice, so the pooling sub-gradients
+                        // stream over it instead of gathering stride-f
+                        // elements per filter. Pure data movement — values
+                        // and the per-op gradient order are unchanged.
+                        for (lam, fr) in frow.chunks_exact(f).enumerate() {
+                            for (j, &v) in fr.iter().enumerate() {
+                                rs.ft[j * ell + lam] = v;
+                            }
+                        }
+                        rs.dft.iter_mut().for_each(|g| *g = 0.0);
                         for j in 0..f {
-                            rs.col.clear();
-                            rs.col.extend((0..ell).map(|lam| frow[lam * f + j]));
                             for (oi, og) in rs.op_out.iter_mut().enumerate() {
                                 *og = gout_row[oi * f + j];
                             }
-                            rs.col_grad.iter_mut().for_each(|g| *g = 0.0);
-                            pool_backward(
-                                &rs.col,
+                            // Replay the forward's captured sort/mean/
+                            // arg-extrema instead of recomputing them —
+                            // the single biggest cost of the serving
+                            // backward, and bit-identical by construction.
+                            pool_backward_cached(
+                                &rs.ft[j * ell..(j + 1) * ell],
                                 &lp.ops,
                                 &rs.op_out,
-                                &mut rs.col_grad,
-                                &mut rs.sort,
+                                &mut rs.dft[j * ell..(j + 1) * ell],
+                                &row_order[j * ell..(j + 1) * ell],
+                                row_stats[j],
                             );
-                            for (lam, &g) in rs.col_grad.iter().enumerate() {
-                                df_row[lam * f + j] = g;
+                        }
+                        // Scatter back to the ℓ-major layout the GEMMs
+                        // below expect.
+                        for (lam, dr) in df_row.chunks_exact_mut(f).enumerate() {
+                            for (j, o) in dr.iter_mut().enumerate() {
+                                *o = rs.dft[j * ell + lam];
                             }
                         }
                     }
@@ -526,8 +602,12 @@ impl Layer {
                         .par_chunks_mut(POOL_ROWS_PER_TASK * ell * f)
                         .zip(f_values.data().par_chunks(POOL_ROWS_PER_TASK * ell * f))
                         .zip(grad_out.data().par_chunks(POOL_ROWS_PER_TASK * gout_width))
+                        .zip(order.par_chunks(POOL_ROWS_PER_TASK * f * ell))
+                        .zip(stats.par_chunks(POOL_ROWS_PER_TASK * f))
                         .zip(scratch.rows[..n_tasks].par_iter_mut())
-                        .for_each(|(((dc, fc), gc), rs)| build_df(dc, fc, gc, rs));
+                        .for_each(|(((((dc, fc), gc), orc), stc), rs)| {
+                            build_df(dc, fc, gc, orc, stc, rs)
+                        });
                 } else {
                     if scratch.rows.is_empty() {
                         scratch.rows.push(PoolRowScratch::default());
@@ -536,6 +616,8 @@ impl Layer {
                         scratch.df.data_mut(),
                         f_values.data(),
                         grad_out.data(),
+                        order,
+                        stats,
                         &mut scratch.rows[0],
                     );
                 }

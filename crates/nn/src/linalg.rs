@@ -51,6 +51,91 @@ const KB: usize = 128;
 const JB: usize = 64;
 /// Batch tile for `Aᵀ·B` partials and parallel column sums.
 const SB: usize = 512;
+/// f32 elements per lane-tile accumulator of the streaming kernel. Sized
+/// so one tile maps onto whole vector registers on every x86-64 baseline
+/// (two SSE2 `xmm`, one AVX `ymm`); the fixed-size array loops below
+/// auto-vectorise on stable Rust with no intrinsics.
+const LANES: usize = 8;
+/// Lane tiles held in registers per output-row strip. `STRIPE` tiles give
+/// the out-of-order core `STRIPE` independent FMA chains per lane, hiding
+/// the ~4-cycle FP-add latency that a single running sum would serialise
+/// on; 4 × [f32; 8] also stays within the 16 vector registers of the
+/// SSE2/AVX baselines, so the accumulators never spill.
+const STRIPE: usize = 4;
+
+/// Streaming row kernel: `out[j] += Σ_kk row_a[kk] · b_rows[kk·n + j0+j]`
+/// for one output-row segment `out` covering columns `j0..j0+out.len()`
+/// of a product whose `B` slab starts at `b_rows` (row stride `n`).
+///
+/// The segment is walked in register strips of `STRIPE × LANES` columns:
+/// each strip loads its running sums once, accumulates every `kk` of the
+/// slab entirely in registers, and stores once — instead of a load/store
+/// round-trip per `kk` per element. An 8-wide tile handles the mid-size
+/// remainder and the final `< LANES` columns fall back to the plain
+/// streaming loop.
+///
+/// Per output element this performs exactly the same additions in exactly
+/// the same (ascending `kk`, zero-skipping) order as the scalar loop it
+/// replaces — tiling only changes *where* the running sum lives, so
+/// results are bit-identical and stay thread-count-independent.
+// lint: no_alloc
+#[inline]
+fn accum_row_cols(row_a: &[f32], b_rows: &[f32], n: usize, j0: usize, out: &mut [f32]) {
+    let w = out.len();
+    let mut j = 0;
+    while j + STRIPE * LANES <= w {
+        let mut acc = [[0.0f32; LANES]; STRIPE];
+        for (t, tile) in acc.iter_mut().enumerate() {
+            tile.copy_from_slice(&out[j + t * LANES..j + (t + 1) * LANES]);
+        }
+        for (kk, &av) in row_a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let base = kk * n + j0 + j;
+            let brow = &b_rows[base..base + STRIPE * LANES];
+            for (t, tile) in acc.iter_mut().enumerate() {
+                for (o, &bv) in tile.iter_mut().zip(&brow[t * LANES..(t + 1) * LANES]) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (t, tile) in acc.iter().enumerate() {
+            out[j + t * LANES..j + (t + 1) * LANES].copy_from_slice(tile);
+        }
+        j += STRIPE * LANES;
+    }
+    while j + LANES <= w {
+        let mut acc = [0.0f32; LANES];
+        acc.copy_from_slice(&out[j..j + LANES]);
+        for (kk, &av) in row_a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let base = kk * n + j0 + j;
+            for (o, &bv) in acc.iter_mut().zip(&b_rows[base..base + LANES]) {
+                *o += av * bv;
+            }
+        }
+        out[j..j + LANES].copy_from_slice(&acc);
+        j += LANES;
+    }
+    if j == w {
+        return;
+    }
+    // Narrow tail: the original streaming form (same per-element order).
+    let tail = &mut out[j..];
+    let tw = tail.len();
+    for (kk, &av) in row_a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let base = kk * n + j0 + j;
+        for (o, &bv) in tail.iter_mut().zip(&b_rows[base..base + tw]) {
+            *o += av * bv;
+        }
+    }
+}
 
 #[inline]
 fn par_macs(m: usize, k: usize, n: usize) -> bool {
@@ -75,9 +160,10 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     c.resize(m, n); // lint: allow(no_alloc, reason = "grows the caller's scratch once per shape; steady-state calls reuse it")
     let (ad, bd) = (a.data(), b.data());
-    // i-k-j loop order: both `brow` and `row_out` stream contiguously.
-    // k is tiled so the `KB × n` slab of `B` is reused by every row of a
-    // block before the next slab is touched.
+    // i-k-j loop order through the register-strip kernel: `B` rows stream
+    // contiguously and each strip of `C` lives in registers for a whole
+    // k-tile. k is tiled so the `KB × n` slab of `B` is reused by every
+    // row of a block before the next slab is touched.
     let block = |c_rows: &mut [f32], a_rows: &[f32]| {
         c_rows.fill(0.0);
         if k == 0 {
@@ -89,15 +175,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
             for r in 0..rows {
                 let row_a = &a_rows[r * k + kb..r * k + kend];
                 let row_out = &mut c_rows[r * n..(r + 1) * n];
-                for (kk, &av) in row_a.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[(kb + kk) * n..(kb + kk + 1) * n];
-                    for (o, &bv) in row_out.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
+                accum_row_cols(row_a, &bd[kb * n..], n, 0, row_out);
             }
         }
     };
@@ -115,17 +193,8 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
                 .par_chunks_mut(JB)
                 .enumerate()
                 .for_each(|(ci, chunk)| {
-                    let j0 = ci * JB;
                     chunk.fill(0.0);
-                    for (kk, &av) in row_a.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &bd[kk * n + j0..kk * n + j0 + chunk.len()];
-                        for (o, &bv) in chunk.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
-                    }
+                    accum_row_cols(row_a, bd, n, ci * JB, chunk);
                 });
         }
     } else {
@@ -209,6 +278,36 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(0, 0);
     matmul_bt_into(a, b, &mut c);
     c
+}
+
+/// Cache-blocked transpose of `a` into `out` (resized as needed) — the
+/// reusable-buffer flavour of [`Matrix::transpose`].
+///
+/// The backward pass uses this to materialise `Wᵀ` into scratch once per
+/// call and then feed `dX = dY · Wᵀ` through the streaming
+/// [`matmul_into`] kernel, whose register-strip accumulation is an order
+/// of magnitude faster than the serially-dependent dot-product form of
+/// [`matmul_bt_into`]. The transpose itself is O(in·out) data movement
+/// against the O(batch·in·out) product, and both operands then stream
+/// contiguously.
+// lint: no_alloc
+pub fn transpose_into(a: &Matrix, out: &mut Matrix) {
+    let (m, n) = (a.rows(), a.cols());
+    out.resize(n, m); // lint: allow(no_alloc, reason = "grows the caller's scratch once per shape; steady-state calls reuse it")
+    const TB: usize = 32;
+    let src = a.data();
+    let dst = out.data_mut();
+    for i0 in (0..m).step_by(TB) {
+        let iend = (i0 + TB).min(m);
+        for j0 in (0..n).step_by(TB) {
+            let jend = (j0 + TB).min(n);
+            for i in i0..iend {
+                for j in j0..jend {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
 }
 
 fn matmul_at_impl(a: &Matrix, b: &Matrix, c: &mut Matrix, accumulate: bool) {
@@ -525,6 +624,41 @@ mod tests {
         }
         assert!(matmul(&a, &id).max_abs_diff(&a) < 1e-6);
         assert!(matmul(&id, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_covers_all_strip_widths() {
+        // 45 columns = one 32-wide register strip + one 8-wide tile + a
+        // 5-wide streaming tail in every output row.
+        let a = random_matrix(6, 33, 25);
+        let b = random_matrix(33, 45, 26);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = random_matrix(13, 7, 22);
+        let mut t = Matrix::full(2, 2, 9.0);
+        transpose_into(&a, &mut t);
+        let expected = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (expected.rows(), expected.cols()));
+        assert_eq!(t.data(), expected.data());
+    }
+
+    #[test]
+    fn streaming_and_dot_product_forms_agree_bitwise() {
+        // Dense::backward_into computes `dY · Wᵀ` by transposing into
+        // scratch and streaming through matmul_into. Both forms
+        // accumulate each output element in ascending-k order, so on
+        // non-degenerate inputs the results are bit-identical.
+        let a = random_matrix(24, 96, 23);
+        let b = random_matrix(48, 96, 24);
+        let via_bt = matmul_bt(&a, &b);
+        let mut wt = Matrix::zeros(0, 0);
+        transpose_into(&b, &mut wt);
+        let via_stream = matmul(&a, &wt);
+        assert_eq!(via_bt.data(), via_stream.data());
     }
 
     #[test]

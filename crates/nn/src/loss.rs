@@ -178,14 +178,25 @@ pub fn binary_cross_entropy(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) 
 /// `∂L*/∂logits = softmax(logits) − onehot(argmax)`.
 ///
 /// One row per sample; no `1/n` averaging since attention works per sample.
+/// Allocating wrapper around [`ideal_label_grad_into`].
 pub fn ideal_label_grad(logits: &Matrix) -> Matrix {
-    let mut grad = softmax(logits);
+    let mut grad = Matrix::zeros(0, 0);
+    ideal_label_grad_into(logits, &mut grad);
+    grad
+}
+
+/// [`ideal_label_grad`] into a caller-provided buffer (resized as needed)
+/// — the zero-allocation flavour the fused scoring backward seeds its
+/// workspace with. Values are bit-identical to the allocating version.
+// lint: no_alloc
+pub fn ideal_label_grad_into(logits: &Matrix, grad: &mut Matrix) {
+    grad.copy_from(logits);
+    softmax_in_place(grad);
     for i in 0..grad.rows() {
         let arg = grad.argmax_row(i);
         let row = grad.row_mut(i);
         row[arg] -= 1.0;
     }
-    grad
 }
 
 #[cfg(test)]

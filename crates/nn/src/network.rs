@@ -257,14 +257,42 @@ impl Network {
     /// Gradient of an arbitrary output-space gradient w.r.t. the **input
     /// features**, without touching parameters. `make_grad` receives the
     /// logits and must return `∂L/∂logits`. This is the primitive behind
-    /// DiagNet's attention mechanism (§III-E).
+    /// DiagNet's attention mechanism (§III-E). Allocating wrapper around
+    /// [`Network::input_gradient_ws`].
     pub fn input_gradient<F>(&self, x: &Matrix, make_grad: F) -> Matrix
     where
         F: FnOnce(&Matrix) -> Matrix,
     {
-        let (activations, caches) = self.forward_all(x);
-        let grad_logits = make_grad(activations.last().expect("non-empty"));
-        self.backward(&activations, &caches, grad_logits, None)
+        let mut fws = ForwardWorkspace::new(self);
+        let mut bws = BackwardWorkspace::new(self);
+        self.input_gradient_ws(x, &mut fws, &mut bws, |logits, grad| {
+            *grad = make_grad(logits);
+        });
+        bws.cur
+    }
+
+    /// Workspace-based [`Network::input_gradient`]: **one** cached forward
+    /// pass serves both the caller's read of the logits and the backward —
+    /// the allocating wrapper used to run the forward twice on the scoring
+    /// path (`forward` for probabilities, then `forward_all` again here).
+    /// `make_grad` receives the logits of this call's forward pass and
+    /// writes `∂L/∂logits` into the provided buffer; on exit
+    /// `bws.input_grad()` holds `∂L/∂x` and `fws.output()` still holds the
+    /// logits (the backward only reads `fws`). Zero heap allocations once
+    /// both workspaces are warm.
+    // lint: no_alloc
+    pub fn input_gradient_ws<F>(
+        &self,
+        x: &Matrix,
+        fws: &mut ForwardWorkspace,
+        bws: &mut BackwardWorkspace,
+        make_grad: F,
+    ) where
+        F: FnOnce(&Matrix, &mut Matrix),
+    {
+        self.forward_ws(x, fws);
+        make_grad(fws.output(), &mut bws.cur);
+        self.backward_ws(x, fws, None, bws);
     }
 
     /// Output width produced for inputs of `in_dim` features; validates all

@@ -88,6 +88,23 @@ impl PoolScratch {
     }
 }
 
+/// Per-call pooling facts captured by [`pool_forward_capture`] and
+/// replayed by [`pool_backward_cached`]: the mean and the arg-extrema of
+/// one value set. The sorted order is captured separately (it is a slice,
+/// not a scalar). Replaying these instead of recomputing them halves the
+/// backward pass's work per (row, filter) site; the values are produced by
+/// exactly the loops the backward pass would run, so replay is
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Arithmetic mean of the value set (Avg/Var backward).
+    pub mean: f32,
+    /// Index of the first strict minimum (Min backward routing).
+    pub argmin: u32,
+    /// Index of the first strict maximum (Max backward routing).
+    pub argmax: u32,
+}
+
 /// The two order statistics and weights a percentile interpolates between.
 #[inline]
 fn percentile_anchors(len: usize, p: u8) -> (usize, usize, f32) {
@@ -129,6 +146,57 @@ pub fn pool_forward(values: &[f32], ops: &[PoolOp], out: &mut [f32], scratch: &m
             }
         };
     }
+}
+
+/// Like [`pool_forward`], but additionally records everything the backward
+/// pass needs: the sorted order into `order_out` (written only when the
+/// bank contains a percentile; `order_out` must hold `values.len()`
+/// entries) and the mean/arg-extrema as the returned [`PoolStats`].
+/// Outputs are bit-identical to `pool_forward`'s — the extremum *values*
+/// still come from the same `fold`s, and the arg-extremum scans are the
+/// exact loops [`pool_backward`] runs.
+///
+/// # Panics
+/// Panics if `values` is empty, `out.len() != ops.len()`, or
+/// `order_out.len() != values.len()`.
+// lint: no_alloc
+pub fn pool_forward_capture(
+    values: &[f32],
+    ops: &[PoolOp],
+    out: &mut [f32],
+    scratch: &mut PoolScratch,
+    order_out: &mut [u32],
+) -> PoolStats {
+    assert_eq!(
+        order_out.len(),
+        values.len(),
+        "pool_forward_capture: order_out length mismatch"
+    );
+    pool_forward(values, ops, out, scratch);
+    if ops.iter().any(|op| matches!(op, PoolOp::Percentile(_))) {
+        for (o, &s) in order_out.iter_mut().zip(&scratch.sorted) {
+            *o = s as u32;
+        }
+    }
+    let mut stats = PoolStats {
+        mean: values.iter().sum::<f32>() / values.len() as f32,
+        argmin: 0,
+        argmax: 0,
+    };
+    if ops.iter().any(|op| matches!(op, PoolOp::Min | PoolOp::Max)) {
+        let (mut amin, mut amax) = (0usize, 0usize);
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            if v < values[amin] {
+                amin = i;
+            }
+            if v > values[amax] {
+                amax = i;
+            }
+        }
+        stats.argmin = amin as u32;
+        stats.argmax = amax as u32;
+    }
+    stats
 }
 
 /// Accumulates `∂L/∂values` given `∂L/∂out` (one scalar per op).
@@ -203,6 +271,68 @@ pub fn pool_backward(
                 grad_values[scratch.sorted[lo]] += g * (1.0 - frac);
                 if hi != lo {
                     grad_values[scratch.sorted[hi]] += g * frac;
+                }
+            }
+        }
+    }
+}
+
+/// [`pool_backward`] with the sort, mean and arg-extremum scans replaced
+/// by the facts [`pool_forward_capture`] recorded: `order` is the captured
+/// sorted order (read only when the bank contains a percentile) and
+/// `stats` the captured mean/arg-extrema. Gradients are **added** into
+/// `grad_values` and are bit-identical to `pool_backward`'s — the capture
+/// ran the same deterministic sort and scans over the same values.
+///
+/// # Panics
+/// Panics if `values` is empty, `grad_out.len() != ops.len()`,
+/// `grad_values.len() != values.len()`, or `order` is shorter than
+/// `values` while a percentile op needs it.
+// lint: no_alloc
+pub fn pool_backward_cached(
+    values: &[f32],
+    ops: &[PoolOp],
+    grad_out: &[f32],
+    grad_values: &mut [f32],
+    order: &[u32],
+    stats: PoolStats,
+) {
+    assert!(!values.is_empty(), "pool_backward_cached: empty value set");
+    assert_eq!(
+        grad_out.len(),
+        ops.len(),
+        "pool_backward_cached: grad_out length != ops length"
+    );
+    assert_eq!(
+        grad_values.len(),
+        values.len(),
+        "pool_backward_cached: grad_values length mismatch"
+    );
+    let len = values.len();
+    for (op, &g) in ops.iter().zip(grad_out) {
+        if g == 0.0 {
+            continue;
+        }
+        match op {
+            PoolOp::Min => grad_values[stats.argmin as usize] += g,
+            PoolOp::Max => grad_values[stats.argmax as usize] += g,
+            PoolOp::Avg => {
+                let share = g / len as f32;
+                for gv in grad_values.iter_mut() {
+                    *gv += share;
+                }
+            }
+            PoolOp::Var => {
+                let scale = 2.0 * g / len as f32;
+                for (gv, &v) in grad_values.iter_mut().zip(values) {
+                    *gv += scale * (v - stats.mean);
+                }
+            }
+            PoolOp::Percentile(p) => {
+                let (lo, hi, frac) = percentile_anchors(len, *p);
+                grad_values[order[lo] as usize] += g * (1.0 - frac);
+                if hi != lo {
+                    grad_values[order[hi] as usize] += g * frac;
                 }
             }
         }
@@ -326,5 +456,37 @@ mod tests {
     fn forward_empty_panics() {
         let mut out = vec![0.0];
         pool_forward(&[], &[PoolOp::Avg], &mut out, &mut PoolScratch::default());
+    }
+
+    /// The capture/replay pair must be bit-identical to the recomputing
+    /// pair, including through ties (the capture reuses the forward's
+    /// deterministic sort, so tie routing cannot drift).
+    #[test]
+    fn cached_backward_matches_recomputing_backward_bitwise() {
+        let ops = PoolOp::standard_bank();
+        // Ties on purpose: equal values make percentile/extremum routing
+        // depend on the captured order.
+        let values = [2.0f32, -1.5, 2.0, 0.0, -1.5, 3.25, 0.0, 3.25];
+        let mut scratch = PoolScratch::default();
+        let mut out_a = vec![0.0; ops.len()];
+        let mut out_b = vec![0.0; ops.len()];
+        let mut order = vec![0u32; values.len()];
+        pool_forward(&values, &ops, &mut out_a, &mut scratch);
+        let stats = pool_forward_capture(&values, &ops, &mut out_b, &mut scratch, &mut order);
+        assert_eq!(
+            out_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "capture changed the forward outputs"
+        );
+        let grad_out: Vec<f32> = (0..ops.len()).map(|i| (i as f32 - 4.0) * 0.3).collect();
+        let mut grads_a = vec![0.0f32; values.len()];
+        let mut grads_b = vec![0.0f32; values.len()];
+        pool_backward(&values, &ops, &grad_out, &mut grads_a, &mut scratch);
+        pool_backward_cached(&values, &ops, &grad_out, &mut grads_b, &order, stats);
+        assert_eq!(
+            grads_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            grads_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "cached backward drifted from the recomputing backward"
+        );
     }
 }

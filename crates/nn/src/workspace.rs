@@ -35,12 +35,16 @@ use crate::tensor::Matrix;
 /// then reused verbatim.
 #[derive(Debug, Default)]
 pub struct PoolRowScratch {
-    /// One filter's values across landmarks (length ℓ).
+    /// One filter's values across landmarks (length ℓ, forward only).
     pub(crate) col: Vec<f32>,
-    /// Gradient w.r.t. `col` (length ℓ, backward only).
-    pub(crate) col_grad: Vec<f32>,
     /// Per-op outputs or upstream gradients (length `ops.len()`).
     pub(crate) op_out: Vec<f32>,
+    /// One row's filter outputs transposed to `f × ℓ` (backward only):
+    /// each filter's landmark column becomes a contiguous slice, so the
+    /// pooling sub-gradients stream instead of striding.
+    pub(crate) ft: Vec<f32>,
+    /// Gradient w.r.t. `ft`, same `f × ℓ` layout (backward only).
+    pub(crate) dft: Vec<f32>,
     /// Percentile sort indices.
     pub(crate) sort: PoolScratch,
 }
@@ -116,6 +120,26 @@ impl ForwardWorkspace {
     pub fn num_layers(&self) -> usize {
         self.activations.len()
     }
+
+    /// Whether this workspace was shaped for `net`'s architecture (layer
+    /// count and per-layer scratch variants). Long-lived callers (e.g. a
+    /// thread-local scoring workspace) use this to detect that the model
+    /// behind them was swapped and rebuild instead of panicking inside a
+    /// pass. Buffer *contents* are irrelevant: every pass overwrites them
+    /// in full.
+    pub fn matches(&self, net: &Network) -> bool {
+        self.activations.len() == net.layers.len()
+            && self
+                .scratch
+                .iter()
+                .zip(&net.layers)
+                .all(|(s, l)| match (s, l) {
+                    (LayerScratch::LandPool { .. }, Layer::LandPool(_)) => true,
+                    (LayerScratch::None, Layer::LandPool(_)) => false,
+                    (LayerScratch::LandPool { .. }, _) => false,
+                    (LayerScratch::None, _) => true,
+                })
+    }
 }
 
 /// Scratch buffers for `Layer::backward_into`, shared by every layer of a
@@ -129,6 +153,10 @@ pub struct BackwardScratch {
     pub(crate) df: Matrix,
     /// Gradient w.r.t. the gathered landmark blocks, `(batch·ℓ) × k`.
     pub(crate) dxl: Matrix,
+    /// Transposed Dense weights (`in × out`), rebuilt per backward call so
+    /// `dX = dY · Wᵀ` runs through the streaming [`crate::linalg::matmul_into`]
+    /// kernel instead of the latency-bound dot-product form.
+    pub(crate) wt: Matrix,
     /// One pooling scratch per parallel task.
     pub(crate) rows: Vec<PoolRowScratch>,
 }

@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use diagnet_nn::loss::softmax_cross_entropy_weighted_into;
+use diagnet_nn::loss::{ideal_label_grad_into, softmax_cross_entropy_weighted_into};
 use diagnet_nn::network::Gradients;
 use diagnet_nn::prelude::*;
 use diagnet_nn::workspace::{BackwardWorkspace, ForwardWorkspace};
@@ -123,5 +123,22 @@ fn steady_state_forward_is_allocation_free() {
     assert_eq!(
         step_allocs, 0,
         "steady-state training step allocated {step_allocs} times"
+    );
+
+    // The fused saliency primitive — one cached forward plus the
+    // ideal-label backward through the same workspaces — must be equally
+    // clean: it is the serving path's per-batch inner loop.
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..20 {
+        net.input_gradient_ws(&x, &mut fws, &mut bws, ideal_label_grad_into);
+        checksum += bws.input_grad().get(0, 0);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let saliency_allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+    assert!(checksum.is_finite());
+    assert_eq!(
+        saliency_allocs, 0,
+        "steady-state saliency backward allocated {saliency_allocs} times"
     );
 }

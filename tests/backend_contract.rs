@@ -130,6 +130,53 @@ fn batched_ranking_is_bitwise_identical_to_per_row() {
     }
 }
 
+/// Sum of the bit patterns of every score, coarse probability and
+/// `w_unknown` across a batch of rankings — order-insensitive only across
+/// rows, bit-exact within each value.
+fn ranking_fingerprint(rankings: &[diagnet::ranking::CauseRanking]) -> u32 {
+    let mut fp: u32 = 0;
+    for r in rankings {
+        for v in &r.scores {
+            fp = fp.wrapping_add(v.to_bits());
+        }
+        for v in &r.coarse {
+            fp = fp.wrapping_add(v.to_bits());
+        }
+        fp = fp.wrapping_add(r.w_unknown.to_bits());
+    }
+    fp
+}
+
+/// Golden pin for the fused zero-alloc scoring rewrite (ISSUE 7): this
+/// fingerprint was captured on the pre-change pipeline (separate
+/// allocating forwards for softmax and attention, dot-product backward
+/// GEMMs). The fused single-forward workspace path and the register-strip
+/// kernels must reproduce every ranking bit for bit — batched and
+/// single-row alike.
+#[test]
+fn diagnet_rankings_match_pre_fusion_golden_fingerprint() {
+    const GOLDEN_FP: u32 = 0xeab55abf;
+    let fx = fixture();
+    let full = FeatureSchema::full();
+    let rows = rows(fx, 8);
+    let (_, backend) = fx
+        .backends
+        .iter()
+        .find(|(k, _)| *k == BackendKind::DiagNet)
+        .expect("DiagNet backend present");
+    let batch_fp = ranking_fingerprint(&backend.rank_causes_batch(&rows, &full));
+    assert_eq!(
+        batch_fp, GOLDEN_FP,
+        "batched rankings drifted from the pre-fusion golden ({batch_fp:#010x})"
+    );
+    let singles: Vec<_> = rows.iter().map(|r| backend.rank_causes(r, &full)).collect();
+    let single_fp = ranking_fingerprint(&singles);
+    assert_eq!(
+        single_fp, GOLDEN_FP,
+        "single-row rankings drifted from the pre-fusion golden ({single_fp:#010x})"
+    );
+}
+
 #[test]
 fn extend_covers_new_landmarks_and_is_a_noop_on_the_train_schema() {
     let fx = fixture();
