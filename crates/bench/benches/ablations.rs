@@ -16,7 +16,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     let world = World::new();
     let mut ds_cfg = DatasetConfig::small(&world, 11);
     ds_cfg.n_scenarios = 15;
-    let ds = Dataset::generate(&world, &ds_cfg);
+    let ds = Dataset::generate(&world, &ds_cfg).expect("generate");
     let split = ds.split(0.8, 11);
     let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 11).unwrap();
     let schema = FeatureSchema::full();

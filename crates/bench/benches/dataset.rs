@@ -44,7 +44,7 @@ fn bench_dataset_generation(c: &mut Criterion) {
     for scenarios in [10usize, 40] {
         let cfg = DatasetConfig::standard(&world, scenarios, 9);
         group.bench_function(format!("{}_samples", cfg.n_samples()), |b| {
-            b.iter(|| black_box(Dataset::generate(&world, &cfg)))
+            b.iter(|| black_box(Dataset::generate(&world, &cfg).expect("generate")))
         });
     }
     group.finish();

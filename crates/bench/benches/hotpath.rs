@@ -28,7 +28,7 @@ fn trained() -> &'static (DiagNet, Vec<Vec<f32>>, FeatureSchema) {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 11);
         cfg.n_scenarios = 20;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 11);
         let model = DiagNet::train(&DiagNetConfig::paper(), &split.train, 11).unwrap();
         let rows: Vec<Vec<f32>> = split

@@ -12,7 +12,7 @@ fn bench_collector(c: &mut Criterion) {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, 9);
     cfg.n_scenarios = 5;
-    let samples = Dataset::generate(&world, &cfg).samples;
+    let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
     let mut group = c.benchmark_group("collector");
     group.bench_function("submit_500", |b| {
         b.iter(|| {

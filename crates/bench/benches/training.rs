@@ -17,7 +17,7 @@ fn training_data() -> (Matrix, Vec<usize>) {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, 3);
     cfg.n_scenarios = 20;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let schema = FeatureSchema::known();
     let (rows, labels) = ds.to_rows(&schema, 0.0);
     (Matrix::from_rows(&rows), labels)
@@ -56,7 +56,7 @@ fn bench_specialisation(c: &mut Criterion) {
     let world = World::new();
     let mut ds_cfg = DatasetConfig::small(&world, 5);
     ds_cfg.n_scenarios = 20;
-    let ds = Dataset::generate(&world, &ds_cfg);
+    let ds = Dataset::generate(&world, &ds_cfg).expect("generate");
     let split = ds.split(0.8, 5);
     let general = DiagNet::train(&DiagNetConfig::fast(), &split.train, 5).unwrap();
     let sid = world.catalog.held_out_ids()[0];

@@ -65,7 +65,7 @@ fn main() {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, seed);
     cfg.n_scenarios = n_scenarios;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let split = ds.split(0.8, seed);
     eprintln!(
         "hotpath: training {config_name} model on {} samples …",

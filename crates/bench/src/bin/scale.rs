@@ -1,0 +1,403 @@
+//! Scale acceptance artefact for the streaming data plane (ISSUE 8):
+//! drives the chunk-oriented generation + training pipeline at
+//! million-probe / hundred-landmark scale and writes `BENCH_scale.json`
+//! (current directory, overridable with `DIAGNET_SCALE_OUT`) plus the
+//! usual JSON line under `target/experiments/scale.jsonl`.
+//!
+//! Three timed phases, each with its own peak-RSS reading (the kernel's
+//! `VmHWM` high-water mark, reset between phases via
+//! `/proc/self/clear_refs`; see EXPERIMENTS.md for the methodology):
+//!
+//! 1. **generate** — drain a [`DatasetStream`] of `DIAGNET_SCALE_PROBES`
+//!    simulator probes chunk by chunk, discarding each chunk: pure
+//!    bounded-memory generation throughput (probes/sec).
+//! 2. **train ¼ scale** — stream a quarter of the probes, widened to
+//!    `DIAGNET_SCALE_LANDMARKS` landmark blocks, through
+//!    `Trainer::fit_streaming` with a bounded shuffle window.
+//! 3. **train full scale** — the same at full scale (rows/sec trained).
+//!
+//! The flat-RSS evidence is the ratio of phase-3 to phase-2 peak RSS:
+//! a streaming pipeline's memory is bounded by chunk + window size, so
+//! quadrupling the row count must not grow the peak. The record also
+//! carries `materialized_mb`, what the full widened design matrix would
+//! occupy if it were built in memory, for contrast.
+//!
+//! Scale knobs (env): `DIAGNET_SCALE_PROBES` (default 1_000_000, rounded
+//! down to whole scenarios), `DIAGNET_SCALE_LANDMARKS` (default 100),
+//! `DIAGNET_SCALE_CHUNK` (default 8192), `DIAGNET_SCALE_WINDOW`
+//! (default 16384), plus the usual `DIAGNET_SEED`.
+
+use diagnet::config::DiagNetConfig;
+use diagnet::model::DiagNet;
+use diagnet_bench::report::{json_out, Table};
+use diagnet_nn::prelude::*;
+use diagnet_rng::SplitMix64;
+use diagnet_sim::dataset::DatasetConfig;
+use diagnet_sim::metrics::{K_LANDMARK_METRICS, N_LOCAL_METRICS};
+use diagnet_sim::stream::{DatasetStream, SampleSource};
+use diagnet_sim::world::World;
+use std::time::Instant;
+
+/// Per-kind count: landmark metric kinds plus local metric kinds.
+const N_KINDS: usize = K_LANDMARK_METRICS + N_LOCAL_METRICS;
+
+/// Peak resident set size (`VmHWM`) in bytes, if the platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Reset the peak-RSS high-water mark to the current RSS so each phase
+/// gets its own reading. Best-effort: a no-op where unsupported.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn mb(bytes: Option<u64>) -> f64 {
+    bytes.map(|b| b as f64 / (1024.0 * 1024.0)).unwrap_or(-1.0)
+}
+
+/// Per-metric-kind standardisation statistics fitted on a sample prefix.
+#[derive(Clone, Copy)]
+struct KindStats {
+    mean: [f32; N_KINDS],
+    inv_std: [f32; N_KINDS],
+}
+
+impl KindStats {
+    /// Fit mean/std per metric kind over the rows of one raw chunk
+    /// (full-schema layout: 10 landmark blocks of 5 metrics + 5 local).
+    fn fit(rows: &[diagnet_sim::dataset::Sample], n_full_landmarks: usize) -> KindStats {
+        let mut sum = [0.0f64; N_KINDS];
+        let mut sum_sq = [0.0f64; N_KINDS];
+        let mut count = [0usize; N_KINDS];
+        for s in rows {
+            for (idx, &v) in s.features.iter().enumerate() {
+                let kind = if idx < n_full_landmarks * K_LANDMARK_METRICS {
+                    idx % K_LANDMARK_METRICS
+                } else {
+                    K_LANDMARK_METRICS + (idx - n_full_landmarks * K_LANDMARK_METRICS)
+                };
+                sum[kind] += f64::from(v);
+                sum_sq[kind] += f64::from(v) * f64::from(v);
+                count[kind] += 1;
+            }
+        }
+        let mut stats = KindStats {
+            mean: [0.0; N_KINDS],
+            inv_std: [1.0; N_KINDS],
+        };
+        for k in 0..N_KINDS {
+            if count[k] == 0 {
+                continue;
+            }
+            let n = count[k] as f64;
+            let mean = sum[k] / n;
+            let var = (sum_sq[k] / n - mean * mean).max(1e-12);
+            stats.mean[k] = mean as f32;
+            stats.inv_std[k] = (1.0 / var.sqrt()) as f32;
+        }
+        stats
+    }
+}
+
+/// A [`BatchSource`] that widens each simulator sample from the full
+/// schema's landmark count to `n_landmarks` blocks: blocks past the real
+/// ones are deterministic jittered copies (`block l` mirrors
+/// `block l % 10`), standing in for the opportunistic landmark fleets the
+/// paper targets. Rows are standardised per metric kind; memory is one
+/// simulator chunk regardless of pass length.
+struct WidenedSource<'a> {
+    stream: DatasetStream<'a>,
+    n_landmarks: usize,
+    n_full_landmarks: usize,
+    stats: KindStats,
+    seed: u64,
+    chunk: Vec<diagnet_sim::dataset::Sample>,
+    chunk_start: usize,
+    cursor: usize,
+}
+
+impl<'a> WidenedSource<'a> {
+    fn new(stream: DatasetStream<'a>, n_landmarks: usize, stats: KindStats, seed: u64) -> Self {
+        let n_full_landmarks = stream.schema().n_landmarks();
+        WidenedSource {
+            stream,
+            n_landmarks,
+            n_full_landmarks,
+            stats,
+            seed,
+            chunk: Vec::new(),
+            chunk_start: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Append one widened, standardised row.
+    fn push_row(&mut self, row_index: usize, sample_features: &[f32], x: &mut Vec<f32>) {
+        let land = self.n_full_landmarks * K_LANDMARK_METRICS;
+        let mut rng = SplitMix64::new(SplitMix64::derive(
+            self.seed ^ 0x71DE_CAFE,
+            row_index as u64,
+        ));
+        for l in 0..self.n_landmarks {
+            let src = (l % self.n_full_landmarks) * K_LANDMARK_METRICS;
+            let jitter = if l < self.n_full_landmarks {
+                0.0
+            } else {
+                rng.normal() * 0.05
+            };
+            for j in 0..K_LANDMARK_METRICS {
+                let v = sample_features.get(src + j).copied().unwrap_or(0.0) * (1.0 + jitter);
+                x.push((v - self.stats.mean[j]) * self.stats.inv_std[j]);
+            }
+        }
+        for j in 0..N_LOCAL_METRICS {
+            let k = K_LANDMARK_METRICS + j;
+            let v = sample_features.get(land + j).copied().unwrap_or(0.0);
+            x.push((v - self.stats.mean[k]) * self.stats.inv_std[k]);
+        }
+    }
+}
+
+impl BatchSource for WidenedSource<'_> {
+    fn num_rows(&self) -> usize {
+        self.stream.n_samples()
+    }
+
+    fn width(&self) -> usize {
+        self.n_landmarks * K_LANDMARK_METRICS + N_LOCAL_METRICS
+    }
+
+    fn reset(&mut self) {
+        self.stream.reset();
+        self.chunk.clear();
+        self.chunk_start = 0;
+        self.cursor = 0;
+    }
+
+    fn next_rows(&mut self, limit: usize, x: &mut Vec<f32>, y: &mut Vec<usize>) -> usize {
+        if self.cursor >= self.chunk.len() {
+            let Some(next) = SampleSource::next_chunk(&mut self.stream) else {
+                return 0;
+            };
+            self.chunk_start = next.start;
+            self.chunk = next.samples;
+            self.cursor = 0;
+        }
+        let take = limit.min(self.chunk.len() - self.cursor);
+        for i in 0..take {
+            let pos = self.cursor + i;
+            let features = std::mem::take(&mut self.chunk[pos].features);
+            self.push_row(self.chunk_start + pos, &features, x);
+            self.chunk[pos].features = features;
+            y.push(self.chunk[pos].label.family_index());
+        }
+        self.cursor += take;
+        take
+    }
+}
+
+/// Stream-train a fresh network over `n_scenarios` widened scenarios for
+/// one epoch; returns (rows trained, seconds, final train loss).
+fn train_at_scale(
+    world: &World,
+    n_scenarios: usize,
+    n_landmarks: usize,
+    chunk_size: usize,
+    window: usize,
+    stats: KindStats,
+    config: &DiagNetConfig,
+    seed: u64,
+) -> (usize, f64, f32) {
+    let gen_cfg = DatasetConfig::standard(world, n_scenarios, seed);
+    let stream = DatasetStream::new(world, &gen_cfg, chunk_size).expect("stream");
+    let mut source = WidenedSource::new(stream, n_landmarks, stats, seed);
+    let n_rows = source.num_rows();
+    let mut net = DiagNet::build_network(config, seed);
+    let train_cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 256,
+        patience: None,
+        shuffle: true,
+        restore_best: false,
+        class_weights: None,
+        shuffle_window: Some(window),
+    };
+    let optimizer = SgdNesterov::new(config.learning_rate, config.momentum, config.decay);
+    let mut trainer = Trainer::new(train_cfg, optimizer);
+    let t0 = Instant::now();
+    let history = trainer
+        .fit_streaming(&mut net, &mut source, None, seed)
+        .expect("fit_streaming");
+    let secs = t0.elapsed().as_secs_f64();
+    let loss = history.train_loss.last().copied().unwrap_or(f32::NAN);
+    (n_rows, secs, loss)
+}
+
+fn main() {
+    let env_usize = |name: &str, default: usize| -> usize {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seed: u64 = std::env::var("DIAGNET_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let probes_target = env_usize("DIAGNET_SCALE_PROBES", 1_000_000);
+    let n_landmarks = env_usize("DIAGNET_SCALE_LANDMARKS", 100).max(1);
+    let chunk_size = env_usize("DIAGNET_SCALE_CHUNK", 8192).max(1);
+    let window = env_usize("DIAGNET_SCALE_WINDOW", 16_384).max(256);
+    let config = DiagNetConfig::fast();
+
+    let world = World::new();
+    let probes_per_scenario = DatasetConfig::standard(&world, 1, seed).n_samples().max(1);
+    let n_scenarios = (probes_target / probes_per_scenario).max(4);
+    let n_probes = n_scenarios * probes_per_scenario;
+    let width = n_landmarks * K_LANDMARK_METRICS + N_LOCAL_METRICS;
+    eprintln!(
+        "scale: {n_probes} probes ({n_scenarios} scenarios), {n_landmarks} landmarks \
+         (row width {width}), chunk {chunk_size}, window {window}"
+    );
+
+    // Standardisation stats from the first chunk (deterministic prefix).
+    let gen_cfg = DatasetConfig::standard(&world, n_scenarios, seed);
+    let mut prefix = DatasetStream::new(&world, &gen_cfg, chunk_size).expect("stream");
+    let first = SampleSource::next_chunk(&mut prefix).expect("at least one chunk");
+    let stats = KindStats::fit(&first.samples, world.schema.n_landmarks());
+    drop(first);
+
+    // Phase 1: chunked generation throughput, chunks discarded as they
+    // arrive — memory stays one chunk deep.
+    reset_peak_rss();
+    let stream = DatasetStream::new(&world, &gen_cfg, chunk_size).expect("stream");
+    let t0 = Instant::now();
+    let mut generated = 0usize;
+    for chunk in stream {
+        generated += chunk.len();
+    }
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let gen_rss = peak_rss_bytes();
+    let probes_per_sec = generated as f64 / gen_secs;
+    eprintln!(
+        "scale: generated {generated} probes in {gen_secs:.1}s \
+         ({probes_per_sec:.0}/s, peak RSS {:.0} MB)",
+        mb(gen_rss)
+    );
+
+    // Phase 2: streaming training at quarter scale.
+    reset_peak_rss();
+    let (q_rows, q_secs, q_loss) = train_at_scale(
+        &world,
+        (n_scenarios / 4).max(1),
+        n_landmarks,
+        chunk_size,
+        window,
+        stats,
+        &config,
+        seed,
+    );
+    let q_rss = peak_rss_bytes();
+    eprintln!(
+        "scale: trained {q_rows} rows (¼ scale) in {q_secs:.1}s \
+         (loss {q_loss:.3}, peak RSS {:.0} MB)",
+        mb(q_rss)
+    );
+
+    // Phase 3: streaming training at full scale. Flat RSS means this peak
+    // matches phase 2's despite 4× the rows.
+    reset_peak_rss();
+    let (rows, train_secs, loss) = train_at_scale(
+        &world,
+        n_scenarios,
+        n_landmarks,
+        chunk_size,
+        window,
+        stats,
+        &config,
+        seed,
+    );
+    let full_rss = peak_rss_bytes();
+    let rows_per_sec = rows as f64 / train_secs;
+    eprintln!(
+        "scale: trained {rows} rows (full scale) in {train_secs:.1}s \
+         ({rows_per_sec:.0}/s, loss {loss:.3}, peak RSS {:.0} MB)",
+        mb(full_rss)
+    );
+
+    let rss_ratio = match (full_rss, q_rss) {
+        (Some(f), Some(q)) if q > 0 => f as f64 / q as f64,
+        _ => -1.0,
+    };
+    let materialized_mb =
+        (rows as f64 * width as f64 * std::mem::size_of::<f32>() as f64) / (1024.0 * 1024.0);
+
+    let mut table = Table::new(
+        "streaming data plane at scale",
+        &["phase", "rows", "seconds", "rate/s", "peak RSS MB"],
+    );
+    table.row(vec![
+        "generate".into(),
+        generated.to_string(),
+        format!("{gen_secs:.1}"),
+        format!("{probes_per_sec:.0}"),
+        format!("{:.0}", mb(gen_rss)),
+    ]);
+    table.row(vec![
+        "train ¼".into(),
+        q_rows.to_string(),
+        format!("{q_secs:.1}"),
+        format!("{:.0}", q_rows as f64 / q_secs),
+        format!("{:.0}", mb(q_rss)),
+    ]);
+    table.row(vec![
+        "train full".into(),
+        rows.to_string(),
+        format!("{train_secs:.1}"),
+        format!("{rows_per_sec:.0}"),
+        format!("{:.0}", mb(full_rss)),
+    ]);
+    table.print();
+    println!(
+        "\nfull/quarter peak-RSS ratio: {rss_ratio:.2} \
+         (materialising the design matrix would need {materialized_mb:.0} MB)"
+    );
+
+    let quarter = serde_json::json!({
+        "train_rows": q_rows,
+        "train_seconds": q_secs,
+        "train_final_loss": q_loss,
+        "peak_rss_mb": mb(q_rss),
+    });
+    let record = serde_json::json!({
+        "experiment": "scale",
+        "seed": seed,
+        "n_probes": generated,
+        "n_landmarks": n_landmarks,
+        "row_width": width,
+        "chunk_size": chunk_size,
+        "shuffle_window": window,
+        "gen_seconds": gen_secs,
+        "probes_per_sec": probes_per_sec,
+        "gen_peak_rss_mb": mb(gen_rss),
+        "train_rows": rows,
+        "train_seconds": train_secs,
+        "rows_per_sec": rows_per_sec,
+        "train_final_loss": loss,
+        "quarter_scale": quarter,
+        "full_peak_rss_mb": mb(full_rss),
+        "rss_ratio_full_vs_quarter": rss_ratio,
+        "materialized_mb": materialized_mb,
+        "obs_enabled": cfg!(feature = "obs"),
+    });
+    json_out("scale", &record);
+    let out_path =
+        std::env::var("DIAGNET_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    std::fs::write(&out_path, serde_json::to_string_pretty(&record).unwrap())
+        .unwrap_or_else(|e| eprintln!("scale: could not write {out_path}: {e}"));
+    eprintln!("scale: wrote {out_path}");
+}

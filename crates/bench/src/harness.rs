@@ -79,7 +79,7 @@ impl ExperimentContext {
             ds_cfg.n_samples(),
             config.n_scenarios
         );
-        let dataset = Dataset::generate(&world, &ds_cfg);
+        let dataset = Dataset::generate(&world, &ds_cfg).expect("generate");
         eprintln!(
             "[harness] dataset: {} samples ({} nominal / {} faulty)",
             dataset.len(),
@@ -100,7 +100,7 @@ impl ExperimentContext {
     /// regions).
     pub fn create_with_dataset(config: HarnessConfig, ds_cfg: &DatasetConfig) -> Self {
         let world = World::new();
-        let dataset = Dataset::generate(&world, ds_cfg);
+        let dataset = Dataset::generate(&world, ds_cfg).expect("generate");
         let split = dataset.split(0.8, config.seed ^ 0xBEEF);
         ExperimentContext {
             world,

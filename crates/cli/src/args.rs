@@ -57,9 +57,13 @@ impl Command {
     }
 }
 
+/// Options that are bare flags: they take no value and parse as `true`.
+const BOOL_FLAGS: &[&str] = &["streaming"];
+
 /// Parse a raw argument vector (without the program name).
 ///
-/// Grammar: `<command> (--key value)*`.
+/// Grammar: `<command> (--key value | --flag)*`, where `--flag` is one of
+/// [`BOOL_FLAGS`].
 pub fn parse(args: &[String]) -> Result<Args, CliError> {
     let Some(first) = args.first() else {
         return Ok(Args {
@@ -77,6 +81,16 @@ pub fn parse(args: &[String]) -> Result<Args, CliError> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(CliError::usage(format!("expected `--option`, got `{key}`")));
         };
+        if BOOL_FLAGS.contains(&name) {
+            if options
+                .insert(name.to_string(), "true".to_string())
+                .is_some()
+            {
+                return Err(CliError::usage(format!("option `--{name}` given twice")));
+            }
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             return Err(CliError::usage(format!(
                 "option `--{name}` is missing a value"
@@ -102,6 +116,11 @@ impl Args {
     /// An optional string option.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a bare boolean flag (see [`BOOL_FLAGS`]) was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
     }
 
     /// An optional parsed option with a default.
@@ -130,6 +149,10 @@ COMMANDS:
     train       --data FILE --out FILE [--backend diagnet|forest|bayes=diagnet]
                 [--config paper|fast=paper] [--seed S=42]
                 train a model (hidden-landmark protocol)
+                streaming mode: --streaming --out FILE [--scenarios N=100]
+                [--chunk-size N=8192] [--window W] — generate bounded-memory
+                chunks from the simulator instead of loading `--data`;
+                `--window` caps the shuffle buffer (default: full pass)
     specialize  --model FILE --data FILE --service NAME --out FILE [--seed S=42]
                 retrain the final layers for one service (diagnet backend only)
     diagnose    --model FILE --data FILE --sample IDX [--top K=5] [--backend B]
@@ -206,6 +229,16 @@ mod tests {
         assert!(args.get_or::<usize>("scenarios", 0).is_ok());
         let bad = parse(&s(&["simulate", "--scenarios", "many"])).unwrap();
         assert!(bad.get_or::<usize>("scenarios", 0).is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let args = parse(&s(&["train", "--streaming", "--out", "m.json"])).unwrap();
+        assert!(args.flag("streaming"));
+        assert_eq!(args.require("out").unwrap(), "m.json");
+        let args = parse(&s(&["train", "--out", "m.json"])).unwrap();
+        assert!(!args.flag("streaming"));
+        assert!(parse(&s(&["train", "--streaming", "--streaming"])).is_err());
     }
 
     #[test]

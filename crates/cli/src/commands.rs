@@ -15,9 +15,11 @@ use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::instrument::InstrumentedBackend;
 use diagnet::model::DiagNet;
+use diagnet::streaming::StreamOptions;
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
 use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceCatalog;
+use diagnet_sim::stream::{DatasetStream, SampleSource, DEFAULT_CHUNK_SIZE};
 use diagnet_sim::world::World;
 use std::fmt::Write as _;
 
@@ -98,7 +100,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let scenarios: usize = args.get_or("scenarios", 100)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let world = World::new();
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed));
+    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed))?;
     io::save_json(&dataset, out)?;
     Ok(format!(
         "wrote {} samples ({} nominal, {} faulty) to {out}\n",
@@ -148,6 +150,14 @@ fn campaign(args: &Args) -> Result<String, CliError> {
 }
 
 fn train(args: &Args) -> Result<String, CliError> {
+    if args.flag("streaming") {
+        return train_streaming(args);
+    }
+    if args.get("chunk-size").is_some() || args.get("window").is_some() {
+        return Err(CliError::usage(
+            "`--chunk-size` / `--window` only apply to `train --streaming`",
+        ));
+    }
     let data_path = args.require("data")?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 42)?;
@@ -163,6 +173,64 @@ fn train(args: &Args) -> Result<String, CliError> {
         split.train.len(),
         info.kind,
         info.n_params
+    );
+    if let Some(model) = backend.as_any().downcast_ref::<DiagNet>() {
+        let _ = write!(
+            msg,
+            ", {} epochs (final val loss {:.4})",
+            model.history.epochs_run,
+            model.history.val_loss.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+    let _ = write!(msg, "\nmodel written to {out}\n");
+    Ok(msg)
+}
+
+/// `train --streaming`: generate samples chunk-by-chunk from the simulator
+/// and feed them straight into training — the full dataset is never
+/// materialised in memory. Without `--window` the pass is buffered (results
+/// are bit-identical to `simulate` + `train`); with `--window W` training
+/// shuffles inside a W-row buffer and peak memory is bounded by the window
+/// and chunk size instead of the dataset size.
+fn train_streaming(args: &Args) -> Result<String, CliError> {
+    if args.get("data").is_some() {
+        return Err(CliError::usage(
+            "`--data` cannot be combined with `--streaming`; streaming mode \
+             generates samples from the simulator (`--scenarios`)",
+        ));
+    }
+    let out = args.require("out")?;
+    let scenarios: usize = args.get_or("scenarios", 100)?;
+    let chunk_size: usize = args.get_or("chunk-size", DEFAULT_CHUNK_SIZE)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let kind = backend_flag(args)?.unwrap_or(BackendKind::DiagNet);
+    let config = BackendConfig::from_diagnet(model_config(args)?);
+    let options = match args.get("window") {
+        None => StreamOptions::default(),
+        Some(_) => {
+            let window: usize = args.get_or("window", 0)?;
+            if window == 0 {
+                return Err(CliError::usage("`--window` must be at least 1"));
+            }
+            StreamOptions::bounded(window)
+        }
+    };
+    let world = World::new();
+    let gen_config = DatasetConfig::standard(&world, scenarios, seed);
+    let mut stream = DatasetStream::new(&world, &gen_config, chunk_size)?;
+    let n_samples = stream.n_samples();
+    let backend = kind.train_streaming(
+        &config,
+        &mut stream,
+        &FeatureSchema::known(),
+        &options,
+        seed,
+    )?;
+    io::save_backend_file(backend.as_ref(), out)?;
+    let info = backend.describe();
+    let mut msg = format!(
+        "streamed {n_samples} samples in chunks of {chunk_size}: `{}` backend, {} parameters",
+        info.kind, info.n_params
     );
     if let Some(model) = backend.as_any().downcast_ref::<DiagNet>() {
         let _ = write!(
@@ -419,7 +487,7 @@ fn metrics(args: &Args) -> Result<String, CliError> {
     // through an instrumented backend) and dump the registry it fed.
     let seed: u64 = args.get_or("seed", 42)?;
     let world = World::new();
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 6, seed));
+    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 6, seed))?;
     let split = dataset.split(0.8, seed);
     let config = BackendConfig::default();
     let inner = BackendKind::Forest.train(&config, &split.train, &FeatureSchema::known(), seed)?;
@@ -579,6 +647,87 @@ mod tests {
         for p in [data, model, special] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn streaming_train_produces_a_servable_model() {
+        let model = tmp("cli_stream_model.json");
+        let model_s = model.to_str().unwrap();
+        let out = run_line(&[
+            "train",
+            "--streaming",
+            "--out",
+            model_s,
+            "--scenarios",
+            "6",
+            "--chunk-size",
+            "128",
+            "--window",
+            "256",
+            "--config",
+            "fast",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("streamed 600 samples in chunks of 128"),
+            "{out}"
+        );
+
+        let info = run_line(&["info", "--model", model_s, "--backend", "diagnet"]).unwrap();
+        assert!(info.contains("DiagNet model"), "{info}");
+        assert!(info.contains("health: ok"), "{info}");
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn streaming_flag_validation() {
+        // `--data` and `--streaming` are mutually exclusive.
+        let err = run_line(&[
+            "train",
+            "--streaming",
+            "--data",
+            "d.json",
+            "--out",
+            "m.json",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("cannot be combined"), "{err}");
+
+        // Streaming-only knobs are rejected on the materialised path.
+        let err = run_line(&[
+            "train",
+            "--data",
+            "d.json",
+            "--out",
+            "m.json",
+            "--chunk-size",
+            "64",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--streaming"), "{err}");
+
+        let err =
+            run_line(&["train", "--streaming", "--out", "m.json", "--window", "0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--window"), "{err}");
+
+        // Simulator configuration errors surface as usage errors.
+        let err = run_line(&[
+            "train",
+            "--streaming",
+            "--out",
+            "m.json",
+            "--scenarios",
+            "0",
+            "--chunk-size",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl From<NnError> for CliError {
     }
 }
 
+impl From<diagnet_sim::SimError> for CliError {
+    /// Simulator configuration errors (no regions/services, zero chunk
+    /// size) are things the user asked for, so they exit with status 2.
+    fn from(e: diagnet_sim::SimError) -> CliError {
+        CliError::Usage(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

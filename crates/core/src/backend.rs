@@ -675,7 +675,7 @@ mod tests {
 
     fn data() -> (Dataset, Dataset) {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 41));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 41)).expect("generate");
         let split = ds.split(0.8, 41);
         (split.train, split.test)
     }

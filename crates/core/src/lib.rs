@@ -48,7 +48,7 @@
 //! use diagnet_sim::{Dataset, DatasetConfig, FeatureSchema, World};
 //!
 //! let world = World::new();
-//! let data = Dataset::generate(&world, &DatasetConfig::small(&world, 7));
+//! let data = Dataset::generate(&world, &DatasetConfig::small(&world, 7)).unwrap();
 //! let split = data.split(0.8, 7);
 //! let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 7).unwrap();
 //! let test_schema = FeatureSchema::full();
@@ -73,6 +73,7 @@ pub mod normalize;
 pub mod persist;
 pub mod perturbation;
 pub mod ranking;
+pub mod streaming;
 pub mod transfer;
 pub mod weighting;
 
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::model::DiagNet;
     pub use crate::normalize::Normalizer;
     pub use crate::ranking::CauseRanking;
+    pub use crate::streaming::{collect_source, StreamOptions};
     pub use crate::transfer::SpecializedModels;
 }
 

@@ -103,6 +103,7 @@ fn fit_network(
         shuffle: true,
         restore_best: true,
         class_weights,
+        shuffle_window: None,
     };
     match config.optimizer {
         OptimizerKind::SgdNesterov => Trainer::new(
@@ -565,7 +566,8 @@ mod tests {
             std::sync::OnceLock::new();
         CELL.get_or_init(|| {
             let world = World::new();
-            let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 21));
+            let ds =
+                Dataset::generate(&world, &DatasetConfig::small(&world, 21)).expect("generate");
             let split = ds.split(0.8, 21);
             let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 21).unwrap();
             (world, split.train, split.test, model)
@@ -766,7 +768,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 5));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 5)).expect("generate");
         let split = ds.split(0.8, 5);
         let a = DiagNet::train(&DiagNetConfig::fast(), &split.train, 9).unwrap();
         let b = DiagNet::train(&DiagNetConfig::fast(), &split.train, 9).unwrap();

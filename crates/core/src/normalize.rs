@@ -99,6 +99,21 @@ impl Normalizer {
         }
     }
 
+    /// Incremental flavour of [`Normalizer::fit_with`] for data that never
+    /// materialises: create an accumulator, feed every training row once
+    /// (in any chunk grouping, as long as row order is preserved), then
+    /// [`finish`](NormalizerAccumulator::finish). See
+    /// [`NormalizerAccumulator`] for the bit-identity contract.
+    pub fn accumulator(stabilized: bool) -> NormalizerAccumulator {
+        NormalizerAccumulator {
+            sum: [0.0; N_KINDS],
+            sum_sq: [0.0; N_KINDS],
+            count: [0; N_KINDS],
+            rows: 0,
+            stabilized,
+        }
+    }
+
     /// Standardise one value of a given metric kind (stabilising
     /// transform when enabled, then z-score, clamped to ±[`MAX_ABS_Z`]).
     /// NaN inputs map to the clamp bound rather than propagating.
@@ -189,6 +204,80 @@ impl Normalizer {
     }
 }
 
+/// Streaming statistics for [`Normalizer::fit_with`] over rows that never
+/// exist in one `Vec`.
+///
+/// Bit-identity contract: the per-kind `f64` sums are added in exactly the
+/// order rows are fed, with the same transform as `fit_with`, so feeding
+/// the training rows once in dataset order — in chunks of *any* size —
+/// then calling [`finish`](Self::finish) yields a normaliser bit-identical
+/// to `Normalizer::fit_with` on the materialised rows.
+#[derive(Debug, Clone)]
+pub struct NormalizerAccumulator {
+    sum: [f64; N_KINDS],
+    sum_sq: [f64; N_KINDS],
+    count: [usize; N_KINDS],
+    rows: usize,
+    stabilized: bool,
+}
+
+impl NormalizerAccumulator {
+    /// Accumulate one training row laid out in `schema`'s feature order.
+    ///
+    /// # Panics
+    /// Panics if the row width mismatches the schema.
+    pub fn add_row(&mut self, schema: &FeatureSchema, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            schema.n_features(),
+            "NormalizerAccumulator: row width mismatch"
+        );
+        for (j, &v) in row.iter().enumerate() {
+            let kind = schema.feature(j).kind_index();
+            let t = if self.stabilized {
+                stabilize(kind, v)
+            } else {
+                v
+            } as f64;
+            self.sum[kind] += t;
+            self.sum_sq[kind] += t * t;
+            self.count[kind] += 1;
+        }
+        self.rows += 1;
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finish into a fitted [`Normalizer`] (same math as
+    /// [`Normalizer::fit_with`]).
+    ///
+    /// # Panics
+    /// Panics when no rows were accumulated, mirroring `fit_with` on an
+    /// empty training set.
+    pub fn finish(&self) -> Normalizer {
+        assert!(self.rows > 0, "NormalizerAccumulator: empty training set");
+        let mut mean = [0.0f32; N_KINDS];
+        let mut std = [1.0f32; N_KINDS];
+        for k in 0..N_KINDS {
+            if self.count[k] > 0 {
+                let n = self.count[k] as f64;
+                let mu = self.sum[k] / n;
+                let var = (self.sum_sq[k] / n - mu * mu).max(0.0);
+                mean[k] = mu as f32;
+                std[k] = (var.sqrt() as f32).max(1e-6);
+            }
+        }
+        Normalizer {
+            mean,
+            std,
+            stabilized: self.stabilized,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,10 +285,29 @@ mod tests {
 
     fn sample_rows() -> (FeatureSchema, Vec<Vec<f32>>) {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 3));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 3)).expect("generate");
         let schema = FeatureSchema::known();
         let (rows, _) = ds.to_rows(&schema, 0.0);
         (schema, rows)
+    }
+
+    #[test]
+    fn accumulator_matches_batch_fit_bitwise() {
+        let (schema, rows) = sample_rows();
+        for stabilized in [true, false] {
+            let batch = Normalizer::fit_with(&schema, &rows, stabilized);
+            // Any chunking of the same row order must give the same sums.
+            for chunk in [1usize, 7, rows.len()] {
+                let mut acc = Normalizer::accumulator(stabilized);
+                for part in rows.chunks(chunk) {
+                    for row in part {
+                        acc.add_row(&schema, row);
+                    }
+                }
+                assert_eq!(acc.rows(), rows.len());
+                assert_eq!(acc.finish(), batch, "chunk {chunk}");
+            }
+        }
     }
 
     #[test]
@@ -229,7 +337,7 @@ mod tests {
         // schema: hidden-landmark features are scaled by kind, not left
         // raw.
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 4));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 4)).expect("generate");
         let known = FeatureSchema::known();
         let full = FeatureSchema::full();
         let (train_rows, _) = ds.to_rows(&known, 0.0);

@@ -49,7 +49,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 61);
         cfg.n_scenarios = 15;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 61);
         let mut model_cfg = DiagNetConfig::fast();
         model_cfg.epochs = 3;

@@ -105,7 +105,7 @@ mod tests {
             let world = World::new();
             let mut cfg = DatasetConfig::small(&world, 45);
             cfg.n_scenarios = 30;
-            let ds = Dataset::generate(&world, &cfg);
+            let ds = Dataset::generate(&world, &cfg).expect("generate");
             let split = ds.split(0.8, 45);
             (
                 DiagNet::train(&DiagNetConfig::fast(), &split.train, 45).unwrap(),

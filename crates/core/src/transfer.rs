@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn specialised_suite_trains_and_dispatches() {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 31));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 31)).expect("generate");
         let split = ds.split(0.8, 31);
         // General model on the first eight services only.
         let general_ids = world.catalog.general_ids();
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn unknown_service_errors() {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 32));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 32)).expect("generate");
         let split = ds.split(0.8, 32);
         let general = DiagNet::train(&DiagNetConfig::fast(), &split.train, 32).unwrap();
         let bogus = ServiceId(999);

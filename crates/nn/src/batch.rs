@@ -1,0 +1,106 @@
+//! Streaming row sources for bounded-memory training.
+//!
+//! [`BatchSource`] abstracts "where training rows come from" so
+//! [`Trainer::fit_streaming`](crate::train::Trainer::fit_streaming) can
+//! consume data that never exists as one epoch-sized [`Matrix`]: a
+//! simulator generating chunks on the fly, a file reader, or — via
+//! [`MatrixBatchSource`] — an ordinary in-memory `(x, y)` pair. Sources
+//! append into caller-provided buffers, so the trainer controls peak
+//! memory (its shuffle window) and the source allocates nothing per call.
+
+use crate::tensor::Matrix;
+
+/// A resettable, multi-pass producer of labelled feature rows.
+///
+/// Contract: a full pass yields exactly [`num_rows`](Self::num_rows) rows,
+/// every row is [`width`](Self::width) features wide, and repeated passes
+/// (after [`reset`](Self::reset)) yield identical rows in identical order.
+/// The trainer re-reads the source once per epoch.
+pub trait BatchSource {
+    /// Total rows one full pass yields.
+    fn num_rows(&self) -> usize;
+
+    /// Feature width of every row.
+    fn width(&self) -> usize;
+
+    /// Rewind to the first row; the next pass must repeat the previous one.
+    fn reset(&mut self);
+
+    /// Append up to `limit` rows to `x` (row-major, `width()` values per
+    /// row) and their labels to `y`. Returns the number of rows appended;
+    /// `0` means the pass is exhausted. A source may append fewer than
+    /// `limit` rows per call (e.g. one internal chunk at a time).
+    fn next_rows(&mut self, limit: usize, x: &mut Vec<f32>, y: &mut Vec<usize>) -> usize;
+}
+
+/// [`BatchSource`] over an in-memory matrix and label slice: the
+/// materialised training path re-expressed as a stream, used by adapters
+/// and equivalence tests.
+#[derive(Debug)]
+pub struct MatrixBatchSource<'a> {
+    x: &'a Matrix,
+    y: &'a [usize],
+    next: usize,
+}
+
+impl<'a> MatrixBatchSource<'a> {
+    /// Stream `x`'s rows with labels `y` (lengths must match).
+    pub fn new(x: &'a Matrix, y: &'a [usize]) -> Self {
+        debug_assert_eq!(x.rows(), y.len());
+        MatrixBatchSource { x, y, next: 0 }
+    }
+}
+
+impl BatchSource for MatrixBatchSource<'_> {
+    fn num_rows(&self) -> usize {
+        self.x.rows()
+    }
+
+    fn width(&self) -> usize {
+        self.x.cols()
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn next_rows(&mut self, limit: usize, x: &mut Vec<f32>, y: &mut Vec<usize>) -> usize {
+        let remaining = self.x.rows() - self.next;
+        let take = remaining.min(limit);
+        if take == 0 {
+            return 0;
+        }
+        for r in self.next..self.next + take {
+            x.extend_from_slice(self.x.row(r));
+        }
+        y.extend_from_slice(&self.y[self.next..self.next + take]);
+        self.next += take;
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_source_streams_all_rows_in_order() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let y = vec![0usize, 1, 0];
+        let mut src = MatrixBatchSource::new(&x, &y);
+        assert_eq!(src.num_rows(), 3);
+        assert_eq!(src.width(), 2);
+        let mut bx = Vec::new();
+        let mut by = Vec::new();
+        assert_eq!(src.next_rows(2, &mut bx, &mut by), 2);
+        assert_eq!(src.next_rows(2, &mut bx, &mut by), 1);
+        assert_eq!(src.next_rows(2, &mut bx, &mut by), 0);
+        assert_eq!(bx, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(by, y);
+        src.reset();
+        let mut again = Vec::new();
+        let mut ly = Vec::new();
+        assert_eq!(src.next_rows(usize::MAX, &mut again, &mut ly), 3);
+        assert_eq!(again, bx);
+    }
+}

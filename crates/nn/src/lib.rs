@@ -47,6 +47,7 @@
 //! assert!(probs.get(0, 0) > 0.5 && probs.get(1, 1) > 0.5);
 //! ```
 
+pub mod batch;
 pub mod error;
 pub mod init;
 pub mod layer;
@@ -63,6 +64,7 @@ pub mod workspace;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
+    pub use crate::batch::{BatchSource, MatrixBatchSource};
     pub use crate::layer::{Layer, LayerCache};
     pub use crate::loss::{softmax_cross_entropy, softmax_in_place};
     pub use crate::network::{Gradients, Network};

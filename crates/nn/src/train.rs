@@ -5,6 +5,7 @@
 //! rule, and [`TrainHistory`] records the per-epoch loss curves the figure
 //! plots.
 
+use crate::batch::BatchSource;
 use crate::error::NnError;
 use crate::loss::{cross_entropy_loss, cross_entropy_loss_weighted};
 use crate::network::{Gradients, Network};
@@ -13,6 +14,9 @@ use crate::rng::SplitMix64;
 use crate::tensor::Matrix;
 use crate::workspace::{BackwardWorkspace, ForwardWorkspace};
 use serde::{Deserialize, Serialize};
+
+/// Name of the counter of rows consumed by streaming training.
+pub const TRAIN_ROWS_TOTAL: &str = "diagnet_train_rows_total";
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,6 +35,13 @@ pub struct TrainConfig {
     pub restore_best: bool,
     /// Optional per-class loss weights (length = number of classes).
     pub class_weights: Option<Vec<f32>>,
+    /// Streaming only ([`Trainer::fit_streaming`]): shuffle within a
+    /// buffer of this many rows instead of over the whole pass. `None`
+    /// buffers the full pass, which is bitwise-identical to
+    /// [`Trainer::fit`] on the same rows; `Some(w)` bounds trainer memory
+    /// to `w` rows plus workspaces. Ignored by [`Trainer::fit`].
+    #[serde(default)]
+    pub shuffle_window: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +53,7 @@ impl Default for TrainConfig {
             shuffle: true,
             restore_best: true,
             class_weights: None,
+            shuffle_window: None,
         }
     }
 }
@@ -146,6 +158,179 @@ impl<O: Optimizer> Trainer<O> {
                 self.optimizer.step(net, &grads);
                 epoch_loss += loss as f64;
                 batches += 1;
+            }
+            history
+                .train_loss
+                .push((epoch_loss / batches.max(1) as f64) as f32);
+            history.epochs_run += 1;
+
+            if let Some((vx, vy)) = validation {
+                let vloss = cross_entropy_loss_weighted(
+                    net.forward_ws(vx, &mut fws),
+                    vy,
+                    self.config.class_weights.as_deref(),
+                );
+                history.val_loss.push(vloss);
+                if vloss < best_val {
+                    best_val = vloss;
+                    history.best_epoch = Some(history.epochs_run - 1);
+                    stale_epochs = 0;
+                    if self.config.restore_best {
+                        best_weights = Some(net.clone());
+                    }
+                } else {
+                    stale_epochs += 1;
+                    if let Some(patience) = self.config.patience {
+                        if stale_epochs >= patience {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_weights {
+            *net = best;
+        }
+        Ok(history)
+    }
+
+    /// Train `net` from a [`BatchSource`] without materialising an
+    /// epoch-sized matrix.
+    ///
+    /// Two regimes, selected by [`TrainConfig::shuffle_window`]:
+    ///
+    /// * **Full window** (`None`, or a window ≥ the pass length): the pass
+    ///   is buffered once and the run delegates to [`Trainer::fit`] — the
+    ///   result is bitwise-identical to materialised training on the same
+    ///   rows and seed. This is the compatibility adapter.
+    /// * **Bounded window** (`Some(w)` with `w` < pass length): rows are
+    ///   pulled into a `w`-row buffer, shuffled within it (seed-pinned
+    ///   `SplitMix64`), drained as mini-batches through the reusable
+    ///   forward/backward workspaces, and the buffer is refilled. Peak
+    ///   trainer memory is `w` rows + workspaces regardless of pass
+    ///   length. The RNG consumes one shuffle per *window*, and window
+    ///   boundaries depend only on pass length and `w` — never on the
+    ///   source's chunk size — so results are chunk-size independent.
+    ///
+    /// Validation/early-stopping semantics match [`Trainer::fit`]; the
+    /// validation set stays materialised (it is small by construction).
+    pub fn fit_streaming(
+        &mut self,
+        net: &mut Network,
+        source: &mut dyn BatchSource,
+        validation: Option<(&Matrix, &[usize])>,
+        seed: u64,
+    ) -> Result<TrainHistory, NnError> {
+        let n = source.num_rows();
+        let width = source.width();
+        if n == 0 {
+            return Err(NnError::InvalidTrainingData("empty training set".into()));
+        }
+        if self.config.batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if self.config.shuffle_window == Some(0) {
+            return Err(NnError::InvalidConfig(
+                "shuffle_window must be positive".into(),
+            ));
+        }
+        if let Some((vx, vy)) = validation {
+            if vx.rows() != vy.len() {
+                return Err(NnError::InvalidTrainingData(format!(
+                    "{} validation samples but {} labels",
+                    vx.rows(),
+                    vy.len()
+                )));
+            }
+        }
+        let rows_total = diagnet_obs::global().counter(
+            TRAIN_ROWS_TOTAL,
+            &[],
+            "rows consumed by streaming training",
+        );
+
+        let window = self.config.shuffle_window.unwrap_or(n);
+        if window >= n {
+            // Full-window regime: buffer the pass once and run the exact
+            // materialised loop, so streamed == materialised bitwise.
+            let mut xd: Vec<f32> = Vec::with_capacity(n * width);
+            let mut y: Vec<usize> = Vec::with_capacity(n);
+            source.reset();
+            while source.next_rows(usize::MAX, &mut xd, &mut y) > 0 {}
+            if y.len() != n || xd.len() != n * width {
+                return Err(NnError::InvalidTrainingData(format!(
+                    "source promised {n} rows but yielded {}",
+                    y.len()
+                )));
+            }
+            let x = Matrix::from_vec(n, width, xd);
+            let history = self.fit(net, &x, &y, validation, seed)?;
+            rows_total.add((n * history.epochs_run) as u64);
+            return Ok(history);
+        }
+
+        let mut rng = SplitMix64::new(seed);
+        let mut grads = Gradients::zeros_like(net);
+        let mut history = TrainHistory::default();
+        let mut best_val = f32::INFINITY;
+        let mut best_weights: Option<Network> = None;
+        let mut stale_epochs = 0usize;
+        let mut fws = ForwardWorkspace::new(net);
+        let mut bws = BackwardWorkspace::new(net);
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by: Vec<usize> = Vec::with_capacity(self.config.batch_size);
+        // The window buffer is the only pass-length-independent state that
+        // scales with `window`; it is reused across refills and epochs.
+        let mut wx: Vec<f32> = Vec::with_capacity(window * width);
+        let mut wy: Vec<usize> = Vec::with_capacity(window);
+        let mut order: Vec<usize> = Vec::with_capacity(window);
+
+        for _epoch in 0..self.config.epochs {
+            source.reset();
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            loop {
+                wx.clear();
+                wy.clear();
+                // Fill the window, ignoring source chunk boundaries: the
+                // number of rows per window depends only on `n` and
+                // `window`, which keeps the RNG schedule chunk-agnostic.
+                while wy.len() < window {
+                    if source.next_rows(window - wy.len(), &mut wx, &mut wy) == 0 {
+                        break;
+                    }
+                }
+                let filled = wy.len();
+                if filled == 0 {
+                    break;
+                }
+                order.clear();
+                order.extend(0..filled);
+                if self.config.shuffle {
+                    rng.shuffle(&mut order);
+                }
+                for chunk in order.chunks(self.config.batch_size) {
+                    bx.resize(chunk.len(), width);
+                    for (dst, &i) in chunk.iter().enumerate() {
+                        bx.row_mut(dst)
+                            .copy_from_slice(&wx[i * width..(i + 1) * width]);
+                    }
+                    by.clear();
+                    by.extend(chunk.iter().map(|&i| wy[i]));
+                    grads.zero();
+                    let loss = net.loss_gradients_weighted_ws(
+                        &bx,
+                        &by,
+                        self.config.class_weights.as_deref(),
+                        &mut grads,
+                        &mut fws,
+                        &mut bws,
+                    );
+                    self.optimizer.step(net, &grads);
+                    epoch_loss += loss as f64;
+                    batches += 1;
+                }
+                rows_total.add(filled as u64);
             }
             history
                 .train_loss
@@ -393,6 +578,138 @@ mod tests {
             "weighted minority recall {weighted} < unweighted {unweighted}"
         );
         assert!(weighted > 0.5, "weighted minority recall = {weighted}");
+    }
+
+    /// A [`BatchSource`] that yields at most `chunk` rows per call,
+    /// exercising the trainer's chunk-boundary handling.
+    struct ChunkedSource<'a> {
+        inner: crate::batch::MatrixBatchSource<'a>,
+        chunk: usize,
+    }
+
+    impl BatchSource for ChunkedSource<'_> {
+        fn num_rows(&self) -> usize {
+            self.inner.num_rows()
+        }
+        fn width(&self) -> usize {
+            self.inner.width()
+        }
+        fn reset(&mut self) {
+            self.inner.reset();
+        }
+        fn next_rows(&mut self, limit: usize, x: &mut Vec<f32>, y: &mut Vec<usize>) -> usize {
+            self.inner.next_rows(limit.min(self.chunk), x, y)
+        }
+    }
+
+    #[test]
+    fn streaming_full_window_matches_fit_bitwise() {
+        let (x, y) = blobs(120, 23);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            patience: None,
+            ..Default::default()
+        };
+        let mut net_fit = classifier();
+        Trainer::new(cfg.clone(), SgdNesterov::paper_default())
+            .fit(&mut net_fit, &x, &y, None, 77)
+            .unwrap();
+        // Regardless of how raggedly the source chunks the pass, the
+        // full-window streaming path must reproduce `fit` bitwise.
+        for chunk in [7usize, 16, 120] {
+            let mut net = classifier();
+            let mut src = ChunkedSource {
+                inner: crate::batch::MatrixBatchSource::new(&x, &y),
+                chunk,
+            };
+            Trainer::new(cfg.clone(), SgdNesterov::paper_default())
+                .fit_streaming(&mut net, &mut src, None, 77)
+                .unwrap();
+            assert_eq!(net, net_fit, "source chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn streaming_full_window_matches_fit_with_validation() {
+        let (x, y) = blobs(160, 25);
+        let (tx, ty, vx, vy) = train_val_split(&x, &y, 0.25, 2);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 16,
+            patience: Some(2),
+            ..Default::default()
+        };
+        let mut net_fit = classifier();
+        let h_fit = Trainer::new(cfg.clone(), SgdNesterov::paper_default())
+            .fit(&mut net_fit, &tx, &ty, Some((&vx, &vy)), 5)
+            .unwrap();
+        let mut net = classifier();
+        let mut src = ChunkedSource {
+            inner: crate::batch::MatrixBatchSource::new(&tx, &ty),
+            chunk: 13,
+        };
+        let h = Trainer::new(cfg, SgdNesterov::paper_default())
+            .fit_streaming(&mut net, &mut src, Some((&vx, &vy)), 5)
+            .unwrap();
+        assert_eq!(net, net_fit);
+        assert_eq!(h.epochs_run, h_fit.epochs_run);
+        assert_eq!(h.val_loss, h_fit.val_loss);
+        assert_eq!(h.best_epoch, h_fit.best_epoch);
+    }
+
+    #[test]
+    fn bounded_window_is_chunk_size_independent_and_learns() {
+        let (x, y) = blobs(200, 27);
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            patience: None,
+            shuffle_window: Some(48),
+            ..Default::default()
+        };
+        let run = |chunk: usize| {
+            let mut net = classifier();
+            let mut src = ChunkedSource {
+                inner: crate::batch::MatrixBatchSource::new(&x, &y),
+                chunk,
+            };
+            let hist = Trainer::new(cfg.clone(), SgdNesterov::new(0.1, 0.9, 0.0))
+                .fit_streaming(&mut net, &mut src, None, 31)
+                .unwrap();
+            (net, hist)
+        };
+        // Window refills draw on the RNG per *window*, never per source
+        // chunk: any chunking must give identical weights.
+        let (net_a, hist) = run(5);
+        let (net_b, _) = run(48);
+        let (net_c, _) = run(200);
+        assert_eq!(net_a, net_b);
+        assert_eq!(net_a, net_c);
+        let preds = net_a.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct as f32 / y.len() as f32 > 0.9);
+        assert_eq!(hist.epochs_run, 20);
+    }
+
+    #[test]
+    fn streaming_rejects_bad_inputs() {
+        let (x, y) = blobs(10, 29);
+        let mut net = classifier();
+        let empty_x = Matrix::zeros(0, 2);
+        let empty_y: Vec<usize> = Vec::new();
+        let mut empty = crate::batch::MatrixBatchSource::new(&empty_x, &empty_y);
+        let mut trainer = Trainer::new(TrainConfig::default(), SgdNesterov::paper_default());
+        assert!(trainer
+            .fit_streaming(&mut net, &mut empty, None, 1)
+            .is_err());
+        let cfg = TrainConfig {
+            shuffle_window: Some(0),
+            ..Default::default()
+        };
+        let mut src = crate::batch::MatrixBatchSource::new(&x, &y);
+        let mut trainer = Trainer::new(cfg, SgdNesterov::paper_default());
+        assert!(trainer.fit_streaming(&mut net, &mut src, None, 1).is_err());
     }
 
     #[test]

@@ -270,7 +270,10 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 11);
         cfg.n_scenarios = 1;
-        Dataset::generate(&world, &cfg).samples.remove(0)
+        Dataset::generate(&world, &cfg)
+            .expect("generate")
+            .samples
+            .remove(0)
     }
 
     #[test]

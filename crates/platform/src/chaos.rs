@@ -300,7 +300,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 21);
         cfg.n_scenarios = 8;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         Arc::new(ForestBackend::train(
             &ForestConfig::default(),
             &ds,
@@ -340,7 +340,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 22);
         cfg.n_scenarios = 10;
-        let samples = Dataset::generate(&world, &cfg).samples;
+        let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
 
         let run = |seed: u64| {
             let corruptor = ProbeCorruptor::new(0.1, seed);

@@ -142,7 +142,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, seed);
         cfg.n_scenarios = n_scenarios;
-        Dataset::generate(&world, &cfg).samples
+        Dataset::generate(&world, &cfg).expect("generate").samples
     }
 
     #[test]

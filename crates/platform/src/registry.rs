@@ -156,7 +156,7 @@ mod tests {
             let world = World::new();
             let mut cfg = DatasetConfig::small(&world, 71);
             cfg.n_scenarios = 15;
-            let ds = Dataset::generate(&world, &cfg);
+            let ds = Dataset::generate(&world, &cfg).expect("generate");
             let split = ds.split(0.8, 71);
             let mut mc = DiagNetConfig::fast();
             mc.epochs = 2;
@@ -268,7 +268,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 72);
         cfg.n_scenarios = 10;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let forest =
             ForestBackend::train(&ForestConfig::default(), &ds, &FeatureSchema::known(), 72);
         let reg = ModelRegistry::new();

@@ -478,7 +478,9 @@ mod tests {
         let service = AnalysisService::new(config, FeatureSchema::full());
         let mut ds_cfg = DatasetConfig::small(&world, 90);
         ds_cfg.n_scenarios = 15;
-        let samples = Dataset::generate(&world, &ds_cfg).samples;
+        let samples = Dataset::generate(&world, &ds_cfg)
+            .expect("generate")
+            .samples;
         (world, service, samples)
     }
 
@@ -561,7 +563,9 @@ mod tests {
         let service = AnalysisService::new(config, FeatureSchema::full());
         let mut ds_cfg = DatasetConfig::small(&world, 91);
         ds_cfg.n_scenarios = 1;
-        let samples = Dataset::generate(&world, &ds_cfg).samples;
+        let samples = Dataset::generate(&world, &ds_cfg)
+            .expect("generate")
+            .samples;
 
         service.set_intake_paused(true);
         let outcomes: Vec<SubmitOutcome> = samples

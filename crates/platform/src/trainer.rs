@@ -430,7 +430,7 @@ mod tests {
         let collector = Arc::new(ProbeCollector::new(100_000, FeatureSchema::full()));
         let mut cfg = DatasetConfig::small(&world, seed);
         cfg.n_scenarios = 15;
-        for s in Dataset::generate(&world, &cfg).samples {
+        for s in Dataset::generate(&world, &cfg).expect("generate").samples {
             collector.submit(s);
         }
         (world, collector)

@@ -57,7 +57,7 @@ fn chaotic_service(
     );
     let mut cfg = DatasetConfig::small(&world, seed);
     cfg.n_scenarios = 15;
-    let samples = Dataset::generate(&world, &cfg).samples;
+    let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
     (world, service, chaos, samples)
 }
 
@@ -243,7 +243,7 @@ fn worker_drop_during_stalled_retrain_is_prompt() {
     let collector = Arc::new(ProbeCollector::new(100_000, FeatureSchema::full()));
     let mut cfg = DatasetConfig::small(&world, 9040);
     cfg.n_scenarios = 10;
-    for s in Dataset::generate(&world, &cfg).samples {
+    for s in Dataset::generate(&world, &cfg).expect("generate").samples {
         collector.submit(s);
     }
     let chaos = Arc::new(ChaosPipeline::scripted(

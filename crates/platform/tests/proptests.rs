@@ -14,7 +14,7 @@ fn pool() -> &'static Vec<diagnet_sim::dataset::Sample> {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 808);
         cfg.n_scenarios = 3;
-        Dataset::generate(&world, &cfg).samples
+        Dataset::generate(&world, &cfg).expect("generate").samples
     })
 }
 

@@ -28,7 +28,7 @@ fn swap_racing_readers_see_only_whole_generations() {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, 93);
     cfg.n_scenarios = 12;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let mut mc = DiagNetConfig::fast();
     mc.epochs = 1;
     let model_a = DiagNet::train(&mc, &ds, 93).expect("train model a");

@@ -30,7 +30,7 @@ fn fixture() -> (World, Arc<AnalysisService>, Vec<Sample>) {
     ));
     let mut cfg = DatasetConfig::small(&world, 500);
     cfg.n_scenarios = 15;
-    let samples = Dataset::generate(&world, &cfg).samples;
+    let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
     (world, service, samples)
 }
 
@@ -123,7 +123,7 @@ fn baseline_backend_hot_swaps_into_a_live_service() {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, 501);
     cfg.n_scenarios = 10;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let forest = ForestBackend::train(&ForestConfig::default(), &ds, &FeatureSchema::known(), 501);
     let snapshot = service.registry().general().unwrap();
     service
@@ -160,7 +160,7 @@ fn service_trains_a_configured_baseline_backend() {
     );
     let mut cfg = DatasetConfig::small(&world, 502);
     cfg.n_scenarios = 10;
-    let samples = Dataset::generate(&world, &cfg).samples;
+    let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
     for s in &samples {
         service.submit(s.clone());
     }
@@ -199,7 +199,7 @@ fn sliding_window_keeps_service_trainable() {
     );
     let mut cfg = DatasetConfig::small(&world, 600);
     cfg.n_scenarios = 12;
-    for s in Dataset::generate(&world, &cfg).samples {
+    for s in Dataset::generate(&world, &cfg).expect("generate").samples {
         service.submit(s);
     }
     assert_eq!(service.buffered_samples(), 600);

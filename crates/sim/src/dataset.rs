@@ -17,10 +17,34 @@ use crate::metrics::FeatureSchema;
 use crate::region::{Region, ALL_REGIONS};
 use crate::scenario::ScenarioGenerator;
 use crate::service::ServiceId;
+use crate::stream::DatasetStream;
 use crate::world::{Observation, World};
 use diagnet_rng::SplitMix64;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed generation-configuration errors (the old path `assert!`ed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// `client_regions` was empty: no client would probe anything.
+    NoClientRegions,
+    /// `services` was empty: no service visits to observe.
+    NoServices,
+    /// A chunked API was asked for chunks of zero samples.
+    ZeroChunkSize,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoClientRegions => write!(f, "no client regions configured"),
+            SimError::NoServices => write!(f, "no services configured"),
+            SimError::ZeroChunkSize => write!(f, "chunk size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A labelled sample; alias of [`Observation`] for readability at API
 /// boundaries.
@@ -92,41 +116,21 @@ pub struct SplitDataset {
 }
 
 impl Dataset {
-    /// Generate a dataset. Parallelised over scenarios; deterministic in
-    /// `config.seed`.
-    pub fn generate(world: &World, config: &DatasetConfig) -> Dataset {
-        assert!(!config.client_regions.is_empty(), "no client regions");
-        assert!(!config.services.is_empty(), "no services");
-        let per_scenario = config.client_regions.len() * config.services.len();
-        let samples: Vec<Sample> = (0..config.n_scenarios as u64)
-            .into_par_iter()
-            .flat_map_iter(|si| {
-                let scenario = config.generator.generate(si, config.seed);
-                let world = world.clone();
-                let regions = config.client_regions.clone();
-                let services = config.services.clone();
-                let base = si * per_scenario as u64;
-                regions
-                    .into_iter()
-                    .enumerate()
-                    .flat_map(move |(ri, region)| {
-                        let scenario = scenario.clone();
-                        let world = world.clone();
-                        let services = services.clone();
-                        let n_services = services.len();
-                        services.into_iter().enumerate().map(move |(vi, service)| {
-                            // Unique per (scenario, region, service).
-                            let unique = base + (ri * n_services + vi) as u64;
-                            let seed = SplitMix64::derive(config.seed ^ 0x5EED_DA7A, unique);
-                            world.observe(region, service, &scenario, seed)
-                        })
-                    })
-            })
-            .collect();
-        Dataset {
+    /// Generate a dataset: a thin `collect()` over [`DatasetStream`], the
+    /// chunk-oriented generator in [`crate::stream`]. Parallelised within
+    /// each chunk; deterministic in `config.seed` (every sample derives its
+    /// own seed from its global index, so chunk boundaries and thread
+    /// counts cannot change values).
+    pub fn generate(world: &World, config: &DatasetConfig) -> Result<Dataset, SimError> {
+        let stream = DatasetStream::new(world, config, crate::stream::DEFAULT_CHUNK_SIZE)?;
+        let mut samples = Vec::with_capacity(config.n_samples());
+        for chunk in stream {
+            samples.extend(chunk.samples);
+        }
+        Ok(Dataset {
             schema: world.schema.clone(),
             samples,
-        }
+        })
     }
 
     /// Number of samples.
@@ -253,8 +257,25 @@ mod tests {
     fn small_dataset(seed: u64) -> (World, Dataset) {
         let world = World::new();
         let cfg = DatasetConfig::small(&world, seed);
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         (world, ds)
+    }
+
+    #[test]
+    fn empty_configs_are_rejected_with_typed_errors() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 1);
+        cfg.client_regions = Vec::new();
+        assert_eq!(
+            Dataset::generate(&world, &cfg).err(),
+            Some(SimError::NoClientRegions)
+        );
+        let mut cfg = DatasetConfig::small(&world, 1);
+        cfg.services = Vec::new();
+        assert_eq!(
+            Dataset::generate(&world, &cfg).err(),
+            Some(SimError::NoServices)
+        );
     }
 
     #[test]
@@ -379,7 +400,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 11);
         cfg.client_regions = vec![Region::Amst, Region::Toky];
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         assert_eq!(ds.len(), 40 * 2 * 10);
         assert!(ds
             .samples

@@ -78,7 +78,7 @@ mod tests {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 909);
         cfg.n_scenarios = 4;
-        let ds = crate::dataset::Dataset::generate(&world, &cfg);
+        let ds = crate::dataset::Dataset::generate(&world, &cfg).expect("generate");
         let mut buf = Vec::new();
         write_csv(&ds, &mut buf).unwrap();
         (ds, String::from_utf8(buf).unwrap())

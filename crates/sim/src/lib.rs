@@ -33,6 +33,9 @@
 //! * [`dataset`] — parallel, deterministic dataset generation with the
 //!   paper's hidden-landmark protocol (EAST, GRAV, SEAT unseen during
 //!   training);
+//! * [`stream`] — the chunk-oriented generator underneath it:
+//!   bounded-memory [`stream::SampleChunk`] iteration for million-probe
+//!   runs, bit-identical to the materialised path at any chunk size;
 //! * [`timeline`] — multi-day measurement campaigns (the paper's two-week
 //!   collection) as time-ordered sample streams for the online analysis
 //!   service.
@@ -48,10 +51,11 @@ pub mod metrics;
 pub mod region;
 pub mod scenario;
 pub mod service;
+pub mod stream;
 pub mod timeline;
 pub mod world;
 
-pub use dataset::{Dataset, DatasetConfig, Sample, SplitDataset};
+pub use dataset::{Dataset, DatasetConfig, Sample, SimError, SplitDataset};
 pub use fault::{Fault, FaultFamily, FaultLocation};
 pub use metrics::{
     CoarseFamily, FeatureId, FeatureSchema, LandmarkMetric, LocalMetric, K_LANDMARK_METRICS,
@@ -60,5 +64,8 @@ pub use metrics::{
 pub use region::{CloudProvider, Region, ALL_REGIONS, HIDDEN_LANDMARKS, SERVICE_REGIONS};
 pub use scenario::{Scenario, ScenarioKind};
 pub use service::{Service, ServiceCatalog, ServiceId};
+pub use stream::{
+    DatasetStream, MaterializedSource, SampleChunk, SampleSource, DEFAULT_CHUNK_SIZE,
+};
 pub use timeline::{Campaign, CampaignConfig, Window};
 pub use world::{Label, Observation, World};

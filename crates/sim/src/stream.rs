@@ -1,0 +1,357 @@
+//! Chunk-oriented streaming dataset generation.
+//!
+//! [`Dataset::generate`] materialises every sample in one `Vec`, which caps
+//! experiments far below the paper's "Internet-scale" framing: a million
+//! probes at the full 55-feature schema is hundreds of megabytes before
+//! training even starts. [`DatasetStream`] produces the *same* samples — in
+//! the same order, from the same per-(scenario, region, service) seed
+//! derivation — as a deterministic iterator of bounded [`SampleChunk`]s, so
+//! generation memory is `O(chunk_size)` regardless of probe count.
+//!
+//! Determinism contract: sample `u` (global generation index) is produced
+//! from `SplitMix64::derive(config.seed ^ 0x5EED_DA7A, u)` exactly as the
+//! materialised path does, and scenarios are regenerated per chunk from
+//! `config.generator.generate(si, config.seed)`. Chunk boundaries therefore
+//! cannot influence sample values: any chunk size yields a bit-identical
+//! concatenated dataset, and `Dataset::generate` is now a thin `collect()`
+//! adapter over this stream.
+//!
+//! Within a chunk, samples are generated rayon-parallel; across chunks the
+//! iterator is sequential, so peak memory is one chunk plus the per-thread
+//! stacks. The stream borrows the world, the client regions and the service
+//! list — the per-scenario `world.clone()` / `regions.clone()` /
+//! `services.clone()` of the old generation loop are gone.
+
+use crate::dataset::{Dataset, DatasetConfig, Sample, SimError};
+use crate::metrics::FeatureSchema;
+use crate::scenario::Scenario;
+use crate::world::World;
+use diagnet_obs::Counter;
+use diagnet_rng::SplitMix64;
+use rayon::prelude::*;
+
+/// Name of the counter of generated sample chunks.
+pub const GEN_CHUNKS_TOTAL: &str = "diagnet_gen_chunks_total";
+/// Name of the counter of generated samples.
+pub const GEN_SAMPLES_TOTAL: &str = "diagnet_gen_samples_total";
+
+/// Default chunk size: large enough to amortise rayon fan-out, small enough
+/// that a chunk of 55-feature samples stays a few megabytes.
+pub const DEFAULT_CHUNK_SIZE: usize = 8192;
+
+/// A contiguous run of generated samples.
+///
+/// `start` is the global generation index of `samples[0]`; concatenating
+/// chunks in iteration order reproduces the materialised dataset exactly.
+#[derive(Debug, Clone)]
+pub struct SampleChunk {
+    /// Global index of the first sample in this chunk.
+    pub start: usize,
+    /// The samples, in generation order.
+    pub samples: Vec<Sample>,
+}
+
+impl SampleChunk {
+    /// Number of samples in the chunk.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A resettable producer of [`SampleChunk`]s.
+///
+/// Implemented by [`DatasetStream`] (generate on the fly, bounded memory)
+/// and [`MaterializedSource`] (re-chunk an existing [`Dataset`]), so
+/// consumers — the streaming trainer, exporters, benches — are agnostic to
+/// whether the data ever existed in RAM at once.
+pub trait SampleSource {
+    /// The full measurement schema the sample features are laid out in.
+    fn schema(&self) -> &FeatureSchema;
+
+    /// Total number of samples the source will yield per pass.
+    fn n_samples(&self) -> usize;
+
+    /// Rewind to the first chunk (the next pass yields identical chunks).
+    fn reset(&mut self);
+
+    /// The next chunk, or `None` when the pass is exhausted.
+    fn next_chunk(&mut self) -> Option<SampleChunk>;
+}
+
+/// Streaming generator: yields the samples of `Dataset::generate(world,
+/// config)` as bounded chunks without ever materialising the whole set.
+#[derive(Debug)]
+pub struct DatasetStream<'a> {
+    world: &'a World,
+    config: &'a DatasetConfig,
+    chunk_size: usize,
+    next: usize,
+    total: usize,
+    per_scenario: usize,
+    chunks_total: Counter,
+    samples_total: Counter,
+}
+
+impl<'a> DatasetStream<'a> {
+    /// Create a stream over `config`'s sample space in chunks of
+    /// `chunk_size`. Fails on an empty region/service list or a zero chunk
+    /// size.
+    pub fn new(
+        world: &'a World,
+        config: &'a DatasetConfig,
+        chunk_size: usize,
+    ) -> Result<Self, SimError> {
+        if config.client_regions.is_empty() {
+            return Err(SimError::NoClientRegions);
+        }
+        if config.services.is_empty() {
+            return Err(SimError::NoServices);
+        }
+        if chunk_size == 0 {
+            return Err(SimError::ZeroChunkSize);
+        }
+        let registry = diagnet_obs::global();
+        Ok(DatasetStream {
+            world,
+            config,
+            chunk_size,
+            next: 0,
+            total: config.n_samples(),
+            per_scenario: config.client_regions.len() * config.services.len(),
+            chunks_total: registry.counter(GEN_CHUNKS_TOTAL, &[], "sample chunks generated"),
+            samples_total: registry.counter(GEN_SAMPLES_TOTAL, &[], "samples generated"),
+        })
+    }
+
+    /// The configured chunk size (the last chunk of a pass may be shorter).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Generate samples for global indices `start..end` (rayon-parallel,
+    /// deterministic: each sample derives its own seed from its global
+    /// index, so thread count and chunk boundaries cannot change values).
+    fn generate_range(&self, start: usize, end: usize) -> Vec<Sample> {
+        let per_scenario = self.per_scenario;
+        let n_services = self.config.services.len();
+        let si_first = start / per_scenario;
+        let si_last = (end - 1) / per_scenario;
+        // Scenarios spanned by this chunk, regenerated deterministically.
+        let scenarios: Vec<Scenario> = (si_first..=si_last)
+            .map(|si| self.config.generator.generate(si as u64, self.config.seed))
+            .collect();
+        let world = self.world;
+        let regions = &self.config.client_regions;
+        let services = &self.config.services;
+        let seed = self.config.seed;
+        (start..end)
+            .into_par_iter()
+            .map(|u| {
+                let si = u / per_scenario;
+                let rest = u % per_scenario;
+                let ri = rest / n_services;
+                let vi = rest % n_services;
+                // Unique per (scenario, region, service): same derivation
+                // as the materialised path, keyed by the global index.
+                let sample_seed = SplitMix64::derive(seed ^ 0x5EED_DA7A, u as u64);
+                world.observe(
+                    regions[ri],
+                    services[vi],
+                    &scenarios[si - si_first],
+                    sample_seed,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Iterator for DatasetStream<'_> {
+    type Item = SampleChunk;
+
+    fn next(&mut self) -> Option<SampleChunk> {
+        if self.next >= self.total {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.chunk_size).min(self.total);
+        self.next = end;
+        let samples = self.generate_range(start, end);
+        self.chunks_total.inc();
+        self.samples_total.add(samples.len() as u64);
+        Some(SampleChunk { start, samples })
+    }
+}
+
+impl SampleSource for DatasetStream<'_> {
+    fn schema(&self) -> &FeatureSchema {
+        &self.world.schema
+    }
+
+    fn n_samples(&self) -> usize {
+        self.total
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn next_chunk(&mut self) -> Option<SampleChunk> {
+        Iterator::next(self)
+    }
+}
+
+/// Adapter presenting an already-materialised [`Dataset`] as a
+/// [`SampleSource`]: the legacy collect-everything path re-chunked, so
+/// streaming consumers accept either representation.
+#[derive(Debug)]
+pub struct MaterializedSource<'a> {
+    dataset: &'a Dataset,
+    chunk_size: usize,
+    next: usize,
+}
+
+impl<'a> MaterializedSource<'a> {
+    /// Present `dataset` as chunks of `chunk_size`.
+    pub fn new(dataset: &'a Dataset, chunk_size: usize) -> Result<Self, SimError> {
+        if chunk_size == 0 {
+            return Err(SimError::ZeroChunkSize);
+        }
+        Ok(MaterializedSource {
+            dataset,
+            chunk_size,
+            next: 0,
+        })
+    }
+}
+
+impl SampleSource for MaterializedSource<'_> {
+    fn schema(&self) -> &FeatureSchema {
+        &self.dataset.schema
+    }
+
+    fn n_samples(&self) -> usize {
+        self.dataset.samples.len()
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
+    fn next_chunk(&mut self) -> Option<SampleChunk> {
+        if self.next >= self.dataset.samples.len() {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.chunk_size).min(self.dataset.samples.len());
+        self.next = end;
+        Some(SampleChunk {
+            start,
+            samples: self.dataset.samples[start..end].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+
+    fn world_and_config(seed: u64) -> (World, DatasetConfig) {
+        let world = World::new();
+        let cfg = DatasetConfig::small(&world, seed);
+        (world, cfg)
+    }
+
+    #[test]
+    fn stream_concatenation_matches_materialized() {
+        let (world, cfg) = world_and_config(5);
+        let materialized = Dataset::generate(&world, &cfg).expect("generate");
+        // Several chunk sizes, including a non-divisor of 4000 (= 40·10·10)
+        // and one larger than the dataset.
+        for chunk_size in [1usize, 97, 256, 4000, 5000] {
+            let stream = DatasetStream::new(&world, &cfg, chunk_size).expect("stream");
+            let mut samples = Vec::new();
+            let mut expect_start = 0usize;
+            for chunk in stream {
+                assert_eq!(chunk.start, expect_start, "chunk_size {chunk_size}");
+                expect_start += chunk.samples.len();
+                assert!(chunk.samples.len() <= chunk_size);
+                samples.extend(chunk.samples);
+            }
+            assert_eq!(samples, materialized.samples, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn stream_resets_to_identical_pass() {
+        let (world, cfg) = world_and_config(7);
+        let mut stream = DatasetStream::new(&world, &cfg, 301).expect("stream");
+        let first: Vec<Sample> = std::iter::from_fn(|| SampleSource::next_chunk(&mut stream))
+            .flat_map(|c| c.samples)
+            .collect();
+        stream.reset();
+        let second: Vec<Sample> = std::iter::from_fn(|| SampleSource::next_chunk(&mut stream))
+            .flat_map(|c| c.samples)
+            .collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), stream.n_samples());
+    }
+
+    #[test]
+    fn materialized_source_round_trips() {
+        let (world, cfg) = world_and_config(9);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
+        let mut src = MaterializedSource::new(&ds, 97).expect("source");
+        assert_eq!(src.n_samples(), ds.len());
+        let collected: Vec<Sample> = std::iter::from_fn(|| src.next_chunk())
+            .flat_map(|c| c.samples)
+            .collect();
+        assert_eq!(collected, ds.samples);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 1);
+        cfg.client_regions = Vec::new();
+        assert_eq!(
+            DatasetStream::new(&world, &cfg, 64).err(),
+            Some(SimError::NoClientRegions)
+        );
+        let mut cfg = DatasetConfig::small(&world, 1);
+        cfg.services = Vec::new();
+        assert_eq!(
+            DatasetStream::new(&world, &cfg, 64).err(),
+            Some(SimError::NoServices)
+        );
+        let cfg = DatasetConfig::small(&world, 1);
+        assert_eq!(
+            DatasetStream::new(&world, &cfg, 0).err(),
+            Some(SimError::ZeroChunkSize)
+        );
+        let ds = Dataset {
+            schema: world.schema.clone(),
+            samples: Vec::new(),
+        };
+        assert_eq!(
+            MaterializedSource::new(&ds, 0).err(),
+            Some(SimError::ZeroChunkSize)
+        );
+    }
+
+    #[test]
+    fn restricted_regions_stream_identically() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 11);
+        cfg.client_regions = vec![Region::Amst, Region::Toky];
+        let materialized = Dataset::generate(&world, &cfg).expect("generate");
+        let stream = DatasetStream::new(&world, &cfg, 33).expect("stream");
+        let samples: Vec<Sample> = stream.flat_map(|c| c.samples).collect();
+        assert_eq!(samples, materialized.samples);
+    }
+}

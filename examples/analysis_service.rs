@@ -37,7 +37,8 @@ fn main() {
 
     // Clients around the world browse for a while, submitting probes.
     println!("clients submitting probes…");
-    let data = Dataset::generate(&world, &DatasetConfig::standard(&world, 60, 7));
+    let data =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 60, 7)).expect("generate");
     for s in data.samples {
         service.submit(s);
     }
@@ -89,7 +90,8 @@ fn main() {
     // More probes arrive; a second generation supersedes the first while
     // earlier diagnoses keep their model snapshot. (The worker fires every
     // 5 000 submissions: 6 000 initial + 4 000 here crosses 10 000.)
-    let more = Dataset::generate(&world, &DatasetConfig::standard(&world, 40, 8));
+    let more =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 40, 8)).expect("generate");
     for s in more.samples {
         service.submit(s);
     }

@@ -13,7 +13,8 @@ use diagnet_sim::world::World;
 
 fn main() {
     let world = World::new();
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 100, 17));
+    let dataset =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 100, 17)).expect("generate");
     let split = dataset.split(0.8, 17);
     let train_schema = FeatureSchema::known();
     let full = FeatureSchema::full();

@@ -15,7 +15,8 @@ use diagnet_sim::world::World;
 
 fn main() {
     let world = World::new();
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 5));
+    let dataset =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 5)).expect("generate");
     let split = dataset.split(0.8, 5);
     let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 5).expect("training");
     println!(

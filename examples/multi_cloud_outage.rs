@@ -20,7 +20,8 @@ fn main() {
 
     // Train on historical data (no outage yet).
     println!("training on two weeks of historical probes…");
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 21));
+    let dataset =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 21)).expect("generate");
     let split = dataset.split(0.8, 21);
     let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 21).expect("training");
 

@@ -19,7 +19,7 @@ fn main() {
     //    and split them with the paper's hidden-landmark protocol (EAST,
     //    GRAV and SEAT are never seen during training).
     let config = DatasetConfig::standard(&world, 80, 7);
-    let dataset = Dataset::generate(&world, &config);
+    let dataset = Dataset::generate(&world, &config).expect("generate");
     println!(
         "dataset: {} samples ({} nominal, {} faulty)",
         dataset.len(),

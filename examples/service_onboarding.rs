@@ -14,7 +14,8 @@ use std::time::Instant;
 
 fn main() {
     let world = World::new();
-    let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 13));
+    let dataset =
+        Dataset::generate(&world, &DatasetConfig::standard(&world, 80, 13)).expect("generate");
     let split = dataset.split(0.8, 13);
 
     // The provider initially monitors eight services.

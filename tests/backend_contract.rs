@@ -29,7 +29,7 @@ fn fixture() -> &'static Fixture {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, SEED);
         cfg.n_scenarios = 40;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, SEED);
         let mut config = BackendConfig::from_diagnet(DiagNetConfig::fast());
         config.bayes.kde_cap = 64;

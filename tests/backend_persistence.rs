@@ -16,7 +16,7 @@ fn data() -> (Dataset, Dataset) {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, SEED);
     cfg.n_scenarios = 30;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let split = ds.split(0.8, SEED);
     (split.train, split.test)
 }

@@ -26,7 +26,7 @@ fn fixture() -> &'static Fixture {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 33);
         cfg.n_scenarios = 80;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 33);
         let schema = FeatureSchema::known();
         let diagnet = DiagNet::train(&DiagNetConfig::fast(), &split.train, 33).unwrap();

@@ -21,7 +21,7 @@ fn fixture() -> &'static Fixture {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 77);
         cfg.n_scenarios = 80;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 77);
         let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 77).unwrap();
         Fixture {

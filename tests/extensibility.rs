@@ -16,7 +16,7 @@ fn trained() -> &'static (Dataset, DiagNet) {
     static CELL: OnceLock<(Dataset, DiagNet)> = OnceLock::new();
     CELL.get_or_init(|| {
         let world = World::new();
-        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 55));
+        let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 55)).expect("generate");
         let split = ds.split(0.8, 55);
         let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 55).unwrap();
         (split.test, model)
@@ -119,7 +119,7 @@ fn landmark_permutation_does_not_change_coarse_prediction() {
 fn baselines_accept_unseen_landmarks() {
     let (test, model) = trained();
     let world = World::new();
-    let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 56));
+    let ds = Dataset::generate(&world, &DatasetConfig::small(&world, 56)).expect("generate");
     let split = ds.split(0.8, 56);
     let schema = FeatureSchema::known();
     let forest = ForestRanker::train(&model.config.forest, &split.train, &schema, 1);

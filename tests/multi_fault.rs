@@ -18,7 +18,7 @@ fn model() -> &'static (World, DiagNet) {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 1212);
         cfg.n_scenarios = 80;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 1212);
         let model = DiagNet::train(&DiagNetConfig::fast(), &split.train, 1212).unwrap();
         (world, model)

@@ -25,7 +25,7 @@ fn backends() -> &'static Vec<(BackendKind, Box<dyn Backend>)> {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, SEED);
         cfg.n_scenarios = 10;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let mut config = BackendConfig::from_diagnet(DiagNetConfig::fast());
         config.diagnet.epochs = 2;
         config.diagnet.forest.n_trees = 5;

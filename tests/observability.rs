@@ -22,7 +22,7 @@ fn small_data(seed: u64) -> (Dataset, Dataset) {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, seed);
     cfg.n_scenarios = 10;
-    let ds = Dataset::generate(&world, &cfg);
+    let ds = Dataset::generate(&world, &cfg).expect("generate");
     let split = ds.split(0.8, seed);
     (split.train, split.test)
 }

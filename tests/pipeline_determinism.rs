@@ -11,7 +11,7 @@ fn make_dataset(seed: u64) -> Dataset {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, seed);
     cfg.n_scenarios = 20;
-    Dataset::generate(&world, &cfg)
+    Dataset::generate(&world, &cfg).expect("generate")
 }
 
 #[test]

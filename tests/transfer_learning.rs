@@ -24,7 +24,7 @@ fn fixture() -> &'static Fixture {
         let world = World::new();
         let mut cfg = DatasetConfig::small(&world, 91);
         cfg.n_scenarios = 60;
-        let ds = Dataset::generate(&world, &cfg);
+        let ds = Dataset::generate(&world, &cfg).expect("generate");
         let split = ds.split(0.8, 91);
         let general_data = split.train.filter_services(&world.catalog.general_ids());
         let general = DiagNet::train(&DiagNetConfig::fast(), &general_data, 91).unwrap();
