@@ -1,0 +1,145 @@
+//! A minimal keep-alive HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! One client = one connection = one bench worker. The client transparently
+//! reconnects once per request on a broken connection (servers may close on
+//! protocol errors or during drain); a request that fails twice surfaces as
+//! an `Err` the runner counts as a connection error.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Largest response body the client will buffer (the `/metrics` page and
+/// batch responses are the big ones; 32 MiB is far above both).
+const MAX_RESPONSE_BYTES: usize = 32 * 1024 * 1024;
+
+/// A persistent connection to the serving edge.
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// Create a client for `addr` (`host:port`). Does not connect yet.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            timeout,
+            stream: None,
+        }
+    }
+
+    /// Connect, retrying until `deadline` — the server may still be
+    /// binding when the bench (or CI smoke job) starts.
+    pub fn connect_until(&mut self, deadline: Instant) -> std::io::Result<()> {
+        loop {
+            match self.ensure_connected() {
+                Ok(()) => return Ok(()),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+        }
+        Ok(())
+    }
+
+    /// Issue one request; returns `(status, body)`. Reconnects and retries
+    /// once on a transport error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        self.ensure_connected()?;
+        let Some(reader) = self.stream.as_mut() else {
+            return Err(std::io::Error::other("not connected"));
+        };
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: diagnet\r\nContent-Length: {}\r\n\
+             Content-Type: application/json\r\nConnection: keep-alive\r\n\r\n",
+            payload.len()
+        );
+        {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(payload.as_bytes())?;
+            stream.flush()?;
+        }
+        let result = read_response(reader);
+        if result.is_err() {
+            self.stream = None;
+        } else if matches!(&result, Ok((_, _, close)) if *close) {
+            self.stream = None;
+        }
+        result.map(|(status, body, _)| (status, body))
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String, bool)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(std::io::Error::other("connection closed before response"));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| std::io::Error::other("bad Content-Length"))?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+    }
+    if content_length > MAX_RESPONSE_BYTES {
+        return Err(std::io::Error::other("response too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body =
+        String::from_utf8(body).map_err(|_| std::io::Error::other("response body is not UTF-8"))?;
+    Ok((status, body, close))
+}

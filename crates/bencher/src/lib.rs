@@ -1,0 +1,29 @@
+//! # diagnet-bencher — TCP load generation for the serving edge
+//!
+//! Drives a running `diagnet-server` over real sockets and reports what
+//! operators actually need to publish: achieved throughput and p50/p95/p99
+//! latency *per route*, plus shed (429), reject (400) and transport-error
+//! counts. The committed `BENCH_serving.json` at the repo root is this
+//! crate's output (field reference: `EXPERIMENTS.md`).
+//!
+//! Three design points, argued in module docs:
+//!
+//! * [`run`] — closed- vs open-loop arrival models, and why open-loop
+//!   latency is measured from the *scheduled* arrival time (coordinated
+//!   omission);
+//! * [`workload`] — request bodies are simulator-generated and fully
+//!   pre-rendered, so the generator adds no per-request noise;
+//! * [`stats`] — percentiles are exact nearest-rank over all retained
+//!   samples, not a sketch.
+//!
+//! Everything is seeded: same seed, same request sequence per worker.
+
+pub mod client;
+pub mod run;
+pub mod stats;
+pub mod workload;
+
+pub use client::HttpClient;
+pub use run::{run, BenchConfig, BenchError, BenchReport, Mode};
+pub use stats::{per_route, percentile, RequestRecord, RouteStats};
+pub use workload::{Mix, Workload};

@@ -1,0 +1,469 @@
+//! The load-generation driver: closed- and open-loop modes.
+//!
+//! **Closed loop** models a fixed fleet of clients that each wait for the
+//! previous response before sending the next request: throughput is
+//! whatever the server sustains, and latency excludes queueing the client
+//! itself caused. **Open loop** models arrivals from a large population at
+//! a fixed target rate: each worker sends on a fixed schedule and latency
+//! is measured from the request's *scheduled* time, so a stalling server
+//! accrues queueing delay in the percentiles instead of silently slowing
+//! the generator down (the coordinated-omission trap).
+//!
+//! Requests issued during the warmup window are sent but not recorded.
+
+use crate::client::HttpClient;
+use crate::stats::{per_route, round2, RequestRecord};
+use crate::workload::{Mix, Workload};
+use diagnet_rng::SplitMix64;
+use diagnet_server::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Arrival model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Back-to-back requests per worker.
+    Closed,
+    /// Fixed aggregate arrival rate (requests/second) across all workers.
+    Open {
+        /// Target requests per second.
+        rate: f64,
+    },
+}
+
+/// Full bench configuration (CLI flags map 1:1 onto these fields; see
+/// `SERVING.md`).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Arrival model.
+    pub mode: Mode,
+    /// Concurrent connections (= worker threads).
+    pub concurrency: usize,
+    /// Measured window, *after* warmup.
+    pub duration: Duration,
+    /// Unrecorded warmup window.
+    pub warmup: Duration,
+    /// Probe mix.
+    pub mix: Mix,
+    /// Probes per batch-diagnose request.
+    pub batch_size: usize,
+    /// Master seed (workload generation and per-worker request picking).
+    pub seed: u64,
+    /// Fault scenarios in the pre-rendered request pool.
+    pub scenarios: usize,
+    /// How long to retry the initial connection (server may still be
+    /// starting).
+    pub connect_timeout: Duration,
+    /// Per-request socket timeout.
+    pub request_timeout: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            mode: Mode::Closed,
+            concurrency: 4,
+            duration: Duration::from_secs(10),
+            warmup: Duration::from_secs(2),
+            mix: Mix {
+                diagnose_frac: 0.5,
+                batch_frac: 0.1,
+                corrupt_frac: 0.02,
+            },
+            batch_size: 16,
+            seed: 42,
+            scenarios: 10,
+            connect_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a bench could not run.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A knob is out of range.
+    Config(String),
+    /// Workload generation failed.
+    Sim(diagnet_sim::dataset::SimError),
+    /// No worker ever reached the server.
+    Connect(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Config(msg) => write!(f, "bad bench configuration: {msg}"),
+            BenchError::Sim(e) => write!(f, "workload generation failed: {e}"),
+            BenchError::Connect(msg) => write!(f, "could not reach the server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// The outcome of a bench run: the committed-artefact JSON plus a few
+/// headline numbers for the CLI summary.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Everything, as the `BENCH_serving.json` document.
+    pub json: Json,
+    /// Requests completed in the measured window.
+    pub total_requests: u64,
+    /// Achieved requests/second over the measured window.
+    pub achieved_rps: f64,
+    /// Requests that failed at the transport level (never got a status).
+    pub connection_errors: u64,
+}
+
+impl BenchReport {
+    /// One-paragraph human summary (the CLI prints this).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} requests in the measured window ({} rps achieved, {} connection errors)\n",
+            self.total_requests,
+            round2(self.achieved_rps),
+            self.connection_errors
+        );
+        if let Some(routes) = self.json.get("routes") {
+            if let Json::Obj(pairs) = routes {
+                for (route, stats) in pairs {
+                    let g = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                    out.push_str(&format!(
+                        "  {route:>14}: {:>8} reqs  p50 {:>7}us  p95 {:>7}us  p99 {:>7}us\n",
+                        g("count"),
+                        g("p50_us"),
+                        g("p95_us"),
+                        g("p99_us"),
+                    ));
+                }
+            }
+        }
+        let top = |k: &str| self.json.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  shed(429): {}  rejected(400): {}\n",
+            top("shed_429"),
+            top("rejected_400"),
+        ));
+        out
+    }
+}
+
+fn validate(config: &BenchConfig) -> Result<(), BenchError> {
+    let frac_ok = |v: f64| (0.0..=1.0).contains(&v);
+    if !frac_ok(config.mix.diagnose_frac)
+        || !frac_ok(config.mix.batch_frac)
+        || !frac_ok(config.mix.corrupt_frac)
+    {
+        return Err(BenchError::Config(
+            "probe-mix fractions must be within [0, 1]".to_string(),
+        ));
+    }
+    if config.concurrency == 0 {
+        return Err(BenchError::Config(
+            "concurrency must be at least 1".to_string(),
+        ));
+    }
+    if config.duration.is_zero() {
+        return Err(BenchError::Config("duration must be positive".to_string()));
+    }
+    if let Mode::Open { rate } = config.mode {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(BenchError::Config(
+                "open-loop mode requires a positive --rate".to_string(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run the bench to completion and aggregate the report.
+pub fn run(config: &BenchConfig) -> Result<BenchReport, BenchError> {
+    validate(config)?;
+    let workload = Arc::new(
+        Workload::build(config.scenarios, config.seed, config.batch_size)
+            .map_err(BenchError::Sim)?,
+    );
+
+    let start = Instant::now();
+    let warmup_end = start + config.warmup;
+    let deadline = warmup_end + config.duration;
+    let connect_deadline = start + config.connect_timeout;
+
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.concurrency)
+            .map(|i| {
+                let workload = Arc::clone(&workload);
+                scope.spawn(move || {
+                    run_worker(
+                        i,
+                        config,
+                        &workload,
+                        start,
+                        warmup_end,
+                        deadline,
+                        connect_deadline,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    if worker_results.iter().all(|w| !w.connected) {
+        return Err(BenchError::Connect(format!(
+            "no worker could connect to {} within {:?}",
+            config.addr, config.connect_timeout
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut connection_errors = 0u64;
+    for mut w in worker_results {
+        records.append(&mut w.records);
+        connection_errors += w.connection_errors;
+    }
+    Ok(build_report(config, &records, connection_errors))
+}
+
+#[derive(Default)]
+struct WorkerResult {
+    records: Vec<RequestRecord>,
+    connection_errors: u64,
+    connected: bool,
+}
+
+fn run_worker(
+    index: usize,
+    config: &BenchConfig,
+    workload: &Workload,
+    start: Instant,
+    warmup_end: Instant,
+    deadline: Instant,
+    connect_deadline: Instant,
+) -> WorkerResult {
+    let mut out = WorkerResult::default();
+    let mut client = HttpClient::new(config.addr.clone(), config.request_timeout);
+    if client.connect_until(connect_deadline).is_err() {
+        return out;
+    }
+    out.connected = true;
+    let mut rng = SplitMix64::new(SplitMix64::derive(config.seed, index as u64 + 1));
+
+    // Open loop: this worker owns every `concurrency`-th arrival of the
+    // aggregate schedule, staggered by its index.
+    let interval = match config.mode {
+        Mode::Closed => None,
+        Mode::Open { rate } => Some(Duration::from_secs_f64(config.concurrency as f64 / rate)),
+    };
+    let offset = match (config.mode, interval) {
+        (Mode::Open { rate }, Some(_)) => Duration::from_secs_f64(index as f64 / rate),
+        _ => Duration::ZERO,
+    };
+
+    let mut k: u64 = 0;
+    loop {
+        // The latency origin: scheduled arrival under open loop, send time
+        // under closed loop.
+        let origin = match interval {
+            None => Instant::now(),
+            Some(step) => {
+                let scheduled = start + offset + step.mul_f64(k as f64);
+                k += 1;
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                scheduled
+            }
+        };
+        if origin >= deadline || Instant::now() >= deadline {
+            break;
+        }
+        let template = workload.pick(&mut rng, &config.mix);
+        let body = (!template.body.is_empty()).then_some(template.body.as_str());
+        match client.request(template.method, template.path, body) {
+            Ok((status, _body)) => {
+                if origin >= warmup_end {
+                    out.records.push(RequestRecord {
+                        route: template.route,
+                        status,
+                        latency: origin.elapsed(),
+                    });
+                }
+            }
+            Err(_) => {
+                if origin >= warmup_end {
+                    out.connection_errors += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn build_report(
+    config: &BenchConfig,
+    records: &[RequestRecord],
+    connection_errors: u64,
+) -> BenchReport {
+    let elapsed = config.duration;
+    let routes = per_route(records);
+    let total: u64 = routes.values().map(|s| s.count).sum();
+    let achieved_rps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
+    for stats in routes.values() {
+        for (code, n) in &stats.statuses {
+            *status_counts.entry(*code).or_default() += n;
+        }
+    }
+    let shed_429 = status_counts.get(&429).copied().unwrap_or(0);
+    let rejected_400 = status_counts.get(&400).copied().unwrap_or(0);
+
+    let (mode, target_rate) = match config.mode {
+        Mode::Closed => ("closed", Json::Null),
+        Mode::Open { rate } => ("open", Json::Num(rate)),
+    };
+    let json = Json::obj(vec![
+        ("experiment", Json::str("serving")),
+        ("mode", Json::str(mode)),
+        ("target_rate", target_rate),
+        ("concurrency", Json::Num(config.concurrency as f64)),
+        ("duration_s", Json::Num(round2(elapsed.as_secs_f64()))),
+        ("warmup_s", Json::Num(round2(config.warmup.as_secs_f64()))),
+        ("seed", Json::Num(config.seed as f64)),
+        ("scenarios", Json::Num(config.scenarios as f64)),
+        ("diagnose_frac", Json::Num(config.mix.diagnose_frac)),
+        ("batch_frac", Json::Num(config.mix.batch_frac)),
+        ("batch_size", Json::Num(config.batch_size as f64)),
+        ("corrupt_frac", Json::Num(config.mix.corrupt_frac)),
+        ("total_requests", Json::Num(total as f64)),
+        ("achieved_rps", Json::Num(round2(achieved_rps))),
+        ("connection_errors", Json::Num(connection_errors as f64)),
+        ("shed_429", Json::Num(shed_429 as f64)),
+        ("rejected_400", Json::Num(rejected_400 as f64)),
+        (
+            "status_counts",
+            Json::Obj(
+                status_counts
+                    .iter()
+                    .map(|(code, n)| (code.to_string(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "routes",
+            Json::Obj(
+                routes
+                    .iter()
+                    .map(|(route, stats)| (route.to_string(), stats.to_json(elapsed)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    BenchReport {
+        json,
+        total_requests: total,
+        achieved_rps,
+        connection_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let ok = BenchConfig::default();
+        assert!(validate(&ok).is_ok());
+        let mut bad = ok.clone();
+        bad.mix.corrupt_frac = 1.5;
+        assert!(matches!(validate(&bad), Err(BenchError::Config(_))));
+        let mut bad = ok.clone();
+        bad.concurrency = 0;
+        assert!(matches!(validate(&bad), Err(BenchError::Config(_))));
+        let mut bad = ok.clone();
+        bad.mode = Mode::Open { rate: 0.0 };
+        assert!(matches!(validate(&bad), Err(BenchError::Config(_))));
+        let mut bad = ok;
+        bad.duration = Duration::ZERO;
+        assert!(matches!(validate(&bad), Err(BenchError::Config(_))));
+    }
+
+    #[test]
+    fn report_shape_matches_experiments_doc() {
+        let records = vec![
+            RequestRecord {
+                route: "submit",
+                status: 200,
+                latency: Duration::from_micros(100),
+            },
+            RequestRecord {
+                route: "submit",
+                status: 429,
+                latency: Duration::from_micros(50),
+            },
+            RequestRecord {
+                route: "diagnose",
+                status: 400,
+                latency: Duration::from_micros(70),
+            },
+        ];
+        let config = BenchConfig {
+            duration: Duration::from_secs(1),
+            ..BenchConfig::default()
+        };
+        let report = build_report(&config, &records, 2);
+        let j = &report.json;
+        for key in [
+            "experiment",
+            "mode",
+            "target_rate",
+            "concurrency",
+            "duration_s",
+            "warmup_s",
+            "seed",
+            "scenarios",
+            "diagnose_frac",
+            "batch_frac",
+            "batch_size",
+            "corrupt_frac",
+            "total_requests",
+            "achieved_rps",
+            "connection_errors",
+            "shed_429",
+            "rejected_400",
+            "status_counts",
+            "routes",
+        ] {
+            assert!(j.get(key).is_some(), "missing field `{key}`");
+        }
+        assert_eq!(j.get("total_requests").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(j.get("shed_429").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("rejected_400").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("connection_errors").and_then(Json::as_f64), Some(2.0));
+        // The document round-trips through the parser (jq-compatible).
+        let pretty = j.render_pretty();
+        assert_eq!(&Json::parse(&pretty).expect("parses"), j);
+    }
+
+    #[test]
+    fn closed_loop_report_has_null_rate() {
+        let report = build_report(&BenchConfig::default(), &[], 0);
+        assert_eq!(report.json.get("target_rate"), Some(&Json::Null));
+        assert_eq!(
+            report.json.get("mode").and_then(Json::as_str),
+            Some("closed")
+        );
+    }
+}

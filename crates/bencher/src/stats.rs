@@ -1,0 +1,187 @@
+//! Latency statistics: exact nearest-rank percentiles and per-route
+//! aggregation.
+//!
+//! The bencher keeps every post-warmup latency sample in memory (a few
+//! hundred thousand `u64`s at most), so percentiles are computed *exactly*
+//! from the sorted vector rather than from a sketch — at bench scale there
+//! is no reason to approximate, and "Scalable Tail Latency Estimation"
+//! (PAPERS.md) is the reminder that serving numbers are tails, not means.
+
+use diagnet_server::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One completed request, as recorded by a bench worker.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Route bucket (`submit` / `diagnose` / `diagnose_batch`).
+    pub route: &'static str,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// End-to-end latency. Under open-loop load this is measured from the
+    /// request's *scheduled* start, so queueing delay from a slow server
+    /// is included (no coordinated omission).
+    pub latency: Duration,
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted slice:
+/// the smallest value with at least `q·n` samples at or below it
+/// (`sorted[⌈q·n⌉ − 1]`). `q` is in `(0, 1]`.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+/// Aggregated statistics for one route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteStats {
+    /// Requests observed.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Percentile latencies, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest observed request.
+    pub max_us: u64,
+    /// Responses by status code.
+    pub statuses: BTreeMap<u16, u64>,
+}
+
+/// Compute per-route statistics from raw records.
+pub fn per_route(records: &[RequestRecord]) -> BTreeMap<&'static str, RouteStats> {
+    let mut latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut statuses: BTreeMap<&'static str, BTreeMap<u16, u64>> = BTreeMap::new();
+    for r in records {
+        latencies
+            .entry(r.route)
+            .or_default()
+            .push(r.latency.as_micros() as u64);
+        *statuses
+            .entry(r.route)
+            .or_default()
+            .entry(r.status)
+            .or_default() += 1;
+    }
+    latencies
+        .into_iter()
+        .map(|(route, mut lat)| {
+            lat.sort_unstable();
+            let count = lat.len() as u64;
+            let mean_us = lat.iter().sum::<u64>() as f64 / count.max(1) as f64;
+            let stats = RouteStats {
+                count,
+                mean_us,
+                p50_us: percentile(&lat, 0.50),
+                p95_us: percentile(&lat, 0.95),
+                p99_us: percentile(&lat, 0.99),
+                max_us: lat.last().copied().unwrap_or(0),
+                statuses: statuses.remove(route).unwrap_or_default(),
+            };
+            (route, stats)
+        })
+        .collect()
+}
+
+impl RouteStats {
+    /// Render as a JSON object (plus the achieved per-route rate, given
+    /// the measured window).
+    pub fn to_json(&self, elapsed: Duration) -> Json {
+        let rps = self.count as f64 / elapsed.as_secs_f64().max(1e-9);
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("rps", Json::Num(round2(rps))),
+            ("mean_us", Json::Num(round2(self.mean_us))),
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p95_us", Json::Num(self.p95_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+            ("max_us", Json::Num(self.max_us as f64)),
+            (
+                "statuses",
+                Json::Obj(
+                    self.statuses
+                        .iter()
+                        .map(|(code, n)| (code.to_string(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Two-decimal rounding for human-facing derived numbers (raw latencies
+/// stay exact integers).
+pub fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_on_known_distribution() {
+        // 1..=1000 microseconds: nearest-rank pXX is exactly XX0.
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 0.50), 500);
+        assert_eq!(percentile(&sorted, 0.95), 950);
+        assert_eq!(percentile(&sorted, 0.99), 990);
+        assert_eq!(percentile(&sorted, 1.0), 1000);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        // Two samples: p50 is the first (rank ⌈0.5·2⌉ = 1), p99 the second.
+        assert_eq!(percentile(&[3, 9], 0.50), 3);
+        assert_eq!(percentile(&[3, 9], 0.99), 9);
+        // Quantile above 1.0 clamps instead of overrunning.
+        assert_eq!(percentile(&[3, 9], 1.5), 9);
+    }
+
+    #[test]
+    fn per_route_groups_and_counts() {
+        let records: Vec<RequestRecord> = (1..=100)
+            .map(|i| RequestRecord {
+                route: if i % 2 == 0 { "submit" } else { "diagnose" },
+                status: if i == 4 { 429 } else { 200 },
+                latency: Duration::from_micros(i),
+            })
+            .collect();
+        let stats = per_route(&records);
+        assert_eq!(stats.len(), 2);
+        let submit = &stats["submit"];
+        assert_eq!(submit.count, 50);
+        assert_eq!(submit.max_us, 100);
+        assert_eq!(submit.statuses[&429], 1);
+        assert_eq!(submit.statuses[&200], 49);
+        // Even latencies 2..=100: p50 = 50th value = 100·0.5 → rank 25 → 50.
+        assert_eq!(submit.p50_us, 50);
+        let diagnose = &stats["diagnose"];
+        assert_eq!(diagnose.count, 50);
+        assert_eq!(diagnose.p99_us, 99);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let stats = per_route(&[RequestRecord {
+            route: "submit",
+            status: 200,
+            latency: Duration::from_micros(120),
+        }]);
+        let j = stats["submit"].to_json(Duration::from_secs(2));
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("rps").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(j.get("p50_us").and_then(Json::as_f64), Some(120.0));
+        assert!(j.get("statuses").is_some());
+    }
+}

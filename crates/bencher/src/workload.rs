@@ -1,0 +1,286 @@
+//! Workload construction: realistic request bodies, pre-rendered.
+//!
+//! Bodies come from the simulator — a seeded [`Dataset`] generation — so
+//! the server sees the same feature distributions the training path does.
+//! Everything is rendered to JSON strings *before* the clock starts:
+//! during the measured window a worker only picks an index and writes
+//! bytes, so the generator adds no per-request latency noise.
+
+use diagnet_rng::SplitMix64;
+use diagnet_server::Json;
+use diagnet_sim::dataset::{Dataset, DatasetConfig, Sample, SimError};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::{Label, World};
+
+/// Magnitude used for corrupt probes. JSON cannot carry NaN, so corrupt
+/// means "absurd magnitude": far above the admission gate's default
+/// `max_magnitude` (1e9), guaranteeing a `magnitude` reject.
+const CORRUPT_VALUE: f64 = 1.0e12;
+
+/// Probe mix knobs (all fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Fraction of requests that are diagnoses (the rest are submits).
+    pub diagnose_frac: f64,
+    /// Fraction of *diagnose* requests that are batches.
+    pub batch_frac: f64,
+    /// Fraction of requests sent with a corrupt (absurd-magnitude) probe.
+    pub corrupt_frac: f64,
+}
+
+/// One ready-to-send request.
+#[derive(Debug)]
+pub struct RequestTemplate {
+    /// Route bucket for stats (`submit` / `diagnose` / `diagnose_batch`).
+    pub route: &'static str,
+    /// HTTP method.
+    pub method: &'static str,
+    /// Request path.
+    pub path: &'static str,
+    /// Pre-rendered JSON body.
+    pub body: String,
+}
+
+/// A pool of pre-rendered requests.
+pub struct Workload {
+    submit: Vec<RequestTemplate>,
+    submit_corrupt: Vec<RequestTemplate>,
+    diagnose: Vec<RequestTemplate>,
+    diagnose_corrupt: Vec<RequestTemplate>,
+    batch: Vec<RequestTemplate>,
+}
+
+impl Workload {
+    /// Generate a seeded dataset of `scenarios` fault scenarios and render
+    /// every sample into submit/diagnose/batch/corrupt request bodies.
+    pub fn build(scenarios: usize, seed: u64, batch_size: usize) -> Result<Workload, SimError> {
+        let world = World::new();
+        let config = DatasetConfig::standard(&world, scenarios.max(1), seed);
+        let data = Dataset::generate(&world, &config)?;
+        let schema = &data.schema;
+
+        let mut submit = Vec::with_capacity(data.samples.len());
+        let mut diagnose = Vec::with_capacity(data.samples.len());
+        for sample in &data.samples {
+            submit.push(RequestTemplate {
+                route: "submit",
+                method: "POST",
+                path: "/v1/submit",
+                body: submit_body(sample, schema).render(),
+            });
+            diagnose.push(RequestTemplate {
+                route: "diagnose",
+                method: "POST",
+                path: "/v1/diagnose",
+                body: diagnose_body(sample).render(),
+            });
+        }
+
+        let batch_size = batch_size.max(1);
+        let batch = data
+            .samples
+            .chunks(batch_size)
+            .filter(|c| c.len() == batch_size)
+            .map(|chunk| {
+                let service = chunk.first().map(|s| s.service.0).unwrap_or(0);
+                let probes = chunk.iter().map(|s| features_json(&s.features)).collect();
+                RequestTemplate {
+                    route: "diagnose_batch",
+                    method: "POST",
+                    path: "/v1/diagnose",
+                    body: Json::obj(vec![
+                        ("service", Json::Num(service as f64)),
+                        ("probes", Json::Arr(probes)),
+                    ])
+                    .render(),
+                }
+            })
+            .collect();
+
+        // Corrupt variants: a handful is plenty, they all get rejected the
+        // same way.
+        let submit_corrupt = data
+            .samples
+            .iter()
+            .take(32)
+            .map(|s| RequestTemplate {
+                route: "submit",
+                method: "POST",
+                path: "/v1/submit",
+                body: corrupt_body(s, "plt_s"),
+            })
+            .collect();
+        let diagnose_corrupt = data
+            .samples
+            .iter()
+            .take(32)
+            .map(|s| RequestTemplate {
+                route: "diagnose",
+                method: "POST",
+                path: "/v1/diagnose",
+                body: corrupt_body(s, "top"),
+            })
+            .collect();
+
+        Ok(Workload {
+            submit,
+            submit_corrupt,
+            diagnose,
+            diagnose_corrupt,
+            batch,
+        })
+    }
+
+    /// Pick the next request per the mix, deterministically from `rng`.
+    pub fn pick(&self, rng: &mut SplitMix64, mix: &Mix) -> &RequestTemplate {
+        let diagnose = rng.next_f64() < mix.diagnose_frac;
+        let corrupt = rng.next_f64() < mix.corrupt_frac;
+        let pool = if diagnose {
+            if !self.batch.is_empty() && rng.next_f64() < mix.batch_frac {
+                &self.batch
+            } else if corrupt && !self.diagnose_corrupt.is_empty() {
+                &self.diagnose_corrupt
+            } else {
+                &self.diagnose
+            }
+        } else if corrupt && !self.submit_corrupt.is_empty() {
+            &self.submit_corrupt
+        } else {
+            &self.submit
+        };
+        // Pools are non-empty by construction (≥1 scenario ⇒ ≥1 sample);
+        // the healthz fallback only exists to keep this path total.
+        let idx = rng.next_below(pool.len().max(1));
+        pool.get(idx).unwrap_or_else(|| fallback_template())
+    }
+
+    /// Number of distinct pre-rendered requests (for the report).
+    pub fn pool_sizes(&self) -> (usize, usize, usize) {
+        (self.submit.len(), self.diagnose.len(), self.batch.len())
+    }
+}
+
+fn fallback_template() -> &'static RequestTemplate {
+    static FALLBACK: std::sync::OnceLock<RequestTemplate> = std::sync::OnceLock::new();
+    FALLBACK.get_or_init(|| RequestTemplate {
+        route: "healthz",
+        method: "GET",
+        path: "/healthz",
+        body: String::new(),
+    })
+}
+
+fn features_json(features: &[f32]) -> Json {
+    Json::Arr(features.iter().map(|&v| Json::from_f32(v)).collect())
+}
+
+fn submit_body(sample: &Sample, schema: &FeatureSchema) -> Json {
+    let label = match &sample.label {
+        Label::Nominal => Json::Null,
+        Label::Faulty { cause, region, .. } => match schema.index_of(*cause) {
+            Some(idx) => Json::obj(vec![
+                ("cause_index", Json::Num(idx as f64)),
+                ("region", Json::str(region.code())),
+            ]),
+            None => Json::Null,
+        },
+    };
+    Json::obj(vec![
+        ("features", features_json(&sample.features)),
+        ("service", Json::Num(sample.service.0 as f64)),
+        ("region", Json::str(sample.client_region.code())),
+        ("plt_s", Json::from_f32(sample.plt_s)),
+        ("label", label),
+    ])
+}
+
+fn diagnose_body(sample: &Sample) -> Json {
+    Json::obj(vec![
+        ("features", features_json(&sample.features)),
+        ("service", Json::Num(sample.service.0 as f64)),
+        ("top", Json::Num(3.0)),
+    ])
+}
+
+/// A corrupt body: the probe's first feature replaced by an absurd
+/// magnitude. `extra_key` keeps the body shape of its clean counterpart.
+fn corrupt_body(sample: &Sample, extra_key: &str) -> String {
+    let mut features: Vec<Json> = sample.features.iter().map(|&v| Json::from_f32(v)).collect();
+    if let Some(first) = features.first_mut() {
+        *first = Json::Num(CORRUPT_VALUE);
+    }
+    let extra = if extra_key == "plt_s" {
+        (extra_key.to_string(), Json::from_f32(sample.plt_s))
+    } else {
+        (extra_key.to_string(), Json::Num(3.0))
+    };
+    Json::Obj(vec![
+        ("features".to_string(), Json::Arr(features)),
+        ("service".to_string(), Json::Num(sample.service.0 as f64)),
+        extra,
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        Workload::build(2, 7, 4).expect("tiny workload builds")
+    }
+
+    #[test]
+    fn pools_are_populated_and_bodies_parse() {
+        let w = tiny();
+        let (submit, diagnose, batch) = w.pool_sizes();
+        assert!(submit > 0 && diagnose > 0 && batch > 0);
+        for t in w.submit.iter().chain(&w.diagnose).chain(&w.batch) {
+            let doc = Json::parse(&t.body).expect("body parses");
+            assert!(doc.get("service").is_some(), "{}", t.body);
+        }
+    }
+
+    #[test]
+    fn corrupt_bodies_carry_absurd_magnitude() {
+        let w = tiny();
+        let t = w.submit_corrupt.first().expect("corrupt pool non-empty");
+        let doc = Json::parse(&t.body).expect("parses");
+        let first = doc
+            .get("features")
+            .and_then(Json::as_arr)
+            .and_then(|a| a.first())
+            .and_then(Json::as_f64)
+            .expect("first feature");
+        assert!(first > 1e9, "corrupt magnitude should exceed the gate");
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_respects_mix() {
+        let w = tiny();
+        let mix = Mix {
+            diagnose_frac: 0.5,
+            batch_frac: 0.2,
+            corrupt_frac: 0.1,
+        };
+        let seq_a: Vec<&str> = {
+            let mut rng = SplitMix64::new(42);
+            (0..50).map(|_| w.pick(&mut rng, &mix).route).collect()
+        };
+        let seq_b: Vec<&str> = {
+            let mut rng = SplitMix64::new(42);
+            (0..50).map(|_| w.pick(&mut rng, &mix).route).collect()
+        };
+        assert_eq!(seq_a, seq_b, "same seed, same sequence");
+        assert!(seq_a.iter().any(|r| *r == "submit"));
+        assert!(seq_a.iter().any(|r| *r == "diagnose"));
+
+        let all_submit = Mix {
+            diagnose_frac: 0.0,
+            batch_frac: 0.0,
+            corrupt_frac: 0.0,
+        };
+        let mut rng = SplitMix64::new(1);
+        assert!((0..20).all(|_| w.pick(&mut rng, &all_submit).route == "submit"));
+    }
+}

@@ -35,6 +35,10 @@ pub enum Command {
     Info,
     /// Print serving metrics (a saved dump or a live self-demo).
     Metrics,
+    /// Serve the analysis service over HTTP (see SERVING.md).
+    Serve,
+    /// Load-test a running serving edge and report latency percentiles.
+    Bench,
     /// Print usage.
     Help,
 }
@@ -51,6 +55,8 @@ impl Command {
             "export" => Command::Export,
             "info" => Command::Info,
             "metrics" => Command::Metrics,
+            "serve" => Command::Serve,
+            "bench" => Command::Bench,
             "help" | "--help" | "-h" => Command::Help,
             _ => return None,
         })
@@ -167,6 +173,22 @@ COMMANDS:
     metrics     [--in FILE] [--seed S=42]
                 print serving metrics: a dump saved by `--metrics-out`
                 (`--in`), or a live self-demo (see OBSERVABILITY.md)
+    serve       [--addr A=127.0.0.1:8080] [--workers N=4] [--backlog N=128]
+                [--timeout-ms MS=5000] [--model FILE | --scenarios N=20]
+                [--config paper|fast|smoke=fast] [--backend B] [--seed S=42]
+                [--run-for-s SECS]
+                serve POST /v1/submit, POST /v1/diagnose, GET /healthz and
+                GET /metrics over HTTP (operator guide: SERVING.md); with
+                no `--model`, bootstraps from `--scenarios` of simulated
+                traffic; `--run-for-s` serves for a fixed time, then drains
+    bench       [--url U=127.0.0.1:8080] [--mode closed|open=closed]
+                [--rate RPS] [--concurrency N=4] [--duration-s D=10]
+                [--warmup-s W=2] [--diagnose-frac F=0.5] [--batch-frac F=0.1]
+                [--batch-size N=16] [--corrupt-frac F=0.02] [--seed S=42]
+                [--scenarios N=10] [--connect-timeout-s T=10] [--out FILE]
+                drive a serving edge with a seeded probe mix and report
+                per-route throughput and p50/p95/p99 (see EXPERIMENTS.md);
+                `--out` writes the full BENCH_serving.json report
     help        this text
 
 `--backend` selects which model family `train` fits; on `diagnose`,

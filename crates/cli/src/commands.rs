@@ -36,6 +36,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Export => export(args),
         Command::Info => info(args),
         Command::Metrics => metrics(args),
+        Command::Serve => crate::serve::serve(args),
+        Command::Bench => crate::serve::bench(args),
     }
 }
 
@@ -50,7 +52,7 @@ fn model_config(args: &Args) -> Result<DiagNetConfig, CliError> {
 }
 
 /// The `--backend` flag, when given. Unknown tokens are usage errors.
-fn backend_flag(args: &Args) -> Result<Option<BackendKind>, CliError> {
+pub(crate) fn backend_flag(args: &Args) -> Result<Option<BackendKind>, CliError> {
     match args.get("backend") {
         None => Ok(None),
         Some(raw) => BackendKind::parse(raw).map(Some).ok_or_else(|| {

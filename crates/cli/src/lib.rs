@@ -11,6 +11,8 @@
 //! diagnet diagnose  --model model.json --data dataset.json --sample 3
 //! diagnet evaluate  --model model.json --data dataset.json [--k 5]
 //! diagnet info      --model model.json
+//! diagnet serve     --addr 127.0.0.1:8080 --workers 4
+//! diagnet bench     --url 127.0.0.1:8080 --mode open --rate 200
 //! ```
 //!
 //! Datasets and models are interchanged as JSON, so pipelines can be
@@ -24,6 +26,7 @@ pub mod args;
 pub mod commands;
 pub mod error;
 pub mod io;
+pub mod serve;
 
 pub use args::{Args, Command};
 pub use commands::run;

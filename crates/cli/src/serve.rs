@@ -1,0 +1,358 @@
+//! The `diagnet serve` and `diagnet bench` subcommands: the network
+//! serving edge and the load generator that drives it (operator guide:
+//! `SERVING.md`).
+//!
+//! `serve` stands up an [`AnalysisService`] behind `diagnet-server`'s
+//! HTTP edge. The model comes from `--model FILE` (a trained artefact,
+//! published through the same validation gate trained generations pass)
+//! or — the default — from a seeded in-process bootstrap: generate
+//! `--scenarios` worth of simulator data, submit it through admission,
+//! and train one generation before binding workers to traffic.
+//!
+//! `bench` wraps `diagnet-bencher`: closed- or open-loop load with a
+//! seeded probe mix, summarised to stdout and optionally written as the
+//! `BENCH_serving.json` document (`--out`; field reference in
+//! `EXPERIMENTS.md`).
+
+use crate::args::Args;
+use crate::error::CliError;
+use diagnet::backend::BackendKind;
+use diagnet::config::DiagNetConfig;
+use diagnet_bencher::{BenchConfig, BenchError, Mix, Mode};
+use diagnet_platform::service::{AnalysisService, ServiceConfig};
+use diagnet_server::{AppState, Server, ServerConfig};
+use diagnet_sim::dataset::{Dataset, DatasetConfig};
+use diagnet_sim::world::World;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serving-model hyper-parameters for `serve --config ...`. On top of the
+/// repo-wide `paper`/`fast`, `smoke` is a seconds-not-minutes bootstrap
+/// (2 epochs, 5 trees) for CI smoke jobs and tests.
+fn serve_model_config(args: &Args) -> Result<DiagNetConfig, CliError> {
+    match args.get("config").unwrap_or("fast") {
+        "paper" => Ok(DiagNetConfig::paper()),
+        "fast" => Ok(DiagNetConfig::fast()),
+        "smoke" => {
+            let mut c = DiagNetConfig::fast();
+            c.epochs = 2;
+            c.forest.n_trees = 5;
+            Ok(c)
+        }
+        other => Err(CliError::usage(format!(
+            "unknown config `{other}` (expected `paper`, `fast` or `smoke`)"
+        ))),
+    }
+}
+
+fn server_config(args: &Args) -> Result<ServerConfig, CliError> {
+    let defaults = ServerConfig::default();
+    let workers: usize = args.get_or("workers", defaults.workers)?;
+    let backlog: usize = args.get_or("backlog", defaults.backlog)?;
+    let timeout_ms: u64 = args.get_or("timeout-ms", 5000)?;
+    if workers == 0 {
+        return Err(CliError::usage("`--workers` must be at least 1"));
+    }
+    if backlog == 0 {
+        return Err(CliError::usage("`--backlog` must be at least 1"));
+    }
+    if timeout_ms == 0 {
+        return Err(CliError::usage("`--timeout-ms` must be positive"));
+    }
+    Ok(ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers,
+        backlog,
+        read_timeout: Duration::from_millis(timeout_ms),
+        write_timeout: Duration::from_millis(timeout_ms),
+        ..defaults
+    })
+}
+
+/// Build and warm the analysis service behind the edge: publish
+/// `--model`, or bootstrap from `--scenarios` of simulated traffic.
+fn build_state(args: &Args) -> Result<(AppState, String), CliError> {
+    let world = World::new();
+    let n_services = world.catalog.len();
+    let seed: u64 = args.get_or("seed", 42)?;
+    let kind = crate::commands::backend_flag(args)?.unwrap_or(BackendKind::DiagNet);
+    let service_config = ServiceConfig {
+        backend: kind,
+        model: serve_model_config(args)?,
+        seed,
+        // The edge serves the general model: per-service specialisation
+        // would multiply bootstrap time by the catalog size, and operators
+        // can publish specialised artefacts via `--model` instead.
+        min_service_samples: usize::MAX,
+        general_services: world.catalog.all_ids(),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(AnalysisService::new(service_config, world.schema.clone()));
+
+    let provenance = if let Some(path) = args.get("model") {
+        let backend = crate::io::load_backend_file(path)?;
+        let version = service
+            .publish_external(Arc::from(backend))
+            .map_err(CliError::Model)?;
+        format!("model loaded from {path} (registry v{version})")
+    } else {
+        let scenarios: usize = args.get_or("scenarios", 20)?;
+        let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed))?;
+        let n = dataset.samples.len();
+        for sample in dataset.samples {
+            service.submit(sample);
+        }
+        let report = service.retrain_now().map_err(|e| CliError::Data {
+            action: "bootstrap",
+            path: "in-memory training set".to_string(),
+            detail: e.to_string(),
+        })?;
+        format!(
+            "bootstrapped from {n} simulated samples ({} scenarios, seed {seed}): \
+             trained in {:.1}s (registry v{})",
+            scenarios, report.duration_secs, report.version
+        )
+    };
+    let state = AppState {
+        service,
+        schema: world.schema,
+        n_services,
+    };
+    Ok((state, provenance))
+}
+
+/// `diagnet serve`: train-or-load, bind, serve until killed (or for
+/// `--run-for-s` seconds, then drain gracefully).
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    let config = server_config(args)?;
+    let run_for_s: Option<f64> = match args.get("run-for-s") {
+        None => None,
+        Some(_) => Some(args.get_or("run-for-s", 0.0)?),
+    };
+    if let Some(s) = run_for_s {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(CliError::usage("`--run-for-s` must be a positive number"));
+        }
+    }
+
+    let (state, provenance) = build_state(args)?;
+    let health = state.service.health();
+    let mut server = Server::start(config.clone(), state).map_err(|e| CliError::Io {
+        action: "bind",
+        path: config.addr.clone(),
+        source: e,
+    })?;
+    let addr = server.local_addr();
+
+    // The banner goes straight to stdout: the command blocks from here on
+    // and scripts (CI's serving-smoke job) wait for this line.
+    println!(
+        "diagnet-server listening on {addr} ({} workers, backlog {})",
+        config.workers, config.backlog
+    );
+    println!("  {provenance}");
+    println!("  health: {health}");
+    println!("  routes: POST /v1/submit, POST /v1/diagnose, GET /healthz, GET /metrics");
+
+    match run_for_s {
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some(seconds) => {
+            std::thread::sleep(Duration::from_secs_f64(seconds));
+            server.shutdown();
+            let snapshot = diagnet_obs::global().snapshot();
+            let served: u64 = snapshot
+                .metrics
+                .iter()
+                .filter(|m| m.name == diagnet_server::router::HTTP_REQUESTS_TOTAL)
+                .map(|m| match &m.value {
+                    diagnet_obs::MetricValue::Counter(n) => *n,
+                    _ => 0,
+                })
+                .sum();
+            Ok(format!(
+                "served for {seconds}s on {addr}: {served} requests, drained cleanly\n"
+            ))
+        }
+    }
+}
+
+/// `diagnet bench`: drive a serving edge over TCP and summarise.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .get("url")
+        .unwrap_or("127.0.0.1:8080")
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_string();
+    let mode = match (args.get("mode").unwrap_or("closed"), args.get("rate")) {
+        ("closed", None) => Mode::Closed,
+        ("closed", Some(_)) => {
+            return Err(CliError::usage("`--rate` only applies to `--mode open`"));
+        }
+        ("open", _) => Mode::Open {
+            rate: args.get_or("rate", 0.0)?,
+        },
+        (other, _) => {
+            return Err(CliError::usage(format!(
+                "unknown mode `{other}` (expected `closed` or `open`)"
+            )));
+        }
+    };
+    let config = BenchConfig {
+        addr,
+        mode,
+        concurrency: args.get_or("concurrency", 4)?,
+        duration: Duration::from_secs_f64(args.get_or("duration-s", 10.0)?),
+        warmup: Duration::from_secs_f64(args.get_or("warmup-s", 2.0)?),
+        mix: Mix {
+            diagnose_frac: args.get_or("diagnose-frac", 0.5)?,
+            batch_frac: args.get_or("batch-frac", 0.1)?,
+            corrupt_frac: args.get_or("corrupt-frac", 0.02)?,
+        },
+        batch_size: args.get_or("batch-size", 16)?,
+        seed: args.get_or("seed", 42)?,
+        scenarios: args.get_or("scenarios", 10)?,
+        connect_timeout: Duration::from_secs_f64(args.get_or("connect-timeout-s", 10.0)?),
+        request_timeout: Duration::from_secs(10),
+    };
+    let report = diagnet_bencher::run(&config).map_err(|e| match e {
+        BenchError::Config(msg) => CliError::usage(msg),
+        BenchError::Sim(sim) => CliError::from(sim),
+        BenchError::Connect(msg) => CliError::Data {
+            action: "reach",
+            path: config.addr.clone(),
+            detail: msg,
+        },
+    })?;
+
+    let mut out = report.summary();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.json.render_pretty()).map_err(|e| CliError::Io {
+            action: "create",
+            path: path.to_string(),
+            source: e,
+        })?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(parts: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        crate::commands::run(&parse(&raw).unwrap())
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        for bad in [
+            vec!["serve", "--workers", "0"],
+            vec!["serve", "--backlog", "0"],
+            vec!["serve", "--timeout-ms", "0"],
+            vec!["serve", "--run-for-s", "-1"],
+            vec!["serve", "--config", "warp"],
+            vec!["serve", "--backend", "svm"],
+        ] {
+            let err = run_line(&bad).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} should be a usage error");
+        }
+    }
+
+    #[test]
+    fn bench_flag_validation() {
+        for bad in [
+            vec!["bench", "--mode", "sideways"],
+            vec!["bench", "--mode", "open"], // rate missing → 0.0 → invalid
+            vec!["bench", "--rate", "100"],  // rate without open mode
+            vec!["bench", "--concurrency", "0"],
+            vec!["bench", "--diagnose-frac", "1.5"],
+            vec!["bench", "--duration-s", "0"],
+        ] {
+            let err = run_line(&bad).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} should be a usage error");
+        }
+    }
+
+    #[test]
+    fn bench_against_dead_port_is_an_environment_error() {
+        // Port 1 on localhost: nothing listens there.
+        let err = run_line(&[
+            "bench",
+            "--url",
+            "127.0.0.1:1",
+            "--duration-s",
+            "0.2",
+            "--warmup-s",
+            "0",
+            "--connect-timeout-s",
+            "0.2",
+            "--scenarios",
+            "1",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+        assert!(err.to_string().contains("cannot reach"), "{err}");
+    }
+
+    /// Full in-process serve → bench round trip over a real TCP socket:
+    /// the CLI's own end-to-end smoke (the deeper protocol assertions
+    /// live in `crates/server/tests/e2e.rs`).
+    #[test]
+    fn serve_and_bench_end_to_end() {
+        // Ephemeral port: bind the edge directly (the `serve` command's
+        // own plumbing is covered by `server_config` + `build_state`).
+        let args = parse(
+            &[
+                "serve",
+                "--scenarios",
+                "4",
+                "--config",
+                "smoke",
+                "--seed",
+                "7",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (state, provenance) = build_state(&args).unwrap();
+        assert!(provenance.contains("bootstrapped from"), "{provenance}");
+        let mut config = server_config(&args).unwrap();
+        config.addr = "127.0.0.1:0".to_string();
+        let mut server = Server::start(config, state).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let out = run_line(&[
+            "bench",
+            "--url",
+            &addr,
+            "--duration-s",
+            "1",
+            "--warmup-s",
+            "0.2",
+            "--concurrency",
+            "2",
+            "--scenarios",
+            "2",
+            "--corrupt-frac",
+            "0.2",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("requests in the measured window"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        server.shutdown();
+    }
+}

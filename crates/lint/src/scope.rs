@@ -14,6 +14,11 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/core/src/ranking.rs",
     "crates/core/src/instrument.rs",
     "crates/cli/src/commands.rs",
+    "crates/server/src/json.rs",
+    "crates/server/src/http.rs",
+    "crates/server/src/api.rs",
+    "crates/server/src/router.rs",
+    "crates/server/src/server.rs",
 ];
 
 /// Crates whose scoring/training/persistence code must not use hashed
@@ -22,7 +27,7 @@ pub const PANIC_SCOPE: &[&str] = &[
 /// plumbing are not on any determinism-sensitive path, and the lint crate
 /// itself is the checker.
 pub const HASH_SCOPE_CRATES: &[&str] = &[
-    "bayes", "core", "eval", "forest", "nn", "obs", "platform", "rng", "sim",
+    "bayes", "core", "eval", "forest", "nn", "obs", "platform", "rng", "server", "sim",
 ];
 
 /// True when the panic rule applies to `rel` (workspace-relative path,
@@ -177,15 +182,20 @@ mod tests {
     #[test]
     fn panic_scope_is_exact_files() {
         assert!(in_panic_scope("crates/core/src/backend.rs"));
+        assert!(in_panic_scope("crates/server/src/server.rs"));
+        assert!(in_panic_scope("crates/server/src/json.rs"));
         assert!(!in_panic_scope("crates/core/src/model.rs"));
         assert!(!in_panic_scope("crates/bench/src/bin/hotpath.rs"));
+        assert!(!in_panic_scope("crates/bencher/src/run.rs"));
     }
 
     #[test]
     fn hash_scope_excludes_cli_bench_lint() {
         assert!(in_hash_scope("crates/core/src/aggregate.rs"));
         assert!(in_hash_scope("crates/obs/src/registry.rs"));
+        assert!(in_hash_scope("crates/server/src/api.rs"));
         assert!(!in_hash_scope("crates/cli/src/args.rs"));
+        assert!(!in_hash_scope("crates/bencher/src/stats.rs"));
         assert!(!in_hash_scope("crates/bench/src/lib.rs"));
         assert!(!in_hash_scope("crates/lint/src/lexer.rs"));
         assert!(!in_hash_scope("crates/examples-crate/src/lib.rs"));

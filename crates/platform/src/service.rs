@@ -24,13 +24,15 @@ use crate::health::{HealthMonitor, HealthState};
 use crate::registry::ModelRegistry;
 use crate::supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
 use crate::trainer::{RetrainWorker, StandardPipeline, TrainPipeline, TrainReport};
-use diagnet::backend::{BackendConfig, BackendKind};
+use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::ranking::CauseRanking;
+use diagnet_nn::error::NnError;
 use diagnet_obs::{Counter, Histogram};
 use diagnet_sim::dataset::Sample;
 use diagnet_sim::metrics::{FeatureId, FeatureSchema};
 use diagnet_sim::service::ServiceId;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -355,6 +357,94 @@ impl AnalysisService {
             top_cause,
             model_version,
         })
+    }
+
+    /// Batched diagnosis: one admission check and one
+    /// [`Backend::rank_causes_batch`] call over `rows`, returning a
+    /// per-row result. The outer `Err` is [`DiagnoseError::NoModel`] only
+    /// (nothing can be answered); per-row admission failures and
+    /// non-finite outputs come back inline so one bad probe cannot poison
+    /// its batch. Row results are bit-identical to per-row
+    /// [`AnalysisService::diagnose`] calls — the backend contract requires
+    /// it — which is what lets the serving edge offer batching without a
+    /// second semantics.
+    #[allow(clippy::type_complexity)]
+    pub fn diagnose_batch(
+        &self,
+        rows: &[Vec<f32>],
+        service: ServiceId,
+        schema: &FeatureSchema,
+    ) -> Result<Vec<Result<Diagnosis, DiagnoseError>>, DiagnoseError> {
+        let Some(model) = self.registry.model_for(service) else {
+            self.diagnoses_unready.inc();
+            return Err(DiagnoseError::NoModel);
+        };
+        let model_version = self.registry.version();
+        let serving_width = schema.n_features() == self.collector.schema().n_features();
+        // Validate every row up front; only valid rows enter the batch
+        // kernel, and `slot` remembers where each result goes.
+        let mut results: Vec<Result<Diagnosis, DiagnoseError>> = Vec::with_capacity(rows.len());
+        let mut valid: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+        let mut slot: Vec<usize> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let reject = if serving_width {
+                self.gate.check(row).err()
+            } else if row.len() != schema.n_features() {
+                Some(RejectReason::WidthMismatch)
+            } else if row.iter().any(|v| !v.is_finite()) {
+                Some(RejectReason::NonFinite)
+            } else {
+                None
+            };
+            match reject {
+                Some(reason) => {
+                    self.diagnoses_rejected.inc();
+                    results.push(Err(DiagnoseError::InvalidProbe(reason)));
+                }
+                None => {
+                    valid.push(row.clone());
+                    slot.push(i);
+                    results.push(Err(DiagnoseError::NoModel)); // placeholder
+                }
+            }
+        }
+        if !valid.is_empty() {
+            let timer = self.diagnose_latency.start_timer();
+            let rankings = model.rank_causes_batch(&valid, schema);
+            timer.stop();
+            for (i, ranking) in slot.iter().zip(rankings) {
+                let row_result = if ranking.all_finite() {
+                    self.diagnoses_ok.inc();
+                    let top_cause = schema.feature(ranking.best());
+                    Ok(Diagnosis {
+                        ranking,
+                        top_cause,
+                        model_version,
+                    })
+                } else {
+                    self.diagnoses_non_finite.inc();
+                    Err(DiagnoseError::NonFiniteScores { model_version })
+                };
+                if let Some(entry) = results.get_mut(*i) {
+                    *entry = row_result;
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Publish an externally trained (e.g. loaded-from-disk) model as the
+    /// general model, bypassing the training pipeline. The backend passes
+    /// the same validation gate trained generations do; on success the
+    /// registry version bumps and health turns `Serving` — the hook behind
+    /// `diagnet serve --model`.
+    pub fn publish_external(&self, backend: Arc<dyn Backend>) -> Result<u64, NnError> {
+        backend
+            .validate()
+            .map_err(|e| NnError::InvalidConfig(format!("refusing to publish model: {e}")))?;
+        let version = self.registry.publish_backend(backend, BTreeMap::new());
+        self.health.record_success();
+        Ok(version)
     }
 
     /// Run one supervised training generation of the configured pipeline:

@@ -1,0 +1,367 @@
+//! Wire-format handlers: JSON bodies in, JSON bodies out.
+//!
+//! Each handler is a pure function from `(state, body)` to a
+//! [`Response`]; the router owns dispatch and metrics, the server owns
+//! sockets. Status-code contract (documented in `SERVING.md`, checked by
+//! the end-to-end suite):
+//!
+//! | outcome                         | status |
+//! |---------------------------------|--------|
+//! | accepted / diagnosed            | 200    |
+//! | malformed JSON or bad field     | 400    |
+//! | probe rejected by admission     | 400    |
+//! | queue full (submission shed)    | 429    |
+//! | no model / degraded health      | 503    |
+//! | non-finite scores withheld      | 500    |
+
+use crate::http::Response;
+use crate::json::Json;
+use diagnet_platform::admission::RejectReason;
+use diagnet_platform::health::HealthState;
+use diagnet_platform::service::{AnalysisService, DiagnoseError, Diagnosis, SubmitOutcome};
+use diagnet_sim::dataset::Sample;
+use diagnet_sim::metrics::{FeatureId, FeatureSchema};
+use diagnet_sim::region::{Region, ALL_REGIONS};
+use diagnet_sim::service::ServiceId;
+use diagnet_sim::world::Label;
+use std::sync::Arc;
+
+/// Default number of ranked causes echoed in a diagnose response.
+const DEFAULT_TOP_K: usize = 3;
+
+/// Cap on probes per batch-diagnose request.
+const MAX_BATCH: usize = 256;
+
+/// Shared state handed to every handler.
+#[derive(Clone)]
+pub struct AppState {
+    /// The analysis service every request routes through.
+    pub service: Arc<AnalysisService>,
+    /// Serving schema (feature order for scores and cause names).
+    pub schema: FeatureSchema,
+    /// Number of valid service ids (`0..n_services`).
+    pub n_services: usize,
+}
+
+/// A typed JSON error body.
+fn error_response(status: u16, error: &str, detail: Option<String>) -> Response {
+    let mut pairs = vec![("error", Json::str(error))];
+    if let Some(d) = detail {
+        pairs.push(("detail", Json::str(d)));
+    }
+    Response::json(status, Json::obj(pairs).render())
+}
+
+/// 400 with a field-level explanation.
+pub fn bad_request(detail: impl Into<String>) -> Response {
+    error_response(400, "bad_request", Some(detail.into()))
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| bad_request("body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|e| bad_request(e.to_string()))
+}
+
+fn parse_features(doc: &Json) -> Result<Vec<f32>, Response> {
+    let arr = doc
+        .get("features")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad_request("`features` must be an array of numbers"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        match v.as_f64() {
+            Some(x) => out.push(x as f32),
+            None => return Err(bad_request("`features` must contain only numbers")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_service(doc: &Json, n_services: usize) -> Result<ServiceId, Response> {
+    let id = doc
+        .get("service")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad_request("`service` must be a non-negative integer"))?;
+    if id >= n_services {
+        return Err(bad_request(format!(
+            "`service` {id} out of range (this deployment serves 0..{n_services})"
+        )));
+    }
+    Ok(ServiceId(id))
+}
+
+fn parse_region(doc: &Json, key: &str) -> Result<Option<Region>, Response> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let code = v
+                .as_str()
+                .ok_or_else(|| bad_request(format!("`{key}` must be a region code string")))?;
+            ALL_REGIONS
+                .iter()
+                .copied()
+                .find(|r| r.code() == code)
+                .map(Some)
+                .ok_or_else(|| bad_request(format!("unknown region code `{code}`")))
+        }
+    }
+}
+
+/// `POST /v1/submit` — feed one labelled (or unlabelled) observation into
+/// the training buffer through the admission gate.
+pub fn handle_submit(state: &AppState, body: &[u8]) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let sample = match sample_from_json(&doc, state) {
+        Ok(sample) => sample,
+        Err(resp) => return resp,
+    };
+    match state.service.submit(sample) {
+        SubmitOutcome::Accepted => Response::json(
+            200,
+            Json::obj(vec![("status", Json::str("accepted"))]).render(),
+        ),
+        SubmitOutcome::Rejected(reason) => reject_response(reason),
+        SubmitOutcome::Shed => error_response(
+            429,
+            "shed",
+            Some("submission queue full; retry with backoff".to_string()),
+        ),
+    }
+}
+
+fn reject_response(reason: RejectReason) -> Response {
+    // QueueFull arrives as `Shed` from submit; from the diagnose gate it
+    // is still a client-side 400.
+    let status = Json::obj(vec![
+        ("error", Json::str("rejected")),
+        ("reason", Json::str(reason.token())),
+    ]);
+    Response::json(400, status.render())
+}
+
+fn sample_from_json(doc: &Json, state: &AppState) -> Result<Sample, Response> {
+    let features = parse_features(doc)?;
+    let service = parse_service(doc, state.n_services)?;
+    let client_region = parse_region(doc, "region")?.unwrap_or(Region::Beau);
+    let plt_s = match doc.get("plt_s") {
+        None | Some(Json::Null) => 0.0,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad_request("`plt_s` must be a number"))? as f32,
+    };
+    let label = match doc.get("label") {
+        None | Some(Json::Null) => Label::Nominal,
+        Some(l) => {
+            let idx = l
+                .get("cause_index")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad_request("`label.cause_index` must be a feature index"))?;
+            if idx >= state.schema.n_features() {
+                return Err(bad_request(format!(
+                    "`label.cause_index` {idx} out of range for {}-feature schema",
+                    state.schema.n_features()
+                )));
+            }
+            let cause = state.schema.feature(idx);
+            let region = match parse_region(l, "region")? {
+                Some(r) => r,
+                None => match cause {
+                    FeatureId::Landmark(r, _) => r,
+                    FeatureId::Local(_) => client_region,
+                },
+            };
+            Label::Faulty {
+                cause,
+                family: cause.family(),
+                region,
+            }
+        }
+    };
+    Ok(Sample {
+        features,
+        label,
+        service,
+        client_region,
+        plt_s,
+        faults: Vec::new(),
+    })
+}
+
+/// `POST /v1/diagnose` — rank root causes for one probe, or for a batch
+/// when the body carries `probes` instead of `features`.
+pub fn handle_diagnose(state: &AppState, body: &[u8]) -> Response {
+    let doc = match parse_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    if doc.get("probes").is_some() {
+        return handle_diagnose_batch(state, &doc);
+    }
+    let features = match parse_features(&doc) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    let service = match parse_service(&doc, state.n_services) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let top_k = doc
+        .get("top")
+        .and_then(Json::as_usize)
+        .unwrap_or(DEFAULT_TOP_K);
+    match state.service.diagnose(&features, service, &state.schema) {
+        Ok(d) => Response::json(200, diagnosis_json(&d, &state.schema, top_k).render()),
+        Err(e) => diagnose_error_response(&e),
+    }
+}
+
+fn handle_diagnose_batch(state: &AppState, doc: &Json) -> Response {
+    let service = match parse_service(doc, state.n_services) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let rows = match doc.get("probes").and_then(Json::as_arr) {
+        Some(rows) => rows,
+        None => return bad_request("`probes` must be an array of feature arrays"),
+    };
+    if rows.len() > MAX_BATCH {
+        return bad_request(format!(
+            "batch of {} probes exceeds the {MAX_BATCH}-probe cap",
+            rows.len()
+        ));
+    }
+    let top_k = doc
+        .get("top")
+        .and_then(Json::as_usize)
+        .unwrap_or(DEFAULT_TOP_K);
+    let mut probes = Vec::with_capacity(rows.len());
+    for row in rows {
+        let arr = match row.as_arr() {
+            Some(arr) => arr,
+            None => return bad_request("`probes` must contain only arrays"),
+        };
+        let mut features = Vec::with_capacity(arr.len());
+        for v in arr {
+            match v.as_f64() {
+                Some(x) => features.push(x as f32),
+                None => return bad_request("probe rows must contain only numbers"),
+            }
+        }
+        probes.push(features);
+    }
+    match state
+        .service
+        .diagnose_batch(&probes, service, &state.schema)
+    {
+        Err(e) => diagnose_error_response(&e),
+        Ok(results) => {
+            let items = results
+                .iter()
+                .map(|r| match r {
+                    Ok(d) => diagnosis_json(d, &state.schema, top_k),
+                    Err(e) => diagnose_error_json(e),
+                })
+                .collect();
+            Response::json(200, Json::obj(vec![("results", Json::Arr(items))]).render())
+        }
+    }
+}
+
+fn diagnosis_json(d: &Diagnosis, schema: &FeatureSchema, top_k: usize) -> Json {
+    let top = d
+        .ranking
+        .top(top_k)
+        .into_iter()
+        .filter_map(|idx| {
+            let score = d.ranking.scores.get(idx).copied()?;
+            (idx < schema.n_features()).then(|| {
+                Json::obj(vec![
+                    ("feature", Json::str(schema.feature(idx).name())),
+                    ("index", Json::Num(idx as f64)),
+                    ("score", Json::from_f32(score)),
+                ])
+            })
+        })
+        .collect();
+    Json::obj(vec![
+        ("model_version", Json::Num(d.model_version as f64)),
+        ("top_cause", Json::str(d.top_cause.name())),
+        ("w_unknown", Json::from_f32(d.ranking.w_unknown)),
+        ("top", Json::Arr(top)),
+        (
+            "scores",
+            Json::Arr(
+                d.ranking
+                    .scores
+                    .iter()
+                    .map(|&s| Json::from_f32(s))
+                    .collect(),
+            ),
+        ),
+        (
+            "coarse",
+            Json::Arr(
+                d.ranking
+                    .coarse
+                    .iter()
+                    .map(|&s| Json::from_f32(s))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn diagnose_error_json(e: &DiagnoseError) -> Json {
+    match e {
+        DiagnoseError::NoModel => Json::obj(vec![("error", Json::str("no_model"))]),
+        DiagnoseError::InvalidProbe(reason) => Json::obj(vec![
+            ("error", Json::str("invalid_probe")),
+            ("reason", Json::str(reason.token())),
+        ]),
+        DiagnoseError::NonFiniteScores { model_version } => Json::obj(vec![
+            ("error", Json::str("non_finite_scores")),
+            ("model_version", Json::Num(*model_version as f64)),
+        ]),
+    }
+}
+
+fn diagnose_error_response(e: &DiagnoseError) -> Response {
+    let status = match e {
+        DiagnoseError::NoModel => 503,
+        DiagnoseError::InvalidProbe(_) => 400,
+        DiagnoseError::NonFiniteScores { .. } => 500,
+    };
+    Response::json(status, diagnose_error_json(e).render())
+}
+
+/// `GET /healthz` — `Serving` is 200; `NoModel` and `Degraded` are 503 so
+/// load balancers stop routing to a replica that cannot answer.
+pub fn handle_healthz(state: &AppState) -> Response {
+    let health = state.service.health();
+    let (status, token, reason) = match &health {
+        HealthState::Serving => (200, "serving", None),
+        HealthState::NoModel => (503, "no_model", None),
+        HealthState::Degraded { reason } => (503, "degraded", Some(reason.clone())),
+    };
+    let mut pairs = vec![
+        ("state", Json::str(token)),
+        ("ready", Json::Bool(state.service.is_ready())),
+        (
+            "model_version",
+            Json::Num(state.service.model_version() as f64),
+        ),
+    ];
+    if let Some(r) = reason {
+        pairs.push(("reason", Json::str(r)));
+    }
+    Response::json(status, Json::obj(pairs).render())
+}
+
+/// `GET /metrics` — Prometheus exposition text.
+pub fn handle_metrics(state: &AppState) -> Response {
+    let text = state.service.metrics_snapshot().render_prometheus();
+    Response::text(200, "text/plain; version=0.0.4", text)
+}

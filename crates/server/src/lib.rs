@@ -1,0 +1,39 @@
+//! # diagnet-server — the HTTP serving edge
+//!
+//! DIAGNET's pitch is *Internet-scale* root-cause analysis (abstract,
+//! §III-A): measurements stream in from clients, and diagnosis is
+//! "provided to clients as an online analysis service". Until this crate,
+//! the repo's [`AnalysisService`](diagnet_platform::service::AnalysisService)
+//! was in-process only; here it gets a socket in front of it.
+//!
+//! The edge is deliberately dependency-free: `std::net::TcpListener`, a
+//! hand-rolled HTTP/1.1 subset ([`http`]), a hand-rolled JSON tree
+//! ([`json`]), a fixed worker pool with a bounded accept queue
+//! ([`server`]), and a four-route table ([`router`]):
+//!
+//! | route               | purpose                                    |
+//! |---------------------|--------------------------------------------|
+//! | `POST /v1/submit`   | feed one observation through admission     |
+//! | `POST /v1/diagnose` | rank causes for one probe or a batch       |
+//! | `GET /healthz`      | `HealthState` → 200 (Serving) / 503        |
+//! | `GET /metrics`      | Prometheus exposition text                 |
+//!
+//! Backpressure is end-to-end: a full connection queue answers 503 at
+//! accept time, a full submission queue answers 429 per request, and
+//! admission rejects answer 400 — each visible both to the client and in
+//! the `diagnet_http_*` metrics (`OBSERVABILITY.md`). Operator guide:
+//! `SERVING.md`; design notes: `DESIGN.md` §13.
+//!
+//! Every non-test line of this crate is inside `diagnet-lint`'s
+//! panic-rule scope: the serving edge must never take down the process on
+//! hostile input.
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod router;
+pub mod server;
+
+pub use api::AppState;
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig};

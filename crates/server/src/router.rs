@@ -1,0 +1,66 @@
+//! Route table and dispatch, with per-request HTTP metrics.
+//!
+//! [`ROUTES`] is the single source of truth for what the edge serves: the
+//! docs-freshness test cross-checks `SERVING.md` against it in both
+//! directions, so adding an endpoint here without documenting it (or vice
+//! versa) fails the suite.
+
+use crate::api::{self, AppState};
+use crate::http::{Request, Response};
+use diagnet_obs::global;
+use std::time::Instant;
+
+/// Requests by route and response status.
+pub const HTTP_REQUESTS_TOTAL: &str = "diagnet_http_requests_total";
+
+/// End-to-end handler latency by route (excludes socket read/write).
+pub const HTTP_REQUEST_DURATION_SECONDS: &str = "diagnet_http_request_duration_seconds";
+
+/// Every `(method, path)` pair the edge serves.
+pub const ROUTES: &[(&str, &str)] = &[
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+    ("POST", "/v1/diagnose"),
+    ("POST", "/v1/submit"),
+];
+
+/// Dispatch one parsed request, recording request metrics.
+pub fn dispatch(state: &AppState, req: &Request) -> Response {
+    let started = Instant::now();
+    let (route, resp) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/submit") => ("/v1/submit", api::handle_submit(state, &req.body)),
+        ("POST", "/v1/diagnose") => ("/v1/diagnose", api::handle_diagnose(state, &req.body)),
+        ("GET", "/healthz") => ("/healthz", api::handle_healthz(state)),
+        ("GET", "/metrics") => ("/metrics", api::handle_metrics(state)),
+        (_, path) if ROUTES.iter().any(|(_, p)| *p == path) => (
+            "method_not_allowed",
+            Response::json(405, r#"{"error":"method_not_allowed"}"#.to_string()),
+        ),
+        _ => (
+            "not_found",
+            Response::json(404, r#"{"error":"not_found"}"#.to_string()),
+        ),
+    };
+    record(route, resp.status, started);
+    resp
+}
+
+/// Count a request and time its handler. Public so the server loop can
+/// also attribute protocol-level failures (400/411/413) to a route bucket.
+pub fn record(route: &str, status: u16, started: Instant) {
+    let status = status.to_string();
+    global()
+        .counter(
+            HTTP_REQUESTS_TOTAL,
+            &[("route", route), ("status", &status)],
+            "HTTP requests served, by route and response status.",
+        )
+        .inc();
+    global()
+        .histogram(
+            HTTP_REQUEST_DURATION_SECONDS,
+            &[("route", route)],
+            "Handler latency per HTTP route, seconds.",
+        )
+        .observe_since(started);
+}

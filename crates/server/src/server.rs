@@ -1,0 +1,335 @@
+//! The TCP serving edge: accept loop, bounded connection queue, fixed
+//! worker pool, graceful drain.
+//!
+//! Threading model (documented in `DESIGN.md` §13): one accept thread
+//! pulls connections off the listener and pushes them into a bounded
+//! queue; `workers` threads pop connections and run keep-alive
+//! request/response loops. When the queue is full the accept thread
+//! answers `503` inline and drops the connection — backpressure reaches
+//! the client instead of growing an unbounded backlog. Per-connection
+//! read/write timeouts bound how long a slow client can pin a worker.
+
+use crate::api::AppState;
+use crate::http::{read_request, ReadError, Response};
+use crate::router;
+use diagnet_obs::global;
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Connections accepted into the queue vs rejected at the door, by
+/// `outcome` label (`accepted` / `rejected`).
+pub const HTTP_CONNECTIONS_TOTAL: &str = "diagnet_http_connections_total";
+
+/// Connections currently being served by a worker.
+pub const HTTP_CONNECTIONS_ACTIVE: &str = "diagnet_http_connections_active";
+
+/// Serving-edge knobs. `Default` matches the CLI defaults documented in
+/// `SERVING.md`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads running connection loops.
+    pub workers: usize,
+    /// Bounded accepted-connection queue; overflow is answered 503.
+    pub backlog: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            backlog: 128,
+            read_timeout: Duration::from_millis(5000),
+            write_timeout: Duration::from_millis(5000),
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// Bounded MPMC handoff between the accept thread and the workers.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// A poisoned lock only means another thread panicked mid-operation; the
+/// queue of owned sockets is still structurally valid, so serving
+/// continues on the recovered guard.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, or hand the stream back when full/closed.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = recover(self.inner.lock());
+        if inner.closed || inner.conns.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.conns.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection is available; `None` once closed and
+    /// drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = recover(self.inner.lock());
+        loop {
+            if let Some(conn) = inner.conns.pop_front() {
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = recover(self.ready.wait(inner));
+        }
+    }
+
+    fn close(&self) {
+        recover(self.inner.lock()).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running serving edge. Dropping it (or calling [`Server::shutdown`])
+/// drains and joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and the worker pool, return
+    /// immediately.
+    pub fn start(config: ServerConfig, state: AppState) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(config.backlog));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let state = state.clone();
+            let config = config.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let handle = std::thread::Builder::new()
+                .name(format!("diagnet-http-{i}"))
+                .spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        serve_connection(conn, &state, &config, &shutdown);
+                    }
+                })
+                .map_err(|e| std::io::Error::other(format!("spawning worker: {e}")))?;
+            workers.push(handle);
+        }
+
+        let accept_thread = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("diagnet-accept".to_string())
+                .spawn(move || accept_loop(&listener, &queue, &config, &shutdown))
+                .map_err(|e| std::io::Error::other(format!("spawning acceptor: {e}")))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            queue,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful drain: stop accepting, finish queued and in-flight
+    /// connections, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread is parked in `accept()`; a throwaway local
+        // connection wakes it so it can observe the flag and exit.
+        if let Ok(conn) = TcpStream::connect(self.local_addr) {
+            drop(conn);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn conn_counter(outcome: &str) -> diagnet_obs::Counter {
+    global().counter(
+        HTTP_CONNECTIONS_TOTAL,
+        &[("outcome", outcome)],
+        "Connections accepted into the worker queue vs rejected at the door.",
+    )
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &ConnQueue,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            // Transient accept errors (EMFILE, ECONNABORTED): back off
+            // briefly instead of spinning.
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        match queue.push(stream) {
+            Ok(()) => conn_counter("accepted").inc(),
+            Err(stream) => {
+                conn_counter("rejected").inc();
+                reject_overloaded(stream);
+            }
+        }
+    }
+}
+
+/// Queue full: tell the client so (503 + Retry-After) and hang up.
+fn reject_overloaded(mut stream: TcpStream) {
+    let started = Instant::now();
+    let body = r#"{"error":"overloaded"}"#;
+    let _ = stream.write_all(
+        format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    router::record("connection_rejected", 503, started);
+}
+
+/// One keep-alive connection: read requests until the client closes, an
+/// error occurs, or shutdown begins (then the next response carries
+/// `Connection: close`).
+fn serve_connection(
+    stream: TcpStream,
+    state: &AppState,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let active = global().gauge(
+        HTTP_CONNECTIONS_ACTIVE,
+        &[],
+        "Connections currently held by a worker.",
+    );
+    active.add(1.0);
+    let mut reader = BufReader::new(&stream);
+    loop {
+        let started = Instant::now();
+        let outcome = match read_request(&mut reader, config.max_body_bytes) {
+            Ok(req) => {
+                let mut resp = router::dispatch(state, &req);
+                resp.close = resp.close || req.close || shutdown.load(Ordering::SeqCst);
+                Some(resp)
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => None,
+            Err(ReadError::Malformed(msg)) => {
+                Some(protocol_error(400, "malformed_request", msg, started))
+            }
+            Err(ReadError::LengthRequired) => Some(protocol_error(
+                411,
+                "length_required",
+                "POST requires Content-Length",
+                started,
+            )),
+            Err(ReadError::TooLarge) => Some(protocol_error(
+                413,
+                "payload_too_large",
+                "request body exceeds the configured limit",
+                started,
+            )),
+        };
+        match outcome {
+            None => break,
+            Some(resp) => {
+                if resp.write_to(&mut (&stream)).is_err() || resp.close {
+                    break;
+                }
+            }
+        }
+    }
+    active.add(-1.0);
+}
+
+/// A protocol-level failure (before routing): respond, count it under a
+/// synthetic route bucket, and close the connection.
+fn protocol_error(status: u16, error: &str, detail: &str, started: Instant) -> Response {
+    router::record("protocol_error", status, started);
+    let body = crate::json::Json::obj(vec![
+        ("error", crate::json::Json::str(error)),
+        ("detail", crate::json::Json::str(detail)),
+    ]);
+    let mut resp = Response::json(status, body.render());
+    resp.close = true;
+    resp
+}

@@ -1,0 +1,58 @@
+//! Docs-freshness check: the routes documented in `SERVING.md` must match
+//! the router's route table exactly, in both directions. A route added to
+//! the code without a docs update (or vice versa) fails CI here.
+
+use diagnet_server::router::ROUTES;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const METHODS: &[&str] = &["GET", "HEAD", "POST", "PUT", "PATCH", "DELETE"];
+
+/// Every backticked `METHOD /path` occurrence in the guide.
+fn documented_routes(text: &str) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    for chunk in text.split('`').skip(1).step_by(2) {
+        let mut words = chunk.split_whitespace();
+        let (Some(method), Some(path), None) = (words.next(), words.next(), words.next()) else {
+            continue;
+        };
+        if METHODS.contains(&method) && path.starts_with('/') {
+            out.insert((method.to_string(), path.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn serving_md_documents_exactly_the_served_routes() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../SERVING.md");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("SERVING.md must exist at {}: {e}", path.display()));
+    let documented = documented_routes(&text);
+    let served: BTreeSet<(String, String)> = ROUTES
+        .iter()
+        .map(|(m, p)| (m.to_string(), p.to_string()))
+        .collect();
+
+    let undocumented: Vec<_> = served.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "routes served but not documented in SERVING.md (add a backticked \
+         `METHOD /path`): {undocumented:?}"
+    );
+    let stale: Vec<_> = documented.difference(&served).collect();
+    assert!(
+        stale.is_empty(),
+        "routes documented in SERVING.md but not served (remove or fix): {stale:?}"
+    );
+}
+
+#[test]
+fn route_extraction_parses_backticked_method_path_pairs() {
+    let text = "Call `POST /v1/diagnose` or `GET /healthz`; `not a route`, \
+                `POST` alone, and `GET /x y` are ignored.";
+    let routes = documented_routes(text);
+    assert_eq!(routes.len(), 2);
+    assert!(routes.contains(&("POST".to_string(), "/v1/diagnose".to_string())));
+    assert!(routes.contains(&("GET".to_string(), "/healthz".to_string())));
+}
