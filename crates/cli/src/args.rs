@@ -169,18 +169,28 @@ COMMANDS:
     export      --data FILE --out FILE
                 convert a dataset JSON to CSV (pandas/R-friendly)
     info        --model FILE [--backend B]
-                print a model summary
+                print a model summary and its artefact checksum; for models
+                inside a `--state-dir` store, also generation lineage and
+                lifecycle status (checksum mismatches are data errors)
     metrics     [--in FILE] [--seed S=42]
                 print serving metrics: a dump saved by `--metrics-out`
                 (`--in`), or a live self-demo (see OBSERVABILITY.md)
     serve       [--addr A=127.0.0.1:8080] [--workers N=4] [--backlog N=128]
                 [--timeout-ms MS=5000] [--model FILE | --scenarios N=20]
                 [--config paper|fast|smoke=fast] [--backend B] [--seed S=42]
-                [--run-for-s SECS]
-                serve POST /v1/submit, POST /v1/diagnose, GET /healthz and
-                GET /metrics over HTTP (operator guide: SERVING.md); with
-                no `--model`, bootstraps from `--scenarios` of simulated
-                traffic; `--run-for-s` serves for a fixed time, then drains
+                [--run-for-s SECS] [--state-dir DIR] [--canary-frac F=0]
+                [--canary-window N=50]
+                serve POST /v1/submit, POST /v1/diagnose, GET /healthz,
+                GET /metrics and GET /v1/generations over HTTP (operator
+                guide: SERVING.md); with no `--model`, bootstraps from
+                `--scenarios` of simulated traffic; `--run-for-s` serves
+                for a fixed time, then drains; `--state-dir` persists every
+                published generation (crash-safe, checksummed) and recovers
+                the newest active one on restart; `--canary-frac` > 0
+                routes that fraction of diagnose traffic to freshly
+                retrained generations for a `--canary-window`-request
+                observation before promotion, auto-rolling back degraded
+                candidates
     bench       [--url U=127.0.0.1:8080] [--mode closed|open=closed]
                 [--rate RPS] [--concurrency N=4] [--duration-s D=10]
                 [--warmup-s W=2] [--diagnose-frac F=0.5] [--batch-frac F=0.1]

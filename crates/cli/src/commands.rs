@@ -14,8 +14,10 @@ use crate::io;
 use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::instrument::InstrumentedBackend;
+use diagnet::integrity::{artefact_checksum, render_checksum, verify_checksum};
 use diagnet::model::DiagNet;
 use diagnet::streaming::StreamOptions;
+use diagnet_platform::store;
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
 use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceCatalog;
@@ -403,7 +405,58 @@ fn export(args: &Args) -> Result<String, CliError> {
     Ok(format!("wrote {} rows to {out}\n", dataset.len()))
 }
 
+/// Checksum and durable-store lineage lines for `info`.
+///
+/// The artefact bytes are hashed as stored. When the file sits inside a
+/// generation store (a sibling manifest lists it), the manifest's recorded
+/// checksum is verified — a mismatch is a typed [`CliError::Data`], never
+/// a panic — and the generation's lineage and lifecycle status are
+/// reported alongside.
+fn artefact_integrity(path: &str) -> Result<String, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io {
+        action: "open",
+        path: path.to_string(),
+        source: e,
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  checksum: {}",
+        render_checksum(artefact_checksum(&bytes))
+    );
+    let file_path = std::path::Path::new(path);
+    let (Some(parent), Some(name)) = (
+        file_path.parent(),
+        file_path.file_name().and_then(|n| n.to_str()),
+    ) else {
+        return Ok(out);
+    };
+    // A corrupt manifest must not block inspecting the model itself.
+    let records = store::read_manifest(parent).unwrap_or_default();
+    let Some(record) = records.iter().rev().find(|r| r.file == name) else {
+        return Ok(out);
+    };
+    verify_checksum(&bytes, record.checksum).map_err(|detail| CliError::Data {
+        action: "verify",
+        path: path.to_string(),
+        detail,
+    })?;
+    let _ = writeln!(
+        out,
+        "  store generation: {} (status: {}, parent: {})",
+        record.generation,
+        record.status,
+        record
+            .parent
+            .map_or_else(|| "none".to_string(), |p| p.to_string()),
+    );
+    Ok(out)
+}
+
 fn info(args: &Args) -> Result<String, CliError> {
+    // Verify integrity before parsing: a tampered store artefact reports
+    // the checksum mismatch, not whatever parse error the damage causes.
+    let integrity = artefact_integrity(args.require("model")?)?;
     let backend = load_checked_backend(args)?;
     let meta = backend.describe();
     let mut out = String::new();
@@ -472,6 +525,7 @@ fn info(args: &Args) -> Result<String, CliError> {
             Err(e) => format!("FAILED — {e}"),
         }
     );
+    out.push_str(&integrity);
     Ok(out)
 }
 
@@ -527,6 +581,45 @@ mod tests {
     fn run_line(parts: &[&str]) -> Result<String, CliError> {
         let raw: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
         run(&parse(&raw).unwrap())
+    }
+
+    /// `info` on an artefact inside a generation store prints checksum and
+    /// lineage; tampering with the bytes turns into a typed data error
+    /// (exit 1), not a panic or a parse failure.
+    #[test]
+    fn info_reports_store_lineage_and_rejects_tampering() {
+        use diagnet_platform::store::GenerationStatus;
+        use diagnet_platform::{JsonCodec, ModelStore};
+        use std::sync::Arc;
+
+        let dir = tmp("info_store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ModelStore::open(&dir, Arc::new(JsonCodec)).unwrap();
+        let world = World::new();
+        let mut config = DatasetConfig::small(&world, 5);
+        config.n_scenarios = 6;
+        let data = Dataset::generate(&world, &config).unwrap();
+        let backend = BackendKind::Forest
+            .train(&BackendConfig::default(), &data, &FeatureSchema::known(), 5)
+            .unwrap();
+        let record = store
+            .persist(backend.as_ref(), None, "forest", GenerationStatus::Active)
+            .unwrap();
+        let artefact = dir.join(&record.file);
+        let artefact_arg = artefact.to_str().unwrap();
+
+        let out = run_line(&["info", "--model", artefact_arg]).unwrap();
+        assert!(out.contains("checksum: fnv1a64:"), "{out}");
+        assert!(out.contains("store generation: 1"), "{out}");
+        assert!(out.contains("status: active"), "{out}");
+
+        // Flip one byte: the manifest checksum no longer matches.
+        let mut bytes = std::fs::read(&artefact).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&artefact, bytes).unwrap();
+        let err = run_line(&["info", "--model", artefact_arg]).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
     }
 
     #[test]

@@ -18,8 +18,10 @@ use crate::args::Args;
 use crate::error::CliError;
 use diagnet::backend::BackendKind;
 use diagnet::config::DiagNetConfig;
+use diagnet::integrity::render_checksum;
 use diagnet_bencher::{BenchConfig, BenchError, Mix, Mode};
 use diagnet_platform::service::{AnalysisService, ServiceConfig};
+use diagnet_platform::{JsonCodec, ModelStore, RolloutConfig};
 use diagnet_server::{AppState, Server, ServerConfig};
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
 use diagnet_sim::world::World;
@@ -70,8 +72,28 @@ fn server_config(args: &Args) -> Result<ServerConfig, CliError> {
     })
 }
 
-/// Build and warm the analysis service behind the edge: publish
-/// `--model`, or bootstrap from `--scenarios` of simulated traffic.
+/// The `--canary-frac` / `--canary-window` knobs, when canarying is on
+/// (`--canary-frac` > 0; the default 0 keeps the classic direct-publish
+/// path).
+fn rollout_config(args: &Args) -> Result<Option<RolloutConfig>, CliError> {
+    let canary_frac: f32 = args.get_or("canary-frac", 0.0)?;
+    if !(canary_frac.is_finite() && (0.0..=1.0).contains(&canary_frac)) {
+        return Err(CliError::usage("`--canary-frac` must be within 0..=1"));
+    }
+    let canary_window: u64 = args.get_or("canary-window", 50)?;
+    if canary_window == 0 {
+        return Err(CliError::usage("`--canary-window` must be at least 1"));
+    }
+    Ok((canary_frac > 0.0).then(|| RolloutConfig {
+        canary_frac,
+        window: canary_window,
+        ..RolloutConfig::default()
+    }))
+}
+
+/// Build and warm the analysis service behind the edge: recover the last
+/// active generation from `--state-dir`, publish `--model`, or bootstrap
+/// from `--scenarios` of simulated traffic.
 fn build_state(args: &Args) -> Result<(AppState, String), CliError> {
     let world = World::new();
     let n_services = world.catalog.len();
@@ -81,6 +103,7 @@ fn build_state(args: &Args) -> Result<(AppState, String), CliError> {
         backend: kind,
         model: serve_model_config(args)?,
         seed,
+        rollout: rollout_config(args)?,
         // The edge serves the general model: per-service specialisation
         // would multiply bootstrap time by the catalog size, and operators
         // can publish specialised artefacts via `--model` instead.
@@ -88,7 +111,21 @@ fn build_state(args: &Args) -> Result<(AppState, String), CliError> {
         general_services: world.catalog.all_ids(),
         ..ServiceConfig::default()
     };
-    let service = Arc::new(AnalysisService::new(service_config, world.schema.clone()));
+    let service = match args.get("state-dir") {
+        Some(dir) => {
+            let store = ModelStore::open(dir, Arc::new(JsonCodec)).map_err(|e| CliError::Data {
+                action: "open",
+                path: dir.to_string(),
+                detail: e.to_string(),
+            })?;
+            Arc::new(AnalysisService::with_store(
+                service_config,
+                world.schema.clone(),
+                Arc::new(store),
+            ))
+        }
+        None => Arc::new(AnalysisService::new(service_config, world.schema.clone())),
+    };
 
     let provenance = if let Some(path) = args.get("model") {
         let backend = crate::io::load_backend_file(path)?;
@@ -96,6 +133,17 @@ fn build_state(args: &Args) -> Result<(AppState, String), CliError> {
             .publish_external(Arc::from(backend))
             .map_err(CliError::Model)?;
         format!("model loaded from {path} (registry v{version})")
+    } else if let Some(record) = service.recovered_generation().cloned() {
+        // A SIGKILL'd replica restarts serving the exact artefact it last
+        // published — no retraining, bit-identical diagnoses.
+        format!(
+            "recovered generation {} ({} backend, {}) from {} (registry v{})",
+            record.generation,
+            record.backend,
+            render_checksum(record.checksum),
+            args.get("state-dir").unwrap_or("the state dir"),
+            service.model_version()
+        )
     } else {
         let scenarios: usize = args.get_or("scenarios", 20)?;
         let dataset = Dataset::generate(&world, &DatasetConfig::standard(&world, scenarios, seed))?;
@@ -153,7 +201,20 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     );
     println!("  {provenance}");
     println!("  health: {health}");
-    println!("  routes: POST /v1/submit, POST /v1/diagnose, GET /healthz, GET /metrics");
+    if let Some(dir) = args.get("state-dir") {
+        println!("  state dir: {dir} (crash-safe generation store)");
+    }
+    if let Ok(Some(rollout)) = rollout_config(args) {
+        println!(
+            "  canary: {:.0}% of diagnose traffic, {}-request window",
+            f64::from(rollout.canary_frac) * 100.0,
+            rollout.window
+        );
+    }
+    println!(
+        "  routes: POST /v1/submit, POST /v1/diagnose, GET /healthz, GET /metrics, \
+         GET /v1/generations"
+    );
 
     match run_for_s {
         None => {
@@ -262,6 +323,10 @@ mod tests {
             vec!["serve", "--run-for-s", "-1"],
             vec!["serve", "--config", "warp"],
             vec!["serve", "--backend", "svm"],
+            vec!["serve", "--canary-frac", "1.5"],
+            vec!["serve", "--canary-frac", "-0.1"],
+            vec!["serve", "--canary-frac", "NaN"],
+            vec!["serve", "--canary-window", "0"],
         ] {
             let err = run_line(&bad).unwrap_err();
             assert_eq!(err.exit_code(), 2, "{bad:?} should be a usage error");

@@ -6,6 +6,7 @@
 //! legacy shape is tried whenever the envelope parse fails.
 
 use crate::backend::{Backend, BackendEnvelope};
+use crate::integrity;
 use crate::model::DiagNet;
 use diagnet_nn::NnError;
 use std::fs::File;
@@ -41,6 +42,27 @@ pub fn load_backend<R: Read>(reader: R) -> Result<Box<dyn Backend>, NnError> {
         .validate()
         .map_err(|e| NnError::Serialization(format!("loaded model failed validation: {e}")))?;
     Ok(backend)
+}
+
+/// Serialise a backend to its envelope bytes plus their
+/// [`integrity::artefact_checksum`] — the unit the durable model store
+/// writes (artefact file) and records (manifest row).
+pub fn encode_backend(backend: &dyn Backend) -> Result<(Vec<u8>, u64), NnError> {
+    let mut buf = Vec::new();
+    save_backend(backend, &mut buf)?;
+    let checksum = integrity::artefact_checksum(&buf);
+    Ok((buf, checksum))
+}
+
+/// Decode envelope bytes after verifying them against `expected_checksum`.
+/// A mismatch is reported *before* any parsing happens — torn or bit-rotted
+/// artefacts fail with a checksum message, not a JSON syntax error.
+pub fn decode_backend_verified(
+    bytes: &[u8],
+    expected_checksum: u64,
+) -> Result<Box<dyn Backend>, NnError> {
+    integrity::verify_checksum(bytes, expected_checksum).map_err(NnError::Serialization)?;
+    load_backend(bytes)
 }
 
 /// [`save_backend`] to a filesystem path.

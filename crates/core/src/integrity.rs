@@ -1,0 +1,99 @@
+//! Artefact integrity checksums.
+//!
+//! Model artefacts live on disk between process lifetimes; a torn write,
+//! a truncated copy, or bit rot must be detected *before* a model is
+//! deserialised and served. The store (platform), the persistence layer
+//! ([`crate::backend_persist`]) and `diagnet info` all checksum artefact
+//! bytes with the same function so a manifest written by one layer can be
+//! verified by another.
+//!
+//! The checksum is FNV-1a/64 — an *integrity* check against accidental
+//! corruption, deliberately not a cryptographic signature (the store
+//! directory is operator-owned, same trust domain as the binary). The
+//! rendered form is prefixed with the algorithm (`fnv1a64:…`) so a future
+//! upgrade can coexist with old manifests.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Checksum `bytes` with FNV-1a/64.
+pub fn artefact_checksum(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Render a checksum in its canonical manifest form, e.g.
+/// `fnv1a64:00a1b2c3d4e5f607`.
+pub fn render_checksum(checksum: u64) -> String {
+    format!("fnv1a64:{checksum:016x}")
+}
+
+/// Parse the canonical rendering back to the raw value. `None` when the
+/// algorithm tag or the hex payload does not match.
+pub fn parse_checksum(text: &str) -> Option<u64> {
+    let hex = text.strip_prefix("fnv1a64:")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Verify `bytes` against an expected checksum. `Err` carries both values
+/// in canonical form so the message can go straight to an operator.
+pub fn verify_checksum(bytes: &[u8], expected: u64) -> Result<(), String> {
+    let actual = artefact_checksum(bytes);
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(format!(
+            "checksum mismatch: expected {}, file is {}",
+            render_checksum(expected),
+            render_checksum(actual)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a/64 test vectors.
+        assert_eq!(artefact_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(artefact_checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(artefact_checksum(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let text = render_checksum(v);
+            assert!(text.starts_with("fnv1a64:"));
+            assert_eq!(parse_checksum(&text), Some(v));
+        }
+        assert_eq!(parse_checksum("md5:abc"), None);
+        assert_eq!(parse_checksum("fnv1a64:xyz"), None);
+        assert_eq!(parse_checksum("fnv1a64:0"), None, "fixed-width hex only");
+    }
+
+    #[test]
+    fn verification_detects_single_bit_flips() {
+        let original = b"generation payload".to_vec();
+        let sum = artefact_checksum(&original);
+        assert!(verify_checksum(&original, sum).is_ok());
+        let mut torn = original.clone();
+        torn[3] ^= 0x01;
+        let err = verify_checksum(&torn, sum).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let mut truncated = original;
+        truncated.pop();
+        assert!(verify_checksum(&truncated, sum).is_err());
+    }
+}

@@ -68,6 +68,7 @@ pub mod config;
 pub mod ensemble;
 pub mod explain;
 pub mod instrument;
+pub mod integrity;
 pub mod model;
 pub mod normalize;
 pub mod persist;

@@ -10,6 +10,8 @@ pub const PANIC_SCOPE: &[&str] = &[
     "crates/platform/src/registry.rs",
     "crates/platform/src/supervisor.rs",
     "crates/platform/src/admission.rs",
+    "crates/platform/src/store.rs",
+    "crates/platform/src/rollout.rs",
     "crates/core/src/backend.rs",
     "crates/core/src/ranking.rs",
     "crates/core/src/instrument.rs",
@@ -184,6 +186,9 @@ mod tests {
         assert!(in_panic_scope("crates/core/src/backend.rs"));
         assert!(in_panic_scope("crates/server/src/server.rs"));
         assert!(in_panic_scope("crates/server/src/json.rs"));
+        assert!(in_panic_scope("crates/platform/src/store.rs"));
+        assert!(in_panic_scope("crates/platform/src/rollout.rs"));
+        assert!(!in_panic_scope("crates/platform/src/chaos.rs"));
         assert!(!in_panic_scope("crates/core/src/model.rs"));
         assert!(!in_panic_scope("crates/bench/src/bin/hotpath.rs"));
         assert!(!in_panic_scope("crates/bencher/src/run.rs"));

@@ -45,6 +45,12 @@ pub enum ServeFault {
     NanScores,
     /// Panic for the first `n` calls, then behave (fail-N-then-recover).
     FailFirstN(AtomicU64),
+    /// Behave for the first `n` calls, then return all-NaN scores — a
+    /// **gray failure** (Flock): training-time validation passes (the
+    /// publish gate's probe spends calls from the budget), live serving
+    /// degrades later. Only behavioural observation — the canary rollout
+    /// loop — can catch it.
+    NanAfterN(AtomicU64),
 }
 
 /// A [`Backend`] decorator that injects serving faults. Deliberately does
@@ -67,6 +73,13 @@ impl ChaosBackend {
         ChaosBackend::new(inner, ServeFault::FailFirstN(AtomicU64::new(n)))
     }
 
+    /// Convenience: behave for the first `n` ranking calls, then emit NaN
+    /// scores (gray failure). Note [`Backend::validate`] itself scores one
+    /// probe row, consuming one call from the budget.
+    pub fn nan_after(inner: Arc<dyn Backend>, n: u64) -> Self {
+        ChaosBackend::new(inner, ServeFault::NanAfterN(AtomicU64::new(n)))
+    }
+
     fn apply_fault(&self) -> bool {
         match &self.fault {
             ServeFault::Panic => panic!("chaos: injected serving panic"),
@@ -84,6 +97,9 @@ impl ChaosBackend {
                 }
                 false
             }
+            ServeFault::NanAfterN(remaining) => remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_err(),
         }
     }
 
@@ -157,6 +173,12 @@ pub enum TrainFault {
     /// [`ChaosBackend`] — a "diverged generation" the publish gate must
     /// refuse.
     NanModels,
+    /// Train normally, then wrap every produced model in a
+    /// [`ServeFault::NanAfterN`] decorator with this per-model call
+    /// budget — a **gray generation** that sails through the publish gate
+    /// and only degrades under live traffic; the canary rollout loop must
+    /// catch and roll it back.
+    GrayModels(u64),
 }
 
 /// A [`TrainPipeline`] decorator that replays a scripted fault schedule:
@@ -219,6 +241,24 @@ impl TrainPipeline for ChaosPipeline {
                                 sid,
                                 Arc::new(ChaosBackend::new(m, ServeFault::NanScores))
                                     as Arc<dyn Backend>,
+                            )
+                        })
+                        .collect(),
+                    specialized_ids: generation.specialized_ids,
+                })
+            }
+            Some(TrainFault::GrayModels(budget)) => {
+                let generation = self.inner.train_generation(data, seed)?;
+                Ok(Generation {
+                    backend: generation.backend,
+                    general: Arc::new(ChaosBackend::nan_after(generation.general, budget)),
+                    specialized: generation
+                        .specialized
+                        .into_iter()
+                        .map(|(sid, m)| {
+                            (
+                                sid,
+                                Arc::new(ChaosBackend::nan_after(m, budget)) as Arc<dyn Backend>,
                             )
                         })
                         .collect(),

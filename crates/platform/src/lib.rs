@@ -27,6 +27,13 @@
 //!   generation fails;
 //! * [`health`] — the service's coarse health state
 //!   (`Serving`/`Degraded`/`NoModel`) exported as a gauge;
+//! * [`store`] — the durable, crash-safe model store: checksummed
+//!   atomic artefacts plus a lineage manifest under `--state-dir`, so a
+//!   SIGKILL'd server restarts serving bit-identical diagnoses without
+//!   retraining ([`store_codec`] holds the serde-backed artefact codec);
+//! * [`rollout`] — canary rollout and health-driven auto-rollback: a
+//!   retrained generation observes a deterministic traffic fraction and
+//!   is promoted on a healthy window or rolled back on degradation;
 //! * [`chaos`] (feature `chaos`, test-only) — fault-injecting backend and
 //!   pipeline decorators plus a probe corruptor, used by the chaos suite
 //!   to prove diagnosis availability under training failures.
@@ -50,7 +57,10 @@ pub mod collector;
 pub mod health;
 pub mod registry;
 pub mod replay;
+pub mod rollout;
 pub mod service;
+pub mod store;
+pub mod store_codec;
 pub mod supervisor;
 pub mod trainer;
 
@@ -59,6 +69,9 @@ pub use collector::ProbeCollector;
 pub use health::{HealthMonitor, HealthState};
 pub use registry::ModelRegistry;
 pub use replay::{replay, GenerationStats};
+pub use rollout::{GenerationLifecycle, RolloutConfig, RolloutController, RolloutPhase};
 pub use service::{AnalysisService, DiagnoseError, Diagnosis, ServiceConfig, SubmitOutcome};
+pub use store::{GenerationRecord, GenerationStatus, ModelStore, StoreError};
+pub use store_codec::JsonCodec;
 pub use supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
-pub use trainer::{RetrainWorker, TrainPipeline, TrainReport};
+pub use trainer::{GenerationPublisher, RetrainWorker, TrainPipeline, TrainReport};

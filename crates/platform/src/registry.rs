@@ -44,12 +44,63 @@ fn record_publish(scope: &'static str, version: u64) {
     .set(version as f64);
 }
 
+/// A candidate generation observing live traffic before promotion.
+#[derive(Debug)]
+struct CanaryState {
+    general: Arc<dyn Backend>,
+    specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
+    version: u64,
+    frac: f32,
+}
+
 /// Inner state guarded by the lock.
 #[derive(Debug, Default)]
 struct State {
     general: Option<Arc<dyn Backend>>,
     specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
+    /// Version of the *active* generation. Never moves backwards: a
+    /// rollback simply discards the canary, whose (higher) version was
+    /// never active.
     version: u64,
+    /// High-water mark of every version ever handed out (active publishes
+    /// *and* canary candidates), so a direct publish landing during a
+    /// canary phase cannot collide with the candidate's version.
+    last_assigned: u64,
+    canary: Option<CanaryState>,
+}
+
+/// Where [`ModelRegistry::route_for`] sent a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// The active generation served this probe.
+    Active,
+    /// The canary candidate served this probe.
+    Canary,
+}
+
+/// A routing decision: the model to score with, the generation it belongs
+/// to, and — when routed to the canary — the active baseline captured
+/// under the *same* lock, so churn comparisons are generation-consistent.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// Model that should serve this probe.
+    pub model: Arc<dyn Backend>,
+    /// Registry version of [`Routed::model`].
+    pub version: u64,
+    /// Which generation was selected.
+    pub target: RouteTarget,
+    /// Active model + version for side-by-side comparison; `Some` only
+    /// when the probe was routed to the canary and an active model exists.
+    pub baseline: Option<(Arc<dyn Backend>, u64)>,
+}
+
+/// Deterministic canary slotting: the top 24 bits of the probe key as a
+/// unit fraction, compared against the configured traffic fraction. The
+/// same probe key always lands on the same side, so a canary experiment
+/// is replayable.
+pub fn canary_slot(key: u64, frac: f32) -> bool {
+    let unit = (key >> 40) as f64 / f64::from(1u32 << 24);
+    (unit as f32) < frac
 }
 
 /// Thread-safe registry of the general model and per-service specialised
@@ -66,7 +117,10 @@ impl ModelRegistry {
     }
 
     /// Publish a new generation of models behind the backend abstraction,
-    /// bumping the version.
+    /// bumping the version. A direct publish supersedes any in-flight
+    /// canary (the candidate's baseline just changed under it, so its
+    /// observations are void) — the rollout controller notices the
+    /// candidate is gone and abandons the trial.
     pub fn publish_backend(
         &self,
         general: Arc<dyn Backend>,
@@ -75,7 +129,9 @@ impl ModelRegistry {
         let mut state = self.state.write();
         state.general = Some(general);
         state.specialized = specialized;
-        state.version += 1;
+        state.last_assigned += 1;
+        state.version = state.last_assigned;
+        state.canary = None;
         record_publish("general", state.version);
         state.version
     }
@@ -97,7 +153,8 @@ impl ModelRegistry {
     pub fn publish_specialized_backend(&self, sid: ServiceId, model: Arc<dyn Backend>) -> u64 {
         let mut state = self.state.write();
         state.specialized.insert(sid, model);
-        state.version += 1;
+        state.last_assigned += 1;
+        state.version = state.last_assigned;
         record_publish("specialized", state.version);
         state.version
     }
@@ -138,6 +195,107 @@ impl ModelRegistry {
     /// True once any model has been published.
     pub fn is_ready(&self) -> bool {
         self.state.read().general.is_some()
+    }
+
+    /// Stage a candidate generation as a canary receiving `frac` of
+    /// diagnose traffic. Allocates and returns the candidate's version
+    /// (above every version ever assigned) without touching the active
+    /// generation — the version gauge moves only on promotion. Replaces
+    /// any previous canary.
+    pub fn begin_canary(
+        &self,
+        general: Arc<dyn Backend>,
+        specialized: BTreeMap<ServiceId, Arc<dyn Backend>>,
+        frac: f32,
+    ) -> u64 {
+        let mut state = self.state.write();
+        state.last_assigned += 1;
+        let version = state.last_assigned;
+        state.canary = Some(CanaryState {
+            general,
+            specialized,
+            version,
+            frac,
+        });
+        version
+    }
+
+    /// Promote the canary to active in one atomic swap: readers see either
+    /// the old active generation or the whole candidate, never a mixture.
+    /// Returns the promoted version, or `None` when no canary is staged.
+    pub fn promote_canary(&self) -> Option<u64> {
+        let mut state = self.state.write();
+        let canary = state.canary.take()?;
+        state.general = Some(canary.general);
+        state.specialized = canary.specialized;
+        state.version = canary.version;
+        record_publish("canary", canary.version);
+        Some(canary.version)
+    }
+
+    /// Discard the canary, restoring 100 % of traffic to the active
+    /// generation (which never stopped serving — its version is
+    /// unchanged). Returns the demoted candidate's version.
+    pub fn demote_canary(&self) -> Option<u64> {
+        let mut state = self.state.write();
+        let canary = state.canary.take()?;
+        Some(canary.version)
+    }
+
+    /// Version and traffic fraction of the staged canary, if any.
+    pub fn canary_info(&self) -> Option<(u64, f32)> {
+        self.state
+            .read()
+            .canary
+            .as_ref()
+            .map(|c| (c.version, c.frac))
+    }
+
+    /// True while a canary is staged. Cheap; the diagnose hot path checks
+    /// this before computing a probe key.
+    pub fn has_canary(&self) -> bool {
+        self.state.read().canary.is_some()
+    }
+
+    /// Route one probe: the canary when staged *and* the deterministic
+    /// [`canary_slot`] of `key` falls inside its traffic fraction, the
+    /// active generation otherwise. Model, version, and (for canary
+    /// routes) the active baseline are read under a single lock guard, so
+    /// the caller always observes a whole generation.
+    pub fn route_for(&self, sid: ServiceId, key: u64) -> Option<Routed> {
+        let state = self.state.read();
+        if let Some(canary) = state.canary.as_ref() {
+            if canary_slot(key, canary.frac) {
+                let model = canary
+                    .specialized
+                    .get(&sid)
+                    .cloned()
+                    .unwrap_or_else(|| canary.general.clone());
+                let baseline = state
+                    .specialized
+                    .get(&sid)
+                    .cloned()
+                    .or_else(|| state.general.clone())
+                    .map(|m| (m, state.version));
+                return Some(Routed {
+                    model,
+                    version: canary.version,
+                    target: RouteTarget::Canary,
+                    baseline,
+                });
+            }
+        }
+        let model = state
+            .specialized
+            .get(&sid)
+            .cloned()
+            .or_else(|| state.general.clone())?;
+        Some(Routed {
+            model,
+            version: state.version,
+            target: RouteTarget::Active,
+            baseline: None,
+        })
     }
 }
 
@@ -278,5 +436,92 @@ mod tests {
         let schema = FeatureSchema::full();
         let ranking = served.rank_causes(&ds.samples[0].features, &schema);
         assert_eq!(ranking.scores.len(), schema.n_features());
+    }
+
+    #[test]
+    fn canary_promote_and_demote_versioning() {
+        let (general, candidate) = trained_pair();
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.publish(general.clone(), BTreeMap::new()), 1);
+
+        let cv = reg.begin_canary(Arc::new(candidate.clone()), BTreeMap::new(), 0.5);
+        assert_eq!(cv, 2, "candidate version allocated above active");
+        assert_eq!(reg.version(), 1, "active version untouched by staging");
+        assert_eq!(reg.canary_info(), Some((2, 0.5)));
+
+        // Demote: active generation and version unchanged, canary gone.
+        assert_eq!(reg.demote_canary(), Some(2));
+        assert!(!reg.has_canary());
+        assert_eq!(reg.version(), 1);
+        assert_eq!(
+            as_diagnet(&reg.general().unwrap()).network,
+            general.network,
+            "active model untouched by rollback"
+        );
+
+        // A fresh canary gets a fresh version even after the demotion.
+        let cv2 = reg.begin_canary(Arc::new(candidate.clone()), BTreeMap::new(), 1.0);
+        assert_eq!(cv2, 3);
+        assert_eq!(reg.promote_canary(), Some(3));
+        assert_eq!(reg.version(), 3);
+        assert_eq!(
+            as_diagnet(&reg.general().unwrap()).network,
+            candidate.network
+        );
+        assert_eq!(reg.promote_canary(), None, "nothing left to promote");
+    }
+
+    #[test]
+    fn direct_publish_supersedes_canary_without_version_collision() {
+        let (general, candidate) = trained_pair();
+        let reg = ModelRegistry::new();
+        reg.publish(general.clone(), BTreeMap::new());
+        let cv = reg.begin_canary(Arc::new(candidate.clone()), BTreeMap::new(), 0.5);
+        let direct = reg.publish(general.clone(), BTreeMap::new());
+        assert!(
+            direct > cv,
+            "direct publish must not reuse the candidate version"
+        );
+        assert!(!reg.has_canary(), "direct publish voids the canary");
+    }
+
+    #[test]
+    fn route_for_is_deterministic_and_respects_fraction() {
+        let (general, candidate) = trained_pair();
+        let reg = ModelRegistry::new();
+        reg.publish(general.clone(), BTreeMap::new());
+        reg.begin_canary(Arc::new(candidate.clone()), BTreeMap::new(), 0.25);
+
+        let mut canary_hits = 0usize;
+        for key in 0..512u64 {
+            // Spread keys across the top bits the slotter inspects.
+            let spread = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let a = reg.route_for(ServiceId(1), spread).unwrap();
+            let b = reg.route_for(ServiceId(1), spread).unwrap();
+            assert_eq!(a.target, b.target, "same key must route the same way");
+            match a.target {
+                RouteTarget::Canary => {
+                    canary_hits += 1;
+                    assert_eq!(a.version, 2);
+                    let (baseline, bv) = a.baseline.expect("canary route carries baseline");
+                    assert_eq!(bv, 1);
+                    assert_eq!(as_diagnet(&baseline).network, general.network);
+                    assert_eq!(as_diagnet(&a.model).network, candidate.network);
+                }
+                RouteTarget::Active => {
+                    assert_eq!(a.version, 1);
+                    assert!(a.baseline.is_none());
+                    assert_eq!(as_diagnet(&a.model).network, general.network);
+                }
+            }
+        }
+        assert!(
+            canary_hits > 64 && canary_hits < 256,
+            "~25 % of spread keys should hit the canary, got {canary_hits}/512"
+        );
+
+        // Fraction extremes.
+        assert!(canary_slot(u64::MAX / 2, 1.0));
+        assert!(!canary_slot(u64::MAX / 2, 0.0));
     }
 }

@@ -1,0 +1,572 @@
+//! Canary rollout and health-driven auto-rollback.
+//!
+//! PR 5's publish gate judges a generation by *training-time* validation;
+//! NetCause (PAPERS.md) argues a fault localizer must be judged by its
+//! **live behaviour** — a model can pass every offline check and still
+//! degrade in production (gray failure, Flock). This module closes that
+//! gap:
+//!
+//! * [`GenerationLifecycle`] replaces the everything-swaps publish: a
+//!   retrained generation is staged as a **canary** receiving a
+//!   deterministic fraction of diagnose traffic
+//!   ([`canary_slot`](crate::registry::canary_slot) of the probe key, so
+//!   an experiment is replayable) and persisted to the durable
+//!   [`ModelStore`] with status `canary`.
+//! * [`RolloutController`] accumulates per-generation observations —
+//!   latency vs. the active baseline, score finiteness, rank agreement
+//!   (top-cause churn) — and after a healthy observation window
+//!   **promotes** the candidate (atomic registry swap, manifest status
+//!   `active`).
+//! * Degradation (non-finite scores, latency blowout, excessive rank
+//!   churn) triggers **auto-rollback** at the next observation: the
+//!   canary is demoted, the last-good generation keeps serving (it never
+//!   stopped), the manifest records `rolled-back`, health flips to
+//!   degraded, and the supervisor's retrain cadence backs off
+//!   exponentially so a persistently bad pipeline can't flap the fleet.
+//!
+//! The request path never sees a canary failure: a canary-routed probe
+//! whose scores are non-finite is answered from the active baseline that
+//! was captured under the same registry lock.
+
+use crate::health::HealthMonitor;
+use crate::registry::ModelRegistry;
+use crate::store::{GenerationStatus, ModelStore};
+use crate::trainer::{validate_generation, GenerationPublisher, PendingGeneration, TrainReport};
+use diagnet::backend::Backend;
+use diagnet_nn::error::NnError;
+use diagnet_obs::{Counter, Gauge};
+use diagnet_sim::service::ServiceId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Counter of diagnose requests observed during a canary phase (label
+/// `target`: `canary`/`active`).
+pub const CANARY_REQUESTS_TOTAL: &str = "diagnet_canary_requests_total";
+/// Counter of canary-routed requests whose scores were non-finite.
+pub const CANARY_NON_FINITE_TOTAL: &str = "diagnet_canary_non_finite_total";
+/// Gauge: 1 while a canary is observing traffic, 0 otherwise.
+pub const CANARY_PHASE: &str = "diagnet_canary_phase";
+/// Counter of canaries promoted to active.
+pub const CANARY_PROMOTIONS_TOTAL: &str = "diagnet_canary_promotions_total";
+/// Gauge: running top-cause agreement between canary and active baseline.
+pub const CANARY_RANK_AGREEMENT: &str = "diagnet_canary_rank_agreement";
+/// Counter of auto-rollbacks (label `reason`:
+/// `non_finite_scores`/`latency`/`rank_churn`).
+pub const ROLLBACK_TOTAL: &str = "diagnet_rollback_total";
+/// Gauge: current retrain-cadence backoff level (0 = normal cadence;
+/// each rollback doubles the auto-retrain interval).
+pub const ROLLBACK_BACKOFF_LEVEL: &str = "diagnet_rollback_backoff_level";
+
+/// Deterministic probe key: FNV-1a/64 over the service id and the raw
+/// feature bytes. The same probe always lands on the same side of the
+/// canary split, making an experiment replayable offline.
+pub fn probe_key(sid: ServiceId, features: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for b in (sid.0 as u64).to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    for f in features {
+        for b in f.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+/// Tuning for the canary/rollback loop.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Fraction of diagnose traffic routed to the canary (0, 1].
+    pub canary_frac: f32,
+    /// Canary-served requests observed before the promote/rollback verdict.
+    pub window: u64,
+    /// Rollback when mean canary latency exceeds the active baseline by
+    /// this factor (the latency-blowout budget).
+    pub max_latency_ratio: f64,
+    /// Rollback when the fraction of probes whose top-ranked cause agrees
+    /// with the active baseline falls below this (rank churn).
+    pub min_agreement: f64,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            canary_frac: 0.2,
+            window: 50,
+            max_latency_ratio: 3.0,
+            min_agreement: 0.5,
+        }
+    }
+}
+
+/// Externally visible rollout state, surfaced in `/healthz` and
+/// `/v1/generations`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// No canary in flight; the active generation serves all traffic.
+    Idle,
+    /// A candidate is observing traffic.
+    Canary {
+        /// Registry version of the candidate.
+        version: u64,
+        /// Canary-served requests observed so far.
+        observed: u64,
+        /// Requests required before a verdict.
+        window: u64,
+    },
+}
+
+/// Live observations of one canary trial.
+#[derive(Debug)]
+struct Trial {
+    version: u64,
+    store_generation: Option<u64>,
+    canary_requests: u64,
+    canary_agree: u64,
+    canary_nanos: u128,
+    active_requests: u64,
+    active_nanos: u128,
+}
+
+enum Verdict {
+    Promote,
+    Rollback(&'static str),
+}
+
+/// Composes the registry's canary routing, the durable store's manifest
+/// and the [`HealthMonitor`] into the observe → promote/rollback loop.
+#[derive(Debug)]
+pub struct RolloutController {
+    config: RolloutConfig,
+    registry: Arc<ModelRegistry>,
+    store: Option<Arc<ModelStore>>,
+    health: Arc<HealthMonitor>,
+    trial: Mutex<Option<Trial>>,
+    backoff_level: AtomicU32,
+    canary_requests: Counter,
+    active_requests: Counter,
+    non_finite: Counter,
+    phase_gauge: Gauge,
+    agreement_gauge: Gauge,
+    promotions: Counter,
+    backoff_gauge: Gauge,
+}
+
+impl RolloutController {
+    /// A controller with no trial in flight.
+    pub fn new(
+        config: RolloutConfig,
+        registry: Arc<ModelRegistry>,
+        store: Option<Arc<ModelStore>>,
+        health: Arc<HealthMonitor>,
+    ) -> Self {
+        let obs = diagnet_obs::global();
+        let canary_requests = obs.counter(
+            CANARY_REQUESTS_TOTAL,
+            &[("target", "canary")],
+            "diagnose requests observed during canary phases",
+        );
+        let active_requests = obs.counter(
+            CANARY_REQUESTS_TOTAL,
+            &[("target", "active")],
+            "diagnose requests observed during canary phases",
+        );
+        let non_finite = obs.counter(
+            CANARY_NON_FINITE_TOTAL,
+            &[],
+            "canary-routed requests with non-finite scores",
+        );
+        let phase_gauge = obs.gauge(CANARY_PHASE, &[], "1 while a canary is observing traffic");
+        let agreement_gauge = obs.gauge(
+            CANARY_RANK_AGREEMENT,
+            &[],
+            "running top-cause agreement between canary and active",
+        );
+        let promotions = obs.counter(CANARY_PROMOTIONS_TOTAL, &[], "canaries promoted to active");
+        let backoff_gauge = obs.gauge(
+            ROLLBACK_BACKOFF_LEVEL,
+            &[],
+            "retrain-cadence backoff level after rollbacks",
+        );
+        phase_gauge.set(0.0);
+        backoff_gauge.set(0.0);
+        RolloutController {
+            config,
+            registry,
+            store,
+            health,
+            trial: Mutex::new(None),
+            backoff_level: AtomicU32::new(0),
+            canary_requests,
+            active_requests,
+            non_finite,
+            phase_gauge,
+            agreement_gauge,
+            promotions,
+            backoff_gauge,
+        }
+    }
+
+    /// Rollout tuning in force.
+    pub fn config(&self) -> &RolloutConfig {
+        &self.config
+    }
+
+    /// Start observing a candidate that was just staged in the registry
+    /// (and, when a store is attached, persisted with status `canary`).
+    /// Replaces any previous trial — its candidate was already replaced
+    /// in the registry.
+    pub fn begin_trial(&self, version: u64, store_generation: Option<u64>) {
+        *self.trial.lock() = Some(Trial {
+            version,
+            store_generation,
+            canary_requests: 0,
+            canary_agree: 0,
+            canary_nanos: 0,
+            active_requests: 0,
+            active_nanos: 0,
+        });
+        self.phase_gauge.set(1.0);
+        self.agreement_gauge.set(1.0);
+    }
+
+    /// Record an active-routed diagnose that ran during a canary phase
+    /// (the latency baseline).
+    pub fn note_active(&self, nanos: u64) {
+        self.active_requests.inc();
+        if let Some(trial) = self.trial.lock().as_mut() {
+            trial.active_requests += 1;
+            trial.active_nanos += u128::from(nanos);
+        }
+    }
+
+    /// Record a canary-routed diagnose: its latency, whether its scores
+    /// were all finite, and whether its top-ranked cause agreed with the
+    /// active baseline. Evaluates the trial — non-finite scores roll the
+    /// canary back immediately; at the end of the observation window the
+    /// candidate is promoted or rolled back on its latency/churn record.
+    pub fn note_canary(&self, version: u64, nanos: u64, finite: bool, agree: bool) {
+        self.canary_requests.inc();
+        if !finite {
+            self.non_finite.inc();
+        }
+        let decision = {
+            let mut guard = self.trial.lock();
+            let Some(trial) = guard.as_mut() else {
+                return;
+            };
+            if trial.version != version {
+                return; // stale note for a trial that already ended
+            }
+            trial.canary_requests += 1;
+            trial.canary_nanos += u128::from(nanos);
+            if agree {
+                trial.canary_agree += 1;
+            }
+            self.agreement_gauge
+                .set(trial.canary_agree as f64 / trial.canary_requests as f64);
+            let verdict = if !finite {
+                Some(Verdict::Rollback("non_finite_scores"))
+            } else if trial.canary_requests >= self.config.window {
+                Some(self.evaluate(trial))
+            } else {
+                None
+            };
+            match verdict {
+                Some(v) => {
+                    let ended = guard.take();
+                    Some((v, ended))
+                }
+                None => None,
+            }
+        };
+        if let Some((verdict, Some(trial))) = decision {
+            match verdict {
+                Verdict::Promote => self.promote(&trial),
+                Verdict::Rollback(reason) => self.rollback(&trial, reason),
+            }
+        }
+    }
+
+    /// End-of-window verdict from the accumulated observations.
+    fn evaluate(&self, trial: &Trial) -> Verdict {
+        if trial.active_requests > 0 && trial.canary_requests > 0 {
+            let canary_mean = trial.canary_nanos as f64 / trial.canary_requests as f64;
+            let active_mean = trial.active_nanos as f64 / trial.active_requests as f64;
+            if active_mean > 0.0 && canary_mean > active_mean * self.config.max_latency_ratio {
+                return Verdict::Rollback("latency");
+            }
+        }
+        let agreement = trial.canary_agree as f64 / trial.canary_requests.max(1) as f64;
+        if agreement < self.config.min_agreement {
+            return Verdict::Rollback("rank_churn");
+        }
+        Verdict::Promote
+    }
+
+    fn promote(&self, trial: &Trial) {
+        if self.registry.promote_canary().is_none() {
+            // Superseded by a direct publish; nothing to promote.
+            self.phase_gauge.set(0.0);
+            return;
+        }
+        if let (Some(store), Some(generation)) = (self.store.as_ref(), trial.store_generation) {
+            let _ = store.set_status(generation, GenerationStatus::Active);
+        }
+        self.health.record_success();
+        self.backoff_level.store(0, Ordering::Relaxed);
+        self.backoff_gauge.set(0.0);
+        self.promotions.inc();
+        self.phase_gauge.set(0.0);
+    }
+
+    fn rollback(&self, trial: &Trial, reason: &'static str) {
+        self.registry.demote_canary();
+        if let (Some(store), Some(generation)) = (self.store.as_ref(), trial.store_generation) {
+            let _ = store.set_status(generation, GenerationStatus::RolledBack);
+        }
+        self.health.record_failure(
+            format!("canary v{} rolled back: {reason}", trial.version),
+            self.registry.is_ready(),
+        );
+        let level = self.backoff_level.fetch_add(1, Ordering::Relaxed).min(15) + 1;
+        self.backoff_gauge.set(f64::from(level));
+        diagnet_obs::global()
+            .counter(
+                ROLLBACK_TOTAL,
+                &[("reason", reason)],
+                "canary auto-rollbacks by reason",
+            )
+            .inc();
+        self.phase_gauge.set(0.0);
+    }
+
+    /// Current rollout phase. A trial whose candidate vanished from the
+    /// registry (superseded by a direct publish) is reconciled to idle.
+    pub fn phase(&self) -> RolloutPhase {
+        let mut guard = self.trial.lock();
+        if let Some(trial) = guard.as_ref() {
+            match self.registry.canary_info() {
+                Some((version, _)) if version == trial.version => {
+                    return RolloutPhase::Canary {
+                        version: trial.version,
+                        observed: trial.canary_requests,
+                        window: self.config.window,
+                    };
+                }
+                _ => {
+                    *guard = None;
+                    self.phase_gauge.set(0.0);
+                }
+            }
+        }
+        RolloutPhase::Idle
+    }
+
+    /// Auto-retrain cadence with rollback backoff applied: every rollback
+    /// doubles the interval (capped at 2¹⁵×) until a canary is promoted.
+    pub fn retrain_every(&self, base: u64) -> u64 {
+        let level = self.backoff_level.load(Ordering::Relaxed).min(15);
+        base.saturating_mul(1u64 << level)
+    }
+
+    /// Current rollback backoff level (0 = normal cadence).
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff_level.load(Ordering::Relaxed)
+    }
+}
+
+/// The publish seam wired for durability and gradual rollout: validates a
+/// generation, stages it as a canary (when a controller is attached and a
+/// baseline exists) or publishes it directly, and persists the artefact
+/// to the store.
+#[derive(Debug)]
+pub struct GenerationLifecycle {
+    registry: Arc<ModelRegistry>,
+    store: Option<Arc<ModelStore>>,
+    rollout: Option<Arc<RolloutController>>,
+}
+
+impl GenerationLifecycle {
+    /// A lifecycle over `registry`, optionally persisting to `store` and
+    /// canarying through `rollout`.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        store: Option<Arc<ModelStore>>,
+        rollout: Option<Arc<RolloutController>>,
+    ) -> Self {
+        GenerationLifecycle {
+            registry,
+            store,
+            rollout,
+        }
+    }
+
+    /// The attached rollout controller, if any.
+    pub fn rollout(&self) -> Option<&Arc<RolloutController>> {
+        self.rollout.as_ref()
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<ModelStore>> {
+        self.store.as_ref()
+    }
+
+    /// Manifest generation of the newest *active* record — the parent of
+    /// whatever is published next.
+    fn active_store_generation(&self) -> Option<u64> {
+        let store = self.store.as_ref()?;
+        store
+            .records()
+            .iter()
+            .filter(|r| r.status == GenerationStatus::Active)
+            .map(|r| r.generation)
+            .max()
+    }
+
+    /// Persist `backend` with `status`; `None` when no store is attached
+    /// or the write failed (already counted under
+    /// `diagnet_store_persist_total{outcome="error"}` — persistence
+    /// failures must not fail a publish that already swapped in memory).
+    fn persist(
+        &self,
+        backend: &dyn Backend,
+        parent: Option<u64>,
+        status: GenerationStatus,
+    ) -> Option<u64> {
+        let store = self.store.as_ref()?;
+        let token = backend.describe().kind.token();
+        match store.persist(backend, parent, token, status) {
+            Ok(record) => Some(record.generation),
+            Err(_) => None,
+        }
+    }
+
+    /// Publish an externally supplied model (`diagnet serve --model`, the
+    /// warm-start path): straight to active, persisted as such.
+    pub fn publish_external(&self, backend: Arc<dyn Backend>) -> u64 {
+        let parent = self.active_store_generation();
+        let version = self
+            .registry
+            .publish_backend(Arc::clone(&backend), BTreeMap::new());
+        self.persist(backend.as_ref(), parent, GenerationStatus::Active);
+        version
+    }
+}
+
+impl GenerationPublisher for GenerationLifecycle {
+    /// The gated publish: validate every model, then either stage the
+    /// generation as a canary (controller attached *and* an active
+    /// baseline exists to compare against) or swap it straight to active.
+    /// Either way the artefact lands in the store first-class, so a crash
+    /// right after the swap loses nothing.
+    fn publish_pending(&self, pending: PendingGeneration) -> Result<TrainReport, NnError> {
+        let PendingGeneration {
+            generation,
+            n_samples,
+            n_faulty,
+            started,
+        } = pending;
+        validate_generation(&generation)?;
+        let parent = self.active_store_generation();
+        let canary = match self.rollout.as_ref() {
+            Some(rollout) if self.registry.is_ready() => Some(rollout),
+            _ => None,
+        };
+        let version = match canary {
+            Some(rollout) => {
+                let frac = rollout.config().canary_frac;
+                let version = self.registry.begin_canary(
+                    Arc::clone(&generation.general),
+                    generation.specialized,
+                    frac,
+                );
+                let store_generation = self.persist(
+                    generation.general.as_ref(),
+                    parent,
+                    GenerationStatus::Canary,
+                );
+                rollout.begin_trial(version, store_generation);
+                version
+            }
+            None => {
+                let version = self
+                    .registry
+                    .publish_backend(Arc::clone(&generation.general), generation.specialized);
+                self.persist(
+                    generation.general.as_ref(),
+                    parent,
+                    GenerationStatus::Active,
+                );
+                version
+            }
+        };
+        Ok(TrainReport {
+            version,
+            backend: generation.backend,
+            n_samples,
+            n_faulty,
+            specialized: generation.specialized_ids,
+            duration_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn has_model(&self) -> bool {
+        self.registry.is_ready()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_key_is_deterministic_and_spreads() {
+        let a = probe_key(ServiceId(1), &[0.5, 1.0, -2.0]);
+        assert_eq!(a, probe_key(ServiceId(1), &[0.5, 1.0, -2.0]));
+        assert_ne!(a, probe_key(ServiceId(2), &[0.5, 1.0, -2.0]));
+        assert_ne!(a, probe_key(ServiceId(1), &[0.5, 1.0, -2.5]));
+    }
+
+    #[test]
+    fn backoff_doubles_per_rollback_level() {
+        let registry = Arc::new(ModelRegistry::new());
+        let health = Arc::new(HealthMonitor::new());
+        let controller = RolloutController::new(
+            RolloutConfig::default(),
+            Arc::clone(&registry),
+            None,
+            health,
+        );
+        assert_eq!(controller.retrain_every(8), 8);
+        controller.backoff_level.store(2, Ordering::Relaxed);
+        assert_eq!(controller.retrain_every(8), 32);
+        controller.backoff_level.store(40, Ordering::Relaxed);
+        assert_eq!(controller.retrain_every(8), 8 << 15, "level is capped");
+        assert_eq!(controller.retrain_every(u64::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn phase_reconciles_superseded_trial() {
+        let registry = Arc::new(ModelRegistry::new());
+        let health = Arc::new(HealthMonitor::new());
+        let controller = RolloutController::new(
+            RolloutConfig::default(),
+            Arc::clone(&registry),
+            None,
+            health,
+        );
+        assert_eq!(controller.phase(), RolloutPhase::Idle);
+        // A trial whose candidate is not in the registry (superseded) is
+        // reconciled back to idle instead of reporting a phantom canary.
+        controller.begin_trial(7, None);
+        assert_eq!(controller.phase(), RolloutPhase::Idle);
+        assert!(controller.trial.lock().is_none());
+    }
+}

@@ -21,9 +21,15 @@ use crate::admission::{
 };
 use crate::collector::ProbeCollector;
 use crate::health::{HealthMonitor, HealthState};
-use crate::registry::ModelRegistry;
-use crate::supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
-use crate::trainer::{RetrainWorker, StandardPipeline, TrainPipeline, TrainReport};
+use crate::registry::{ModelRegistry, RouteTarget, Routed};
+use crate::rollout::{
+    probe_key, GenerationLifecycle, RolloutConfig, RolloutController, RolloutPhase,
+};
+use crate::store::{GenerationRecord, ModelStore};
+use crate::supervisor::{supervised_retrain_with, SupervisionConfig, TrainFailure};
+use crate::trainer::{
+    GenerationPublisher, RetrainWorker, StandardPipeline, TrainPipeline, TrainReport,
+};
 use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::ranking::CauseRanking;
@@ -36,6 +42,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Name of the counter of probe submissions (label `outcome`:
 /// `accepted`/`rejected`/`shed`).
@@ -68,6 +75,10 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Training-supervision tuning (retries, backoff, budget).
     pub supervision: SupervisionConfig,
+    /// When `Some`, retrained generations are staged as canaries and
+    /// promoted/rolled back on their live behaviour instead of swapping
+    /// the registry directly (see [`crate::rollout`]).
+    pub rollout: Option<RolloutConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +93,7 @@ impl Default for ServiceConfig {
             seed: 42,
             admission: AdmissionConfig::default(),
             supervision: SupervisionConfig::default(),
+            rollout: None,
         }
     }
 }
@@ -160,6 +172,8 @@ pub struct AnalysisService {
     registry: Arc<ModelRegistry>,
     pipeline: Arc<dyn TrainPipeline>,
     health: Arc<HealthMonitor>,
+    lifecycle: Arc<GenerationLifecycle>,
+    recovered: Option<GenerationRecord>,
     worker: Option<RetrainWorker>,
     submissions: AtomicU64,
     generation_seed: AtomicU64,
@@ -196,13 +210,70 @@ impl AnalysisService {
         schema: FeatureSchema,
         pipeline: Arc<dyn TrainPipeline>,
     ) -> Self {
+        Self::with_pipeline_and_store(config, schema, pipeline, None)
+    }
+
+    /// Create a service persisting every published generation to `store`
+    /// (`diagnet serve --state-dir`), recovering the newest recoverable
+    /// *active* generation on startup.
+    pub fn with_store(
+        config: ServiceConfig,
+        schema: FeatureSchema,
+        store: Arc<ModelStore>,
+    ) -> Self {
+        let pipeline: Arc<dyn TrainPipeline> = Arc::new(StandardPipeline {
+            kind: config.backend,
+            config: BackendConfig::from_diagnet(config.model.clone()),
+            general_services: config.general_services.clone(),
+            min_service_samples: config.min_service_samples,
+        });
+        Self::with_pipeline_and_store(config, schema, pipeline, Some(store))
+    }
+
+    /// The fully general constructor: explicit pipeline plus optional
+    /// durable store. With [`ServiceConfig::rollout`] set, a rollout
+    /// controller is attached and retrained generations are canaried;
+    /// with a store attached, startup recovers the newest *active*
+    /// generation whose artefact verifies (corrupt ones are skipped and
+    /// counted) so a SIGKILL'd server resumes serving without retraining.
+    pub fn with_pipeline_and_store(
+        config: ServiceConfig,
+        schema: FeatureSchema,
+        pipeline: Arc<dyn TrainPipeline>,
+        store: Option<Arc<ModelStore>>,
+    ) -> Self {
         let collector = Arc::new(ProbeCollector::new(config.buffer_capacity, schema.clone()));
         let registry = Arc::new(ModelRegistry::new());
         let health = Arc::new(HealthMonitor::new());
-        let worker = config.auto_retrain_every.and_then(|_| {
-            match RetrainWorker::spawn(
-                Arc::clone(&collector),
+        let rollout = config.rollout.as_ref().map(|rollout_config| {
+            Arc::new(RolloutController::new(
+                rollout_config.clone(),
                 Arc::clone(&registry),
+                store.clone(),
+                Arc::clone(&health),
+            ))
+        });
+        let lifecycle = Arc::new(GenerationLifecycle::new(
+            Arc::clone(&registry),
+            store.clone(),
+            rollout,
+        ));
+        // Startup recovery: restore the last-good generation before any
+        // traffic or training can run, so a crashed server resumes
+        // serving bit-identical diagnoses immediately.
+        let mut recovered = None;
+        if let Some(store) = store.as_ref() {
+            if let (Some((record, backend)), _skipped) = store.recover() {
+                registry.publish_backend(Arc::from(backend), BTreeMap::new());
+                health.record_success();
+                recovered = Some(record);
+            }
+        }
+        let publisher: Arc<dyn GenerationPublisher> = Arc::clone(&lifecycle) as _;
+        let worker = config.auto_retrain_every.and_then(|_| {
+            match RetrainWorker::spawn_with(
+                Arc::clone(&collector),
+                publisher,
                 Arc::clone(&pipeline),
                 config.supervision.clone(),
                 Arc::clone(&health),
@@ -212,7 +283,10 @@ impl AnalysisService {
                 // synchronously via `retrain_now`; health records why the
                 // background loop is missing.
                 Err(e) => {
-                    health.record_failure(format!("retrain worker unavailable: {e}"), false);
+                    health.record_failure(
+                        format!("retrain worker unavailable: {e}"),
+                        registry.is_ready(),
+                    );
                     None
                 }
             }
@@ -230,6 +304,8 @@ impl AnalysisService {
             registry,
             pipeline,
             health,
+            lifecycle,
+            recovered,
             worker,
             submissions: AtomicU64::new(0),
             submissions_accepted: obs.counter(
@@ -279,6 +355,12 @@ impl AnalysisService {
         self.submissions_accepted.inc();
         let n = self.submissions.fetch_add(1, Ordering::Relaxed) + 1;
         if let (Some(every), Some(worker)) = (self.config.auto_retrain_every, &self.worker) {
+            // After an auto-rollback the cadence backs off exponentially:
+            // a persistently bad pipeline must not flap the fleet.
+            let every = self
+                .lifecycle
+                .rollout()
+                .map_or(every, |rollout| rollout.retrain_every(every));
             if n.is_multiple_of(every) {
                 self.drain_pending(true);
                 worker.request_retrain(self.next_seed());
@@ -338,6 +420,16 @@ impl AnalysisService {
                 },
             ));
         }
+        // Canary routing engages only while a candidate is staged; the
+        // steady-state path stays a single registry read.
+        if self.lifecycle.rollout().is_some() && self.registry.has_canary() {
+            let key = probe_key(service, features);
+            let Some(routed) = self.registry.route_for(service, key) else {
+                self.diagnoses_unready.inc();
+                return Err(DiagnoseError::NoModel);
+            };
+            return self.diagnose_routed(routed, features, schema);
+        }
         let Some(model) = self.registry.model_for(service) else {
             self.diagnoses_unready.inc();
             return Err(DiagnoseError::NoModel);
@@ -346,6 +438,101 @@ impl AnalysisService {
         let timer = self.diagnose_latency.start_timer();
         let ranking = model.rank_causes(features, schema);
         timer.stop();
+        if !ranking.all_finite() {
+            self.diagnoses_non_finite.inc();
+            return Err(DiagnoseError::NonFiniteScores { model_version });
+        }
+        self.diagnoses_ok.inc();
+        let top_cause = schema.feature(ranking.best());
+        Ok(Diagnosis {
+            ranking,
+            top_cause,
+            model_version,
+        })
+    }
+
+    /// Serve a probe that was routed while a canary is observing traffic.
+    ///
+    /// Active-routed probes serve normally and feed the latency baseline.
+    /// Canary-routed probes are scored by the candidate *and* the active
+    /// baseline (captured under the same registry lock): the comparison
+    /// feeds the rollout controller's agreement/latency observations, and
+    /// a candidate producing non-finite scores is silently answered from
+    /// the baseline — a poisoned canary costs the client nothing.
+    fn diagnose_routed(
+        &self,
+        routed: Routed,
+        features: &[f32],
+        schema: &FeatureSchema,
+    ) -> Result<Diagnosis, DiagnoseError> {
+        let rollout = match self.lifecycle.rollout() {
+            Some(rollout) => rollout,
+            // Routing only engages when a controller exists; treat a
+            // vanished controller as plain active serving.
+            None => {
+                return self.finish_diagnosis(
+                    routed.model.rank_causes(features, schema),
+                    routed.version,
+                    schema,
+                )
+            }
+        };
+        match routed.target {
+            RouteTarget::Active => {
+                let started = Instant::now();
+                let timer = self.diagnose_latency.start_timer();
+                let ranking = routed.model.rank_causes(features, schema);
+                timer.stop();
+                rollout.note_active(started.elapsed().as_nanos() as u64);
+                self.finish_diagnosis(ranking, routed.version, schema)
+            }
+            RouteTarget::Canary => {
+                let started = Instant::now();
+                let timer = self.diagnose_latency.start_timer();
+                let canary_ranking = routed.model.rank_causes(features, schema);
+                timer.stop();
+                let canary_nanos = started.elapsed().as_nanos() as u64;
+                let finite = canary_ranking.all_finite();
+                let baseline = routed.baseline.map(|(model, version)| {
+                    let active_started = Instant::now();
+                    let ranking = model.rank_causes(features, schema);
+                    rollout.note_active(active_started.elapsed().as_nanos() as u64);
+                    (ranking, version)
+                });
+                let agree = match baseline.as_ref() {
+                    Some((active_ranking, _)) => {
+                        finite && canary_ranking.best() == active_ranking.best()
+                    }
+                    None => finite,
+                };
+                rollout.note_canary(routed.version, canary_nanos, finite, agree);
+                if finite {
+                    return self.finish_diagnosis(canary_ranking, routed.version, schema);
+                }
+                // Poisoned canary: fall back to the active baseline.
+                match baseline {
+                    Some((active_ranking, active_version)) => {
+                        self.finish_diagnosis(active_ranking, active_version, schema)
+                    }
+                    None => {
+                        self.diagnoses_non_finite.inc();
+                        Err(DiagnoseError::NonFiniteScores {
+                            model_version: routed.version,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared tail of every diagnose path: refuse non-finite output,
+    /// count the outcome, resolve the top cause.
+    fn finish_diagnosis(
+        &self,
+        ranking: CauseRanking,
+        model_version: u64,
+        schema: &FeatureSchema,
+    ) -> Result<Diagnosis, DiagnoseError> {
         if !ranking.all_finite() {
             self.diagnoses_non_finite.inc();
             return Err(DiagnoseError::NonFiniteScores { model_version });
@@ -375,6 +562,16 @@ impl AnalysisService {
         service: ServiceId,
         schema: &FeatureSchema,
     ) -> Result<Vec<Result<Diagnosis, DiagnoseError>>, DiagnoseError> {
+        // While a canary observes traffic, rows must route individually
+        // (each probe key may land on a different side of the split) to
+        // keep the bit-identical-to-per-row contract. Canary phases are
+        // transient, so the batch kernel is only bypassed briefly.
+        if self.lifecycle.rollout().is_some() && self.registry.has_canary() {
+            return Ok(rows
+                .iter()
+                .map(|row| self.diagnose(row, service, schema))
+                .collect());
+        }
         let Some(model) = self.registry.model_for(service) else {
             self.diagnoses_unready.inc();
             return Err(DiagnoseError::NoModel);
@@ -442,7 +639,7 @@ impl AnalysisService {
         backend
             .validate()
             .map_err(|e| NnError::InvalidConfig(format!("refusing to publish model: {e}")))?;
-        let version = self.registry.publish_backend(backend, BTreeMap::new());
+        let version = self.lifecycle.publish_external(backend);
         self.health.record_success();
         Ok(version)
     }
@@ -453,9 +650,10 @@ impl AnalysisService {
     /// keeps serving and [`AnalysisService::health`] turns `Degraded`.
     pub fn retrain_now(&self) -> Result<TrainReport, TrainFailure> {
         self.drain_pending(true);
-        supervised_retrain(
+        let publisher: Arc<dyn GenerationPublisher> = Arc::clone(&self.lifecycle) as _;
+        supervised_retrain_with(
             &self.collector,
-            &self.registry,
+            &publisher,
             &self.pipeline,
             &self.config.supervision,
             &self.health,
@@ -527,6 +725,29 @@ impl AnalysisService {
     /// Access the registry (e.g. to export a model to clients).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// Current rollout phase: [`RolloutPhase::Idle`] when no controller is
+    /// configured or no canary observes traffic.
+    pub fn rollout_phase(&self) -> RolloutPhase {
+        self.lifecycle
+            .rollout()
+            .map_or(RolloutPhase::Idle, |rollout| rollout.phase())
+    }
+
+    /// The durable store's generation lineage (manifest snapshot, oldest
+    /// first); empty when the service runs without `--state-dir`.
+    pub fn generation_records(&self) -> Vec<GenerationRecord> {
+        self.lifecycle
+            .store()
+            .map(|store| store.records())
+            .unwrap_or_default()
+    }
+
+    /// The manifest record recovered at startup, when the service resumed
+    /// a stored generation instead of cold-starting.
+    pub fn recovered_generation(&self) -> Option<&GenerationRecord> {
+        self.recovered.as_ref()
     }
 
     /// A point-in-time snapshot of the process-wide metrics registry —

@@ -1,0 +1,598 @@
+//! Durable, crash-safe model store.
+//!
+//! A process crash must not lose trained generations: `diagnet serve
+//! --state-dir` persists every published generation as a checksummed
+//! artefact plus a small line-oriented manifest recording its lineage
+//! (generation number, parent, backend kind, checksum, byte length,
+//! lifecycle status). On startup the service recovers the newest *active*
+//! generation and serves bit-identical diagnoses without retraining.
+//!
+//! Crash safety is write-temp → fsync → rename → fsync-dir for both the
+//! artefact and the manifest: a SIGKILL at any instant leaves either the
+//! old state or the new state on disk, never a torn file under a live
+//! name (a leftover `*.tmp` is swept on open). Every artefact read back
+//! is verified against its manifest checksum and byte length, then
+//! decoded and health-checked (`Backend::validate`) before it can serve;
+//! recovery skips corrupt generations with a typed [`StoreError`] and
+//! counts each outcome under `diagnet_store_recovery_total`.
+//!
+//! Serialisation is behind the [`ArtefactCodec`] seam: the store's own
+//! logic (atomicity, checksums, manifest, recovery) is dependency-free,
+//! while the production [`JsonCodec`](crate::store_codec::JsonCodec)
+//! lives in its own module so environments without the serde stack can
+//! swap it out.
+
+use diagnet::backend::Backend;
+use diagnet::integrity;
+use diagnet_nn::error::NnError;
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Counter of startup-recovery outcomes (label `outcome`:
+/// `recovered` = an active generation was restored; `corrupt` = an
+/// artefact failed its checksum/decode/validate and was skipped;
+/// `empty` = no recoverable active generation;
+/// `manifest_line_skipped` = a corrupt manifest line was ignored on open).
+pub const STORE_RECOVERY_TOTAL: &str = "diagnet_store_recovery_total";
+/// Counter of persistence attempts (label `outcome`: `ok`/`error`).
+pub const STORE_PERSIST_TOTAL: &str = "diagnet_store_persist_total";
+
+/// Manifest file name inside the state directory.
+pub const MANIFEST_FILE: &str = "manifest";
+/// Manifest format header (first line); bump on incompatible changes.
+const MANIFEST_HEADER: &str = "diagnet-store v1";
+
+fn recovery_counter(outcome: &'static str) -> diagnet_obs::Counter {
+    diagnet_obs::global().counter(
+        STORE_RECOVERY_TOTAL,
+        &[("outcome", outcome)],
+        "model-store startup recovery outcomes",
+    )
+}
+
+/// Encode/decode seam between the store and the serialisation stack.
+/// Implementations must be deterministic: the same backend must encode to
+/// the same bytes within a process, or the bit-identical-recovery
+/// guarantee is void.
+pub trait ArtefactCodec: Send + Sync + fmt::Debug {
+    /// Serialise a backend to artefact bytes.
+    fn encode(&self, backend: &dyn Backend) -> Result<Vec<u8>, NnError>;
+    /// Deserialise artefact bytes back to a backend.
+    fn decode(&self, bytes: &[u8]) -> Result<Box<dyn Backend>, NnError>;
+}
+
+/// Lifecycle status of a stored generation (`DESIGN.md` §14 state
+/// machine: trained → canary → active → rolled-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerationStatus {
+    /// Published to the canary phase; serving a traffic fraction.
+    Canary,
+    /// Promoted (or directly published): the serving generation.
+    Active,
+    /// Demoted by the rollback controller; never served again.
+    RolledBack,
+}
+
+impl GenerationStatus {
+    /// Manifest token of this status.
+    pub fn token(self) -> &'static str {
+        match self {
+            GenerationStatus::Canary => "canary",
+            GenerationStatus::Active => "active",
+            GenerationStatus::RolledBack => "rolled-back",
+        }
+    }
+
+    /// Parse a manifest token.
+    pub fn parse(token: &str) -> Option<GenerationStatus> {
+        match token {
+            "canary" => Some(GenerationStatus::Canary),
+            "active" => Some(GenerationStatus::Active),
+            "rolled-back" => Some(GenerationStatus::RolledBack),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GenerationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One manifest row: the durable lineage of a stored generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationRecord {
+    /// Durable generation number (store-owned sequence, 1-based; distinct
+    /// from the in-process registry version, which resets on restart).
+    pub generation: u64,
+    /// Generation that was active when this one was trained.
+    pub parent: Option<u64>,
+    /// Backend kind token (`diagnet`/`forest`/`bayes`).
+    pub backend: String,
+    /// FNV-1a/64 checksum of the artefact bytes.
+    pub checksum: u64,
+    /// Artefact byte length (cheap torn-write screen before hashing).
+    pub bytes: u64,
+    /// Lifecycle status.
+    pub status: GenerationStatus,
+    /// Artefact file name, relative to the store directory.
+    pub file: String,
+}
+
+impl GenerationRecord {
+    fn render(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "gen {} parent {} backend {} checksum {} bytes {} status {} file {}",
+            self.generation,
+            parent,
+            self.backend,
+            integrity::render_checksum(self.checksum),
+            self.bytes,
+            self.status.token(),
+            self.file,
+        )
+    }
+
+    fn parse(line: &str) -> Result<GenerationRecord, String> {
+        let mut fields = line.split_whitespace();
+        let mut want = |key: &str| -> Result<String, String> {
+            match (fields.next(), fields.next()) {
+                (Some(k), Some(v)) if k == key => Ok(v.to_string()),
+                (Some(k), _) => Err(format!("expected field `{key}`, found `{k}`")),
+                (None, _) => Err(format!("missing field `{key}`")),
+            }
+        };
+        let generation = want("gen")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad generation: {e}"))?;
+        let parent_text = want("parent")?;
+        let parent = if parent_text == "-" {
+            None
+        } else {
+            Some(
+                parent_text
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad parent: {e}"))?,
+            )
+        };
+        let backend = want("backend")?;
+        let checksum = integrity::parse_checksum(&want("checksum")?)
+            .ok_or_else(|| "bad checksum field".to_string())?;
+        let bytes = want("bytes")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad byte length: {e}"))?;
+        let status_text = want("status")?;
+        let status = GenerationStatus::parse(&status_text)
+            .ok_or_else(|| format!("unknown status `{status_text}`"))?;
+        let file = want("file")?;
+        if file.contains('/') || file.contains("..") {
+            return Err(format!("artefact file `{file}` escapes the store dir"));
+        }
+        Ok(GenerationRecord {
+            generation,
+            parent,
+            backend,
+            checksum,
+            bytes,
+            status,
+            file,
+        })
+    }
+}
+
+/// Why a store operation failed. Every variant is typed so callers (the
+/// lifecycle manager, `diagnet info`) can report artefact problems
+/// without panicking.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// What was being done (`"create"`, `"read"`, `"rename"`, …).
+        action: &'static str,
+        /// The offending path.
+        path: PathBuf,
+        /// OS error text.
+        detail: String,
+    },
+    /// The manifest header is missing or from an unknown format version.
+    ManifestHeader(String),
+    /// An artefact's bytes do not match its manifest record.
+    Corrupt {
+        /// Generation whose artefact is damaged.
+        generation: u64,
+        /// What the verification found (length mismatch, checksum text).
+        detail: String,
+    },
+    /// The codec could not encode/decode an artefact.
+    Codec(String),
+    /// No record exists for the requested generation.
+    UnknownGeneration(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                action,
+                path,
+                detail,
+            } => write!(f, "cannot {action} `{}`: {detail}", path.display()),
+            StoreError::ManifestHeader(detail) => write!(f, "bad store manifest: {detail}"),
+            StoreError::Corrupt { generation, detail } => {
+                write!(f, "generation {generation} artefact is corrupt: {detail}")
+            }
+            StoreError::Codec(detail) => write!(f, "artefact codec failed: {detail}"),
+            StoreError::UnknownGeneration(generation) => {
+                write!(f, "no stored generation {generation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Canonical artefact file name of a generation.
+pub fn artefact_name(generation: u64) -> String {
+    format!("gen-{generation:06}.model")
+}
+
+/// The durable model store: a state directory holding checksummed
+/// generation artefacts plus the lineage manifest.
+#[derive(Debug)]
+pub struct ModelStore {
+    dir: PathBuf,
+    codec: Arc<dyn ArtefactCodec>,
+    records: Mutex<Vec<GenerationRecord>>,
+}
+
+impl ModelStore {
+    /// Open (creating if needed) the store at `dir`. Leftover `*.tmp`
+    /// files from a crash mid-publish are swept; corrupt manifest lines
+    /// are skipped (counted under
+    /// `diagnet_store_recovery_total{outcome="manifest_line_skipped"}`)
+    /// so one damaged row cannot take out the whole lineage.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        codec: Arc<dyn ArtefactCodec>,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::Io {
+            action: "create",
+            path: dir.clone(),
+            detail: e.to_string(),
+        })?;
+        sweep_tmp_files(&dir);
+        let records = read_manifest(&dir)?;
+        Ok(ModelStore {
+            dir,
+            codec,
+            records: Mutex::new(records),
+        })
+    }
+
+    /// The state directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the manifest, oldest generation first.
+    pub fn records(&self) -> Vec<GenerationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Persist `backend` as the next generation with `status`, returning
+    /// its manifest record. Both the artefact and the updated manifest are
+    /// written atomically (temp → fsync → rename → fsync-dir), so a crash
+    /// at any point leaves the previous state intact.
+    pub fn persist(
+        &self,
+        backend: &dyn Backend,
+        parent: Option<u64>,
+        backend_token: &str,
+        status: GenerationStatus,
+    ) -> Result<GenerationRecord, StoreError> {
+        let result = self.persist_inner(backend, parent, backend_token, status);
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        diagnet_obs::global()
+            .counter(
+                STORE_PERSIST_TOTAL,
+                &[("outcome", outcome)],
+                "model-store artefact persistence attempts",
+            )
+            .inc();
+        result
+    }
+
+    fn persist_inner(
+        &self,
+        backend: &dyn Backend,
+        parent: Option<u64>,
+        backend_token: &str,
+        status: GenerationStatus,
+    ) -> Result<GenerationRecord, StoreError> {
+        let bytes = self
+            .codec
+            .encode(backend)
+            .map_err(|e| StoreError::Codec(e.to_string()))?;
+        let mut records = self.records.lock();
+        let generation = records.iter().map(|r| r.generation).max().unwrap_or(0) + 1;
+        let record = GenerationRecord {
+            generation,
+            parent,
+            backend: backend_token.to_string(),
+            checksum: integrity::artefact_checksum(&bytes),
+            bytes: bytes.len() as u64,
+            status,
+            file: artefact_name(generation),
+        };
+        self.write_atomic(&record.file, &bytes)?;
+        records.push(record.clone());
+        self.write_manifest(&records)?;
+        Ok(record)
+    }
+
+    /// Move `generation` to `status` in the manifest (the promote /
+    /// rollback bookkeeping), rewriting the manifest atomically.
+    pub fn set_status(
+        &self,
+        generation: u64,
+        status: GenerationStatus,
+    ) -> Result<GenerationRecord, StoreError> {
+        let mut records = self.records.lock();
+        let record = records
+            .iter_mut()
+            .find(|r| r.generation == generation)
+            .ok_or(StoreError::UnknownGeneration(generation))?;
+        record.status = status;
+        let updated = record.clone();
+        self.write_manifest(&records)?;
+        Ok(updated)
+    }
+
+    /// Read, verify (length + checksum), decode and health-check one
+    /// stored generation.
+    pub fn load_generation(&self, generation: u64) -> Result<Box<dyn Backend>, StoreError> {
+        let record = self
+            .records
+            .lock()
+            .iter()
+            .find(|r| r.generation == generation)
+            .cloned()
+            .ok_or(StoreError::UnknownGeneration(generation))?;
+        self.load_record(&record)
+    }
+
+    fn load_record(&self, record: &GenerationRecord) -> Result<Box<dyn Backend>, StoreError> {
+        let path = self.dir.join(&record.file);
+        let bytes = fs::read(&path).map_err(|e| StoreError::Io {
+            action: "read",
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        if bytes.len() as u64 != record.bytes {
+            return Err(StoreError::Corrupt {
+                generation: record.generation,
+                detail: format!(
+                    "length mismatch: manifest says {} bytes, file has {}",
+                    record.bytes,
+                    bytes.len()
+                ),
+            });
+        }
+        integrity::verify_checksum(&bytes, record.checksum).map_err(|detail| {
+            StoreError::Corrupt {
+                generation: record.generation,
+                detail,
+            }
+        })?;
+        let backend = self
+            .codec
+            .decode(&bytes)
+            .map_err(|e| StoreError::Codec(e.to_string()))?;
+        backend.validate().map_err(|e| StoreError::Corrupt {
+            generation: record.generation,
+            detail: format!("decoded model failed validation: {e}"),
+        })?;
+        Ok(backend)
+    }
+
+    /// Startup recovery: the newest generation marked *active* whose
+    /// artefact verifies, decodes and validates. Corrupt generations are
+    /// skipped (returned with their typed errors) and each outcome is
+    /// counted under `diagnet_store_recovery_total`.
+    #[allow(clippy::type_complexity)]
+    pub fn recover(
+        &self,
+    ) -> (
+        Option<(GenerationRecord, Box<dyn Backend>)>,
+        Vec<(u64, StoreError)>,
+    ) {
+        let mut actives: Vec<GenerationRecord> = self
+            .records
+            .lock()
+            .iter()
+            .filter(|r| r.status == GenerationStatus::Active)
+            .cloned()
+            .collect();
+        actives.sort_by_key(|r| std::cmp::Reverse(r.generation));
+        let mut skipped = Vec::new();
+        for record in actives {
+            match self.load_record(&record) {
+                Ok(backend) => {
+                    recovery_counter("recovered").inc();
+                    return (Some((record, backend)), skipped);
+                }
+                Err(e) => {
+                    recovery_counter("corrupt").inc();
+                    skipped.push((record.generation, e));
+                }
+            }
+        }
+        recovery_counter("empty").inc();
+        (None, skipped)
+    }
+
+    fn write_manifest(&self, records: &[GenerationRecord]) -> Result<(), StoreError> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for record in records {
+            text.push_str(&record.render());
+            text.push('\n');
+        }
+        self.write_atomic(MANIFEST_FILE, text.as_bytes())
+    }
+
+    /// Write-temp → fsync → rename → fsync-dir. `name` must be a plain
+    /// file name inside the store directory.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let dest = self.dir.join(name);
+        let mut file = File::create(&tmp).map_err(|e| StoreError::Io {
+            action: "create",
+            path: tmp.clone(),
+            detail: e.to_string(),
+        })?;
+        file.write_all(bytes).map_err(|e| StoreError::Io {
+            action: "write",
+            path: tmp.clone(),
+            detail: e.to_string(),
+        })?;
+        file.sync_all().map_err(|e| StoreError::Io {
+            action: "sync",
+            path: tmp.clone(),
+            detail: e.to_string(),
+        })?;
+        drop(file);
+        fs::rename(&tmp, &dest).map_err(|e| StoreError::Io {
+            action: "rename",
+            path: tmp.clone(),
+            detail: e.to_string(),
+        })?;
+        // Durability of the rename itself: fsync the directory. Best
+        // effort — a failure here narrows the crash window but the rename
+        // already happened.
+        if let Ok(dirfd) = File::open(&self.dir) {
+            let _ = dirfd.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// Parse the manifest at `dir` without opening a full store — the
+/// read-only path `diagnet info` uses to print lineage. Missing manifest
+/// = empty lineage; corrupt lines are skipped and counted.
+pub fn read_manifest(dir: &Path) -> Result<Vec<GenerationRecord>, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(StoreError::Io {
+                action: "read",
+                path,
+                detail: e.to_string(),
+            })
+        }
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) if header.trim() == MANIFEST_HEADER => {}
+        Some(header) => {
+            return Err(StoreError::ManifestHeader(format!(
+                "unknown header `{}`",
+                header.trim()
+            )))
+        }
+        None => return Ok(Vec::new()),
+    }
+    let mut records = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match GenerationRecord::parse(line) {
+            Ok(record) => records.push(record),
+            Err(_) => recovery_counter("manifest_line_skipped").inc(),
+        }
+    }
+    records.sort_by_key(|r| r.generation);
+    Ok(records)
+}
+
+/// Remove leftover `*.tmp` files (a crash mid-publish). Best effort.
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .extension()
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("tmp"));
+        if is_tmp {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_render_parse_round_trip() {
+        let record = GenerationRecord {
+            generation: 7,
+            parent: Some(6),
+            backend: "diagnet".to_string(),
+            checksum: 0xdead_beef_0123_4567,
+            bytes: 8_912,
+            status: GenerationStatus::Canary,
+            file: artefact_name(7),
+        };
+        let parsed = GenerationRecord::parse(&record.render()).unwrap();
+        assert_eq!(parsed, record);
+
+        let root = GenerationRecord {
+            parent: None,
+            status: GenerationStatus::Active,
+            ..record
+        };
+        assert_eq!(GenerationRecord::parse(&root.render()).unwrap(), root);
+    }
+
+    #[test]
+    fn malformed_records_are_typed_errors() {
+        for bad in [
+            "",
+            "gen x parent - backend b checksum fnv1a64:0000000000000000 bytes 1 status active file f",
+            "gen 1 parent - backend b checksum nope bytes 1 status active file f",
+            "gen 1 parent - backend b checksum fnv1a64:0000000000000000 bytes 1 status lost file f",
+            "gen 1 parent - backend b checksum fnv1a64:0000000000000000 bytes 1 status active file ../evil",
+            "version 1 parent - backend b",
+        ] {
+            assert!(GenerationRecord::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn status_tokens_round_trip() {
+        for status in [
+            GenerationStatus::Canary,
+            GenerationStatus::Active,
+            GenerationStatus::RolledBack,
+        ] {
+            assert_eq!(GenerationStatus::parse(status.token()), Some(status));
+        }
+        assert_eq!(GenerationStatus::parse("happy"), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Production [`ArtefactCodec`](crate::store::ArtefactCodec): the
+//! versioned JSON envelope from [`diagnet::backend_persist`].
+//!
+//! Kept in its own module so the store's crash-safety logic stays free of
+//! the serialisation stack — environments without serde swap this file
+//! for a stub with the same signatures.
+
+use crate::store::ArtefactCodec;
+use diagnet::backend::Backend;
+use diagnet::backend_persist;
+use diagnet_nn::error::NnError;
+
+/// Encodes artefacts as the tagged [`BackendEnvelope`] JSON that
+/// [`diagnet export`/`diagnet info`](diagnet::backend_persist) already
+/// speak — a store artefact is a plain model file an operator can inspect
+/// or copy out.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JsonCodec;
+
+impl ArtefactCodec for JsonCodec {
+    fn encode(&self, backend: &dyn Backend) -> Result<Vec<u8>, NnError> {
+        let (bytes, _checksum) = backend_persist::encode_backend(backend)?;
+        Ok(bytes)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Box<dyn Backend>, NnError> {
+        backend_persist::load_backend(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diagnet::backend::ForestBackend;
+    use diagnet_forest::ForestConfig;
+    use diagnet_sim::metrics::FeatureSchema;
+    use diagnet_sim::{Dataset, DatasetConfig, World};
+
+    #[test]
+    fn json_codec_round_trips_deterministically() {
+        let world = World::new();
+        let mut cfg = DatasetConfig::small(&world, 11);
+        cfg.n_scenarios = 10;
+        let data = Dataset::generate(&world, &cfg).unwrap();
+        let backend =
+            ForestBackend::train(&ForestConfig::default(), &data, &FeatureSchema::known(), 11);
+        let codec = JsonCodec;
+        let bytes = codec.encode(&backend).unwrap();
+        let again = codec.encode(&backend).unwrap();
+        assert_eq!(bytes, again, "encoding must be deterministic");
+        let decoded = codec.decode(&bytes).unwrap();
+        assert_eq!(codec.encode(decoded.as_ref()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn json_codec_rejects_garbage() {
+        assert!(JsonCodec.decode(b"{not json").is_err());
+    }
+}

@@ -25,7 +25,7 @@
 use crate::collector::ProbeCollector;
 use crate::health::HealthMonitor;
 use crate::registry::ModelRegistry;
-use crate::trainer::{build_generation, publish_generation, TrainPipeline, TrainReport};
+use crate::trainer::{build_generation, GenerationPublisher, TrainPipeline, TrainReport};
 use crate::trainer::{RETRAIN_DURATION_SECONDS, RETRAIN_TOTAL};
 use diagnet_nn::error::NnError;
 use diagnet_rng::SplitMix64;
@@ -168,7 +168,7 @@ fn sleep_cancellable(delay: Duration, cancel: &AtomicBool) {
 /// budget already expired) validate and publish it.
 fn attempt_once(
     collector: &ProbeCollector,
-    registry: &ModelRegistry,
+    publisher: &dyn GenerationPublisher,
     pipeline: &dyn TrainPipeline,
     seed: u64,
     abandoned: Option<&AtomicBool>,
@@ -179,7 +179,7 @@ fn attempt_once(
             "training attempt abandoned after budget timeout".into(),
         ));
     }
-    publish_generation(registry, pending)
+    publisher.publish_pending(pending)
 }
 
 fn flatten(
@@ -194,21 +194,21 @@ fn flatten(
 
 fn run_attempt(
     collector: &Arc<ProbeCollector>,
-    registry: &Arc<ModelRegistry>,
+    publisher: &Arc<dyn GenerationPublisher>,
     pipeline: &Arc<dyn TrainPipeline>,
     budget: Option<Duration>,
     seed: u64,
 ) -> Result<TrainReport, TrainFailure> {
     let Some(budget) = budget else {
         return flatten(catch_unwind(AssertUnwindSafe(|| {
-            attempt_once(collector, registry, pipeline.as_ref(), seed, None)
+            attempt_once(collector, publisher.as_ref(), pipeline.as_ref(), seed, None)
         })));
     };
     let abandoned = Arc::new(AtomicBool::new(false));
     let (tx, rx) = std::sync::mpsc::channel();
     let (c, r, p, a) = (
         Arc::clone(collector),
-        Arc::clone(registry),
+        Arc::clone(publisher),
         Arc::clone(pipeline),
         Arc::clone(&abandoned),
     );
@@ -216,7 +216,7 @@ fn run_attempt(
         .name("diagnet-retrain-attempt".into())
         .spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                attempt_once(&c, &r, p.as_ref(), seed, Some(&a))
+                attempt_once(&c, r.as_ref(), p.as_ref(), seed, Some(&a))
             }));
             let _ = tx.send(outcome);
         });
@@ -254,6 +254,30 @@ pub fn supervised_retrain(
     seed: u64,
     cancel: &AtomicBool,
 ) -> Result<TrainReport, TrainFailure> {
+    let publisher: Arc<dyn GenerationPublisher> = Arc::clone(registry) as _;
+    supervised_retrain_with(
+        collector,
+        &publisher,
+        pipeline,
+        supervision,
+        health,
+        seed,
+        cancel,
+    )
+}
+
+/// [`supervised_retrain`] generalised over the publish seam
+/// ([`GenerationPublisher`]): the lifecycle manager substitutes itself so
+/// every supervised generation is canaried and persisted.
+pub fn supervised_retrain_with(
+    collector: &Arc<ProbeCollector>,
+    publisher: &Arc<dyn GenerationPublisher>,
+    pipeline: &Arc<dyn TrainPipeline>,
+    supervision: &SupervisionConfig,
+    health: &HealthMonitor,
+    seed: u64,
+    cancel: &AtomicBool,
+) -> Result<TrainReport, TrainFailure> {
     let _span = diagnet_obs::span("platform.retrain.supervised");
     let obs = diagnet_obs::global();
     let backend = pipeline.kind().token();
@@ -269,7 +293,7 @@ pub fn supervised_retrain(
                 "wall-clock duration of one training generation",
             )
             .start_timer();
-        let result = run_attempt(collector, registry, pipeline, supervision.budget, seed);
+        let result = run_attempt(collector, publisher, pipeline, supervision.budget, seed);
         timer.stop();
         let outcome = if result.is_ok() { "ok" } else { "error" };
         obs.counter(
@@ -292,7 +316,7 @@ pub fn supervised_retrain(
                 .inc();
                 attempt += 1;
                 if !failure.retryable() || attempt >= supervision.max_attempts {
-                    health.record_failure(failure.to_string(), registry.is_ready());
+                    health.record_failure(failure.to_string(), publisher.has_model());
                     return Err(failure);
                 }
                 obs.counter(

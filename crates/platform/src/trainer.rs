@@ -27,7 +27,7 @@
 use crate::collector::ProbeCollector;
 use crate::health::HealthMonitor;
 use crate::registry::ModelRegistry;
-use crate::supervisor::{supervised_retrain, SupervisionConfig, TrainFailure};
+use crate::supervisor::{supervised_retrain_with, SupervisionConfig, TrainFailure};
 use diagnet::backend::{Backend, BackendConfig, BackendKind};
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
@@ -207,6 +207,26 @@ pub fn build_generation(
     })
 }
 
+/// The publish gate's test alone: health-check every model of the
+/// generation ([`Backend::validate`]). A generation with non-finite
+/// weights or scores is refused with a typed error. Shared by the classic
+/// registry swap and the lifecycle's canary staging.
+pub fn validate_generation(generation: &Generation) -> Result<(), NnError> {
+    generation
+        .general
+        .validate()
+        .map_err(|e| NnError::InvalidConfig(format!("refusing to publish general model: {e}")))?;
+    for (sid, model) in &generation.specialized {
+        model.validate().map_err(|e| {
+            NnError::InvalidConfig(format!(
+                "refusing to publish specialised model for service {}: {e}",
+                sid.0
+            ))
+        })?;
+    }
+    Ok(())
+}
+
 /// The publish gate: health-check every model of the generation
 /// ([`Backend::validate`]) and only then atomically swap the registry to
 /// it. A generation with non-finite weights or scores is refused — the
@@ -221,18 +241,7 @@ pub fn publish_generation(
         n_faulty,
         started,
     } = pending;
-    generation
-        .general
-        .validate()
-        .map_err(|e| NnError::InvalidConfig(format!("refusing to publish general model: {e}")))?;
-    for (sid, model) in &generation.specialized {
-        model.validate().map_err(|e| {
-            NnError::InvalidConfig(format!(
-                "refusing to publish specialised model for service {}: {e}",
-                sid.0
-            ))
-        })?;
-    }
+    validate_generation(&generation)?;
     let version = registry.publish_backend(generation.general, generation.specialized);
     Ok(TrainReport {
         version,
@@ -242,6 +251,29 @@ pub fn publish_generation(
         specialized: generation.specialized_ids,
         duration_secs: started.elapsed().as_secs_f64(),
     })
+}
+
+/// Where a supervised generation is published once trained: directly into
+/// a [`ModelRegistry`] (the classic everything-swaps publish) or through a
+/// [`GenerationLifecycle`](crate::rollout::GenerationLifecycle) that
+/// stages it as a canary and persists it to the durable store.
+pub trait GenerationPublisher: Send + Sync + fmt::Debug {
+    /// Gate and publish a pending generation.
+    fn publish_pending(&self, pending: PendingGeneration) -> Result<TrainReport, NnError>;
+
+    /// True when some generation is currently serving (drives whether a
+    /// training failure degrades health or leaves the service model-less).
+    fn has_model(&self) -> bool;
+}
+
+impl GenerationPublisher for ModelRegistry {
+    fn publish_pending(&self, pending: PendingGeneration) -> Result<TrainReport, NnError> {
+        publish_generation(self, pending)
+    }
+
+    fn has_model(&self) -> bool {
+        self.is_ready()
+    }
 }
 
 /// Train one generation of `kind` from the collector's current contents
@@ -340,6 +372,20 @@ impl RetrainWorker {
         supervision: SupervisionConfig,
         health: Arc<HealthMonitor>,
     ) -> Result<Self, TrainFailure> {
+        let publisher: Arc<dyn GenerationPublisher> = registry;
+        RetrainWorker::spawn_with(collector, publisher, pipeline, supervision, health)
+    }
+
+    /// [`RetrainWorker::spawn`] generalised over the publish seam: the
+    /// lifecycle manager passes itself here so supervised generations are
+    /// canaried and persisted instead of swap-published.
+    pub fn spawn_with(
+        collector: Arc<ProbeCollector>,
+        publisher: Arc<dyn GenerationPublisher>,
+        pipeline: Arc<dyn TrainPipeline>,
+        supervision: SupervisionConfig,
+        health: Arc<HealthMonitor>,
+    ) -> Result<Self, TrainFailure> {
         let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Command>();
         let (rep_tx, rep_rx) = crossbeam::channel::unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -355,9 +401,9 @@ impl RetrainWorker {
                     }
                     match cmd {
                         Command::Retrain { seed } => {
-                            let report = supervised_retrain(
+                            let report = supervised_retrain_with(
                                 &collector,
-                                &registry,
+                                &publisher,
                                 &pipeline,
                                 &supervision,
                                 &health,

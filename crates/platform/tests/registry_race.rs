@@ -9,9 +9,10 @@
 //! models' outputs (never a blend, never a torn state) and that the
 //! version counter is monotone from each reader's point of view.
 
+use diagnet::backend::Backend;
 use diagnet::config::DiagNetConfig;
 use diagnet::model::DiagNet;
-use diagnet_platform::registry::ModelRegistry;
+use diagnet_platform::registry::{ModelRegistry, RouteTarget};
 use diagnet_sim::dataset::{Dataset, DatasetConfig};
 use diagnet_sim::metrics::FeatureSchema;
 use diagnet_sim::service::ServiceId;
@@ -23,8 +24,8 @@ use std::sync::Arc;
 const READERS: usize = 3;
 const SWAPS: usize = 200;
 
-#[test]
-fn swap_racing_readers_see_only_whole_generations() {
+/// Two cheaply trained, distinguishable generations for race fixtures.
+fn trained_pair() -> (Dataset, DiagNet, DiagNet) {
     let world = World::new();
     let mut cfg = DatasetConfig::small(&world, 93);
     cfg.n_scenarios = 12;
@@ -35,6 +36,12 @@ fn swap_racing_readers_see_only_whole_generations() {
     let model_b = model_a
         .specialize(&ds.filter_service(ServiceId(0)), 94)
         .expect("train model b");
+    (ds, model_a, model_b)
+}
+
+#[test]
+fn swap_racing_readers_see_only_whole_generations() {
+    let (ds, model_a, model_b) = trained_pair();
 
     let schema = FeatureSchema::full();
     let probe = ds.samples[0].features.clone();
@@ -104,4 +111,112 @@ fn swap_racing_readers_see_only_whole_generations() {
         );
     }
     assert_eq!(reg.version(), 1 + SWAPS as u64);
+}
+
+/// Canary lifecycle under contention: while a writer stages, promotes and
+/// demotes candidates in a tight loop, routed readers must only ever see
+/// rankings bitwise-equal to one of the two published generations (whole
+/// models, even across a promote swap), the active version must never go
+/// backwards (a demote restores traffic without touching it), and
+/// canary-routed probes always carry an active baseline.
+#[test]
+fn canary_promote_demote_race_keeps_generations_whole() {
+    const CYCLES: usize = 150;
+    let (ds, model_a, model_b) = trained_pair();
+
+    let schema = FeatureSchema::full();
+    let probe = ds.samples[0].features.clone();
+    let expect_a = model_a.rank_causes(&probe, &schema).scores;
+    let expect_b = model_b.rank_causes(&probe, &schema).scores;
+    assert_ne!(expect_a, expect_b);
+
+    let reg = Arc::new(ModelRegistry::new());
+    reg.publish(model_a, BTreeMap::new());
+    let candidate: Arc<dyn Backend> = Arc::new(model_b);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let reg = Arc::clone(&reg);
+            let done = Arc::clone(&done);
+            let schema = schema.clone();
+            let probe = probe.clone();
+            let expect_a = expect_a.clone();
+            let expect_b = expect_b.clone();
+            std::thread::spawn(move || {
+                let mut iterations = 0u64;
+                let mut last_version = 0u64;
+                // Spread keys over the hash space so both route targets
+                // are exercised against the 50 % canary fraction.
+                let mut key = 0x9e37_79b9_7f4a_7c15u64;
+                while !done.load(Ordering::Acquire) {
+                    let version = reg.version();
+                    assert!(
+                        version >= last_version,
+                        "reader {r}: active version went backwards \
+                         ({last_version} -> {version}); only an explicit \
+                         rollback may restore an older generation"
+                    );
+                    last_version = version;
+                    let routed = reg
+                        .route_for(ServiceId(7), key)
+                        .expect("an active generation is always published");
+                    key = key
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(r as u64);
+                    if routed.target == RouteTarget::Canary {
+                        let (baseline, baseline_version) = routed
+                            .baseline
+                            .as_ref()
+                            .expect("reader {r}: canary routes must carry a baseline");
+                        assert!(
+                            *baseline_version < routed.version,
+                            "reader {r}: baseline v{baseline_version} must predate \
+                             candidate v{}",
+                            routed.version
+                        );
+                        let ranking = baseline.rank_causes(&probe, &schema);
+                        assert!(
+                            ranking.scores == expect_a || ranking.scores == expect_b,
+                            "reader {r}: torn baseline model"
+                        );
+                    }
+                    let ranking = routed.model.rank_causes(&probe, &schema);
+                    assert!(ranking.all_finite(), "reader {r}: non-finite ranking");
+                    assert!(
+                        ranking.scores == expect_a || ranking.scores == expect_b,
+                        "reader {r}: routed ranking matches neither generation — \
+                         the canary swap exposed a torn model"
+                    );
+                    iterations += 1;
+                }
+                iterations
+            })
+        })
+        .collect();
+
+    let mut promoted = 0u64;
+    for i in 0..CYCLES {
+        reg.begin_canary(Arc::clone(&candidate), BTreeMap::new(), 0.5);
+        std::thread::yield_now();
+        if i % 3 == 0 {
+            promoted += u64::from(reg.promote_canary().is_some());
+        } else {
+            reg.demote_canary();
+        }
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+
+    for handle in readers {
+        let iterations = handle.join().expect("reader thread panicked");
+        assert!(iterations > 0, "a reader never completed a route");
+    }
+    assert!(promoted > 0, "the schedule promotes every third cycle");
+    assert!(!reg.has_canary(), "the last cycle demotes its candidate");
+    // Cycle `i` stages candidate version `2 + i` (the initial publish took
+    // version 1); the last promoted cycle is the largest multiple of 3
+    // below CYCLES, and demotes in between never moved the version.
+    let last_promoted_cycle = 3 * ((CYCLES as u64 - 1) / 3);
+    assert_eq!(reg.version(), 2 + last_promoted_cycle);
 }

@@ -1,0 +1,303 @@
+//! Canary rollout acceptance suite: a healthy retrained generation is
+//! promoted after its observation window, a gray-failing one (NaN scores
+//! that appear only under live traffic, past the publish gate's probe) is
+//! auto-rolled-back — with zero request-path errors in both cases — and
+//! every transition lands in the durable store's manifest and the
+//! process metrics.
+//!
+//! Run with `cargo test -p diagnet-platform --features chaos`.
+#![cfg(feature = "chaos")]
+
+use diagnet::backend::{Backend, BackendConfig, BackendEnvelope, BackendKind};
+use diagnet::config::DiagNetConfig;
+use diagnet_nn::error::NnError;
+use diagnet_obs::global;
+use diagnet_platform::chaos::{ChaosPipeline, TrainFault};
+use diagnet_platform::rollout::{
+    RolloutPhase, CANARY_NON_FINITE_TOTAL, CANARY_PROMOTIONS_TOTAL, CANARY_REQUESTS_TOTAL,
+    ROLLBACK_BACKOFF_LEVEL, ROLLBACK_TOTAL,
+};
+use diagnet_platform::store::{ArtefactCodec, GenerationStatus, ModelStore};
+use diagnet_platform::trainer::{StandardPipeline, TrainPipeline};
+use diagnet_platform::{AnalysisService, HealthState, RolloutConfig, ServiceConfig, TrainFailure};
+use diagnet_sim::dataset::{Dataset, DatasetConfig, Sample};
+use diagnet_sim::metrics::FeatureSchema;
+use diagnet_sim::world::World;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Serde-free codec (same scheme as `tests/store_recovery.rs`): artefact
+/// bytes index an in-memory envelope table, so the store layer is fully
+/// exercised without the serialization stack.
+#[derive(Debug, Default)]
+struct SlotCodec {
+    slots: Mutex<Vec<BackendEnvelope>>,
+}
+
+impl ArtefactCodec for SlotCodec {
+    fn encode(&self, backend: &dyn Backend) -> Result<Vec<u8>, NnError> {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slots.push(backend.to_envelope());
+        let mut bytes = ((slots.len() - 1) as u64).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xCD; 24]);
+        Ok(bytes)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Box<dyn Backend>, NnError> {
+        let idx: [u8; 8] = bytes
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| NnError::Serialization("short artefact".into()))?;
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(u64::from_le_bytes(idx) as usize)
+            .cloned()
+            .ok_or_else(|| NnError::Serialization("unknown artefact slot".into()))?
+            .into_backend()
+    }
+}
+
+fn temp_store_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("diagnet_rollout_lifecycle")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fast_model() -> DiagNetConfig {
+    let mut model = DiagNetConfig::fast();
+    model.epochs = 2;
+    model.forest.n_trees = 5;
+    model
+}
+
+const WINDOW: u64 = 6;
+
+/// Service with a chaos-wrapped pipeline, a durable store and canarying
+/// on: 100 % of diagnose traffic probes the candidate so windows fill
+/// deterministically fast.
+fn rollout_service(
+    seed: u64,
+    store_name: &str,
+) -> (AnalysisService, Arc<ChaosPipeline>, Vec<Sample>) {
+    let world = World::new();
+    let pipeline: Arc<dyn TrainPipeline> = Arc::new(StandardPipeline {
+        kind: BackendKind::DiagNet,
+        config: BackendConfig::from_diagnet(fast_model()),
+        general_services: world.catalog.general_ids(),
+        min_service_samples: 1,
+    });
+    let chaos = Arc::new(ChaosPipeline::scripted(pipeline, vec![]));
+    let config = ServiceConfig {
+        model: fast_model(),
+        general_services: world.catalog.general_ids(),
+        seed,
+        rollout: Some(RolloutConfig {
+            canary_frac: 1.0,
+            window: WINDOW,
+            // The candidate retrains on strictly more data than the
+            // active generation, so rank agreement and relative latency
+            // are real-model-dependent; this suite pins the *lifecycle*
+            // mechanics, so only score finiteness can veto here. The
+            // latency/churn verdicts are unit-tested in `rollout.rs`.
+            max_latency_ratio: f64::INFINITY,
+            min_agreement: 0.0,
+        }),
+        ..ServiceConfig::default()
+    };
+    let store = ModelStore::open(
+        temp_store_dir(store_name),
+        Arc::new(SlotCodec::default()) as Arc<dyn ArtefactCodec>,
+    )
+    .expect("open store");
+    let service = AnalysisService::with_pipeline_and_store(
+        config,
+        FeatureSchema::full(),
+        Arc::clone(&chaos) as Arc<dyn TrainPipeline>,
+        Some(Arc::new(store)),
+    );
+    let mut cfg = DatasetConfig::small(&world, seed);
+    cfg.n_scenarios = 15;
+    let samples = Dataset::generate(&world, &cfg).expect("generate").samples;
+    (service, chaos, samples)
+}
+
+fn counter(name: &str, labels: &[(&str, &str)]) -> u64 {
+    global().snapshot().counter(name, labels).unwrap_or(0)
+}
+
+#[test]
+fn healthy_canary_is_promoted_after_its_window() {
+    let (service, _chaos, samples) = rollout_service(7001, "healthy");
+    let schema = FeatureSchema::full();
+    for s in &samples {
+        service.submit(s.clone());
+    }
+
+    // Bootstrap: the first generation goes straight to active — there is
+    // nothing to baseline a canary against.
+    let report = service.retrain_now().expect("bootstrap generation");
+    let active = report.version;
+    assert_eq!(service.rollout_phase(), RolloutPhase::Idle);
+
+    // Retrain with a live active generation: the candidate is staged as a
+    // canary, the active version keeps serving.
+    let report = service.retrain_now().expect("canary generation");
+    let candidate = report.version;
+    assert!(candidate > active, "candidate gets a fresh version");
+    assert_eq!(service.model_version(), active, "active version unchanged");
+    assert!(matches!(
+        service.rollout_phase(),
+        RolloutPhase::Canary { version, .. } if version == candidate
+    ));
+    let records = service.generation_records();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].status, GenerationStatus::Active);
+    assert_eq!(records[1].status, GenerationStatus::Canary);
+    assert_eq!(records[1].parent, Some(records[0].generation));
+
+    // Drive the observation window. Every request must be answered, from
+    // a whole generation, with finite scores — canarying is invisible to
+    // clients.
+    let before_promotions = counter(CANARY_PROMOTIONS_TOTAL, &[]);
+    let faulty: Vec<&Sample> = samples.iter().filter(|s| s.label.is_faulty()).collect();
+    let mut served = 0u64;
+    for s in faulty.iter().cycle().take(WINDOW as usize) {
+        let d = service
+            .diagnose(&s.features, s.service, &schema)
+            .expect("requests never fail during a canary");
+        assert!(d.ranking.all_finite());
+        served += 1;
+    }
+    assert_eq!(served, WINDOW);
+
+    // The window is full: the candidate owns 100 % of traffic now.
+    assert_eq!(service.rollout_phase(), RolloutPhase::Idle);
+    assert_eq!(service.model_version(), candidate, "candidate promoted");
+    // `>=`: the counter is process-global and the rollback test's final
+    // clean promote also bumps it.
+    assert!(counter(CANARY_PROMOTIONS_TOTAL, &[]) >= before_promotions + 1);
+    assert!(counter(CANARY_REQUESTS_TOTAL, &[("target", "canary")]) >= WINDOW);
+    let records = service.generation_records();
+    assert_eq!(
+        records[1].status,
+        GenerationStatus::Active,
+        "promotion must be durable: {records:?}"
+    );
+    assert_eq!(service.health(), HealthState::Serving);
+
+    // Post-promotion requests come from the candidate.
+    let d = service
+        .diagnose(&faulty[0].features, faulty[0].service, &schema)
+        .expect("diagnose after promotion");
+    assert_eq!(d.model_version, candidate);
+}
+
+#[test]
+fn gray_nan_canary_is_rolled_back_with_zero_request_errors() {
+    let (service, chaos, samples) = rollout_service(7002, "gray");
+    let schema = FeatureSchema::full();
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    let report = service.retrain_now().expect("bootstrap generation");
+    let active = report.version;
+
+    // A gray generation: each model behaves for exactly one scoring call
+    // — enough to clear the publish gate's validation probe — then goes
+    // NaN under live traffic. Plain `NanModels` would be caught at
+    // publish; only behavioural canary observation can catch this one.
+    chaos.push_fault(TrainFault::GrayModels(1));
+    let report = service.retrain_now().expect("gray canary publishes");
+    let candidate = report.version;
+    assert!(matches!(
+        service.rollout_phase(),
+        RolloutPhase::Canary { version, .. } if version == candidate
+    ));
+
+    let before_rollbacks = counter(ROLLBACK_TOTAL, &[("reason", "non_finite_scores")]);
+    let before_non_finite = counter(CANARY_NON_FINITE_TOTAL, &[]);
+
+    // Every request — including the ones that probe the poisoned canary —
+    // must be served, finite, from the active baseline.
+    let faulty: Vec<&Sample> = samples.iter().filter(|s| s.label.is_faulty()).collect();
+    for s in faulty.iter().cycle().take(WINDOW as usize * 2) {
+        let d = service
+            .diagnose(&s.features, s.service, &schema)
+            .expect("poisoned canary must never surface to clients");
+        assert!(d.ranking.all_finite(), "clients never see NaN scores");
+        assert_eq!(
+            d.model_version, active,
+            "responses come from the active baseline"
+        );
+    }
+
+    // The first non-finite canary score triggered an immediate rollback.
+    assert_eq!(service.rollout_phase(), RolloutPhase::Idle);
+    assert_eq!(service.model_version(), active, "active version untouched");
+    assert_eq!(
+        counter(ROLLBACK_TOTAL, &[("reason", "non_finite_scores")]),
+        before_rollbacks + 1
+    );
+    assert!(counter(CANARY_NON_FINITE_TOTAL, &[]) > before_non_finite);
+    // The backoff gauge is process-global and other tests' promotions
+    // reset it concurrently; the doubling schedule itself is unit-tested
+    // in `rollout.rs`. Here we only require the gauge to exist.
+    assert!(
+        global()
+            .snapshot()
+            .gauge(ROLLBACK_BACKOFF_LEVEL, &[])
+            .is_some(),
+        "rollback must publish the backoff gauge"
+    );
+
+    // Durable record: the candidate is marked rolled-back, the active
+    // generation stays active.
+    let records = service.generation_records();
+    assert_eq!(records.len(), 2, "{records:?}");
+    assert_eq!(records[0].status, GenerationStatus::Active);
+    assert_eq!(records[1].status, GenerationStatus::RolledBack);
+
+    // Health reflects the demotion (the canary was a failed generation),
+    // with the rollback surfaced as the reason.
+    match service.health() {
+        HealthState::Degraded { reason } => {
+            assert!(reason.contains("rolled back"), "reason: {reason}");
+        }
+        other => panic!("expected Degraded after a rollback, got {other}"),
+    }
+
+    // A later clean retrain canaries and promotes again — rollback did
+    // not wedge the lifecycle.
+    let report = service
+        .retrain_now()
+        .expect("clean candidate after rollback");
+    for s in faulty.iter().cycle().take(WINDOW as usize) {
+        let _ = service.diagnose(&s.features, s.service, &schema);
+    }
+    assert_eq!(service.model_version(), report.version);
+    assert_eq!(service.health(), HealthState::Serving);
+}
+
+/// The publish gate still refuses generations that are *visibly* broken
+/// at validation time — canarying extends the gate, it does not replace
+/// it.
+#[test]
+fn fully_nan_generation_is_still_refused_at_publish() {
+    let (service, chaos, samples) = rollout_service(7003, "gate");
+    for s in &samples {
+        service.submit(s.clone());
+    }
+    service.retrain_now().expect("bootstrap generation");
+    chaos.push_fault(TrainFault::NanModels);
+    let failure = service
+        .retrain_now()
+        .expect_err("NaN-at-validation models must not even canary");
+    assert!(matches!(failure, TrainFailure::Error(_)), "{failure}");
+    assert_eq!(service.rollout_phase(), RolloutPhase::Idle);
+}

@@ -16,9 +16,12 @@
 
 use crate::http::Response;
 use crate::json::Json;
+use diagnet::integrity::render_checksum;
 use diagnet_platform::admission::RejectReason;
 use diagnet_platform::health::HealthState;
+use diagnet_platform::rollout::RolloutPhase;
 use diagnet_platform::service::{AnalysisService, DiagnoseError, Diagnosis, SubmitOutcome};
+use diagnet_platform::store::GenerationRecord;
 use diagnet_sim::dataset::Sample;
 use diagnet_sim::metrics::{FeatureId, FeatureSchema};
 use diagnet_sim::region::{Region, ALL_REGIONS};
@@ -353,11 +356,72 @@ pub fn handle_healthz(state: &AppState) -> Response {
             "model_version",
             Json::Num(state.service.model_version() as f64),
         ),
+        ("rollout", rollout_json(&state.service.rollout_phase())),
     ];
     if let Some(r) = reason {
         pairs.push(("reason", Json::str(r)));
     }
     Response::json(status, Json::obj(pairs).render())
+}
+
+fn rollout_json(phase: &RolloutPhase) -> Json {
+    match phase {
+        RolloutPhase::Idle => Json::obj(vec![("phase", Json::str("idle"))]),
+        RolloutPhase::Canary {
+            version,
+            observed,
+            window,
+        } => Json::obj(vec![
+            ("phase", Json::str("canary")),
+            ("canary_version", Json::Num(*version as f64)),
+            ("observed", Json::Num(*observed as f64)),
+            ("window", Json::Num(*window as f64)),
+        ]),
+    }
+}
+
+fn generation_json(record: &GenerationRecord) -> Json {
+    Json::obj(vec![
+        ("generation", Json::Num(record.generation as f64)),
+        (
+            "parent",
+            record
+                .parent
+                .map_or(Json::Null, |parent| Json::Num(parent as f64)),
+        ),
+        ("backend", Json::str(&record.backend)),
+        ("checksum", Json::str(render_checksum(record.checksum))),
+        ("bytes", Json::Num(record.bytes as f64)),
+        ("status", Json::str(record.status.token())),
+        ("file", Json::str(&record.file)),
+    ])
+}
+
+/// `GET /v1/generations` — admin view of the generation lifecycle: the
+/// live model version, rollout phase, and the durable store's manifest
+/// (lineage, checksums, canary/active/rolled-back status per generation).
+/// Served even when the store is absent (`generations` is then empty).
+pub fn handle_generations(state: &AppState) -> Response {
+    let records = state.service.generation_records();
+    let body = Json::obj(vec![
+        (
+            "active_version",
+            Json::Num(state.service.model_version() as f64),
+        ),
+        ("rollout", rollout_json(&state.service.rollout_phase())),
+        (
+            "recovered_generation",
+            state
+                .service
+                .recovered_generation()
+                .map_or(Json::Null, |r| Json::Num(r.generation as f64)),
+        ),
+        (
+            "generations",
+            Json::Arr(records.iter().map(generation_json).collect()),
+        ),
+    ]);
+    Response::json(200, body.render())
 }
 
 /// `GET /metrics` — Prometheus exposition text.

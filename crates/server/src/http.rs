@@ -43,8 +43,11 @@ pub enum ReadError {
     /// Clean EOF before any bytes: the peer closed an idle keep-alive
     /// connection. Not an error worth a response.
     Closed,
-    /// Socket error or timeout mid-request.
+    /// Socket error mid-request.
     Io(String),
+    /// The whole-request read deadline expired (slow or trickling client)
+    /// → 408 when the request had started, silent close when idle.
+    TimedOut,
     /// Request line / header syntax problems → 400.
     Malformed(&'static str),
     /// `POST` without a `Content-Length` → 411.
@@ -115,8 +118,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
         Some(n) if n > max_body => return Err(ReadError::TooLarge),
         Some(n) => {
             let mut buf = vec![0u8; n];
-            std::io::Read::read_exact(stream, &mut buf)
-                .map_err(|e| ReadError::Io(e.to_string()))?;
+            std::io::Read::read_exact(stream, &mut buf).map_err(io_read_error)?;
             buf
         }
         None if method == "POST" || method == "PUT" => return Err(ReadError::LengthRequired),
@@ -132,12 +134,21 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
     })
 }
 
+/// Classify a read failure: timeout-shaped errors (including `WouldBlock`,
+/// which non-blocking-capable platforms report for an expired socket
+/// timeout) become [`ReadError::TimedOut`] so the connection loop can
+/// answer 408 instead of hanging up silently.
+fn io_read_error(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ReadError::TimedOut,
+        _ => ReadError::Io(e.to_string()),
+    }
+}
+
 /// Read one CRLF-terminated line, enforcing the head-size cap.
 fn read_line(stream: &mut impl BufRead, head_bytes: &mut usize) -> Result<String, ReadError> {
     let mut raw = Vec::new();
-    let n = stream
-        .read_until(b'\n', &mut raw)
-        .map_err(|e| ReadError::Io(e.to_string()))?;
+    let n = stream.read_until(b'\n', &mut raw).map_err(io_read_error)?;
     *head_bytes += n;
     if *head_bytes > MAX_HEAD_BYTES {
         return Err(ReadError::Malformed("request head too large"));
@@ -206,6 +217,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -290,6 +302,18 @@ mod tests {
         ));
         let huge = format!("GET / HTTP/1.1\r\nX: {}\r\n\r\n", "a".repeat(20_000));
         assert!(matches!(read(&huge), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn timeout_shaped_io_errors_become_timed_out() {
+        struct Stall;
+        impl std::io::Read for Stall {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "stall"))
+            }
+        }
+        let err = read_request(&mut BufReader::new(Stall), 1024).unwrap_err();
+        assert_eq!(err, ReadError::TimedOut);
     }
 
     #[test]

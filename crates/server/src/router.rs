@@ -20,6 +20,7 @@ pub const HTTP_REQUEST_DURATION_SECONDS: &str = "diagnet_http_request_duration_s
 pub const ROUTES: &[(&str, &str)] = &[
     ("GET", "/healthz"),
     ("GET", "/metrics"),
+    ("GET", "/v1/generations"),
     ("POST", "/v1/diagnose"),
     ("POST", "/v1/submit"),
 ];
@@ -32,6 +33,7 @@ pub fn dispatch(state: &AppState, req: &Request) -> Response {
         ("POST", "/v1/diagnose") => ("/v1/diagnose", api::handle_diagnose(state, &req.body)),
         ("GET", "/healthz") => ("/healthz", api::handle_healthz(state)),
         ("GET", "/metrics") => ("/metrics", api::handle_metrics(state)),
+        ("GET", "/v1/generations") => ("/v1/generations", api::handle_generations(state)),
         (_, path) if ROUTES.iter().any(|(_, p)| *p == path) => (
             "method_not_allowed",
             Response::json(405, r#"{"error":"method_not_allowed"}"#.to_string()),

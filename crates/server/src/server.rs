@@ -14,7 +14,7 @@ use crate::http::{read_request, ReadError, Response};
 use crate::router;
 use diagnet_obs::global;
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -268,6 +268,63 @@ fn reject_overloaded(mut stream: TcpStream) {
     router::record("connection_rejected", 503, started);
 }
 
+/// Enforces a **whole-request** read deadline over a TCP stream.
+///
+/// The raw socket timeout set by the accept loop is per-`read(2)` call: a
+/// client trickling one byte per interval resets the clock every syscall
+/// and can pin a worker forever (slowloris). This wrapper arms a deadline
+/// when a request starts and narrows the socket timeout to the remaining
+/// budget before every read, so the total wall time a request may spend
+/// being read is bounded regardless of how the bytes arrive.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    /// Total read budget per request.
+    budget: Duration,
+    /// Absolute cut-off for the request currently being read.
+    deadline: Instant,
+    /// Bytes consumed since the last [`DeadlineStream::arm`]; zero at a
+    /// timeout means the connection was idle (no request in flight).
+    bytes: u64,
+}
+
+impl<'a> DeadlineStream<'a> {
+    fn new(stream: &'a TcpStream, budget: Duration) -> DeadlineStream<'a> {
+        DeadlineStream {
+            stream,
+            budget,
+            deadline: Instant::now() + budget,
+            bytes: 0,
+        }
+    }
+
+    /// Start the clock for the next request.
+    fn arm(&mut self) {
+        self.deadline = Instant::now() + self.budget;
+        self.bytes = 0;
+    }
+
+    fn started_request(&self) -> bool {
+        self.bytes > 0
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        // `set_read_timeout` rejects zero; `remaining` is non-zero here.
+        let _ = self.stream.set_read_timeout(Some(remaining));
+        let n = (&mut self.stream).read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
 /// One keep-alive connection: read requests until the client closes, an
 /// error occurs, or shutdown begins (then the next response carries
 /// `Connection: close`).
@@ -283,8 +340,9 @@ fn serve_connection(
         "Connections currently held by a worker.",
     );
     active.add(1.0);
-    let mut reader = BufReader::new(&stream);
+    let mut reader = BufReader::new(DeadlineStream::new(&stream, config.read_timeout));
     loop {
+        reader.get_mut().arm();
         let started = Instant::now();
         let outcome = match read_request(&mut reader, config.max_body_bytes) {
             Ok(req) => {
@@ -293,6 +351,16 @@ fn serve_connection(
                 Some(resp)
             }
             Err(ReadError::Closed) | Err(ReadError::Io(_)) => None,
+            // Deadline hit mid-request → tell the client (408) and hang
+            // up; expired while idle between requests → close silently.
+            Err(ReadError::TimedOut) => reader.get_ref().started_request().then(|| {
+                protocol_error(
+                    408,
+                    "request_timeout",
+                    "request not completed before the read deadline",
+                    started,
+                )
+            }),
             Err(ReadError::Malformed(msg)) => {
                 Some(protocol_error(400, "malformed_request", msg, started))
             }
